@@ -1,0 +1,73 @@
+//! **Figure 5** — Query rates, LRC with 1 million entries, MySQL back end,
+//! single client with multiple threads, database flush enabled and
+//! disabled.
+//!
+//! Paper result: ~1000–2000 queries/s, essentially identical whether the
+//! flush is enabled or not — "query operations do not change the contents
+//! of the database or generate transactions".
+
+use std::time::Duration;
+
+use rls_bench::{banner, header, row, start_lrc, Scale};
+use rls_storage::BackendProfile;
+use rls_workload::{drive, preload_lrc, NameGen, Trials};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 5",
+        "LRC query rates vs threads, flush enabled vs disabled",
+        &scale,
+    );
+    let entries = scale.pick(20_000, 1_000_000);
+    let queries_per_trial = scale.pick(5_000, 20_000) as usize;
+    let disk = Duration::from_millis(2);
+
+    println!("    preload: {entries} mappings; {queries_per_trial} queries per trial");
+    header(&["threads", "q/s flush+", "q/s flush-"]);
+
+    let configs = [
+        BackendProfile::mysql_durable().with_sync_latency(disk),
+        BackendProfile::mysql_buffered(),
+    ];
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    for (ci, profile) in configs.iter().enumerate() {
+        let server = start_lrc(*profile);
+        let gen = NameGen::new("fig05");
+        preload_lrc(&server, &gen, entries).expect("preload");
+        for threads in 1..=15usize {
+            let per_thread = queries_per_trial.div_ceil(threads);
+            let mut trials = Trials::new();
+            for trial in 0..scale.trials {
+                let report = drive(
+                    server.addr(),
+                    rls_net::LinkProfile::unshaped(),
+                    None,
+                    threads,
+                    per_thread,
+                    |c, t, i| {
+                        // Pseudo-random walk over the preloaded population.
+                        let idx = ((t + trial) as u64)
+                            .wrapping_mul(7919)
+                            .wrapping_add(i as u64)
+                            % entries;
+                        c.query_lfn(&gen.lfn(idx)).map(|_| ())
+                    },
+                )
+                .expect("drive queries");
+                assert_eq!(report.errors, 0, "queries must hit preloaded names");
+                trials.push(&report);
+            }
+            results[ci].push(trials.mean_rate());
+        }
+    }
+    for threads in 1..=15usize {
+        row(&[
+            threads.to_string(),
+            format!("{:.0}", results[0][threads - 1]),
+            format!("{:.0}", results[1][threads - 1]),
+        ]);
+    }
+    let ratio = results[1].iter().sum::<f64>() / results[0].iter().sum::<f64>().max(1e-9);
+    println!("\n    flush-disabled / flush-enabled query-rate ratio: {ratio:.2}x (paper: ~1x)");
+}

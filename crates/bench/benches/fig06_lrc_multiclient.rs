@@ -1,0 +1,93 @@
+//! **Figure 6** — Operation rates, LRC with 1 million entries in a MySQL
+//! back end, multiple clients with 10 threads per client, database flush
+//! disabled.
+//!
+//! Paper result: query rates 1700–2100/s, add rates 600–900/s, delete
+//! rates 470–570/s; rates *drop* as total threads grow (queries/deletes
+//! ≈20 %, adds ≈35 % from 10 → 100 threads). The reproduced claims: the
+//! query > add > delete ordering and graceful (not collapsing) degradation
+//! toward 100 requesting threads.
+
+use rls_bench::{banner, header, row, start_lrc, Scale};
+use rls_storage::BackendProfile;
+use rls_workload::{drive, preload_lrc, NameGen, Trials};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 6",
+        "LRC op rates vs clients (10 threads each), flush disabled",
+        &scale,
+    );
+    let entries = scale.pick(20_000, 1_000_000);
+    let ops_per_trial = scale.pick(2_000, 20_000) as usize;
+    println!("    preload: {entries} mappings");
+    header(&["clients", "threads", "query/s", "add/s", "delete/s"]);
+
+    let server = start_lrc(BackendProfile::mysql_buffered());
+    let gen = NameGen::new("fig06");
+    preload_lrc(&server, &gen, entries).expect("preload");
+    let tgen = NameGen::new("fig06-trial");
+
+    for clients in 1..=10usize {
+        let threads = clients * 10;
+        let per_thread = ops_per_trial.div_ceil(threads);
+        let (mut q, mut a, mut d) = (Trials::new(), Trials::new(), Trials::new());
+        for trial in 0..scale.trials {
+            let base = (trial * 10_000_000 + clients * 100_000) as u64;
+            // Queries.
+            let report = drive(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                per_thread,
+                |c, t, i| {
+                    let idx = (t as u64).wrapping_mul(6151).wrapping_add(i as u64) % entries;
+                    c.query_lfn(&gen.lfn(idx)).map(|_| ())
+                },
+            )
+            .expect("queries");
+            q.push(&report);
+            // Adds (timed) ...
+            let report = drive(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                per_thread,
+                |c, t, i| {
+                    let idx = base + (t * per_thread + i) as u64;
+                    c.create_mapping(&tgen.lfn(idx), &tgen.pfn(0, idx))
+                },
+            )
+            .expect("adds");
+            assert_eq!(report.errors, 0);
+            a.push(&report);
+            // ... then deletes of the same names (timed — Fig. 6 reports a
+            // delete series).
+            let report = drive(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                per_thread,
+                |c, t, i| {
+                    let idx = base + (t * per_thread + i) as u64;
+                    c.delete_mapping(&tgen.lfn(idx), &tgen.pfn(0, idx))
+                },
+            )
+            .expect("deletes");
+            assert_eq!(report.errors, 0);
+            d.push(&report);
+        }
+        row(&[
+            clients.to_string(),
+            threads.to_string(),
+            format!("{:.0}", q.mean_rate()),
+            format!("{:.0}", a.mean_rate()),
+            format!("{:.0}", d.mean_rate()),
+        ]);
+    }
+    println!("\n    expected shape: query > add > delete; modest decline toward 100 threads");
+}

@@ -1,0 +1,66 @@
+//! **Figure 9** — RLI full-LFN query rate, 1 million mappings in a MySQL
+//! back end, multiple clients with 3 threads per client.
+//!
+//! Paper result: ≈3000 queries/s for an RLI serving from its relational
+//! store (uncompressed-update mode) — compare with Figure 10's much higher
+//! Bloom-mode rates.
+
+use rls_bench::{banner, header, row, start_rli, Scale};
+use rls_types::Timestamp;
+use rls_workload::{drive, NameGen, Trials};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 9",
+        "RLI query rates, relational store (uncompressed updates)",
+        &scale,
+    );
+    let entries = scale.pick(20_000, 1_000_000);
+    let queries_per_trial = scale.pick(5_000, 20_000) as usize;
+    println!("    RLI preloaded with {entries} {{LFN, LRC}} associations");
+    header(&["clients", "threads", "query/s"]);
+
+    let server = start_rli();
+    let gen = NameGen::new("fig09");
+    {
+        // Preload the relational store in process, as one big past update.
+        let rli = server.rli().expect("rli role");
+        let now = Timestamp::now();
+        let names: Vec<String> = (0..entries).map(|i| gen.lfn(i)).collect();
+        for chunk in names.chunks(10_000) {
+            rli.apply_full_chunk("lrc-0", chunk, now).expect("preload");
+        }
+    }
+
+    for clients in 1..=10usize {
+        let threads = clients * 3;
+        let per_thread = queries_per_trial.div_ceil(threads);
+        let mut trials = Trials::new();
+        for trial in 0..scale.trials {
+            let report = drive(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                per_thread,
+                |c, t, i| {
+                    let idx = ((t + trial) as u64)
+                        .wrapping_mul(7919)
+                        .wrapping_add(i as u64)
+                        % entries;
+                    c.rli_query_lfn(&gen.lfn(idx)).map(|_| ())
+                },
+            )
+            .expect("queries");
+            assert_eq!(report.errors, 0);
+            trials.push(&report);
+        }
+        row(&[
+            clients.to_string(),
+            threads.to_string(),
+            format!("{:.0}", trials.mean_rate()),
+        ]);
+    }
+    println!("\n    compare with Figure 10: Bloom-mode queries should be several times faster");
+}

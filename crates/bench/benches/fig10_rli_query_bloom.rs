@@ -1,0 +1,80 @@
+//! **Figure 10** — RLI Bloom-filter query rate: each Bloom filter has
+//! 1 million mappings; multiple clients with 3 threads per client; series
+//! for 1, 10 and 100 Bloom filters at the RLI.
+//!
+//! Paper result: ~10 000+ queries/s — much faster than the relational
+//! path (Fig. 9) — similar for 1 and 10 filters, but dropping for 100
+//! filters because *every* stored filter is probed on each query.
+
+use rls_bench::{banner, header, row, start_rli, Scale};
+use rls_bloom::{BloomFilter, BloomParams};
+use rls_types::Timestamp;
+use rls_workload::{drive, NameGen, Trials};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 10",
+        "RLI query rates vs number of Bloom filters (1 / 10 / 100)",
+        &scale,
+    );
+    let entries = scale.pick(50_000, 1_000_000);
+    let queries_per_trial = scale.pick(20_000, 100_000) as usize;
+    println!("    each filter summarizes {entries} mappings");
+    header(&["filters", "clients", "threads", "query/s"]);
+
+    let gen = NameGen::new("fig10");
+    for &filters in &[1usize, 10, 100] {
+        let server = start_rli();
+        {
+            let rli = server.rli().expect("rli role");
+            let now = Timestamp::now();
+            // Filter 0 holds the queried population; the rest are other
+            // LRCs' filters that each query must also probe.
+            for f in 0..filters {
+                let mut filter = BloomFilter::with_capacity(BloomParams::PAPER, entries);
+                if f == 0 {
+                    for i in 0..entries {
+                        filter.insert(&gen.lfn(i));
+                    }
+                } else {
+                    for i in 0..entries {
+                        filter.insert(&format!("lfn://other{f}/file{i}"));
+                    }
+                }
+                rli.apply_bloom(&format!("lrc-{f}"), filter, now);
+            }
+        }
+        for clients in 1..=10usize {
+            let threads = clients * 3;
+            let per_thread = queries_per_trial.div_ceil(threads);
+            let mut trials = Trials::new();
+            for trial in 0..scale.trials {
+                let report = drive(
+                    server.addr(),
+                    rls_net::LinkProfile::unshaped(),
+                    None,
+                    threads,
+                    per_thread,
+                    |c, t, i| {
+                        let idx = ((t + trial) as u64)
+                            .wrapping_mul(7919)
+                            .wrapping_add(i as u64)
+                            % entries;
+                        c.rli_query_lfn(&gen.lfn(idx)).map(|_| ())
+                    },
+                )
+                .expect("queries");
+                assert_eq!(report.errors, 0);
+                trials.push(&report);
+            }
+            row(&[
+                filters.to_string(),
+                clients.to_string(),
+                threads.to_string(),
+                format!("{:.0}", trials.mean_rate()),
+            ]);
+        }
+    }
+    println!("\n    expected shape: 1 ≈ 10 filters; 100 filters clearly slower per query");
+}

@@ -1,0 +1,118 @@
+//! **Figure 11** — LRC bulk operation rates, 1 million mappings in the
+//! MySQL back end, multiple clients with 10 threads per client, 1000
+//! requests per bulk operation.
+//!
+//! Paper result: bulk queries beat non-bulk queries by ~27 % at 10 threads,
+//! shrinking to ~8 % at 100 threads; combined bulk add/delete lands between
+//! the non-bulk add and delete rates at high thread counts. The reproduced
+//! claim: batching amortizes per-request overhead, with the advantage
+//! shrinking as concurrency already keeps the server busy.
+
+use rls_bench::{banner, header, row, start_lrc, Scale};
+use rls_storage::BackendProfile;
+use rls_types::Mapping;
+use rls_workload::{drive, preload_lrc, NameGen, Trials};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 11",
+        "bulk operation rates (1000 requests per bulk op)",
+        &scale,
+    );
+    let entries = scale.pick(20_000, 1_000_000);
+    let bulk_size = 1000usize;
+    let bulks_per_thread = scale.pick(3, 10) as usize;
+    println!("    preload: {entries} mappings; {bulk_size} requests per bulk op");
+    header(&["clients", "threads", "bulk q/s", "bulk add+del/s", "single q/s"]);
+
+    let server = start_lrc(BackendProfile::mysql_buffered());
+    let gen = NameGen::new("fig11");
+    preload_lrc(&server, &gen, entries).expect("preload");
+    let tgen = NameGen::new("fig11-trial");
+
+    for clients in 1..=10usize {
+        let threads = clients * 10;
+        let (mut bq, mut bad, mut sq) = (Trials::new(), Trials::new(), Trials::new());
+        for trial in 0..scale.trials {
+            // Bulk queries: each driver op is one 1000-name bulk request;
+            // the reported rate is individual requests (names) per second.
+            let report = drive(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                bulks_per_thread,
+                |c, t, i| {
+                    let names: Vec<String> = (0..bulk_size)
+                        .map(|k| {
+                            let idx = ((t + trial) as u64)
+                                .wrapping_mul(7919)
+                                .wrapping_add((i * bulk_size + k) as u64)
+                                % entries;
+                            gen.lfn(idx)
+                        })
+                        .collect();
+                    c.bulk_query_lfn(names).map(|_| ())
+                },
+            )
+            .expect("bulk queries");
+            assert_eq!(report.errors, 0);
+            bq.push_rate(report.rate() * bulk_size as f64);
+
+            // Combined bulk add/delete: 1000 adds then 1000 deletes per op
+            // pair, keeping the database size constant (§5.4).
+            let report = drive(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                bulks_per_thread,
+                |c, t, i| {
+                    let base = ((trial * 1000 + t) * 1_000_000 + i * bulk_size) as u64;
+                    let mappings: Vec<Mapping> = (0..bulk_size as u64)
+                        .map(|k| {
+                            Mapping::new(tgen.lfn(base + k), tgen.pfn(0, base + k)).unwrap()
+                        })
+                        .collect();
+                    let fails = c.bulk_create(mappings.clone())?;
+                    debug_assert!(fails.is_empty());
+                    let fails = c.bulk_delete(mappings)?;
+                    debug_assert!(fails.is_empty());
+                    Ok(())
+                },
+            )
+            .expect("bulk add/delete");
+            assert_eq!(report.errors, 0);
+            // Each driver op performed 2×bulk_size individual requests.
+            bad.push_rate(report.rate() * (2 * bulk_size) as f64);
+
+            // Non-bulk query baseline for the same thread count.
+            let per_thread = (bulks_per_thread * bulk_size / 10).max(100);
+            let report = drive(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                per_thread,
+                |c, t, i| {
+                    let idx = ((t + trial) as u64)
+                        .wrapping_mul(6151)
+                        .wrapping_add(i as u64)
+                        % entries;
+                    c.query_lfn(&gen.lfn(idx)).map(|_| ())
+                },
+            )
+            .expect("single queries");
+            sq.push(&report);
+        }
+        row(&[
+            clients.to_string(),
+            threads.to_string(),
+            format!("{:.0}", bq.mean_rate()),
+            format!("{:.0}", bad.mean_rate()),
+            format!("{:.0}", sq.mean_rate()),
+        ]);
+    }
+    println!("\n    expected shape: bulk q/s > single q/s, advantage shrinking with threads");
+}

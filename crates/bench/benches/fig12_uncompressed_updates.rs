@@ -1,0 +1,90 @@
+//! **Figure 12** — Time for uncompressed LFN updates in a LAN to a single
+//! RLI as the size and number of LRCs increase (log-linear in the paper).
+//!
+//! Paper result: update time grows with LRC database size (10 K → 100 K →
+//! 1 M entries) and grows roughly linearly in the number of LRCs updating
+//! the RLI concurrently (the RLI's ingest rate is the shared bottleneck) —
+//! 6 LRCs × 1 M entries averaged 5102 s. The reproduced claims: both
+//! growth directions and the multiplicative interaction.
+
+use std::sync::Arc;
+
+use rls_bench::{banner, header, manual_updates, row, start_rli, Scale};
+use rls_core::{Server, Updater};
+use rls_net::LinkProfile;
+use rls_storage::BackendProfile;
+use rls_types::Dn;
+use rls_workload::{preload_lrc, summarize, NameGen};
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "Figure 12",
+        "uncompressed soft-state update times vs LRC size and count (LAN)",
+        &scale,
+    );
+    let sizes: Vec<u64> = if scale.full {
+        vec![10_000, 100_000, 1_000_000]
+    } else {
+        vec![
+            scale.pick(1_000, 0).max(1),
+            scale.pick(5_000, 0).max(1),
+            scale.pick(20_000, 0).max(1),
+        ]
+    };
+    let max_lrcs = 8usize;
+    header(&["entries/LRC", "num LRCs", "avg update (s)"]);
+
+    for &entries in &sizes {
+        // One set of LRC servers per size, reused across LRC-count points.
+        let lrcs: Vec<Server> = (0..max_lrcs)
+            .map(|_| {
+                let s = rls_bench::start_lrc(BackendProfile::mysql_buffered());
+                preload_lrc(&s, &NameGen::new("fig12"), entries).expect("preload");
+                s
+            })
+            .collect();
+        for num_lrcs in 1..=max_lrcs {
+            // Fresh RLI per point so its ingest table starts empty.
+            let rli = start_rli();
+            let rli_addr = rli.addr().to_string();
+            let durations: Vec<f64> = std::thread::scope(|s| {
+                let handles: Vec<_> = lrcs[..num_lrcs]
+                    .iter()
+                    .map(|server| {
+                        let rli_addr = rli_addr.clone();
+                        s.spawn(move || {
+                            let lrc = server.lrc().expect("lrc role");
+                            let mut cfg = manual_updates();
+                            cfg.link = LinkProfile::lan_100mbit();
+                            let mut updater = Updater::new(
+                                server.name().to_owned(),
+                                Dn::anonymous(),
+                                Arc::clone(lrc),
+                                &cfg,
+                            );
+                            let target = rls_storage::RliTarget {
+                                name: rli_addr,
+                                flags: 0,
+                                patterns: vec![],
+                            };
+                            updater
+                                .send_full(&target)
+                                .expect("full update")
+                                .duration
+                                .as_secs_f64()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("join")).collect()
+            });
+            let s = summarize(&durations);
+            row(&[
+                entries.to_string(),
+                num_lrcs.to_string(),
+                format!("{:.3}", s.mean),
+            ]);
+        }
+    }
+    println!("\n    expected shape: time grows with entries and ~linearly with concurrent LRCs");
+}

@@ -1,0 +1,131 @@
+//! Criterion micro-benches: Bloom filter operations and the bits/hashes
+//! ablation called out in DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rls_bloom::{BloomFilter, BloomParams, CountingBloomFilter};
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom/insert");
+    for &n in &[10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("plain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = BloomFilter::with_capacity(BloomParams::PAPER, n);
+                for i in 0..n {
+                    f.insert(&format!("lfn://bench/file{i:09}"));
+                }
+                f
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("counting", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = CountingBloomFilter::with_capacity(BloomParams::PAPER, n);
+                for i in 0..n {
+                    f.insert(&format!("lfn://bench/file{i:09}"));
+                }
+                f
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut f = BloomFilter::with_capacity(BloomParams::PAPER, n);
+    for i in 0..n {
+        f.insert(&format!("lfn://bench/file{i:09}"));
+    }
+    let mut g = c.benchmark_group("bloom/contains");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % n;
+            f.contains(&format!("lfn://bench/file{i:09}"))
+        });
+    });
+    g.bench_function("miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.contains(&format!("lfn://absent/file{i:09}"))
+        });
+    });
+    g.finish();
+}
+
+/// Ablation: bits/entry and hash count vs observed false-positive rate.
+/// Reported as a bench so `cargo bench` prints the trade-off table the
+/// paper's §3.4 parameters sit inside.
+fn bench_params_ablation(c: &mut Criterion) {
+    let n = 50_000u64;
+    println!("\nbloom parameter ablation ({n} entries, 2n probes):");
+    println!("{:>12} {:>8} {:>12} {:>12}", "bits/entry", "hashes", "fpp", "bytes");
+    for bits_per_entry in [5u32, 10, 20] {
+        for hashes in [2u32, 3, 5] {
+            let params = BloomParams {
+                bits_per_entry,
+                hashes,
+            };
+            let mut f = BloomFilter::with_capacity(params, n);
+            for i in 0..n {
+                f.insert(&format!("lfn://abl/file{i:09}"));
+            }
+            let mut fp = 0u64;
+            for i in 0..(2 * n) {
+                if f.contains(&format!("lfn://absent/file{i:09}")) {
+                    fp += 1;
+                }
+            }
+            println!(
+                "{:>12} {:>8} {:>12.5} {:>12}",
+                bits_per_entry,
+                hashes,
+                fp as f64 / (2 * n) as f64,
+                f.byte_len()
+            );
+        }
+    }
+    // Keep criterion happy with at least one timed body.
+    c.bench_function("bloom/params_paper_insert", |b| {
+        let mut f = BloomFilter::with_capacity(BloomParams::PAPER, 1000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(&format!("k{i}"));
+        });
+    });
+}
+
+fn bench_union_and_export(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut a = BloomFilter::with_capacity(BloomParams::PAPER, n);
+    let mut b_f = BloomFilter::with_capacity(BloomParams::PAPER, n);
+    let mut counting = CountingBloomFilter::with_capacity(BloomParams::PAPER, n);
+    for i in 0..n {
+        a.insert(&format!("a{i}"));
+        b_f.insert(&format!("b{i}"));
+        counting.insert(&format!("c{i}"));
+    }
+    c.bench_function("bloom/union_100k", |bch| {
+        bch.iter(|| {
+            let mut u = a.clone();
+            u.union_with(&b_f).unwrap();
+            u
+        });
+    });
+    c.bench_function("bloom/counting_export_100k", |bch| {
+        bch.iter(|| counting.to_bitmap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_query,
+    bench_params_ablation,
+    bench_union_and_export
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benches: wire-codec encode/decode costs, single vs bulk
+//! (the per-request overhead that Fig. 11's bulk operations amortize).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rls_proto::{Request, Response};
+use rls_types::Mapping;
+
+fn bench_requests(c: &mut Criterion) {
+    let single = Request::Create(
+        Mapping::new("lfn://codec/file000000001", "gsiftp://site/data/file000000001").unwrap(),
+    );
+    let bulk_sizes = [100usize, 1000];
+    let mut g = c.benchmark_group("codec/request");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_single", |b| b.iter(|| single.encode()));
+    let single_bytes = single.encode().into_bytes();
+    g.bench_function("decode_single", |b| {
+        b.iter(|| Request::decode(&single_bytes).unwrap())
+    });
+    for &n in &bulk_sizes {
+        let bulk = Request::BulkCreate(
+            (0..n)
+                .map(|i| {
+                    Mapping::new(
+                        format!("lfn://codec/file{i:09}"),
+                        format!("gsiftp://site/data/file{i:09}"),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        );
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("encode_bulk", n), &bulk, |b, bulk| {
+            b.iter(|| bulk.encode())
+        });
+        let bytes = bulk.encode().into_bytes();
+        g.bench_with_input(BenchmarkId::new("decode_bulk", n), &bytes, |b, bytes| {
+            b.iter(|| Request::decode(bytes).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_responses(c: &mut Criterion) {
+    let targets = Response::Targets(
+        (0..4)
+            .map(|i| format!("gsiftp://site{i}/data/file000000001"))
+            .collect(),
+    );
+    c.bench_function("codec/response_encode_targets", |b| {
+        b.iter(|| targets.encode())
+    });
+    let bytes = targets.encode().into_bytes();
+    c.bench_function("codec/response_decode_targets", |b| {
+        b.iter(|| Response::decode(&bytes).unwrap())
+    });
+}
+
+fn bench_bloom_payload(c: &mut Criterion) {
+    use rls_bloom::{BloomFilter, BloomParams};
+    let mut filter = BloomFilter::with_capacity(BloomParams::PAPER, 100_000);
+    for i in 0..100_000 {
+        filter.insert(&format!("lfn://codec/{i}"));
+    }
+    c.bench_function("codec/bloom_to_wire_100k", |b| {
+        b.iter(|| Request::bloom_to_wire("lrc-bench", &filter).encode())
+    });
+    let bytes = Request::bloom_to_wire("lrc-bench", &filter).encode().into_bytes();
+    c.bench_function("codec/bloom_decode_100k", |b| {
+        b.iter(|| Request::decode(&bytes).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_requests, bench_responses, bench_bloom_payload);
+criterion_main!(benches);

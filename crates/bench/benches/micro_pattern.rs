@@ -1,0 +1,47 @@
+//! Criterion micro-benches: the pattern engine on the request hot path
+//! (ACL checks per operation; partition matching per updated name).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use rls_types::{Glob, Regex};
+
+fn bench_regex(c: &mut Criterion) {
+    let acl = Regex::new("^/O=Grid/OU=ISI/CN=.*$").unwrap();
+    let dn_hit = "/O=Grid/OU=ISI/CN=Ann Chervenak";
+    let dn_miss = "/O=Grid/OU=UCLA/CN=Someone Else Entirely";
+    let mut g = c.benchmark_group("pattern/regex");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("acl_hit", |b| b.iter(|| acl.is_full_match(dn_hit)));
+    g.bench_function("acl_miss", |b| b.iter(|| acl.is_full_match(dn_miss)));
+    let partition = Regex::new("^lfn://ligo/(h1|l1|h2)/run[0-9]+/.*").unwrap();
+    let lfn = "lfn://ligo/h1/run042/frame-000123456.gwf";
+    g.bench_function("partition_match", |b| b.iter(|| partition.is_match(lfn)));
+    // Pathological input a backtracking engine would choke on.
+    let evil = Regex::new("(a*)*b").unwrap();
+    let hay = "a".repeat(64);
+    g.bench_function("pathological_linear", |b| b.iter(|| evil.is_match(&hay)));
+    g.finish();
+}
+
+fn bench_glob(c: &mut Criterion) {
+    let glob = Glob::new("lfn://ligo/*/run*/frame-*.gwf").unwrap();
+    let hit = "lfn://ligo/h1/run042/frame-000123456.gwf";
+    let miss = "lfn://sdss/plate/0042/spec-000123456.fits";
+    let mut g = c.benchmark_group("pattern/glob");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hit", |b| b.iter(|| glob.matches(hit)));
+    g.bench_function("miss", |b| b.iter(|| glob.matches(miss)));
+    g.bench_function("compile", |b| {
+        b.iter(|| Glob::new("lfn://ligo/*/run*/frame-*.gwf").unwrap())
+    });
+    g.finish();
+}
+
+fn bench_regex_compile(c: &mut Criterion) {
+    c.bench_function("pattern/regex_compile", |b| {
+        b.iter(|| Regex::new("^lfn://ligo/(h1|l1|h2)/run[0-9]+/.*").unwrap())
+    });
+}
+
+criterion_group!(benches, bench_regex, bench_glob, bench_regex_compile);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Criterion micro-benches: soft-state payload construction costs — the
+//! ablation of incremental counting-filter maintenance vs full
+//! regeneration (Table 3's column 2 vs column 3 distinction), and full vs
+//! delta payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rls_bloom::{BloomFilter, BloomParams, CountingBloomFilter};
+use rls_core::{LrcConfig, LrcService, UpdateConfig, UpdateMode};
+use rls_types::Mapping;
+
+fn service_with(n: u64, bloom: bool) -> LrcService {
+    let mode = if bloom {
+        UpdateMode::Bloom {
+            interval: std::time::Duration::from_secs(3600),
+            params: BloomParams::PAPER,
+        }
+    } else {
+        UpdateMode::None
+    };
+    let svc = LrcService::new(LrcConfig {
+        update: UpdateConfig {
+            mode,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    for i in 0..n {
+        svc.create_mapping(
+            &Mapping::new(format!("lfn://ss/{i:09}"), format!("pfn://ss/{i:09}")).unwrap(),
+        )
+        .unwrap();
+    }
+    svc
+}
+
+/// Incremental export (counting filter → bitmap) vs full rebuild from the
+/// catalog, per catalog size.
+fn bench_bloom_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softstate/bloom_snapshot");
+    g.sample_size(10);
+    for &n in &[10_000u64, 100_000] {
+        let incremental = service_with(n, true);
+        // First snapshot resizes the filter to the catalog (one-time
+        // generation); steady-state snapshots must then be incremental.
+        incremental.bloom_snapshot();
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let (filter, gen_cost) = incremental.bloom_snapshot();
+                assert_eq!(gen_cost, 0.0);
+                filter
+            });
+        });
+        let regen = service_with(n, false);
+        g.bench_with_input(BenchmarkId::new("full_rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                let (filter, _) = regen.bloom_snapshot();
+                filter
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Payload sizes: what actually crosses the wire per update mode.
+fn bench_payload_sizes(c: &mut Criterion) {
+    println!("\nsoft-state payload sizes per catalog size:");
+    println!(
+        "{:>10} {:>18} {:>14} {:>18}",
+        "entries", "uncompressed (B)", "bloom (B)", "compression ratio"
+    );
+    for &n in &[10_000u64, 100_000, 1_000_000] {
+        let uncompressed: u64 = (0..n).map(|i| format!("lfn://ss/{i:09}").len() as u64 + 4).sum();
+        let bloom = BloomFilter::with_capacity(BloomParams::PAPER, n).byte_len() as u64;
+        println!(
+            "{:>10} {:>18} {:>14} {:>17.1}x",
+            n,
+            uncompressed,
+            bloom,
+            uncompressed as f64 / bloom as f64
+        );
+    }
+    c.bench_function("softstate/delta_take_requeue", |b| {
+        let svc = LrcService::new(LrcConfig {
+            update: UpdateConfig {
+                mode: UpdateMode::immediate_default(),
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            svc.create_mapping(
+                &Mapping::new(format!("lfn://d/{i}"), format!("pfn://d/{i}")).unwrap(),
+            )
+            .unwrap();
+            let log = svc.take_deltas();
+            svc.requeue_deltas(log);
+        });
+    });
+}
+
+/// Counting-filter mutation cost (what keeping the filter current costs
+/// per catalog change).
+fn bench_counting_maintenance(c: &mut Criterion) {
+    let mut filter = CountingBloomFilter::with_capacity(BloomParams::PAPER, 1_000_000);
+    for i in 0..1_000_000u64 {
+        filter.insert(&format!("lfn://m/{i}"));
+    }
+    c.bench_function("softstate/counting_insert_remove_1m", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = format!("lfn://new/{i}");
+            filter.insert(&key);
+            filter.remove(&key);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bloom_generation,
+    bench_payload_sizes,
+    bench_counting_maintenance
+);
+criterion_main!(benches);

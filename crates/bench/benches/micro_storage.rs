@@ -1,0 +1,112 @@
+//! Criterion micro-benches: storage-engine operation costs per backend
+//! profile, including the dead-tuple degradation ablation behind Fig. 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rls_storage::{BackendProfile, LrcDatabase};
+use rls_types::Mapping;
+
+fn preloaded(profile: BackendProfile, n: u64) -> LrcDatabase {
+    let mut db = LrcDatabase::in_memory(profile);
+    for i in 0..n {
+        db.create_mapping(
+            &Mapping::new(format!("lfn://s/{i:09}"), format!("pfn://s/{i:09}")).unwrap(),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage/point_ops");
+    for (label, profile) in [
+        ("mysql", BackendProfile::mysql_buffered()),
+        ("postgres", BackendProfile::postgres_buffered()),
+    ] {
+        let db = preloaded(profile, 100_000);
+        g.bench_with_input(BenchmarkId::new("query", label), &db, |b, db| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 100_000;
+                db.query_lfn(&format!("lfn://s/{i:09}")).unwrap()
+            });
+        });
+        let mut db = preloaded(profile, 10_000);
+        g.bench_function(BenchmarkId::new("add_delete_pair", label), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let m =
+                    Mapping::new(format!("lfn://t/{i}"), format!("pfn://t/{i}")).unwrap();
+                db.create_mapping(&m).unwrap();
+                db.delete_mapping(&m).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The Fig. 8 mechanism in isolation: probe cost over keys that carry
+/// accumulated dead index entries, before vs after VACUUM.
+///
+/// Measured with *read-only* probes (a point query of a deleted hot key —
+/// the lookup must walk the key's dead postings before concluding it is
+/// absent) so the benchmark body does not itself grow the dead count
+/// between iterations.
+fn bench_dead_tuple_degradation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage/dead_tuples");
+    // Build up dead versions of the same keys (N add+delete rounds).
+    let build = |rounds: u64| {
+        let mut db = preloaded(BackendProfile::postgres_buffered(), 11_000);
+        for _ in 0..rounds {
+            for i in 0..1_000u64 {
+                let m =
+                    Mapping::new(format!("lfn://hot/{i}"), format!("pfn://hot/{i}")).unwrap();
+                db.create_mapping(&m).unwrap();
+                db.delete_mapping(&m).unwrap();
+            }
+        }
+        db
+    };
+    for rounds in [0u64, 5, 10] {
+        let db = build(rounds);
+        g.bench_function(BenchmarkId::new("bloated_probe", rounds), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 1_000;
+                // Deleted key: the probe walks `rounds` dead postings.
+                db.query_lfn(&format!("lfn://hot/{i}")).unwrap_err()
+            });
+        });
+        let mut db = build(rounds);
+        db.vacuum().unwrap();
+        g.bench_function(BenchmarkId::new("vacuumed_probe", rounds), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 1_000;
+                db.query_lfn(&format!("lfn://hot/{i}")).unwrap_err()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_wildcard(c: &mut Criterion) {
+    let db = preloaded(BackendProfile::mysql_buffered(), 100_000);
+    let g9 = rls_types::Glob::new("lfn://s/00000*").unwrap(); // ~100 hits
+    c.bench_function("storage/wildcard_prefix_100k", |b| {
+        b.iter(|| db.wildcard_query_lfn(&g9, 10_000).unwrap());
+    });
+    let g_all = rls_types::Glob::new("*9999").unwrap(); // no usable prefix
+    c.bench_function("storage/wildcard_fullscan_100k", |b| {
+        b.iter(|| db.wildcard_query_lfn(&g_all, 10_000).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_point_ops,
+    bench_dead_tuple_degradation,
+    bench_wildcard
+);
+criterion_main!(benches);

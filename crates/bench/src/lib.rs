@@ -1,0 +1,204 @@
+//! # `rls-bench`
+//!
+//! Shared harness utilities for the paper-exhibit benchmarks. Each
+//! `benches/figNN_*.rs` / `benches/table3_*.rs` target regenerates one
+//! table or figure of *"Performance and Scalability of a Replica Location
+//! Service"* (HPDC 2004); see DESIGN.md §4 for the index.
+//!
+//! Every exhibit accepts:
+//!
+//! * `--full` — paper-scale parameters (minutes to hours of runtime);
+//! * `--scale <f>` — multiply default workload sizes by `f`;
+//! * `--trials <n>` — trials per data point (paper: typically 5).
+
+use std::time::Duration;
+
+use rls_core::{LrcConfig, RliConfig, Server, ServerConfig, UpdateConfig, UpdateMode};
+use rls_storage::BackendProfile;
+
+/// Parsed harness options.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Paper-scale run.
+    pub full: bool,
+    /// Multiplier on default workload sizes.
+    pub scale: f64,
+    /// Trials per data point.
+    pub trials: usize,
+}
+
+impl Scale {
+    /// Parses process arguments (ignores unknown flags, so the target also
+    /// tolerates `cargo bench`'s own arguments like `--bench`).
+    pub fn from_args() -> Self {
+        let mut s = Self {
+            full: false,
+            scale: 1.0,
+            trials: 3,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => s.full = true,
+                "--scale" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        s.scale = v;
+                    }
+                }
+                "--trials" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        s.trials = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Picks `dflt` scaled, or `full` under `--full`.
+    pub fn pick(&self, dflt: u64, full: u64) -> u64 {
+        if self.full {
+            full
+        } else {
+            ((dflt as f64) * self.scale).round().max(1.0) as u64
+        }
+    }
+}
+
+/// Prints an exhibit header.
+pub fn banner(exhibit: &str, caption: &str, scale: &Scale) {
+    println!();
+    println!("=== {exhibit} — {caption} ===");
+    println!(
+        "    mode: {}  (trials per point: {})",
+        if scale.full { "FULL (paper-scale)" } else { "scaled-down default" },
+        scale.trials
+    );
+}
+
+/// Prints one aligned table row.
+pub fn row(cells: &[String]) {
+    let line = cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{line}");
+}
+
+/// Prints an aligned header row followed by a rule.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(15 * cells.len()));
+}
+
+/// Starts a pure-LRC server with the given backend profile. Durable
+/// profiles get a fresh WAL under the system temp directory.
+pub fn start_lrc(profile: BackendProfile) -> Server {
+    let wal_path = match profile.flush {
+        rls_storage::FlushMode::None => None,
+        _ => Some(fresh_wal_path("lrc")),
+    };
+    Server::start(ServerConfig {
+        lrc: Some(LrcConfig {
+            profile,
+            wal_path,
+            update: UpdateConfig::default(),
+        }),
+        ..ServerConfig::default()
+    })
+    .expect("start LRC server")
+}
+
+/// Starts a pure-RLI server (relational store, generous expiry).
+pub fn start_rli() -> Server {
+    Server::start(ServerConfig {
+        rli: Some(RliConfig {
+            expire_timeout: Duration::from_secs(24 * 3600),
+            ..Default::default()
+        }),
+        ..ServerConfig::default()
+    })
+    .expect("start RLI server")
+}
+
+/// Starts an LRC wired to push updates to `rli_addr` with the given update
+/// configuration.
+pub fn start_lrc_with_updates(
+    profile: BackendProfile,
+    update: UpdateConfig,
+    rli_addr: &str,
+    bloom: bool,
+) -> Server {
+    let server = Server::start(ServerConfig {
+        lrc: Some(LrcConfig {
+            profile,
+            wal_path: None,
+            update,
+        }),
+        ..ServerConfig::default()
+    })
+    .expect("start LRC server");
+    let flags = if bloom { rls_core::FLAG_BLOOM } else { 0 };
+    server
+        .lrc()
+        .expect("lrc role")
+        .db
+        .write()
+        .add_rli(rli_addr, flags, &[])
+        .expect("register RLI");
+    server
+}
+
+/// A unique WAL path in the temp directory.
+pub fn fresh_wal_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("rls-bench");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let path = dir.join(format!(
+        "{tag}-{}-{}.wal",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A no-op update configuration (manual triggering only).
+pub fn manual_updates() -> UpdateConfig {
+    UpdateConfig {
+        mode: UpdateMode::None,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        let s = Scale {
+            full: false,
+            scale: 0.5,
+            trials: 3,
+        };
+        assert_eq!(s.pick(1000, 1_000_000), 500);
+        let f = Scale {
+            full: true,
+            scale: 1.0,
+            trials: 3,
+        };
+        assert_eq!(f.pick(1000, 1_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn servers_start() {
+        let lrc = start_lrc(BackendProfile::mysql_buffered());
+        let rli = start_rli();
+        assert!(lrc.addr().port() != 0);
+        assert!(rli.addr().port() != 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The plain Bloom filter bitmap.
+
+use serde::{Deserialize, Serialize};
+
+use rls_types::{ErrorCode, RlsError, RlsResult};
+
+use crate::hash::DoubleHasher;
+use crate::params::BloomParams;
+
+/// A plain Bloom filter: the bitmap the LRC ships to RLIs, and the structure
+/// an RLI holds in memory (one per updating LRC).
+///
+/// Supports insertion and membership tests; deletions require the
+/// [`CountingBloomFilter`](crate::CountingBloomFilter) kept on the LRC side.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    params: BloomParams,
+    /// Number of addressable bits (≤ `words.len() * 64`).
+    bits: u64,
+    words: Vec<u64>,
+    /// Entries inserted (approximate after unions).
+    entries: u64,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter sized for `capacity` expected entries.
+    pub fn with_capacity(params: BloomParams, capacity: u64) -> Self {
+        let bits = params.bits_for_capacity(capacity);
+        Self::with_bits(params, bits)
+    }
+
+    /// Creates an empty filter with an explicit bit count.
+    pub fn with_bits(params: BloomParams, bits: u64) -> Self {
+        let bits = bits.max(64);
+        let words = vec![0u64; bits.div_ceil(64) as usize];
+        Self {
+            params,
+            bits,
+            words,
+            entries: 0,
+        }
+    }
+
+    /// Rebuilds a filter from raw parts (wire decode, snapshot load).
+    pub fn from_parts(params: BloomParams, bits: u64, words: Vec<u64>, entries: u64) -> RlsResult<Self> {
+        if bits == 0 || words.len() as u64 != bits.div_ceil(64) {
+            return Err(RlsError::new(
+                ErrorCode::Protocol,
+                format!(
+                    "bloom filter shape mismatch: {bits} bits vs {} words",
+                    words.len()
+                ),
+            ));
+        }
+        Ok(Self {
+            params,
+            bits,
+            words,
+            entries,
+        })
+    }
+
+    /// The filter parameters.
+    #[inline]
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn bit_len(&self) -> u64 {
+        self.bits
+    }
+
+    /// Size of the bitmap in bytes (what a soft-state update transfers).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Approximate number of inserted entries.
+    #[inline]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// The raw bitmap words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &str) {
+        let h = DoubleHasher::new(key.as_bytes());
+        for i in 0..self.params.hashes {
+            let idx = h.index(i, self.bits);
+            self.words[(idx / 64) as usize] |= 1u64 << (idx % 64);
+        }
+        self.entries += 1;
+    }
+
+    /// Membership test. False positives possible, false negatives not.
+    pub fn contains(&self, key: &str) -> bool {
+        let h = DoubleHasher::new(key.as_bytes());
+        (0..self.params.hashes).all(|i| {
+            let idx = h.index(i, self.bits);
+            self.words[(idx / 64) as usize] & (1u64 << (idx % 64)) != 0
+        })
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.entries = 0;
+    }
+
+    /// Number of set bits.
+    pub fn set_bits(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Fraction of bits set.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.set_bits() as f64 / self.bits as f64
+        }
+    }
+
+    /// Estimated false-positive probability at the current fill level:
+    /// `fill_ratio ^ k`.
+    pub fn estimated_fpp(&self) -> f64 {
+        self.fill_ratio().powi(self.params.hashes as i32)
+    }
+
+    /// In-place union with a same-shaped filter.
+    ///
+    /// Used by hierarchical RLIs that forward aggregated summaries upward
+    /// (§7 of the paper).
+    pub fn union_with(&mut self, other: &BloomFilter) -> RlsResult<()> {
+        if self.bits != other.bits || self.params != other.params {
+            return Err(RlsError::new(
+                ErrorCode::UpdateRejected,
+                "bloom union requires identical shape and parameters",
+            ));
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        self.entries = self.entries.saturating_add(other.entries);
+        Ok(())
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(cap: u64) -> BloomFilter {
+        BloomFilter::with_capacity(BloomParams::PAPER, cap)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = filter(1000);
+        let keys: Vec<String> = (0..1000).map(|i| format!("lfn://t/file{i:05}")).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.contains(k), "false negative on {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_design_point() {
+        let mut f = filter(10_000);
+        for i in 0..10_000 {
+            f.insert(&format!("lfn://present/{i}"));
+        }
+        let mut fp = 0u32;
+        let probes = 20_000;
+        for i in 0..probes {
+            if f.contains(&format!("lfn://absent/{i}")) {
+                fp += 1;
+            }
+        }
+        let rate = f64::from(fp) / f64::from(probes);
+        // Paper: ~1%. Allow generous slack for hash variance.
+        assert!(rate < 0.03, "observed fpp {rate}");
+    }
+
+    #[test]
+    fn paper_sizing_one_million_entries() {
+        let f = filter(1_000_000);
+        assert_eq!(f.bit_len(), 10_000_000);
+        assert_eq!(f.byte_len(), 10_000_000_usize.div_ceil(64) * 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = filter(100);
+        f.insert("a");
+        assert!(!f.is_empty());
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.entries(), 0);
+        assert!(!f.contains("a") || f.set_bits() == 0);
+    }
+
+    #[test]
+    fn union_matches_inserting_both_sets() {
+        let mut a = filter(100);
+        let mut b = filter(100);
+        let mut both = filter(100);
+        for i in 0..50 {
+            a.insert(&format!("a{i}"));
+            both.insert(&format!("a{i}"));
+        }
+        for i in 0..50 {
+            b.insert(&format!("b{i}"));
+            both.insert(&format!("b{i}"));
+        }
+        a.union_with(&b).unwrap();
+        assert_eq!(a.words(), both.words());
+        assert_eq!(a.entries(), 100);
+    }
+
+    #[test]
+    fn union_shape_mismatch_rejected() {
+        let mut a = filter(100);
+        let b = filter(100_000);
+        assert!(a.union_with(&b).is_err());
+    }
+
+    #[test]
+    fn fill_ratio_and_fpp_estimates() {
+        let mut f = filter(1000);
+        assert_eq!(f.fill_ratio(), 0.0);
+        assert_eq!(f.estimated_fpp(), 0.0);
+        for i in 0..1000 {
+            f.insert(&format!("k{i}"));
+        }
+        let fill = f.fill_ratio();
+        // With 10 bits/entry and 3 hashes, expected fill ≈ 1 - e^{-0.3} ≈ 0.26.
+        assert!((0.2..0.35).contains(&fill), "fill={fill}");
+        assert!(f.estimated_fpp() < 0.05);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        let f = filter(100);
+        let ok = BloomFilter::from_parts(f.params(), f.bit_len(), f.words().to_vec(), 0);
+        assert!(ok.is_ok());
+        let bad = BloomFilter::from_parts(f.params(), f.bit_len() + 64, f.words().to_vec(), 0);
+        assert!(bad.is_err());
+        let zero = BloomFilter::from_parts(f.params(), 0, vec![], 0);
+        assert!(zero.is_err());
+    }
+
+    #[test]
+    fn minimum_filter_still_works() {
+        let mut f = BloomFilter::with_bits(BloomParams::PAPER, 1);
+        assert_eq!(f.bit_len(), 64);
+        f.insert("x");
+        assert!(f.contains("x"));
+    }
+}

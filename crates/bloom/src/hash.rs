@@ -1,0 +1,128 @@
+//! Hash functions for Bloom filters.
+//!
+//! The classic *double hashing* scheme of Kirsch & Mitzenmacher: derive two
+//! independent 64-bit hashes `h1`, `h2` of the key, then use
+//! `g_i = h1 + i·h2 (mod m)` as the `i`-th probe. This costs one pass over
+//! the key regardless of the number of hash functions, which matters because
+//! filter generation over millions of names is a measured quantity in the
+//! paper (Table 3, column 3).
+//!
+//! `h1` is FNV-1a; `h2` is FNV-1a finalized through a splitmix64 avalanche
+//! with a different seed, which decorrelates it from `h1` sufficiently for
+//! Bloom-filter purposes (validated by the false-positive property tests in
+//! `filter.rs`).
+
+/// FNV-1a 64-bit over a byte slice.
+#[inline]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// splitmix64 finalizer: a fast, high-quality 64-bit avalanche.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The two base hashes used by double hashing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoubleHasher {
+    h1: u64,
+    h2: u64,
+}
+
+impl DoubleHasher {
+    /// Hashes a key once, producing both base hashes.
+    #[inline]
+    pub fn new(key: &[u8]) -> Self {
+        let h1 = fnv1a_64(key);
+        // Mix with a distinct seed so h2 is independent of h1 even for keys
+        // that differ only in their final byte.
+        let h2 = splitmix64(h1 ^ 0x51_7c_c1_b7_27_22_0a_95) | 1; // odd ⇒ full period mod 2^k
+        Self { h1, h2 }
+    }
+
+    /// The `i`-th probe index in `[0, m)`.
+    #[inline]
+    pub fn index(&self, i: u32, m: u64) -> u64 {
+        debug_assert!(m > 0);
+        self.h1.wrapping_add(u64::from(i).wrapping_mul(self.h2)) % m
+    }
+}
+
+/// Yields the `k` bit indexes for `key` in a filter of `m` bits.
+#[inline]
+pub fn bloom_indexes(key: &[u8], k: u32, m: u64) -> impl Iterator<Item = u64> {
+    let h = DoubleHasher::new(key);
+    (0..k).map(move |i| h.index(i, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn splitmix_avalanche() {
+        // Single-bit input changes flip roughly half the output bits.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped={flipped}");
+    }
+
+    #[test]
+    fn double_hasher_deterministic() {
+        let a = DoubleHasher::new(b"lfn://x/file1");
+        let b = DoubleHasher::new(b"lfn://x/file1");
+        assert_eq!(a, b);
+        assert_eq!(a.index(2, 1000), b.index(2, 1000));
+    }
+
+    #[test]
+    fn h2_is_odd() {
+        for i in 0..100u32 {
+            let h = DoubleHasher::new(format!("key{i}").as_bytes());
+            assert_eq!(h.h2 & 1, 1);
+        }
+    }
+
+    #[test]
+    fn indexes_within_bounds_and_spread() {
+        let m = 997u64;
+        let mut seen = HashSet::new();
+        for i in 0..500u32 {
+            for idx in bloom_indexes(format!("lfn://spread/{i}").as_bytes(), 3, m) {
+                assert!(idx < m);
+                seen.insert(idx);
+            }
+        }
+        // 1500 probes into 997 slots should touch most of the table.
+        assert!(seen.len() > 700, "coverage={}", seen.len());
+    }
+
+    #[test]
+    fn similar_keys_get_different_probes() {
+        let a: Vec<u64> = bloom_indexes(b"file0001", 3, 1 << 20).collect();
+        let b: Vec<u64> = bloom_indexes(b"file0002", 3, 1 << 20).collect();
+        assert_ne!(a, b);
+    }
+}

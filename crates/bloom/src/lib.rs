@@ -1,0 +1,33 @@
+//! # `rls-bloom`
+//!
+//! Bloom filters for soft-state compression, as in §3.4 of the paper:
+//!
+//! > *"A Bloom filter that summarizes the state of an LRC is constructed by
+//! > performing multiple hash functions on each logical name registered in
+//! > the LRC and setting the corresponding bits in the Bloom filter. The
+//! > resulting bit map is sent to an RLI, which stores one Bloom filter per
+//! > LRC."*
+//!
+//! The paper's deployment parameters — reproduced as the defaults of
+//! [`BloomParams`] — are **10 bits per mapping** and **3 hash functions**,
+//! giving ≈1 % false positives at design capacity.
+//!
+//! Two filter flavours:
+//!
+//! * [`BloomFilter`] — the plain bitmap that travels over the wire and lives
+//!   in RLI memory.
+//! * [`CountingBloomFilter`] — kept *locally* by the LRC so that deletions
+//!   can clear bits without regenerating the filter from the database
+//!   (the paper: *"subsequent updates to LRC mappings can be reflected by
+//!   setting or unsetting the corresponding bits"* — which requires counts
+//!   to know when the last contributor of a bit is gone).
+
+pub mod counting;
+pub mod filter;
+pub mod hash;
+pub mod params;
+
+pub use counting::CountingBloomFilter;
+pub use filter::BloomFilter;
+pub use hash::{bloom_indexes, fnv1a_64, splitmix64, DoubleHasher};
+pub use params::BloomParams;

@@ -1,0 +1,92 @@
+//! Filter sizing policy.
+
+use serde::{Deserialize, Serialize};
+
+/// Bloom filter parameters.
+///
+/// Paper defaults (§3.4): *"Our implementation sets the Bloom filter size
+/// based on the number of mappings in an LRC (e.g., 10 million bits for
+/// approximately 1 million entries). We calculate three hash values for
+/// every logical name. These parameters give a false positive rate of
+/// approximately 1%."*
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomParams {
+    /// Bits allocated per expected entry (paper: 10).
+    pub bits_per_entry: u32,
+    /// Number of hash functions (paper: 3).
+    pub hashes: u32,
+}
+
+impl Default for BloomParams {
+    fn default() -> Self {
+        Self {
+            bits_per_entry: 10,
+            hashes: 3,
+        }
+    }
+}
+
+impl BloomParams {
+    /// Paper-default parameters.
+    pub const PAPER: Self = Self {
+        bits_per_entry: 10,
+        hashes: 3,
+    };
+
+    /// Parameters tuned for a target entry budget, picking the bit count for
+    /// `capacity` expected entries. Filters are never smaller than 64 bits.
+    pub fn bits_for_capacity(&self, capacity: u64) -> u64 {
+        (capacity.saturating_mul(u64::from(self.bits_per_entry))).max(64)
+    }
+
+    /// Theoretical false-positive probability with `n` entries in `m` bits:
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn theoretical_fpp(&self, n: u64, m: u64) -> f64 {
+        if m == 0 {
+            return 1.0;
+        }
+        let k = f64::from(self.hashes);
+        let exponent = -k * n as f64 / m as f64;
+        (1.0 - exponent.exp()).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = BloomParams::default();
+        assert_eq!(p.bits_per_entry, 10);
+        assert_eq!(p.hashes, 3);
+        // 1M entries → 10M bits, as in the paper.
+        assert_eq!(p.bits_for_capacity(1_000_000), 10_000_000);
+    }
+
+    #[test]
+    fn paper_fpp_is_about_one_percent() {
+        let p = BloomParams::PAPER;
+        let fpp = p.theoretical_fpp(1_000_000, p.bits_for_capacity(1_000_000));
+        assert!((0.005..0.03).contains(&fpp), "fpp={fpp}");
+    }
+
+    #[test]
+    fn minimum_size_enforced() {
+        assert_eq!(BloomParams::PAPER.bits_for_capacity(0), 64);
+        assert_eq!(BloomParams::PAPER.bits_for_capacity(1), 64);
+    }
+
+    #[test]
+    fn fpp_monotone_in_load() {
+        let p = BloomParams::PAPER;
+        let m = p.bits_for_capacity(1000);
+        assert!(p.theoretical_fpp(100, m) < p.theoretical_fpp(1000, m));
+        assert!(p.theoretical_fpp(1000, m) < p.theoretical_fpp(10_000, m));
+    }
+
+    #[test]
+    fn degenerate_zero_bits() {
+        assert_eq!(BloomParams::PAPER.theoretical_fpp(10, 0), 1.0);
+    }
+}

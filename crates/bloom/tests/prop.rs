@@ -1,0 +1,109 @@
+//! Property-based tests for the Bloom filter invariants the RLS relies on.
+
+use proptest::collection::{hash_set, vec};
+use proptest::prelude::*;
+
+use rls_bloom::{BloomFilter, BloomParams, CountingBloomFilter};
+
+fn arb_key() -> impl Strategy<Value = String> {
+    "[a-z0-9/:_.-]{1,40}"
+}
+
+proptest! {
+    /// Any inserted key must test positive (no false negatives) — the
+    /// property that makes Bloom-compressed RLIs sound: an RLI may point a
+    /// client at an LRC that lacks the mapping (false positive), but must
+    /// never hide an LRC that has it.
+    #[test]
+    fn no_false_negatives(keys in vec(arb_key(), 1..300)) {
+        let mut f = BloomFilter::with_capacity(BloomParams::PAPER, keys.len() as u64);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// The counting filter's exported bitmap equals a plain filter built
+    /// from the same *surviving* key multiset, for any interleaving of
+    /// inserts and removes (absent counter saturation, which needs ≥15
+    /// collisions on one counter — unreachable at these sizes).
+    #[test]
+    fn counting_filter_tracks_survivors(
+        keys in hash_set(arb_key(), 1..100),
+        remove_mask in vec(any::<bool>(), 100),
+    ) {
+        let keys: Vec<String> = keys.into_iter().collect();
+        let mut c = CountingBloomFilter::with_capacity(BloomParams::PAPER, 1000);
+        for k in &keys {
+            c.insert(k);
+        }
+        let mut survivors = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            if remove_mask.get(i).copied().unwrap_or(false) {
+                c.remove(k);
+            } else {
+                survivors.push(k.clone());
+            }
+        }
+        let mut expect = BloomFilter::with_bits(BloomParams::PAPER, c.bit_len());
+        for k in &survivors {
+            expect.insert(k);
+        }
+        let exported = c.to_bitmap();
+        prop_assert_eq!(exported.words(), expect.words());
+    }
+
+    /// Union is commutative and contains everything either side contains.
+    #[test]
+    fn union_is_superset_and_commutative(
+        a_keys in vec(arb_key(), 0..100),
+        b_keys in vec(arb_key(), 0..100),
+    ) {
+        let mk = |keys: &[String]| {
+            let mut f = BloomFilter::with_bits(BloomParams::PAPER, 4096);
+            for k in keys {
+                f.insert(k);
+            }
+            f
+        };
+        let a = mk(&a_keys);
+        let b = mk(&b_keys);
+        let mut ab = a.clone();
+        ab.union_with(&b).unwrap();
+        let mut ba = b.clone();
+        ba.union_with(&a).unwrap();
+        prop_assert_eq!(ab.words(), ba.words());
+        for k in a_keys.iter().chain(&b_keys) {
+            prop_assert!(ab.contains(k));
+        }
+    }
+
+    /// Serialization round-trip via raw parts preserves behaviour.
+    #[test]
+    fn parts_round_trip(keys in vec(arb_key(), 0..100)) {
+        let mut f = BloomFilter::with_bits(BloomParams::PAPER, 2048);
+        for k in &keys {
+            f.insert(k);
+        }
+        let g = BloomFilter::from_parts(
+            f.params(), f.bit_len(), f.words().to_vec(), f.entries(),
+        ).unwrap();
+        prop_assert_eq!(&f, &g);
+        for k in &keys {
+            prop_assert!(g.contains(k));
+        }
+    }
+
+    /// Probe indexes are deterministic and in-bounds for any key and size.
+    #[test]
+    fn probe_bounds(key in arb_key(), m in 1u64..1_000_000) {
+        for idx in rls_bloom::bloom_indexes(key.as_bytes(), 3, m) {
+            prop_assert!(idx < m);
+        }
+        let a: Vec<u64> = rls_bloom::bloom_indexes(key.as_bytes(), 3, m).collect();
+        let b: Vec<u64> = rls_bloom::bloom_indexes(key.as_bytes(), 3, m).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Authentication and authorization (§3.1 of the paper).
+//!
+//! On connect, the client's Hello carries its distinguished name (the
+//! stand-in for GSI certificate authentication — DESIGN.md §2). The server
+//! maps the DN through the gridmap to a local username, then evaluates ACL
+//! entries — regexes over the DN or local user — to decide per-operation
+//! privileges (`lrc_read`, `lrc_write`, `rli_read`, `rli_write`, `admin`).
+
+use rls_proto::Request;
+use rls_types::{Dn, Privilege, RlsError, RlsResult};
+
+use crate::config::AuthConfig;
+
+/// The authenticated identity of a connection.
+#[derive(Clone, Debug)]
+pub struct Identity {
+    /// Distinguished name from the handshake.
+    pub dn: Dn,
+    /// Local username from the gridmap, if mapped.
+    pub local_user: Option<String>,
+}
+
+impl Identity {
+    /// The identity used when authentication is disabled.
+    pub fn anonymous() -> Self {
+        Self {
+            dn: Dn::anonymous(),
+            local_user: None,
+        }
+    }
+}
+
+/// Evaluates ACLs for a server.
+#[derive(Debug)]
+pub struct Authorizer {
+    config: AuthConfig,
+}
+
+impl Authorizer {
+    /// Wraps an auth configuration.
+    pub fn new(config: AuthConfig) -> Self {
+        Self { config }
+    }
+
+    /// Whether authentication is enforced at all.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Resolves a DN into a connection identity (gridmap lookup).
+    pub fn authenticate(&self, dn: Dn) -> Identity {
+        let local_user = self.config.gridmap.get(dn.as_str()).cloned();
+        Identity { dn, local_user }
+    }
+
+    /// Checks that `identity` holds `privilege`.
+    pub fn check(&self, identity: &Identity, privilege: Privilege) -> RlsResult<()> {
+        if !self.config.enabled {
+            return Ok(());
+        }
+        let granted = self.config.acl.iter().any(|entry| {
+            entry.grants(&identity.dn, identity.local_user.as_deref(), privilege)
+        });
+        if granted {
+            Ok(())
+        } else {
+            Err(RlsError::denied(format!(
+                "{} lacks privilege {privilege}",
+                identity.dn
+            )))
+        }
+    }
+}
+
+/// The privilege each request requires.
+pub fn required_privilege(req: &Request) -> Option<Privilege> {
+    use Request::*;
+    Some(match req {
+        Hello { .. } | Ping => return None,
+        Create(_) | Add(_) | Delete(_) | BulkCreate(_) | BulkAdd(_) | BulkDelete(_)
+        | DefineAttr(_) | UndefineAttr { .. } | AddAttr(_) | ModifyAttr(_)
+        | RemoveAttr { .. } | BulkAddAttr(_) | BulkModifyAttr(_) | BulkRemoveAttr(_) => {
+            Privilege::LrcWrite
+        }
+        QueryLfn(_) | QueryPfn(_) | BulkQueryLfn(_) | WildcardQueryLfn { .. }
+        | WildcardQueryPfn { .. } | GetAttrs { .. } | SearchAttr { .. } | ListRlis => {
+            Privilege::LrcRead
+        }
+        AddRli { .. } | RemoveRli { .. } => Privilege::Admin,
+        RliQueryLfn(_) | RliBulkQueryLfn(_) | RliWildcardQuery { .. } | RliListLrcs => {
+            Privilege::RliRead
+        }
+        SoftStateFull { .. } | SoftStateDelta { .. } | SoftStateBloom { .. } => {
+            Privilege::RliWrite
+        }
+        Stats => Privilege::Admin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_types::{AclEntry, AclSubject};
+
+    fn authz() -> Authorizer {
+        let mut cfg = AuthConfig {
+            enabled: true,
+            ..Default::default()
+        };
+        cfg.gridmap
+            .insert("/O=Grid/OU=ISI/CN=Ann".to_owned(), "ann".to_owned());
+        cfg.acl.push(
+            AclEntry::new(
+                AclSubject::Dn,
+                "/O=Grid/OU=ISI/.*",
+                vec![Privilege::LrcRead, Privilege::RliRead],
+            )
+            .unwrap(),
+        );
+        cfg.acl.push(
+            AclEntry::new(AclSubject::LocalUser, "ann", vec![Privilege::LrcWrite]).unwrap(),
+        );
+        Authorizer::new(cfg)
+    }
+
+    #[test]
+    fn gridmap_resolution() {
+        let a = authz();
+        let id = a.authenticate(Dn::new("/O=Grid/OU=ISI/CN=Ann"));
+        assert_eq!(id.local_user.as_deref(), Some("ann"));
+        let id = a.authenticate(Dn::new("/O=Grid/OU=ISI/CN=Bob"));
+        assert_eq!(id.local_user, None);
+    }
+
+    #[test]
+    fn acl_by_dn_and_local_user() {
+        let a = authz();
+        let ann = a.authenticate(Dn::new("/O=Grid/OU=ISI/CN=Ann"));
+        let bob = a.authenticate(Dn::new("/O=Grid/OU=ISI/CN=Bob"));
+        let eve = a.authenticate(Dn::new("/O=Grid/OU=UCLA/CN=Eve"));
+        // Everyone at ISI can read.
+        assert!(a.check(&ann, Privilege::LrcRead).is_ok());
+        assert!(a.check(&bob, Privilege::LrcRead).is_ok());
+        assert!(a.check(&eve, Privilege::LrcRead).is_err());
+        // Only ann (via gridmap + local-user ACL) can write.
+        assert!(a.check(&ann, Privilege::LrcWrite).is_ok());
+        assert!(a.check(&bob, Privilege::LrcWrite).is_err());
+        // Nobody has admin.
+        assert!(a.check(&ann, Privilege::Admin).is_err());
+    }
+
+    #[test]
+    fn disabled_auth_allows_everything() {
+        let a = Authorizer::new(AuthConfig::default());
+        let id = Identity::anonymous();
+        for p in [
+            Privilege::LrcRead,
+            Privilege::LrcWrite,
+            Privilege::RliRead,
+            Privilege::RliWrite,
+            Privilege::Admin,
+        ] {
+            assert!(a.check(&id, p).is_ok());
+        }
+    }
+
+    #[test]
+    fn privilege_mapping_covers_request_classes() {
+        use rls_types::Mapping;
+        let m = Mapping::new("lfn://a", "pfn://a").unwrap();
+        assert_eq!(required_privilege(&Request::Ping), None);
+        assert_eq!(
+            required_privilege(&Request::Create(m.clone())),
+            Some(Privilege::LrcWrite)
+        );
+        assert_eq!(
+            required_privilege(&Request::QueryLfn("x".into())),
+            Some(Privilege::LrcRead)
+        );
+        assert_eq!(
+            required_privilege(&Request::RliQueryLfn("x".into())),
+            Some(Privilege::RliRead)
+        );
+        assert_eq!(
+            required_privilege(&Request::SoftStateDelta {
+                lrc: "l".into(),
+                added: vec![],
+                removed: vec![]
+            }),
+            Some(Privilege::RliWrite)
+        );
+        assert_eq!(required_privilege(&Request::Stats), Some(Privilege::Admin));
+    }
+}

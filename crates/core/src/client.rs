@@ -1,0 +1,475 @@
+//! The RLS client library: a typed wrapper over one protocol connection.
+//!
+//! The original implementation ships a C client (plus a Java wrapper);
+//! [`RlsClient`] is the equivalent surface — every LRC and RLI operation of
+//! the paper's Table 1, the bulk variants, and the soft-state update calls
+//! the update threads use.
+
+use std::net::ToSocketAddrs;
+
+use rls_bloom::BloomFilter;
+use rls_net::{connect, Conn, LinkProfile, SharedIngress};
+use rls_proto::{
+    AttrAssignment, Request, Response, RliHit, RliTargetWire, ServerStatsWire, PROTOCOL_VERSION,
+};
+use rls_types::{
+    AttrCompare, AttrValue, AttributeDef, Dn, Mapping, ObjectType, RlsError, RlsResult,
+};
+
+/// Per-name results of a bulk LRC query.
+pub type BulkLfnResults = Vec<(String, Result<Vec<String>, RlsError>)>;
+/// Per-name results of a bulk RLI query.
+pub type BulkRliResults = Vec<(String, Result<Vec<RliHit>, RlsError>)>;
+
+/// A connected, authenticated RLS client.
+pub struct RlsClient {
+    conn: Conn,
+    server_version: String,
+    is_lrc: bool,
+    is_rli: bool,
+}
+
+impl std::fmt::Debug for RlsClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RlsClient")
+            .field("server_version", &self.server_version)
+            .field("is_lrc", &self.is_lrc)
+            .field("is_rli", &self.is_rli)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RlsClient {
+    /// Connects over an unshaped link (local clients).
+    pub fn connect(addr: impl ToSocketAddrs, dn: &Dn) -> RlsResult<Self> {
+        Self::connect_shaped(addr, dn, LinkProfile::unshaped(), None)
+    }
+
+    /// Connects with link shaping (WAN/LAN emulation) and an optional
+    /// shared-ingress pool.
+    pub fn connect_shaped(
+        addr: impl ToSocketAddrs,
+        dn: &Dn,
+        link: LinkProfile,
+        ingress: Option<SharedIngress>,
+    ) -> RlsResult<Self> {
+        let conn = connect(addr, link, ingress)?;
+        let mut client = Self {
+            conn,
+            server_version: String::new(),
+            is_lrc: false,
+            is_rli: false,
+        };
+        let resp = client.call(&Request::Hello {
+            dn: dn.clone(),
+            version: PROTOCOL_VERSION,
+        })?;
+        let Response::HelloAck {
+            server_version,
+            is_lrc,
+            is_rli,
+        } = resp
+        else {
+            return Err(RlsError::protocol("expected HelloAck"));
+        };
+        client.server_version = server_version;
+        client.is_lrc = is_lrc;
+        client.is_rli = is_rli;
+        Ok(client)
+    }
+
+    /// The server's reported software version.
+    pub fn server_version(&self) -> &str {
+        &self.server_version
+    }
+
+    /// Whether the server acts as an LRC.
+    pub fn server_is_lrc(&self) -> bool {
+        self.is_lrc
+    }
+
+    /// Whether the server acts as an RLI.
+    pub fn server_is_rli(&self) -> bool {
+        self.is_rli
+    }
+
+    /// One request/response exchange; `Response::Error` becomes `Err`.
+    pub fn call(&mut self, req: &Request) -> RlsResult<Response> {
+        let body = req.encode().into_bytes();
+        let resp_body = self.conn.request(&body)?;
+        let resp = Response::decode(&resp_body)?;
+        if let Response::Error(e) = resp {
+            return Err(e);
+        }
+        Ok(resp)
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> RlsResult<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            other => Err(RlsError::protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> RlsResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(RlsError::protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    // -- mapping management ---------------------------------------------------
+
+    /// Registers a new logical name with its first replica mapping.
+    pub fn create_mapping(&mut self, lfn: &str, target: &str) -> RlsResult<()> {
+        self.expect_ok(&Request::Create(Mapping::new(lfn, target)?))
+    }
+
+    /// Adds a replica mapping to an existing logical name.
+    pub fn add_mapping(&mut self, lfn: &str, target: &str) -> RlsResult<()> {
+        self.expect_ok(&Request::Add(Mapping::new(lfn, target)?))
+    }
+
+    /// Deletes one mapping.
+    pub fn delete_mapping(&mut self, lfn: &str, target: &str) -> RlsResult<()> {
+        self.expect_ok(&Request::Delete(Mapping::new(lfn, target)?))
+    }
+
+    fn bulk_call(&mut self, req: &Request) -> RlsResult<Vec<(u32, RlsError)>> {
+        match self.call(req)? {
+            Response::BulkStatus(failures) => Ok(failures),
+            other => Err(RlsError::protocol(format!(
+                "expected BulkStatus, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bulk create; returns `(index, error)` for failed items.
+    pub fn bulk_create(&mut self, mappings: Vec<Mapping>) -> RlsResult<Vec<(u32, RlsError)>> {
+        self.bulk_call(&Request::BulkCreate(mappings))
+    }
+
+    /// Bulk add.
+    pub fn bulk_add(&mut self, mappings: Vec<Mapping>) -> RlsResult<Vec<(u32, RlsError)>> {
+        self.bulk_call(&Request::BulkAdd(mappings))
+    }
+
+    /// Bulk delete.
+    pub fn bulk_delete(&mut self, mappings: Vec<Mapping>) -> RlsResult<Vec<(u32, RlsError)>> {
+        self.bulk_call(&Request::BulkDelete(mappings))
+    }
+
+    // -- queries ---------------------------------------------------------------
+
+    /// Replica targets for a logical name.
+    pub fn query_lfn(&mut self, lfn: &str) -> RlsResult<Vec<String>> {
+        match self.call(&Request::QueryLfn(lfn.to_owned()))? {
+            Response::Targets(t) => Ok(t),
+            other => Err(RlsError::protocol(format!("expected Targets, got {other:?}"))),
+        }
+    }
+
+    /// Logical names for a target name.
+    pub fn query_pfn(&mut self, pfn: &str) -> RlsResult<Vec<String>> {
+        match self.call(&Request::QueryPfn(pfn.to_owned()))? {
+            Response::Logicals(l) => Ok(l),
+            other => Err(RlsError::protocol(format!(
+                "expected Logicals, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bulk logical-name query.
+    pub fn bulk_query_lfn(
+        &mut self,
+        names: Vec<String>,
+    ) -> RlsResult<BulkLfnResults> {
+        match self.call(&Request::BulkQueryLfn(names))? {
+            Response::BulkLfnResults(r) => Ok(r),
+            other => Err(RlsError::protocol(format!(
+                "expected BulkLfnResults, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Wildcard query over logical names.
+    pub fn wildcard_query_lfn(&mut self, pattern: &str, limit: u32) -> RlsResult<Vec<Mapping>> {
+        match self.call(&Request::WildcardQueryLfn {
+            pattern: pattern.to_owned(),
+            limit,
+        })? {
+            Response::Mappings(m) => Ok(m),
+            other => Err(RlsError::protocol(format!(
+                "expected Mappings, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Wildcard query over target names.
+    pub fn wildcard_query_pfn(&mut self, pattern: &str, limit: u32) -> RlsResult<Vec<Mapping>> {
+        match self.call(&Request::WildcardQueryPfn {
+            pattern: pattern.to_owned(),
+            limit,
+        })? {
+            Response::Mappings(m) => Ok(m),
+            other => Err(RlsError::protocol(format!(
+                "expected Mappings, got {other:?}"
+            ))),
+        }
+    }
+
+    // -- attributes --------------------------------------------------------------
+
+    /// Defines an attribute.
+    pub fn define_attribute(&mut self, def: AttributeDef) -> RlsResult<()> {
+        self.expect_ok(&Request::DefineAttr(def))
+    }
+
+    /// Removes an attribute definition.
+    pub fn undefine_attribute(
+        &mut self,
+        name: &str,
+        objtype: ObjectType,
+        clear_values: bool,
+    ) -> RlsResult<()> {
+        self.expect_ok(&Request::UndefineAttr {
+            name: name.to_owned(),
+            objtype,
+            clear_values,
+        })
+    }
+
+    /// Attaches an attribute value to an object.
+    pub fn add_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        name: &str,
+        value: AttrValue,
+    ) -> RlsResult<()> {
+        self.expect_ok(&Request::AddAttr(AttrAssignment {
+            obj: obj.to_owned(),
+            objtype,
+            name: name.to_owned(),
+            value,
+        }))
+    }
+
+    /// Replaces an attribute value.
+    pub fn modify_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        name: &str,
+        value: AttrValue,
+    ) -> RlsResult<()> {
+        self.expect_ok(&Request::ModifyAttr(AttrAssignment {
+            obj: obj.to_owned(),
+            objtype,
+            name: name.to_owned(),
+            value,
+        }))
+    }
+
+    /// Detaches an attribute value.
+    pub fn remove_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        name: &str,
+    ) -> RlsResult<()> {
+        self.expect_ok(&Request::RemoveAttr {
+            obj: obj.to_owned(),
+            objtype,
+            name: name.to_owned(),
+        })
+    }
+
+    /// Reads attributes of an object.
+    pub fn get_attributes(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        name: Option<&str>,
+    ) -> RlsResult<Vec<(String, AttrValue)>> {
+        match self.call(&Request::GetAttrs {
+            obj: obj.to_owned(),
+            objtype,
+            name: name.map(str::to_owned),
+        })? {
+            Response::Attrs(a) => Ok(a),
+            other => Err(RlsError::protocol(format!("expected Attrs, got {other:?}"))),
+        }
+    }
+
+    /// Searches objects by attribute value.
+    pub fn search_attribute(
+        &mut self,
+        name: &str,
+        objtype: ObjectType,
+        op: AttrCompare,
+        operand: Option<AttrValue>,
+    ) -> RlsResult<Vec<(String, AttrValue)>> {
+        match self.call(&Request::SearchAttr {
+            name: name.to_owned(),
+            objtype,
+            op,
+            operand,
+        })? {
+            Response::Attrs(a) => Ok(a),
+            other => Err(RlsError::protocol(format!("expected Attrs, got {other:?}"))),
+        }
+    }
+
+    /// Bulk attribute attach.
+    pub fn bulk_add_attributes(
+        &mut self,
+        items: Vec<AttrAssignment>,
+    ) -> RlsResult<Vec<(u32, RlsError)>> {
+        self.bulk_call(&Request::BulkAddAttr(items))
+    }
+
+    /// Bulk attribute replace.
+    pub fn bulk_modify_attributes(
+        &mut self,
+        items: Vec<AttrAssignment>,
+    ) -> RlsResult<Vec<(u32, RlsError)>> {
+        self.bulk_call(&Request::BulkModifyAttr(items))
+    }
+
+    /// Bulk attribute detach.
+    pub fn bulk_remove_attributes(
+        &mut self,
+        items: Vec<(String, ObjectType, String)>,
+    ) -> RlsResult<Vec<(u32, RlsError)>> {
+        self.bulk_call(&Request::BulkRemoveAttr(items))
+    }
+
+    // -- LRC management ----------------------------------------------------------
+
+    /// Adds an RLI to the LRC's update list.
+    pub fn add_rli(&mut self, name: &str, flags: i64, patterns: Vec<String>) -> RlsResult<()> {
+        self.expect_ok(&Request::AddRli {
+            name: name.to_owned(),
+            flags,
+            patterns,
+        })
+    }
+
+    /// Removes an RLI from the update list.
+    pub fn remove_rli(&mut self, name: &str) -> RlsResult<()> {
+        self.expect_ok(&Request::RemoveRli {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Lists RLIs on the update list.
+    pub fn list_rlis(&mut self) -> RlsResult<Vec<RliTargetWire>> {
+        match self.call(&Request::ListRlis)? {
+            Response::Rlis(r) => Ok(r),
+            other => Err(RlsError::protocol(format!("expected Rlis, got {other:?}"))),
+        }
+    }
+
+    // -- RLI operations ------------------------------------------------------------
+
+    /// Which LRCs hold mappings for a logical name.
+    pub fn rli_query_lfn(&mut self, lfn: &str) -> RlsResult<Vec<RliHit>> {
+        match self.call(&Request::RliQueryLfn(lfn.to_owned()))? {
+            Response::RliHits(h) => Ok(h),
+            other => Err(RlsError::protocol(format!(
+                "expected RliHits, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bulk RLI query.
+    pub fn rli_bulk_query_lfn(
+        &mut self,
+        names: Vec<String>,
+    ) -> RlsResult<BulkRliResults> {
+        match self.call(&Request::RliBulkQueryLfn(names))? {
+            Response::RliBulkResults(r) => Ok(r),
+            other => Err(RlsError::protocol(format!(
+                "expected RliBulkResults, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Wildcard RLI query (uncompressed mode only).
+    pub fn rli_wildcard_query(
+        &mut self,
+        pattern: &str,
+        limit: u32,
+    ) -> RlsResult<Vec<(String, String)>> {
+        match self.call(&Request::RliWildcardQuery {
+            pattern: pattern.to_owned(),
+            limit,
+        })? {
+            Response::RliPairs(p) => Ok(p),
+            other => Err(RlsError::protocol(format!(
+                "expected RliPairs, got {other:?}"
+            ))),
+        }
+    }
+
+    /// LRCs updating this RLI.
+    pub fn rli_list_lrcs(&mut self) -> RlsResult<Vec<String>> {
+        match self.call(&Request::RliListLrcs)? {
+            Response::Names(n) => Ok(n),
+            other => Err(RlsError::protocol(format!("expected Names, got {other:?}"))),
+        }
+    }
+
+    // -- soft-state updates ---------------------------------------------------------
+
+    /// Sends one chunk of an uncompressed full update.
+    pub fn send_full_chunk(
+        &mut self,
+        lrc: &str,
+        update_id: u64,
+        seq: u32,
+        last: bool,
+        lfns: Vec<String>,
+    ) -> RlsResult<()> {
+        self.expect_ok(&Request::SoftStateFull {
+            lrc: lrc.to_owned(),
+            update_id,
+            seq,
+            last,
+            lfns,
+        })
+    }
+
+    /// Sends an incremental (immediate-mode) update.
+    pub fn send_delta(
+        &mut self,
+        lrc: &str,
+        added: Vec<String>,
+        removed: Vec<String>,
+    ) -> RlsResult<()> {
+        self.expect_ok(&Request::SoftStateDelta {
+            lrc: lrc.to_owned(),
+            added,
+            removed,
+        })
+    }
+
+    /// Ships a Bloom-filter summary.
+    pub fn send_bloom(&mut self, lrc: &str, filter: &BloomFilter) -> RlsResult<()> {
+        self.expect_ok(&Request::bloom_to_wire(lrc, filter))
+    }
+
+    // -- admin -------------------------------------------------------------------------
+
+    /// Fetches server statistics.
+    pub fn stats(&mut self) -> RlsResult<ServerStatsWire> {
+        match self.call(&Request::Stats)? {
+            Response::StatsReport(s) => Ok(s),
+            other => Err(RlsError::protocol(format!(
+                "expected StatsReport, got {other:?}"
+            ))),
+        }
+    }
+}

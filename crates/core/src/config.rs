@@ -1,0 +1,250 @@
+//! Server configuration.
+//!
+//! The original RLS server reads a flat config file (`rls-server.conf`)
+//! naming its roles, database DSNs, update targets and ACLs; we expose the
+//! same knobs as a builder-style struct. One server may be an LRC, an RLI,
+//! or both (§3.1: "our implementation consists of a common server that can
+//! be configured as an LRC, an RLI or both").
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rls_bloom::BloomParams;
+use rls_net::{LinkProfile, SharedIngress};
+use rls_storage::BackendProfile;
+use rls_types::{AclEntry, Dn};
+
+/// Soft-state update strategy (§3.2–3.5).
+#[derive(Clone, Debug)]
+pub enum UpdateMode {
+    /// No automatic updates (server still accepts manual triggers).
+    None,
+    /// Periodic uncompressed full updates.
+    Full {
+        /// Period between full updates.
+        interval: Duration,
+    },
+    /// Immediate mode (§3.3): frequent incremental deltas plus infrequent
+    /// full refreshes.
+    Immediate {
+        /// Delta flush interval (paper default: 30 s).
+        delta_interval: Duration,
+        /// Flush early after this many buffered LFN changes.
+        delta_threshold: usize,
+        /// Period between full refreshes (RLI entries expire without them).
+        full_interval: Duration,
+    },
+    /// Bloom-filter compressed updates (§3.4).
+    Bloom {
+        /// Period between filter pushes.
+        interval: Duration,
+        /// Filter sizing parameters.
+        params: BloomParams,
+    },
+}
+
+impl UpdateMode {
+    /// Immediate mode with the paper's defaults.
+    pub fn immediate_default() -> Self {
+        Self::Immediate {
+            delta_interval: Duration::from_secs(30),
+            delta_threshold: 100,
+            full_interval: Duration::from_secs(600),
+        }
+    }
+
+    /// True if this mode ships Bloom filters.
+    pub fn is_bloom(&self) -> bool {
+        matches!(self, Self::Bloom { .. })
+    }
+}
+
+/// How the LRC pushes soft state to its RLIs.
+#[derive(Clone, Debug)]
+pub struct UpdateConfig {
+    /// The strategy.
+    pub mode: UpdateMode,
+    /// Logical names per `SoftStateFull` frame (streaming chunk size).
+    pub chunk_size: usize,
+    /// Link profile for LRC→RLI connections (LAN/WAN emulation).
+    pub link: LinkProfile,
+    /// Optional shared ingress pool modelling the RLI's access link.
+    pub ingress: Option<SharedIngress>,
+    /// Spawn a background thread driving the update schedule.
+    pub auto: bool,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        Self {
+            mode: UpdateMode::None,
+            chunk_size: 10_000,
+            link: LinkProfile::unshaped(),
+            ingress: None,
+            auto: false,
+        }
+    }
+}
+
+/// LRC role configuration.
+#[derive(Clone, Debug)]
+pub struct LrcConfig {
+    /// Database backend profile.
+    pub profile: BackendProfile,
+    /// WAL path (durable catalogs); `None` keeps the catalog in memory.
+    pub wal_path: Option<PathBuf>,
+    /// Soft-state update behaviour.
+    pub update: UpdateConfig,
+}
+
+impl Default for LrcConfig {
+    fn default() -> Self {
+        Self {
+            profile: BackendProfile::mysql_buffered(),
+            wal_path: None,
+            update: UpdateConfig::default(),
+        }
+    }
+}
+
+/// RLI role configuration.
+#[derive(Clone, Debug)]
+pub struct RliConfig {
+    /// Backend profile for the relational store (uncompressed mode).
+    pub profile: BackendProfile,
+    /// WAL path for the relational store.
+    pub wal_path: Option<PathBuf>,
+    /// Soft-state information timeout: entries older than this expire.
+    pub expire_timeout: Duration,
+    /// How often the expire thread scans.
+    pub expire_interval: Duration,
+    /// Spawn the expire thread.
+    pub auto_expire: bool,
+}
+
+impl Default for RliConfig {
+    fn default() -> Self {
+        Self {
+            profile: BackendProfile::mysql_buffered(),
+            wal_path: None,
+            // The shipped RLS defaults the timeout to a multiple of the
+            // update interval; a generous default keeps tests deterministic.
+            expire_timeout: Duration::from_secs(24 * 3600),
+            expire_interval: Duration::from_secs(60),
+            auto_expire: false,
+        }
+    }
+}
+
+/// Authentication/authorization configuration (§3.1).
+#[derive(Clone, Debug, Default)]
+pub struct AuthConfig {
+    /// When false, the server runs open: "The RLS server can also be run
+    /// without any authentication or authorization, allowing all users the
+    /// ability to read and write RLS mappings."
+    pub enabled: bool,
+    /// Gridmap file contents: DN → local username.
+    pub gridmap: HashMap<String, String>,
+    /// Access-control entries evaluated against DN or mapped local user.
+    pub acl: Vec<AclEntry>,
+}
+
+/// Full server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Advertised identity used as the LRC name in soft-state updates.
+    /// Defaults to the bound address when empty.
+    pub name: String,
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub bind: SocketAddr,
+    /// The DN this server presents when connecting to other servers
+    /// (soft-state updates, hierarchical forwarding).
+    pub dn: Dn,
+    /// LRC role, if any.
+    pub lrc: Option<LrcConfig>,
+    /// RLI role, if any.
+    pub rli: Option<RliConfig>,
+    /// Authn/authz settings.
+    pub auth: AuthConfig,
+    /// Maximum concurrent client connections.
+    pub max_connections: usize,
+    /// Per-frame size cap.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            name: String::new(),
+            bind: "127.0.0.1:0".parse().expect("valid literal"),
+            dn: Dn::anonymous(),
+            lrc: None,
+            rli: None,
+            auth: AuthConfig::default(),
+            max_connections: 512,
+            max_frame: rls_proto::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A plain LRC with default settings.
+    pub fn lrc_default() -> Self {
+        Self {
+            lrc: Some(LrcConfig::default()),
+            ..Self::default()
+        }
+    }
+
+    /// A plain RLI with default settings.
+    pub fn rli_default() -> Self {
+        Self {
+            rli: Some(RliConfig::default()),
+            ..Self::default()
+        }
+    }
+
+    /// A combined LRC+RLI server (the Earth System Grid deployment shape).
+    pub fn combined_default() -> Self {
+        Self {
+            lrc: Some(LrcConfig::default()),
+            rli: Some(RliConfig::default()),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.lrc.is_none() && c.rli.is_none());
+        assert!(!c.auth.enabled);
+        assert_eq!(c.bind.ip().to_string(), "127.0.0.1");
+        let l = ServerConfig::lrc_default();
+        assert!(l.lrc.is_some() && l.rli.is_none());
+        let r = ServerConfig::rli_default();
+        assert!(r.rli.is_some() && r.lrc.is_none());
+        let b = ServerConfig::combined_default();
+        assert!(b.lrc.is_some() && b.rli.is_some());
+    }
+
+    #[test]
+    fn immediate_defaults_match_paper() {
+        let UpdateMode::Immediate { delta_interval, .. } = UpdateMode::immediate_default() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(delta_interval, Duration::from_secs(30));
+        assert!(!UpdateMode::immediate_default().is_bloom());
+        assert!(UpdateMode::Bloom {
+            interval: Duration::from_secs(60),
+            params: BloomParams::PAPER
+        }
+        .is_bloom());
+    }
+}

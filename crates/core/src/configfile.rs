@@ -1,0 +1,481 @@
+//! Configuration-file parsing.
+//!
+//! The original server reads a flat `rls-server.conf`; we accept the same
+//! style — `key value` lines, `#` comments — with keys mirroring the
+//! documented Globus options where they exist and namespaced extensions
+//! where this implementation adds knobs:
+//!
+//! ```text
+//! # roles
+//! lrc_server        true
+//! rli_server        true
+//!
+//! # identity / bind
+//! server_name       lrc-isi
+//! bind              127.0.0.1:39281
+//!
+//! # storage backend
+//! db_vendor         mysql          # mysql | postgres
+//! db_flush          disabled       # enabled | disabled | none
+//! db_wal            /var/lib/rls/lrc.wal
+//!
+//! # soft-state updates (choose one mode)
+//! update_mode       bloom          # none | full | immediate | bloom
+//! update_interval   300            # seconds
+//! update_immediate_threshold 100
+//! update_bloom_bits_per_entry 10
+//! update_bloom_hashes 3
+//! update_rli        rli-east.example.org:39281
+//! update_rli        rli-west.example.org:39281 bloom ^lfn://ligo/.*
+//!
+//! # RLI expiry
+//! rli_expire_int    60
+//! rli_expire_stale  1800
+//!
+//! # security
+//! acl_enabled       true
+//! gridmap           "/O=Grid/OU=ISI/CN=Ann Chervenak" ann
+//! acl               dn:/O=Grid/OU=ISI/.* lrc_read,lrc_write
+//! acl               user:ann admin
+//! ```
+//!
+//! `update_rli` lines are applied to the LRC's update list after startup
+//! (they are catalog state in the original too — the `t_rli` table).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rls_bloom::BloomParams;
+use rls_storage::{BackendProfile, FlushMode, Vendor};
+use rls_types::{AclEntry, AclSubject, Privilege, RlsError, RlsResult};
+
+use crate::config::{AuthConfig, LrcConfig, RliConfig, ServerConfig, UpdateConfig, UpdateMode};
+
+/// An `update_rli` directive: target plus mode flag and partition patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateRliDirective {
+    /// RLI address.
+    pub name: String,
+    /// Request Bloom-compressed updates.
+    pub bloom: bool,
+    /// Partition patterns.
+    pub patterns: Vec<String>,
+}
+
+/// A parsed configuration file: the server config plus directives that
+/// apply to catalog state.
+#[derive(Debug)]
+pub struct ParsedConfig {
+    /// The server configuration.
+    pub server: ServerConfig,
+    /// RLIs to register on the LRC's update list at startup.
+    pub update_rlis: Vec<UpdateRliDirective>,
+}
+
+/// Splits one line into whitespace-separated fields, honouring
+/// double-quoted strings (DNs contain spaces).
+fn split_fields(line: &str) -> RlsResult<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    fields.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(RlsError::bad_request("unterminated quote in config line"));
+    }
+    if !cur.is_empty() {
+        fields.push(cur);
+    }
+    Ok(fields)
+}
+
+fn parse_bool(key: &str, v: &str) -> RlsResult<bool> {
+    match v {
+        "true" | "yes" | "1" | "on" => Ok(true),
+        "false" | "no" | "0" | "off" => Ok(false),
+        other => Err(RlsError::bad_request(format!(
+            "{key}: expected boolean, got {other:?}"
+        ))),
+    }
+}
+
+fn parse_secs(key: &str, v: &str) -> RlsResult<Duration> {
+    v.parse::<u64>()
+        .map(Duration::from_secs)
+        .map_err(|_| RlsError::bad_request(format!("{key}: expected seconds, got {v:?}")))
+}
+
+/// Parses configuration text into a [`ParsedConfig`].
+pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
+    let mut is_lrc = false;
+    let mut is_rli = false;
+    let mut name = String::new();
+    let mut bind: Option<std::net::SocketAddr> = None;
+    let mut vendor = Vendor::MySqlLike;
+    let mut flush = FlushMode::Buffered;
+    let mut wal: Option<PathBuf> = None;
+    let mut update_mode = "none".to_owned();
+    let mut update_interval = Duration::from_secs(300);
+    let mut immediate_threshold = 100usize;
+    let mut bloom_bits = 10u32;
+    let mut bloom_hashes = 3u32;
+    let mut rli_expire_int = Duration::from_secs(60);
+    let mut rli_expire_stale = Duration::from_secs(1800);
+    let mut acl_enabled = false;
+    let mut gridmap: HashMap<String, String> = HashMap::new();
+    let mut acl: Vec<AclEntry> = Vec::new();
+    let mut update_rlis: Vec<UpdateRliDirective> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_fields(line)
+            .map_err(|e| e.context(format!("config line {}", lineno + 1)))?;
+        let key = fields[0].as_str();
+        let args = &fields[1..];
+        let one = || -> RlsResult<&str> {
+            args.first().map(String::as_str).ok_or_else(|| {
+                RlsError::bad_request(format!("line {}: {key} needs a value", lineno + 1))
+            })
+        };
+        match key {
+            "lrc_server" => is_lrc = parse_bool(key, one()?)?,
+            "rli_server" => is_rli = parse_bool(key, one()?)?,
+            "server_name" => name = one()?.to_owned(),
+            "bind" => {
+                bind = Some(one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!("line {}: invalid bind address", lineno + 1))
+                })?)
+            }
+            "db_vendor" => {
+                vendor = match one()? {
+                    "mysql" => Vendor::MySqlLike,
+                    "postgres" | "postgresql" => Vendor::PostgresLike,
+                    other => {
+                        return Err(RlsError::bad_request(format!(
+                            "line {}: unknown db_vendor {other:?}",
+                            lineno + 1
+                        )))
+                    }
+                }
+            }
+            "db_flush" => {
+                flush = match one()? {
+                    "enabled" => FlushMode::PerCommit,
+                    "disabled" => FlushMode::Buffered,
+                    "none" => FlushMode::None,
+                    other => {
+                        return Err(RlsError::bad_request(format!(
+                            "line {}: unknown db_flush {other:?}",
+                            lineno + 1
+                        )))
+                    }
+                }
+            }
+            "db_wal" => wal = Some(PathBuf::from(one()?)),
+            "update_mode" => update_mode = one()?.to_owned(),
+            "update_interval" => update_interval = parse_secs(key, one()?)?,
+            "update_immediate_threshold" => {
+                immediate_threshold = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!("line {}: bad threshold", lineno + 1))
+                })?
+            }
+            "update_bloom_bits_per_entry" => {
+                bloom_bits = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!("line {}: bad bits per entry", lineno + 1))
+                })?
+            }
+            "update_bloom_hashes" => {
+                bloom_hashes = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!("line {}: bad hash count", lineno + 1))
+                })?
+            }
+            "update_rli" => {
+                let mut it = args.iter();
+                let name = it
+                    .next()
+                    .ok_or_else(|| {
+                        RlsError::bad_request(format!(
+                            "line {}: update_rli needs an address",
+                            lineno + 1
+                        ))
+                    })?
+                    .clone();
+                let mut bloom = false;
+                let mut patterns = Vec::new();
+                for extra in it {
+                    if extra == "bloom" {
+                        bloom = true;
+                    } else {
+                        rls_types::Regex::new(extra)
+                            .map_err(|e| e.context(format!("config line {}", lineno + 1)))?;
+                        patterns.push(extra.clone());
+                    }
+                }
+                update_rlis.push(UpdateRliDirective {
+                    name,
+                    bloom,
+                    patterns,
+                });
+            }
+            "rli_expire_int" => rli_expire_int = parse_secs(key, one()?)?,
+            "rli_expire_stale" => rli_expire_stale = parse_secs(key, one()?)?,
+            "acl_enabled" => acl_enabled = parse_bool(key, one()?)?,
+            "gridmap" => {
+                if args.len() != 2 {
+                    return Err(RlsError::bad_request(format!(
+                        "line {}: gridmap needs \"DN\" localuser",
+                        lineno + 1
+                    )));
+                }
+                gridmap.insert(args[0].clone(), args[1].clone());
+            }
+            "acl" => {
+                if args.len() != 2 {
+                    return Err(RlsError::bad_request(format!(
+                        "line {}: acl needs subject:pattern privileges",
+                        lineno + 1
+                    )));
+                }
+                let (subject, pattern) = args[0].split_once(':').ok_or_else(|| {
+                    RlsError::bad_request(format!(
+                        "line {}: acl subject must be dn:<re> or user:<re>",
+                        lineno + 1
+                    ))
+                })?;
+                let subject = match subject {
+                    "dn" => AclSubject::Dn,
+                    "user" => AclSubject::LocalUser,
+                    other => {
+                        return Err(RlsError::bad_request(format!(
+                            "line {}: unknown acl subject {other:?}",
+                            lineno + 1
+                        )))
+                    }
+                };
+                let privileges: Vec<Privilege> = args[1]
+                    .split(',')
+                    .map(|p| {
+                        Privilege::from_config_str(p.trim()).ok_or_else(|| {
+                            RlsError::bad_request(format!(
+                                "line {}: unknown privilege {p:?}",
+                                lineno + 1
+                            ))
+                        })
+                    })
+                    .collect::<RlsResult<_>>()?;
+                acl.push(
+                    AclEntry::new(subject, pattern, privileges)
+                        .map_err(|e| e.context(format!("config line {}", lineno + 1)))?,
+                );
+            }
+            other => {
+                return Err(RlsError::bad_request(format!(
+                    "line {}: unknown configuration key {other:?}",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+
+    if !is_lrc && !is_rli {
+        return Err(RlsError::bad_request(
+            "config must enable lrc_server and/or rli_server",
+        ));
+    }
+    let profile = BackendProfile {
+        vendor,
+        flush,
+        ..match vendor {
+            Vendor::MySqlLike => BackendProfile::mysql_buffered(),
+            Vendor::PostgresLike => BackendProfile::postgres_buffered(),
+        }
+    };
+    let mode = match update_mode.as_str() {
+        "none" => UpdateMode::None,
+        "full" => UpdateMode::Full {
+            interval: update_interval,
+        },
+        "immediate" => UpdateMode::Immediate {
+            delta_interval: Duration::from_secs(30),
+            delta_threshold: immediate_threshold,
+            full_interval: update_interval,
+        },
+        "bloom" => UpdateMode::Bloom {
+            interval: update_interval,
+            params: BloomParams {
+                bits_per_entry: bloom_bits,
+                hashes: bloom_hashes,
+            },
+        },
+        other => {
+            return Err(RlsError::bad_request(format!(
+                "unknown update_mode {other:?}"
+            )))
+        }
+    };
+    let server = ServerConfig {
+        name,
+        bind: bind.unwrap_or_else(|| "127.0.0.1:0".parse().expect("literal")),
+        lrc: is_lrc.then(|| LrcConfig {
+            profile,
+            wal_path: wal.clone(),
+            update: UpdateConfig {
+                mode,
+                auto: true,
+                ..Default::default()
+            },
+        }),
+        rli: is_rli.then_some(RliConfig {
+            profile,
+            wal_path: None,
+            expire_timeout: rli_expire_stale,
+            expire_interval: rli_expire_int,
+            auto_expire: true,
+        }),
+        auth: AuthConfig {
+            enabled: acl_enabled,
+            gridmap,
+            acl,
+        },
+        ..ServerConfig::default()
+    };
+    Ok(ParsedConfig {
+        server,
+        update_rlis,
+    })
+}
+
+/// Reads and parses a configuration file.
+pub fn load_config(path: impl AsRef<std::path::Path>) -> RlsResult<ParsedConfig> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| RlsError::new(rls_types::ErrorCode::Io, format!("read config: {e}")))?;
+    parse_config(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# sample config
+lrc_server   true
+rli_server   true
+server_name  lrc-isi
+bind         127.0.0.1:0
+
+db_vendor    postgres
+db_flush     disabled
+
+update_mode     bloom
+update_interval 120
+update_bloom_bits_per_entry 12
+update_bloom_hashes 4
+update_rli      rli-east:39281
+update_rli      rli-west:39281 bloom ^lfn://ligo/.*
+
+rli_expire_int   30
+rli_expire_stale 900
+
+acl_enabled  true
+gridmap      "/O=Grid/OU=ISI/CN=Ann Chervenak" ann
+acl          dn:/O=Grid/OU=ISI/.* lrc_read,lrc_write
+acl          user:ann admin
+"#;
+
+    #[test]
+    fn sample_parses_fully() {
+        let parsed = parse_config(SAMPLE).unwrap();
+        let s = &parsed.server;
+        assert_eq!(s.name, "lrc-isi");
+        let lrc = s.lrc.as_ref().unwrap();
+        assert_eq!(lrc.profile.vendor, Vendor::PostgresLike);
+        assert_eq!(lrc.profile.flush, FlushMode::Buffered);
+        let UpdateMode::Bloom { interval, params } = &lrc.update.mode else {
+            panic!("expected bloom mode");
+        };
+        assert_eq!(*interval, Duration::from_secs(120));
+        assert_eq!(params.bits_per_entry, 12);
+        assert_eq!(params.hashes, 4);
+        let rli = s.rli.as_ref().unwrap();
+        assert_eq!(rli.expire_interval, Duration::from_secs(30));
+        assert_eq!(rli.expire_timeout, Duration::from_secs(900));
+        assert!(rli.auto_expire);
+        assert!(s.auth.enabled);
+        assert_eq!(
+            s.auth.gridmap.get("/O=Grid/OU=ISI/CN=Ann Chervenak"),
+            Some(&"ann".to_owned())
+        );
+        assert_eq!(s.auth.acl.len(), 2);
+        assert_eq!(parsed.update_rlis.len(), 2);
+        assert_eq!(
+            parsed.update_rlis[1],
+            UpdateRliDirective {
+                name: "rli-west:39281".into(),
+                bloom: true,
+                patterns: vec!["^lfn://ligo/.*".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn minimal_configs() {
+        let p = parse_config("lrc_server true").unwrap();
+        assert!(p.server.lrc.is_some());
+        assert!(p.server.rli.is_none());
+        let p = parse_config("rli_server yes").unwrap();
+        assert!(p.server.rli.is_some());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_config("").is_err()); // no role
+        assert!(parse_config("lrc_server maybe").is_err());
+        assert!(parse_config("lrc_server true\nunknown_key 1").is_err());
+        assert!(parse_config("lrc_server true\nbind not-an-addr").is_err());
+        assert!(parse_config("lrc_server true\nacl nocolon lrc_read").is_err());
+        assert!(parse_config("lrc_server true\nacl dn:.* not_a_priv").is_err());
+        assert!(parse_config("lrc_server true\ngridmap onlyone").is_err());
+        assert!(parse_config("lrc_server true\nupdate_mode warp").is_err());
+        assert!(parse_config("lrc_server true\nupdate_rli x bad[pattern").is_err());
+        assert!(parse_config("lrc_server true\ngridmap \"unterminated x").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_config("# comment\n\nlrc_server true # trailing\n").unwrap();
+        assert!(p.server.lrc.is_some());
+    }
+
+    #[test]
+    fn quoted_fields_keep_spaces() {
+        let fields = split_fields(r#"gridmap "/O=Grid/CN=A B C" abc"#).unwrap();
+        assert_eq!(fields, vec!["gridmap", "/O=Grid/CN=A B C", "abc"]);
+    }
+
+    #[test]
+    fn parsed_config_starts_a_server() {
+        let parsed = parse_config(
+            "lrc_server true\nrli_server true\nserver_name conf-test\nbind 127.0.0.1:0",
+        )
+        .unwrap();
+        let server = crate::server::Server::start(parsed.server).unwrap();
+        assert_eq!(server.name(), "conf-test");
+        let mut c =
+            crate::client::RlsClient::connect(server.addr(), &rls_types::Dn::anonymous())
+                .unwrap();
+        c.ping().unwrap();
+    }
+}

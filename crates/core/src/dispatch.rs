@@ -1,0 +1,562 @@
+//! Request dispatch: authorization, role routing, and execution.
+
+use std::sync::Arc;
+
+use rls_proto::{Request, Response, RliHit, RliTargetWire, ServerStatsWire};
+use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
+
+use crate::auth::{required_privilege, Authorizer, Identity};
+use crate::lrc::LrcService;
+use crate::rli::RliService;
+
+/// Shared server state handed to every connection handler.
+pub struct ServerState {
+    /// Advertised identity (LRC name in soft-state updates).
+    pub name: String,
+    /// Software version string reported in handshakes.
+    pub version: String,
+    /// LRC role, if configured.
+    pub lrc: Option<Arc<LrcService>>,
+    /// RLI role, if configured.
+    pub rli: Option<Arc<RliService>>,
+    /// ACL evaluator.
+    pub authorizer: Authorizer,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("name", &self.name)
+            .field("is_lrc", &self.lrc.is_some())
+            .field("is_rli", &self.rli.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerState {
+    fn lrc(&self) -> RlsResult<&Arc<LrcService>> {
+        self.lrc.as_ref().ok_or_else(|| {
+            RlsError::new(ErrorCode::WrongRole, "server is not configured as an LRC")
+        })
+    }
+
+    fn rli(&self) -> RlsResult<&Arc<RliService>> {
+        self.rli.as_ref().ok_or_else(|| {
+            RlsError::new(ErrorCode::WrongRole, "server is not configured as an RLI")
+        })
+    }
+
+    /// Assembles the stats snapshot.
+    pub fn stats(&self) -> ServerStatsWire {
+        let mut s = ServerStatsWire {
+            is_lrc: self.lrc.is_some(),
+            is_rli: self.rli.is_some(),
+            ..Default::default()
+        };
+        if let Some(lrc) = &self.lrc {
+            let db = lrc.db.read();
+            s.lrc_lfn_count = db.lfn_count();
+            s.lrc_mapping_count = db.mapping_count();
+            let st = db.stats();
+            s.adds = st.adds;
+            s.deletes = st.deletes;
+            s.queries += st.queries + st.wildcard_queries;
+        }
+        if let Some(rli) = &self.rli {
+            s.rli_association_count = rli.association_count();
+            s.rli_bloom_filters = rli.bloom_count();
+            s.queries += rli.queries_served();
+            s.updates_received = rli.updates_received();
+            s.expired = rli.expired_total();
+        }
+        s
+    }
+}
+
+/// Runs one request to completion, producing the response frame.
+pub fn handle_request(state: &ServerState, identity: &Identity, req: Request) -> Response {
+    if let Some(privilege) = required_privilege(&req) {
+        if let Err(e) = state.authorizer.check(identity, privilege) {
+            return Response::Error(e);
+        }
+    }
+    match execute(state, req) {
+        Ok(resp) => resp,
+        Err(e) => Response::Error(e),
+    }
+}
+
+fn bulk<T>(items: Vec<T>, mut f: impl FnMut(&T) -> RlsResult<()>) -> Response {
+    let mut failures = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        if let Err(e) = f(item) {
+            failures.push((i as u32, e));
+        }
+    }
+    Response::BulkStatus(failures)
+}
+
+fn execute(state: &ServerState, req: Request) -> RlsResult<Response> {
+    use Request::*;
+    Ok(match req {
+        Hello { .. } => Response::Error(RlsError::bad_request(
+            "Hello is only valid as the first frame",
+        )),
+        Ping => Response::Pong,
+
+        // -- LRC mapping management --
+        Create(m) => {
+            state.lrc()?.create_mapping(&m)?;
+            Response::Ok
+        }
+        Add(m) => {
+            state.lrc()?.add_mapping(&m)?;
+            Response::Ok
+        }
+        Delete(m) => {
+            state.lrc()?.delete_mapping(&m)?;
+            Response::Ok
+        }
+        BulkCreate(ms) => {
+            let lrc = state.lrc()?;
+            bulk(ms, |m| lrc.create_mapping(m).map(|_| ()))
+        }
+        BulkAdd(ms) => {
+            let lrc = state.lrc()?;
+            bulk(ms, |m| lrc.add_mapping(m).map(|_| ()))
+        }
+        BulkDelete(ms) => {
+            let lrc = state.lrc()?;
+            bulk(ms, |m| lrc.delete_mapping(m).map(|_| ()))
+        }
+
+        // -- LRC queries --
+        QueryLfn(lfn) => {
+            let lrc = state.lrc()?;
+            lrc.count_query();
+            let targets = lrc.db.read().query_lfn(&lfn)?;
+            Response::Targets(targets.iter().map(|t| t.to_string()).collect())
+        }
+        QueryPfn(pfn) => {
+            let lrc = state.lrc()?;
+            lrc.count_query();
+            let logicals = lrc.db.read().query_pfn(&pfn)?;
+            Response::Logicals(logicals.iter().map(|l| l.to_string()).collect())
+        }
+        BulkQueryLfn(names) => {
+            let lrc = state.lrc()?;
+            lrc.count_query();
+            let db = lrc.db.read();
+            let results = names
+                .into_iter()
+                .map(|name| {
+                    let res = db
+                        .query_lfn(&name)
+                        .map(|ts| ts.iter().map(|t| t.to_string()).collect());
+                    (name, res)
+                })
+                .collect();
+            Response::BulkLfnResults(results)
+        }
+        WildcardQueryLfn { pattern, limit } => {
+            let lrc = state.lrc()?;
+            lrc.count_query();
+            let glob = Glob::new(pattern)?;
+            let hits = lrc.db.read().wildcard_query_lfn(&glob, limit as usize)?;
+            Response::Mappings(hits)
+        }
+        WildcardQueryPfn { pattern, limit } => {
+            let lrc = state.lrc()?;
+            lrc.count_query();
+            let glob = Glob::new(pattern)?;
+            let hits = lrc.db.read().wildcard_query_pfn(&glob, limit as usize)?;
+            Response::Mappings(hits)
+        }
+
+        // -- LRC attributes --
+        DefineAttr(def) => {
+            state.lrc()?.db.write().define_attribute(&def)?;
+            Response::Ok
+        }
+        UndefineAttr {
+            name,
+            objtype,
+            clear_values,
+        } => {
+            state
+                .lrc()?
+                .db
+                .write()
+                .undefine_attribute(&name, objtype, clear_values)?;
+            Response::Ok
+        }
+        AddAttr(a) => {
+            state
+                .lrc()?
+                .db
+                .write()
+                .add_attribute(&a.obj, a.objtype, &a.name, &a.value)?;
+            Response::Ok
+        }
+        ModifyAttr(a) => {
+            state
+                .lrc()?
+                .db
+                .write()
+                .modify_attribute(&a.obj, a.objtype, &a.name, &a.value)?;
+            Response::Ok
+        }
+        RemoveAttr { obj, objtype, name } => {
+            state
+                .lrc()?
+                .db
+                .write()
+                .remove_attribute(&obj, objtype, &name)?;
+            Response::Ok
+        }
+        GetAttrs { obj, objtype, name } => {
+            let lrc = state.lrc()?;
+            let attrs = lrc
+                .db
+                .read()
+                .get_attributes(&obj, objtype, name.as_deref())?;
+            Response::Attrs(attrs)
+        }
+        SearchAttr {
+            name,
+            objtype,
+            op,
+            operand,
+        } => {
+            let lrc = state.lrc()?;
+            let hits = lrc
+                .db
+                .read()
+                .search_attribute(&name, objtype, op, operand.as_ref())?;
+            Response::Attrs(hits)
+        }
+        BulkAddAttr(items) => {
+            let lrc = state.lrc()?;
+            bulk(items, |a| {
+                lrc.db
+                    .write()
+                    .add_attribute(&a.obj, a.objtype, &a.name, &a.value)
+            })
+        }
+        BulkModifyAttr(items) => {
+            let lrc = state.lrc()?;
+            bulk(items, |a| {
+                lrc.db
+                    .write()
+                    .modify_attribute(&a.obj, a.objtype, &a.name, &a.value)
+            })
+        }
+        BulkRemoveAttr(items) => {
+            let lrc = state.lrc()?;
+            bulk(items, |(obj, objtype, name)| {
+                lrc.db.write().remove_attribute(obj, *objtype, name)
+            })
+        }
+
+        // -- LRC management --
+        AddRli {
+            name,
+            flags,
+            patterns,
+        } => {
+            state.lrc()?.db.write().add_rli(&name, flags, &patterns)?;
+            Response::Ok
+        }
+        RemoveRli { name } => {
+            state.lrc()?.db.write().remove_rli(&name)?;
+            Response::Ok
+        }
+        ListRlis => {
+            let rlis = state
+                .lrc()?
+                .db
+                .read()
+                .list_rlis()
+                .into_iter()
+                .map(|t| RliTargetWire {
+                    name: t.name,
+                    flags: t.flags,
+                    patterns: t.patterns,
+                })
+                .collect();
+            Response::Rlis(rlis)
+        }
+
+        // -- RLI operations --
+        RliQueryLfn(lfn) => {
+            let hits = state.rli()?.query(&lfn)?;
+            Response::RliHits(
+                hits.into_iter()
+                    .map(|h| RliHit {
+                        lrc: h.lrc.to_string(),
+                        updated_micros: h.updated_at.as_micros(),
+                    })
+                    .collect(),
+            )
+        }
+        RliBulkQueryLfn(names) => {
+            let rli = state.rli()?;
+            let results = names
+                .into_iter()
+                .map(|name| {
+                    let res = rli.query(&name).map(|hits| {
+                        hits.into_iter()
+                            .map(|h| RliHit {
+                                lrc: h.lrc.to_string(),
+                                updated_micros: h.updated_at.as_micros(),
+                            })
+                            .collect()
+                    });
+                    (name, res)
+                })
+                .collect();
+            Response::RliBulkResults(results)
+        }
+        RliWildcardQuery { pattern, limit } => {
+            let glob = Glob::new(pattern)?;
+            let pairs = state.rli()?.wildcard_query(&glob, limit as usize)?;
+            Response::RliPairs(
+                pairs
+                    .into_iter()
+                    .map(|(lfn, lrc)| (lfn.to_string(), lrc.to_string()))
+                    .collect(),
+            )
+        }
+        RliListLrcs => Response::Names(state.rli()?.lrc_list()),
+
+        // -- soft-state updates --
+        SoftStateFull { lrc, lfns, .. } => {
+            state.rli()?.apply_full_chunk(&lrc, &lfns, Timestamp::now())?;
+            Response::Ok
+        }
+        SoftStateDelta {
+            lrc,
+            added,
+            removed,
+        } => {
+            state
+                .rli()?
+                .apply_delta(&lrc, &added, &removed, Timestamp::now())?;
+            Response::Ok
+        }
+        SoftStateBloom {
+            lrc,
+            params,
+            bits,
+            words,
+            entries,
+        } => {
+            let filter = Request::bloom_from_wire(params, bits, &words, entries)?;
+            state.rli()?.apply_bloom(&lrc, filter, Timestamp::now());
+            Response::Ok
+        }
+
+        // -- admin --
+        Stats => Response::StatsReport(state.stats()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AuthConfig, LrcConfig, RliConfig};
+    use rls_types::Mapping;
+
+    fn state() -> ServerState {
+        ServerState {
+            name: "test-server".into(),
+            version: "2.0.9".into(),
+            lrc: Some(Arc::new(LrcService::new(LrcConfig::default()).unwrap())),
+            rli: Some(Arc::new(RliService::new(RliConfig::default()).unwrap())),
+            authorizer: Authorizer::new(AuthConfig::default()),
+        }
+    }
+
+    fn anon() -> Identity {
+        Identity::anonymous()
+    }
+
+    fn m(l: &str, t: &str) -> Mapping {
+        Mapping::new(l, t).unwrap()
+    }
+
+    #[test]
+    fn mapping_round_trip_through_dispatch() {
+        let st = state();
+        let id = anon();
+        assert_eq!(
+            handle_request(&st, &id, Request::Create(m("lfn://a", "pfn://1"))),
+            Response::Ok
+        );
+        assert_eq!(
+            handle_request(&st, &id, Request::Add(m("lfn://a", "pfn://2"))),
+            Response::Ok
+        );
+        let Response::Targets(mut ts) =
+            handle_request(&st, &id, Request::QueryLfn("lfn://a".into()))
+        else {
+            panic!("expected targets");
+        };
+        ts.sort();
+        assert_eq!(ts, vec!["pfn://1", "pfn://2"]);
+        assert_eq!(
+            handle_request(&st, &id, Request::Delete(m("lfn://a", "pfn://1"))),
+            Response::Ok
+        );
+    }
+
+    #[test]
+    fn bulk_reports_per_item_failures() {
+        let st = state();
+        let id = anon();
+        let resp = handle_request(
+            &st,
+            &id,
+            Request::BulkCreate(vec![
+                m("lfn://a", "pfn://1"),
+                m("lfn://a", "pfn://dup"), // create of existing lfn fails
+                m("lfn://b", "pfn://2"),
+            ]),
+        );
+        let Response::BulkStatus(failures) = resp else {
+            panic!("expected bulk status");
+        };
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 1);
+        assert_eq!(failures[0].1.code(), ErrorCode::MappingExists);
+    }
+
+    #[test]
+    fn bulk_query_mixes_hits_and_misses() {
+        let st = state();
+        let id = anon();
+        handle_request(&st, &id, Request::Create(m("lfn://a", "pfn://1")));
+        let Response::BulkLfnResults(results) = handle_request(
+            &st,
+            &id,
+            Request::BulkQueryLfn(vec!["lfn://a".into(), "lfn://missing".into()]),
+        ) else {
+            panic!("expected bulk results");
+        };
+        assert!(results[0].1.is_ok());
+        assert_eq!(
+            results[1].1.as_ref().unwrap_err().code(),
+            ErrorCode::LogicalNameNotFound
+        );
+    }
+
+    #[test]
+    fn wrong_role_rejected() {
+        let st = ServerState {
+            rli: None,
+            ..state()
+        };
+        let resp = handle_request(&st, &anon(), Request::RliQueryLfn("lfn://a".into()));
+        let Response::Error(e) = resp else {
+            panic!("expected error")
+        };
+        assert_eq!(e.code(), ErrorCode::WrongRole);
+    }
+
+    #[test]
+    fn soft_state_full_then_rli_query() {
+        let st = state();
+        let id = anon();
+        let resp = handle_request(
+            &st,
+            &id,
+            Request::SoftStateFull {
+                lrc: "lrc-9".into(),
+                update_id: 1,
+                seq: 0,
+                last: true,
+                lfns: vec!["lfn://x".into()],
+            },
+        );
+        assert_eq!(resp, Response::Ok);
+        let Response::RliHits(hits) = handle_request(&st, &id, Request::RliQueryLfn("lfn://x".into()))
+        else {
+            panic!("expected hits");
+        };
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lrc, "lrc-9");
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let st = state();
+        let id = anon();
+        handle_request(&st, &id, Request::Create(m("lfn://a", "pfn://1")));
+        handle_request(&st, &id, Request::QueryLfn("lfn://a".into()));
+        let Response::StatsReport(s) = handle_request(&st, &id, Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(s.is_lrc && s.is_rli);
+        assert_eq!(s.lrc_lfn_count, 1);
+        assert_eq!(s.lrc_mapping_count, 1);
+        assert_eq!(s.adds, 1);
+        assert_eq!(s.queries, 1);
+    }
+
+    #[test]
+    fn denied_without_privilege() {
+        use rls_types::{AclEntry, AclSubject, Privilege};
+        let mut auth = AuthConfig {
+            enabled: true,
+            ..Default::default()
+        };
+        auth.acl
+            .push(AclEntry::new(AclSubject::Dn, "/trusted/.*", vec![Privilege::LrcRead]).unwrap());
+        let st = ServerState {
+            authorizer: Authorizer::new(auth),
+            ..state()
+        };
+        let stranger = Identity {
+            dn: rls_types::Dn::new("/stranger"),
+            local_user: None,
+        };
+        let resp = handle_request(&st, &stranger, Request::Create(m("lfn://a", "pfn://1")));
+        let Response::Error(e) = resp else {
+            panic!("expected denial")
+        };
+        assert_eq!(e.code(), ErrorCode::PermissionDenied);
+        // Ping needs no privilege.
+        assert_eq!(handle_request(&st, &stranger, Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn hello_mid_connection_rejected() {
+        let st = state();
+        let resp = handle_request(
+            &st,
+            &anon(),
+            Request::Hello {
+                dn: rls_types::Dn::anonymous(),
+                version: rls_proto::PROTOCOL_VERSION,
+            },
+        );
+        assert!(matches!(resp, Response::Error(_)));
+    }
+
+    #[test]
+    fn invalid_glob_is_an_error_response() {
+        let st = state();
+        let resp = handle_request(
+            &st,
+            &anon(),
+            Request::WildcardQueryLfn {
+                pattern: "bad[".into(),
+                limit: 10,
+            },
+        );
+        let Response::Error(e) = resp else {
+            panic!("expected error")
+        };
+        assert_eq!(e.code(), ErrorCode::InvalidPattern);
+    }
+}

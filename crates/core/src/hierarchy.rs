@@ -1,0 +1,112 @@
+//! Hierarchical RLIs: RLI servers that update one another (§7 of the
+//! paper, "the latest RLS version includes support for a hierarchy of RLI
+//! servers that update one another" — future work at publication time,
+//! implemented here).
+//!
+//! A child RLI forwards its knowledge to a parent RLI in two parts:
+//!
+//! 1. **Relational store**: the child summarizes the logical names in its
+//!    relational store into a Bloom filter sent under *the child's own
+//!    name*. A client querying the parent is pointed at the child RLI,
+//!    queries it, and from there reaches the LRCs — target names in the
+//!    RLS framework "may also be other logical names", which is exactly
+//!    what makes this chaining legal.
+//! 2. **Bloom store**: filters the child holds for individual LRCs are
+//!    forwarded unchanged under their original LRC names, so the parent
+//!    can point clients directly at the LRC (no extra hop, no information
+//!    loss).
+
+use std::sync::Arc;
+
+use rls_bloom::{BloomFilter, BloomParams};
+use rls_net::LinkProfile;
+use rls_types::{Dn, RlsResult};
+
+use crate::client::RlsClient;
+use crate::rli::RliService;
+
+/// Forwards one RLI's contents up to a parent RLI.
+pub struct RliForwarder {
+    /// The child RLI's advertised name.
+    child_name: String,
+    dn: Dn,
+    rli: Arc<RliService>,
+    link: LinkProfile,
+    params: BloomParams,
+}
+
+impl std::fmt::Debug for RliForwarder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RliForwarder")
+            .field("child_name", &self.child_name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RliForwarder {
+    /// Creates a forwarder for `rli` advertising `child_name` upstream.
+    pub fn new(child_name: String, dn: Dn, rli: Arc<RliService>, link: LinkProfile) -> Self {
+        Self {
+            child_name,
+            dn,
+            rli,
+            link,
+            params: BloomParams::PAPER,
+        }
+    }
+
+    /// Builds the Bloom summary of the child's relational store.
+    pub fn relational_summary(&self) -> BloomFilter {
+        let db = self.rli.db.read();
+        let mut filter = BloomFilter::with_capacity(self.params, db.lfn_count().max(1024));
+        db.for_each_lfn(|lfn| filter.insert(lfn));
+        filter
+    }
+
+    /// Pushes one forwarding round to the parent at `parent_addr`.
+    /// Returns the number of filters shipped.
+    pub fn forward(&self, parent_addr: &str) -> RlsResult<u64> {
+        let mut client = RlsClient::connect_shaped(parent_addr, &self.dn, self.link, None)?;
+        let mut shipped = 0u64;
+        // Part 1: relational store summarized under the child's name.
+        let summary = self.relational_summary();
+        if !summary.is_empty() {
+            client.send_bloom(&self.child_name, &summary)?;
+            shipped += 1;
+        }
+        // Part 2: per-LRC filters forwarded verbatim.
+        for (lrc, filter) in self.rli.bloom_snapshot_list() {
+            client.send_bloom(&lrc, &filter)?;
+            shipped += 1;
+        }
+        Ok(shipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RliConfig;
+    use rls_types::Timestamp;
+
+    #[test]
+    fn relational_summary_covers_store() {
+        let rli = Arc::new(RliService::new(RliConfig::default()).unwrap());
+        rli.apply_full_chunk(
+            "lrc-1",
+            &["lfn://h/1".to_owned(), "lfn://h/2".to_owned()],
+            Timestamp::from_unix_secs(1),
+        )
+        .unwrap();
+        let fwd = RliForwarder::new(
+            "child-rli".into(),
+            Dn::anonymous(),
+            Arc::clone(&rli),
+            LinkProfile::unshaped(),
+        );
+        let summary = fwd.relational_summary();
+        assert!(summary.contains("lfn://h/1"));
+        assert!(summary.contains("lfn://h/2"));
+        assert!(!summary.contains("lfn://h/3") || summary.fill_ratio() > 0.0);
+    }
+}

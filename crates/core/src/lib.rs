@@ -1,0 +1,47 @@
+//! # `rls-core`
+//!
+//! The Replica Location Service itself — the paper's primary contribution:
+//!
+//! * [`server`] — the common multi-threaded server, configurable as an LRC,
+//!   an RLI, or both (§3.1);
+//! * [`lrc`] / [`rli`] — the two roles' service layers over the storage
+//!   engine (plus the RLI's in-memory Bloom store);
+//! * [`softstate`] — the soft-state update senders: uncompressed full,
+//!   immediate/incremental, Bloom-compressed, and namespace-partitioned
+//!   (§3.2–3.5);
+//! * [`auth`] — gridmap + regex-ACL authorization (§3.1);
+//! * [`client`] — the typed client library covering Table 1;
+//! * [`hierarchy`] — RLI-to-RLI forwarding (§7 "hierarchy of RLI servers",
+//!   this repo's implementation of the paper's future-work feature);
+//! * [`membership`] — static membership configuration and reconciliation
+//!   (framework element 5, §3.6);
+//! * [`locator`] — the client-side recovery loop applications need against
+//!   stale/false-positive RLI answers (§3.2);
+//! * [`testkit`] — multi-server loopback deployments for tests, examples
+//!   and benchmarks.
+
+pub mod auth;
+pub mod client;
+pub mod config;
+pub mod configfile;
+pub mod dispatch;
+pub mod hierarchy;
+pub mod locator;
+pub mod lrc;
+pub mod membership;
+pub mod rli;
+pub mod server;
+pub mod softstate;
+pub mod testkit;
+
+pub use auth::{Authorizer, Identity};
+pub use client::RlsClient;
+pub use config::{AuthConfig, LrcConfig, RliConfig, ServerConfig, UpdateConfig, UpdateMode};
+pub use dispatch::ServerState;
+pub use locator::{Located, LrcDirectory, ReplicaLocator, StaticDirectory};
+pub use lrc::LrcService;
+pub use membership::{Member, MemberRole, MembershipConfig, UpdateEdge};
+pub use rli::RliService;
+pub use server::{Server, SERVER_VERSION};
+pub use softstate::{UpdateKind, UpdateOutcome, Updater, FLAG_BLOOM};
+pub use testkit::{TestDeployment, TestDeploymentBuilder};

@@ -1,0 +1,262 @@
+//! Client-side replica location: the application recovery loop of §3.2.
+//!
+//! > *"a query to an RLI may return stale information. In this case, a
+//! > client may not find a mapping for the desired logical name when it
+//! > queries an LRC. An application program must be sufficiently robust to
+//! > recover from this situation and query for another replica of the
+//! > logical name."*
+//!
+//! [`ReplicaLocator`] packages that robustness: it queries one or more
+//! RLIs for candidate LRCs, resolves LRC identities to addresses through a
+//! caller-supplied directory, and walks the candidates tolerating both
+//! Bloom false positives and stale (expired-at-source) entries until it
+//! finds live replicas.
+
+use std::collections::HashMap;
+
+use rls_net::{LinkProfile, SharedIngress};
+use rls_types::{Dn, ErrorCode, RlsError, RlsResult};
+
+use crate::client::RlsClient;
+
+/// Resolves RLI-reported LRC identities (server names or addresses) to
+/// dialable addresses.
+pub trait LrcDirectory {
+    /// The address for an LRC identity, if known.
+    fn resolve(&self, lrc: &str) -> Option<String>;
+}
+
+/// A directory backed by an explicit map, falling back to treating the
+/// identity itself as an address (the common case: LRCs advertise
+/// `host:port`).
+#[derive(Clone, Debug, Default)]
+pub struct StaticDirectory {
+    map: HashMap<String, String>,
+}
+
+impl StaticDirectory {
+    /// Empty directory (identity == address).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a name → address entry.
+    pub fn with(mut self, name: impl Into<String>, addr: impl Into<String>) -> Self {
+        self.map.insert(name.into(), addr.into());
+        self
+    }
+}
+
+impl LrcDirectory for StaticDirectory {
+    fn resolve(&self, lrc: &str) -> Option<String> {
+        Some(self.map.get(lrc).cloned().unwrap_or_else(|| lrc.to_owned()))
+    }
+}
+
+/// The outcome of a successful location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Located {
+    /// The LRC that resolved the name.
+    pub lrc: String,
+    /// The replica target names it returned.
+    pub replicas: Vec<String>,
+    /// Candidates that turned out to be false positives or stale.
+    pub misses: Vec<String>,
+}
+
+/// A replica-locating client: RLI tier first, then LRC candidates.
+pub struct ReplicaLocator<D: LrcDirectory> {
+    rli_addrs: Vec<String>,
+    directory: D,
+    dn: Dn,
+    link: LinkProfile,
+    ingress: Option<SharedIngress>,
+    rli_conns: Vec<Option<RlsClient>>,
+    lrc_conns: HashMap<String, RlsClient>,
+}
+
+impl<D: LrcDirectory> ReplicaLocator<D> {
+    /// Builds a locator over the given RLI tier.
+    pub fn new(rli_addrs: Vec<String>, directory: D, dn: Dn) -> Self {
+        let n = rli_addrs.len();
+        Self {
+            rli_addrs,
+            directory,
+            dn,
+            link: LinkProfile::unshaped(),
+            ingress: None,
+            rli_conns: (0..n).map(|_| None).collect(),
+            lrc_conns: HashMap::new(),
+        }
+    }
+
+    /// Applies link shaping to all connections the locator opens.
+    #[must_use]
+    pub fn with_link(mut self, link: LinkProfile, ingress: Option<SharedIngress>) -> Self {
+        self.link = link;
+        self.ingress = ingress;
+        self
+    }
+
+    fn rli_conn(&mut self, i: usize) -> RlsResult<&mut RlsClient> {
+        if self.rli_conns[i].is_none() {
+            self.rli_conns[i] = Some(RlsClient::connect_shaped(
+                self.rli_addrs[i].as_str(),
+                &self.dn,
+                self.link,
+                self.ingress.clone(),
+            )?);
+        }
+        Ok(self.rli_conns[i].as_mut().expect("just connected"))
+    }
+
+    fn lrc_conn(&mut self, addr: &str) -> RlsResult<&mut RlsClient> {
+        if !self.lrc_conns.contains_key(addr) {
+            let client = RlsClient::connect_shaped(
+                addr,
+                &self.dn,
+                self.link,
+                self.ingress.clone(),
+            )?;
+            self.lrc_conns.insert(addr.to_owned(), client);
+        }
+        Ok(self.lrc_conns.get_mut(addr).expect("just inserted"))
+    }
+
+    /// Locates live replicas of `lfn`.
+    ///
+    /// Tries each RLI until one returns candidates, then each candidate LRC
+    /// until one resolves the name — recording candidates that turn out to
+    /// be false positives or stale in [`Located::misses`]. Fails with
+    /// [`ErrorCode::LogicalNameNotFound`] only after exhausting every
+    /// candidate.
+    pub fn locate(&mut self, lfn: &str) -> RlsResult<Located> {
+        let mut last_err =
+            RlsError::new(ErrorCode::LogicalNameNotFound, format!("{lfn:?}: no RLI answered"));
+        for i in 0..self.rli_addrs.len() {
+            let hits = match self.rli_conn(i).and_then(|c| c.rli_query_lfn(lfn)) {
+                Ok(hits) => hits,
+                Err(e) => {
+                    // RLI down or name unknown there: try the next one.
+                    self.rli_conns[i] = None;
+                    last_err = e;
+                    continue;
+                }
+            };
+            let mut misses = Vec::new();
+            for hit in hits {
+                let Some(addr) = self.directory.resolve(&hit.lrc) else {
+                    misses.push(hit.lrc);
+                    continue;
+                };
+                match self.lrc_conn(&addr).and_then(|c| c.query_lfn(lfn)) {
+                    Ok(replicas) if !replicas.is_empty() => {
+                        return Ok(Located {
+                            lrc: hit.lrc,
+                            replicas,
+                            misses,
+                        })
+                    }
+                    Ok(_) => misses.push(hit.lrc),
+                    Err(e) if e.code() == ErrorCode::LogicalNameNotFound => {
+                        // Bloom false positive or stale entry: recover by
+                        // trying the next candidate (§3.2).
+                        misses.push(hit.lrc);
+                    }
+                    Err(_) => {
+                        // Connection-level failure: drop the cached conn
+                        // and treat as a miss.
+                        self.lrc_conns.remove(&addr);
+                        misses.push(hit.lrc);
+                    }
+                }
+            }
+            last_err = RlsError::new(
+                ErrorCode::LogicalNameNotFound,
+                format!("{lfn:?}: all {} candidate LRC(s) missed", misses.len()),
+            );
+        }
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::TestDeployment;
+
+    #[test]
+    fn locates_through_the_rli_tier() {
+        let dep = TestDeployment::builder().lrcs(2).rlis(2).build().unwrap();
+        let mut c1 = dep.lrc_client(1).unwrap();
+        c1.create_mapping("lfn://loc/a", "pfn://site1/a").unwrap();
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        let directory = StaticDirectory::new()
+            .with("lrc-0", dep.lrcs[0].addr().to_string())
+            .with("lrc-1", dep.lrcs[1].addr().to_string());
+        let mut locator = ReplicaLocator::new(
+            dep.rlis.iter().map(|r| r.addr().to_string()).collect(),
+            directory,
+            Dn::anonymous(),
+        );
+        let located = locator.locate("lfn://loc/a").unwrap();
+        assert_eq!(located.lrc, "lrc-1");
+        assert_eq!(located.replicas, vec!["pfn://site1/a"]);
+        assert!(located.misses.is_empty());
+        // Unknown names exhaust candidates.
+        let err = locator.locate("lfn://loc/missing").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::LogicalNameNotFound);
+    }
+
+    #[test]
+    fn recovers_from_stale_rli_entries() {
+        let dep = TestDeployment::builder().lrcs(2).rlis(1).build().unwrap();
+        let mut c0 = dep.lrc_client(0).unwrap();
+        let mut c1 = dep.lrc_client(1).unwrap();
+        c0.create_mapping("lfn://stale/x", "pfn://site0/x").unwrap();
+        c1.create_mapping("lfn://stale/x", "pfn://site1/x").unwrap();
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        // LRC 0 drops its replica after the update: the RLI is now stale.
+        c0.delete_mapping("lfn://stale/x", "pfn://site0/x").unwrap();
+        let directory = StaticDirectory::new()
+            .with("lrc-0", dep.lrcs[0].addr().to_string())
+            .with("lrc-1", dep.lrcs[1].addr().to_string());
+        let mut locator = ReplicaLocator::new(
+            vec![dep.rlis[0].addr().to_string()],
+            directory,
+            Dn::anonymous(),
+        );
+        let located = locator.locate("lfn://stale/x").unwrap();
+        assert_eq!(located.lrc, "lrc-1");
+        assert_eq!(located.replicas, vec!["pfn://site1/x"]);
+        // If candidate order put lrc-0 first, it is recorded as a miss.
+        assert!(located.misses.len() <= 1);
+    }
+
+    #[test]
+    fn fails_over_to_the_second_rli() {
+        let dep = TestDeployment::builder().lrcs(1).rlis(2).build().unwrap();
+        let mut c = dep.lrc_client(0).unwrap();
+        c.create_mapping("lfn://fo/a", "pfn://a").unwrap();
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        // First RLI in the list is dead.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let directory = StaticDirectory::new().with("lrc-0", dep.lrcs[0].addr().to_string());
+        let mut locator = ReplicaLocator::new(
+            vec![dead, dep.rlis[1].addr().to_string()],
+            directory,
+            Dn::anonymous(),
+        );
+        let located = locator.locate("lfn://fo/a").unwrap();
+        assert_eq!(located.replicas, vec!["pfn://a"]);
+    }
+}

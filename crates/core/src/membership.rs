@@ -1,0 +1,297 @@
+//! Membership management (framework element 5, paper §3.6).
+//!
+//! The framework calls for "a membership service that manages the LRCs and
+//! RLIs participating in a Replica Location Service and responds to changes
+//! in membership". The evaluated implementation — and this one — uses
+//! *static configuration*: a description of the member servers and the
+//! update topology, applied to the LRCs' `t_rli` update lists.
+//!
+//! [`MembershipConfig`] parses the same flat text format the rest of the
+//! configuration uses and [`MembershipConfig::apply`] reconciles a running
+//! LRC's update list against it, so re-applying an edited file *is* the
+//! membership change protocol: new RLIs start receiving updates on the next
+//! cycle, removed ones stop and their soft state expires — exactly the
+//! "changes to the update patterns among LRCs and RLIs" §2 describes.
+//!
+//! Format (one member per line):
+//!
+//! ```text
+//! # name        role       address          [updates: bloom|full] [patterns...]
+//! member lrc-a  lrc        127.0.0.1:39281
+//! member rli-1  rli        127.0.0.1:39282
+//! member rli-2  rli        127.0.0.1:39283
+//! update lrc-a  rli-1      bloom
+//! update lrc-a  rli-2      full ^lfn://ligo/.*
+//! ```
+
+use std::collections::HashMap;
+
+use rls_types::{Regex, RlsError, RlsResult};
+
+use crate::lrc::LrcService;
+use crate::softstate::FLAG_BLOOM;
+
+/// A member server's role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberRole {
+    /// Local Replica Catalog.
+    Lrc,
+    /// Replica Location Index.
+    Rli,
+    /// Combined server.
+    Both,
+}
+
+/// One member of the replica location service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Member {
+    /// Symbolic name used in `update` lines.
+    pub name: String,
+    /// Role.
+    pub role: MemberRole,
+    /// Network address.
+    pub address: String,
+}
+
+/// One edge of the update topology: an LRC feeding an RLI.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateEdge {
+    /// Sending LRC's member name.
+    pub from: String,
+    /// Receiving RLI's member name.
+    pub to: String,
+    /// Bloom-compressed updates requested.
+    pub bloom: bool,
+    /// Partition patterns.
+    pub patterns: Vec<String>,
+}
+
+/// A parsed membership description.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Member servers by name.
+    pub members: Vec<Member>,
+    /// Update topology.
+    pub edges: Vec<UpdateEdge>,
+}
+
+impl MembershipConfig {
+    /// Parses the membership text format.
+    pub fn parse(text: &str) -> RlsResult<Self> {
+        let mut cfg = Self::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let err = |msg: &str| {
+                RlsError::bad_request(format!("membership line {}: {msg}", lineno + 1))
+            };
+            match fields.as_slice() {
+                ["member", name, role, address] => {
+                    let role = match *role {
+                        "lrc" => MemberRole::Lrc,
+                        "rli" => MemberRole::Rli,
+                        "both" => MemberRole::Both,
+                        other => return Err(err(&format!("unknown role {other:?}"))),
+                    };
+                    if cfg.members.iter().any(|m| m.name == *name) {
+                        return Err(err(&format!("duplicate member {name:?}")));
+                    }
+                    cfg.members.push(Member {
+                        name: (*name).to_owned(),
+                        role,
+                        address: (*address).to_owned(),
+                    });
+                }
+                ["update", from, to, rest @ ..] => {
+                    let mut bloom = false;
+                    let mut patterns = Vec::new();
+                    for extra in rest {
+                        match *extra {
+                            "bloom" => bloom = true,
+                            "full" => bloom = false,
+                            pattern => {
+                                Regex::new(pattern)
+                                    .map_err(|e| e.context(format!("line {}", lineno + 1)))?;
+                                patterns.push(pattern.to_owned());
+                            }
+                        }
+                    }
+                    cfg.edges.push(UpdateEdge {
+                        from: (*from).to_owned(),
+                        to: (*to).to_owned(),
+                        bloom,
+                        patterns,
+                    });
+                }
+                _ => return Err(err("expected `member <name> <role> <addr>` or `update <from> <to> ...`")),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> RlsResult<()> {
+        let by_name: HashMap<&str, &Member> =
+            self.members.iter().map(|m| (m.name.as_str(), m)).collect();
+        for edge in &self.edges {
+            let from = by_name.get(edge.from.as_str()).ok_or_else(|| {
+                RlsError::bad_request(format!("update edge from unknown member {:?}", edge.from))
+            })?;
+            let to = by_name.get(edge.to.as_str()).ok_or_else(|| {
+                RlsError::bad_request(format!("update edge to unknown member {:?}", edge.to))
+            })?;
+            if from.role == MemberRole::Rli {
+                return Err(RlsError::bad_request(format!(
+                    "member {:?} is a pure RLI and cannot send updates",
+                    edge.from
+                )));
+            }
+            if to.role == MemberRole::Lrc {
+                return Err(RlsError::bad_request(format!(
+                    "member {:?} is a pure LRC and cannot receive updates",
+                    edge.to
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The member entry for `name`.
+    pub fn member(&self, name: &str) -> Option<&Member> {
+        self.members.iter().find(|m| m.name == name)
+    }
+
+    /// The update targets configured for the member named `lrc_name`.
+    pub fn targets_of(&self, lrc_name: &str) -> Vec<&UpdateEdge> {
+        self.edges.iter().filter(|e| e.from == lrc_name).collect()
+    }
+
+    /// Reconciles a running LRC's update list with this configuration:
+    /// registers missing RLIs, removes ones no longer listed, updates
+    /// changed flags/patterns. Returns `(added, removed)` counts —
+    /// applying an unchanged config is a no-op `(0, 0)`.
+    pub fn apply(&self, lrc_name: &str, lrc: &LrcService) -> RlsResult<(usize, usize)> {
+        let desired: HashMap<String, &UpdateEdge> = self
+            .targets_of(lrc_name)
+            .into_iter()
+            .map(|e| {
+                let addr = self
+                    .member(&e.to)
+                    .map(|m| m.address.clone())
+                    .expect("validated");
+                (addr, e)
+            })
+            .collect();
+        let mut db = lrc.db.write();
+        let current = db.list_rlis();
+        let mut added = 0;
+        let mut removed = 0;
+        // Remove or refresh existing entries.
+        for target in &current {
+            match desired.get(&target.name) {
+                None => {
+                    db.remove_rli(&target.name)?;
+                    removed += 1;
+                }
+                Some(edge) => {
+                    let flags = if edge.bloom { FLAG_BLOOM } else { 0 };
+                    if target.flags != flags || target.patterns != edge.patterns {
+                        db.remove_rli(&target.name)?;
+                        db.add_rli(&target.name, flags, &edge.patterns)?;
+                        // A changed edge counts as both.
+                        added += 1;
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        // Add new entries.
+        for (addr, edge) in &desired {
+            if !current.iter().any(|t| &t.name == addr) {
+                let flags = if edge.bloom { FLAG_BLOOM } else { 0 };
+                db.add_rli(addr, flags, &edge.patterns)?;
+                added += 1;
+            }
+        }
+        Ok((added, removed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LrcConfig;
+
+    const SAMPLE: &str = r#"
+# a three-server RLS
+member lrc-a  lrc   127.0.0.1:40001
+member rli-1  rli   127.0.0.1:40002
+member esg-x  both  127.0.0.1:40003
+
+update lrc-a  rli-1  bloom
+update lrc-a  esg-x  full ^lfn://ligo/.*
+update esg-x  rli-1  bloom
+"#;
+
+    #[test]
+    fn parse_sample() {
+        let cfg = MembershipConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.members.len(), 3);
+        assert_eq!(cfg.edges.len(), 3);
+        assert_eq!(cfg.member("esg-x").unwrap().role, MemberRole::Both);
+        let targets = cfg.targets_of("lrc-a");
+        assert_eq!(targets.len(), 2);
+        assert!(targets[0].bloom);
+        assert_eq!(targets[1].patterns, vec!["^lfn://ligo/.*"]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(MembershipConfig::parse("member a lrc x\nupdate a missing").is_err());
+        assert!(MembershipConfig::parse("member a rli x\nmember b rli y\nupdate a b").is_err());
+        assert!(MembershipConfig::parse("member a lrc x\nmember b lrc y\nupdate a b").is_err());
+        assert!(MembershipConfig::parse("member a lrc x\nmember a lrc y").is_err());
+        assert!(MembershipConfig::parse("member a superserver x").is_err());
+        assert!(MembershipConfig::parse("garbage line here also").is_err());
+        assert!(MembershipConfig::parse("member a lrc x\nmember b rli y\nupdate a b bad[re").is_err());
+    }
+
+    #[test]
+    fn apply_reconciles_update_list() {
+        let lrc = LrcService::new(LrcConfig::default()).unwrap();
+        let v1 = MembershipConfig::parse(
+            "member me lrc 127.0.0.1:1\nmember r1 rli 127.0.0.1:2\nmember r2 rli 127.0.0.1:3\n\
+             update me r1 bloom\nupdate me r2 full",
+        )
+        .unwrap();
+        assert_eq!(v1.apply("me", &lrc).unwrap(), (2, 0));
+        // Idempotent.
+        assert_eq!(v1.apply("me", &lrc).unwrap(), (0, 0));
+        assert_eq!(lrc.db.read().list_rlis().len(), 2);
+
+        // Membership change: r2 leaves, r3 joins, r1's mode flips to full.
+        let v2 = MembershipConfig::parse(
+            "member me lrc 127.0.0.1:1\nmember r1 rli 127.0.0.1:2\nmember r3 rli 127.0.0.1:4\n\
+             update me r1 full\nupdate me r3 bloom",
+        )
+        .unwrap();
+        let (added, removed) = v2.apply("me", &lrc).unwrap();
+        assert_eq!((added, removed), (2, 2)); // r3 new + r1 changed; r2 gone + r1 changed
+        let mut rlis = lrc.db.read().list_rlis();
+        rlis.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(rlis.len(), 2);
+        assert_eq!(rlis[0].name, "127.0.0.1:2");
+        assert_eq!(rlis[0].flags, 0);
+        assert_eq!(rlis[1].name, "127.0.0.1:4");
+        assert_eq!(rlis[1].flags, FLAG_BLOOM);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = MembershipConfig::parse("# nothing\n\n  # more\n").unwrap();
+        assert!(cfg.members.is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! The RLI service: relational store for uncompressed updates plus the
+//! in-memory Bloom-filter store.
+//!
+//! §3.1 of the paper: *"the RLI server uses a relational database back end
+//! when it receives full, uncompressed updates from LRCs. … When an RLI
+//! receives soft state updates using Bloom filter compression, no database
+//! is used in the RLI; Bloom filters are instead stored in RLI memory."*
+//! One server may receive both kinds concurrently (different LRCs may use
+//! different modes); queries consult both stores.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use rls_bloom::BloomFilter;
+use rls_storage::{RliDatabase, RliQueryHit};
+use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
+
+use crate::config::RliConfig;
+
+/// A Bloom filter held for one LRC, with its arrival time (Bloom summaries
+/// are soft state too and expire like relational entries).
+#[derive(Debug, Clone)]
+struct StoredBloom {
+    filter: Arc<BloomFilter>,
+    received_at: Timestamp,
+}
+
+/// The RLI role of a server.
+pub struct RliService {
+    /// Relational store for uncompressed/incremental updates.
+    pub db: RwLock<RliDatabase>,
+    blooms: RwLock<HashMap<String, StoredBloom>>,
+    config: RliConfig,
+    updates_received: AtomicU64,
+    queries: AtomicU64,
+    expired_total: AtomicU64,
+}
+
+impl std::fmt::Debug for RliService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RliService").finish_non_exhaustive()
+    }
+}
+
+impl RliService {
+    /// Builds the service, opening or creating the relational store.
+    pub fn new(config: RliConfig) -> RlsResult<Self> {
+        let db = match &config.wal_path {
+            Some(path) => RliDatabase::open(config.profile, path)?,
+            None => RliDatabase::in_memory(config.profile),
+        };
+        Ok(Self {
+            db: RwLock::new(db),
+            blooms: RwLock::new(HashMap::new()),
+            config,
+            updates_received: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            expired_total: AtomicU64::new(0),
+        })
+    }
+
+    /// The role configuration.
+    pub fn config(&self) -> &RliConfig {
+        &self.config
+    }
+
+    /// Applies one chunk of an uncompressed full update.
+    pub fn apply_full_chunk(&self, lrc: &str, lfns: &[String], at: Timestamp) -> RlsResult<u64> {
+        self.updates_received.fetch_add(1, Ordering::Relaxed);
+        self.db
+            .write()
+            .upsert_batch(lrc, lfns.iter().map(|s| s.as_str()), at)
+    }
+
+    /// Applies an incremental (immediate-mode) update.
+    pub fn apply_delta(
+        &self,
+        lrc: &str,
+        added: &[String],
+        removed: &[String],
+        at: Timestamp,
+    ) -> RlsResult<()> {
+        self.updates_received.fetch_add(1, Ordering::Relaxed);
+        let mut db = self.db.write();
+        db.upsert_batch(lrc, added.iter().map(|s| s.as_str()), at)?;
+        for lfn in removed {
+            db.remove(lfn, lrc)?;
+        }
+        Ok(())
+    }
+
+    /// Stores (replaces) the Bloom filter for an LRC.
+    pub fn apply_bloom(&self, lrc: &str, filter: BloomFilter, at: Timestamp) {
+        self.updates_received.fetch_add(1, Ordering::Relaxed);
+        self.blooms.write().insert(
+            lrc.to_owned(),
+            StoredBloom {
+                filter: Arc::new(filter),
+                received_at: at,
+            },
+        );
+    }
+
+    /// Queries all stores for a logical name. Hits from Bloom filters carry
+    /// the filter's arrival time (the filter holds no per-name timestamps).
+    ///
+    /// Errors with [`ErrorCode::LogicalNameNotFound`] when no store knows
+    /// the name, matching the relational path's behaviour.
+    pub fn query(&self, lfn: &str) -> RlsResult<Vec<RliQueryHit>> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let mut hits = match self.db.read().query(lfn) {
+            Ok(hits) => hits,
+            Err(e) if e.code() == ErrorCode::LogicalNameNotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        // Check every stored filter — the per-query cost that grows with
+        // the number of LRCs (the paper's Fig. 10, 100-filter case).
+        let blooms = self.blooms.read();
+        for (lrc, stored) in blooms.iter() {
+            if stored.filter.contains(lfn) {
+                hits.push(RliQueryHit {
+                    lrc: Arc::from(lrc.as_str()),
+                    updated_at: stored.received_at,
+                });
+            }
+        }
+        if hits.is_empty() {
+            Err(RlsError::new(
+                ErrorCode::LogicalNameNotFound,
+                format!("logical name {lfn:?} not in index"),
+            ))
+        } else {
+            Ok(hits)
+        }
+    }
+
+    /// Wildcard query — relational store only (the paper: wildcard searches
+    /// "are not possible when using Bloom filter compression").
+    pub fn wildcard_query(
+        &self,
+        glob: &Glob,
+        limit: usize,
+    ) -> RlsResult<Vec<(Arc<str>, Arc<str>)>> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.db.read().wildcard_query(glob, limit)
+    }
+
+    /// The LRCs currently known to this RLI (relational + Bloom senders).
+    pub fn lrc_list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .db
+            .read()
+            .lrc_list()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for lrc in self.blooms.read().keys() {
+            if !names.iter().any(|n| n == lrc) {
+                names.push(lrc.clone());
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Number of Bloom filters held.
+    pub fn bloom_count(&self) -> u64 {
+        self.blooms.read().len() as u64
+    }
+
+    /// Snapshot of the stored Bloom filters: `(lrc, filter)` pairs.
+    /// Used by hierarchical forwarding (§7).
+    pub fn bloom_snapshot_list(&self) -> Vec<(String, Arc<BloomFilter>)> {
+        self.blooms
+            .read()
+            .iter()
+            .map(|(lrc, stored)| (lrc.clone(), Arc::clone(&stored.filter)))
+            .collect()
+    }
+
+    /// Associations in the relational store.
+    pub fn association_count(&self) -> u64 {
+        self.db.read().association_count()
+    }
+
+    /// Soft-state updates received (all kinds).
+    pub fn updates_received(&self) -> u64 {
+        self.updates_received.load(Ordering::Relaxed)
+    }
+
+    /// Queries served.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Total associations + filters expired so far.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total.load(Ordering::Relaxed)
+    }
+
+    /// One expire pass over both stores (the paper's expire thread body).
+    pub fn expire(&self, now: Timestamp) -> RlsResult<u64> {
+        let timeout = self.config.expire_timeout;
+        let mut n = self.db.write().expire(now, timeout)?;
+        let mut blooms = self.blooms.write();
+        let before = blooms.len() as u64;
+        blooms.retain(|_, stored| !stored.received_at.is_expired(now, timeout));
+        n += before - blooms.len() as u64;
+        self.expired_total.fetch_add(n, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Expire pass with an explicit timeout (tests and benches).
+    pub fn expire_with_timeout(&self, now: Timestamp, timeout: Duration) -> RlsResult<u64> {
+        let mut n = self.db.write().expire(now, timeout)?;
+        let mut blooms = self.blooms.write();
+        let before = blooms.len() as u64;
+        blooms.retain(|_, stored| !stored.received_at.is_expired(now, timeout));
+        n += before - blooms.len() as u64;
+        self.expired_total.fetch_add(n, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_bloom::BloomParams;
+
+    fn svc() -> RliService {
+        RliService::new(RliConfig::default()).unwrap()
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_unix_secs(s)
+    }
+
+    fn bloom_of(names: &[&str]) -> BloomFilter {
+        let mut f = BloomFilter::with_capacity(BloomParams::PAPER, 1000);
+        for n in names {
+            f.insert(n);
+        }
+        f
+    }
+
+    #[test]
+    fn full_chunks_and_query() {
+        let s = svc();
+        s.apply_full_chunk(
+            "lrc-1",
+            &["lfn://a".to_owned(), "lfn://b".to_owned()],
+            ts(10),
+        )
+        .unwrap();
+        let hits = s.query("lfn://a").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(&*hits[0].lrc, "lrc-1");
+        assert!(s.query("lfn://zzz").is_err());
+        assert_eq!(s.updates_received(), 1);
+    }
+
+    #[test]
+    fn delta_updates() {
+        let s = svc();
+        s.apply_delta("lrc-1", &["lfn://a".to_owned()], &[], ts(10))
+            .unwrap();
+        assert_eq!(s.query("lfn://a").unwrap().len(), 1);
+        s.apply_delta("lrc-1", &[], &["lfn://a".to_owned()], ts(20))
+            .unwrap();
+        assert!(s.query("lfn://a").is_err());
+        // Removing an already-expired name is harmless.
+        s.apply_delta("lrc-1", &[], &["lfn://gone".to_owned()], ts(21))
+            .unwrap();
+    }
+
+    #[test]
+    fn bloom_store_and_combined_query() {
+        let s = svc();
+        s.apply_full_chunk("lrc-db", &["lfn://shared".to_owned()], ts(5))
+            .unwrap();
+        s.apply_bloom("lrc-bloom", bloom_of(&["lfn://shared", "lfn://only-bloom"]), ts(7));
+        let mut hits = s.query("lfn://shared").unwrap();
+        hits.sort_by(|a, b| a.lrc.cmp(&b.lrc));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(&*hits[0].lrc, "lrc-bloom");
+        assert_eq!(hits[0].updated_at, ts(7));
+        assert_eq!(&*hits[1].lrc, "lrc-db");
+        let hits = s.query("lfn://only-bloom").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(s.bloom_count(), 1);
+    }
+
+    #[test]
+    fn bloom_replacement_reflects_new_state() {
+        let s = svc();
+        s.apply_bloom("lrc-1", bloom_of(&["lfn://old"]), ts(1));
+        s.apply_bloom("lrc-1", bloom_of(&["lfn://new"]), ts(2));
+        assert!(s.query("lfn://old").is_err());
+        assert_eq!(s.query("lfn://new").unwrap().len(), 1);
+        assert_eq!(s.bloom_count(), 1);
+    }
+
+    #[test]
+    fn expire_covers_both_stores() {
+        let s = svc();
+        s.apply_full_chunk("lrc-db", &["lfn://a".to_owned()], ts(100))
+            .unwrap();
+        s.apply_bloom("lrc-bloom", bloom_of(&["lfn://b"]), ts(100));
+        s.apply_bloom("lrc-fresh", bloom_of(&["lfn://c"]), ts(195));
+        let n = s
+            .expire_with_timeout(ts(200), Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(s.query("lfn://a").is_err());
+        assert!(s.query("lfn://b").is_err());
+        assert_eq!(s.query("lfn://c").unwrap().len(), 1);
+        assert_eq!(s.expired_total(), 2);
+    }
+
+    #[test]
+    fn lrc_list_merges_stores() {
+        let s = svc();
+        s.apply_full_chunk("lrc-db", &["lfn://a".to_owned()], ts(1))
+            .unwrap();
+        s.apply_bloom("lrc-bloom", bloom_of(&["lfn://b"]), ts(1));
+        assert_eq!(s.lrc_list(), vec!["lrc-bloom".to_owned(), "lrc-db".to_owned()]);
+    }
+
+    #[test]
+    fn wildcard_ignores_bloom_store() {
+        let s = svc();
+        s.apply_full_chunk("lrc-db", &["lfn://x/1".to_owned()], ts(1))
+            .unwrap();
+        s.apply_bloom("lrc-bloom", bloom_of(&["lfn://x/2"]), ts(1));
+        let hits = s
+            .wildcard_query(&Glob::new("lfn://x/*").unwrap(), 100)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(&*hits[0].0, "lfn://x/1");
+    }
+}

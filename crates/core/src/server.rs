@@ -1,0 +1,405 @@
+//! The common LRC/RLI server (§3.1).
+//!
+//! A multi-threaded, connection-oriented server: an accept loop hands each
+//! connection to its own handler thread (the original is a multi-threaded C
+//! server over `globus_io`), bounded by `max_connections`. Background
+//! threads drive the soft-state update schedule (LRC role) and the expire
+//! pass (RLI role).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use rls_net::{Conn, Listener};
+use rls_proto::{Request, Response, PROTOCOL_VERSION};
+use rls_types::{RlsError, RlsResult, Timestamp};
+
+use crate::auth::Authorizer;
+use crate::config::{ServerConfig, UpdateMode};
+use crate::dispatch::{handle_request, ServerState};
+use crate::lrc::LrcService;
+use crate::rli::RliService;
+use crate::softstate::{Updater, UpdateOutcome};
+
+/// Version string advertised in handshakes: the RLS release this repo
+/// reproduces.
+pub const SERVER_VERSION: &str = "2.0.9-rust";
+
+/// A running RLS server.
+pub struct Server {
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    active_conns: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("name", &self.state.name)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds, builds the configured services, and starts the accept loop
+    /// plus background threads.
+    pub fn start(mut config: ServerConfig) -> RlsResult<Self> {
+        let listener = Listener::bind(config.bind)?;
+        let addr = listener.local_addr()?;
+        if config.name.is_empty() {
+            config.name = addr.to_string();
+        }
+        let lrc = match &config.lrc {
+            Some(lrc_cfg) => Some(Arc::new(LrcService::new(lrc_cfg.clone())?)),
+            None => None,
+        };
+        let rli = match &config.rli {
+            Some(rli_cfg) => Some(Arc::new(RliService::new(rli_cfg.clone())?)),
+            None => None,
+        };
+        if lrc.is_none() && rli.is_none() {
+            return Err(RlsError::bad_request(
+                "server must be configured as an LRC, an RLI, or both",
+            ));
+        }
+        let state = Arc::new(ServerState {
+            name: config.name.clone(),
+            version: SERVER_VERSION.to_owned(),
+            lrc,
+            rli,
+            authorizer: Authorizer::new(config.auth.clone()),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active_conns = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+
+        // Accept loop.
+        {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let active = Arc::clone(&active_conns);
+            let max_conns = config.max_connections;
+            let mut listener = listener;
+            listener.set_max_frame(config.max_frame);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rls-accept-{addr}"))
+                    .spawn(move || accept_loop(listener, state, shutdown, active, max_conns))
+                    .expect("spawn accept thread"),
+            );
+        }
+
+        // Expire thread (RLI role).
+        if let (Some(rli), Some(rli_cfg)) = (&state.rli, &config.rli) {
+            if rli_cfg.auto_expire {
+                let rli = Arc::clone(rli);
+                let shutdown = Arc::clone(&shutdown);
+                let interval = rli_cfg.expire_interval;
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("rls-expire-{addr}"))
+                        .spawn(move || expire_loop(rli, shutdown, interval))
+                        .expect("spawn expire thread"),
+                );
+            }
+        }
+
+        // Update thread (LRC role).
+        if let (Some(lrc), Some(lrc_cfg)) = (&state.lrc, &config.lrc) {
+            if lrc_cfg.update.auto && !matches!(lrc_cfg.update.mode, UpdateMode::None) {
+                let updater = Updater::new(
+                    config.name.clone(),
+                    config.dn.clone(),
+                    Arc::clone(lrc),
+                    &lrc_cfg.update,
+                );
+                let mode = lrc_cfg.update.mode.clone();
+                let shutdown = Arc::clone(&shutdown);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("rls-update-{addr}"))
+                        .spawn(move || update_loop(updater, mode, shutdown))
+                        .expect("spawn update thread"),
+                );
+            }
+        }
+
+        Ok(Self {
+            state,
+            config,
+            addr,
+            shutdown,
+            threads: Mutex::new(threads),
+            active_conns,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The advertised server name (LRC identity in updates).
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The server configuration (post-bind, with the resolved name).
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Shared state (services, authorizer).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The LRC service, if configured.
+    pub fn lrc(&self) -> Option<&Arc<LrcService>> {
+        self.state.lrc.as_ref()
+    }
+
+    /// The RLI service, if configured.
+    pub fn rli(&self) -> Option<&Arc<RliService>> {
+        self.state.rli.as_ref()
+    }
+
+    /// Currently active client connections.
+    pub fn active_connections(&self) -> usize {
+        self.active_conns.load(Ordering::Relaxed)
+    }
+
+    /// Runs one synchronous update cycle (tests/benches); requires the LRC
+    /// role.
+    pub fn run_update_cycle(&self) -> RlsResult<Vec<RlsResult<UpdateOutcome>>> {
+        let lrc = self
+            .state
+            .lrc
+            .as_ref()
+            .ok_or_else(|| RlsError::bad_request("server has no LRC role"))?;
+        let lrc_cfg = self.config.lrc.as_ref().expect("lrc config present");
+        let mut updater = Updater::new(
+            self.state.name.clone(),
+            self.config.dn.clone(),
+            Arc::clone(lrc),
+            &lrc_cfg.update,
+        );
+        Ok(updater.run_cycle())
+    }
+
+    /// Runs one synchronous delta flush (immediate mode).
+    pub fn flush_deltas(&self) -> RlsResult<Vec<UpdateOutcome>> {
+        let lrc = self
+            .state
+            .lrc
+            .as_ref()
+            .ok_or_else(|| RlsError::bad_request("server has no LRC role"))?;
+        let lrc_cfg = self.config.lrc.as_ref().expect("lrc config present");
+        let mut updater = Updater::new(
+            self.state.name.clone(),
+            self.config.dn.clone(),
+            Arc::clone(lrc),
+            &lrc_cfg.update,
+        );
+        let targets = updater.targets();
+        updater.flush_deltas(&targets)
+    }
+
+    /// Runs one synchronous expire pass; requires the RLI role.
+    pub fn run_expire(&self) -> RlsResult<u64> {
+        let rli = self
+            .state
+            .rli
+            .as_ref()
+            .ok_or_else(|| RlsError::bad_request("server has no RLI role"))?;
+        rli.expire(Timestamp::now())
+    }
+
+    /// Stops the accept loop and background threads, then joins them.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop.
+        let _ = std::net::TcpStream::connect(self.addr);
+        let threads = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    max_conns: usize,
+) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) if shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if active.load(Ordering::Relaxed) >= max_conns {
+            // Connection cap: refuse politely by dropping; the client sees
+            // EOF before HelloAck and can retry.
+            drop(conn);
+            continue;
+        }
+        active.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::clone(&state);
+        let active = Arc::clone(&active);
+        let shutdown = Arc::clone(&shutdown);
+        let _ = std::thread::Builder::new()
+            .name("rls-conn".to_owned())
+            .spawn(move || {
+                let _ = serve_connection(conn, &state, &shutdown);
+                active.fetch_sub(1, Ordering::Relaxed);
+            });
+    }
+}
+
+fn serve_connection(
+    mut conn: Conn,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+) -> RlsResult<()> {
+    // Handshake: first frame must be Hello.
+    let Some(first) = conn.recv()? else {
+        return Ok(());
+    };
+    let identity = match Request::decode(&first) {
+        Ok(Request::Hello { dn, version }) if version == PROTOCOL_VERSION => {
+            state.authorizer.authenticate(dn)
+        }
+        Ok(Request::Hello { version, .. }) => {
+            let resp = Response::Error(RlsError::protocol(format!(
+                "unsupported protocol version {version}"
+            )));
+            conn.send(&resp.encode().into_bytes())?;
+            return Ok(());
+        }
+        Ok(_) => {
+            let resp = Response::Error(RlsError::bad_request(
+                "first frame must be Hello",
+            ));
+            conn.send(&resp.encode().into_bytes())?;
+            return Ok(());
+        }
+        Err(e) => {
+            let resp = Response::Error(e);
+            conn.send(&resp.encode().into_bytes())?;
+            return Ok(());
+        }
+    };
+    let ack = Response::HelloAck {
+        server_version: state.version.clone(),
+        is_lrc: state.lrc.is_some(),
+        is_rli: state.rli.is_some(),
+    };
+    conn.send(&ack.encode().into_bytes())?;
+
+    // Request loop.
+    while !shutdown.load(Ordering::SeqCst) {
+        let Some(frame) = conn.recv()? else {
+            return Ok(()); // clean close
+        };
+        let response = match Request::decode(&frame) {
+            Ok(req) => handle_request(state, &identity, req),
+            Err(e) => Response::Error(e),
+        };
+        conn.send(&response.encode().into_bytes())?;
+    }
+    Ok(())
+}
+
+fn expire_loop(rli: Arc<RliService>, shutdown: Arc<AtomicBool>, interval: Duration) {
+    let mut next = Instant::now() + interval;
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+        if Instant::now() >= next {
+            let _ = rli.expire(Timestamp::now());
+            next = Instant::now() + interval;
+        }
+    }
+}
+
+fn update_loop(mut updater: Updater, mode: UpdateMode, shutdown: Arc<AtomicBool>) {
+    let tick = Duration::from_millis(20);
+    let now = Instant::now();
+    let (mut next_full, mut next_delta) = match &mode {
+        UpdateMode::None => return,
+        UpdateMode::Full { interval } => (Some(now + *interval), None),
+        UpdateMode::Immediate {
+            delta_interval,
+            full_interval,
+            ..
+        } => (Some(now + *full_interval), Some(now + *delta_interval)),
+        UpdateMode::Bloom { interval, .. } => (Some(now + *interval), None),
+    };
+    let delta_threshold = match &mode {
+        UpdateMode::Immediate {
+            delta_threshold, ..
+        } => *delta_threshold,
+        _ => usize::MAX,
+    };
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        // Threshold-triggered delta flush ("after a specified number of LRC
+        // updates have occurred", §3.3).
+        let threshold_hit = updater_pending(&updater) >= delta_threshold;
+        if let Some(t) = next_delta {
+            if now >= t || threshold_hit {
+                let targets = updater.targets();
+                let _ = updater.flush_deltas(&targets);
+                if let UpdateMode::Immediate { delta_interval, .. } = &mode {
+                    next_delta = Some(Instant::now() + *delta_interval);
+                }
+            }
+        } else if threshold_hit {
+            let targets = updater.targets();
+            let _ = updater.flush_deltas(&targets);
+        }
+        if let Some(t) = next_full {
+            if now >= t {
+                let _ = updater.run_cycle();
+                match &mode {
+                    UpdateMode::Full { interval } | UpdateMode::Bloom { interval, .. } => {
+                        next_full = Some(Instant::now() + *interval);
+                    }
+                    UpdateMode::Immediate { full_interval, .. } => {
+                        next_full = Some(Instant::now() + *full_interval);
+                    }
+                    UpdateMode::None => unreachable!("returned above"),
+                }
+            }
+        }
+    }
+}
+
+fn updater_pending(updater: &Updater) -> usize {
+    // Pending delta count lives on the service; reach through the updater.
+    updater_lrc(updater).pending_deltas()
+}
+
+fn updater_lrc(updater: &Updater) -> Arc<LrcService> {
+    updater.lrc_handle()
+}

@@ -1,0 +1,319 @@
+//! Soft-state update senders (§3.2–3.5).
+//!
+//! An [`Updater`] owns an LRC's outbound update machinery: connections to
+//! each RLI on the update list, the update-id counter, and the compiled
+//! partition rules. It is driven either by the server's background update
+//! thread or synchronously (tests, benches, `TestDeployment::force_updates`).
+//!
+//! Update kinds:
+//!
+//! * **Full/uncompressed** — every logical name, streamed in chunks; the
+//!   RLI upserts each into its relational store. The paper's Fig. 12 shows
+//!   why this scales poorly.
+//! * **Delta (immediate mode)** — just the LFNs registered/removed since
+//!   the last flush, plus periodic full refreshes to beat expiry (§3.3).
+//! * **Bloom** — the compressed bitmap, generated incrementally when
+//!   possible (Table 3).
+//!
+//! **Partitioning** (§3.5): when an RLI target carries regex patterns, only
+//! matching logical names are sent to it (full and delta modes; a Bloom
+//! filter summarizes the whole catalog and is sent wholesale, which is why
+//! the paper notes partitioning "is rarely used in practice" once Bloom
+//! compression is available).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rls_net::{LinkProfile, SharedIngress};
+use rls_storage::lrcdb::RliTarget;
+use rls_types::{Dn, Regex, RlsError, RlsResult};
+
+use crate::client::RlsClient;
+use crate::config::UpdateConfig;
+use crate::lrc::{DeltaLog, LrcService};
+
+/// Flag bit on an RLI target requesting Bloom-compressed updates.
+pub const FLAG_BLOOM: i64 = 1;
+
+/// What kind of update an outcome describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Uncompressed full update.
+    Full,
+    /// Incremental delta.
+    Delta,
+    /// Bloom-filter update.
+    Bloom,
+}
+
+/// The result of one update to one RLI.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// Target RLI address.
+    pub target: String,
+    /// Update kind.
+    pub kind: UpdateKind,
+    /// Wall-clock duration of the send (the paper's "time for soft state
+    /// update to complete … measured from the LRC's perspective").
+    pub duration: Duration,
+    /// Seconds spent (re)generating a Bloom filter, zero when the
+    /// incrementally-maintained filter was reused (Table 3, column 3).
+    pub generate_seconds: f64,
+    /// Logical names carried (full/delta) or summarized (bloom).
+    pub names: u64,
+    /// Approximate payload bytes.
+    pub bytes: u64,
+}
+
+/// Outbound update machinery for one LRC.
+pub struct Updater {
+    lrc_name: String,
+    dn: Dn,
+    lrc: Arc<LrcService>,
+    link: LinkProfile,
+    ingress: Option<SharedIngress>,
+    chunk_size: usize,
+    conns: HashMap<String, RlsClient>,
+    next_update_id: u64,
+}
+
+impl std::fmt::Debug for Updater {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Updater")
+            .field("lrc_name", &self.lrc_name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Updater {
+    /// Builds an updater for `lrc`, advertising `lrc_name` to RLIs.
+    pub fn new(lrc_name: String, dn: Dn, lrc: Arc<LrcService>, cfg: &UpdateConfig) -> Self {
+        Self {
+            lrc_name,
+            dn,
+            lrc,
+            link: cfg.link,
+            ingress: cfg.ingress.clone(),
+            chunk_size: cfg.chunk_size.max(1),
+            conns: HashMap::new(),
+            next_update_id: 1,
+        }
+    }
+
+    /// The advertised LRC name.
+    pub fn lrc_name(&self) -> &str {
+        &self.lrc_name
+    }
+
+    fn conn(&mut self, target: &str) -> RlsResult<&mut RlsClient> {
+        if !self.conns.contains_key(target) {
+            let client =
+                RlsClient::connect_shaped(target, &self.dn, self.link, self.ingress.clone())?;
+            self.conns.insert(target.to_owned(), client);
+        }
+        Ok(self.conns.get_mut(target).expect("just inserted"))
+    }
+
+    /// Drops a cached connection (after a send failure).
+    fn drop_conn(&mut self, target: &str) {
+        self.conns.remove(target);
+    }
+
+    fn compile_partitions(target: &RliTarget) -> RlsResult<Vec<Regex>> {
+        target
+            .patterns
+            .iter()
+            .map(|p| {
+                Regex::new(p).map_err(|e| e.context(format!("partition pattern for {}", target.name)))
+            })
+            .collect()
+    }
+
+    fn matches_partitions(patterns: &[Regex], lfn: &str) -> bool {
+        patterns.is_empty() || patterns.iter().any(|re| re.is_match(lfn))
+    }
+
+    /// Sends an uncompressed full update to one RLI.
+    pub fn send_full(&mut self, target: &RliTarget) -> RlsResult<UpdateOutcome> {
+        let patterns = Self::compile_partitions(target)?;
+        // Snapshot the namespace (shared Arcs, not copies of the strings).
+        let lfns: Vec<String> = {
+            let db = self.lrc.db.read();
+            let mut v = Vec::with_capacity(db.lfn_count() as usize);
+            db.for_each_lfn(|lfn| {
+                if Self::matches_partitions(&patterns, lfn) {
+                    v.push(lfn.to_owned());
+                }
+            });
+            v
+        };
+        let update_id = self.next_update_id;
+        self.next_update_id += 1;
+        let lrc_name = self.lrc_name.clone();
+        let chunk_size = self.chunk_size;
+        let names = lfns.len() as u64;
+        let bytes: u64 = lfns.iter().map(|s| s.len() as u64 + 4).sum();
+        let t0 = Instant::now();
+        let result = (|| -> RlsResult<()> {
+            let conn = self.conn(&target.name)?;
+            if lfns.is_empty() {
+                conn.send_full_chunk(&lrc_name, update_id, 0, true, Vec::new())?;
+                return Ok(());
+            }
+            let chunks: Vec<&[String]> = lfns.chunks(chunk_size).collect();
+            let last_idx = chunks.len() - 1;
+            for (seq, chunk) in chunks.into_iter().enumerate() {
+                conn.send_full_chunk(
+                    &lrc_name,
+                    update_id,
+                    seq as u32,
+                    seq == last_idx,
+                    chunk.to_vec(),
+                )?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.drop_conn(&target.name);
+            return Err(e);
+        }
+        Ok(UpdateOutcome {
+            target: target.name.clone(),
+            kind: UpdateKind::Full,
+            duration: t0.elapsed(),
+            generate_seconds: 0.0,
+            names,
+            bytes,
+        })
+    }
+
+    /// Sends a Bloom update to one RLI.
+    pub fn send_bloom(&mut self, target: &RliTarget) -> RlsResult<UpdateOutcome> {
+        let (filter, generate_seconds) = self.lrc.bloom_snapshot();
+        let names = filter.entries();
+        let bytes = filter.byte_len() as u64;
+        let lrc_name = self.lrc_name.clone();
+        let t0 = Instant::now();
+        let result = self
+            .conn(&target.name)
+            .and_then(|conn| conn.send_bloom(&lrc_name, &filter));
+        if let Err(e) = result {
+            self.drop_conn(&target.name);
+            return Err(e);
+        }
+        Ok(UpdateOutcome {
+            target: target.name.clone(),
+            kind: UpdateKind::Bloom,
+            duration: t0.elapsed(),
+            generate_seconds,
+            names,
+            bytes,
+        })
+    }
+
+    /// Flushes the delta journal to every non-Bloom RLI on the update list.
+    /// Deltas are re-queued on total failure so the next flush retries;
+    /// on *partial* failure (some RLIs reached, others not) the journal is
+    /// considered consumed — the unreached RLIs converge at the next
+    /// periodic full refresh, which is exactly the healing role immediate
+    /// mode's "infrequent full updates" play in §3.3.
+    pub fn flush_deltas(&mut self, targets: &[RliTarget]) -> RlsResult<Vec<UpdateOutcome>> {
+        let log = self.lrc.take_deltas();
+        if log.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut outcomes = Vec::new();
+        let mut attempted = 0usize;
+        let mut delivered_any = false;
+        for target in targets.iter().filter(|t| t.flags & FLAG_BLOOM == 0) {
+            let patterns = Self::compile_partitions(target)?;
+            let added: Vec<String> = log
+                .added
+                .iter()
+                .filter(|l| Self::matches_partitions(&patterns, l))
+                .cloned()
+                .collect();
+            let removed: Vec<String> = log
+                .removed
+                .iter()
+                .filter(|l| Self::matches_partitions(&patterns, l))
+                .cloned()
+                .collect();
+            if added.is_empty() && removed.is_empty() {
+                continue;
+            }
+            attempted += 1;
+            let names = (added.len() + removed.len()) as u64;
+            let bytes: u64 = added
+                .iter()
+                .chain(&removed)
+                .map(|s| s.len() as u64 + 4)
+                .sum();
+            let lrc_name = self.lrc_name.clone();
+            let t0 = Instant::now();
+            let result = self
+                .conn(&target.name)
+                .and_then(|conn| conn.send_delta(&lrc_name, added, removed));
+            match result {
+                Ok(()) => {
+                    delivered_any = true;
+                    outcomes.push(UpdateOutcome {
+                        target: target.name.clone(),
+                        kind: UpdateKind::Delta,
+                        duration: t0.elapsed(),
+                        generate_seconds: 0.0,
+                        names,
+                        bytes,
+                    });
+                }
+                Err(_) => self.drop_conn(&target.name),
+            }
+        }
+        if attempted > 0 && !delivered_any {
+            // Every send failed: put the journal back for retry.
+            self.lrc.requeue_deltas(log);
+            return Err(RlsError::new(
+                rls_types::ErrorCode::Io,
+                "no RLI reachable for delta flush (re-queued)",
+            ));
+        }
+        // attempted == 0 means no non-Bloom target wanted any of these
+        // names (all-Bloom update lists are covered by filter pushes, and
+        // partition-unmatched names are indexed nowhere by design, §3.5):
+        // the journal is correctly dropped, not re-queued.
+        Ok(outcomes)
+    }
+
+    /// Re-queues an unflushed journal (used by the background thread on
+    /// shutdown).
+    pub fn requeue(&self, log: DeltaLog) {
+        self.lrc.requeue_deltas(log);
+    }
+
+    /// Runs one complete update cycle: Bloom targets get filters, the rest
+    /// get full updates. Returns one result per target.
+    pub fn run_cycle(&mut self) -> Vec<RlsResult<UpdateOutcome>> {
+        let targets = self.lrc.db.read().list_rlis();
+        targets
+            .iter()
+            .map(|t| {
+                if t.flags & FLAG_BLOOM != 0 {
+                    self.send_bloom(t)
+                } else {
+                    self.send_full(t)
+                }
+            })
+            .collect()
+    }
+
+    /// Current RLI update-list snapshot.
+    pub fn targets(&self) -> Vec<RliTarget> {
+        self.lrc.db.read().list_rlis()
+    }
+
+    /// Handle to the LRC service this updater drains.
+    pub fn lrc_handle(&self) -> Arc<LrcService> {
+        Arc::clone(&self.lrc)
+    }
+}

@@ -1,0 +1,270 @@
+//! Deployment harness: spin up wired LRC/RLI topologies on loopback TCP.
+//!
+//! Used by the quickstart example, the integration tests, and every
+//! benchmark harness. Mirrors the deployments of the paper's §6: LIGO
+//! (LRCs + RLIs), Earth System Grid (fully-connected combined servers),
+//! Pegasus (6 LRCs / 4 RLIs).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rls_bloom::BloomParams;
+use rls_net::{LinkProfile, SharedIngress};
+use rls_storage::BackendProfile;
+use rls_types::{Dn, RlsResult};
+
+use crate::client::RlsClient;
+use crate::config::{LrcConfig, RliConfig, ServerConfig, UpdateConfig, UpdateMode};
+use crate::server::Server;
+use crate::softstate::{Updater, UpdateOutcome, FLAG_BLOOM};
+
+/// Builder for a [`TestDeployment`].
+#[derive(Clone, Debug)]
+pub struct TestDeploymentBuilder {
+    lrcs: usize,
+    rlis: usize,
+    bloom: bool,
+    immediate: bool,
+    auto: bool,
+    profile: BackendProfile,
+    link: LinkProfile,
+    ingress: Option<SharedIngress>,
+    expire_timeout: Duration,
+    chunk_size: usize,
+    update_interval: Duration,
+}
+
+impl Default for TestDeploymentBuilder {
+    fn default() -> Self {
+        Self {
+            lrcs: 1,
+            rlis: 1,
+            bloom: false,
+            immediate: false,
+            auto: false,
+            profile: BackendProfile::mysql_buffered(),
+            link: LinkProfile::unshaped(),
+            ingress: None,
+            expire_timeout: Duration::from_secs(3600),
+            chunk_size: 10_000,
+            update_interval: Duration::from_secs(3600),
+        }
+    }
+}
+
+impl TestDeploymentBuilder {
+    /// Number of LRC servers.
+    pub fn lrcs(mut self, n: usize) -> Self {
+        self.lrcs = n;
+        self
+    }
+
+    /// Number of RLI servers.
+    pub fn rlis(mut self, n: usize) -> Self {
+        self.rlis = n;
+        self
+    }
+
+    /// Use Bloom-filter updates instead of uncompressed ones.
+    pub fn bloom(mut self, yes: bool) -> Self {
+        self.bloom = yes;
+        self
+    }
+
+    /// Use immediate (incremental) mode.
+    pub fn immediate(mut self, yes: bool) -> Self {
+        self.immediate = yes;
+        self
+    }
+
+    /// Spawn background update/expire threads (otherwise drive manually
+    /// with [`TestDeployment::force_updates`]).
+    pub fn auto(mut self, yes: bool) -> Self {
+        self.auto = yes;
+        self
+    }
+
+    /// Database backend profile for all servers.
+    pub fn profile(mut self, p: BackendProfile) -> Self {
+        self.profile = p;
+        self
+    }
+
+    /// Link profile for LRC→RLI update traffic.
+    pub fn update_link(mut self, link: LinkProfile) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Shared ingress pool for update traffic (Fig. 13 contention).
+    pub fn update_ingress(mut self, ingress: SharedIngress) -> Self {
+        self.ingress = Some(ingress);
+        self
+    }
+
+    /// RLI soft-state timeout.
+    pub fn expire_timeout(mut self, d: Duration) -> Self {
+        self.expire_timeout = d;
+        self
+    }
+
+    /// Names per full-update chunk.
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = n;
+        self
+    }
+
+    /// Background update period (with [`Self::auto`]).
+    pub fn update_interval(mut self, d: Duration) -> Self {
+        self.update_interval = d;
+        self
+    }
+
+    /// Starts the deployment.
+    pub fn build(self) -> RlsResult<TestDeployment> {
+        let mut rlis = Vec::with_capacity(self.rlis);
+        for i in 0..self.rlis {
+            let cfg = ServerConfig {
+                name: format!("rli-{i}"),
+                rli: Some(RliConfig {
+                    profile: self.profile,
+                    expire_timeout: self.expire_timeout,
+                    auto_expire: self.auto,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            };
+            rlis.push(Server::start(cfg)?);
+        }
+        let mode = if self.bloom {
+            UpdateMode::Bloom {
+                interval: self.update_interval,
+                params: BloomParams::PAPER,
+            }
+        } else if self.immediate {
+            UpdateMode::Immediate {
+                delta_interval: self.update_interval.min(Duration::from_secs(30)),
+                delta_threshold: 100,
+                full_interval: self.update_interval.max(Duration::from_secs(60)),
+            }
+        } else {
+            UpdateMode::Full {
+                interval: self.update_interval,
+            }
+        };
+        let mut lrcs = Vec::with_capacity(self.lrcs);
+        for i in 0..self.lrcs {
+            let cfg = ServerConfig {
+                name: format!("lrc-{i}"),
+                lrc: Some(LrcConfig {
+                    profile: self.profile,
+                    wal_path: None,
+                    update: UpdateConfig {
+                        mode: mode.clone(),
+                        chunk_size: self.chunk_size,
+                        link: self.link,
+                        ingress: self.ingress.clone(),
+                        auto: self.auto,
+                    },
+                }),
+                ..Default::default()
+            };
+            let server = Server::start(cfg)?;
+            // Register every RLI on this LRC's update list.
+            let flags = if self.bloom { FLAG_BLOOM } else { 0 };
+            {
+                let lrc = server.lrc().expect("lrc role");
+                let mut db = lrc.db.write();
+                for rli in &rlis {
+                    db.add_rli(&rli.addr().to_string(), flags, &[])?;
+                }
+            }
+            lrcs.push(server);
+        }
+        Ok(TestDeployment { lrcs, rlis })
+    }
+}
+
+/// A running multi-server deployment on loopback.
+pub struct TestDeployment {
+    /// LRC servers.
+    pub lrcs: Vec<Server>,
+    /// RLI servers.
+    pub rlis: Vec<Server>,
+}
+
+impl TestDeployment {
+    /// Starts building a deployment.
+    pub fn builder() -> TestDeploymentBuilder {
+        TestDeploymentBuilder::default()
+    }
+
+    /// Connects a client to LRC `i`.
+    pub fn lrc_client(&self, i: usize) -> RlsResult<RlsClient> {
+        RlsClient::connect(self.lrcs[i].addr(), &Dn::anonymous())
+    }
+
+    /// Connects a client to RLI `i`.
+    pub fn rli_client(&self, i: usize) -> RlsResult<RlsClient> {
+        RlsClient::connect(self.rlis[i].addr(), &Dn::anonymous())
+    }
+
+    /// Synchronously pushes one update cycle from every LRC.
+    pub fn force_updates(&self) -> Vec<RlsResult<UpdateOutcome>> {
+        let mut all = Vec::new();
+        for lrc in &self.lrcs {
+            match lrc.run_update_cycle() {
+                Ok(outcomes) => all.extend(outcomes),
+                Err(e) => all.push(Err(e)),
+            }
+        }
+        all
+    }
+
+    /// Synchronously flushes immediate-mode deltas from every LRC.
+    pub fn flush_deltas(&self) -> Vec<RlsResult<Vec<UpdateOutcome>>> {
+        self.lrcs.iter().map(Server::flush_deltas).collect()
+    }
+
+    /// Synchronously runs one expire pass on every RLI.
+    pub fn force_expire(&self) -> RlsResult<u64> {
+        let mut total = 0;
+        for rli in &self.rlis {
+            total += rli.run_expire()?;
+        }
+        Ok(total)
+    }
+
+    /// A standalone [`Updater`] for LRC `i` (benches that need per-update
+    /// timing control).
+    pub fn updater(&self, i: usize) -> Updater {
+        let server = &self.lrcs[i];
+        let lrc = server.lrc().expect("lrc role");
+        let cfg = server
+            .config()
+            .lrc
+            .as_ref()
+            .expect("lrc config")
+            .update
+            .clone();
+        Updater::new(
+            server.name().to_owned(),
+            server.config().dn.clone(),
+            Arc::clone(lrc),
+            &cfg,
+        )
+    }
+
+    /// Shuts every server down.
+    pub fn shutdown(&self) {
+        for s in self.lrcs.iter().chain(&self.rlis) {
+            s.shutdown();
+        }
+    }
+}
+
+impl Drop for TestDeployment {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,514 @@
+//! End-to-end tests: real servers on loopback TCP, real clients, full
+//! soft-state flows.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rls_core::testkit::TestDeployment;
+use rls_core::{AuthConfig, LrcConfig, RliConfig, RlsClient, Server, ServerConfig};
+use rls_types::{AclEntry, AclSubject, Dn, ErrorCode, Mapping, Privilege};
+
+fn anon() -> Dn {
+    Dn::anonymous()
+}
+
+#[test]
+fn lrc_crud_over_the_wire() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    assert!(c.server_is_lrc());
+    assert!(!c.server_is_rli());
+    c.ping().unwrap();
+
+    c.create_mapping("lfn://e2e/a", "gsiftp://site/a").unwrap();
+    c.add_mapping("lfn://e2e/a", "gsiftp://mirror/a").unwrap();
+    let mut targets = c.query_lfn("lfn://e2e/a").unwrap();
+    targets.sort();
+    assert_eq!(targets, vec!["gsiftp://mirror/a", "gsiftp://site/a"]);
+
+    let logicals = c.query_pfn("gsiftp://site/a").unwrap();
+    assert_eq!(logicals, vec!["lfn://e2e/a"]);
+
+    let err = c.create_mapping("lfn://e2e/a", "gsiftp://x").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::MappingExists);
+
+    c.delete_mapping("lfn://e2e/a", "gsiftp://site/a").unwrap();
+    c.delete_mapping("lfn://e2e/a", "gsiftp://mirror/a").unwrap();
+    let err = c.query_lfn("lfn://e2e/a").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::LogicalNameNotFound);
+}
+
+#[test]
+fn bulk_operations_over_the_wire() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    let mappings: Vec<Mapping> = (0..100)
+        .map(|i| Mapping::new(format!("lfn://bulk/{i}"), format!("pfn://bulk/{i}")).unwrap())
+        .collect();
+    let failures = c.bulk_create(mappings.clone()).unwrap();
+    assert!(failures.is_empty());
+    // Re-creating everything fails per item.
+    let failures = c.bulk_create(mappings.clone()).unwrap();
+    assert_eq!(failures.len(), 100);
+    // Bulk query mixes hits and misses.
+    let mut names: Vec<String> = (0..5).map(|i| format!("lfn://bulk/{i}")).collect();
+    names.push("lfn://missing".to_owned());
+    let results = c.bulk_query_lfn(names).unwrap();
+    assert_eq!(results.len(), 6);
+    assert!(results[..5].iter().all(|(_, r)| r.is_ok()));
+    assert!(results[5].1.is_err());
+    // Wildcard.
+    let hits = c.wildcard_query_lfn("lfn://bulk/1*", 1000).unwrap();
+    assert_eq!(hits.len(), 11); // 1, 10..19
+    let failures = c.bulk_delete(mappings).unwrap();
+    assert!(failures.is_empty());
+}
+
+#[test]
+fn uncompressed_soft_state_flow() {
+    let dep = TestDeployment::builder().lrcs(2).rlis(1).build().unwrap();
+    let mut c0 = dep.lrc_client(0).unwrap();
+    let mut c1 = dep.lrc_client(1).unwrap();
+    c0.create_mapping("lfn://shared", "pfn://site0/f").unwrap();
+    c1.create_mapping("lfn://shared", "pfn://site1/f").unwrap();
+    c1.create_mapping("lfn://only-1", "pfn://site1/g").unwrap();
+
+    let outcomes = dep.force_updates();
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert!(o.is_ok(), "{o:?}");
+    }
+
+    let mut rli = dep.rli_client(0).unwrap();
+    let mut hits = rli.rli_query_lfn("lfn://shared").unwrap();
+    hits.sort_by(|a, b| a.lrc.cmp(&b.lrc));
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].lrc, "lrc-0");
+    assert_eq!(hits[1].lrc, "lrc-1");
+    let hits = rli.rli_query_lfn("lfn://only-1").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].lrc, "lrc-1");
+    // RLI wildcard works in uncompressed mode.
+    let pairs = rli.rli_wildcard_query("lfn://*", 100).unwrap();
+    assert_eq!(pairs.len(), 3);
+    // LRC list.
+    let lrcs = rli.rli_list_lrcs().unwrap();
+    assert_eq!(lrcs, vec!["lrc-0", "lrc-1"]);
+}
+
+#[test]
+fn bloom_soft_state_flow() {
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .bloom(true)
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..500 {
+        c.create_mapping(&format!("lfn://bloom/{i}"), &format!("pfn://b/{i}"))
+            .unwrap();
+    }
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let mut rli = dep.rli_client(0).unwrap();
+    // Every registered name must hit (no false negatives).
+    for i in (0..500).step_by(50) {
+        let hits = rli.rli_query_lfn(&format!("lfn://bloom/{i}")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lrc, "lrc-0");
+    }
+    // Wildcard impossible against a bloom-only RLI: empty results.
+    let pairs = rli.rli_wildcard_query("lfn://bloom/*", 10).unwrap();
+    assert!(pairs.is_empty());
+    // Stats report one bloom filter.
+    let stats = rli.stats().unwrap();
+    assert_eq!(stats.rli_bloom_filters, 1);
+    assert!(stats.updates_received >= 1);
+
+    // Deletions propagate on the next filter push.
+    for i in 0..500 {
+        c.delete_mapping(&format!("lfn://bloom/{i}"), &format!("pfn://b/{i}"))
+            .unwrap();
+    }
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let err = rli.rli_query_lfn("lfn://bloom/0").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::LogicalNameNotFound);
+}
+
+#[test]
+fn immediate_mode_delta_flow() {
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .immediate(true)
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://imm/a", "pfn://1").unwrap();
+    c.create_mapping("lfn://imm/b", "pfn://2").unwrap();
+    // Deltas flushed manually (auto threads are off in the testkit).
+    for r in dep.flush_deltas() {
+        r.unwrap();
+    }
+    let mut rli = dep.rli_client(0).unwrap();
+    assert_eq!(rli.rli_query_lfn("lfn://imm/a").unwrap().len(), 1);
+    // A removal travels in the next delta.
+    c.delete_mapping("lfn://imm/b", "pfn://2").unwrap();
+    for r in dep.flush_deltas() {
+        r.unwrap();
+    }
+    let err = rli.rli_query_lfn("lfn://imm/b").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::LogicalNameNotFound);
+    // Flushing with no pending deltas is a no-op.
+    for r in dep.flush_deltas() {
+        assert!(r.unwrap().is_empty());
+    }
+}
+
+#[test]
+fn soft_state_expiry_over_the_wire() {
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .expire_timeout(Duration::from_millis(80))
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://exp/a", "pfn://1").unwrap();
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let mut rli = dep.rli_client(0).unwrap();
+    assert_eq!(rli.rli_query_lfn("lfn://exp/a").unwrap().len(), 1);
+    std::thread::sleep(Duration::from_millis(150));
+    let expired = dep.force_expire().unwrap();
+    assert_eq!(expired, 1);
+    assert!(rli.rli_query_lfn("lfn://exp/a").is_err());
+    // A fresh update resurrects the entry (soft-state refresh).
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli.rli_query_lfn("lfn://exp/a").unwrap().len(), 1);
+}
+
+#[test]
+fn namespace_partitioning_routes_updates() {
+    // One LRC, two RLIs: ligo names to rli-0, sdss names to rli-1.
+    let dep = TestDeployment::builder().lrcs(1).rlis(2).build().unwrap();
+    {
+        let lrc = dep.lrcs[0].lrc().unwrap();
+        let mut db = lrc.db.write();
+        // Replace the default (unpartitioned) update list.
+        db.remove_rli(&dep.rlis[0].addr().to_string()).unwrap();
+        db.remove_rli(&dep.rlis[1].addr().to_string()).unwrap();
+        db.add_rli(
+            &dep.rlis[0].addr().to_string(),
+            0,
+            &["^lfn://ligo/.*".to_owned()],
+        )
+        .unwrap();
+        db.add_rli(
+            &dep.rlis[1].addr().to_string(),
+            0,
+            &["^lfn://sdss/.*".to_owned()],
+        )
+        .unwrap();
+    }
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://ligo/frame1", "pfn://l/1").unwrap();
+    c.create_mapping("lfn://sdss/plate1", "pfn://s/1").unwrap();
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let mut rli0 = dep.rli_client(0).unwrap();
+    let mut rli1 = dep.rli_client(1).unwrap();
+    assert!(rli0.rli_query_lfn("lfn://ligo/frame1").is_ok());
+    assert!(rli0.rli_query_lfn("lfn://sdss/plate1").is_err());
+    assert!(rli1.rli_query_lfn("lfn://sdss/plate1").is_ok());
+    assert!(rli1.rli_query_lfn("lfn://ligo/frame1").is_err());
+}
+
+#[test]
+fn auth_enforced_over_the_wire() {
+    let mut auth = AuthConfig {
+        enabled: true,
+        ..Default::default()
+    };
+    auth.gridmap
+        .insert("/O=Grid/OU=ISI/CN=Writer".to_owned(), "grid-writer".to_owned());
+    auth.acl.push(
+        AclEntry::new(AclSubject::Dn, "/O=Grid/.*", vec![Privilege::LrcRead]).unwrap(),
+    );
+    auth.acl.push(
+        AclEntry::new(
+            AclSubject::LocalUser,
+            "grid-writer",
+            vec![Privilege::LrcWrite],
+        )
+        .unwrap(),
+    );
+    let server = Server::start(ServerConfig {
+        lrc: Some(LrcConfig::default()),
+        auth,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    let writer = Dn::new("/O=Grid/OU=ISI/CN=Writer");
+    let reader = Dn::new("/O=Grid/OU=UCLA/CN=Reader");
+    let stranger = Dn::new("/nobody");
+
+    let mut wc = RlsClient::connect(server.addr(), &writer).unwrap();
+    wc.create_mapping("lfn://auth/a", "pfn://1").unwrap();
+
+    let mut rc = RlsClient::connect(server.addr(), &reader).unwrap();
+    assert_eq!(rc.query_lfn("lfn://auth/a").unwrap().len(), 1);
+    let err = rc.create_mapping("lfn://auth/b", "pfn://2").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::PermissionDenied);
+
+    let mut sc = RlsClient::connect(server.addr(), &stranger).unwrap();
+    let err = sc.query_lfn("lfn://auth/a").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::PermissionDenied);
+    sc.ping().unwrap(); // ping needs no privilege
+}
+
+#[test]
+fn attributes_over_the_wire() {
+    use rls_types::{AttrCompare, AttrValue, AttrValueType, AttributeDef, ObjectType};
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://f", "pfn://f").unwrap();
+    c.define_attribute(
+        AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap(),
+    )
+    .unwrap();
+    c.add_attribute("pfn://f", ObjectType::Target, "size", AttrValue::Int(4096))
+        .unwrap();
+    let attrs = c.get_attributes("pfn://f", ObjectType::Target, None).unwrap();
+    assert_eq!(attrs, vec![("size".to_owned(), AttrValue::Int(4096))]);
+    let found = c
+        .search_attribute(
+            "size",
+            ObjectType::Target,
+            AttrCompare::Ge,
+            Some(AttrValue::Int(1000)),
+        )
+        .unwrap();
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].0, "pfn://f");
+    c.modify_attribute("pfn://f", ObjectType::Target, "size", AttrValue::Int(1))
+        .unwrap();
+    c.remove_attribute("pfn://f", ObjectType::Target, "size")
+        .unwrap();
+    c.undefine_attribute("size", ObjectType::Target, false).unwrap();
+}
+
+#[test]
+fn bulk_attribute_ops_over_the_wire() {
+    use rls_proto::AttrAssignment;
+    use rls_types::{AttrValue, AttrValueType, AttributeDef, ObjectType};
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..20 {
+        c.create_mapping(&format!("lfn://ba/{i}"), &format!("pfn://ba/{i}"))
+            .unwrap();
+    }
+    c.define_attribute(
+        AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap(),
+    )
+    .unwrap();
+    let assign = |v: i64| -> Vec<AttrAssignment> {
+        (0..20)
+            .map(|i| AttrAssignment {
+                obj: format!("pfn://ba/{i}"),
+                objtype: ObjectType::Target,
+                name: "size".into(),
+                value: AttrValue::Int(v + i),
+            })
+            .collect()
+    };
+    assert!(c.bulk_add_attributes(assign(100)).unwrap().is_empty());
+    // Re-adding fails per item; modifying succeeds.
+    assert_eq!(c.bulk_add_attributes(assign(100)).unwrap().len(), 20);
+    assert!(c.bulk_modify_attributes(assign(500)).unwrap().is_empty());
+    let attrs = c
+        .get_attributes("pfn://ba/3", ObjectType::Target, Some("size"))
+        .unwrap();
+    assert_eq!(attrs[0].1, AttrValue::Int(503));
+    // Bulk remove, half of them twice (second pass fails per item).
+    let keys: Vec<(String, ObjectType, String)> = (0..20)
+        .map(|i| (format!("pfn://ba/{i}"), ObjectType::Target, "size".to_owned()))
+        .collect();
+    assert!(c.bulk_remove_attributes(keys.clone()).unwrap().is_empty());
+    assert_eq!(c.bulk_remove_attributes(keys).unwrap().len(), 20);
+}
+
+#[test]
+fn combined_server_full_mesh_esg_style() {
+    // Four combined LRC+RLI servers in a fully-connected configuration,
+    // like the Earth System Grid deployment (§6).
+    let mut servers = Vec::new();
+    for i in 0..4 {
+        let server = Server::start(ServerConfig {
+            name: format!("esg-{i}"),
+            lrc: Some(LrcConfig::default()),
+            rli: Some(RliConfig::default()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        servers.push(server);
+    }
+    // Everyone updates everyone else.
+    for (i, s) in servers.iter().enumerate() {
+        let lrc = s.lrc().unwrap();
+        let mut db = lrc.db.write();
+        for (j, other) in servers.iter().enumerate() {
+            if i != j {
+                db.add_rli(&other.addr().to_string(), 0, &[]).unwrap();
+            }
+        }
+    }
+    // Register a different file on each site.
+    for (i, s) in servers.iter().enumerate() {
+        let mut c = RlsClient::connect(s.addr(), &anon()).unwrap();
+        c.create_mapping(&format!("lfn://esg/file{i}"), &format!("pfn://esg{i}/f"))
+            .unwrap();
+    }
+    for s in &servers {
+        for o in s.run_update_cycle().unwrap() {
+            o.unwrap();
+        }
+    }
+    // Any server's RLI can locate any site's file.
+    let mut c = RlsClient::connect(servers[0].addr(), &anon()).unwrap();
+    for i in 1..4 {
+        let hits = c.rli_query_lfn(&format!("lfn://esg/file{i}")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lrc, format!("esg-{i}"));
+    }
+}
+
+#[test]
+fn hierarchical_rli_forwarding() {
+    use rls_core::hierarchy::RliForwarder;
+    use rls_net::LinkProfile;
+    // LRC → child RLI → parent RLI.
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    let parent = Server::start(ServerConfig {
+        name: "parent-rli".into(),
+        rli: Some(RliConfig::default()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://hier/a", "pfn://1").unwrap();
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let forwarder = RliForwarder::new(
+        dep.rlis[0].addr().to_string(),
+        anon(),
+        Arc::clone(dep.rlis[0].rli().unwrap()),
+        LinkProfile::unshaped(),
+    );
+    let shipped = forwarder.forward(&parent.addr().to_string()).unwrap();
+    assert_eq!(shipped, 1); // one relational summary, no per-LRC filters
+    // Parent points at the child RLI; client then queries the child.
+    let mut pc = RlsClient::connect(parent.addr(), &anon()).unwrap();
+    let hits = pc.rli_query_lfn("lfn://hier/a").unwrap();
+    assert_eq!(hits.len(), 1);
+    let child_addr = hits[0].lrc.clone();
+    let mut cc = RlsClient::connect(child_addr.as_str(), &anon()).unwrap();
+    let hits = cc.rli_query_lfn("lfn://hier/a").unwrap();
+    assert_eq!(hits[0].lrc, "lrc-0");
+}
+
+#[test]
+fn hierarchical_forwarding_relays_bloom_filters() {
+    use rls_core::hierarchy::RliForwarder;
+    use rls_net::LinkProfile;
+    use std::sync::Arc;
+    // Bloom-mode LRC → child RLI (holds a per-LRC filter) → parent RLI.
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .bloom(true)
+        .build()
+        .unwrap();
+    let parent = Server::start(ServerConfig {
+        name: "parent-rli".into(),
+        rli: Some(RliConfig::default()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://hierbloom/a", "pfn://1").unwrap();
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let forwarder = RliForwarder::new(
+        dep.rlis[0].addr().to_string(),
+        anon(),
+        Arc::clone(dep.rlis[0].rli().unwrap()),
+        LinkProfile::unshaped(),
+    );
+    // One per-LRC filter forwarded verbatim; relational store empty so no
+    // child summary ships.
+    let shipped = forwarder.forward(&parent.addr().to_string()).unwrap();
+    assert_eq!(shipped, 1);
+    // The parent points straight at the original LRC (no extra hop).
+    let mut pc = RlsClient::connect(parent.addr(), &anon()).unwrap();
+    let hits = pc.rli_query_lfn("lfn://hierbloom/a").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].lrc, "lrc-0");
+}
+
+#[test]
+fn concurrent_clients_hammer_one_lrc() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let addr = dep.lrcs[0].addr();
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            s.spawn(move || {
+                let mut c = RlsClient::connect(addr, &anon()).unwrap();
+                for i in 0..50 {
+                    c.create_mapping(
+                        &format!("lfn://conc/{t}/{i}"),
+                        &format!("pfn://conc/{t}/{i}"),
+                    )
+                    .unwrap();
+                }
+                for i in 0..50 {
+                    assert_eq!(c.query_lfn(&format!("lfn://conc/{t}/{i}")).unwrap().len(), 1);
+                }
+            });
+        }
+    });
+    let mut c = dep.lrc_client(0).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.lrc_lfn_count, 400);
+    assert_eq!(stats.adds, 400);
+}
+
+#[test]
+fn stale_read_window_and_refresh() {
+    // A client may see stale RLI info between updates (§3.2): deleted
+    // mappings remain visible at the RLI until the next update, and the
+    // application recovers by querying the LRC.
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://stale/a", "pfn://1").unwrap();
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    c.delete_mapping("lfn://stale/a", "pfn://1").unwrap();
+    let mut rli = dep.rli_client(0).unwrap();
+    // RLI still points at lrc-0 (stale)...
+    assert_eq!(rli.rli_query_lfn("lfn://stale/a").unwrap().len(), 1);
+    // ...but the LRC correctly reports the mapping gone.
+    assert!(c.query_lfn("lfn://stale/a").is_err());
+}

@@ -1,0 +1,160 @@
+//! Concurrency stress tests: readers, writers, update cycles and expiry
+//! all running simultaneously against live servers, checking invariants
+//! rather than exact values.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rls_core::testkit::TestDeployment;
+use rls_core::RlsClient;
+use rls_types::{Dn, ErrorCode};
+
+#[test]
+fn mixed_readers_writers_and_updates() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    let addr = dep.lrcs[0].addr();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        // Writers: each owns a disjoint key space, adds then deletes.
+        for w in 0..4 {
+            let stop = &stop;
+            s.spawn(move || {
+                let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let lfn = format!("lfn://stress/{w}/{i}");
+                    let pfn = format!("pfn://stress/{w}/{i}");
+                    c.create_mapping(&lfn, &pfn).unwrap();
+                    if i.is_multiple_of(2) {
+                        c.delete_mapping(&lfn, &pfn).unwrap();
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Readers: point queries over live+missing names; errors must only
+        // ever be LogicalNameNotFound.
+        for r in 0..4 {
+            let stop = &stop;
+            s.spawn(move || {
+                let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let lfn = format!("lfn://stress/{}/{}", i % 4, (i * 7 + r) % 500);
+                    match c.query_lfn(&lfn) {
+                        Ok(targets) => assert!(!targets.is_empty()),
+                        Err(e) => assert_eq!(e.code(), ErrorCode::LogicalNameNotFound),
+                    }
+                    i += 1;
+                }
+            });
+        }
+        // Wildcard scanners.
+        {
+            let stop = &stop;
+            s.spawn(move || {
+                let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let hits = c.wildcard_query_lfn("lfn://stress/2/*", 100).unwrap();
+                    assert!(hits.len() <= 100);
+                }
+            });
+        }
+        // Update cycles + expire passes racing the traffic.
+        {
+            let stop = &stop;
+            let dep = &dep;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for o in dep.force_updates() {
+                        o.unwrap();
+                    }
+                    dep.force_expire().unwrap();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(800));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Invariants after the dust settles: odd-numbered mappings survive,
+    // catalog counters are consistent, the RLI can be fully rebuilt.
+    let mut c = dep.lrc_client(0).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.lrc_lfn_count, stats.lrc_mapping_count); // 1 target each
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let mut rli = dep.rli_client(0).unwrap();
+    let survivors = c.wildcard_query_lfn("lfn://stress/0/*", 10_000).unwrap();
+    for m in survivors.iter().take(20) {
+        assert!(!rli.rli_query_lfn(m.logical.as_str()).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn many_short_lived_connections() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let addr = dep.lrcs[0].addr();
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            s.spawn(move || {
+                for i in 0..30 {
+                    let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+                    c.create_mapping(&format!("lfn://conn/{t}/{i}"), "pfn://x")
+                        .unwrap();
+                    // Drop without graceful shutdown half the time.
+                    if i % 2 == 0 {
+                        drop(c);
+                    } else {
+                        c.ping().unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let mut c = dep.lrc_client(0).unwrap();
+    assert_eq!(c.stats().unwrap().lrc_lfn_count, 240);
+    // Connection slots were released (only ours remains active-ish).
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(dep.lrcs[0].active_connections() <= 3);
+}
+
+#[test]
+fn bulk_and_single_ops_interleaved() {
+    use rls_types::Mapping;
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let addr = dep.lrcs[0].addr();
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            s.spawn(move || {
+                let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+                for round in 0..10 {
+                    let mappings: Vec<Mapping> = (0..100)
+                        .map(|k| {
+                            Mapping::new(
+                                format!("lfn://bulkmix/{t}/{round}/{k}"),
+                                format!("pfn://bulkmix/{t}/{round}/{k}"),
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    assert!(c.bulk_create(mappings.clone()).unwrap().is_empty());
+                    assert!(c.bulk_delete(mappings).unwrap().is_empty());
+                }
+            });
+        }
+        s.spawn(move || {
+            let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+            for i in 0..300 {
+                c.create_mapping(&format!("lfn://single/{i}"), "pfn://s")
+                    .unwrap();
+            }
+        });
+    });
+    let mut c = dep.lrc_client(0).unwrap();
+    // All bulk work cancelled itself out; singles remain.
+    assert_eq!(c.stats().unwrap().lrc_lfn_count, 300);
+}

@@ -1,0 +1,26 @@
+//! # `rls-net`
+//!
+//! The transport layer: framed connections over TCP, plus the **link
+//! shaper** that stands in for the paper's physical testbeds (DESIGN.md §2).
+//!
+//! The paper measures two environments:
+//!
+//! * a 100 Mbit/s LAN (most single-server experiments, Fig. 4–12);
+//! * a WAN between Los Angeles and Chicago with a 63.8 ms mean RTT
+//!   (Bloom-filter update experiments, Table 3 / Fig. 13).
+//!
+//! [`LinkProfile`] reproduces both: each frame a [`Conn`] sends or receives
+//! is charged half the RTT plus `bytes × 8 / bandwidth` of serialization
+//! delay, metered against a per-connection cursor so back-to-back frames
+//! queue behind each other as they would on a real link.
+//!
+//! [`SharedIngress`] models the *server's* access link: every shaped
+//! connection pointed at the same server shares one bandwidth pool, so
+//! concurrent soft-state updates contend — the mechanism behind the rise in
+//! per-client update time beyond ~7 concurrent LRCs in Fig. 13.
+
+pub mod conn;
+pub mod shaper;
+
+pub use conn::{connect, Conn, Listener};
+pub use shaper::{LinkProfile, SharedIngress};

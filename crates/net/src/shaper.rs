@@ -1,0 +1,245 @@
+//! Link shaping: RTT and bandwidth emulation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Emulated link characteristics for one connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkProfile {
+    /// Round-trip time; half is charged to each direction of a frame
+    /// exchange.
+    pub rtt: Duration,
+    /// Per-connection serialization bandwidth in bits/second. `None`
+    /// disables bandwidth accounting (only RTT applies).
+    pub bandwidth_bps: Option<u64>,
+}
+
+impl LinkProfile {
+    /// No shaping at all: loopback behaves as itself.
+    pub const fn unshaped() -> Self {
+        Self {
+            rtt: Duration::ZERO,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// The paper's LAN: 100 Mbit/s Ethernet, sub-millisecond RTT.
+    pub const fn lan_100mbit() -> Self {
+        Self {
+            rtt: Duration::from_micros(200),
+            bandwidth_bps: Some(100_000_000),
+        }
+    }
+
+    /// The paper's WAN (Los Angeles → Chicago): 63.8 ms mean RTT. The
+    /// effective per-flow throughput implied by Table 3 (a 10 Mbit filter
+    /// in 1.67 s, a 50 Mbit filter in 6.8 s) is ≈7 Mbit/s — TCP on a 2003
+    /// transcontinental path, not the raw link rate.
+    pub const fn wan_la_chicago() -> Self {
+        Self {
+            rtt: Duration::from_micros(63_800),
+            bandwidth_bps: Some(7_400_000),
+        }
+    }
+
+    /// True if this profile performs no shaping.
+    pub fn is_unshaped(&self) -> bool {
+        self.rtt.is_zero() && self.bandwidth_bps.is_none()
+    }
+
+    /// Serialization delay for `bytes` at this profile's bandwidth.
+    pub fn serialization_delay(&self, bytes: usize) -> Duration {
+        match self.bandwidth_bps {
+            Some(bps) if bps > 0 => Duration::from_secs_f64(bytes as f64 * 8.0 / bps as f64),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        Self::unshaped()
+    }
+}
+
+/// A shared bandwidth pool modelling a server's ingress link.
+///
+/// Transfers acquire transmission windows FIFO: with `k` senders offering
+/// continuous load, each sees ≈`1/k` of the pool — the contention that
+/// bends the curve in the paper's Fig. 13.
+#[derive(Clone, Debug)]
+pub struct SharedIngress {
+    inner: Arc<IngressInner>,
+}
+
+#[derive(Debug)]
+struct IngressInner {
+    bps: u64,
+    next_free: Mutex<Instant>,
+    bytes_total: Mutex<u64>,
+}
+
+impl SharedIngress {
+    /// Creates a pool with the given total bandwidth (bits/second).
+    pub fn new(bps: u64) -> Self {
+        assert!(bps > 0, "ingress bandwidth must be positive");
+        Self {
+            inner: Arc::new(IngressInner {
+                bps,
+                next_free: Mutex::new(Instant::now()),
+                bytes_total: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// Pool bandwidth in bits/second.
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.inner.bps
+    }
+
+    /// Total bytes that have passed through the pool.
+    pub fn bytes_transferred(&self) -> u64 {
+        *self.inner.bytes_total.lock()
+    }
+
+    /// Reserves a transmission window for `bytes` and returns its
+    /// completion deadline. The caller sleeps until the deadline.
+    pub fn acquire(&self, bytes: usize) -> Instant {
+        let dur = Duration::from_secs_f64(bytes as f64 * 8.0 / self.inner.bps as f64);
+        let mut next = self.inner.next_free.lock();
+        let start = (*next).max(Instant::now());
+        let done = start + dur;
+        *next = done;
+        *self.inner.bytes_total.lock() += bytes as u64;
+        done
+    }
+
+    /// Acquires and sleeps until the window completes.
+    pub fn transfer(&self, bytes: usize) {
+        let deadline = self.acquire(bytes);
+        sleep_until(deadline);
+    }
+}
+
+/// Sleeps until `deadline` (no-op if already past).
+///
+/// `thread::sleep` can overshoot by several milliseconds under a 100 Hz
+/// kernel tick; for link emulation that error would dwarf a LAN RTT, so we
+/// sleep short and spin the final stretch.
+pub fn sleep_until(deadline: Instant) {
+    const SPIN_SLACK: Duration = Duration::from_micros(1500);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > SPIN_SLACK {
+            std::thread::sleep(remaining - SPIN_SLACK);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Per-connection transmission cursor: frames queue behind one another.
+#[derive(Debug)]
+pub struct ConnCursor {
+    next_free: Instant,
+}
+
+impl ConnCursor {
+    /// Fresh cursor (link idle).
+    pub fn new() -> Self {
+        Self {
+            next_free: Instant::now(),
+        }
+    }
+
+    /// Reserves a window for `bytes` at `profile`'s bandwidth, returning
+    /// the completion deadline.
+    pub fn acquire(&mut self, profile: &LinkProfile, bytes: usize) -> Instant {
+        let dur = profile.serialization_delay(bytes);
+        let start = self.next_free.max(Instant::now());
+        let done = start + dur;
+        self.next_free = done;
+        done
+    }
+}
+
+impl Default for ConnCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_presets() {
+        assert!(LinkProfile::unshaped().is_unshaped());
+        assert!(!LinkProfile::lan_100mbit().is_unshaped());
+        let wan = LinkProfile::wan_la_chicago();
+        assert_eq!(wan.rtt, Duration::from_micros(63_800));
+    }
+
+    #[test]
+    fn serialization_delay_math() {
+        let lan = LinkProfile::lan_100mbit();
+        // 12.5 MB at 100 Mbit/s = 1 s.
+        let d = lan.serialization_delay(12_500_000);
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(LinkProfile::unshaped().serialization_delay(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_bloom_filter_transfer_times() {
+        // Table 3: 10M-bit filter ≈1.67 s, 50M-bit ≈6.8 s over the WAN.
+        let wan = LinkProfile::wan_la_chicago();
+        let t_1m = wan.serialization_delay(10_000_000 / 8).as_secs_f64();
+        let t_5m = wan.serialization_delay(50_000_000 / 8).as_secs_f64();
+        assert!((1.0..2.5).contains(&t_1m), "t_1m={t_1m}");
+        assert!((5.5..8.5).contains(&t_5m), "t_5m={t_5m}");
+    }
+
+    #[test]
+    fn shared_ingress_serializes_transfers() {
+        // 1 Mbit/s pool; two transfers of 12_500 bytes (0.1 s each) from
+        // two threads must take ≈0.2 s wall clock in total.
+        let pool = SharedIngress::new(1_000_000);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let pool = pool.clone();
+                s.spawn(move || pool.transfer(12_500));
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!((0.18..0.5).contains(&elapsed), "elapsed={elapsed}");
+        assert_eq!(pool.bytes_transferred(), 25_000);
+    }
+
+    #[test]
+    fn conn_cursor_queues_back_to_back_frames() {
+        let lan = LinkProfile {
+            rtt: Duration::ZERO,
+            bandwidth_bps: Some(1_000_000),
+        };
+        let mut cur = ConnCursor::new();
+        let t0 = Instant::now();
+        let d1 = cur.acquire(&lan, 12_500); // 0.1 s
+        let d2 = cur.acquire(&lan, 12_500); // queued: +0.1 s
+        assert!(d2 >= d1 + Duration::from_millis(95));
+        assert!(d2 >= t0 + Duration::from_millis(190));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_pool_rejected() {
+        SharedIngress::new(0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Shaper timing integration tests: the emulated link must reproduce the
+//! latency arithmetic the WAN experiments depend on.
+
+use std::time::{Duration, Instant};
+
+use rls_net::{connect, LinkProfile, Listener, SharedIngress};
+
+/// Echo server helper.
+fn echo() -> std::net::SocketAddr {
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            std::thread::spawn(move || {
+                while let Ok(Some(body)) = conn.recv() {
+                    if conn.send(&body).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn serialization_adds_to_propagation() {
+    // One-way delay must be serialization + RTT/2, not max(): a frame whose
+    // transfer time is comparable to the RTT sees both.
+    let addr = echo();
+    let profile = LinkProfile {
+        rtt: Duration::from_millis(40),
+        bandwidth_bps: Some(8_000_000), // 1 MB/s
+    };
+    let mut conn = connect(addr, profile, None).unwrap();
+    let body = vec![0u8; 50_000]; // 50 ms serialization each way
+    let t0 = Instant::now();
+    conn.request(&body).unwrap();
+    let elapsed = t0.elapsed();
+    // Expected ≈ 2×(50 ms serialization) + 40 ms RTT = 140 ms.
+    assert!(
+        elapsed >= Duration::from_millis(130),
+        "components must add: {elapsed:?}"
+    );
+    assert!(elapsed < Duration::from_millis(600), "{elapsed:?}");
+}
+
+#[test]
+fn back_to_back_frames_queue_on_the_connection() {
+    let addr = echo();
+    let profile = LinkProfile {
+        rtt: Duration::ZERO,
+        bandwidth_bps: Some(8_000_000),
+    };
+    let mut conn = connect(addr, profile, None).unwrap();
+    // Three 25 ms sends in a row must take ≥ 75 ms of serialization before
+    // the last one is on the wire (plus echo reads).
+    let body = vec![0u8; 25_000];
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        conn.send(&body).unwrap();
+    }
+    for _ in 0..3 {
+        conn.recv().unwrap().unwrap();
+    }
+    let elapsed = t0.elapsed();
+    assert!(elapsed >= Duration::from_millis(140), "{elapsed:?}");
+}
+
+#[test]
+fn wan_profile_matches_paper_arithmetic() {
+    // A 10 Mbit Bloom filter over the paper's WAN profile should take
+    // ≈ RTT + 10 Mbit / 7.4 Mbit/s ≈ 1.41 s one way. Validate the profile's
+    // own arithmetic (no real transfer at this size in a unit test).
+    let wan = LinkProfile::wan_la_chicago();
+    let one_way = wan.serialization_delay(10_000_000 / 8).as_secs_f64()
+        + wan.rtt.as_secs_f64() / 2.0;
+    assert!((1.2..1.7).contains(&one_way), "one_way={one_way}");
+}
+
+#[test]
+fn shared_ingress_is_fifo_and_conserves_bytes() {
+    let pool = SharedIngress::new(10_000_000);
+    let d1 = pool.acquire(12_500); // 10 ms at 10 Mbit/s
+    let d2 = pool.acquire(12_500);
+    assert!(d2 > d1);
+    assert_eq!(pool.bytes_transferred(), 25_000);
+    // An idle pool doesn't accumulate credit: a later acquire starts now.
+    std::thread::sleep(Duration::from_millis(30));
+    let t = Instant::now();
+    let d3 = pool.acquire(12_500);
+    assert!(d3 >= t, "no time travel");
+    assert!(d3 <= t + Duration::from_millis(15));
+}
+
+#[test]
+fn cloned_listeners_share_the_accept_queue() {
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let clone = listener.try_clone().unwrap();
+    let h1 = std::thread::spawn(move || listener.accept().map(|_| ()).is_ok());
+    let h2 = std::thread::spawn(move || clone.accept().map(|_| ()).is_ok());
+    // Two connections: each accept loop gets one.
+    let _c1 = std::net::TcpStream::connect(addr).unwrap();
+    let _c2 = std::net::TcpStream::connect(addr).unwrap();
+    assert!(h1.join().unwrap());
+    assert!(h2.join().unwrap());
+}
+
+#[test]
+fn read_timeout_surfaces_as_timeout_error() {
+    // Server that accepts but never answers.
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _conn = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(5));
+    });
+    let mut conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+    conn.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    conn.send(b"hello?").unwrap();
+    let err = conn.recv().unwrap_err();
+    assert_eq!(err.code(), rls_types::ErrorCode::Timeout);
+}
+
+#[test]
+fn unshaped_connection_has_negligible_overhead() {
+    let addr = echo();
+    let mut conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+    // Warm up.
+    conn.request(b"warm").unwrap();
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        conn.request(b"x").unwrap();
+    }
+    let per_rt = t0.elapsed() / 100;
+    assert!(
+        per_rt < Duration::from_millis(5),
+        "loopback round trip too slow: {per_rt:?}"
+    );
+}

@@ -1,0 +1,442 @@
+//! Primitive wire encoding: little-endian integers, length-prefixed UTF-8
+//! strings, and the shared composite types (attribute values, errors,
+//! Bloom parameters).
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use rls_bloom::BloomParams;
+use rls_types::{
+    AttrCompare, AttrValue, AttrValueType, AttributeDef, Dn, ErrorCode, ObjectType, RlsError,
+    RlsResult, Timestamp,
+};
+
+/// Maximum length accepted for any single string on the wire.
+pub const MAX_WIRE_STRING: usize = 64 * 1024;
+
+/// Growable encode buffer.
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates a writer with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> BytesMut {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+    /// Writes a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+    /// Writes a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+    /// Writes an f64 as its IEEE bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.put_u8(u8::from(v));
+    }
+
+    /// Length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.put_slice(b);
+    }
+
+    /// Length-prefixed list via a per-item closure.
+    pub fn list<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.u32(items.len() as u32);
+        for item in items {
+            f(self, item);
+        }
+    }
+
+    /// Optional value: presence byte + payload.
+    pub fn option<T>(&mut self, v: Option<&T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                f(self, x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes a timestamp (unix microseconds).
+    pub fn timestamp(&mut self, t: Timestamp) {
+        self.u64(t.as_micros());
+    }
+
+    /// Writes a tagged attribute value.
+    pub fn attr_value(&mut self, v: &AttrValue) {
+        match v {
+            AttrValue::Str(s) => {
+                self.u8(AttrValueType::Str as u8);
+                self.str(s);
+            }
+            AttrValue::Int(i) => {
+                self.u8(AttrValueType::Int as u8);
+                self.i64(*i);
+            }
+            AttrValue::Float(f) => {
+                self.u8(AttrValueType::Float as u8);
+                self.f64(*f);
+            }
+            AttrValue::Date(t) => {
+                self.u8(AttrValueType::Date as u8);
+                self.timestamp(*t);
+            }
+        }
+    }
+
+    /// Writes an attribute definition.
+    pub fn attr_def(&mut self, d: &AttributeDef) {
+        self.str(&d.name);
+        self.u8(d.object_type as u8);
+        self.u8(d.value_type as u8);
+    }
+
+    /// Writes an error (code + message).
+    pub fn error(&mut self, e: &RlsError) {
+        self.u16(e.code().as_u16());
+        self.str(e.message());
+    }
+
+    /// Writes Bloom filter parameters.
+    pub fn bloom_params(&mut self, p: BloomParams) {
+        self.u32(p.bits_per_entry);
+        self.u32(p.hashes);
+    }
+
+    /// Writes a distinguished name.
+    pub fn dn(&mut self, dn: &Dn) {
+        self.str(dn.as_str());
+    }
+}
+
+/// Decode cursor over a received frame body.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a frame body.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when fully consumed (frames must decode exactly).
+    pub fn is_done(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn need(&self, n: usize) -> RlsResult<()> {
+        if self.buf.len() < n {
+            Err(RlsError::protocol(format!(
+                "frame truncated: need {n} bytes, have {}",
+                self.buf.len()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> RlsResult<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> RlsResult<u16> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> RlsResult<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> RlsResult<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> RlsResult<i64> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+    /// Reads an f64 from its IEEE bit pattern.
+    pub fn f64(&mut self) -> RlsResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// Reads a bool (any nonzero byte is true).
+    pub fn bool(&mut self) -> RlsResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (bounded by [`MAX_WIRE_STRING`]).
+    pub fn str(&mut self) -> RlsResult<String> {
+        let len = self.u32()? as usize;
+        if len > MAX_WIRE_STRING {
+            return Err(RlsError::protocol(format!(
+                "string length {len} exceeds limit"
+            )));
+        }
+        self.need(len)?;
+        let (head, tail) = self.buf.split_at(len);
+        let s = std::str::from_utf8(head)
+            .map_err(|_| RlsError::protocol("invalid utf-8 string"))?
+            .to_owned();
+        self.buf = tail;
+        Ok(s)
+    }
+
+    /// Reads length-prefixed raw bytes (bounded by the frame size).
+    pub fn raw_bytes(&mut self) -> RlsResult<Vec<u8>> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let (head, tail) = self.buf.split_at(len);
+        let v = head.to_vec();
+        self.buf = tail;
+        Ok(v)
+    }
+
+    /// Length-prefixed list via a per-item closure, with a sanity cap.
+    pub fn list<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> RlsResult<T>,
+    ) -> RlsResult<Vec<T>> {
+        let n = self.u32()? as usize;
+        // Each element costs at least one byte; reject absurd counts before
+        // allocating.
+        if n > self.remaining() {
+            return Err(RlsError::protocol(format!(
+                "list count {n} exceeds frame size"
+            )));
+        }
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
+    pub fn option<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> RlsResult<T>,
+    ) -> RlsResult<Option<T>> {
+        if self.bool()? {
+            Ok(Some(f(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a timestamp.
+    pub fn timestamp(&mut self) -> RlsResult<Timestamp> {
+        Ok(Timestamp::from_unix_micros(self.u64()?))
+    }
+
+    /// Reads a tagged attribute value.
+    pub fn attr_value(&mut self) -> RlsResult<AttrValue> {
+        let tag = AttrValueType::from_u8(self.u8()?)
+            .ok_or_else(|| RlsError::protocol("bad attr value tag"))?;
+        Ok(match tag {
+            AttrValueType::Str => AttrValue::Str(self.str()?),
+            AttrValueType::Int => AttrValue::Int(self.i64()?),
+            AttrValueType::Float => AttrValue::Float(self.f64()?),
+            AttrValueType::Date => AttrValue::Date(self.timestamp()?),
+        })
+    }
+
+    /// Reads and validates an attribute definition.
+    pub fn attr_def(&mut self) -> RlsResult<AttributeDef> {
+        let name = self.str()?;
+        let object_type = ObjectType::from_u8(self.u8()?)
+            .ok_or_else(|| RlsError::protocol("bad object type"))?;
+        let value_type = AttrValueType::from_u8(self.u8()?)
+            .ok_or_else(|| RlsError::protocol("bad attr value type"))?;
+        AttributeDef::new(name, object_type, value_type)
+    }
+
+    /// Reads a comparison operator.
+    pub fn attr_compare(&mut self) -> RlsResult<AttrCompare> {
+        AttrCompare::from_u8(self.u8()?).ok_or_else(|| RlsError::protocol("bad attr compare op"))
+    }
+
+    /// Reads an object-type tag.
+    pub fn object_type(&mut self) -> RlsResult<ObjectType> {
+        ObjectType::from_u8(self.u8()?).ok_or_else(|| RlsError::protocol("bad object type"))
+    }
+
+    /// Reads an error (code + message).
+    pub fn error(&mut self) -> RlsResult<RlsError> {
+        let code = ErrorCode::from_u16(self.u16()?)
+            .ok_or_else(|| RlsError::protocol("unknown error code"))?;
+        let msg = self.str()?;
+        Ok(RlsError::new(code, msg))
+    }
+
+    /// Reads Bloom filter parameters.
+    pub fn bloom_params(&mut self) -> RlsResult<BloomParams> {
+        Ok(BloomParams {
+            bits_per_entry: self.u32()?,
+            hashes: self.u32()?,
+        })
+    }
+
+    /// Reads a distinguished name.
+    pub fn dn(&mut self) -> RlsResult<Dn> {
+        Ok(Dn::new(self.str()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut w = Writer::with_capacity(64);
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.i64(-42);
+        w.f64(2.5);
+        w.bool(true);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.raw_bytes().unwrap(), vec![1, 2, 3]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = Writer::with_capacity(8);
+        w.u64(9);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn string_limit_enforced() {
+        let mut w = Writer::with_capacity(8);
+        w.u32((MAX_WIRE_STRING + 1) as u32);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let e = r.str().unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::with_capacity(8);
+        w.u32(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn composite_round_trips() {
+        let mut w = Writer::with_capacity(256);
+        w.attr_value(&AttrValue::Str("s".into()));
+        w.attr_value(&AttrValue::Int(-5));
+        w.attr_value(&AttrValue::Float(1.25));
+        w.attr_value(&AttrValue::Date(Timestamp::from_unix_secs(3)));
+        let def = AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap();
+        w.attr_def(&def);
+        w.error(&RlsError::new(ErrorCode::MappingExists, "dup"));
+        w.bloom_params(BloomParams::PAPER);
+        w.dn(&Dn::new("/O=Grid/CN=x"));
+        w.option(Some(&"opt".to_owned()), |w, s| w.str(s));
+        w.option(None::<&String>, |w, s| w.str(s));
+        w.list(&["a".to_owned(), "b".to_owned()], |w, s| w.str(s));
+
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.attr_value().unwrap(), AttrValue::Str("s".into()));
+        assert_eq!(r.attr_value().unwrap(), AttrValue::Int(-5));
+        assert_eq!(r.attr_value().unwrap(), AttrValue::Float(1.25));
+        assert_eq!(
+            r.attr_value().unwrap(),
+            AttrValue::Date(Timestamp::from_unix_secs(3))
+        );
+        assert_eq!(r.attr_def().unwrap(), def);
+        let e = r.error().unwrap();
+        assert_eq!(e.code(), ErrorCode::MappingExists);
+        assert_eq!(r.bloom_params().unwrap(), BloomParams::PAPER);
+        assert_eq!(r.dn().unwrap().as_str(), "/O=Grid/CN=x");
+        assert_eq!(r.option(|r| r.str()).unwrap(), Some("opt".to_owned()));
+        assert_eq!(r.option(|r| r.str()).unwrap(), None);
+        assert_eq!(r.list(|r| r.str()).unwrap(), vec!["a", "b"]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn absurd_list_count_rejected() {
+        let mut w = Writer::with_capacity(8);
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.list(|r| r.u8()).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Frame I/O: `[u32 length][body]` over any `Read`/`Write`.
+
+use std::io::{Read, Write};
+
+use rls_types::{ErrorCode, RlsError, RlsResult};
+
+/// Default per-frame size cap: large enough for a 5 M-entry Bloom filter
+/// (50 Mbit ≈ 6.25 MB) or a 100 k-name uncompressed update chunk, small
+/// enough to bound a malicious peer's allocation.
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> RlsResult<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| RlsError::protocol("frame body exceeds u32 length"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    Ok(())
+}
+
+/// Reads one frame body, enforcing `max_len`.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary (peer closed the
+/// connection between requests).
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> RlsResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_len {
+        return Err(RlsError::new(
+            ErrorCode::ResourceLimit,
+            format!("frame of {len} bytes exceeds limit of {max_len}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| RlsError::protocol(format!("frame body truncated: {e}")))?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world!").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"world!"
+        );
+        assert_eq!(read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let mut cur = Cursor::new(buf);
+        let e = read_frame(&mut cur, 50).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::ResourceLimit);
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full-body").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cur = Cursor::new(buf);
+        let e = read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn truncated_header_is_eof() {
+        let mut cur = Cursor::new(vec![1u8, 0]);
+        // Partial length prefix counts as EOF-at-boundary for simplicity of
+        // shutdown handling — read_exact reports UnexpectedEof.
+        assert_eq!(read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap(), None);
+    }
+}

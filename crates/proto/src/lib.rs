@@ -1,0 +1,27 @@
+//! # `rls-proto`
+//!
+//! The RLS wire protocol. The original implementation spoke a custom RPC
+//! over `globus_io` with GSI authentication; we reproduce the same
+//! *structure* — a connection-oriented, length-framed binary protocol with
+//! an authentication handshake — with a hand-rolled codec (DESIGN.md §2).
+//!
+//! A connection carries a sequence of frames; each frame is
+//! `[u32 length][u16 opcode][body]`. The first client frame must be
+//! [`Request::Hello`], carrying the client's distinguished name and
+//! protocol version; the server answers with [`Response::HelloAck`] after
+//! gridmap/ACL processing. Every subsequent request receives exactly one
+//! response.
+//!
+//! All operations of the paper's Table 1 have a request variant, as do the
+//! three soft-state update forms (full/uncompressed — chunked so that
+//! multi-megabyte updates stream; incremental; Bloom filter).
+
+pub mod codec;
+pub mod frame;
+pub mod message;
+
+pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+pub use message::{
+    AttrAssignment, ProtocolVersion, Request, Response, RliHit, RliTargetWire, ServerStatsWire,
+    PROTOCOL_VERSION,
+};

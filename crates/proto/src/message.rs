@@ -1,0 +1,1136 @@
+//! Request/response message types covering every operation of the paper's
+//! Table 1, the soft-state update protocol, and server administration.
+
+use rls_bloom::{BloomFilter, BloomParams};
+use rls_types::{
+    AttrCompare, AttrValue, AttributeDef, Dn, Mapping, ObjectType, RlsError, RlsResult,
+};
+
+use crate::codec::{Reader, Writer};
+
+/// Protocol version tag carried in the Hello handshake.
+pub type ProtocolVersion = u16;
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: ProtocolVersion = 1;
+
+/// An attribute attachment: object, attribute name, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrAssignment {
+    /// The object (logical or target name) to attach to.
+    pub obj: String,
+    /// Which namespace the object lives in.
+    pub objtype: ObjectType,
+    /// Attribute name.
+    pub name: String,
+    /// The value.
+    pub value: AttrValue,
+}
+
+/// An RLI on an LRC's update list, as reported by `ListRlis`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RliTargetWire {
+    /// RLI address.
+    pub name: String,
+    /// Update flags (bit 0: Bloom-filter updates).
+    pub flags: i64,
+    /// Partition patterns.
+    pub patterns: Vec<String>,
+}
+
+/// One RLI query hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RliHit {
+    /// LRC address believed to hold the mapping.
+    pub lrc: String,
+    /// Microseconds-since-epoch of the asserting update (0 for Bloom mode,
+    /// which keeps no per-name timestamps).
+    pub updated_micros: u64,
+}
+
+/// Server statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsWire {
+    /// Server acts as an LRC.
+    pub is_lrc: bool,
+    /// Server acts as an RLI.
+    pub is_rli: bool,
+    /// Logical names in the LRC catalog.
+    pub lrc_lfn_count: u64,
+    /// Mappings in the LRC catalog.
+    pub lrc_mapping_count: u64,
+    /// Associations in the RLI relational store.
+    pub rli_association_count: u64,
+    /// Bloom filters held in RLI memory.
+    pub rli_bloom_filters: u64,
+    /// Successful add/create operations.
+    pub adds: u64,
+    /// Successful deletes.
+    pub deletes: u64,
+    /// Queries served (LRC + RLI).
+    pub queries: u64,
+    /// Soft-state updates received (RLI role).
+    pub updates_received: u64,
+    /// Associations discarded by the expire thread.
+    pub expired: u64,
+}
+
+/// A client request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    // -- connection --
+    /// Authentication handshake; must be the first frame.
+    Hello {
+        /// Client distinguished name (stands in for the X.509 certificate).
+        dn: Dn,
+        /// Protocol version.
+        version: ProtocolVersion,
+    },
+    /// Liveness check.
+    Ping,
+
+    // -- LRC mapping management --
+    /// Register a new logical name with its first mapping.
+    Create(Mapping),
+    /// Add a replica mapping to an existing logical name.
+    Add(Mapping),
+    /// Delete one mapping.
+    Delete(Mapping),
+    /// Bulk create; per-item status response.
+    BulkCreate(Vec<Mapping>),
+    /// Bulk add.
+    BulkAdd(Vec<Mapping>),
+    /// Bulk delete.
+    BulkDelete(Vec<Mapping>),
+
+    // -- LRC queries --
+    /// Replicas of one logical name.
+    QueryLfn(String),
+    /// Logical names for one target name.
+    QueryPfn(String),
+    /// Bulk logical-name query.
+    BulkQueryLfn(Vec<String>),
+    /// Wildcard query over logical names.
+    WildcardQueryLfn {
+        /// Glob pattern.
+        pattern: String,
+        /// Result cap.
+        limit: u32,
+    },
+    /// Wildcard query over target names.
+    WildcardQueryPfn {
+        /// Glob pattern.
+        pattern: String,
+        /// Result cap.
+        limit: u32,
+    },
+
+    // -- LRC attribute management --
+    /// Define an attribute.
+    DefineAttr(AttributeDef),
+    /// Remove an attribute definition.
+    UndefineAttr {
+        /// Attribute name.
+        name: String,
+        /// Namespace.
+        objtype: ObjectType,
+        /// Also delete stored values.
+        clear_values: bool,
+    },
+    /// Attach a value.
+    AddAttr(AttrAssignment),
+    /// Replace a value.
+    ModifyAttr(AttrAssignment),
+    /// Detach a value.
+    RemoveAttr {
+        /// Object name.
+        obj: String,
+        /// Namespace.
+        objtype: ObjectType,
+        /// Attribute name.
+        name: String,
+    },
+    /// Read attributes of an object.
+    GetAttrs {
+        /// Object name.
+        obj: String,
+        /// Namespace.
+        objtype: ObjectType,
+        /// Restrict to one attribute.
+        name: Option<String>,
+    },
+    /// Search objects by attribute value.
+    SearchAttr {
+        /// Attribute name.
+        name: String,
+        /// Namespace.
+        objtype: ObjectType,
+        /// Comparison operator.
+        op: AttrCompare,
+        /// Operand (absent for `All`).
+        operand: Option<AttrValue>,
+    },
+    /// Bulk attribute attach.
+    BulkAddAttr(Vec<AttrAssignment>),
+    /// Bulk attribute replace.
+    BulkModifyAttr(Vec<AttrAssignment>),
+    /// Bulk attribute detach: `(obj, objtype, attr name)` triples.
+    BulkRemoveAttr(Vec<(String, ObjectType, String)>),
+
+    // -- LRC management --
+    /// Add an RLI to the update list.
+    AddRli {
+        /// RLI address.
+        name: String,
+        /// Update flags (bit 0: Bloom).
+        flags: i64,
+        /// Partition patterns.
+        patterns: Vec<String>,
+    },
+    /// Remove an RLI from the update list.
+    RemoveRli {
+        /// RLI address.
+        name: String,
+    },
+    /// Query RLIs updated by this LRC.
+    ListRlis,
+
+    // -- RLI operations --
+    /// Which LRCs hold mappings for a logical name.
+    RliQueryLfn(String),
+    /// Bulk RLI query.
+    RliBulkQueryLfn(Vec<String>),
+    /// Wildcard RLI query (uncompressed mode only).
+    RliWildcardQuery {
+        /// Glob pattern.
+        pattern: String,
+        /// Result cap.
+        limit: u32,
+    },
+    /// Query LRCs that update this RLI.
+    RliListLrcs,
+
+    // -- soft-state updates (LRC → RLI) --
+    /// One chunk of an uncompressed full update.
+    SoftStateFull {
+        /// Sending LRC's address.
+        lrc: String,
+        /// Identifies the update this chunk belongs to.
+        update_id: u64,
+        /// Chunk sequence number.
+        seq: u32,
+        /// True on the final chunk.
+        last: bool,
+        /// Logical names in this chunk.
+        lfns: Vec<String>,
+    },
+    /// Incremental (immediate-mode) update.
+    SoftStateDelta {
+        /// Sending LRC's address.
+        lrc: String,
+        /// Newly registered logical names.
+        added: Vec<String>,
+        /// Logical names whose last mapping was removed.
+        removed: Vec<String>,
+    },
+    /// Bloom-filter update: the complete summary bitmap.
+    SoftStateBloom {
+        /// Sending LRC's address.
+        lrc: String,
+        /// Filter parameters.
+        params: BloomParams,
+        /// Filter size in bits.
+        bits: u64,
+        /// The bitmap, little-endian u64 words as bytes.
+        words: Vec<u8>,
+        /// Approximate entry count.
+        entries: u64,
+    },
+
+    // -- administration --
+    /// Server statistics.
+    Stats,
+}
+
+/// A server response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloAck {
+        /// Server software version.
+        server_version: String,
+        /// Server acts as an LRC.
+        is_lrc: bool,
+        /// Server acts as an RLI.
+        is_rli: bool,
+    },
+    /// Ping reply.
+    Pong,
+    /// Generic success.
+    Ok,
+    /// Operation failed.
+    Error(RlsError),
+    /// Replica targets (LRC `QueryLfn`).
+    Targets(Vec<String>),
+    /// Logical names (LRC `QueryPfn`).
+    Logicals(Vec<String>),
+    /// Mappings (wildcard queries).
+    Mappings(Vec<Mapping>),
+    /// Per-item failures of a bulk operation: `(index, error)` pairs.
+    /// An empty list means every item succeeded.
+    BulkStatus(Vec<(u32, RlsError)>),
+    /// Bulk LFN query results: per name, targets or the error.
+    BulkLfnResults(Vec<(String, Result<Vec<String>, RlsError>)>),
+    /// Attribute values (`GetAttrs` / `SearchAttr`): `(name, value)` where
+    /// name is the attribute (GetAttrs) or object (SearchAttr).
+    Attrs(Vec<(String, AttrValue)>),
+    /// RLIs on the update list.
+    Rlis(Vec<RliTargetWire>),
+    /// RLI query hits.
+    RliHits(Vec<RliHit>),
+    /// RLI bulk query results.
+    RliBulkResults(Vec<(String, Result<Vec<RliHit>, RlsError>)>),
+    /// `(lfn, lrc)` pairs from an RLI wildcard query.
+    RliPairs(Vec<(String, String)>),
+    /// Plain name list (`RliListLrcs`).
+    Names(Vec<String>),
+    /// Statistics snapshot.
+    StatsReport(ServerStatsWire),
+}
+
+// --- encoding ---------------------------------------------------------------
+
+fn w_mapping(w: &mut Writer, m: &Mapping) {
+    w.str(m.logical.as_str());
+    w.str(m.target.as_str());
+}
+
+fn r_mapping(r: &mut Reader<'_>) -> RlsResult<Mapping> {
+    let l = r.str()?;
+    let t = r.str()?;
+    Mapping::new(l, t)
+}
+
+fn w_assignment(w: &mut Writer, a: &AttrAssignment) {
+    w.str(&a.obj);
+    w.u8(a.objtype as u8);
+    w.str(&a.name);
+    w.attr_value(&a.value);
+}
+
+fn r_assignment(r: &mut Reader<'_>) -> RlsResult<AttrAssignment> {
+    Ok(AttrAssignment {
+        obj: r.str()?,
+        objtype: r.object_type()?,
+        name: r.str()?,
+        value: r.attr_value()?,
+    })
+}
+
+impl Request {
+    /// Encodes the request (opcode + body).
+    pub fn encode(&self) -> Writer {
+        let mut w = Writer::with_capacity(64);
+        match self {
+            Self::Hello { dn, version } => {
+                w.u16(1);
+                w.dn(dn);
+                w.u16(*version);
+            }
+            Self::Ping => w.u16(2),
+            Self::Create(m) => {
+                w.u16(10);
+                w_mapping(&mut w, m);
+            }
+            Self::Add(m) => {
+                w.u16(11);
+                w_mapping(&mut w, m);
+            }
+            Self::Delete(m) => {
+                w.u16(12);
+                w_mapping(&mut w, m);
+            }
+            Self::BulkCreate(ms) => {
+                w.u16(13);
+                w.list(ms, w_mapping);
+            }
+            Self::BulkAdd(ms) => {
+                w.u16(14);
+                w.list(ms, w_mapping);
+            }
+            Self::BulkDelete(ms) => {
+                w.u16(15);
+                w.list(ms, w_mapping);
+            }
+            Self::QueryLfn(s) => {
+                w.u16(20);
+                w.str(s);
+            }
+            Self::QueryPfn(s) => {
+                w.u16(21);
+                w.str(s);
+            }
+            Self::BulkQueryLfn(names) => {
+                w.u16(22);
+                w.list(names, |w, s| w.str(s));
+            }
+            Self::WildcardQueryLfn { pattern, limit } => {
+                w.u16(23);
+                w.str(pattern);
+                w.u32(*limit);
+            }
+            Self::WildcardQueryPfn { pattern, limit } => {
+                w.u16(24);
+                w.str(pattern);
+                w.u32(*limit);
+            }
+            Self::DefineAttr(def) => {
+                w.u16(30);
+                w.attr_def(def);
+            }
+            Self::UndefineAttr {
+                name,
+                objtype,
+                clear_values,
+            } => {
+                w.u16(31);
+                w.str(name);
+                w.u8(*objtype as u8);
+                w.bool(*clear_values);
+            }
+            Self::AddAttr(a) => {
+                w.u16(32);
+                w_assignment(&mut w, a);
+            }
+            Self::ModifyAttr(a) => {
+                w.u16(33);
+                w_assignment(&mut w, a);
+            }
+            Self::RemoveAttr { obj, objtype, name } => {
+                w.u16(34);
+                w.str(obj);
+                w.u8(*objtype as u8);
+                w.str(name);
+            }
+            Self::GetAttrs { obj, objtype, name } => {
+                w.u16(35);
+                w.str(obj);
+                w.u8(*objtype as u8);
+                w.option(name.as_ref(), |w, s| w.str(s));
+            }
+            Self::SearchAttr {
+                name,
+                objtype,
+                op,
+                operand,
+            } => {
+                w.u16(36);
+                w.str(name);
+                w.u8(*objtype as u8);
+                w.u8(*op as u8);
+                w.option(operand.as_ref(), |w, v| w.attr_value(v));
+            }
+            Self::BulkAddAttr(items) => {
+                w.u16(37);
+                w.list(items, w_assignment);
+            }
+            Self::BulkModifyAttr(items) => {
+                w.u16(38);
+                w.list(items, w_assignment);
+            }
+            Self::BulkRemoveAttr(items) => {
+                w.u16(39);
+                w.list(items, |w, (obj, objtype, name)| {
+                    w.str(obj);
+                    w.u8(*objtype as u8);
+                    w.str(name);
+                });
+            }
+            Self::AddRli {
+                name,
+                flags,
+                patterns,
+            } => {
+                w.u16(40);
+                w.str(name);
+                w.i64(*flags);
+                w.list(patterns, |w, s| w.str(s));
+            }
+            Self::RemoveRli { name } => {
+                w.u16(41);
+                w.str(name);
+            }
+            Self::ListRlis => w.u16(42),
+            Self::RliQueryLfn(s) => {
+                w.u16(50);
+                w.str(s);
+            }
+            Self::RliBulkQueryLfn(names) => {
+                w.u16(51);
+                w.list(names, |w, s| w.str(s));
+            }
+            Self::RliWildcardQuery { pattern, limit } => {
+                w.u16(52);
+                w.str(pattern);
+                w.u32(*limit);
+            }
+            Self::RliListLrcs => w.u16(53),
+            Self::SoftStateFull {
+                lrc,
+                update_id,
+                seq,
+                last,
+                lfns,
+            } => {
+                w.u16(60);
+                w.str(lrc);
+                w.u64(*update_id);
+                w.u32(*seq);
+                w.bool(*last);
+                w.list(lfns, |w, s| w.str(s));
+            }
+            Self::SoftStateDelta {
+                lrc,
+                added,
+                removed,
+            } => {
+                w.u16(61);
+                w.str(lrc);
+                w.list(added, |w, s| w.str(s));
+                w.list(removed, |w, s| w.str(s));
+            }
+            Self::SoftStateBloom {
+                lrc,
+                params,
+                bits,
+                words,
+                entries,
+            } => {
+                w.u16(62);
+                w.str(lrc);
+                w.bloom_params(*params);
+                w.u64(*bits);
+                w.u64(*entries);
+                w.bytes(words);
+            }
+            Self::Stats => w.u16(70),
+        }
+        w
+    }
+
+    /// Decodes a request frame body.
+    pub fn decode(body: &[u8]) -> RlsResult<Self> {
+        let mut r = Reader::new(body);
+        let opcode = r.u16()?;
+        let req = match opcode {
+            1 => Self::Hello {
+                dn: r.dn()?,
+                version: r.u16()?,
+            },
+            2 => Self::Ping,
+            10 => Self::Create(r_mapping(&mut r)?),
+            11 => Self::Add(r_mapping(&mut r)?),
+            12 => Self::Delete(r_mapping(&mut r)?),
+            13 => Self::BulkCreate(r.list(r_mapping)?),
+            14 => Self::BulkAdd(r.list(r_mapping)?),
+            15 => Self::BulkDelete(r.list(r_mapping)?),
+            20 => Self::QueryLfn(r.str()?),
+            21 => Self::QueryPfn(r.str()?),
+            22 => Self::BulkQueryLfn(r.list(|r| r.str())?),
+            23 => Self::WildcardQueryLfn {
+                pattern: r.str()?,
+                limit: r.u32()?,
+            },
+            24 => Self::WildcardQueryPfn {
+                pattern: r.str()?,
+                limit: r.u32()?,
+            },
+            30 => Self::DefineAttr(r.attr_def()?),
+            31 => Self::UndefineAttr {
+                name: r.str()?,
+                objtype: r.object_type()?,
+                clear_values: r.bool()?,
+            },
+            32 => Self::AddAttr(r_assignment(&mut r)?),
+            33 => Self::ModifyAttr(r_assignment(&mut r)?),
+            34 => Self::RemoveAttr {
+                obj: r.str()?,
+                objtype: r.object_type()?,
+                name: r.str()?,
+            },
+            35 => Self::GetAttrs {
+                obj: r.str()?,
+                objtype: r.object_type()?,
+                name: r.option(|r| r.str())?,
+            },
+            36 => Self::SearchAttr {
+                name: r.str()?,
+                objtype: r.object_type()?,
+                op: r.attr_compare()?,
+                operand: r.option(|r| r.attr_value())?,
+            },
+            37 => Self::BulkAddAttr(r.list(r_assignment)?),
+            38 => Self::BulkModifyAttr(r.list(r_assignment)?),
+            39 => Self::BulkRemoveAttr(r.list(|r| {
+                Ok((r.str()?, r.object_type()?, r.str()?))
+            })?),
+            40 => Self::AddRli {
+                name: r.str()?,
+                flags: r.i64()?,
+                patterns: r.list(|r| r.str())?,
+            },
+            41 => Self::RemoveRli { name: r.str()? },
+            42 => Self::ListRlis,
+            50 => Self::RliQueryLfn(r.str()?),
+            51 => Self::RliBulkQueryLfn(r.list(|r| r.str())?),
+            52 => Self::RliWildcardQuery {
+                pattern: r.str()?,
+                limit: r.u32()?,
+            },
+            53 => Self::RliListLrcs,
+            60 => Self::SoftStateFull {
+                lrc: r.str()?,
+                update_id: r.u64()?,
+                seq: r.u32()?,
+                last: r.bool()?,
+                lfns: r.list(|r| r.str())?,
+            },
+            61 => Self::SoftStateDelta {
+                lrc: r.str()?,
+                added: r.list(|r| r.str())?,
+                removed: r.list(|r| r.str())?,
+            },
+            62 => {
+                let lrc = r.str()?;
+                let params = r.bloom_params()?;
+                let bits = r.u64()?;
+                let entries = r.u64()?;
+                let words = r.raw_bytes()?;
+                Self::SoftStateBloom {
+                    lrc,
+                    params,
+                    bits,
+                    words,
+                    entries,
+                }
+            }
+            70 => Self::Stats,
+            other => {
+                return Err(RlsError::bad_request(format!(
+                    "unknown request opcode {other}"
+                )))
+            }
+        };
+        if !r.is_done() {
+            return Err(RlsError::protocol("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+
+    /// Converts a received `SoftStateBloom` payload into a filter.
+    pub fn bloom_from_wire(
+        params: BloomParams,
+        bits: u64,
+        words: &[u8],
+        entries: u64,
+    ) -> RlsResult<BloomFilter> {
+        if !words.len().is_multiple_of(8) {
+            return Err(RlsError::protocol("bloom words not 8-byte aligned"));
+        }
+        let words: Vec<u64> = words
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8")))
+            .collect();
+        BloomFilter::from_parts(params, bits, words, entries)
+    }
+
+    /// Serializes a filter into the `SoftStateBloom` request shape.
+    pub fn bloom_to_wire(lrc: &str, filter: &BloomFilter) -> Self {
+        let mut bytes = Vec::with_capacity(filter.byte_len());
+        for w in filter.words() {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        Self::SoftStateBloom {
+            lrc: lrc.to_owned(),
+            params: filter.params(),
+            bits: filter.bit_len(),
+            words: bytes,
+            entries: filter.entries(),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response (opcode + body).
+    pub fn encode(&self) -> Writer {
+        let mut w = Writer::with_capacity(64);
+        match self {
+            Self::HelloAck {
+                server_version,
+                is_lrc,
+                is_rli,
+            } => {
+                w.u16(1);
+                w.str(server_version);
+                w.bool(*is_lrc);
+                w.bool(*is_rli);
+            }
+            Self::Pong => w.u16(2),
+            Self::Ok => w.u16(3),
+            Self::Error(e) => {
+                w.u16(4);
+                w.error(e);
+            }
+            Self::Targets(v) => {
+                w.u16(10);
+                w.list(v, |w, s| w.str(s));
+            }
+            Self::Logicals(v) => {
+                w.u16(11);
+                w.list(v, |w, s| w.str(s));
+            }
+            Self::Mappings(ms) => {
+                w.u16(12);
+                w.list(ms, w_mapping);
+            }
+            Self::BulkStatus(fails) => {
+                w.u16(13);
+                w.list(fails, |w, (i, e)| {
+                    w.u32(*i);
+                    w.error(e);
+                });
+            }
+            Self::BulkLfnResults(items) => {
+                w.u16(14);
+                w.list(items, |w, (name, res)| {
+                    w.str(name);
+                    match res {
+                        Ok(targets) => {
+                            w.bool(true);
+                            w.list(targets, |w, s| w.str(s));
+                        }
+                        Err(e) => {
+                            w.bool(false);
+                            w.error(e);
+                        }
+                    }
+                });
+            }
+            Self::Attrs(items) => {
+                w.u16(20);
+                w.list(items, |w, (name, value)| {
+                    w.str(name);
+                    w.attr_value(value);
+                });
+            }
+            Self::Rlis(items) => {
+                w.u16(30);
+                w.list(items, |w, t| {
+                    w.str(&t.name);
+                    w.i64(t.flags);
+                    w.list(&t.patterns, |w, s| w.str(s));
+                });
+            }
+            Self::RliHits(hits) => {
+                w.u16(40);
+                w.list(hits, |w, h| {
+                    w.str(&h.lrc);
+                    w.u64(h.updated_micros);
+                });
+            }
+            Self::RliBulkResults(items) => {
+                w.u16(41);
+                w.list(items, |w, (name, res)| {
+                    w.str(name);
+                    match res {
+                        Ok(hits) => {
+                            w.bool(true);
+                            w.list(hits, |w, h| {
+                                w.str(&h.lrc);
+                                w.u64(h.updated_micros);
+                            });
+                        }
+                        Err(e) => {
+                            w.bool(false);
+                            w.error(e);
+                        }
+                    }
+                });
+            }
+            Self::RliPairs(pairs) => {
+                w.u16(42);
+                w.list(pairs, |w, (a, b)| {
+                    w.str(a);
+                    w.str(b);
+                });
+            }
+            Self::Names(v) => {
+                w.u16(43);
+                w.list(v, |w, s| w.str(s));
+            }
+            Self::StatsReport(s) => {
+                w.u16(50);
+                w.bool(s.is_lrc);
+                w.bool(s.is_rli);
+                w.u64(s.lrc_lfn_count);
+                w.u64(s.lrc_mapping_count);
+                w.u64(s.rli_association_count);
+                w.u64(s.rli_bloom_filters);
+                w.u64(s.adds);
+                w.u64(s.deletes);
+                w.u64(s.queries);
+                w.u64(s.updates_received);
+                w.u64(s.expired);
+            }
+        }
+        w
+    }
+
+    /// Decodes a response frame body.
+    pub fn decode(body: &[u8]) -> RlsResult<Self> {
+        let mut r = Reader::new(body);
+        let opcode = r.u16()?;
+        let resp = match opcode {
+            1 => Self::HelloAck {
+                server_version: r.str()?,
+                is_lrc: r.bool()?,
+                is_rli: r.bool()?,
+            },
+            2 => Self::Pong,
+            3 => Self::Ok,
+            4 => Self::Error(r.error()?),
+            10 => Self::Targets(r.list(|r| r.str())?),
+            11 => Self::Logicals(r.list(|r| r.str())?),
+            12 => Self::Mappings(r.list(r_mapping)?),
+            13 => Self::BulkStatus(r.list(|r| Ok((r.u32()?, r.error()?)))?),
+            14 => Self::BulkLfnResults(r.list(|r| {
+                let name = r.str()?;
+                let ok = r.bool()?;
+                let res = if ok {
+                    Ok(r.list(|r| r.str())?)
+                } else {
+                    Err(r.error()?)
+                };
+                Ok((name, res))
+            })?),
+            20 => Self::Attrs(r.list(|r| Ok((r.str()?, r.attr_value()?)))?),
+            30 => Self::Rlis(r.list(|r| {
+                Ok(RliTargetWire {
+                    name: r.str()?,
+                    flags: r.i64()?,
+                    patterns: r.list(|r| r.str())?,
+                })
+            })?),
+            40 => Self::RliHits(r.list(|r| {
+                Ok(RliHit {
+                    lrc: r.str()?,
+                    updated_micros: r.u64()?,
+                })
+            })?),
+            41 => Self::RliBulkResults(r.list(|r| {
+                let name = r.str()?;
+                let ok = r.bool()?;
+                let res = if ok {
+                    Ok(r.list(|r| {
+                        Ok(RliHit {
+                            lrc: r.str()?,
+                            updated_micros: r.u64()?,
+                        })
+                    })?)
+                } else {
+                    Err(r.error()?)
+                };
+                Ok((name, res))
+            })?),
+            42 => Self::RliPairs(r.list(|r| Ok((r.str()?, r.str()?)))?),
+            43 => Self::Names(r.list(|r| r.str())?),
+            50 => Self::StatsReport(ServerStatsWire {
+                is_lrc: r.bool()?,
+                is_rli: r.bool()?,
+                lrc_lfn_count: r.u64()?,
+                lrc_mapping_count: r.u64()?,
+                rli_association_count: r.u64()?,
+                rli_bloom_filters: r.u64()?,
+                adds: r.u64()?,
+                deletes: r.u64()?,
+                queries: r.u64()?,
+                updates_received: r.u64()?,
+                expired: r.u64()?,
+            }),
+            other => {
+                return Err(RlsError::protocol(format!(
+                    "unknown response opcode {other}"
+                )))
+            }
+        };
+        if !r.is_done() {
+            return Err(RlsError::protocol("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_types::{AttrValueType, ErrorCode, Timestamp};
+
+    fn rt_request(req: Request) {
+        let bytes = req.encode().into_bytes();
+        let decoded = Request::decode(&bytes).unwrap();
+        assert_eq!(req, decoded);
+    }
+
+    fn rt_response(resp: Response) {
+        let bytes = resp.encode().into_bytes();
+        let decoded = Response::decode(&bytes).unwrap();
+        assert_eq!(resp, decoded);
+    }
+
+    fn m(l: &str, t: &str) -> Mapping {
+        Mapping::new(l, t).unwrap()
+    }
+
+    #[test]
+    fn all_request_variants_round_trip() {
+        let assignment = AttrAssignment {
+            obj: "pfn://x".into(),
+            objtype: ObjectType::Target,
+            name: "size".into(),
+            value: AttrValue::Int(9),
+        };
+        let reqs = vec![
+            Request::Hello {
+                dn: Dn::new("/O=Grid/CN=a"),
+                version: PROTOCOL_VERSION,
+            },
+            Request::Ping,
+            Request::Create(m("lfn://a", "pfn://a")),
+            Request::Add(m("lfn://a", "pfn://b")),
+            Request::Delete(m("lfn://a", "pfn://b")),
+            Request::BulkCreate(vec![m("lfn://a", "pfn://a"), m("lfn://b", "pfn://b")]),
+            Request::BulkAdd(vec![m("lfn://a", "pfn://c")]),
+            Request::BulkDelete(vec![]),
+            Request::QueryLfn("lfn://a".into()),
+            Request::QueryPfn("pfn://a".into()),
+            Request::BulkQueryLfn(vec!["lfn://a".into(), "lfn://b".into()]),
+            Request::WildcardQueryLfn {
+                pattern: "lfn://*".into(),
+                limit: 100,
+            },
+            Request::WildcardQueryPfn {
+                pattern: "pfn://*".into(),
+                limit: 10,
+            },
+            Request::DefineAttr(
+                AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap(),
+            ),
+            Request::UndefineAttr {
+                name: "size".into(),
+                objtype: ObjectType::Target,
+                clear_values: true,
+            },
+            Request::AddAttr(assignment.clone()),
+            Request::ModifyAttr(assignment.clone()),
+            Request::RemoveAttr {
+                obj: "pfn://x".into(),
+                objtype: ObjectType::Target,
+                name: "size".into(),
+            },
+            Request::GetAttrs {
+                obj: "pfn://x".into(),
+                objtype: ObjectType::Target,
+                name: Some("size".into()),
+            },
+            Request::GetAttrs {
+                obj: "pfn://x".into(),
+                objtype: ObjectType::Target,
+                name: None,
+            },
+            Request::SearchAttr {
+                name: "size".into(),
+                objtype: ObjectType::Target,
+                op: AttrCompare::Ge,
+                operand: Some(AttrValue::Int(100)),
+            },
+            Request::SearchAttr {
+                name: "size".into(),
+                objtype: ObjectType::Target,
+                op: AttrCompare::All,
+                operand: None,
+            },
+            Request::BulkAddAttr(vec![assignment.clone()]),
+            Request::BulkModifyAttr(vec![assignment]),
+            Request::BulkRemoveAttr(vec![(
+                "pfn://x".into(),
+                ObjectType::Target,
+                "size".into(),
+            )]),
+            Request::AddRli {
+                name: "rli:39281".into(),
+                flags: 1,
+                patterns: vec!["^lfn://x/.*".into()],
+            },
+            Request::RemoveRli {
+                name: "rli:39281".into(),
+            },
+            Request::ListRlis,
+            Request::RliQueryLfn("lfn://a".into()),
+            Request::RliBulkQueryLfn(vec!["lfn://a".into()]),
+            Request::RliWildcardQuery {
+                pattern: "lfn://*".into(),
+                limit: 50,
+            },
+            Request::RliListLrcs,
+            Request::SoftStateFull {
+                lrc: "lrc:39281".into(),
+                update_id: 42,
+                seq: 3,
+                last: true,
+                lfns: vec!["lfn://a".into(), "lfn://b".into()],
+            },
+            Request::SoftStateDelta {
+                lrc: "lrc:39281".into(),
+                added: vec!["lfn://new".into()],
+                removed: vec!["lfn://old".into()],
+            },
+            Request::SoftStateBloom {
+                lrc: "lrc:39281".into(),
+                params: BloomParams::PAPER,
+                bits: 128,
+                words: vec![0u8; 16],
+                entries: 3,
+            },
+            Request::Stats,
+        ];
+        for req in reqs {
+            rt_request(req);
+        }
+    }
+
+    #[test]
+    fn all_response_variants_round_trip() {
+        let hit = RliHit {
+            lrc: "lrc-1".into(),
+            updated_micros: 99,
+        };
+        let resps = vec![
+            Response::HelloAck {
+                server_version: "2.0.9".into(),
+                is_lrc: true,
+                is_rli: false,
+            },
+            Response::Pong,
+            Response::Ok,
+            Response::Error(RlsError::new(ErrorCode::MappingNotFound, "nope")),
+            Response::Targets(vec!["pfn://a".into()]),
+            Response::Logicals(vec!["lfn://a".into(), "lfn://b".into()]),
+            Response::Mappings(vec![m("lfn://a", "pfn://a")]),
+            Response::BulkStatus(vec![(3, RlsError::new(ErrorCode::MappingExists, "dup"))]),
+            Response::BulkStatus(vec![]),
+            Response::BulkLfnResults(vec![
+                ("lfn://a".into(), Ok(vec!["pfn://a".into()])),
+                (
+                    "lfn://b".into(),
+                    Err(RlsError::new(ErrorCode::LogicalNameNotFound, "x")),
+                ),
+            ]),
+            Response::Attrs(vec![
+                ("size".into(), AttrValue::Int(5)),
+                ("when".into(), AttrValue::Date(Timestamp::from_unix_secs(1))),
+            ]),
+            Response::Rlis(vec![RliTargetWire {
+                name: "rli".into(),
+                flags: 1,
+                patterns: vec!["a.*".into()],
+            }]),
+            Response::RliHits(vec![hit.clone()]),
+            Response::RliBulkResults(vec![
+                ("lfn://a".into(), Ok(vec![hit])),
+                (
+                    "lfn://b".into(),
+                    Err(RlsError::new(ErrorCode::LogicalNameNotFound, "x")),
+                ),
+            ]),
+            Response::RliPairs(vec![("lfn://a".into(), "lrc-1".into())]),
+            Response::Names(vec!["lrc-1".into()]),
+            Response::StatsReport(ServerStatsWire {
+                is_lrc: true,
+                is_rli: true,
+                lrc_lfn_count: 1,
+                lrc_mapping_count: 2,
+                rli_association_count: 3,
+                rli_bloom_filters: 4,
+                adds: 5,
+                deletes: 6,
+                queries: 7,
+                updates_received: 8,
+                expired: 9,
+            }),
+        ];
+        for resp in resps {
+            rt_response(resp);
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        let mut w = Writer::with_capacity(4);
+        w.u16(9999);
+        let bytes = w.into_bytes();
+        assert!(Request::decode(&bytes).is_err());
+        assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Request::Ping.encode().into_bytes().to_vec();
+        bytes.push(0);
+        let e = Request::decode(&bytes).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn invalid_mapping_in_request_rejected() {
+        // Hand-encode a Create with an empty logical name.
+        let mut w = Writer::with_capacity(16);
+        w.u16(10);
+        w.str("");
+        w.str("pfn://x");
+        let e = Request::decode(&w.into_bytes()).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::InvalidName);
+    }
+
+    #[test]
+    fn bloom_wire_round_trip() {
+        let mut f = BloomFilter::with_capacity(BloomParams::PAPER, 100);
+        for i in 0..100 {
+            f.insert(&format!("lfn://b/{i}"));
+        }
+        let req = Request::bloom_to_wire("lrc-1", &f);
+        let bytes = req.encode().into_bytes();
+        let decoded = Request::decode(&bytes).unwrap();
+        let Request::SoftStateBloom {
+            lrc,
+            params,
+            bits,
+            words,
+            entries,
+        } = decoded
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(lrc, "lrc-1");
+        let g = Request::bloom_from_wire(params, bits, &words, entries).unwrap();
+        assert_eq!(g, f);
+        for i in 0..100 {
+            assert!(g.contains(&format!("lfn://b/{i}")));
+        }
+    }
+
+    #[test]
+    fn bloom_wire_misaligned_rejected() {
+        let e = Request::bloom_from_wire(BloomParams::PAPER, 64, &[0u8; 7], 0).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
+    }
+}

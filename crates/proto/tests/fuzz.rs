@@ -1,0 +1,108 @@
+//! Protocol fuzzing: decoders must never panic and must reject trailing
+//! garbage; encoders must round-trip arbitrary (valid) values.
+
+use proptest::prelude::*;
+
+use rls_proto::{Request, Response};
+use rls_types::Mapping;
+
+proptest! {
+    /// Arbitrary bytes never panic either decoder.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Valid encoded requests survive arbitrary single-byte corruption
+    /// without panicking (they may decode to a different valid message or
+    /// an error; both are fine — no UB, no panic).
+    #[test]
+    fn corrupted_frames_never_panic(
+        lfn in "[a-z]{1,20}",
+        pfn in "[a-z]{1,20}",
+        flip_at in any::<prop::sample::Index>(),
+        flip_bits in 1u8..,
+    ) {
+        let req = Request::Create(Mapping::new(format!("lfn://{lfn}"), format!("pfn://{pfn}")).unwrap());
+        let mut bytes = req.encode().into_bytes().to_vec();
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= flip_bits;
+        let _ = Request::decode(&bytes);
+    }
+
+    /// Generated mapping requests round-trip exactly.
+    #[test]
+    fn mapping_requests_round_trip(
+        lfns in prop::collection::vec("[a-zA-Z0-9/:._-]{1,60}", 1..50),
+    ) {
+        let mappings: Vec<Mapping> = lfns
+            .iter()
+            .map(|l| Mapping::new(format!("lfn://{l}"), format!("pfn://{l}")).unwrap())
+            .collect();
+        for req in [
+            Request::BulkCreate(mappings.clone()),
+            Request::BulkAdd(mappings.clone()),
+            Request::BulkDelete(mappings.clone()),
+        ] {
+            let bytes = req.encode().into_bytes();
+            prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    /// Soft-state updates round-trip with arbitrary name lists.
+    #[test]
+    fn softstate_round_trip(
+        lrc in "[a-z0-9.:-]{1,40}",
+        added in prop::collection::vec("[a-z0-9/]{1,40}", 0..100),
+        removed in prop::collection::vec("[a-z0-9/]{1,40}", 0..100),
+        update_id in any::<u64>(),
+        seq in any::<u32>(),
+        last in any::<bool>(),
+    ) {
+        let delta = Request::SoftStateDelta {
+            lrc: lrc.clone(),
+            added: added.clone(),
+            removed,
+        };
+        let bytes = delta.encode().into_bytes();
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), delta);
+
+        let full = Request::SoftStateFull {
+            lrc,
+            update_id,
+            seq,
+            last,
+            lfns: added,
+        };
+        let bytes = full.encode().into_bytes();
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), full);
+    }
+
+    /// Responses carrying arbitrary strings round-trip.
+    #[test]
+    fn string_responses_round_trip(names in prop::collection::vec(".{0,80}", 0..50)) {
+        for resp in [
+            Response::Targets(names.clone()),
+            Response::Logicals(names.clone()),
+            Response::Names(names.clone()),
+        ] {
+            let bytes = resp.encode().into_bytes();
+            prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    /// Every truncation of a valid frame is rejected cleanly.
+    #[test]
+    fn truncations_rejected(cut in 0usize..100) {
+        let req = Request::SoftStateDelta {
+            lrc: "lrc-x".into(),
+            added: vec!["lfn://a".into(), "lfn://b".into()],
+            removed: vec!["lfn://c".into()],
+        };
+        let bytes = req.encode().into_bytes();
+        if cut < bytes.len() {
+            prop_assert!(Request::decode(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Secondary indexes: hash for point lookups, ordered for range/prefix
+//! scans.
+//!
+//! Index entries reference heap [`RowId`]s and are
+//! *not* eagerly removed when the PostgreSQL-like profile merely marks a row
+//! dead — probes return candidate ids that the table must liveness-check,
+//! exactly the index-bloat effect that makes the paper's Figure 8 decay. The
+//! MySQL-like profile removes entries synchronously at delete time.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use crate::schema::IndexKind;
+use crate::table::RowId;
+use crate::value::Value;
+
+/// Postings list for one key. Most keys have exactly one live row, so the
+/// single-element case avoids a heap allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Postings {
+    /// Exactly one row.
+    One(RowId),
+    /// Two or more rows (insertion order).
+    Many(Vec<RowId>),
+}
+
+impl Postings {
+    fn push(&mut self, id: RowId) {
+        match self {
+            Self::One(a) => *self = Self::Many(vec![*a, id]),
+            Self::Many(v) => v.push(id),
+        }
+    }
+
+    /// Removes one id; returns true if the postings list became empty.
+    fn remove(&mut self, id: RowId) -> bool {
+        match self {
+            Self::One(a) => *a == id,
+            Self::Many(v) => {
+                if let Some(pos) = v.iter().position(|&x| x == id) {
+                    v.swap_remove(pos);
+                }
+                v.is_empty()
+            }
+        }
+    }
+
+    /// Iterates the ids.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        match self {
+            Self::One(a) => PostingsIter::One(Some(*a)),
+            Self::Many(v) => PostingsIter::Many(v.iter()),
+        }
+    }
+
+    /// Number of ids (live + dead).
+    pub fn len(&self) -> usize {
+        match self {
+            Self::One(_) => 1,
+            Self::Many(v) => v.len(),
+        }
+    }
+
+    /// Never true while stored (empty lists are removed from the map).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Iterator over a postings list.
+pub enum PostingsIter<'a> {
+    /// Single element.
+    One(Option<RowId>),
+    /// Slice iterator.
+    Many(std::slice::Iter<'a, RowId>),
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = RowId;
+    fn next(&mut self) -> Option<RowId> {
+        match self {
+            Self::One(v) => v.take(),
+            Self::Many(it) => it.next().copied(),
+        }
+    }
+}
+
+/// A single-column secondary index.
+#[derive(Clone, Debug)]
+pub enum Index {
+    /// Hash-map index.
+    Hash(HashMap<Value, Postings>),
+    /// Ordered (B-tree) index.
+    Ordered(BTreeMap<Value, Postings>),
+}
+
+impl Index {
+    /// Creates an empty index of the given kind.
+    pub fn new(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Hash => Self::Hash(HashMap::new()),
+            IndexKind::Ordered => Self::Ordered(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `id` under `key`.
+    pub fn insert(&mut self, key: Value, id: RowId) {
+        match self {
+            Self::Hash(m) => match m.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(id),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Postings::One(id));
+                }
+            },
+            Self::Ordered(m) => match m.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().push(id),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Postings::One(id));
+                }
+            },
+        }
+    }
+
+    /// Removes `id` from under `key` (used by the MySQL-like profile at
+    /// delete time, and by vacuum for the PostgreSQL-like profile).
+    pub fn remove(&mut self, key: &Value, id: RowId) {
+        match self {
+            Self::Hash(m) => {
+                if let Some(p) = m.get_mut(key) {
+                    if p.remove(id) {
+                        m.remove(key);
+                    }
+                }
+            }
+            Self::Ordered(m) => {
+                if let Some(p) = m.get_mut(key) {
+                    if p.remove(id) {
+                        m.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All candidate row ids for an exact key (may include dead rows under
+    /// the PostgreSQL-like profile — callers must liveness-check).
+    pub fn lookup(&self, key: &Value) -> Option<&Postings> {
+        match self {
+            Self::Hash(m) => m.get(key),
+            Self::Ordered(m) => m.get(key),
+        }
+    }
+
+    /// Candidate ids for keys in `[lo, hi)`; ordered indexes only.
+    ///
+    /// # Panics
+    /// Panics when invoked on a hash index — a planner bug, not a runtime
+    /// condition.
+    pub fn range<'a>(
+        &'a self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> impl Iterator<Item = (&'a Value, &'a Postings)> + 'a {
+        match self {
+            Self::Hash(_) => panic!("range scan on hash index"),
+            Self::Ordered(m) => m.range::<Value, _>((lo, hi)),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Self::Hash(m) => m.len(),
+            Self::Ordered(m) => m.len(),
+        }
+    }
+
+    /// Total postings across all keys (live + dead) — index bloat metric.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            Self::Hash(m) => m.values().map(Postings::len).sum(),
+            Self::Ordered(m) => m.values().map(Postings::len).sum(),
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        match self {
+            Self::Hash(m) => m.clear(),
+            Self::Ordered(m) => m.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(p: Option<&Postings>) -> Vec<u64> {
+        let mut v: Vec<u64> = p.into_iter().flat_map(|p| p.iter()).map(|r| r.0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn hash_insert_lookup_remove() {
+        let mut idx = Index::new(IndexKind::Hash);
+        idx.insert(Value::str("a"), RowId(1));
+        idx.insert(Value::str("a"), RowId(2));
+        idx.insert(Value::str("b"), RowId(3));
+        assert_eq!(ids(idx.lookup(&Value::str("a"))), vec![1, 2]);
+        idx.remove(&Value::str("a"), RowId(1));
+        assert_eq!(ids(idx.lookup(&Value::str("a"))), vec![2]);
+        idx.remove(&Value::str("a"), RowId(2));
+        assert!(idx.lookup(&Value::str("a")).is_none());
+        assert_eq!(idx.key_count(), 1);
+    }
+
+    #[test]
+    fn ordered_range_scan() {
+        let mut idx = Index::new(IndexKind::Ordered);
+        for (i, name) in ["apple", "apricot", "banana", "cherry"].iter().enumerate() {
+            idx.insert(Value::str(name), RowId(i as u64));
+        }
+        let hits: Vec<&str> = idx
+            .range(
+                Bound::Included(&Value::str("ap")),
+                Bound::Excluded(&Value::str("aq")),
+            )
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(hits, vec!["apple", "apricot"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "range scan on hash index")]
+    fn range_on_hash_panics() {
+        let idx = Index::new(IndexKind::Hash);
+        let _ = idx
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .next();
+    }
+
+    #[test]
+    fn postings_small_case_avoids_alloc() {
+        let mut p = Postings::One(RowId(5));
+        assert_eq!(p.len(), 1);
+        p.push(RowId(6));
+        assert_eq!(p.len(), 2);
+        assert!(!p.remove(RowId(5)));
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![RowId(6)]);
+    }
+
+    #[test]
+    fn entry_count_tracks_bloat() {
+        let mut idx = Index::new(IndexKind::Hash);
+        for i in 0..10 {
+            idx.insert(Value::str("same"), RowId(i));
+        }
+        assert_eq!(idx.key_count(), 1);
+        assert_eq!(idx.entry_count(), 10);
+    }
+
+    #[test]
+    fn remove_missing_id_is_noop() {
+        let mut idx = Index::new(IndexKind::Ordered);
+        idx.insert(Value::Int(1), RowId(1));
+        idx.remove(&Value::Int(1), RowId(99));
+        assert_eq!(ids(idx.lookup(&Value::Int(1))), vec![1]);
+        idx.remove(&Value::Int(2), RowId(1)); // absent key
+        assert_eq!(idx.key_count(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # `rls-storage`
+//!
+//! An embedded relational storage engine standing in for the MySQL /
+//! PostgreSQL back ends of the original RLS (reached through ODBC in the
+//! paper's Figure 2). See DESIGN.md §2 for the substitution argument.
+//!
+//! Layered as:
+//!
+//! * a small **generic engine** — typed [`Value`]s, [`TableSchema`]s, heap
+//!   [`Table`]s with hash and ordered indexes, [`Predicate`] scans, a
+//!   CRC-protected [write-ahead log](wal) with configurable flush modes, and
+//!   snapshot persistence;
+//! * two **backend profiles** ([`BackendProfile`]) reproducing the database
+//!   behaviours the paper measures:
+//!   - *MySQL-like*: deleted rows are reclaimed immediately (free-list
+//!     reuse); the per-commit WAL flush can be enabled (paper's "database
+//!     flush enabled", Fig. 4/5) or left to periodic background syncs;
+//!   - *PostgreSQL-like*: deletes leave **dead tuples** in the heap and
+//!     index; probes and scans must skip them, so throughput decays until a
+//!     [`Database::vacuum`] physically reclaims them — the saw-tooth of
+//!     Fig. 8;
+//! * the two **paper schemas** from Figure 3: [`LrcDatabase`] (logical
+//!   names, target names, mappings, four typed attribute tables, RLI update
+//!   list, partition rules) and [`RliDatabase`] (logical names, LRCs, and
+//!   timestamped associations with expiry).
+
+pub mod engine;
+pub mod index;
+pub mod lrcdb;
+pub mod predicate;
+pub mod profile;
+pub mod rlidb;
+pub mod schema;
+pub mod snapshot;
+pub mod stats;
+pub mod table;
+pub mod txn;
+pub mod value;
+pub mod wal;
+
+pub use engine::{Database, TableId};
+pub use lrcdb::{LrcDatabase, LrcStats, MappingChange, RliTarget};
+pub use rlidb::RliDbStats;
+pub use predicate::Predicate;
+pub use profile::{BackendProfile, FlushMode, Vendor};
+pub use rlidb::{RliDatabase, RliQueryHit};
+pub use schema::{ColumnDef, IndexKind, IndexSpec, TableSchema};
+pub use table::{RowId, Table};
+pub use txn::Transaction;
+pub use value::{Value, ValueType};
+pub use wal::Wal;

@@ -1,0 +1,1448 @@
+//! The Local Replica Catalog database: the paper's Figure 3 LRC schema
+//! implemented over the generic engine.
+//!
+//! Tables:
+//!
+//! | table            | columns                               |
+//! |------------------|----------------------------------------|
+//! | `t_lfn`          | `id, name, ref`                        |
+//! | `t_pfn`          | `id, name, ref`                        |
+//! | `t_map`          | `lfn_id, pfn_id`                       |
+//! | `t_attribute`    | `id, name, objtype, type`              |
+//! | `t_str_attr`     | `obj_id, attr_id, value` (varchar)     |
+//! | `t_int_attr`     | `obj_id, attr_id, value` (int)         |
+//! | `t_flt_attr`     | `obj_id, attr_id, value` (float)       |
+//! | `t_date_attr`    | `obj_id, attr_id, value` (timestamp)   |
+//! | `t_rli`          | `id, flags, name`                      |
+//! | `t_rlipartition` | `rli_id, pattern`                      |
+//!
+//! The `ref` columns are reference counts: a logical or target name row
+//! exists while at least one mapping references it, matching the original
+//! implementation where deleting the last replica mapping removes the
+//! logical name (and its attributes) from the catalog.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rls_types::{
+    AttrCompare, AttrValue, AttrValueType, AttributeDef, ErrorCode, Glob, LogicalName, Mapping,
+    ObjectType, Regex, RlsError, RlsResult, TargetName,
+};
+
+use crate::engine::{Database, TableId};
+use crate::profile::BackendProfile;
+use crate::schema::{ColumnDef, IndexSpec, TableSchema};
+use crate::table::RowId;
+use crate::txn::Transaction;
+use crate::value::{Value, ValueType};
+
+// Index positions within each table's index list.
+const IDX_ID: usize = 0; // unique hash on id (t_lfn/t_pfn/t_attribute/t_rli)
+const IDX_NAME: usize = 1; // ordered on name (t_lfn/t_pfn), hash on name (t_attribute)
+const MAP_IDX_LFN: usize = 0;
+const MAP_IDX_PFN: usize = 1;
+const ATTRV_IDX_OBJ: usize = 0;
+const ATTRV_IDX_ATTR: usize = 1;
+
+/// What a mapping mutation did to the logical-name table — the signal the
+/// soft-state machinery consumes (immediate-mode deltas carry LFN-level
+/// changes; the counting Bloom filter sets/clears bits on these events).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MappingChange {
+    /// The logical name was newly registered by this operation.
+    pub lfn_created: bool,
+    /// The logical name's last mapping was removed by this operation.
+    pub lfn_deleted: bool,
+}
+
+/// An RLI registered on this LRC's update list, with optional namespace
+/// partition patterns (§3.5).
+#[derive(Clone, Debug)]
+pub struct RliTarget {
+    /// RLI server address ("host:port" or logical name).
+    pub name: String,
+    /// Update flags (bit 0: bloom-filter updates requested).
+    pub flags: i64,
+    /// Partition patterns; empty means "all logical names".
+    pub patterns: Vec<String>,
+}
+
+/// Operation counters for the LRC service's stats RPC (snapshot form).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LrcStats {
+    /// Mapping create/add operations that succeeded.
+    pub adds: u64,
+    /// Mapping deletes that succeeded.
+    pub deletes: u64,
+    /// Point queries served.
+    pub queries: u64,
+    /// Wildcard queries served.
+    pub wildcard_queries: u64,
+    /// Attribute operations (all kinds).
+    pub attribute_ops: u64,
+}
+
+/// Internal atomic counters, incrementable through `&self` so read-only
+/// queries stay shareable across server threads.
+#[derive(Debug, Default)]
+struct LrcStatCounters {
+    adds: AtomicU64,
+    deletes: AtomicU64,
+    queries: AtomicU64,
+    wildcard_queries: AtomicU64,
+    attribute_ops: AtomicU64,
+}
+
+impl LrcStatCounters {
+    fn snapshot(&self) -> LrcStats {
+        LrcStats {
+            adds: self.adds.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            wildcard_queries: self.wildcard_queries.load(Ordering::Relaxed),
+            attribute_ops: self.attribute_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The LRC catalog.
+#[derive(Debug)]
+pub struct LrcDatabase {
+    db: Database,
+    t_lfn: TableId,
+    t_pfn: TableId,
+    t_map: TableId,
+    t_attribute: TableId,
+    t_str_attr: TableId,
+    t_int_attr: TableId,
+    t_flt_attr: TableId,
+    t_date_attr: TableId,
+    t_rli: TableId,
+    t_rlipartition: TableId,
+    next_obj_id: i64,
+    next_attr_id: i64,
+    next_rli_id: i64,
+    stats: LrcStatCounters,
+}
+
+fn name_table_schema(name: &str) -> TableSchema {
+    TableSchema::new(
+        name,
+        vec![
+            ColumnDef::new("id", ValueType::Int),
+            ColumnDef::new("name", ValueType::Str),
+            ColumnDef::new("ref", ValueType::Int),
+        ],
+        vec![IndexSpec::unique_hash(0), IndexSpec::unique_ordered(1)],
+    )
+}
+
+fn attr_value_schema(name: &str, vt: ValueType) -> TableSchema {
+    TableSchema::new(
+        name,
+        vec![
+            ColumnDef::new("obj_id", ValueType::Int),
+            ColumnDef::new("attr_id", ValueType::Int),
+            ColumnDef::new("value", vt),
+        ],
+        vec![IndexSpec::hash(0), IndexSpec::hash(1)],
+    )
+}
+
+impl LrcDatabase {
+    fn create_schema(db: &mut Database) -> (TableId, TableId, TableId, TableId, TableId, TableId, TableId, TableId, TableId, TableId) {
+        let t_lfn = db.create_table(name_table_schema("t_lfn"));
+        let t_pfn = db.create_table(name_table_schema("t_pfn"));
+        let t_map = db.create_table(TableSchema::new(
+            "t_map",
+            vec![
+                ColumnDef::new("lfn_id", ValueType::Int),
+                ColumnDef::new("pfn_id", ValueType::Int),
+            ],
+            vec![IndexSpec::hash(0), IndexSpec::hash(1)],
+        ));
+        let t_attribute = db.create_table(TableSchema::new(
+            "t_attribute",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("name", ValueType::Str),
+                ColumnDef::new("objtype", ValueType::Int),
+                ColumnDef::new("type", ValueType::Int),
+            ],
+            vec![IndexSpec::unique_hash(0), IndexSpec::hash(1)],
+        ));
+        let t_str_attr = db.create_table(attr_value_schema("t_str_attr", ValueType::Str));
+        let t_int_attr = db.create_table(attr_value_schema("t_int_attr", ValueType::Int));
+        let t_flt_attr = db.create_table(attr_value_schema("t_flt_attr", ValueType::Float));
+        let t_date_attr = db.create_table(attr_value_schema("t_date_attr", ValueType::Time));
+        let t_rli = db.create_table(TableSchema::new(
+            "t_rli",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("flags", ValueType::Int),
+                ColumnDef::new("name", ValueType::Str),
+            ],
+            vec![IndexSpec::unique_hash(0), IndexSpec::unique_hash(2)],
+        ));
+        let t_rlipartition = db.create_table(TableSchema::new(
+            "t_rlipartition",
+            vec![
+                ColumnDef::new("rli_id", ValueType::Int),
+                ColumnDef::new("pattern", ValueType::Str),
+            ],
+            vec![IndexSpec::hash(0)],
+        ));
+        (
+            t_lfn, t_pfn, t_map, t_attribute, t_str_attr, t_int_attr, t_flt_attr, t_date_attr,
+            t_rli, t_rlipartition,
+        )
+    }
+
+    fn from_db(mut db: Database) -> RlsResult<Self> {
+        let (t_lfn, t_pfn, t_map, t_attribute, t_str_attr, t_int_attr, t_flt_attr, t_date_attr, t_rli, t_rlipartition) =
+            Self::create_schema(&mut db);
+        db.recover()?;
+        let mut lrc = Self {
+            db,
+            t_lfn,
+            t_pfn,
+            t_map,
+            t_attribute,
+            t_str_attr,
+            t_int_attr,
+            t_flt_attr,
+            t_date_attr,
+            t_rli,
+            t_rlipartition,
+            next_obj_id: 1,
+            next_attr_id: 1,
+            next_rli_id: 1,
+            stats: LrcStatCounters::default(),
+        };
+        lrc.rebuild_counters();
+        Ok(lrc)
+    }
+
+    /// Creates an in-memory (non-durable) catalog.
+    pub fn in_memory(profile: BackendProfile) -> Self {
+        Self::from_db(Database::in_memory(profile)).expect("in-memory recovery cannot fail")
+    }
+
+    /// Opens a WAL-backed catalog, replaying any existing log.
+    pub fn open(profile: BackendProfile, wal_path: impl AsRef<std::path::Path>) -> RlsResult<Self> {
+        Self::from_db(Database::open(profile, wal_path)?)
+    }
+
+    fn rebuild_counters(&mut self) {
+        let max_id = |t: TableId| {
+            self.db
+                .table(t)
+                .scan()
+                .map(|(_, r)| r[0].as_int())
+                .max()
+                .unwrap_or(0)
+        };
+        self.next_obj_id = max_id(self.t_lfn).max(max_id(self.t_pfn)) + 1;
+        self.next_attr_id = max_id(self.t_attribute) + 1;
+        self.next_rli_id = max_id(self.t_rli) + 1;
+    }
+
+    /// The underlying engine (stats, vacuum, profile access).
+    pub fn engine(&self) -> &Database {
+        &self.db
+    }
+
+    /// Runs VACUUM across all catalog tables; returns tuples reclaimed.
+    /// (PostgreSQL-like profile; a no-op under MySQL-like semantics.)
+    pub fn vacuum(&mut self) -> RlsResult<u64> {
+        let tables = [
+            self.t_lfn,
+            self.t_pfn,
+            self.t_map,
+            self.t_attribute,
+            self.t_str_attr,
+            self.t_int_attr,
+            self.t_flt_attr,
+            self.t_date_attr,
+            self.t_rli,
+            self.t_rlipartition,
+        ];
+        let mut total = 0;
+        for t in tables {
+            total += self.db.vacuum(t)?;
+        }
+        Ok(total)
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> LrcStats {
+        self.stats.snapshot()
+    }
+
+    /// Checkpoints the catalog to a snapshot file and truncates the WAL.
+    pub fn checkpoint(&mut self, path: impl AsRef<std::path::Path>) -> RlsResult<()> {
+        crate::snapshot::save(&mut self.db, path)
+    }
+
+    /// Restores catalog state from a snapshot file.
+    pub fn restore(&mut self, path: impl AsRef<std::path::Path>) -> RlsResult<u64> {
+        let n = crate::snapshot::load(&mut self.db, path)?;
+        self.rebuild_counters();
+        Ok(n)
+    }
+
+    // --- internal lookups ---------------------------------------------------
+
+    fn find_name_row(&self, table: TableId, name: &str) -> Option<(RowId, i64, i64)> {
+        self.db
+            .table(table)
+            .index_lookup(IDX_NAME, &Value::str(name))
+            .next()
+            .map(|(rid, row)| (rid, row[0].as_int(), row[2].as_int()))
+    }
+
+    fn name_by_obj_id(&self, table: TableId, id: i64) -> Option<Arc<str>> {
+        self.db
+            .table(table)
+            .index_lookup(IDX_ID, &Value::Int(id))
+            .next()
+            .map(|(_, row)| row[1].as_shared_str())
+    }
+
+    fn find_map_row(&self, lfn_id: i64, pfn_id: i64) -> Option<RowId> {
+        self.db
+            .table(self.t_map)
+            .index_lookup(MAP_IDX_LFN, &Value::Int(lfn_id))
+            .find(|(_, row)| row[1].as_int() == pfn_id)
+            .map(|(rid, _)| rid)
+    }
+
+    /// Inserts or bumps the refcount of a name row; returns (obj id, was
+    /// created).
+    fn upsert_name(
+        &mut self,
+        txn: &mut Transaction,
+        table: TableId,
+        name: &Arc<str>,
+    ) -> RlsResult<(i64, bool)> {
+        if let Some((rid, id, refs)) = self.find_name_row(table, name) {
+            self.db.txn_update(
+                txn,
+                table,
+                rid,
+                vec![
+                    Value::Int(id),
+                    Value::shared_str(Arc::clone(name)),
+                    Value::Int(refs + 1),
+                ],
+            )?;
+            Ok((id, false))
+        } else {
+            let id = self.next_obj_id;
+            self.next_obj_id += 1;
+            self.db.txn_insert(
+                txn,
+                table,
+                vec![
+                    Value::Int(id),
+                    Value::shared_str(Arc::clone(name)),
+                    Value::Int(1),
+                ],
+            )?;
+            Ok((id, true))
+        }
+    }
+
+    /// Drops one reference from a name row; deletes the row (and its
+    /// attribute values) when the count reaches zero. Returns true if the
+    /// row was removed.
+    fn release_name(
+        &mut self,
+        txn: &mut Transaction,
+        table: TableId,
+        name: &str,
+    ) -> RlsResult<bool> {
+        let (rid, id, refs) = self
+            .find_name_row(table, name)
+            .ok_or_else(|| RlsError::storage(format!("release of unknown name {name:?}")))?;
+        if refs > 1 {
+            self.db.txn_update(
+                txn,
+                table,
+                rid,
+                vec![Value::Int(id), Value::str(name), Value::Int(refs - 1)],
+            )?;
+            Ok(false)
+        } else {
+            self.db.txn_delete(txn, table, rid)?;
+            self.delete_attr_values_for_obj(txn, id)?;
+            Ok(true)
+        }
+    }
+
+    fn delete_attr_values_for_obj(&mut self, txn: &mut Transaction, obj_id: i64) -> RlsResult<()> {
+        for t in [
+            self.t_str_attr,
+            self.t_int_attr,
+            self.t_flt_attr,
+            self.t_date_attr,
+        ] {
+            let rids: Vec<RowId> = self
+                .db
+                .table(t)
+                .index_lookup(ATTRV_IDX_OBJ, &Value::Int(obj_id))
+                .map(|(rid, _)| rid)
+                .collect();
+            for rid in rids {
+                self.db.txn_delete(txn, t, rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    // --- mapping management (Table 1: "Mapping management") -----------------
+
+    /// `create`: registers a brand-new logical name with its first mapping.
+    ///
+    /// # Errors
+    /// [`ErrorCode::LogicalNameNotFound`]'s dual: fails with
+    /// [`ErrorCode::MappingExists`] if the logical name is already
+    /// registered (use [`Self::add_mapping`] to add replicas).
+    pub fn create_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+        if self.find_name_row(self.t_lfn, m.logical.as_str()).is_some() {
+            return Err(RlsError::new(
+                ErrorCode::MappingExists,
+                format!("logical name {} already registered", m.logical),
+            ));
+        }
+        let mut txn = Transaction::new();
+        let (lfn_id, _) = self.upsert_name(&mut txn, self.t_lfn, &m.logical.shared())?;
+        let (pfn_id, _) = self.upsert_name(&mut txn, self.t_pfn, &m.target.shared())?;
+        self.db.txn_insert(
+            &mut txn,
+            self.t_map,
+            vec![Value::Int(lfn_id), Value::Int(pfn_id)],
+        )?;
+        self.db.commit(txn)?;
+        self.stats.adds.fetch_add(1, Ordering::Relaxed);
+        Ok(MappingChange {
+            lfn_created: true,
+            lfn_deleted: false,
+        })
+    }
+
+    /// `add`: adds a replica mapping to an *existing* logical name.
+    pub fn add_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+        let Some((_, lfn_id, _)) = self.find_name_row(self.t_lfn, m.logical.as_str()) else {
+            return Err(RlsError::new(
+                ErrorCode::LogicalNameNotFound,
+                format!("logical name {} not registered", m.logical),
+            ));
+        };
+        if let Some((_, pfn_id, _)) = self.find_name_row(self.t_pfn, m.target.as_str()) {
+            if self.find_map_row(lfn_id, pfn_id).is_some() {
+                return Err(RlsError::new(
+                    ErrorCode::MappingExists,
+                    format!("mapping {m} already exists"),
+                ));
+            }
+        }
+        let mut txn = Transaction::new();
+        // Bump the lfn refcount for the extra mapping.
+        let (lfn_id, created) = self.upsert_name(&mut txn, self.t_lfn, &m.logical.shared())?;
+        debug_assert!(!created);
+        let (pfn_id, _) = self.upsert_name(&mut txn, self.t_pfn, &m.target.shared())?;
+        self.db.txn_insert(
+            &mut txn,
+            self.t_map,
+            vec![Value::Int(lfn_id), Value::Int(pfn_id)],
+        )?;
+        self.db.commit(txn)?;
+        self.stats.adds.fetch_add(1, Ordering::Relaxed);
+        Ok(MappingChange::default())
+    }
+
+    /// Registers a mapping, creating the logical name if needed — the
+    /// common client convenience path (`create` falling back to `add`).
+    pub fn put_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+        if self.find_name_row(self.t_lfn, m.logical.as_str()).is_some() {
+            self.add_mapping(m)
+        } else {
+            self.create_mapping(m)
+        }
+    }
+
+    /// `delete`: removes one replica mapping. Removes the logical/target
+    /// name rows (and attributes) when their last mapping goes away.
+    pub fn delete_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+        let Some((_, lfn_id, _)) = self.find_name_row(self.t_lfn, m.logical.as_str()) else {
+            return Err(RlsError::new(
+                ErrorCode::LogicalNameNotFound,
+                format!("logical name {} not registered", m.logical),
+            ));
+        };
+        let Some((_, pfn_id, _)) = self.find_name_row(self.t_pfn, m.target.as_str()) else {
+            return Err(RlsError::new(
+                ErrorCode::MappingNotFound,
+                format!("no mapping {m}"),
+            ));
+        };
+        let Some(map_rid) = self.find_map_row(lfn_id, pfn_id) else {
+            return Err(RlsError::new(
+                ErrorCode::MappingNotFound,
+                format!("no mapping {m}"),
+            ));
+        };
+        let mut txn = Transaction::new();
+        self.db.txn_delete(&mut txn, self.t_map, map_rid)?;
+        let lfn_deleted = self.release_name(&mut txn, self.t_lfn, m.logical.as_str())?;
+        self.release_name(&mut txn, self.t_pfn, m.target.as_str())?;
+        self.db.commit(txn)?;
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(MappingChange {
+            lfn_created: false,
+            lfn_deleted,
+        })
+    }
+
+    // --- queries (Table 1: "Query operations") -------------------------------
+
+    /// Replicas of a logical name.
+    pub fn query_lfn(&self, lfn: &str) -> RlsResult<Vec<TargetName>> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let Some((_, lfn_id, _)) = self.find_name_row(self.t_lfn, lfn) else {
+            return Err(RlsError::new(
+                ErrorCode::LogicalNameNotFound,
+                format!("logical name {lfn:?} not registered"),
+            ));
+        };
+        let targets = self
+            .db
+            .table(self.t_map)
+            .index_lookup(MAP_IDX_LFN, &Value::Int(lfn_id))
+            .filter_map(|(_, row)| self.name_by_obj_id(self.t_pfn, row[1].as_int()))
+            .map(TargetName::new_unchecked)
+            .collect();
+        Ok(targets)
+    }
+
+    /// Logical names mapped to a target name (reverse query).
+    pub fn query_pfn(&self, pfn: &str) -> RlsResult<Vec<LogicalName>> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let Some((_, pfn_id, _)) = self.find_name_row(self.t_pfn, pfn) else {
+            return Err(RlsError::new(
+                ErrorCode::TargetNameNotFound,
+                format!("target name {pfn:?} not registered"),
+            ));
+        };
+        let logicals = self
+            .db
+            .table(self.t_map)
+            .index_lookup(MAP_IDX_PFN, &Value::Int(pfn_id))
+            .filter_map(|(_, row)| self.name_by_obj_id(self.t_lfn, row[0].as_int()))
+            .map(LogicalName::new_unchecked)
+            .collect();
+        Ok(logicals)
+    }
+
+    /// Wildcard query over logical names: all mappings whose LFN matches
+    /// the glob, up to `limit`.
+    pub fn wildcard_query_lfn(&self, glob: &Glob, limit: usize) -> RlsResult<Vec<Mapping>> {
+        self.stats.wildcard_queries.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        let prefix = glob.literal_prefix().to_owned();
+        let lfn_rows: Vec<(i64, Arc<str>)> = self
+            .db
+            .table(self.t_lfn)
+            .index_prefix_scan(IDX_NAME, &prefix)
+            .filter(|(_, row)| glob.matches(row[1].as_str()))
+            .map(|(_, row)| (row[0].as_int(), row[1].as_shared_str()))
+            .collect();
+        'outer: for (lfn_id, lfn_name) in lfn_rows {
+            for (_, map_row) in self
+                .db
+                .table(self.t_map)
+                .index_lookup(MAP_IDX_LFN, &Value::Int(lfn_id))
+            {
+                if let Some(pfn) = self.name_by_obj_id(self.t_pfn, map_row[1].as_int()) {
+                    out.push(Mapping {
+                        logical: LogicalName::new_unchecked(&lfn_name),
+                        target: TargetName::new_unchecked(pfn),
+                    });
+                    if out.len() >= limit {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Wildcard query over target names.
+    pub fn wildcard_query_pfn(&self, glob: &Glob, limit: usize) -> RlsResult<Vec<Mapping>> {
+        self.stats.wildcard_queries.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        let prefix = glob.literal_prefix().to_owned();
+        let pfn_rows: Vec<(i64, Arc<str>)> = self
+            .db
+            .table(self.t_pfn)
+            .index_prefix_scan(IDX_NAME, &prefix)
+            .filter(|(_, row)| glob.matches(row[1].as_str()))
+            .map(|(_, row)| (row[0].as_int(), row[1].as_shared_str()))
+            .collect();
+        'outer: for (pfn_id, pfn_name) in pfn_rows {
+            for (_, map_row) in self
+                .db
+                .table(self.t_map)
+                .index_lookup(MAP_IDX_PFN, &Value::Int(pfn_id))
+            {
+                if let Some(lfn) = self.name_by_obj_id(self.t_lfn, map_row[0].as_int()) {
+                    out.push(Mapping {
+                        logical: LogicalName::new_unchecked(lfn),
+                        target: TargetName::new_unchecked(&pfn_name),
+                    });
+                    if out.len() >= limit {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True if the logical name is registered.
+    pub fn lfn_exists(&self, lfn: &str) -> bool {
+        self.find_name_row(self.t_lfn, lfn).is_some()
+    }
+
+    /// True if the exact mapping is registered.
+    pub fn mapping_exists(&self, m: &Mapping) -> bool {
+        let Some((_, lfn_id, _)) = self.find_name_row(self.t_lfn, m.logical.as_str()) else {
+            return false;
+        };
+        let Some((_, pfn_id, _)) = self.find_name_row(self.t_pfn, m.target.as_str()) else {
+            return false;
+        };
+        self.find_map_row(lfn_id, pfn_id).is_some()
+    }
+
+    /// Number of registered logical names.
+    pub fn lfn_count(&self) -> u64 {
+        self.db.table(self.t_lfn).len()
+    }
+
+    /// Number of mappings.
+    pub fn mapping_count(&self) -> u64 {
+        self.db.table(self.t_map).len()
+    }
+
+    /// All logical names, in index order — the payload of an uncompressed
+    /// full soft-state update.
+    pub fn all_lfns(&self) -> Vec<Arc<str>> {
+        self.db
+            .table(self.t_lfn)
+            .index_prefix_scan(IDX_NAME, "")
+            .map(|(_, row)| row[1].as_shared_str())
+            .collect()
+    }
+
+    /// Visits every logical name without materializing the list.
+    pub fn for_each_lfn(&self, mut f: impl FnMut(&str)) {
+        for (_, row) in self.db.table(self.t_lfn).index_prefix_scan(IDX_NAME, "") {
+            f(row[1].as_str());
+        }
+    }
+
+    // --- attribute management (Table 1: "Attribute management") -------------
+
+    fn attr_value_table(&self, vt: AttrValueType) -> TableId {
+        match vt {
+            AttrValueType::Str => self.t_str_attr,
+            AttrValueType::Int => self.t_int_attr,
+            AttrValueType::Float => self.t_flt_attr,
+            AttrValueType::Date => self.t_date_attr,
+        }
+    }
+
+    fn find_attr_def(&self, name: &str, objtype: ObjectType) -> Option<(RowId, i64, AttrValueType)> {
+        self.db
+            .table(self.t_attribute)
+            .index_lookup(IDX_NAME, &Value::str(name))
+            .find(|(_, row)| row[2].as_int() == objtype as i64)
+            .map(|(rid, row)| {
+                let vt = AttrValueType::from_u8(row[3].as_int() as u8)
+                    .expect("attr type validated at define time");
+                (rid, row[0].as_int(), vt)
+            })
+    }
+
+    fn obj_id_for(&self, obj: &str, objtype: ObjectType) -> RlsResult<i64> {
+        let (table, code) = match objtype {
+            ObjectType::Logical => (self.t_lfn, ErrorCode::LogicalNameNotFound),
+            ObjectType::Target => (self.t_pfn, ErrorCode::TargetNameNotFound),
+        };
+        self.find_name_row(table, obj)
+            .map(|(_, id, _)| id)
+            .ok_or_else(|| RlsError::new(code, format!("{objtype} name {obj:?} not registered")))
+    }
+
+    /// Defines a new attribute (`t_attribute` row).
+    pub fn define_attribute(&mut self, def: &AttributeDef) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        if self.find_attr_def(&def.name, def.object_type).is_some() {
+            return Err(RlsError::new(
+                ErrorCode::AttributeExists,
+                format!("attribute {:?} already defined", def.name),
+            ));
+        }
+        let id = self.next_attr_id;
+        self.next_attr_id += 1;
+        let mut txn = Transaction::new();
+        self.db.txn_insert(
+            &mut txn,
+            self.t_attribute,
+            vec![
+                Value::Int(id),
+                Value::str(&def.name),
+                Value::Int(def.object_type as i64),
+                Value::Int(def.value_type as i64),
+            ],
+        )?;
+        self.db.commit(txn)?;
+        Ok(())
+    }
+
+    /// Removes an attribute definition. With `clear_values`, also deletes
+    /// every stored value; otherwise fails if values exist.
+    pub fn undefine_attribute(
+        &mut self,
+        name: &str,
+        objtype: ObjectType,
+        clear_values: bool,
+    ) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let Some((rid, attr_id, vt)) = self.find_attr_def(name, objtype) else {
+            return Err(RlsError::new(
+                ErrorCode::AttributeNotFound,
+                format!("attribute {name:?} not defined"),
+            ));
+        };
+        let vtable = self.attr_value_table(vt);
+        let value_rids: Vec<RowId> = self
+            .db
+            .table(vtable)
+            .index_lookup(ATTRV_IDX_ATTR, &Value::Int(attr_id))
+            .map(|(rid, _)| rid)
+            .collect();
+        if !value_rids.is_empty() && !clear_values {
+            return Err(RlsError::new(
+                ErrorCode::AttributeValueExists,
+                format!("attribute {name:?} still has {} values", value_rids.len()),
+            ));
+        }
+        let mut txn = Transaction::new();
+        for vrid in value_rids {
+            self.db.txn_delete(&mut txn, vtable, vrid)?;
+        }
+        self.db.txn_delete(&mut txn, self.t_attribute, rid)?;
+        self.db.commit(txn)
+    }
+
+    /// Lists attribute definitions for an object type (or all).
+    pub fn list_attribute_defs(&self, objtype: Option<ObjectType>) -> Vec<AttributeDef> {
+        self.db
+            .table(self.t_attribute)
+            .scan()
+            .filter(|(_, row)| objtype.is_none_or(|ot| row[2].as_int() == ot as i64))
+            .map(|(_, row)| AttributeDef {
+                name: row[1].as_str().to_owned(),
+                object_type: ObjectType::from_u8(row[2].as_int() as u8).expect("validated"),
+                value_type: AttrValueType::from_u8(row[3].as_int() as u8).expect("validated"),
+            })
+            .collect()
+    }
+
+    fn attr_value_to_engine(v: &AttrValue) -> Value {
+        match v {
+            AttrValue::Str(s) => Value::str(s),
+            AttrValue::Int(i) => Value::Int(*i),
+            AttrValue::Float(f) => Value::Float(*f),
+            AttrValue::Date(t) => Value::Time(*t),
+        }
+    }
+
+    fn engine_to_attr_value(v: &Value) -> AttrValue {
+        match v {
+            Value::Str(s) => AttrValue::Str(s.to_string()),
+            Value::Int(i) => AttrValue::Int(*i),
+            Value::Float(f) => AttrValue::Float(*f),
+            Value::Time(t) => AttrValue::Date(*t),
+        }
+    }
+
+    fn find_attr_value_row(&self, vtable: TableId, obj_id: i64, attr_id: i64) -> Option<RowId> {
+        self.db
+            .table(vtable)
+            .index_lookup(ATTRV_IDX_OBJ, &Value::Int(obj_id))
+            .find(|(_, row)| row[1].as_int() == attr_id)
+            .map(|(rid, _)| rid)
+    }
+
+    /// Attaches an attribute value to an object.
+    pub fn add_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+        value: &AttrValue,
+    ) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let Some((_, attr_id, vt)) = self.find_attr_def(attr_name, objtype) else {
+            return Err(RlsError::new(
+                ErrorCode::AttributeNotFound,
+                format!("attribute {attr_name:?} not defined"),
+            ));
+        };
+        if value.value_type() != vt {
+            return Err(RlsError::new(
+                ErrorCode::AttributeTypeMismatch,
+                format!("attribute {attr_name:?} expects {vt}, got {}", value.value_type()),
+            ));
+        }
+        let obj_id = self.obj_id_for(obj, objtype)?;
+        let vtable = self.attr_value_table(vt);
+        if self.find_attr_value_row(vtable, obj_id, attr_id).is_some() {
+            return Err(RlsError::new(
+                ErrorCode::AttributeValueExists,
+                format!("object {obj:?} already has attribute {attr_name:?}"),
+            ));
+        }
+        let mut txn = Transaction::new();
+        self.db.txn_insert(
+            &mut txn,
+            vtable,
+            vec![
+                Value::Int(obj_id),
+                Value::Int(attr_id),
+                Self::attr_value_to_engine(value),
+            ],
+        )?;
+        self.db.commit(txn)
+    }
+
+    /// Replaces an existing attribute value.
+    pub fn modify_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+        value: &AttrValue,
+    ) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let Some((_, attr_id, vt)) = self.find_attr_def(attr_name, objtype) else {
+            return Err(RlsError::new(
+                ErrorCode::AttributeNotFound,
+                format!("attribute {attr_name:?} not defined"),
+            ));
+        };
+        if value.value_type() != vt {
+            return Err(RlsError::new(
+                ErrorCode::AttributeTypeMismatch,
+                format!("attribute {attr_name:?} expects {vt}, got {}", value.value_type()),
+            ));
+        }
+        let obj_id = self.obj_id_for(obj, objtype)?;
+        let vtable = self.attr_value_table(vt);
+        let Some(rid) = self.find_attr_value_row(vtable, obj_id, attr_id) else {
+            return Err(RlsError::new(
+                ErrorCode::AttributeValueNotFound,
+                format!("object {obj:?} has no value for attribute {attr_name:?}"),
+            ));
+        };
+        let mut txn = Transaction::new();
+        self.db.txn_update(
+            &mut txn,
+            vtable,
+            rid,
+            vec![
+                Value::Int(obj_id),
+                Value::Int(attr_id),
+                Self::attr_value_to_engine(value),
+            ],
+        )?;
+        self.db.commit(txn)
+    }
+
+    /// Detaches an attribute value from an object.
+    pub fn remove_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+    ) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let Some((_, attr_id, vt)) = self.find_attr_def(attr_name, objtype) else {
+            return Err(RlsError::new(
+                ErrorCode::AttributeNotFound,
+                format!("attribute {attr_name:?} not defined"),
+            ));
+        };
+        let obj_id = self.obj_id_for(obj, objtype)?;
+        let vtable = self.attr_value_table(vt);
+        let Some(rid) = self.find_attr_value_row(vtable, obj_id, attr_id) else {
+            return Err(RlsError::new(
+                ErrorCode::AttributeValueNotFound,
+                format!("object {obj:?} has no value for attribute {attr_name:?}"),
+            ));
+        };
+        let mut txn = Transaction::new();
+        self.db.txn_delete(&mut txn, vtable, rid)?;
+        self.db.commit(txn)
+    }
+
+    /// All attribute values attached to an object (optionally one named
+    /// attribute).
+    pub fn get_attributes(
+        &self,
+        obj: &str,
+        objtype: ObjectType,
+        name_filter: Option<&str>,
+    ) -> RlsResult<Vec<(String, AttrValue)>> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let obj_id = self.obj_id_for(obj, objtype)?;
+        let mut out = Vec::new();
+        for (_, def_row) in self.db.table(self.t_attribute).scan() {
+            if def_row[2].as_int() != objtype as i64 {
+                continue;
+            }
+            let name = def_row[1].as_str();
+            if let Some(filter) = name_filter {
+                if filter != name {
+                    continue;
+                }
+            }
+            let attr_id = def_row[0].as_int();
+            let vt = AttrValueType::from_u8(def_row[3].as_int() as u8).expect("validated");
+            let vtable = self.attr_value_table(vt);
+            if let Some(rid) = self.find_attr_value_row(vtable, obj_id, attr_id) {
+                let row = self.db.table(vtable).get(rid).expect("live row");
+                out.push((name.to_owned(), Self::engine_to_attr_value(&row[2])));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Attribute search (`query based on attribute names or values`):
+    /// objects whose value for `attr_name` satisfies `op value`.
+    pub fn search_attribute(
+        &self,
+        attr_name: &str,
+        objtype: ObjectType,
+        op: AttrCompare,
+        operand: Option<&AttrValue>,
+    ) -> RlsResult<Vec<(String, AttrValue)>> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let Some((_, attr_id, vt)) = self.find_attr_def(attr_name, objtype) else {
+            return Err(RlsError::new(
+                ErrorCode::AttributeNotFound,
+                format!("attribute {attr_name:?} not defined"),
+            ));
+        };
+        if op != AttrCompare::All {
+            match operand {
+                Some(v) if v.value_type() == vt => {}
+                Some(v) => {
+                    return Err(RlsError::new(
+                        ErrorCode::AttributeTypeMismatch,
+                        format!("operand type {} != attribute type {vt}", v.value_type()),
+                    ))
+                }
+                None => {
+                    return Err(RlsError::bad_request(
+                        "attribute comparison requires an operand",
+                    ))
+                }
+            }
+        }
+        let vtable = self.attr_value_table(vt);
+        let obj_table = match objtype {
+            ObjectType::Logical => self.t_lfn,
+            ObjectType::Target => self.t_pfn,
+        };
+        let mut out = Vec::new();
+        for (_, row) in self
+            .db
+            .table(vtable)
+            .index_lookup(ATTRV_IDX_ATTR, &Value::Int(attr_id))
+        {
+            let value = Self::engine_to_attr_value(&row[2]);
+            let keep = match operand {
+                Some(v) => op.eval(&value, v),
+                None => true,
+            };
+            if keep {
+                if let Some(name) = self.name_by_obj_id(obj_table, row[0].as_int()) {
+                    out.push((name.to_string(), value));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // --- LRC management (Table 1: "LRC management") --------------------------
+
+    /// Adds an RLI to this LRC's update list (with optional partition
+    /// patterns, validated as regexes here).
+    pub fn add_rli(&mut self, name: &str, flags: i64, patterns: &[String]) -> RlsResult<()> {
+        if self
+            .db
+            .table(self.t_rli)
+            .index_lookup(1, &Value::str(name))
+            .next()
+            .is_some()
+        {
+            return Err(RlsError::new(
+                ErrorCode::RliExists,
+                format!("RLI {name:?} already on update list"),
+            ));
+        }
+        for p in patterns {
+            Regex::new(p)?; // validate
+        }
+        let id = self.next_rli_id;
+        self.next_rli_id += 1;
+        let mut txn = Transaction::new();
+        self.db.txn_insert(
+            &mut txn,
+            self.t_rli,
+            vec![Value::Int(id), Value::Int(flags), Value::str(name)],
+        )?;
+        for p in patterns {
+            self.db.txn_insert(
+                &mut txn,
+                self.t_rlipartition,
+                vec![Value::Int(id), Value::str(p)],
+            )?;
+        }
+        self.db.commit(txn)
+    }
+
+    /// Removes an RLI (and its partition rules) from the update list.
+    pub fn remove_rli(&mut self, name: &str) -> RlsResult<()> {
+        let Some((rid, rli_id)) = self
+            .db
+            .table(self.t_rli)
+            .index_lookup(1, &Value::str(name))
+            .next()
+            .map(|(rid, row)| (rid, row[0].as_int()))
+        else {
+            return Err(RlsError::new(
+                ErrorCode::RliNotFound,
+                format!("RLI {name:?} not on update list"),
+            ));
+        };
+        let part_rids: Vec<RowId> = self
+            .db
+            .table(self.t_rlipartition)
+            .index_lookup(0, &Value::Int(rli_id))
+            .map(|(rid, _)| rid)
+            .collect();
+        let mut txn = Transaction::new();
+        for prid in part_rids {
+            self.db.txn_delete(&mut txn, self.t_rlipartition, prid)?;
+        }
+        self.db.txn_delete(&mut txn, self.t_rli, rid)?;
+        self.db.commit(txn)
+    }
+
+    /// The RLIs this LRC updates ("Query RLIs updated by this LRC").
+    pub fn list_rlis(&self) -> Vec<RliTarget> {
+        self.db
+            .table(self.t_rli)
+            .scan()
+            .map(|(_, row)| {
+                let rli_id = row[0].as_int();
+                let patterns = self
+                    .db
+                    .table(self.t_rlipartition)
+                    .index_lookup(0, &Value::Int(rli_id))
+                    .map(|(_, prow)| prow[1].as_str().to_owned())
+                    .collect();
+                RliTarget {
+                    name: row[2].as_str().to_owned(),
+                    flags: row[1].as_int(),
+                    patterns,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lrc() -> LrcDatabase {
+        LrcDatabase::in_memory(BackendProfile::default())
+    }
+
+    fn m(l: &str, t: &str) -> Mapping {
+        Mapping::new(l, t).unwrap()
+    }
+
+    #[test]
+    fn create_add_query_delete_lifecycle() {
+        let mut c = lrc();
+        let ch = c.create_mapping(&m("lfn://f1", "pfn://a/f1")).unwrap();
+        assert!(ch.lfn_created);
+        c.add_mapping(&m("lfn://f1", "pfn://b/f1")).unwrap();
+        let mut targets: Vec<String> = c
+            .query_lfn("lfn://f1")
+            .unwrap()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        targets.sort();
+        assert_eq!(targets, vec!["pfn://a/f1", "pfn://b/f1"]);
+        let ch = c.delete_mapping(&m("lfn://f1", "pfn://a/f1")).unwrap();
+        assert!(!ch.lfn_deleted);
+        let ch = c.delete_mapping(&m("lfn://f1", "pfn://b/f1")).unwrap();
+        assert!(ch.lfn_deleted);
+        assert!(!c.lfn_exists("lfn://f1"));
+        assert_eq!(c.mapping_count(), 0);
+        assert_eq!(c.lfn_count(), 0);
+    }
+
+    #[test]
+    fn create_duplicate_rejected() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://x", "pfn://x")).unwrap();
+        let e = c.create_mapping(&m("lfn://x", "pfn://y")).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::MappingExists);
+    }
+
+    #[test]
+    fn add_to_missing_lfn_rejected() {
+        let mut c = lrc();
+        let e = c.add_mapping(&m("lfn://nope", "pfn://x")).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::LogicalNameNotFound);
+    }
+
+    #[test]
+    fn add_duplicate_mapping_rejected() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://x", "pfn://x")).unwrap();
+        let e = c.add_mapping(&m("lfn://x", "pfn://x")).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::MappingExists);
+    }
+
+    #[test]
+    fn delete_missing_mapping_rejected() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://x", "pfn://x")).unwrap();
+        let e = c.delete_mapping(&m("lfn://x", "pfn://other")).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::MappingNotFound);
+        let e = c.delete_mapping(&m("lfn://zz", "pfn://x")).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::LogicalNameNotFound);
+    }
+
+    #[test]
+    fn put_mapping_creates_or_adds() {
+        let mut c = lrc();
+        let ch = c.put_mapping(&m("lfn://p", "pfn://1")).unwrap();
+        assert!(ch.lfn_created);
+        let ch = c.put_mapping(&m("lfn://p", "pfn://2")).unwrap();
+        assert!(!ch.lfn_created);
+        assert_eq!(c.query_lfn("lfn://p").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn shared_pfn_refcounting() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://a", "pfn://shared")).unwrap();
+        c.create_mapping(&m("lfn://b", "pfn://shared")).unwrap();
+        c.delete_mapping(&m("lfn://a", "pfn://shared")).unwrap();
+        // pfn://shared still referenced by lfn://b.
+        assert_eq!(c.query_pfn("pfn://shared").unwrap().len(), 1);
+        c.delete_mapping(&m("lfn://b", "pfn://shared")).unwrap();
+        assert!(c.query_pfn("pfn://shared").is_err());
+    }
+
+    #[test]
+    fn reverse_query() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://a", "pfn://site/a")).unwrap();
+        c.create_mapping(&m("lfn://b", "pfn://site/a2")).unwrap();
+        let ls = c.query_pfn("pfn://site/a").unwrap();
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].as_str(), "lfn://a");
+    }
+
+    #[test]
+    fn wildcard_queries() {
+        let mut c = lrc();
+        for i in 0..20 {
+            c.create_mapping(&m(
+                &format!("lfn://run7/file{i:02}"),
+                &format!("pfn://site/f{i:02}"),
+            ))
+            .unwrap();
+        }
+        c.create_mapping(&m("lfn://run8/file00", "pfn://site/g0"))
+            .unwrap();
+        let g = Glob::new("lfn://run7/*").unwrap();
+        let hits = c.wildcard_query_lfn(&g, 1000).unwrap();
+        assert_eq!(hits.len(), 20);
+        // Limit honoured.
+        let hits = c.wildcard_query_lfn(&g, 5).unwrap();
+        assert_eq!(hits.len(), 5);
+        // PFN-side wildcard.
+        let g = Glob::new("pfn://site/g*").unwrap();
+        let hits = c.wildcard_query_pfn(&g, 1000).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].logical.as_str(), "lfn://run8/file00");
+    }
+
+    #[test]
+    fn all_lfns_sorted() {
+        let mut c = lrc();
+        for name in ["lfn://c", "lfn://a", "lfn://b"] {
+            c.create_mapping(&m(name, &format!("pfn{name}"))).unwrap();
+        }
+        let names: Vec<String> = c.all_lfns().iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, vec!["lfn://a", "lfn://b", "lfn://c"]);
+        let mut visited = 0;
+        c.for_each_lfn(|_| visited += 1);
+        assert_eq!(visited, 3);
+    }
+
+    #[test]
+    fn attribute_lifecycle() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://f", "pfn://f")).unwrap();
+        let def = AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap();
+        c.define_attribute(&def).unwrap();
+        c.add_attribute("pfn://f", ObjectType::Target, "size", &AttrValue::Int(1024))
+            .unwrap();
+        let attrs = c
+            .get_attributes("pfn://f", ObjectType::Target, None)
+            .unwrap();
+        assert_eq!(attrs, vec![("size".to_owned(), AttrValue::Int(1024))]);
+        c.modify_attribute("pfn://f", ObjectType::Target, "size", &AttrValue::Int(2048))
+            .unwrap();
+        let attrs = c
+            .get_attributes("pfn://f", ObjectType::Target, Some("size"))
+            .unwrap();
+        assert_eq!(attrs[0].1, AttrValue::Int(2048));
+        c.remove_attribute("pfn://f", ObjectType::Target, "size")
+            .unwrap();
+        assert!(c
+            .get_attributes("pfn://f", ObjectType::Target, None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn attribute_errors() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://f", "pfn://f")).unwrap();
+        let def = AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap();
+        c.define_attribute(&def).unwrap();
+        assert_eq!(
+            c.define_attribute(&def).unwrap_err().code(),
+            ErrorCode::AttributeExists
+        );
+        assert_eq!(
+            c.add_attribute("pfn://f", ObjectType::Target, "nope", &AttrValue::Int(1))
+                .unwrap_err()
+                .code(),
+            ErrorCode::AttributeNotFound
+        );
+        assert_eq!(
+            c.add_attribute(
+                "pfn://f",
+                ObjectType::Target,
+                "size",
+                &AttrValue::Str("big".into())
+            )
+            .unwrap_err()
+            .code(),
+            ErrorCode::AttributeTypeMismatch
+        );
+        c.add_attribute("pfn://f", ObjectType::Target, "size", &AttrValue::Int(1))
+            .unwrap();
+        assert_eq!(
+            c.add_attribute("pfn://f", ObjectType::Target, "size", &AttrValue::Int(2))
+                .unwrap_err()
+                .code(),
+            ErrorCode::AttributeValueExists
+        );
+        assert_eq!(
+            c.add_attribute("pfn://zz", ObjectType::Target, "size", &AttrValue::Int(2))
+                .unwrap_err()
+                .code(),
+            ErrorCode::TargetNameNotFound
+        );
+        assert_eq!(
+            c.modify_attribute("pfn://f", ObjectType::Target, "size", &AttrValue::Str("s".into()))
+                .unwrap_err()
+                .code(),
+            ErrorCode::AttributeTypeMismatch
+        );
+        // Undefine with values fails unless clear_values.
+        assert_eq!(
+            c.undefine_attribute("size", ObjectType::Target, false)
+                .unwrap_err()
+                .code(),
+            ErrorCode::AttributeValueExists
+        );
+        c.undefine_attribute("size", ObjectType::Target, true)
+            .unwrap();
+        assert!(c.list_attribute_defs(None).is_empty());
+    }
+
+    #[test]
+    fn attribute_search() {
+        let mut c = lrc();
+        for i in 0..5 {
+            c.create_mapping(&m(&format!("lfn://f{i}"), &format!("pfn://f{i}")))
+                .unwrap();
+        }
+        let def = AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap();
+        c.define_attribute(&def).unwrap();
+        for i in 0..5 {
+            c.add_attribute(
+                &format!("pfn://f{i}"),
+                ObjectType::Target,
+                "size",
+                &AttrValue::Int(i * 100),
+            )
+            .unwrap();
+        }
+        let hits = c
+            .search_attribute(
+                "size",
+                ObjectType::Target,
+                AttrCompare::Ge,
+                Some(&AttrValue::Int(300)),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        let all = c
+            .search_attribute("size", ObjectType::Target, AttrCompare::All, None)
+            .unwrap();
+        assert_eq!(all.len(), 5);
+        // Missing operand for a comparison is a bad request.
+        assert!(c
+            .search_attribute("size", ObjectType::Target, AttrCompare::Gt, None)
+            .is_err());
+    }
+
+    #[test]
+    fn attributes_die_with_their_object() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://f", "pfn://f")).unwrap();
+        let def = AttributeDef::new("owner", ObjectType::Logical, AttrValueType::Str).unwrap();
+        c.define_attribute(&def).unwrap();
+        c.add_attribute("lfn://f", ObjectType::Logical, "owner", &"alice".into())
+            .unwrap();
+        c.delete_mapping(&m("lfn://f", "pfn://f")).unwrap();
+        // Re-register the same name: old attribute must not resurface.
+        c.create_mapping(&m("lfn://f", "pfn://f")).unwrap();
+        assert!(c
+            .get_attributes("lfn://f", ObjectType::Logical, None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn rli_update_list() {
+        let mut c = lrc();
+        c.add_rli("rli-east:39281", 0, &[]).unwrap();
+        c.add_rli(
+            "rli-west:39281",
+            1,
+            &["^lfn://ligo/.*".to_owned(), "^lfn://sdss/.*".to_owned()],
+        )
+        .unwrap();
+        let mut rlis = c.list_rlis();
+        rlis.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(rlis.len(), 2);
+        assert_eq!(rlis[0].name, "rli-east:39281");
+        assert!(rlis[0].patterns.is_empty());
+        assert_eq!(rlis[1].patterns.len(), 2);
+        assert_eq!(rlis[1].flags, 1);
+        // Duplicates and bad patterns rejected.
+        assert_eq!(
+            c.add_rli("rli-east:39281", 0, &[]).unwrap_err().code(),
+            ErrorCode::RliExists
+        );
+        assert_eq!(
+            c.add_rli("rli-x", 0, &["(".to_owned()]).unwrap_err().code(),
+            ErrorCode::InvalidPattern
+        );
+        c.remove_rli("rli-west:39281").unwrap();
+        assert_eq!(c.list_rlis().len(), 1);
+        assert_eq!(
+            c.remove_rli("rli-west:39281").unwrap_err().code(),
+            ErrorCode::RliNotFound
+        );
+    }
+
+    #[test]
+    fn durable_catalog_recovers() {
+        let dir = std::env::temp_dir().join(format!("rls-lrcdb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("lrc.wal");
+        let _ = std::fs::remove_file(&wal);
+        {
+            let mut c = LrcDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+            c.create_mapping(&m("lfn://durable", "pfn://d1")).unwrap();
+            c.add_mapping(&m("lfn://durable", "pfn://d2")).unwrap();
+            c.add_rli("rli:1", 0, &[]).unwrap();
+        }
+        let mut c = LrcDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+        assert_eq!(c.query_lfn("lfn://durable").unwrap().len(), 2);
+        assert_eq!(c.list_rlis().len(), 1);
+        // Counters continue without id collisions.
+        c.create_mapping(&m("lfn://after", "pfn://a")).unwrap();
+        assert_eq!(c.lfn_count(), 2);
+    }
+
+    #[test]
+    fn checkpoint_and_restore() {
+        let dir = std::env::temp_dir().join(format!("rls-lrcsnap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("lrc.snap");
+        let mut c = lrc();
+        for i in 0..50 {
+            c.create_mapping(&m(&format!("lfn://s/{i}"), &format!("pfn://s/{i}")))
+                .unwrap();
+        }
+        c.checkpoint(&snap).unwrap();
+        let mut c2 = lrc();
+        let n = c2.restore(&snap).unwrap();
+        assert!(n >= 150); // 50 lfns + 50 pfns + 50 maps
+        assert_eq!(c2.lfn_count(), 50);
+        assert_eq!(c2.query_lfn("lfn://s/7").unwrap().len(), 1);
+        // New ids don't collide after restore.
+        c2.create_mapping(&m("lfn://fresh", "pfn://fresh")).unwrap();
+        assert_eq!(c2.query_lfn("lfn://fresh").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://a", "pfn://a")).unwrap();
+        c.query_lfn("lfn://a").unwrap();
+        let _ = c.query_lfn("lfn://missing");
+        c.wildcard_query_lfn(&Glob::new("lfn://*").unwrap(), 10)
+            .unwrap();
+        c.delete_mapping(&m("lfn://a", "pfn://a")).unwrap();
+        let s = c.stats();
+        assert_eq!(s.adds, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.wildcard_queries, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Row predicates for scans.
+
+use rls_types::Glob;
+
+use crate::value::{Row, Value};
+
+/// Comparison operator for [`Predicate::Cmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Self::Eq => ord == Equal,
+            Self::Ne => ord != Equal,
+            Self::Lt => ord == Less,
+            Self::Le => ord != Greater,
+            Self::Gt => ord == Greater,
+            Self::Ge => ord != Less,
+        }
+    }
+}
+
+/// A filter over rows, evaluated column-by-column.
+#[derive(Clone, Debug)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// Column equals value.
+    Eq(usize, Value),
+    /// String column matches a glob pattern (SQL `LIKE` analogue used by
+    /// the wildcard queries of the paper's Table 1).
+    Glob(usize, Glob),
+    /// Column compares against a value.
+    Cmp(usize, CmpOp, Value),
+    /// All sub-predicates hold.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a row.
+    pub fn eval(&self, row: &Row) -> bool {
+        match self {
+            Self::True => true,
+            Self::Eq(col, v) => &row[*col] == v,
+            Self::Glob(col, g) => g.matches(row[*col].as_str()),
+            Self::Cmp(col, op, v) => op.eval(row[*col].cmp(v)),
+            Self::And(ps) => ps.iter().all(|p| p.eval(row)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(5), Value::str("lfn://x/file1"), Value::Float(2.5)]
+    }
+
+    #[test]
+    fn eq_and_cmp() {
+        let r = row();
+        assert!(Predicate::Eq(0, Value::Int(5)).eval(&r));
+        assert!(!Predicate::Eq(0, Value::Int(6)).eval(&r));
+        assert!(Predicate::Cmp(2, CmpOp::Gt, Value::Float(2.0)).eval(&r));
+        assert!(Predicate::Cmp(2, CmpOp::Le, Value::Float(2.5)).eval(&r));
+        assert!(Predicate::Cmp(0, CmpOp::Ne, Value::Int(4)).eval(&r));
+        assert!(!Predicate::Cmp(0, CmpOp::Lt, Value::Int(5)).eval(&r));
+        assert!(Predicate::Cmp(0, CmpOp::Ge, Value::Int(5)).eval(&r));
+    }
+
+    #[test]
+    fn glob_predicate() {
+        let r = row();
+        let g = Glob::new("lfn://x/*").unwrap();
+        assert!(Predicate::Glob(1, g).eval(&r));
+        let g2 = Glob::new("lfn://y/*").unwrap();
+        assert!(!Predicate::Glob(1, g2).eval(&r));
+    }
+
+    #[test]
+    fn and_and_true() {
+        let r = row();
+        assert!(Predicate::True.eval(&r));
+        let p = Predicate::And(vec![
+            Predicate::Eq(0, Value::Int(5)),
+            Predicate::Cmp(2, CmpOp::Lt, Value::Float(3.0)),
+        ]);
+        assert!(p.eval(&r));
+        let p2 = Predicate::And(vec![
+            Predicate::Eq(0, Value::Int(5)),
+            Predicate::Eq(0, Value::Int(6)),
+        ]);
+        assert!(!p2.eval(&r));
+        assert!(Predicate::And(vec![]).eval(&r));
+    }
+}

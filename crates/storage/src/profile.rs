@@ -1,0 +1,146 @@
+//! Backend profiles: the database behaviours the paper's evaluation turns
+//! on.
+
+use std::time::Duration;
+
+/// Which database's delete/reclaim semantics the engine emulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vendor {
+    /// Deleted rows reclaimed immediately; index entries stripped at delete
+    /// time; freed slots reused. Roughly InnoDB's observable behaviour at
+    /// the workload sizes of the paper.
+    MySqlLike,
+    /// Deletes leave dead tuples in heap and indexes until
+    /// [`vacuum`](crate::Database::vacuum) — PostgreSQL's MVCC behaviour,
+    /// the subject of the paper's §5.2 / Figure 8.
+    PostgresLike,
+}
+
+/// When WAL records reach the physical disk.
+///
+/// The paper (§5.1): *"LRC operation rates depend on whether the database
+/// back end immediately flushes transactions to the physical disk. If the
+/// user disables this immediate flush, then transaction updates are instead
+/// written to the physical disk periodically."* — MySQL's
+/// `innodb_flush_log_at_trx_commit` and PostgreSQL's `fsync`/`fsync()` calls
+/// (Fig. 8 caption notes "fsync() calls disabled").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushMode {
+    /// `fdatasync` on every commit ("database flush enabled").
+    PerCommit,
+    /// OS-buffered writes; background syncs only ("flush disabled" — the
+    /// configuration the paper recommends and uses for most results).
+    Buffered,
+    /// No WAL at all: pure in-memory operation (unit tests, RLI bloom mode).
+    None,
+}
+
+/// Full backend profile: vendor semantics + durability policy + optional
+/// simulated device latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendProfile {
+    /// Delete/reclaim semantics.
+    pub vendor: Vendor,
+    /// WAL flush policy.
+    pub flush: FlushMode,
+    /// Extra latency charged to each physical sync, modelling the ~8 ms
+    /// rotational latency of the paper's 2003-era disks. `None` charges
+    /// only the real `fdatasync` cost of the host. Benchmarks reproducing
+    /// Fig. 4's absolute *ratio* set this; tests leave it off.
+    pub simulated_sync_latency: Option<Duration>,
+    /// Cost charged per *dead* index entry skipped during a probe
+    /// (PostgreSQL-like profile). In a real PostgreSQL a dead index entry
+    /// costs a heap fetch + visibility check — a likely buffer miss on the
+    /// paper's hardware. In our in-memory engine the skip itself is one
+    /// load, so this knob restores the relative magnitude that produces
+    /// Figure 8's saw-tooth. `None` disables the charge.
+    pub dead_probe_cost: Option<Duration>,
+}
+
+impl BackendProfile {
+    /// MySQL-like profile with the flush disabled — the paper's
+    /// recommended deployment configuration.
+    pub fn mysql_buffered() -> Self {
+        Self {
+            vendor: Vendor::MySqlLike,
+            flush: FlushMode::Buffered,
+            simulated_sync_latency: None,
+            dead_probe_cost: None,
+        }
+    }
+
+    /// MySQL-like profile with per-commit flush ("flush enabled").
+    pub fn mysql_durable() -> Self {
+        Self {
+            vendor: Vendor::MySqlLike,
+            flush: FlushMode::PerCommit,
+            simulated_sync_latency: None,
+            dead_probe_cost: None,
+        }
+    }
+
+    /// PostgreSQL-like profile with fsync disabled (Figure 8's setup).
+    pub fn postgres_buffered() -> Self {
+        Self {
+            vendor: Vendor::PostgresLike,
+            flush: FlushMode::Buffered,
+            simulated_sync_latency: None,
+            // Default visibility-check charge per dead index entry; see
+            // the field docs and DESIGN.md §2.
+            dead_probe_cost: Some(Duration::from_micros(1)),
+        }
+    }
+
+    /// Pure in-memory profile (no WAL): unit tests and Bloom-mode RLIs.
+    pub fn in_memory() -> Self {
+        Self {
+            vendor: Vendor::MySqlLike,
+            flush: FlushMode::None,
+            simulated_sync_latency: None,
+            dead_probe_cost: None,
+        }
+    }
+
+    /// Adds simulated per-sync device latency.
+    #[must_use]
+    pub fn with_sync_latency(mut self, d: Duration) -> Self {
+        self.simulated_sync_latency = Some(d);
+        self
+    }
+
+    /// Overrides the per-dead-index-entry probe charge.
+    #[must_use]
+    pub fn with_dead_probe_cost(mut self, d: Option<Duration>) -> Self {
+        self.dead_probe_cost = d;
+        self
+    }
+}
+
+impl Default for BackendProfile {
+    fn default() -> Self {
+        Self::mysql_buffered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(BackendProfile::mysql_durable().flush, FlushMode::PerCommit);
+        assert_eq!(BackendProfile::mysql_buffered().flush, FlushMode::Buffered);
+        assert_eq!(
+            BackendProfile::postgres_buffered().vendor,
+            Vendor::PostgresLike
+        );
+        assert_eq!(BackendProfile::in_memory().flush, FlushMode::None);
+        assert_eq!(BackendProfile::default(), BackendProfile::mysql_buffered());
+    }
+
+    #[test]
+    fn sync_latency_builder() {
+        let p = BackendProfile::mysql_durable().with_sync_latency(Duration::from_millis(8));
+        assert_eq!(p.simulated_sync_latency, Some(Duration::from_millis(8)));
+    }
+}

@@ -1,0 +1,538 @@
+//! The Replica Location Index database: Figure 3's RLI schema.
+//!
+//! Three tables — `t_lfn (id, name, ref)`, `t_lrc (id, name, ref)` and
+//! `t_map (lfn_id, lrc_id, updatetime)` — hold the `{LN, LRC}` associations
+//! an RLI serves when it receives **uncompressed** soft-state updates.
+//! (Bloom-compressed updates bypass this store entirely: the paper's §3.1 —
+//! "no database is used in the RLI; Bloom filters are instead stored in RLI
+//! memory" — is implemented in `rls-core::rli`.)
+//!
+//! Soft-state semantics: every association carries the `updatetime` of the
+//! update that (re-)asserted it; [`RliDatabase::expire`] discards
+//! associations older than the configured timeout, as the paper's expire
+//! thread does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
+
+use crate::engine::{Database, TableId};
+use crate::profile::BackendProfile;
+use crate::schema::{ColumnDef, IndexSpec, TableSchema};
+use crate::table::RowId;
+use crate::txn::Transaction;
+use crate::value::{Value, ValueType};
+
+const IDX_ID: usize = 0;
+const IDX_NAME: usize = 1;
+const MAP_IDX_LFN: usize = 0;
+
+/// One RLI query answer: an LRC believed to hold mappings for the queried
+/// logical name, plus when that belief was last refreshed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RliQueryHit {
+    /// The LRC's address.
+    pub lrc: Arc<str>,
+    /// Timestamp of the soft-state update that last asserted this
+    /// association.
+    pub updated_at: Timestamp,
+}
+
+/// Counters for the RLI's stats RPC (snapshot form).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RliDbStats {
+    /// Associations upserted by soft-state updates.
+    pub upserts: u64,
+    /// Associations removed by incremental deletes.
+    pub removes: u64,
+    /// Associations discarded by the expire thread.
+    pub expired: u64,
+    /// Queries served.
+    pub queries: u64,
+}
+
+/// Internal atomic counters so read-only queries work through `&self`.
+#[derive(Debug, Default)]
+struct RliStatCounters {
+    upserts: AtomicU64,
+    removes: AtomicU64,
+    expired: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl RliStatCounters {
+    fn snapshot(&self) -> RliDbStats {
+        RliDbStats {
+            upserts: self.upserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The RLI's relational store (uncompressed-update mode).
+#[derive(Debug)]
+pub struct RliDatabase {
+    db: Database,
+    t_lfn: TableId,
+    t_lrc: TableId,
+    t_map: TableId,
+    next_id: i64,
+    stats: RliStatCounters,
+}
+
+fn name_table(name: &str) -> TableSchema {
+    TableSchema::new(
+        name,
+        vec![
+            ColumnDef::new("id", ValueType::Int),
+            ColumnDef::new("name", ValueType::Str),
+            ColumnDef::new("ref", ValueType::Int),
+        ],
+        vec![IndexSpec::unique_hash(0), IndexSpec::unique_ordered(1)],
+    )
+}
+
+impl RliDatabase {
+    fn from_db(mut db: Database) -> RlsResult<Self> {
+        let t_lfn = db.create_table(name_table("t_lfn"));
+        let t_lrc = db.create_table(name_table("t_lrc"));
+        let t_map = db.create_table(TableSchema::new(
+            "t_map",
+            vec![
+                ColumnDef::new("lfn_id", ValueType::Int),
+                ColumnDef::new("lrc_id", ValueType::Int),
+                ColumnDef::new("updatetime", ValueType::Time),
+            ],
+            vec![IndexSpec::hash(0), IndexSpec::hash(1)],
+        ));
+        db.recover()?;
+        let mut rli = Self {
+            db,
+            t_lfn,
+            t_lrc,
+            t_map,
+            next_id: 1,
+            stats: RliStatCounters::default(),
+        };
+        rli.next_id = rli
+            .db
+            .table(rli.t_lfn)
+            .scan()
+            .chain(rli.db.table(rli.t_lrc).scan())
+            .map(|(_, r)| r[0].as_int())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        Ok(rli)
+    }
+
+    /// Creates an in-memory RLI store.
+    pub fn in_memory(profile: BackendProfile) -> Self {
+        Self::from_db(Database::in_memory(profile)).expect("in-memory recovery cannot fail")
+    }
+
+    /// Opens a WAL-backed RLI store.
+    pub fn open(profile: BackendProfile, wal_path: impl AsRef<std::path::Path>) -> RlsResult<Self> {
+        Self::from_db(Database::open(profile, wal_path)?)
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Database {
+        &self.db
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RliDbStats {
+        self.stats.snapshot()
+    }
+
+    fn find_name(&self, table: TableId, name: &str) -> Option<(RowId, i64, i64)> {
+        self.db
+            .table(table)
+            .index_lookup(IDX_NAME, &Value::str(name))
+            .next()
+            .map(|(rid, row)| (rid, row[0].as_int(), row[2].as_int()))
+    }
+
+    fn name_by_id(&self, table: TableId, id: i64) -> Option<Arc<str>> {
+        self.db
+            .table(table)
+            .index_lookup(IDX_ID, &Value::Int(id))
+            .next()
+            .map(|(_, row)| row[1].as_shared_str())
+    }
+
+    fn intern_name(
+        &mut self,
+        txn: &mut Transaction,
+        table: TableId,
+        name: &str,
+    ) -> RlsResult<i64> {
+        if let Some((rid, id, refs)) = self.find_name(table, name) {
+            self.db.txn_update(
+                txn,
+                table,
+                rid,
+                vec![Value::Int(id), Value::str(name), Value::Int(refs + 1)],
+            )?;
+            Ok(id)
+        } else {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.db.txn_insert(
+                txn,
+                table,
+                vec![Value::Int(id), Value::str(name), Value::Int(1)],
+            )?;
+            Ok(id)
+        }
+    }
+
+    fn release_name(&mut self, txn: &mut Transaction, table: TableId, id: i64) -> RlsResult<()> {
+        let Some((rid, _, refs)) = self
+            .db
+            .table(table)
+            .index_lookup(IDX_ID, &Value::Int(id))
+            .next()
+            .map(|(rid, row)| (rid, row[0].as_int(), row[2].as_int()))
+        else {
+            return Err(RlsError::storage(format!("release of unknown id {id}")));
+        };
+        if refs > 1 {
+            let name = self.db.table(table).get(rid).expect("live")[1].clone();
+            self.db.txn_update(
+                txn,
+                table,
+                rid,
+                vec![Value::Int(id), name, Value::Int(refs - 1)],
+            )?;
+        } else {
+            self.db.txn_delete(txn, table, rid)?;
+        }
+        Ok(())
+    }
+
+    /// Upserts one `{LFN, LRC}` association with the given update time.
+    /// Returns true if the association is new.
+    pub fn upsert(&mut self, lfn: &str, lrc: &str, at: Timestamp) -> RlsResult<bool> {
+        let mut txn = Transaction::new();
+        let result = self.upsert_in(&mut txn, lfn, lrc, at)?;
+        self.db.commit(txn)?;
+        Ok(result)
+    }
+
+    fn upsert_in(
+        &mut self,
+        txn: &mut Transaction,
+        lfn: &str,
+        lrc: &str,
+        at: Timestamp,
+    ) -> RlsResult<bool> {
+        // Fast path: association exists → refresh updatetime.
+        if let (Some((_, lfn_id, _)), Some((_, lrc_id, _))) =
+            (self.find_name(self.t_lfn, lfn), self.find_name(self.t_lrc, lrc))
+        {
+            let hit = self
+                .db
+                .table(self.t_map)
+                .index_lookup(MAP_IDX_LFN, &Value::Int(lfn_id))
+                .find(|(_, row)| row[1].as_int() == lrc_id)
+                .map(|(rid, _)| rid);
+            if let Some(rid) = hit {
+                self.db.txn_update(
+                    txn,
+                    self.t_map,
+                    rid,
+                    vec![Value::Int(lfn_id), Value::Int(lrc_id), Value::Time(at)],
+                )?;
+                self.stats.upserts.fetch_add(1, Ordering::Relaxed);
+                return Ok(false);
+            }
+        }
+        let lfn_id = self.intern_name(txn, self.t_lfn, lfn)?;
+        let lrc_id = self.intern_name(txn, self.t_lrc, lrc)?;
+        self.db.txn_insert(
+            txn,
+            self.t_map,
+            vec![Value::Int(lfn_id), Value::Int(lrc_id), Value::Time(at)],
+        )?;
+        self.stats.upserts.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Applies a batch of upserts as a single transaction — the shape of an
+    /// arriving soft-state update (full or the "added" half of an
+    /// incremental one).
+    pub fn upsert_batch<'a>(
+        &mut self,
+        lrc: &str,
+        lfns: impl IntoIterator<Item = &'a str>,
+        at: Timestamp,
+    ) -> RlsResult<u64> {
+        let mut txn = Transaction::new();
+        let mut n = 0;
+        for lfn in lfns {
+            self.upsert_in(&mut txn, lfn, lrc, at)?;
+            n += 1;
+        }
+        self.db.commit(txn)?;
+        Ok(n)
+    }
+
+    /// Removes one association (the "removed" half of an incremental
+    /// update). Unknown associations are ignored — the RLI may already have
+    /// expired them.
+    pub fn remove(&mut self, lfn: &str, lrc: &str) -> RlsResult<bool> {
+        let (Some((_, lfn_id, _)), Some((_, lrc_id, _))) =
+            (self.find_name(self.t_lfn, lfn), self.find_name(self.t_lrc, lrc))
+        else {
+            return Ok(false);
+        };
+        let Some(rid) = self
+            .db
+            .table(self.t_map)
+            .index_lookup(MAP_IDX_LFN, &Value::Int(lfn_id))
+            .find(|(_, row)| row[1].as_int() == lrc_id)
+            .map(|(rid, _)| rid)
+        else {
+            return Ok(false);
+        };
+        let mut txn = Transaction::new();
+        self.db.txn_delete(&mut txn, self.t_map, rid)?;
+        self.release_name(&mut txn, self.t_lfn, lfn_id)?;
+        self.release_name(&mut txn, self.t_lrc, lrc_id)?;
+        self.db.commit(txn)?;
+        self.stats.removes.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Queries the LRCs believed to hold mappings for `lfn`.
+    pub fn query(&self, lfn: &str) -> RlsResult<Vec<RliQueryHit>> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let Some((_, lfn_id, _)) = self.find_name(self.t_lfn, lfn) else {
+            return Err(RlsError::new(
+                ErrorCode::LogicalNameNotFound,
+                format!("logical name {lfn:?} not in index"),
+            ));
+        };
+        let hits = self
+            .db
+            .table(self.t_map)
+            .index_lookup(MAP_IDX_LFN, &Value::Int(lfn_id))
+            .filter_map(|(_, row)| {
+                self.name_by_id(self.t_lrc, row[1].as_int()).map(|lrc| RliQueryHit {
+                    lrc,
+                    updated_at: row[2].as_time(),
+                })
+            })
+            .collect();
+        Ok(hits)
+    }
+
+    /// Wildcard query over indexed logical names: `(lfn, lrc)` pairs whose
+    /// LFN matches the glob. (Only possible in uncompressed mode — the
+    /// paper notes wildcard RLI searches "are not possible when using Bloom
+    /// filter compression".)
+    pub fn wildcard_query(&self, glob: &Glob, limit: usize) -> RlsResult<Vec<(Arc<str>, Arc<str>)>> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        let prefix = glob.literal_prefix().to_owned();
+        let lfn_rows: Vec<(i64, Arc<str>)> = self
+            .db
+            .table(self.t_lfn)
+            .index_prefix_scan(IDX_NAME, &prefix)
+            .filter(|(_, row)| glob.matches(row[1].as_str()))
+            .map(|(_, row)| (row[0].as_int(), row[1].as_shared_str()))
+            .collect();
+        'outer: for (lfn_id, lfn_name) in lfn_rows {
+            for (_, map_row) in self
+                .db
+                .table(self.t_map)
+                .index_lookup(MAP_IDX_LFN, &Value::Int(lfn_id))
+            {
+                if let Some(lrc) = self.name_by_id(self.t_lrc, map_row[1].as_int()) {
+                    out.push((Arc::clone(&lfn_name), lrc));
+                    if out.len() >= limit {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The LRCs currently updating this RLI ("RLI management: query LRCs
+    /// that update RLI").
+    pub fn lrc_list(&self) -> Vec<Arc<str>> {
+        self.db
+            .table(self.t_lrc)
+            .index_prefix_scan(IDX_NAME, "")
+            .map(|(_, row)| row[1].as_shared_str())
+            .collect()
+    }
+
+    /// Number of `{LFN, LRC}` associations held.
+    pub fn association_count(&self) -> u64 {
+        self.db.table(self.t_map).len()
+    }
+
+    /// Number of distinct logical names indexed.
+    pub fn lfn_count(&self) -> u64 {
+        self.db.table(self.t_lfn).len()
+    }
+
+    /// Visits every indexed logical name (hierarchical RLI forwarding).
+    pub fn for_each_lfn(&self, mut f: impl FnMut(&str)) {
+        for (_, row) in self.db.table(self.t_lfn).index_prefix_scan(IDX_NAME, "") {
+            f(row[1].as_str());
+        }
+    }
+
+    /// Discards associations whose `updatetime` is older than `timeout`
+    /// relative to `now`. Returns the number expired. This is the paper's
+    /// expire-thread pass.
+    pub fn expire(&mut self, now: Timestamp, timeout: std::time::Duration) -> RlsResult<u64> {
+        let stale: Vec<(RowId, i64, i64)> = self
+            .db
+            .table(self.t_map)
+            .scan()
+            .filter(|(_, row)| row[2].as_time().is_expired(now, timeout))
+            .map(|(rid, row)| (rid, row[0].as_int(), row[1].as_int()))
+            .collect();
+        if stale.is_empty() {
+            return Ok(0);
+        }
+        let mut txn = Transaction::new();
+        let n = stale.len() as u64;
+        for (rid, lfn_id, lrc_id) in stale {
+            self.db.txn_delete(&mut txn, self.t_map, rid)?;
+            self.release_name(&mut txn, self.t_lfn, lfn_id)?;
+            self.release_name(&mut txn, self.t_lrc, lrc_id)?;
+        }
+        self.db.commit(txn)?;
+        self.stats.expired.fetch_add(n, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn rli() -> RliDatabase {
+        RliDatabase::in_memory(BackendProfile::default())
+    }
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_unix_secs(s)
+    }
+
+    #[test]
+    fn upsert_and_query() {
+        let mut r = rli();
+        assert!(r.upsert("lfn://a", "lrc-1:39281", ts(100)).unwrap());
+        assert!(r.upsert("lfn://a", "lrc-2:39281", ts(100)).unwrap());
+        let mut hits = r.query("lfn://a").unwrap();
+        hits.sort_by(|a, b| a.lrc.cmp(&b.lrc));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(&*hits[0].lrc, "lrc-1:39281");
+        assert_eq!(hits[0].updated_at, ts(100));
+        assert_eq!(r.query("lfn://zzz").unwrap_err().code(), ErrorCode::LogicalNameNotFound);
+    }
+
+    #[test]
+    fn upsert_refreshes_timestamp() {
+        let mut r = rli();
+        assert!(r.upsert("lfn://a", "lrc-1", ts(100)).unwrap());
+        assert!(!r.upsert("lfn://a", "lrc-1", ts(200)).unwrap());
+        let hits = r.query("lfn://a").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].updated_at, ts(200));
+        assert_eq!(r.association_count(), 1);
+    }
+
+    #[test]
+    fn expire_discards_stale_associations() {
+        let mut r = rli();
+        r.upsert("lfn://old", "lrc-1", ts(100)).unwrap();
+        r.upsert("lfn://fresh", "lrc-1", ts(190)).unwrap();
+        let expired = r.expire(ts(200), Duration::from_secs(30)).unwrap();
+        assert_eq!(expired, 1);
+        assert!(r.query("lfn://old").is_err());
+        assert_eq!(r.query("lfn://fresh").unwrap().len(), 1);
+        // lrc-1 still referenced by the fresh association.
+        assert_eq!(r.lrc_list().len(), 1);
+        // Second expire pass with nothing stale.
+        assert_eq!(r.expire(ts(200), Duration::from_secs(30)).unwrap(), 0);
+    }
+
+    #[test]
+    fn expire_refreshed_by_subsequent_update() {
+        let mut r = rli();
+        r.upsert("lfn://a", "lrc-1", ts(100)).unwrap();
+        r.upsert("lfn://a", "lrc-1", ts(195)).unwrap(); // refresh
+        assert_eq!(r.expire(ts(200), Duration::from_secs(30)).unwrap(), 0);
+        assert_eq!(r.query("lfn://a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn remove_and_refcounts() {
+        let mut r = rli();
+        r.upsert("lfn://a", "lrc-1", ts(1)).unwrap();
+        r.upsert("lfn://a", "lrc-2", ts(1)).unwrap();
+        assert!(r.remove("lfn://a", "lrc-1").unwrap());
+        assert_eq!(r.query("lfn://a").unwrap().len(), 1);
+        assert!(!r.remove("lfn://a", "lrc-1").unwrap()); // idempotent
+        assert!(r.remove("lfn://a", "lrc-2").unwrap());
+        assert!(r.query("lfn://a").is_err());
+        assert_eq!(r.lfn_count(), 0);
+        assert!(r.lrc_list().is_empty());
+    }
+
+    #[test]
+    fn batch_upsert() {
+        let mut r = rli();
+        let names: Vec<String> = (0..100).map(|i| format!("lfn://b/{i}")).collect();
+        let n = r
+            .upsert_batch("lrc-1", names.iter().map(|s| s.as_str()), ts(5))
+            .unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(r.association_count(), 100);
+        assert_eq!(r.lrc_list().len(), 1);
+        assert_eq!(r.query("lfn://b/42").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wildcard_query() {
+        let mut r = rli();
+        for i in 0..10 {
+            r.upsert(&format!("lfn://x/{i}"), "lrc-1", ts(1)).unwrap();
+        }
+        r.upsert("lfn://y/0", "lrc-2", ts(1)).unwrap();
+        let g = Glob::new("lfn://x/*").unwrap();
+        let hits = r.wildcard_query(&g, 100).unwrap();
+        assert_eq!(hits.len(), 10);
+        let hits = r.wildcard_query(&g, 3).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn durable_rli_recovers() {
+        let dir = std::env::temp_dir().join(format!("rls-rlidb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("rli.wal");
+        let _ = std::fs::remove_file(&wal);
+        {
+            let mut r = RliDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+            r.upsert("lfn://d", "lrc-1", ts(9)).unwrap();
+        }
+        let mut r = RliDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+        assert_eq!(r.query("lfn://d").unwrap().len(), 1);
+        r.upsert("lfn://d2", "lrc-2", ts(10)).unwrap();
+        assert_eq!(r.association_count(), 2);
+    }
+}

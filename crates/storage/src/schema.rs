@@ -1,0 +1,165 @@
+//! Table schemas and index specifications.
+
+use crate::value::ValueType;
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (for diagnostics and schema dumps).
+    pub name: String,
+    /// The value type every row must carry in this column.
+    pub vtype: ValueType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: &str, vtype: ValueType) -> Self {
+        Self {
+            name: name.to_owned(),
+            vtype,
+        }
+    }
+}
+
+/// The kind of secondary index to maintain on a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash index: O(1) point lookups (`WHERE col = ?`).
+    Hash,
+    /// Ordered index: point lookups plus range / prefix scans — what
+    /// wildcard queries seek into.
+    Ordered,
+}
+
+/// An index over a single column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// Which column (by position) the index covers.
+    pub column: usize,
+    /// Hash or ordered.
+    pub kind: IndexKind,
+    /// If true, the engine rejects two *live* rows with equal keys.
+    pub unique: bool,
+}
+
+impl IndexSpec {
+    /// A non-unique hash index on `column`.
+    pub fn hash(column: usize) -> Self {
+        Self {
+            column,
+            kind: IndexKind::Hash,
+            unique: false,
+        }
+    }
+
+    /// A unique hash index on `column`.
+    pub fn unique_hash(column: usize) -> Self {
+        Self {
+            column,
+            kind: IndexKind::Hash,
+            unique: true,
+        }
+    }
+
+    /// A non-unique ordered index on `column`.
+    pub fn ordered(column: usize) -> Self {
+        Self {
+            column,
+            kind: IndexKind::Ordered,
+            unique: false,
+        }
+    }
+
+    /// A unique ordered index on `column`.
+    pub fn unique_ordered(column: usize) -> Self {
+        Self {
+            column,
+            kind: IndexKind::Ordered,
+            unique: true,
+        }
+    }
+}
+
+/// A table schema: ordered columns plus index specifications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, e.g. `"t_map"`.
+    pub name: String,
+    /// Columns in storage order.
+    pub columns: Vec<ColumnDef>,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexSpec>,
+}
+
+impl TableSchema {
+    /// Builds a schema; panics on malformed specs (schemas are static
+    /// program data, so this is a programmer-error check, not runtime
+    /// validation).
+    pub fn new(name: &str, columns: Vec<ColumnDef>, indexes: Vec<IndexSpec>) -> Self {
+        assert!(!columns.is_empty(), "table {name} must have columns");
+        for idx in &indexes {
+            assert!(
+                idx.column < columns.len(),
+                "index on {name} references column {} out of {}",
+                idx.column,
+                columns.len()
+            );
+        }
+        Self {
+            name: name.to_owned(),
+            columns,
+            indexes,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name (diagnostics/tests).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t_lfn",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("name", ValueType::Str),
+                ColumnDef::new("ref", ValueType::Int),
+            ],
+            vec![IndexSpec::unique_hash(0), IndexSpec::unique_ordered(1)],
+        )
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("name"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "references column")]
+    fn out_of_range_index_panics() {
+        TableSchema::new(
+            "bad",
+            vec![ColumnDef::new("a", ValueType::Int)],
+            vec![IndexSpec::hash(3)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must have columns")]
+    fn empty_columns_panics() {
+        TableSchema::new("bad", vec![], vec![]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Engine operation counters.
+
+/// Monotonic counters exposed for benchmarks and the server's stats RPC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows deleted.
+    pub deletes: u64,
+    /// Rows updated.
+    pub updates: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Vacuum passes executed.
+    pub vacuums: u64,
+    /// Dead tuples reclaimed by vacuums.
+    pub tuples_reclaimed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = EngineStats::default();
+        assert_eq!(s.inserts + s.deletes + s.updates + s.commits, 0);
+    }
+}

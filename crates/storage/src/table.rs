@@ -1,0 +1,548 @@
+//! Heap tables: slotted row storage with profile-dependent delete
+//! behaviour.
+//!
+//! * **MySQL-like** deletes reclaim the slot immediately and strip index
+//!   entries synchronously; freed slots are reused by later inserts.
+//! * **PostgreSQL-like** deletes leave a *dead tuple*: the slot keeps the
+//!   row (so vacuum can find its index keys), index entries remain (bloat),
+//!   and inserts append to the end of the heap. Scans and index probes must
+//!   skip dead tuples — the mechanical cause of the paper's Figure 8 decay.
+//!   [`Table::vacuum`] physically reclaims dead tuples and their index
+//!   entries, restoring full speed.
+
+use std::time::Duration;
+
+use rls_types::{RlsError, RlsResult};
+
+use crate::index::Index;
+use crate::profile::Vendor;
+use crate::schema::TableSchema;
+use crate::value::{Row, Value};
+
+/// Identifies a row slot within one table. Stable for the life of the row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+#[derive(Clone, Debug)]
+enum Slot {
+    Live(Row),
+    /// PostgreSQL-like tombstone: row retained so vacuum can strip its
+    /// index entries.
+    Dead(Row),
+    Free,
+}
+
+/// A heap table with secondary indexes.
+#[derive(Debug)]
+pub struct Table {
+    schema: TableSchema,
+    slots: Vec<Slot>,
+    free: Vec<RowId>,
+    indexes: Vec<Index>,
+    live: u64,
+    dead: u64,
+    /// Simulated visibility-check cost per dead index entry skipped — see
+    /// [`BackendProfile::dead_probe_cost`](crate::BackendProfile).
+    dead_probe_cost: Option<Duration>,
+}
+
+/// Spins for the simulated visibility-check duration. Spinning (rather
+/// than sleeping) keeps sub-10 µs charges accurate.
+#[inline]
+fn charge_dead_probe(cost: Option<Duration>) {
+    if let Some(cost) = cost {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < cost {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        let indexes = schema
+            .indexes
+            .iter()
+            .map(|spec| Index::new(spec.kind))
+            .collect();
+        Self {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            indexes,
+            live: 0,
+            dead: 0,
+            dead_probe_cost: None,
+        }
+    }
+
+    /// Sets the simulated per-dead-entry probe charge (engine applies the
+    /// backend profile's setting at table creation).
+    pub fn set_dead_probe_cost(&mut self, cost: Option<Duration>) {
+        self.dead_probe_cost = cost;
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Live row count.
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// True if no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Dead-tuple count (PostgreSQL-like profile only).
+    pub fn dead_count(&self) -> u64 {
+        self.dead
+    }
+
+    /// Heap size including dead tuples and free slots.
+    pub fn heap_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn check_types(&self, row: &Row) -> RlsResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(RlsError::storage(format!(
+                "table {}: row arity {} != schema arity {}",
+                self.schema.name,
+                row.len(),
+                self.schema.arity()
+            )));
+        }
+        for (col, val) in self.schema.columns.iter().zip(row) {
+            if val.value_type() != col.vtype {
+                return Err(RlsError::storage(format!(
+                    "table {}: column {} expects {:?}, got {:?}",
+                    self.schema.name,
+                    col.name,
+                    col.vtype,
+                    val.value_type()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks unique indexes for a conflicting *live* row.
+    fn check_unique(&self, row: &Row) -> RlsResult<()> {
+        for (spec, index) in self.schema.indexes.iter().zip(&self.indexes) {
+            if !spec.unique {
+                continue;
+            }
+            let key = &row[spec.column];
+            if let Some(postings) = index.lookup(key) {
+                for id in postings.iter() {
+                    if matches!(self.slots[id.0 as usize], Slot::Live(_)) {
+                        return Err(RlsError::storage(format!(
+                            "table {}: unique violation on column {} ({key})",
+                            self.schema.name, self.schema.columns[spec.column].name
+                        )));
+                    }
+                    charge_dead_probe(self.dead_probe_cost);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a row, returning its id.
+    pub fn insert(&mut self, vendor: Vendor, row: Row) -> RlsResult<RowId> {
+        self.check_types(&row)?;
+        self.check_unique(&row)?;
+        let id = match vendor {
+            // MySQL-like: reuse freed slots.
+            Vendor::MySqlLike => match self.free.pop() {
+                Some(id) => {
+                    self.slots[id.0 as usize] = Slot::Live(row.clone());
+                    id
+                }
+                None => {
+                    let id = RowId(self.slots.len() as u64);
+                    self.slots.push(Slot::Live(row.clone()));
+                    id
+                }
+            },
+            // PostgreSQL-like: append unless vacuum has produced free space.
+            Vendor::PostgresLike => match self.free.pop() {
+                Some(id) => {
+                    self.slots[id.0 as usize] = Slot::Live(row.clone());
+                    id
+                }
+                None => {
+                    let id = RowId(self.slots.len() as u64);
+                    self.slots.push(Slot::Live(row.clone()));
+                    id
+                }
+            },
+        };
+        for (spec, index) in self.schema.indexes.iter().zip(&mut self.indexes) {
+            index.insert(row[spec.column].clone(), id);
+        }
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Deletes a row by id. Returns the removed row.
+    pub fn delete(&mut self, vendor: Vendor, id: RowId) -> RlsResult<Row> {
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| RlsError::storage(format!("delete of invalid row id {id:?}")))?;
+        let row = match std::mem::replace(slot, Slot::Free) {
+            Slot::Live(row) => row,
+            other => {
+                *slot = other;
+                return Err(RlsError::storage(format!(
+                    "delete of non-live row id {id:?}"
+                )));
+            }
+        };
+        self.live -= 1;
+        match vendor {
+            Vendor::MySqlLike => {
+                // Strip index entries now; slot becomes reusable.
+                for (spec, index) in self.schema.indexes.iter().zip(&mut self.indexes) {
+                    index.remove(&row[spec.column], id);
+                }
+                self.free.push(id);
+                Ok(row)
+            }
+            Vendor::PostgresLike => {
+                // Dead tuple: index entries stay, slot holds the corpse.
+                self.slots[id.0 as usize] = Slot::Dead(row.clone());
+                self.dead += 1;
+                Ok(row)
+            }
+        }
+    }
+
+    /// Updates a row in place, maintaining indexes for changed key columns.
+    pub fn update(&mut self, id: RowId, new_row: Row) -> RlsResult<Row> {
+        self.check_types(&new_row)?;
+        let old = match self.slots.get(id.0 as usize) {
+            Some(Slot::Live(row)) => row.clone(),
+            _ => {
+                return Err(RlsError::storage(format!(
+                    "update of non-live row id {id:?}"
+                )))
+            }
+        };
+        for (spec, index) in self.schema.indexes.iter().zip(&mut self.indexes) {
+            let (o, n) = (&old[spec.column], &new_row[spec.column]);
+            if o != n {
+                index.remove(o, id);
+                index.insert(n.clone(), id);
+            }
+        }
+        self.slots[id.0 as usize] = Slot::Live(new_row);
+        Ok(old)
+    }
+
+    /// Fetches a live row.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        match self.slots.get(id.0 as usize) {
+            Some(Slot::Live(row)) => Some(row),
+            _ => None,
+        }
+    }
+
+    /// True if `id` refers to a live row.
+    pub fn is_live(&self, id: RowId) -> bool {
+        matches!(self.slots.get(id.0 as usize), Some(Slot::Live(_)))
+    }
+
+    /// Index probe: live rows whose indexed column equals `key`.
+    ///
+    /// Walks the postings list including dead entries (PostgreSQL-like
+    /// bloat) and filters by liveness.
+    pub fn index_lookup<'a>(
+        &'a self,
+        index_no: usize,
+        key: &Value,
+    ) -> impl Iterator<Item = (RowId, &'a Row)> + 'a {
+        let cost = self.dead_probe_cost;
+        self.indexes[index_no]
+            .lookup(key)
+            .into_iter()
+            .flat_map(|p| p.iter())
+            .filter_map(move |id| match &self.slots[id.0 as usize] {
+                Slot::Live(row) => Some((id, row)),
+                _ => {
+                    charge_dead_probe(cost);
+                    None
+                }
+            })
+    }
+
+    /// Ordered-index prefix scan: live rows whose indexed string column
+    /// starts with `prefix`, in key order.
+    pub fn index_prefix_scan<'a>(
+        &'a self,
+        index_no: usize,
+        prefix: &str,
+    ) -> impl Iterator<Item = (RowId, &'a Row)> + 'a {
+        use std::ops::Bound;
+        let lo = Value::str(prefix);
+        // The exclusive upper bound is the prefix with its last byte
+        // incremented; an empty prefix scans everything.
+        let hi = prefix_upper_bound(prefix);
+        let lo_bound = Bound::Included(&lo);
+        let hi_val;
+        let hi_bound = match &hi {
+            Some(h) => {
+                hi_val = Value::str(h);
+                Bound::Excluded(&hi_val)
+            }
+            None => Bound::Unbounded,
+        };
+        // Collect candidate ids first: the range borrow cannot outlive the
+        // bound locals.
+        let ids: Vec<RowId> = self.indexes[index_no]
+            .range(lo_bound, hi_bound)
+            .flat_map(|(_, p)| p.iter())
+            .collect();
+        let cost = self.dead_probe_cost;
+        ids.into_iter()
+            .filter_map(move |id| match &self.slots[id.0 as usize] {
+                Slot::Live(row) => Some((id, row)),
+                _ => {
+                    charge_dead_probe(cost);
+                    None
+                }
+            })
+    }
+
+    /// Full heap scan over live rows (pays the cost of skipping dead
+    /// tuples and free slots).
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Live(row) => Some((RowId(i as u64), row)),
+            _ => None,
+        })
+    }
+
+    /// Physically reclaims dead tuples: strips their index entries and
+    /// frees their slots. Returns the number of tuples reclaimed.
+    ///
+    /// This is the engine's `VACUUM`. Like PostgreSQL's, it takes time
+    /// proportional to heap and index size and makes freed space reusable.
+    pub fn vacuum(&mut self) -> u64 {
+        let mut reclaimed = 0;
+        for i in 0..self.slots.len() {
+            if matches!(self.slots[i], Slot::Dead(_)) {
+                let id = RowId(i as u64);
+                let row = match std::mem::replace(&mut self.slots[i], Slot::Free) {
+                    Slot::Dead(row) => row,
+                    _ => unreachable!("checked dead above"),
+                };
+                for (spec, index) in self.schema.indexes.iter().zip(&mut self.indexes) {
+                    index.remove(&row[spec.column], id);
+                }
+                self.free.push(id);
+                reclaimed += 1;
+            }
+        }
+        self.dead = 0;
+        reclaimed
+    }
+
+    /// Total index entries across all indexes (bloat metric).
+    pub fn index_entry_count(&self) -> usize {
+        self.indexes.iter().map(Index::entry_count).sum()
+    }
+
+    /// Drops all rows and index entries.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.indexes.iter_mut().for_each(Index::clear);
+        self.live = 0;
+        self.dead = 0;
+    }
+
+    /// Iterates all live rows for snapshotting.
+    pub(crate) fn export_rows(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.scan().map(|(_, r)| r)
+    }
+}
+
+/// Smallest string strictly greater than every string with this prefix, or
+/// `None` if no such bound exists (prefix is empty or all `0xFF`).
+fn prefix_upper_bound(prefix: &str) -> Option<String> {
+    let mut bytes = prefix.as_bytes().to_vec();
+    while let Some(&last) = bytes.last() {
+        if last < 0xFF {
+            *bytes.last_mut().expect("nonempty") = last + 1;
+            // Lossy is fine: the bound only needs byte-wise ordering, and
+            // valid UTF-8 of the bumped byte is guaranteed for ASCII, which
+            // covers names; non-ASCII falls back to replacement handling.
+            return Some(String::from_utf8_lossy(&bytes).into_owned());
+        }
+        bytes.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, IndexSpec};
+    use crate::value::ValueType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("name", ValueType::Str),
+            ],
+            vec![IndexSpec::unique_hash(0), IndexSpec::ordered(1)],
+        )
+    }
+
+    fn row(id: i64, name: &str) -> Row {
+        vec![Value::Int(id), Value::str(name)]
+    }
+
+    #[test]
+    fn insert_get_delete_mysql() {
+        let mut t = Table::new(schema());
+        let id = t.insert(Vendor::MySqlLike, row(1, "a")).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id).unwrap()[1].as_str(), "a");
+        let removed = t.delete(Vendor::MySqlLike, id).unwrap();
+        assert_eq!(removed[0].as_int(), 1);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dead_count(), 0);
+        assert!(t.get(id).is_none());
+        // Slot is reused.
+        let id2 = t.insert(Vendor::MySqlLike, row(2, "b")).unwrap();
+        assert_eq!(id2, id);
+        assert_eq!(t.heap_size(), 1);
+    }
+
+    #[test]
+    fn postgres_deletes_leave_dead_tuples() {
+        let mut t = Table::new(schema());
+        let id = t.insert(Vendor::PostgresLike, row(1, "a")).unwrap();
+        t.delete(Vendor::PostgresLike, id).unwrap();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dead_count(), 1);
+        // Index entry still present (bloat) but probe filters liveness.
+        assert_eq!(t.index_entry_count(), 2); // both indexes keep the entry
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).count(), 0);
+        // New insert appends rather than reusing the dead slot.
+        t.insert(Vendor::PostgresLike, row(1, "a")).unwrap();
+        assert_eq!(t.heap_size(), 2);
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_tuples() {
+        let mut t = Table::new(schema());
+        for i in 0..10 {
+            t.insert(Vendor::PostgresLike, row(i, &format!("n{i}")))
+                .unwrap();
+        }
+        for i in 0..10u64 {
+            t.delete(Vendor::PostgresLike, RowId(i)).unwrap();
+        }
+        assert_eq!(t.dead_count(), 10);
+        assert_eq!(t.index_entry_count(), 20);
+        assert_eq!(t.vacuum(), 10);
+        assert_eq!(t.dead_count(), 0);
+        assert_eq!(t.index_entry_count(), 0);
+        // Freed slots now reusable.
+        t.insert(Vendor::PostgresLike, row(99, "z")).unwrap();
+        assert_eq!(t.heap_size(), 10);
+    }
+
+    #[test]
+    fn unique_violation_detected() {
+        let mut t = Table::new(schema());
+        t.insert(Vendor::MySqlLike, row(1, "a")).unwrap();
+        let err = t.insert(Vendor::MySqlLike, row(1, "b")).unwrap_err();
+        assert!(err.message().contains("unique violation"), "{err}");
+    }
+
+    #[test]
+    fn unique_check_ignores_dead_rows() {
+        let mut t = Table::new(schema());
+        let id = t.insert(Vendor::PostgresLike, row(1, "a")).unwrap();
+        t.delete(Vendor::PostgresLike, id).unwrap();
+        // Same key again: dead tuple must not block re-insert.
+        t.insert(Vendor::PostgresLike, row(1, "a")).unwrap();
+    }
+
+    #[test]
+    fn type_and_arity_validation() {
+        let mut t = Table::new(schema());
+        assert!(t
+            .insert(Vendor::MySqlLike, vec![Value::str("x"), Value::str("y")])
+            .is_err());
+        assert!(t.insert(Vendor::MySqlLike, vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = Table::new(schema());
+        let id = t.insert(Vendor::MySqlLike, row(1, "old")).unwrap();
+        t.update(id, row(1, "new")).unwrap();
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).count(), 1);
+        let hits: Vec<_> = t.index_prefix_scan(1, "new").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.index_prefix_scan(1, "old").count(), 0);
+    }
+
+    #[test]
+    fn prefix_scan_bounds() {
+        let mut t = Table::new(schema());
+        for (i, name) in ["lfn://a/1", "lfn://a/2", "lfn://b/1", "other"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(Vendor::MySqlLike, row(i as i64, name)).unwrap();
+        }
+        let hits: Vec<&str> = t
+            .index_prefix_scan(1, "lfn://a/")
+            .map(|(_, r)| r[1].as_str())
+            .collect();
+        assert_eq!(hits, vec!["lfn://a/1", "lfn://a/2"]);
+        // Empty prefix scans everything in order.
+        assert_eq!(t.index_prefix_scan(1, "").count(), 4);
+    }
+
+    #[test]
+    fn prefix_upper_bound_edges() {
+        assert_eq!(prefix_upper_bound("abc"), Some("abd".to_owned()));
+        assert_eq!(prefix_upper_bound(""), None);
+        let high = "\u{10FFFF}"; // ends in non-0xFF bytes after UTF-8 encode
+        assert!(prefix_upper_bound(high).is_some());
+    }
+
+    #[test]
+    fn delete_invalid_ids() {
+        let mut t = Table::new(schema());
+        assert!(t.delete(Vendor::MySqlLike, RowId(5)).is_err());
+        let id = t.insert(Vendor::MySqlLike, row(1, "a")).unwrap();
+        t.delete(Vendor::MySqlLike, id).unwrap();
+        assert!(t.delete(Vendor::MySqlLike, id).is_err());
+    }
+
+    #[test]
+    fn scan_skips_dead_and_free() {
+        let mut t = Table::new(schema());
+        let a = t.insert(Vendor::PostgresLike, row(1, "a")).unwrap();
+        t.insert(Vendor::PostgresLike, row(2, "b")).unwrap();
+        t.delete(Vendor::PostgresLike, a).unwrap();
+        let names: Vec<&str> = t.scan().map(|(_, r)| r[1].as_str()).collect();
+        assert_eq!(names, vec!["b"]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Transactions: mutation buffers that become one atomic WAL record.
+//!
+//! The engine uses *validate-then-mutate* discipline: callers perform all
+//! existence/uniqueness checks against committed state first, then apply
+//! mutations through a [`Transaction`]. Mutations apply to the in-memory
+//! tables eagerly (so later steps of the same transaction observe earlier
+//! ones — bulk operations need this) and are recorded in the transaction;
+//! [`Database::commit`](crate::Database::commit) writes them to the WAL as
+//! one record. A transaction dropped without commit leaves the in-memory
+//! state mutated but unlogged — engine-layer callers must uphold the
+//! validate-then-mutate contract so that cannot happen on error paths.
+
+use crate::wal::WalOp;
+
+/// A buffered transaction.
+#[derive(Debug, Default)]
+pub struct Transaction {
+    pub(crate) ops: Vec<WalOp>,
+}
+
+impl Transaction {
+    /// Creates an empty transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered mutations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}

@@ -1,0 +1,278 @@
+//! Typed column values.
+//!
+//! The engine stores four scalar types, matching the column types of the
+//! paper's Figure 3 schema: `int(11)` → [`Value::Int`], `varchar(250)` →
+//! [`Value::Str`], `float` → [`Value::Float`], `timestamp(14)` →
+//! [`Value::Time`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use rls_types::Timestamp;
+
+/// A column value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Shared immutable string (names are shared with the caller's
+    /// `LogicalName`/`TargetName` allocations).
+    Str(Arc<str>),
+    /// 64-bit float.
+    Float(f64),
+    /// Timestamp (µs since epoch).
+    Time(Timestamp),
+}
+
+/// The type tag of a [`Value`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ValueType {
+    /// [`Value::Int`].
+    Int = 0,
+    /// [`Value::Str`].
+    Str = 1,
+    /// [`Value::Float`].
+    Float = 2,
+    /// [`Value::Time`].
+    Time = 3,
+}
+
+impl ValueType {
+    /// Decodes a serialized tag.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => Self::Int,
+            1 => Self::Str,
+            2 => Self::Float,
+            3 => Self::Time,
+            _ => return None,
+        })
+    }
+}
+
+impl Value {
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Self::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds a string value sharing an existing allocation.
+    pub fn shared_str(s: Arc<str>) -> Self {
+        Self::Str(s)
+    }
+
+    /// The type tag.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Self::Int(_) => ValueType::Int,
+            Self::Str(_) => ValueType::Str,
+            Self::Float(_) => ValueType::Float,
+            Self::Time(_) => ValueType::Time,
+        }
+    }
+
+    /// Integer accessor; panics on type mismatch (schema violations are
+    /// programming errors inside the engine, caught by debug assertions at
+    /// insert time).
+    #[inline]
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Self::Int(v) => *v,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// String accessor; panics on type mismatch.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match self {
+            Self::Str(s) => s,
+            other => panic!("expected Str, found {other:?}"),
+        }
+    }
+
+    /// Shared-string accessor; panics on type mismatch.
+    #[inline]
+    pub fn as_shared_str(&self) -> Arc<str> {
+        match self {
+            Self::Str(s) => Arc::clone(s),
+            other => panic!("expected Str, found {other:?}"),
+        }
+    }
+
+    /// Float accessor; panics on type mismatch.
+    #[inline]
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Self::Float(v) => *v,
+            other => panic!("expected Float, found {other:?}"),
+        }
+    }
+
+    /// Timestamp accessor; panics on type mismatch.
+    #[inline]
+    pub fn as_time(&self) -> Timestamp {
+        match self {
+            Self::Time(t) => *t,
+            other => panic!("expected Time, found {other:?}"),
+        }
+    }
+
+    /// Canonical bit pattern for floats so `Eq`/`Hash` are well-defined:
+    /// all NaNs collapse to one pattern, `-0.0` collapses to `+0.0`.
+    fn float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0
+        } else {
+            f.to_bits()
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Int(a), Self::Int(b)) => a == b,
+            (Self::Str(a), Self::Str(b)) => a == b,
+            (Self::Float(a), Self::Float(b)) => Self::float_bits(*a) == Self::float_bits(*b),
+            (Self::Time(a), Self::Time(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Self::Int(v) => v.hash(state),
+            Self::Str(s) => s.hash(state),
+            Self::Float(f) => Self::float_bits(*f).hash(state),
+            Self::Time(t) => t.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: values of different types order by type tag (the engine
+    /// never mixes types within one indexed column, so this branch only
+    /// protects against misuse).
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Self::Int(a), Self::Int(b)) => a.cmp(b),
+            (Self::Str(a), Self::Str(b)) => a.cmp(b),
+            (Self::Float(a), Self::Float(b)) => a.total_cmp(b),
+            (Self::Time(a), Self::Time(b)) => a.cmp(b),
+            (a, b) => (a.value_type() as u8).cmp(&(b.value_type() as u8)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Int(v) => write!(f, "{v}"),
+            Self::Str(s) => write!(f, "{s:?}"),
+            Self::Float(v) => write!(f, "{v}"),
+            Self::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Self::str(s)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::Float(v)
+    }
+}
+impl From<Timestamp> for Value {
+    fn from(t: Timestamp) -> Self {
+        Self::Time(t)
+    }
+}
+
+/// A row: one value per schema column.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::str("x").as_str(), "x");
+        assert_eq!(Value::Float(1.5).as_float(), 1.5);
+        let t = Timestamp::from_unix_secs(9);
+        assert_eq!(Value::Time(t).as_time(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        Value::str("x").as_int();
+    }
+
+    #[test]
+    fn nan_and_zero_canonicalization() {
+        let mut m: HashMap<Value, u32> = HashMap::new();
+        m.insert(Value::Float(f64::NAN), 1);
+        assert_eq!(m.get(&Value::Float(f64::NAN)), Some(&1));
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        m.insert(Value::Float(-0.0), 2);
+        assert_eq!(m.get(&Value::Float(0.0)), Some(&2));
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Float(1.0) < Value::Float(2.0));
+        assert!(Value::Time(Timestamp::from_unix_secs(1)) < Value::Time(Timestamp::from_unix_secs(2)));
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total() {
+        // Int < Str < Float < Time per tag order.
+        assert!(Value::Int(i64::MAX) < Value::str(""));
+        assert!(Value::str("zzz") < Value::Float(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn type_tags_round_trip() {
+        for v in 0..4u8 {
+            assert_eq!(ValueType::from_u8(v).unwrap() as u8, v);
+        }
+        assert!(ValueType::from_u8(4).is_none());
+    }
+
+    #[test]
+    fn shared_str_shares_allocation() {
+        let base: Arc<str> = Arc::from("shared");
+        let v = Value::shared_str(Arc::clone(&base));
+        assert!(std::ptr::eq(v.as_str().as_ptr(), base.as_ptr()));
+    }
+}

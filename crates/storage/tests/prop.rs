@@ -1,0 +1,186 @@
+//! Property tests: the LRC catalog against a reference model, and vendor
+//! profile equivalence (PostgreSQL-like semantics must be observationally
+//! identical to MySQL-like for all query results, dead tuples or not).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use rls_storage::{BackendProfile, LrcDatabase};
+use rls_types::Mapping;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u8, u8),
+    Delete(u8, u8),
+    QueryLfn(u8),
+    Vacuum,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(l, p)| Op::Put(l % 16, p % 16)),
+        (any::<u8>(), any::<u8>()).prop_map(|(l, p)| Op::Delete(l % 16, p % 16)),
+        any::<u8>().prop_map(|l| Op::QueryLfn(l % 16)),
+        Just(Op::Vacuum),
+    ]
+}
+
+fn lfn(i: u8) -> String {
+    format!("lfn://prop/{i}")
+}
+fn pfn(i: u8) -> String {
+    format!("pfn://prop/{i}")
+}
+
+/// Reference model: set of (lfn, pfn) pairs.
+#[derive(Default)]
+struct Model {
+    maps: BTreeSet<(u8, u8)>,
+}
+
+impl Model {
+    fn lfn_targets(&self, l: u8) -> BTreeSet<u8> {
+        self.maps
+            .iter()
+            .filter(|(ml, _)| *ml == l)
+            .map(|(_, p)| *p)
+            .collect()
+    }
+}
+
+fn run_against_model(profile: BackendProfile, ops: &[Op]) {
+    let mut db = LrcDatabase::in_memory(profile);
+    let mut model = Model::default();
+    for op in ops {
+        match op {
+            Op::Put(l, p) => {
+                let m = Mapping::new(lfn(*l), pfn(*p)).unwrap();
+                let res = db.put_mapping(&m);
+                if model.maps.contains(&(*l, *p)) {
+                    assert!(res.is_err(), "duplicate put must fail");
+                } else {
+                    let ch = res.expect("put of new mapping succeeds");
+                    assert_eq!(ch.lfn_created, model.lfn_targets(*l).is_empty());
+                    model.maps.insert((*l, *p));
+                }
+            }
+            Op::Delete(l, p) => {
+                let m = Mapping::new(lfn(*l), pfn(*p)).unwrap();
+                let res = db.delete_mapping(&m);
+                if model.maps.contains(&(*l, *p)) {
+                    let ch = res.expect("delete of existing mapping succeeds");
+                    model.maps.remove(&(*l, *p));
+                    assert_eq!(ch.lfn_deleted, model.lfn_targets(*l).is_empty());
+                } else {
+                    assert!(res.is_err(), "delete of absent mapping must fail");
+                }
+            }
+            Op::QueryLfn(l) => {
+                let expect = model.lfn_targets(*l);
+                match db.query_lfn(&lfn(*l)) {
+                    Ok(targets) => {
+                        let got: BTreeSet<String> =
+                            targets.iter().map(|t| t.to_string()).collect();
+                        let want: BTreeSet<String> = expect.iter().map(|p| pfn(*p)).collect();
+                        assert_eq!(got, want);
+                        assert!(!expect.is_empty());
+                    }
+                    Err(_) => assert!(expect.is_empty()),
+                }
+            }
+            Op::Vacuum => {
+                db.vacuum().unwrap();
+            }
+        }
+    }
+    // Final global invariants.
+    assert_eq!(db.mapping_count(), model.maps.len() as u64);
+    let live_lfns: BTreeSet<u8> = model.maps.iter().map(|(l, _)| *l).collect();
+    assert_eq!(db.lfn_count(), live_lfns.len() as u64);
+    // all_lfns is sorted and matches the model.
+    let names: Vec<String> = db.all_lfns().iter().map(|s| s.to_string()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+    let want: BTreeSet<String> = live_lfns.iter().map(|l| lfn(*l)).collect();
+    assert_eq!(names.into_iter().collect::<BTreeSet<_>>(), want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lrc_matches_model_mysql(ops in prop::collection::vec(arb_op(), 1..120)) {
+        run_against_model(BackendProfile::mysql_buffered(), &ops);
+    }
+
+    #[test]
+    fn lrc_matches_model_postgres(ops in prop::collection::vec(arb_op(), 1..120)) {
+        run_against_model(BackendProfile::postgres_buffered(), &ops);
+    }
+
+    /// Durable catalog: any op sequence survives a crash/reopen with
+    /// identical visible state.
+    #[test]
+    fn wal_recovery_preserves_state(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let dir = std::env::temp_dir().join(format!("rls-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join(format!("prop-{:x}.wal", rand_suffix(&ops)));
+        let _ = std::fs::remove_file(&wal);
+        let mut before: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        {
+            let mut db = LrcDatabase::open(BackendProfile::mysql_buffered(), &wal).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Put(l, p) => {
+                        let m = Mapping::new(lfn(*l), pfn(*p)).unwrap();
+                        if db.put_mapping(&m).is_ok() {
+                            before.entry(lfn(*l)).or_default().insert(pfn(*p));
+                        }
+                    }
+                    Op::Delete(l, p) => {
+                        let m = Mapping::new(lfn(*l), pfn(*p)).unwrap();
+                        if db.delete_mapping(&m).is_ok() {
+                            if let Some(set) = before.get_mut(&lfn(*l)) {
+                                set.remove(&pfn(*p));
+                                if set.is_empty() {
+                                    before.remove(&lfn(*l));
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let db = LrcDatabase::open(BackendProfile::mysql_buffered(), &wal).unwrap();
+        for (l, targets) in &before {
+            let got: BTreeSet<String> = db
+                .query_lfn(l)
+                .unwrap()
+                .iter()
+                .map(|t| t.to_string())
+                .collect();
+            prop_assert_eq!(&got, targets);
+        }
+        prop_assert_eq!(db.lfn_count() as usize, before.len());
+        let _ = std::fs::remove_file(&wal);
+    }
+}
+
+/// Cheap deterministic suffix so parallel proptest cases don't share WAL
+/// files.
+fn rand_suffix(ops: &[Op]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for op in ops {
+        let tag = match op {
+            Op::Put(a, b) => (0u64, *a as u64, *b as u64),
+            Op::Delete(a, b) => (1, *a as u64, *b as u64),
+            Op::QueryLfn(a) => (2, *a as u64, 0),
+            Op::Vacuum => (3, 0, 0),
+        };
+        h = (h ^ (tag.0 << 16 | tag.1 << 8 | tag.2)).wrapping_mul(0x100000001b3);
+    }
+    h
+}

@@ -1,0 +1,97 @@
+//! Model-based property tests for the RLI relational store: upserts,
+//! removals and expiry against a reference map of `{lfn, lrc} → timestamp`.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use rls_storage::{BackendProfile, RliDatabase};
+use rls_types::Timestamp;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Upsert(u8, u8, u16),
+    Remove(u8, u8),
+    Query(u8),
+    Expire(u16, u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u16>())
+            .prop_map(|(l, c, t)| Op::Upsert(l % 20, c % 5, t)),
+        (any::<u8>(), any::<u8>()).prop_map(|(l, c)| Op::Remove(l % 20, c % 5)),
+        any::<u8>().prop_map(|l| Op::Query(l % 20)),
+        (any::<u16>(), any::<u16>()).prop_map(|(now, tmo)| Op::Expire(now, tmo)),
+    ]
+}
+
+fn lfn(i: u8) -> String {
+    format!("lfn://rli/{i}")
+}
+fn lrc(i: u8) -> String {
+    format!("lrc-{i}:39281")
+}
+fn ts(t: u16) -> Timestamp {
+    Timestamp::from_unix_secs(u64::from(t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rli_matches_model(ops in prop::collection::vec(arb_op(), 1..150)) {
+        let mut db = RliDatabase::in_memory(BackendProfile::mysql_buffered());
+        let mut model: BTreeMap<(u8, u8), u16> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Upsert(l, c, t) => {
+                    let fresh = db.upsert(&lfn(l), &lrc(c), ts(t)).unwrap();
+                    prop_assert_eq!(fresh, !model.contains_key(&(l, c)));
+                    model.insert((l, c), t);
+                }
+                Op::Remove(l, c) => {
+                    let removed = db.remove(&lfn(l), &lrc(c)).unwrap();
+                    prop_assert_eq!(removed, model.remove(&(l, c)).is_some());
+                }
+                Op::Query(l) => {
+                    let expect: BTreeMap<String, u16> = model
+                        .iter()
+                        .filter(|((ml, _), _)| *ml == l)
+                        .map(|((_, c), t)| (lrc(*c), *t))
+                        .collect();
+                    match db.query(&lfn(l)) {
+                        Ok(hits) => {
+                            prop_assert!(!expect.is_empty());
+                            let got: BTreeMap<String, u16> = hits
+                                .iter()
+                                .map(|h| (h.lrc.to_string(), h.updated_at.as_secs() as u16))
+                                .collect();
+                            prop_assert_eq!(got, expect);
+                        }
+                        Err(_) => prop_assert!(expect.is_empty()),
+                    }
+                }
+                Op::Expire(now, tmo) => {
+                    let n = db
+                        .expire(ts(now), Duration::from_secs(u64::from(tmo)))
+                        .unwrap();
+                    let before = model.len();
+                    model.retain(|_, t| {
+                        !ts(*t).is_expired(ts(now), Duration::from_secs(u64::from(tmo)))
+                    });
+                    prop_assert_eq!(n as usize, before - model.len());
+                }
+            }
+            // Global invariants after every step.
+            prop_assert_eq!(db.association_count() as usize, model.len());
+            let live_lfns: std::collections::BTreeSet<u8> =
+                model.keys().map(|(l, _)| *l).collect();
+            prop_assert_eq!(db.lfn_count() as usize, live_lfns.len());
+            let live_lrcs: std::collections::BTreeSet<u8> =
+                model.keys().map(|(_, c)| *c).collect();
+            prop_assert_eq!(db.lrc_list().len(), live_lrcs.len());
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The typed user-attribute model of the Local Replica Catalog.
+//!
+//! The paper's LRC schema (Figure 3) has a `t_attribute` table of attribute
+//! *definitions* — each with a name, an object type (whether it attaches to
+//! logical or target names) and a value type — plus one value table per type:
+//! `t_str_attr`, `t_int_attr`, `t_flt_attr`, `t_date_attr`. Typical use is
+//! attaching a `size` to a physical file name.
+//!
+//! This module defines the definition/value vocabulary; storage lives in
+//! `rls-storage`, and the wire encoding in `rls-proto`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ErrorCode, RlsError, RlsResult};
+use crate::time::Timestamp;
+
+/// Which kind of name an attribute attaches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ObjectType {
+    /// Attribute of a logical name.
+    Logical = 0,
+    /// Attribute of a target name.
+    Target = 1,
+}
+
+impl ObjectType {
+    /// Decodes a wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Self::Logical),
+            1 => Some(Self::Target),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ObjectType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Logical => "logical",
+            Self::Target => "target",
+        })
+    }
+}
+
+/// The value type of an attribute definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AttrValueType {
+    /// UTF-8 string values (`t_str_attr`).
+    Str = 0,
+    /// 64-bit signed integers (`t_int_attr`).
+    Int = 1,
+    /// 64-bit floats (`t_flt_attr`).
+    Float = 2,
+    /// Timestamps (`t_date_attr`).
+    Date = 3,
+}
+
+impl AttrValueType {
+    /// Decodes a wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Self::Str),
+            1 => Some(Self::Int),
+            2 => Some(Self::Float),
+            3 => Some(Self::Date),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Str => "string",
+            Self::Int => "int",
+            Self::Float => "float",
+            Self::Date => "date",
+        })
+    }
+}
+
+/// An attribute *definition*: row of the `t_attribute` table.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Attribute name, e.g. `"size"`.
+    pub name: String,
+    /// Whether this attribute attaches to logical or target names.
+    pub object_type: ObjectType,
+    /// The type of values this attribute holds.
+    pub value_type: AttrValueType,
+}
+
+impl AttributeDef {
+    /// Creates a definition, validating the attribute name.
+    pub fn new(
+        name: impl Into<String>,
+        object_type: ObjectType,
+        value_type: AttrValueType,
+    ) -> RlsResult<Self> {
+        let name = name.into();
+        if name.is_empty() || name.len() > 250 || name.chars().any(|c| c.is_control()) {
+            return Err(RlsError::new(
+                ErrorCode::InvalidName,
+                format!("invalid attribute name {name:?}"),
+            ));
+        }
+        Ok(Self {
+            name,
+            object_type,
+            value_type,
+        })
+    }
+}
+
+/// A typed attribute value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// String value.
+    Str(String),
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// Date (timestamp) value.
+    Date(Timestamp),
+}
+
+impl AttrValue {
+    /// The type tag of this value.
+    pub fn value_type(&self) -> AttrValueType {
+        match self {
+            Self::Str(_) => AttrValueType::Str,
+            Self::Int(_) => AttrValueType::Int,
+            Self::Float(_) => AttrValueType::Float,
+            Self::Date(_) => AttrValueType::Date,
+        }
+    }
+
+    /// Checks this value against a definition's declared type.
+    pub fn check_type(&self, def: &AttributeDef) -> RlsResult<()> {
+        if self.value_type() == def.value_type {
+            Ok(())
+        } else {
+            Err(RlsError::new(
+                ErrorCode::AttributeTypeMismatch,
+                format!(
+                    "attribute {:?} expects {} but value is {}",
+                    def.name,
+                    def.value_type,
+                    self.value_type()
+                ),
+            ))
+        }
+    }
+
+    /// Total order used for attribute-comparison queries (`>=`, `<=`, ...).
+    ///
+    /// Values of different types are ordered by type tag; floats use IEEE
+    /// total ordering so that the comparison is a genuine total order.
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Self::Str(a), Self::Str(b)) => a.cmp(b),
+            (Self::Int(a), Self::Int(b)) => a.cmp(b),
+            (Self::Float(a), Self::Float(b)) => a.total_cmp(b),
+            (Self::Date(a), Self::Date(b)) => a.cmp(b),
+            (a, b) => (a.value_type() as u8).cmp(&(b.value_type() as u8)).then(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Str(s) => write!(f, "{s}"),
+            Self::Int(i) => write!(f, "{i}"),
+            Self::Float(x) => write!(f, "{x}"),
+            Self::Date(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        Self::Str(s.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        Self::Str(s)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        Self::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        Self::Float(v)
+    }
+}
+impl From<Timestamp> for AttrValue {
+    fn from(v: Timestamp) -> Self {
+        Self::Date(v)
+    }
+}
+
+/// Comparison operators usable in attribute-search queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AttrCompare {
+    /// All values of the attribute, regardless of value.
+    All = 0,
+    /// Equal.
+    Eq = 1,
+    /// Not equal.
+    Ne = 2,
+    /// Greater than.
+    Gt = 3,
+    /// Greater than or equal.
+    Ge = 4,
+    /// Less than.
+    Lt = 5,
+    /// Less than or equal.
+    Le = 6,
+}
+
+impl AttrCompare {
+    /// Decodes a wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        use AttrCompare::*;
+        Some(match v {
+            0 => All,
+            1 => Eq,
+            2 => Ne,
+            3 => Gt,
+            4 => Ge,
+            5 => Lt,
+            6 => Le,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates `lhs OP rhs`.
+    pub fn eval(self, lhs: &AttrValue, rhs: &AttrValue) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = lhs.total_cmp(rhs);
+        match self {
+            Self::All => true,
+            Self::Eq => ord == Equal,
+            Self::Ne => ord != Equal,
+            Self::Gt => ord == Greater,
+            Self::Ge => ord != Less,
+            Self::Lt => ord == Less,
+            Self::Le => ord != Greater,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(vt: AttrValueType) -> AttributeDef {
+        AttributeDef::new("size", ObjectType::Target, vt).unwrap()
+    }
+
+    #[test]
+    fn type_checking() {
+        let d = def(AttrValueType::Int);
+        assert!(AttrValue::Int(5).check_type(&d).is_ok());
+        let err = AttrValue::Str("5".into()).check_type(&d).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::AttributeTypeMismatch);
+    }
+
+    #[test]
+    fn invalid_def_name_rejected() {
+        assert!(AttributeDef::new("", ObjectType::Logical, AttrValueType::Str).is_err());
+        assert!(AttributeDef::new("a\nb", ObjectType::Logical, AttrValueType::Str).is_err());
+    }
+
+    #[test]
+    fn object_and_value_type_round_trip() {
+        for v in 0..4u8 {
+            assert_eq!(AttrValueType::from_u8(v).unwrap() as u8, v);
+        }
+        assert!(AttrValueType::from_u8(4).is_none());
+        for v in 0..2u8 {
+            assert_eq!(ObjectType::from_u8(v).unwrap() as u8, v);
+        }
+        assert!(ObjectType::from_u8(2).is_none());
+    }
+
+    #[test]
+    fn comparisons() {
+        use AttrCompare::*;
+        let five = AttrValue::Int(5);
+        let six = AttrValue::Int(6);
+        assert!(Eq.eval(&five, &five));
+        assert!(Ne.eval(&five, &six));
+        assert!(Lt.eval(&five, &six));
+        assert!(Le.eval(&five, &five));
+        assert!(Gt.eval(&six, &five));
+        assert!(Ge.eval(&six, &six));
+        assert!(All.eval(&five, &six));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = AttrValue::Float(f64::NAN);
+        let one = AttrValue::Float(1.0);
+        // IEEE total order: NaN sorts above +inf; comparisons stay total.
+        assert!(AttrCompare::Gt.eval(&nan, &one));
+        assert!(AttrCompare::Eq.eval(&nan, &nan));
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(AttrValue::from(3i64).value_type(), AttrValueType::Int);
+        assert_eq!(AttrValue::from(3.5f64).value_type(), AttrValueType::Float);
+        assert_eq!(AttrValue::from("x").value_type(), AttrValueType::Str);
+        assert_eq!(
+            AttrValue::from(Timestamp::from_unix_secs(1)).value_type(),
+            AttrValueType::Date
+        );
+    }
+
+    #[test]
+    fn cross_type_order_is_by_type_tag() {
+        let s = AttrValue::Str("z".into());
+        let i = AttrValue::Int(0);
+        assert_eq!(s.total_cmp(&i), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn compare_from_u8_round_trip() {
+        for v in 0..7u8 {
+            assert_eq!(AttrCompare::from_u8(v).unwrap() as u8, v);
+        }
+        assert!(AttrCompare::from_u8(7).is_none());
+    }
+}

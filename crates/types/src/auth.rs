@@ -1,0 +1,224 @@
+//! Authentication and authorization vocabulary.
+//!
+//! The RLS server supports GSI authentication: a client presents an X.509
+//! certificate whose *Distinguished Name* (DN) may be mapped to a local
+//! username through a *gridmap* file. Authorization is granted through
+//! access-control-list entries — regular expressions that grant privileges
+//! such as `lrc_read` and `lrc_write` based on either the DN or the mapped
+//! local username. The server can also run fully open.
+//!
+//! We reproduce that model with DN strings in place of certificates (see
+//! DESIGN.md substitution table): the *authorization* semantics — gridmap
+//! lookup, regex ACL evaluation, per-operation privileges — are identical.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RlsResult;
+use crate::pattern::Regex;
+
+/// An X.509-style distinguished name, e.g.
+/// `/O=Grid/OU=ISI/CN=Ann Chervenak`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Dn(String);
+
+impl Dn {
+    /// Wraps a DN string.
+    pub fn new(s: impl Into<String>) -> Self {
+        Self(s.into())
+    }
+
+    /// The DN as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The anonymous identity used when a server runs without
+    /// authentication.
+    pub fn anonymous() -> Self {
+        Self("/anonymous".to_owned())
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Dn {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+/// Privileges grantable by ACL entries.
+///
+/// The paper names `lrc_read` and `lrc_write`; the shipped RLS also
+/// distinguished RLI access and administrative operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Privilege {
+    /// Query LRC mappings and attributes.
+    LrcRead = 0,
+    /// Create/add/delete LRC mappings and attributes.
+    LrcWrite = 1,
+    /// Query the RLI index.
+    RliRead = 2,
+    /// Send soft-state updates to the RLI.
+    RliWrite = 3,
+    /// Administrative operations (stats, update-list management).
+    Admin = 4,
+}
+
+impl Privilege {
+    /// Decodes a wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        use Privilege::*;
+        Some(match v {
+            0 => LrcRead,
+            1 => LrcWrite,
+            2 => RliRead,
+            3 => RliWrite,
+            4 => Admin,
+            _ => return None,
+        })
+    }
+
+    /// The configuration-file spelling (`lrc_read`, ...).
+    pub fn as_config_str(self) -> &'static str {
+        match self {
+            Self::LrcRead => "lrc_read",
+            Self::LrcWrite => "lrc_write",
+            Self::RliRead => "rli_read",
+            Self::RliWrite => "rli_write",
+            Self::Admin => "admin",
+        }
+    }
+
+    /// Parses the configuration-file spelling.
+    pub fn from_config_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "lrc_read" => Self::LrcRead,
+            "lrc_write" => Self::LrcWrite,
+            "rli_read" => Self::RliRead,
+            "rli_write" => Self::RliWrite,
+            "admin" => Self::Admin,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_config_str())
+    }
+}
+
+/// What an ACL entry's pattern is matched against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AclSubject {
+    /// Match against the DN from the client's certificate.
+    Dn,
+    /// Match against the local username produced by the gridmap file.
+    LocalUser,
+}
+
+/// One access-control-list entry: a regex over the subject, granting a set
+/// of privileges.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AclEntry {
+    /// What to match the pattern against.
+    pub subject: AclSubject,
+    /// The pattern (full-match semantics).
+    pub pattern: Regex,
+    /// Privileges granted on a match.
+    pub privileges: Vec<Privilege>,
+}
+
+impl AclEntry {
+    /// Builds an entry from a pattern string.
+    pub fn new(
+        subject: AclSubject,
+        pattern: &str,
+        privileges: impl Into<Vec<Privilege>>,
+    ) -> RlsResult<Self> {
+        Ok(Self {
+            subject,
+            pattern: Regex::new(pattern)?,
+            privileges: privileges.into(),
+        })
+    }
+
+    /// True if this entry grants `priv_` to the given identity.
+    pub fn grants(&self, dn: &Dn, local_user: Option<&str>, priv_: Privilege) -> bool {
+        if !self.privileges.contains(&priv_) {
+            return false;
+        }
+        match self.subject {
+            AclSubject::Dn => self.pattern.is_full_match(dn.as_str()),
+            AclSubject::LocalUser => {
+                local_user.is_some_and(|u| self.pattern.is_full_match(u))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privilege_round_trips() {
+        for v in 0..5u8 {
+            let p = Privilege::from_u8(v).unwrap();
+            assert_eq!(p as u8, v);
+            assert_eq!(Privilege::from_config_str(p.as_config_str()), Some(p));
+        }
+        assert!(Privilege::from_u8(5).is_none());
+        assert!(Privilege::from_config_str("root").is_none());
+    }
+
+    #[test]
+    fn acl_grants_by_dn() {
+        let e = AclEntry::new(
+            AclSubject::Dn,
+            "/O=Grid/OU=ISI/.*",
+            vec![Privilege::LrcRead, Privilege::LrcWrite],
+        )
+        .unwrap();
+        let isi = Dn::new("/O=Grid/OU=ISI/CN=Bob");
+        let ucla = Dn::new("/O=Grid/OU=UCLA/CN=Eve");
+        assert!(e.grants(&isi, None, Privilege::LrcRead));
+        assert!(e.grants(&isi, None, Privilege::LrcWrite));
+        assert!(!e.grants(&isi, None, Privilege::RliWrite));
+        assert!(!e.grants(&ucla, None, Privilege::LrcRead));
+    }
+
+    #[test]
+    fn acl_grants_by_local_user() {
+        let e = AclEntry::new(AclSubject::LocalUser, "grid[0-9]+", vec![Privilege::LrcRead])
+            .unwrap();
+        let dn = Dn::new("/O=Grid/CN=anyone");
+        assert!(e.grants(&dn, Some("grid42"), Privilege::LrcRead));
+        assert!(!e.grants(&dn, Some("staff"), Privilege::LrcRead));
+        // No gridmap mapping → local-user entries never match.
+        assert!(!e.grants(&dn, None, Privilege::LrcRead));
+    }
+
+    #[test]
+    fn acl_full_match_semantics() {
+        // Without explicit anchors, ACL patterns must still cover the whole
+        // subject: `ISI` alone must not match a DN merely containing it.
+        let e = AclEntry::new(AclSubject::Dn, "ISI", vec![Privilege::LrcRead]).unwrap();
+        assert!(!e.grants(&Dn::new("/O=Grid/OU=ISI/CN=Bob"), None, Privilege::LrcRead));
+        assert!(e.grants(&Dn::new("ISI"), None, Privilege::LrcRead));
+    }
+
+    #[test]
+    fn anonymous_dn() {
+        assert_eq!(Dn::anonymous().as_str(), "/anonymous");
+    }
+}

@@ -1,0 +1,268 @@
+//! The unified error type for the RLS stack.
+//!
+//! Every layer (storage, protocol, network, service) reports failures as an
+//! [`RlsError`]: a machine-readable [`ErrorCode`] (stable across the wire —
+//! it is what an RPC response carries) plus a human-readable message.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Convenient result alias used across the workspace.
+pub type RlsResult<T> = Result<T, RlsError>;
+
+/// Stable, wire-encodable error codes.
+///
+/// These correspond to the `globus_rls_client` error codes of the original
+/// implementation (e.g. `GLOBUS_RLS_MAPPING_NEXIST`), renamed to Rust
+/// conventions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Catch-all internal failure.
+    Internal = 1,
+    /// Malformed logical or target name.
+    InvalidName = 2,
+    /// The requested mapping already exists (`create`/`add` collision).
+    MappingExists = 3,
+    /// The requested mapping does not exist.
+    MappingNotFound = 4,
+    /// The logical name does not exist in this catalog.
+    LogicalNameNotFound = 5,
+    /// The target name does not exist in this catalog.
+    TargetNameNotFound = 6,
+    /// The attribute definition already exists.
+    AttributeExists = 7,
+    /// No such attribute definition.
+    AttributeNotFound = 8,
+    /// Attribute value has the wrong type for its definition.
+    AttributeTypeMismatch = 9,
+    /// An attribute value for this object is already present.
+    AttributeValueExists = 10,
+    /// No attribute value recorded for this object.
+    AttributeValueNotFound = 11,
+    /// The caller is not authorized for the requested operation.
+    PermissionDenied = 12,
+    /// The request was syntactically invalid or used an unknown opcode.
+    BadRequest = 13,
+    /// The server is not configured for the requested role (e.g. an RLI
+    /// query sent to a pure LRC).
+    WrongRole = 14,
+    /// Wire-format corruption or version mismatch.
+    Protocol = 15,
+    /// Underlying I/O failure (socket closed, connection refused, ...).
+    Io = 16,
+    /// Storage-engine failure (WAL corruption, schema violation, ...).
+    Storage = 17,
+    /// The server or client is shutting down.
+    Shutdown = 18,
+    /// An operation timed out.
+    Timeout = 19,
+    /// An invalid pattern (regex/glob) was supplied.
+    InvalidPattern = 20,
+    /// The named RLI is not known to this LRC.
+    RliNotFound = 21,
+    /// The named RLI is already on the update list.
+    RliExists = 22,
+    /// Soft-state update was rejected (e.g. partition mismatch).
+    UpdateRejected = 23,
+    /// Server resource limit reached (thread pool saturated, body too big).
+    ResourceLimit = 24,
+}
+
+impl ErrorCode {
+    /// Decodes a wire value back into a code.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => Internal,
+            2 => InvalidName,
+            3 => MappingExists,
+            4 => MappingNotFound,
+            5 => LogicalNameNotFound,
+            6 => TargetNameNotFound,
+            7 => AttributeExists,
+            8 => AttributeNotFound,
+            9 => AttributeTypeMismatch,
+            10 => AttributeValueExists,
+            11 => AttributeValueNotFound,
+            12 => PermissionDenied,
+            13 => BadRequest,
+            14 => WrongRole,
+            15 => Protocol,
+            16 => Io,
+            17 => Storage,
+            18 => Shutdown,
+            19 => Timeout,
+            20 => InvalidPattern,
+            21 => RliNotFound,
+            22 => RliExists,
+            23 => UpdateRejected,
+            24 => ResourceLimit,
+            _ => return None,
+        })
+    }
+
+    /// Encodes the code for the wire.
+    #[inline]
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// True for errors that indicate a caller mistake rather than a server
+    /// or environment fault — useful for retry policies.
+    pub fn is_client_error(self) -> bool {
+        use ErrorCode::*;
+        matches!(
+            self,
+            InvalidName
+                | MappingExists
+                | MappingNotFound
+                | LogicalNameNotFound
+                | TargetNameNotFound
+                | AttributeExists
+                | AttributeNotFound
+                | AttributeTypeMismatch
+                | AttributeValueExists
+                | AttributeValueNotFound
+                | PermissionDenied
+                | BadRequest
+                | WrongRole
+                | InvalidPattern
+                | RliNotFound
+                | RliExists
+        )
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An RLS failure: a stable code plus context message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RlsError {
+    code: ErrorCode,
+    message: String,
+}
+
+impl RlsError {
+    /// Creates an error with an explicit code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The stable error code.
+    #[inline]
+    pub fn code(&self) -> ErrorCode {
+        self.code
+    }
+
+    /// The human-readable message.
+    #[inline]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Wraps the message with additional context, preserving the code.
+    #[must_use]
+    pub fn context(self, ctx: impl fmt::Display) -> Self {
+        Self {
+            code: self.code,
+            message: format!("{ctx}: {}", self.message),
+        }
+    }
+
+    /// Shorthand constructors for frequent codes.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, msg)
+    }
+    /// Storage-layer failure.
+    pub fn storage(msg: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Storage, msg)
+    }
+    /// Wire-protocol failure.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Protocol, msg)
+    }
+    /// Malformed request.
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, msg)
+    }
+    /// Authorization failure.
+    pub fn denied(msg: impl Into<String>) -> Self {
+        Self::new(ErrorCode::PermissionDenied, msg)
+    }
+}
+
+impl fmt::Display for RlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RlsError {}
+
+impl From<std::io::Error> for RlsError {
+    fn from(e: std::io::Error) -> Self {
+        let code = if e.kind() == std::io::ErrorKind::TimedOut
+            || e.kind() == std::io::ErrorKind::WouldBlock
+        {
+            ErrorCode::Timeout
+        } else {
+            ErrorCode::Io
+        };
+        Self::new(code, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_u16() {
+        for v in 0..=64u16 {
+            if let Some(code) = ErrorCode::from_u16(v) {
+                assert_eq!(code.as_u16(), v);
+            }
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+    }
+
+    #[test]
+    fn display_includes_code_and_message() {
+        let e = RlsError::new(ErrorCode::MappingExists, "lfn://x already mapped");
+        let s = e.to_string();
+        assert!(s.contains("MappingExists"));
+        assert!(s.contains("lfn://x"));
+    }
+
+    #[test]
+    fn context_preserves_code() {
+        let e = RlsError::storage("wal torn").context("during replay");
+        assert_eq!(e.code(), ErrorCode::Storage);
+        assert!(e.message().starts_with("during replay:"));
+    }
+
+    #[test]
+    fn io_error_conversion_maps_timeouts() {
+        let timeout = std::io::Error::new(std::io::ErrorKind::TimedOut, "t");
+        assert_eq!(RlsError::from(timeout).code(), ErrorCode::Timeout);
+        let other = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "b");
+        assert_eq!(RlsError::from(other).code(), ErrorCode::Io);
+    }
+
+    #[test]
+    fn client_error_classification() {
+        assert!(ErrorCode::MappingNotFound.is_client_error());
+        assert!(!ErrorCode::Io.is_client_error());
+        assert!(!ErrorCode::Storage.is_client_error());
+    }
+}

@@ -1,0 +1,32 @@
+//! # `rls-types`
+//!
+//! Core vocabulary shared by every crate in the RLS workspace:
+//!
+//! * [`LogicalName`] / [`TargetName`] — the two sides of a replica mapping.
+//!   *Logical names* are unique identifiers for data content; *target names*
+//!   are typically physical replica locations (but may be further logical
+//!   names, which is what enables hierarchical catalog structures).
+//! * [`attribute`] — the typed user-attribute model of the LRC (string,
+//!   int, float, date), mirroring the `t_attribute` / `t_*_attr` tables of
+//!   the paper's Figure 3.
+//! * [`error`] — the unified [`error::RlsError`] type and RPC
+//!   error codes.
+//! * [`pattern`] — a small self-contained pattern engine: a Thompson-NFA
+//!   regex subset (used for access-control lists and namespace partitioning)
+//!   and a glob matcher (used for wildcard queries).
+//! * [`auth`] — distinguished names, privileges and access-control entries.
+//! * [`time`] — a monotonic/unix timestamp pair used for soft-state expiry.
+
+pub mod attribute;
+pub mod auth;
+pub mod error;
+pub mod names;
+pub mod pattern;
+pub mod time;
+
+pub use attribute::{AttrCompare, AttrValue, AttrValueType, AttributeDef, ObjectType};
+pub use auth::{AclEntry, AclSubject, Dn, Privilege};
+pub use error::{ErrorCode, RlsError, RlsResult};
+pub use names::{LogicalName, Mapping, TargetName};
+pub use pattern::{Glob, Regex};
+pub use time::Timestamp;

@@ -1,0 +1,247 @@
+//! Logical and target names.
+//!
+//! A *logical name* (LFN) is a globally unique identifier for some data
+//! content that may have one or more replicas. A *target name* (historically
+//! "PFN", physical file name) is usually the physical location of one
+//! replica — e.g. `gsiftp://host.example.org/data/file0001` — but may be
+//! another logical name, allowing logical→logical indirection.
+//!
+//! Both are thin wrappers around shared, immutable strings. They are interned
+//! per-value via `Arc<str>` so that a mapping, its index entries and any
+//! in-flight soft-state update share one allocation.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ErrorCode, RlsError, RlsResult};
+
+/// Maximum length accepted for a logical or target name.
+///
+/// The paper's schema (Figure 3) stores names as `varchar(250)`; we keep the
+/// same bound so bulk-request sizing math stays comparable.
+pub const MAX_NAME_LEN: usize = 250;
+
+macro_rules! name_type {
+    ($(#[$doc:meta])* $name:ident, $kind:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(Arc<str>);
+
+        impl $name {
+            /// Creates a validated name.
+            ///
+            /// # Errors
+            /// Returns [`ErrorCode::InvalidName`] if the string is empty,
+            /// longer than [`MAX_NAME_LEN`] bytes, or contains control
+            /// characters (which would corrupt the line-oriented tooling the
+            /// original RLS shipped with).
+            pub fn new(s: impl AsRef<str>) -> RlsResult<Self> {
+                let s = s.as_ref();
+                validate_name(s, $kind)?;
+                Ok(Self(Arc::from(s)))
+            }
+
+            /// Creates a name without validation.
+            ///
+            /// Intended for trusted internal paths (WAL replay, workload
+            /// generators that construct names from known-good templates).
+            pub fn new_unchecked(s: impl AsRef<str>) -> Self {
+                Self(Arc::from(s.as_ref()))
+            }
+
+            /// The name as a string slice.
+            #[inline]
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Length of the name in bytes.
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True if the name is empty (never true for validated names).
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Clones the underlying shared string.
+            #[inline]
+            pub fn shared(&self) -> Arc<str> {
+                Arc::clone(&self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), &*self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl std::str::FromStr for $name {
+            type Err = RlsError;
+            fn from_str(s: &str) -> RlsResult<Self> {
+                Self::new(s)
+            }
+        }
+    };
+}
+
+name_type!(
+    /// A logical file name (LFN): the location-independent identifier for
+    /// data content.
+    LogicalName,
+    "logical name"
+);
+
+name_type!(
+    /// A target name: usually the physical location of a replica, or another
+    /// logical name when catalogs are chained.
+    TargetName,
+    "target name"
+);
+
+fn validate_name(s: &str, kind: &str) -> RlsResult<()> {
+    if s.is_empty() {
+        return Err(RlsError::new(
+            ErrorCode::InvalidName,
+            format!("{kind} must not be empty"),
+        ));
+    }
+    if s.len() > MAX_NAME_LEN {
+        return Err(RlsError::new(
+            ErrorCode::InvalidName,
+            format!("{kind} exceeds {MAX_NAME_LEN} bytes ({} bytes)", s.len()),
+        ));
+    }
+    if s.chars().any(|c| c.is_control()) {
+        return Err(RlsError::new(
+            ErrorCode::InvalidName,
+            format!("{kind} contains control characters"),
+        ));
+    }
+    Ok(())
+}
+
+/// A single replica mapping: `logical name → target name`.
+///
+/// This is the unit clients register with `create`/`add` and the unit the
+/// LRC stores in its `t_map` table.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The logical (content) name.
+    pub logical: LogicalName,
+    /// The target (replica) name.
+    pub target: TargetName,
+}
+
+impl Mapping {
+    /// Builds a validated mapping from raw strings.
+    pub fn new(logical: impl AsRef<str>, target: impl AsRef<str>) -> RlsResult<Self> {
+        Ok(Self {
+            logical: LogicalName::new(logical)?,
+            target: TargetName::new(target)?,
+        })
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.logical, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names_round_trip() {
+        let lfn = LogicalName::new("lfn://experiment/run42/file0001").unwrap();
+        assert_eq!(lfn.as_str(), "lfn://experiment/run42/file0001");
+        assert_eq!(lfn.to_string(), "lfn://experiment/run42/file0001");
+        assert!(!lfn.is_empty());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let err = LogicalName::new("").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidName);
+    }
+
+    #[test]
+    fn oversized_name_rejected() {
+        let s = "x".repeat(MAX_NAME_LEN + 1);
+        assert!(TargetName::new(&s).is_err());
+        let ok = "x".repeat(MAX_NAME_LEN);
+        assert!(TargetName::new(&ok).is_ok());
+    }
+
+    #[test]
+    fn control_chars_rejected() {
+        assert!(LogicalName::new("bad\nname").is_err());
+        assert!(LogicalName::new("bad\0name").is_err());
+        assert!(LogicalName::new("tab\tname").is_err());
+    }
+
+    #[test]
+    fn names_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = LogicalName::new("a").unwrap();
+        let b = LogicalName::new("b").unwrap();
+        assert!(a < b);
+        let set: HashSet<_> = [a.clone(), b.clone(), a.clone()].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn borrow_str_lookup_works() {
+        use std::collections::HashMap;
+        let mut m: HashMap<LogicalName, u32> = HashMap::new();
+        m.insert(LogicalName::new("k").unwrap(), 7);
+        assert_eq!(m.get("k"), Some(&7));
+    }
+
+    #[test]
+    fn mapping_display() {
+        let m = Mapping::new("lfn://a", "pfn://b").unwrap();
+        assert_eq!(m.to_string(), "lfn://a -> pfn://b");
+    }
+
+    #[test]
+    fn unchecked_skips_validation() {
+        let lfn = LogicalName::new_unchecked("");
+        assert!(lfn.is_empty());
+    }
+
+    #[test]
+    fn shared_points_to_same_allocation() {
+        let lfn = LogicalName::new("lfn://x").unwrap();
+        let s = lfn.shared();
+        assert!(std::ptr::eq(s.as_ptr(), lfn.as_str().as_ptr()));
+    }
+}

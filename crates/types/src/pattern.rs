@@ -1,0 +1,888 @@
+//! A small, self-contained pattern engine.
+//!
+//! The original RLS uses POSIX `regex(3)` in two places — access-control
+//! list entries (matched against distinguished names / local usernames) and
+//! namespace-partitioning rules (matched against logical names) — and a
+//! simpler wildcard syntax (`*`, `?`) for client wildcard queries.
+//!
+//! We implement both from scratch:
+//!
+//! * [`Regex`]: a Thompson-NFA (Pike VM) engine over a practical regex
+//!   subset: literals, `.`, character classes `[a-z]` / `[^...]`,
+//!   repetition `*` `+` `?`, alternation `|`, grouping `(...)`, anchors
+//!   `^` `$`, and `\`-escapes. The Pike VM guarantees linear-time matching
+//!   — no catastrophic backtracking, which matters because ACL patterns are
+//!   evaluated on the request hot path.
+//! * [`Glob`]: shell-style wildcard matching (`*`, `?`, `[...]`) with an
+//!   iterative two-pointer algorithm, used to translate the SQL `LIKE`-style
+//!   wildcard queries of the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ErrorCode, RlsError, RlsResult};
+
+// ---------------------------------------------------------------------------
+// Regex AST + parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Literal(char),
+    AnyChar,
+    Class(CharClass),
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Question(Box<Ast>),
+    StartAnchor,
+    EndAnchor,
+}
+
+/// A character class: set of ranges, possibly negated.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct CharClass {
+    negated: bool,
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+    depth: usize,
+}
+
+const MAX_GROUP_DEPTH: usize = 64;
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Self {
+            chars: pattern.chars().peekable(),
+            pattern,
+            depth: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> RlsError {
+        RlsError::new(
+            ErrorCode::InvalidPattern,
+            format!("invalid pattern {:?}: {msg}", self.pattern),
+        )
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternate(&mut self) -> RlsResult<Ast> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    /// concat := repeat*
+    fn parse_concat(&mut self) -> RlsResult<Ast> {
+        let mut parts = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    /// repeat := atom ('*' | '+' | '?')*
+    fn parse_repeat(&mut self) -> RlsResult<Ast> {
+        let mut node = self.parse_atom()?;
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '*' | '+' | '?' => {
+                    if matches!(node, Ast::StartAnchor | Ast::EndAnchor) {
+                        return Err(self.err("repetition applied to anchor"));
+                    }
+                    self.chars.next();
+                    node = match c {
+                        '*' => Ast::Star(Box::new(node)),
+                        '+' => Ast::Plus(Box::new(node)),
+                        _ => Ast::Question(Box::new(node)),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse_atom(&mut self) -> RlsResult<Ast> {
+        let c = self.chars.next().ok_or_else(|| self.err("unexpected end"))?;
+        Ok(match c {
+            '(' => {
+                self.depth += 1;
+                if self.depth > MAX_GROUP_DEPTH {
+                    return Err(self.err("group nesting too deep"));
+                }
+                let inner = self.parse_alternate()?;
+                if self.chars.next() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                self.depth -= 1;
+                inner
+            }
+            '[' => Ast::Class(self.parse_class()?),
+            '.' => Ast::AnyChar,
+            '^' => Ast::StartAnchor,
+            '$' => Ast::EndAnchor,
+            '*' | '+' | '?' => return Err(self.err("repetition with nothing to repeat")),
+            ')' => return Err(self.err("unmatched ')'")),
+            '\\' => {
+                let e = self
+                    .chars
+                    .next()
+                    .ok_or_else(|| self.err("trailing backslash"))?;
+                match e {
+                    'n' => Ast::Literal('\n'),
+                    't' => Ast::Literal('\t'),
+                    'r' => Ast::Literal('\r'),
+                    'd' => Ast::Class(CharClass {
+                        negated: false,
+                        ranges: vec![('0', '9')],
+                    }),
+                    'w' => Ast::Class(CharClass {
+                        negated: false,
+                        ranges: vec![('0', '9'), ('a', 'z'), ('A', 'Z'), ('_', '_')],
+                    }),
+                    's' => Ast::Class(CharClass {
+                        negated: false,
+                        ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+                    }),
+                    other => Ast::Literal(other),
+                }
+            }
+            other => Ast::Literal(other),
+        })
+    }
+
+    fn parse_class(&mut self) -> RlsResult<CharClass> {
+        let mut class = CharClass::default();
+        if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            class.negated = true;
+        }
+        // A ']' immediately after '[' (or '[^') is a literal, per POSIX.
+        let mut first = true;
+        loop {
+            let c = match self.chars.next() {
+                Some(c) => c,
+                None => return Err(self.err("unclosed character class")),
+            };
+            if c == ']' && !first {
+                break;
+            }
+            first = false;
+            let lo = if c == '\\' {
+                self.chars
+                    .next()
+                    .ok_or_else(|| self.err("trailing backslash in class"))?
+            } else {
+                c
+            };
+            // Range `lo-hi` only when '-' is followed by a non-']' char.
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next(); // consume '-'
+                match lookahead.peek() {
+                    Some(&']') | None => {
+                        class.ranges.push((lo, lo));
+                    }
+                    Some(_) => {
+                        self.chars.next(); // '-'
+                        let hi = self.chars.next().expect("peeked");
+                        let hi = if hi == '\\' {
+                            self.chars
+                                .next()
+                                .ok_or_else(|| self.err("trailing backslash in class"))?
+                        } else {
+                            hi
+                        };
+                        if hi < lo {
+                            return Err(self.err("inverted range in character class"));
+                        }
+                        class.ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                class.ranges.push((lo, lo));
+            }
+        }
+        if class.ranges.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(class)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation to NFA instructions
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Match one char satisfying the predicate, then advance to next inst.
+    Char(char),
+    Any,
+    Class(CharClass),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Fork execution to both targets.
+    Split(usize, usize),
+    /// Match only at the start of the haystack.
+    AssertStart,
+    /// Match only at the end of the haystack.
+    AssertEnd,
+    /// Successful match.
+    Match,
+}
+
+fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Literal(c) => prog.push(Inst::Char(*c)),
+        Ast::AnyChar => prog.push(Inst::Any),
+        Ast::Class(c) => prog.push(Inst::Class(c.clone())),
+        Ast::StartAnchor => prog.push(Inst::AssertStart),
+        Ast::EndAnchor => prog.push(Inst::AssertEnd),
+        Ast::Concat(parts) => {
+            for p in parts {
+                compile(p, prog);
+            }
+        }
+        Ast::Alternate(branches) => {
+            // split b1, split b2, ... chained; each branch jumps to the end.
+            let mut jmp_slots = Vec::new();
+            let n = branches.len();
+            for (i, b) in branches.iter().enumerate() {
+                if i + 1 < n {
+                    let split_at = prog.len();
+                    prog.push(Inst::Split(0, 0)); // patched below
+                    compile(b, prog);
+                    let jmp_at = prog.len();
+                    prog.push(Inst::Jmp(0)); // patched below
+                    jmp_slots.push(jmp_at);
+                    let next_branch = prog.len();
+                    if let Inst::Split(a, c) = &mut prog[split_at] {
+                        *a = split_at + 1;
+                        *c = next_branch;
+                    }
+                } else {
+                    compile(b, prog);
+                }
+            }
+            let end = prog.len();
+            for slot in jmp_slots {
+                if let Inst::Jmp(t) = &mut prog[slot] {
+                    *t = end;
+                }
+            }
+        }
+        Ast::Star(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            compile(inner, prog);
+            prog.push(Inst::Jmp(split_at));
+            let end = prog.len();
+            if let Inst::Split(a, b) = &mut prog[split_at] {
+                *a = split_at + 1;
+                *b = end;
+            }
+        }
+        Ast::Plus(inner) => {
+            let start = prog.len();
+            compile(inner, prog);
+            let split_at = prog.len();
+            prog.push(Inst::Split(start, 0));
+            let end = prog.len();
+            if let Inst::Split(_, b) = &mut prog[split_at] {
+                *b = end;
+            }
+        }
+        Ast::Question(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            compile(inner, prog);
+            let end = prog.len();
+            if let Inst::Split(a, b) = &mut prog[split_at] {
+                *a = split_at + 1;
+                *b = end;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pike VM execution
+// ---------------------------------------------------------------------------
+
+/// A compiled regular expression (Thompson NFA, linear-time matching).
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Vec<Inst>,
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    /// Returns [`ErrorCode::InvalidPattern`] on syntax errors.
+    pub fn new(pattern: &str) -> RlsResult<Self> {
+        let mut parser = Parser::new(pattern);
+        let ast = parser.parse_alternate()?;
+        if parser.chars.next().is_some() {
+            return Err(parser.err("unmatched ')'"));
+        }
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Match);
+        Ok(Self {
+            pattern: pattern.to_owned(),
+            prog,
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True if the pattern matches anywhere in `text` (POSIX `regexec`
+    /// search semantics — anchor with `^`/`$` for full matches).
+    pub fn is_match(&self, text: &str) -> bool {
+        self.search(text)
+    }
+
+    /// True if the pattern matches the *entire* `text`, regardless of
+    /// anchors. This is the semantics ACL entries use: an entry `.*ISI.*`
+    /// and an entry `^.*ISI.*$` behave identically.
+    pub fn is_full_match(&self, text: &str) -> bool {
+        self.run(text, true)
+    }
+
+    fn search(&self, text: &str) -> bool {
+        self.run(text, false)
+    }
+
+    /// Pike VM: breadth-first simulation over the instruction list.
+    fn run(&self, text: &str, full: bool) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let n = self.prog.len();
+        let mut clist: Vec<usize> = Vec::with_capacity(n);
+        let mut nlist: Vec<usize> = Vec::with_capacity(n);
+        let mut on_clist = vec![false; n];
+        let mut on_nlist = vec![false; n];
+
+        // addthread: follow epsilon transitions eagerly.
+        fn add(
+            prog: &[Inst],
+            list: &mut Vec<usize>,
+            on_list: &mut [bool],
+            pc: usize,
+            at_start: bool,
+            at_end: bool,
+        ) {
+            if on_list[pc] {
+                return;
+            }
+            on_list[pc] = true;
+            match &prog[pc] {
+                Inst::Jmp(t) => add(prog, list, on_list, *t, at_start, at_end),
+                Inst::Split(a, b) => {
+                    add(prog, list, on_list, *a, at_start, at_end);
+                    add(prog, list, on_list, *b, at_start, at_end);
+                }
+                Inst::AssertStart => {
+                    if at_start {
+                        add(prog, list, on_list, pc + 1, at_start, at_end);
+                    }
+                }
+                Inst::AssertEnd => {
+                    if at_end {
+                        add(prog, list, on_list, pc + 1, at_start, at_end);
+                    }
+                }
+                _ => list.push(pc),
+            }
+        }
+
+        let len = chars.len();
+        for i in 0..=len {
+            let at_start = i == 0;
+            let at_end = i == len;
+            // Unanchored search may start a new thread at every position;
+            // full match may only start at position 0.
+            if at_start || !full {
+                add(&self.prog, &mut clist, &mut on_clist, 0, at_start, at_end);
+            }
+            let c = chars.get(i).copied();
+            for &pc in clist.iter() {
+                match &self.prog[pc] {
+                    Inst::Match => {
+                        if !full || at_end {
+                            return true;
+                        }
+                    }
+                    Inst::Char(want) => {
+                        if c == Some(*want) {
+                            add(
+                                &self.prog,
+                                &mut nlist,
+                                &mut on_nlist,
+                                pc + 1,
+                                false,
+                                i + 1 == len,
+                            );
+                        }
+                    }
+                    Inst::Any => {
+                        if c.is_some() {
+                            add(
+                                &self.prog,
+                                &mut nlist,
+                                &mut on_nlist,
+                                pc + 1,
+                                false,
+                                i + 1 == len,
+                            );
+                        }
+                    }
+                    Inst::Class(class) => {
+                        if let Some(ch) = c {
+                            if class.contains(ch) {
+                                add(
+                                    &self.prog,
+                                    &mut nlist,
+                                    &mut on_nlist,
+                                    pc + 1,
+                                    false,
+                                    i + 1 == len,
+                                );
+                            }
+                        }
+                    }
+                    // Epsilon instructions were resolved inside `add`.
+                    Inst::Jmp(_) | Inst::Split(_, _) | Inst::AssertStart | Inst::AssertEnd => {}
+                }
+            }
+            std::mem::swap(&mut clist, &mut nlist);
+            std::mem::swap(&mut on_clist, &mut on_nlist);
+            nlist.clear();
+            on_nlist.iter_mut().for_each(|b| *b = false);
+        }
+        false
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}/", self.pattern)
+    }
+}
+
+impl Serialize for Regex {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.pattern)
+    }
+}
+
+impl<'de> Deserialize<'de> for Regex {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Regex::new(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Glob
+// ---------------------------------------------------------------------------
+
+/// A shell-style wildcard pattern: `*` (any run), `?` (any one char),
+/// `[...]` (character class, `[^...]` negated).
+///
+/// Used for the LRC/RLI *wildcard query* operations of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Glob {
+    pattern: String,
+}
+
+impl Glob {
+    /// Compiles (validates) a glob pattern.
+    pub fn new(pattern: impl Into<String>) -> RlsResult<Self> {
+        let pattern = pattern.into();
+        // Validate class syntax up front so matching can't fail later.
+        let mut chars = pattern.chars();
+        while let Some(c) = chars.next() {
+            if c == '[' {
+                let mut closed = false;
+                let mut first = true;
+                let mut it = chars.clone();
+                if it.clone().next() == Some('^') {
+                    it.next();
+                }
+                while let Some(k) = it.next() {
+                    if k == ']' && !first {
+                        closed = true;
+                        break;
+                    }
+                    first = false;
+                    if k == '\\' && it.next().is_none() {
+                        break;
+                    }
+                }
+                if !closed {
+                    return Err(RlsError::new(
+                        ErrorCode::InvalidPattern,
+                        format!("unclosed class in glob {pattern:?}"),
+                    ));
+                }
+            } else if c == '\\' && chars.next().is_none() {
+                return Err(RlsError::new(
+                    ErrorCode::InvalidPattern,
+                    format!("trailing backslash in glob {pattern:?}"),
+                ));
+            }
+        }
+        Ok(Self { pattern })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True if this pattern contains any wildcard metacharacters; a pattern
+    /// without them is an exact-name query and can use a point lookup.
+    pub fn is_literal(&self) -> bool {
+        !self.pattern.contains(['*', '?', '[', '\\'])
+    }
+
+    /// Matches the whole `text` against the pattern (glob semantics are
+    /// always full-string, like SQL `LIKE`).
+    pub fn matches(&self, text: &str) -> bool {
+        let p: Vec<char> = self.pattern.chars().collect();
+        let t: Vec<char> = text.chars().collect();
+        Self::match_inner(&p, &t)
+    }
+
+    /// The leading literal prefix of the pattern (up to the first
+    /// metacharacter). Lets the storage layer seek an ordered index before
+    /// scanning — e.g. `lfn://run7/*` scans only keys with that prefix.
+    pub fn literal_prefix(&self) -> &str {
+        match self.pattern.find(['*', '?', '[', '\\']) {
+            Some(i) => &self.pattern[..i],
+            None => &self.pattern,
+        }
+    }
+
+    /// Iterative wildcard match with single-star backtracking: O(|p|·|t|)
+    /// worst case, O(|t|) typical.
+    fn match_inner(p: &[char], t: &[char]) -> bool {
+        let (mut pi, mut ti) = (0usize, 0usize);
+        let mut star: Option<(usize, usize)> = None; // (pattern idx after '*', text idx)
+        while ti < t.len() {
+            if pi < p.len() {
+                match p[pi] {
+                    '*' => {
+                        star = Some((pi + 1, ti));
+                        pi += 1;
+                        continue;
+                    }
+                    '?' => {
+                        pi += 1;
+                        ti += 1;
+                        continue;
+                    }
+                    '[' => {
+                        if let Some((ok, next_pi)) = Self::match_class(p, pi, t[ti]) {
+                            if ok {
+                                pi = next_pi;
+                                ti += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    '\\' => {
+                        if pi + 1 < p.len() && p[pi + 1] == t[ti] {
+                            pi += 2;
+                            ti += 1;
+                            continue;
+                        }
+                    }
+                    c => {
+                        if c == t[ti] {
+                            pi += 1;
+                            ti += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Mismatch: backtrack to the last '*', consuming one more char.
+            match star {
+                Some((sp, st)) => {
+                    pi = sp;
+                    ti = st + 1;
+                    star = Some((sp, st + 1));
+                }
+                None => return false,
+            }
+        }
+        // Remaining pattern must be all '*'.
+        while pi < p.len() && p[pi] == '*' {
+            pi += 1;
+        }
+        pi == p.len()
+    }
+
+    /// Evaluates the class starting at `p[start] == '['` against `c`.
+    /// Returns `(matched, index after class)`.
+    fn match_class(p: &[char], start: usize, c: char) -> Option<(bool, usize)> {
+        let mut i = start + 1;
+        let mut negated = false;
+        if p.get(i) == Some(&'^') {
+            negated = true;
+            i += 1;
+        }
+        let mut matched = false;
+        let mut first = true;
+        while i < p.len() {
+            if p[i] == ']' && !first {
+                return Some((matched != negated, i + 1));
+            }
+            first = false;
+            let lo = if p[i] == '\\' {
+                i += 1;
+                *p.get(i)?
+            } else {
+                p[i]
+            };
+            if p.get(i + 1) == Some(&'-') && p.get(i + 2).is_some_and(|&k| k != ']') {
+                let hi = p[i + 2];
+                if lo <= c && c <= hi {
+                    matched = true;
+                }
+                i += 3;
+            } else {
+                if c == lo {
+                    matched = true;
+                }
+                i += 1;
+            }
+        }
+        None // unclosed; prevented by `new`
+    }
+}
+
+impl fmt::Display for Glob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap()
+    }
+    fn glob(p: &str) -> Glob {
+        Glob::new(p).unwrap()
+    }
+
+    // ---- regex ----
+
+    #[test]
+    fn regex_literals() {
+        assert!(re("abc").is_match("xxabcxx"));
+        assert!(!re("abc").is_match("ab"));
+        assert!(re("abc").is_full_match("abc"));
+        assert!(!re("abc").is_full_match("xabc"));
+    }
+
+    #[test]
+    fn regex_anchors() {
+        assert!(re("^abc").is_match("abcdef"));
+        assert!(!re("^abc").is_match("xabc"));
+        assert!(re("def$").is_match("abcdef"));
+        assert!(!re("def$").is_match("defabc"));
+        assert!(re("^$").is_match(""));
+        assert!(!re("^$").is_match("a"));
+    }
+
+    #[test]
+    fn regex_repetition() {
+        assert!(re("ab*c").is_full_match("ac"));
+        assert!(re("ab*c").is_full_match("abbbc"));
+        assert!(re("ab+c").is_full_match("abc"));
+        assert!(!re("ab+c").is_full_match("ac"));
+        assert!(re("ab?c").is_full_match("ac"));
+        assert!(re("ab?c").is_full_match("abc"));
+        assert!(!re("ab?c").is_full_match("abbc"));
+    }
+
+    #[test]
+    fn regex_alternation_and_groups() {
+        assert!(re("cat|dog").is_full_match("cat"));
+        assert!(re("cat|dog").is_full_match("dog"));
+        assert!(!re("cat|dog").is_full_match("cow"));
+        assert!(re("a(b|c)d").is_full_match("abd"));
+        assert!(re("a(b|c)d").is_full_match("acd"));
+        assert!(re("(ab)+").is_full_match("ababab"));
+        assert!(!re("(ab)+").is_full_match("aba"));
+        assert!(re("a|b|c").is_full_match("c"));
+    }
+
+    #[test]
+    fn regex_classes() {
+        assert!(re("[a-z]+").is_full_match("hello"));
+        assert!(!re("[a-z]+").is_full_match("Hello"));
+        assert!(re("[^0-9]+").is_full_match("abc"));
+        assert!(!re("[^0-9]+").is_full_match("a1c"));
+        assert!(re("[-az]").is_full_match("-"));
+        assert!(re("[a-]").is_full_match("-"));
+        assert!(re("[]a]").is_full_match("]"));
+        assert!(re(r"\d+").is_full_match("12345"));
+        assert!(re(r"\w+").is_full_match("foo_bar9"));
+        assert!(re(r"\s").is_full_match(" "));
+    }
+
+    #[test]
+    fn regex_escapes() {
+        assert!(re(r"a\.b").is_full_match("a.b"));
+        assert!(!re(r"a\.b").is_full_match("axb"));
+        assert!(re(r"a\\b").is_full_match("a\\b"));
+        assert!(re(r"\(x\)").is_full_match("(x)"));
+    }
+
+    #[test]
+    fn regex_dn_acl_patterns() {
+        // Shapes from the paper: ACL entries are regexes over X.509 DNs.
+        let acl = re("^/O=Grid/OU=ISI/CN=.*$");
+        assert!(acl.is_match("/O=Grid/OU=ISI/CN=Ann Chervenak"));
+        assert!(!acl.is_match("/O=Grid/OU=UCLA/CN=Someone"));
+        let part = re("^lfn://ligo/(h1|l1)/.*");
+        assert!(part.is_match("lfn://ligo/h1/frame-0001"));
+        assert!(!part.is_match("lfn://ligo/v1/frame-0001"));
+    }
+
+    #[test]
+    fn regex_errors() {
+        for bad in ["a(", "a)", "*(a", "*a", "+", "a[", "a[z-a]", r"a\", "a[]"] {
+            let e = Regex::new(bad).unwrap_err();
+            assert_eq!(e.code(), ErrorCode::InvalidPattern, "pattern {bad:?}");
+        }
+    }
+
+    #[test]
+    fn regex_no_catastrophic_backtracking() {
+        // (a*)*b against a^40: a backtracking engine would take ~2^40 steps.
+        let r = re("(a*)*b");
+        let hay = "a".repeat(40);
+        let t0 = std::time::Instant::now();
+        assert!(!r.is_match(&hay));
+        assert!(t0.elapsed() < std::time::Duration::from_millis(500));
+    }
+
+    #[test]
+    fn regex_empty_pattern_matches_everything() {
+        assert!(re("").is_match(""));
+        assert!(re("").is_match("anything"));
+        assert!(re("").is_full_match(""));
+        assert!(!re("").is_full_match("x"));
+    }
+
+    #[test]
+    fn regex_unicode() {
+        assert!(re("héllo").is_full_match("héllo"));
+        assert!(re(".").is_full_match("é"));
+        assert!(re("[α-ω]+").is_full_match("αβγ"));
+    }
+
+    // ---- glob ----
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob("*").matches(""));
+        assert!(glob("*").matches("anything"));
+        assert!(glob("a*c").matches("abc"));
+        assert!(glob("a*c").matches("ac"));
+        assert!(glob("a*c").matches("a-long-middle-c"));
+        assert!(!glob("a*c").matches("acb"));
+        assert!(glob("a?c").matches("abc"));
+        assert!(!glob("a?c").matches("ac"));
+    }
+
+    #[test]
+    fn glob_classes() {
+        assert!(glob("file[0-9]").matches("file7"));
+        assert!(!glob("file[0-9]").matches("fileA"));
+        assert!(glob("file[^0-9]").matches("fileA"));
+        assert!(glob("[]x]").matches("]"));
+    }
+
+    #[test]
+    fn glob_multiple_stars() {
+        assert!(glob("lfn://*/run*/file*").matches("lfn://ligo/run7/file0001"));
+        assert!(!glob("lfn://*/run*/file*").matches("lfn://ligo/data/file0001"));
+        assert!(glob("*a*a*a*").matches("xaxaxax"));
+        assert!(!glob("*a*a*a*").matches("xaxax"));
+    }
+
+    #[test]
+    fn glob_escape() {
+        assert!(glob(r"a\*b").matches("a*b"));
+        assert!(!glob(r"a\*b").matches("axb"));
+    }
+
+    #[test]
+    fn glob_literal_detection_and_prefix() {
+        assert!(glob("plain-name").is_literal());
+        assert!(!glob("pre*").is_literal());
+        assert_eq!(glob("lfn://x/*").literal_prefix(), "lfn://x/");
+        assert_eq!(glob("exact").literal_prefix(), "exact");
+        assert_eq!(glob("*suffix").literal_prefix(), "");
+    }
+
+    #[test]
+    fn glob_errors() {
+        assert!(Glob::new("a[").is_err());
+        assert!(Glob::new("a\\").is_err());
+        assert!(Glob::new("a[bc").is_err());
+    }
+
+    #[test]
+    fn glob_trailing_star_runs() {
+        assert!(glob("abc***").matches("abc"));
+        assert!(glob("abc***").matches("abcdef"));
+        assert!(!glob("abc***d").matches("abc"));
+    }
+}

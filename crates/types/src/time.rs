@@ -1,0 +1,140 @@
+//! Timestamps for soft-state expiry and date attributes.
+//!
+//! The RLI mapping table stores an `updatetime` per `{LFN, LRC}` association;
+//! an expire thread discards entries older than the allowed timeout. We use
+//! a plain unix-epoch microsecond count: cheap to compare, cheap to encode,
+//! and stable across the wire.
+
+use std::fmt;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+/// Microseconds since the unix epoch.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The current wall-clock time.
+    pub fn now() -> Self {
+        let us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_micros();
+        Self(us.min(u64::MAX as u128) as u64)
+    }
+
+    /// Builds a timestamp from whole unix seconds.
+    pub const fn from_unix_secs(secs: u64) -> Self {
+        Self(secs.saturating_mul(1_000_000))
+    }
+
+    /// Builds a timestamp from unix microseconds.
+    pub const fn from_unix_micros(us: u64) -> Self {
+        Self(us)
+    }
+
+    /// The raw microsecond count.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// `self + d`, saturating.
+    ///
+    /// Deliberately an inherent method rather than `impl Add`: the operand
+    /// is a `Duration`, and an inherent name keeps call sites explicit
+    /// about saturation semantics.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, d: Duration) -> Self {
+        Self(self.0.saturating_add(d.as_micros().min(u64::MAX as u128) as u64))
+    }
+
+    /// `self - d`, saturating at zero.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn sub(self, d: Duration) -> Self {
+        Self(self.0.saturating_sub(d.as_micros().min(u64::MAX as u128) as u64))
+    }
+
+    /// Elapsed time from `earlier` to `self`; zero if `earlier` is later.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+
+    /// True if this timestamp is older than `timeout` relative to `now`.
+    ///
+    /// This is the expiry predicate the RLI expire thread evaluates against
+    /// `updatetime` columns.
+    pub fn is_expired(self, now: Timestamp, timeout: Duration) -> bool {
+        now.since(self) > timeout
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}s", self.as_secs(), self.0 % 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic_enough() {
+        let a = Timestamp::now();
+        let b = Timestamp::now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let t = Timestamp::from_unix_secs(100);
+        let later = t.add(Duration::from_millis(1500));
+        assert_eq!(later.as_micros(), 101_500_000);
+        assert_eq!(later.since(t), Duration::from_millis(1500));
+        assert_eq!(later.sub(Duration::from_millis(1500)), t);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Timestamp::from_unix_secs(10);
+        let b = Timestamp::from_unix_secs(20);
+        assert_eq!(a.since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn expiry_predicate() {
+        let written = Timestamp::from_unix_secs(1000);
+        let now = Timestamp::from_unix_secs(1031);
+        assert!(written.is_expired(now, Duration::from_secs(30)));
+        assert!(!written.is_expired(now, Duration::from_secs(31)));
+        // An entry from the future is never expired.
+        assert!(!now.is_expired(written, Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Timestamp::from_unix_micros(1_500_000);
+        assert_eq!(t.to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn saturating_bounds() {
+        let t = Timestamp::from_unix_micros(u64::MAX);
+        assert_eq!(t.add(Duration::from_secs(1)).as_micros(), u64::MAX);
+        let z = Timestamp::from_unix_micros(0);
+        assert_eq!(z.sub(Duration::from_secs(1)).as_micros(), 0);
+    }
+}

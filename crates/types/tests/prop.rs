@@ -1,0 +1,105 @@
+//! Property tests for the pattern engine: the glob matcher is cross-checked
+//! against the regex engine through a glob→regex translation, and both are
+//! exercised on arbitrary inputs without panicking.
+
+use proptest::prelude::*;
+
+use rls_types::{Glob, LogicalName, Regex, TargetName};
+
+/// Translates a glob (over a restricted alphabet without classes/escapes)
+/// into an anchored regex.
+fn glob_to_regex(glob: &str) -> String {
+    let mut out = String::from("^");
+    for c in glob.chars() {
+        match c {
+            '*' => out.push_str(".*"),
+            '?' => out.push('.'),
+            // Escape regex metacharacters.
+            '.' | '+' | '(' | ')' | '[' | ']' | '|' | '^' | '$' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('$');
+    out
+}
+
+proptest! {
+    /// Glob and the equivalent regex agree on every input.
+    #[test]
+    fn glob_agrees_with_regex(
+        pattern in "[a-c*?]{0,12}",
+        input in "[a-c]{0,12}",
+    ) {
+        let glob = Glob::new(&pattern).unwrap();
+        let regex = Regex::new(&glob_to_regex(&pattern)).unwrap();
+        prop_assert_eq!(
+            glob.matches(&input),
+            regex.is_match(&input),
+            "pattern={} input={}", pattern, input
+        );
+    }
+
+    /// Arbitrary pattern strings either compile or error — never panic —
+    /// and compiled patterns match arbitrary inputs without panicking.
+    #[test]
+    fn pattern_compilation_never_panics(
+        pattern in ".{0,30}",
+        input in ".{0,60}",
+    ) {
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&input);
+            let _ = re.is_full_match(&input);
+        }
+        if let Ok(g) = Glob::new(&pattern) {
+            let _ = g.matches(&input);
+            let _ = g.literal_prefix();
+        }
+    }
+
+    /// A literal (metacharacter-free) glob matches exactly itself.
+    #[test]
+    fn literal_glob_is_equality(s in "[a-zA-Z0-9/:._-]{1,30}", t in "[a-zA-Z0-9/:._-]{1,30}") {
+        let g = Glob::new(&s).unwrap();
+        prop_assert!(g.is_literal());
+        prop_assert!(g.matches(&s));
+        prop_assert_eq!(g.matches(&t), s == t);
+    }
+
+    /// literal_prefix really is a prefix of every match.
+    #[test]
+    fn literal_prefix_is_sound(
+        prefix in "[a-z/]{0,10}",
+        suffix in "[a-z]{0,10}",
+    ) {
+        let pattern = format!("{prefix}*");
+        let g = Glob::new(&pattern).unwrap();
+        prop_assert_eq!(g.literal_prefix(), prefix.as_str());
+        let candidate = format!("{prefix}{suffix}");
+        prop_assert!(g.matches(&candidate));
+    }
+
+    /// Name validation accepts exactly the legal space (printable, ≤250
+    /// bytes) and its acceptance agrees between LFN and PFN types.
+    #[test]
+    fn name_validation_consistent(s in ".{0,300}") {
+        let lfn = LogicalName::new(&s);
+        let pfn = TargetName::new(&s);
+        prop_assert_eq!(lfn.is_ok(), pfn.is_ok());
+        let expect_ok = !s.is_empty() && s.len() <= 250 && !s.chars().any(|c| c.is_control());
+        prop_assert_eq!(lfn.is_ok(), expect_ok);
+    }
+
+    /// Anchored repetition of alternating groups stays linear: a worst-case
+    /// input of 200 chars must match (or fail) quickly and correctly.
+    #[test]
+    fn alternation_repetition_correct(n in 1usize..60) {
+        let re = Regex::new("^(ab|ba)+$").unwrap();
+        let good = "ab".repeat(n);
+        prop_assert!(re.is_match(&good));
+        let bad = format!("{}a", "ab".repeat(n));
+        prop_assert!(!re.is_match(&bad));
+    }
+}

@@ -1,0 +1,165 @@
+//! Access-pattern distributions for query workloads.
+//!
+//! The paper's methodology queries names uniformly; real Grid catalogs see
+//! heavily skewed access (popular datasets dominate). [`UniformPick`] and
+//! [`ZipfPick`] provide both shapes for extended experiments, deterministic
+//! under a fixed seed so trials are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform selection over `[0, n)`.
+#[derive(Debug)]
+pub struct UniformPick {
+    rng: StdRng,
+    n: u64,
+}
+
+impl UniformPick {
+    /// A seeded uniform picker.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+        }
+    }
+
+    /// The next index.
+    pub fn next_index(&mut self) -> u64 {
+        self.rng.gen_range(0..self.n)
+    }
+}
+
+/// Zipf-distributed selection over `[0, n)` (rank 0 most popular), using
+/// the rejection-inversion sampler of Hörmann & Derflinger — O(1) per
+/// sample, no per-rank tables.
+#[derive(Debug)]
+pub struct ZipfPick {
+    rng: StdRng,
+    n: u64,
+    exponent: f64,
+    // Precomputed sampler constants.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl ZipfPick {
+    /// A seeded Zipf picker with the given exponent (`1.0` is the classic
+    /// web/catalog skew; must be positive and ≠ 1 handled via the general
+    /// formulas below).
+    pub fn new(n: u64, exponent: f64, seed: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(exponent > 0.0, "exponent must be positive");
+        let mut z = Self {
+            rng: StdRng::seed_from_u64(seed),
+            n,
+            exponent,
+            h_x1: 0.0,
+            h_n: 0.0,
+            s: 0.0,
+        };
+        z.h_x1 = z.h(1.5) - 1.0;
+        z.h_n = z.h(n as f64 + 0.5);
+        z.s = 2.0 - z.h_inv(z.h(2.5) - (2.0f64).powf(-exponent));
+        z
+    }
+
+    /// H(x) = ∫ x^-exponent dx, with the exponent-=1 special case.
+    fn h(&self, x: f64) -> f64 {
+        if (self.exponent - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            x.powf(1.0 - self.exponent) / (1.0 - self.exponent)
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.exponent - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (x * (1.0 - self.exponent)).powf(1.0 / (1.0 - self.exponent))
+        }
+    }
+
+    /// The next rank in `[0, n)`; rank 0 is the most popular.
+    pub fn next_index(&mut self) -> u64 {
+        loop {
+            let u = self.h_n + self.rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= self.h(k + 0.5) - k.powf(-self.exponent) {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut p = UniformPick::new(100, 42);
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            let i = p.next_index();
+            assert!(i < 100);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 95);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut p = ZipfPick::new(1000, 1.0, 7);
+        let mut counts = vec![0u32; 1000];
+        let samples = 100_000;
+        for _ in 0..samples {
+            let i = p.next_index();
+            assert!(i < 1000);
+            counts[i as usize] += 1;
+        }
+        // Rank 0 should dominate: with s=1 over n=1000, p(0) ≈ 1/H_1000 ≈ 13%.
+        let p0 = f64::from(counts[0]) / f64::from(samples);
+        assert!((0.08..0.20).contains(&p0), "p0={p0}");
+        // Monotone-ish decay: top-10 share far exceeds a uniform slice.
+        let top10: u32 = counts[..10].iter().sum();
+        assert!(f64::from(top10) / f64::from(samples) > 0.25);
+        // Tail still reachable.
+        assert!(counts[500..].iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_high_exponent_concentrates_more() {
+        let sample_p0 = |expnt: f64| {
+            let mut p = ZipfPick::new(1000, expnt, 11);
+            let mut zero = 0u32;
+            for _ in 0..20_000 {
+                if p.next_index() == 0 {
+                    zero += 1;
+                }
+            }
+            f64::from(zero) / 20_000.0
+        };
+        assert!(sample_p0(1.5) > sample_p0(0.8));
+    }
+
+    #[test]
+    fn seeded_pickers_are_deterministic() {
+        let seq = |seed| {
+            let mut p = ZipfPick::new(50, 1.2, seed);
+            (0..20).map(|_| p.next_index()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(3), seq(3));
+        assert_ne!(seq(3), seq(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be non-empty")]
+    fn empty_population_rejected() {
+        UniformPick::new(0, 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! # `rls-workload`
+//!
+//! Workload generation, load driving and measurement statistics for the
+//! RLS performance study.
+//!
+//! The paper's methodology (§4): a multi-threaded client program issues
+//! adds/deletes/queries against a preloaded server; each reported number is
+//! the mean rate over several trials (typically 5) with the database size
+//! held roughly constant. [`driver`] reproduces that client,
+//! [`namegen`] the name populations, [`stats`] the trial aggregation.
+
+pub mod dist;
+pub mod driver;
+pub mod namegen;
+pub mod stats;
+
+pub use dist::{UniformPick, ZipfPick};
+pub use driver::{drive, DriverReport, Trials};
+pub use namegen::{preload_lrc, NameGen};
+pub use stats::{summarize, Summary};

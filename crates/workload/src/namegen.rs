@@ -1,0 +1,98 @@
+//! Name populations: deterministic logical/target name families shaped
+//! like Grid data (LIGO frame files, ESG datasets, ...).
+
+use rls_core::Server;
+use rls_types::{Mapping, RlsResult};
+
+/// Generates the `i`-th logical/target name of a family.
+///
+/// Names are ~40–60 bytes, matching the magnitudes the paper's deployments
+/// describe (`varchar(250)` columns, LIGO frame-file names).
+#[derive(Clone, Debug)]
+pub struct NameGen {
+    namespace: String,
+}
+
+impl NameGen {
+    /// A family under `namespace` (e.g. `"ligo"`).
+    pub fn new(namespace: impl Into<String>) -> Self {
+        Self {
+            namespace: namespace.into(),
+        }
+    }
+
+    /// The `i`-th logical name.
+    pub fn lfn(&self, i: u64) -> String {
+        format!("lfn://{}/run{:03}/file{:09}", self.namespace, i % 997, i)
+    }
+
+    /// The `i`-th target name (site `s`).
+    pub fn pfn(&self, site: u64, i: u64) -> String {
+        format!(
+            "gsiftp://site{:02}.{}.org/data/run{:03}/file{:09}",
+            site,
+            self.namespace,
+            i % 997,
+            i
+        )
+    }
+
+    /// The `i`-th mapping (site 0).
+    pub fn mapping(&self, i: u64) -> Mapping {
+        Mapping {
+            logical: rls_types::LogicalName::new_unchecked(self.lfn(i)),
+            target: rls_types::TargetName::new_unchecked(self.pfn(0, i)),
+        }
+    }
+}
+
+/// Preloads an LRC server's catalog with `n` mappings **in process**
+/// (bypassing the RPC layer), the way the paper's tests start from "a
+/// server loaded with a predefined number of mappings".
+pub fn preload_lrc(server: &Server, gen: &NameGen, n: u64) -> RlsResult<u64> {
+    let lrc = server
+        .lrc()
+        .ok_or_else(|| rls_types::RlsError::bad_request("server has no LRC role"))?;
+    let mut db = lrc.db.write();
+    for i in 0..n {
+        db.create_mapping(&gen.mapping(i))?;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_deterministic_and_unique() {
+        let g = NameGen::new("ligo");
+        assert_eq!(g.lfn(5), g.lfn(5));
+        assert_ne!(g.lfn(5), g.lfn(6));
+        assert_ne!(g.pfn(0, 5), g.pfn(1, 5));
+        let m = g.mapping(7);
+        assert!(m.logical.as_str().starts_with("lfn://ligo/"));
+        assert!(m.target.as_str().starts_with("gsiftp://site00.ligo.org/"));
+    }
+
+    #[test]
+    fn name_lengths_fit_schema() {
+        let g = NameGen::new("earth-system-grid");
+        assert!(g.lfn(u64::MAX / 2).len() <= 250);
+        assert!(g.pfn(99, u64::MAX / 2).len() <= 250);
+    }
+
+    #[test]
+    fn preload_fills_catalog() {
+        let dep = rls_core::TestDeployment::builder()
+            .lrcs(1)
+            .rlis(0)
+            .build()
+            .unwrap();
+        let g = NameGen::new("pre");
+        preload_lrc(&dep.lrcs[0], &g, 500).unwrap();
+        let lrc = dep.lrcs[0].lrc().unwrap();
+        assert_eq!(lrc.db.read().lfn_count(), 500);
+        assert_eq!(lrc.db.read().mapping_count(), 500);
+    }
+}

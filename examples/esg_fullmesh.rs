@@ -1,0 +1,104 @@
+//! Earth System Grid-style deployment (§6 of the paper): "The Earth System
+//! Grid deploys four RLS servers that function as both LRCs and RLIs in a
+//! fully-connected configuration".
+//!
+//! Four combined servers, each holding its own site's climate datasets and
+//! indexing everyone else's, so any site can resolve any dataset in two
+//! hops. Also demonstrates soft-state expiry: when a site goes quiet, its
+//! entries age out of the other sites' indexes.
+//!
+//! Run: `cargo run --example esg_fullmesh`
+
+use std::time::Duration;
+
+use rls::core::{LrcConfig, RliConfig, RlsClient, Server, ServerConfig};
+use rls::types::Dn;
+
+const SITES: [&str; 4] = ["ncar", "ornl", "lbnl", "isi"];
+const DATASETS_PER_SITE: u64 = 50;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Start four combined LRC+RLI servers with a short soft-state timeout
+    // so expiry is observable in this example.
+    let mut servers = Vec::new();
+    for site in SITES {
+        let server = Server::start(ServerConfig {
+            name: format!("esg-{site}"),
+            lrc: Some(LrcConfig::default()),
+            rli: Some(RliConfig {
+                expire_timeout: Duration::from_millis(400),
+                ..Default::default()
+            }),
+            ..ServerConfig::default()
+        })?;
+        println!("esg-{site} listening on {}", server.addr());
+        servers.push(server);
+    }
+
+    // Fully-connected update mesh: every LRC updates every other RLI.
+    for (i, server) in servers.iter().enumerate() {
+        let lrc = server.lrc().expect("combined server");
+        let mut db = lrc.db.write();
+        for (j, other) in servers.iter().enumerate() {
+            if i != j {
+                db.add_rli(&other.addr().to_string(), 0, &[])?;
+            }
+        }
+    }
+
+    // Each site publishes its own datasets.
+    for (i, site) in SITES.iter().enumerate() {
+        let mut client = RlsClient::connect(servers[i].addr(), &Dn::anonymous())?;
+        for d in 0..DATASETS_PER_SITE {
+            client.create_mapping(
+                &format!("lfn://esg/{site}/cmip/dataset-{d:04}"),
+                &format!("gsiftp://datanode.{site}.gov/cmip/dataset-{d:04}.nc"),
+            )?;
+        }
+    }
+    println!("published {} datasets per site", DATASETS_PER_SITE);
+
+    // One update round across the mesh.
+    for server in &servers {
+        for outcome in server.run_update_cycle()? {
+            outcome?;
+        }
+    }
+
+    // A client at NCAR locates an ORNL dataset: RLI hop, then LRC hop.
+    let mut ncar = RlsClient::connect(servers[0].addr(), &Dn::anonymous())?;
+    let wanted = "lfn://esg/ornl/cmip/dataset-0031";
+    let hits = ncar.rli_query_lfn(wanted)?;
+    println!("NCAR's index points {wanted} at: {}", hits[0].lrc);
+    assert_eq!(hits[0].lrc, "esg-ornl");
+    // The RLI names the LRC; resolve its address and fetch the replicas.
+    let ornl_addr = servers[1].addr();
+    let mut ornl = RlsClient::connect(ornl_addr, &Dn::anonymous())?;
+    let replicas = ornl.query_lfn(wanted)?;
+    println!("ORNL resolves: {}", replicas[0]);
+
+    // Cross-site stats: every index holds the other three sites' names.
+    for (i, site) in SITES.iter().enumerate() {
+        let mut c = RlsClient::connect(servers[i].addr(), &Dn::anonymous())?;
+        let stats = c.stats()?;
+        println!(
+            "esg-{site}: {} local names, {} remote associations indexed",
+            stats.lrc_lfn_count, stats.rli_association_count
+        );
+        assert_eq!(stats.lrc_lfn_count, DATASETS_PER_SITE);
+        assert_eq!(stats.rli_association_count, 3 * DATASETS_PER_SITE);
+    }
+
+    // Soft-state expiry: no further updates arrive; after the timeout an
+    // expire pass clears the mesh's indexes.
+    std::thread::sleep(Duration::from_millis(600));
+    let mut total_expired = 0;
+    for server in &servers {
+        total_expired += server.run_expire()?;
+    }
+    println!("expire pass discarded {total_expired} stale associations");
+    assert_eq!(total_expired, (SITES.len() * 3) as u64 * DATASETS_PER_SITE);
+    assert!(ncar.rli_query_lfn(wanted).is_err());
+    println!("indexes empty until the sites' next soft-state updates — as designed");
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! LIGO-style deployment (§6 of the paper): the Laser Interferometer
+//! Gravitational Wave Observatory used the RLS "to register and query
+//! mappings between 3 million logical file names and 30 million physical
+//! file locations" — many replicas per logical name, partitioned across
+//! detector sites, with size metadata on every physical copy.
+//!
+//! This example builds a scaled-down LIGO catalog: frame files from two
+//! detectors (H1 in Hanford, L1 in Livingston) replicated to several data
+//! centres, **namespace-partitioned** RLIs (§3.5) routing each detector's
+//! names to its own index, and attribute-based selection of the smallest
+//! replica.
+//!
+//! Run: `cargo run --example ligo_catalog`
+
+use rls::core::testkit::TestDeployment;
+use rls::types::{AttrCompare, AttrValue, AttrValueType, AttributeDef, ObjectType};
+
+const FRAMES_PER_DETECTOR: u64 = 200;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One LRC (the observatory's publishing catalog), two RLIs that will
+    // each index one detector's namespace.
+    let dep = TestDeployment::builder().lrcs(1).rlis(2).build()?;
+
+    // Partition the namespace: H1 frames to RLI 0, L1 frames to RLI 1.
+    {
+        let lrc = dep.lrcs[0].lrc().expect("lrc role");
+        let mut db = lrc.db.write();
+        db.remove_rli(&dep.rlis[0].addr().to_string())?;
+        db.remove_rli(&dep.rlis[1].addr().to_string())?;
+        db.add_rli(
+            &dep.rlis[0].addr().to_string(),
+            0,
+            &["^lfn://ligo/h1/.*".to_owned()],
+        )?;
+        db.add_rli(
+            &dep.rlis[1].addr().to_string(),
+            0,
+            &["^lfn://ligo/l1/.*".to_owned()],
+        )?;
+    }
+
+    let mut client = dep.lrc_client(0)?;
+
+    // Frame files carry a size attribute on each physical replica.
+    client.define_attribute(AttributeDef::new(
+        "size",
+        ObjectType::Target,
+        AttrValueType::Int,
+    )?)?;
+
+    // Publish frames: each detector's frames are replicated to the local
+    // archive plus a shared tier-1 centre, with differing compression.
+    println!("publishing {} frames per detector...", FRAMES_PER_DETECTOR);
+    for detector in ["h1", "l1"] {
+        for seq in 0..FRAMES_PER_DETECTOR {
+            let lfn = format!("lfn://ligo/{detector}/run03/frame-{seq:06}.gwf");
+            let local = format!("gsiftp://archive.{detector}.ligo.org/frames/{seq:06}.gwf");
+            let tier1 = format!("gsiftp://tier1.caltech.edu/ligo/{detector}/{seq:06}.gwf");
+            client.create_mapping(&lfn, &local)?;
+            client.add_mapping(&lfn, &tier1)?;
+            client.add_attribute(&local, ObjectType::Target, "size", AttrValue::Int(128 << 20))?;
+            // The tier-1 copy is recompressed and smaller.
+            client.add_attribute(&tier1, ObjectType::Target, "size", AttrValue::Int(96 << 20))?;
+        }
+    }
+    println!(
+        "catalog: {} logical names, {} mappings",
+        2 * FRAMES_PER_DETECTOR,
+        4 * FRAMES_PER_DETECTOR
+    );
+
+    // Push partitioned soft-state updates.
+    for outcome in dep.force_updates() {
+        let o = outcome?;
+        println!("update → {}: {} names", o.target, o.names);
+    }
+
+    // Each RLI indexes only its detector's namespace.
+    let mut rli_h1 = dep.rli_client(0)?;
+    let mut rli_l1 = dep.rli_client(1)?;
+    assert!(rli_h1
+        .rli_query_lfn("lfn://ligo/h1/run03/frame-000042.gwf")
+        .is_ok());
+    assert!(rli_h1
+        .rli_query_lfn("lfn://ligo/l1/run03/frame-000042.gwf")
+        .is_err());
+    assert!(rli_l1
+        .rli_query_lfn("lfn://ligo/l1/run03/frame-000042.gwf")
+        .is_ok());
+    println!("partitioning verified: each RLI answers only for its detector");
+
+    // A scientist's workflow: wildcard-find a run's frames, then pick the
+    // smallest replica of one of them by attribute.
+    let frames = client.wildcard_query_lfn("lfn://ligo/h1/run03/frame-0000[0-4]?.gwf", 1000)?;
+    println!("wildcard matched {} (lfn, replica) pairs", frames.len());
+
+    let target_lfn = "lfn://ligo/h1/run03/frame-000007.gwf";
+    let replicas = client.query_lfn(target_lfn)?;
+    let mut best: Option<(String, i64)> = None;
+    for replica in replicas {
+        let attrs = client.get_attributes(&replica, ObjectType::Target, Some("size"))?;
+        if let Some((_, AttrValue::Int(size))) = attrs.into_iter().next() {
+            if best.as_ref().is_none_or(|(_, b)| size < *b) {
+                best = Some((replica, size));
+            }
+        }
+    }
+    let (best_replica, size) = best.expect("replica with size");
+    println!("smallest replica of {target_lfn}: {best_replica} ({} MiB)", size >> 20);
+    assert!(best_replica.contains("tier1"));
+
+    // Site-wide audit: every replica at tier-1 bigger than 100 MiB.
+    let big = client.search_attribute(
+        "size",
+        ObjectType::Target,
+        AttrCompare::Gt,
+        Some(AttrValue::Int(100 << 20)),
+    )?;
+    println!("replicas larger than 100 MiB: {}", big.len());
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Pegasus-style workflow registration (§6 of the paper): "The Pegasus
+//! system for planning and execution in Grids uses 6 LRCs and 4 RLIs to
+//! register the locations of approximately 100,000 logical files" —
+//! workflow planners that perform "many RLS query or registration
+//! operations", which is what the bulk interface (§5.4) exists for.
+//!
+//! This example plays a workflow engine: it discovers input data through
+//! the RLI tier, stages intermediate products with bulk registrations as
+//! tasks complete on different sites, and bulk-queries outputs at the end.
+//!
+//! Run: `cargo run --example pegasus_workflow`
+
+use rls::core::testkit::TestDeployment;
+use rls::types::Mapping;
+
+const TASKS: u64 = 40;
+const OUTPUTS_PER_TASK: u64 = 25;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pegasus-shaped deployment: 6 LRCs (compute/storage sites), 4 RLIs,
+    // every LRC updating every RLI (immediate mode — planners want fresh
+    // indexes).
+    let dep = TestDeployment::builder()
+        .lrcs(6)
+        .rlis(4)
+        .immediate(true)
+        .build()?;
+
+    // Stage 0: the input dataset already exists at site 0.
+    let mut site0 = dep.lrc_client(0)?;
+    let inputs: Vec<Mapping> = (0..TASKS)
+        .map(|t| {
+            Mapping::new(
+                format!("lfn://pegasus/montage/input-{t:03}.fits"),
+                format!("gsiftp://storage0.grid.org/raw/input-{t:03}.fits"),
+            )
+            .expect("valid names")
+        })
+        .collect();
+    let failures = site0.bulk_create(inputs)?;
+    assert!(failures.is_empty());
+    for r in dep.flush_deltas() {
+        r?;
+    }
+    println!("staged {TASKS} input files at site 0");
+
+    // Stage 1: the planner locates inputs through any RLI.
+    let mut rli = dep.rli_client(2)?;
+    let results = rli.rli_bulk_query_lfn(
+        (0..TASKS)
+            .map(|t| format!("lfn://pegasus/montage/input-{t:03}.fits"))
+            .collect(),
+    )?;
+    let located = results.iter().filter(|(_, r)| r.is_ok()).count();
+    println!("planner located {located}/{TASKS} inputs via the RLI tier");
+    assert_eq!(located as u64, TASKS);
+
+    // Stage 2: tasks run round-robin across sites 1..6, each bulk-
+    // registering its outputs at its local LRC as it finishes.
+    let mut registered = 0u64;
+    for t in 0..TASKS {
+        let site = 1 + (t as usize % 5);
+        let mut client = dep.lrc_client(site)?;
+        let outputs: Vec<Mapping> = (0..OUTPUTS_PER_TASK)
+            .map(|k| {
+                Mapping::new(
+                    format!("lfn://pegasus/montage/task-{t:03}/tile-{k:03}.fits"),
+                    format!("gsiftp://storage{site}.grid.org/scratch/t{t:03}/tile-{k:03}.fits"),
+                )
+                .expect("valid names")
+            })
+            .collect();
+        let failures = client.bulk_create(outputs)?;
+        assert!(failures.is_empty());
+        registered += OUTPUTS_PER_TASK;
+    }
+    println!("tasks bulk-registered {registered} intermediate products across 5 sites");
+
+    // Immediate mode: deltas flow to all four RLIs (forced here; the
+    // background thread does this on its 30 s cadence in production).
+    for r in dep.flush_deltas() {
+        r?;
+    }
+
+    // Stage 3: the planner verifies all outputs exist before the final
+    // mosaic step, spreading bulk queries across RLIs.
+    let mut missing = 0;
+    for (i, chunk) in (0..TASKS).collect::<Vec<_>>().chunks(10).enumerate() {
+        let mut rli = dep.rli_client(i % 4)?;
+        let names: Vec<String> = chunk
+            .iter()
+            .flat_map(|t| {
+                (0..OUTPUTS_PER_TASK)
+                    .map(move |k| format!("lfn://pegasus/montage/task-{t:03}/tile-{k:03}.fits"))
+            })
+            .collect();
+        let results = rli.rli_bulk_query_lfn(names)?;
+        missing += results.iter().filter(|(_, r)| r.is_err()).count();
+    }
+    println!("planner verification: {missing} outputs missing");
+    assert_eq!(missing, 0);
+
+    // Stage 4: cleanup — a failed task's products are withdrawn with a
+    // bulk delete, and the deltas propagate the removals.
+    let mut site3 = dep.lrc_client(3)?;
+    let doomed: Vec<Mapping> = (0..OUTPUTS_PER_TASK)
+        .map(|k| {
+            Mapping::new(
+                format!("lfn://pegasus/montage/task-002/tile-{k:03}.fits"),
+                format!("gsiftp://storage3.grid.org/scratch/t002/tile-{k:03}.fits"),
+            )
+            .expect("valid names")
+        })
+        .collect();
+    let failures = site3.bulk_delete(doomed)?;
+    assert!(failures.is_empty());
+    for r in dep.flush_deltas() {
+        r?;
+    }
+    let mut rli0 = dep.rli_client(0)?;
+    assert!(rli0
+        .rli_query_lfn("lfn://pegasus/montage/task-002/tile-000.fits")
+        .is_err());
+    println!("withdrew task-002's products; indexes already reflect the removal");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: one LRC pushing Bloom-filter soft-state updates to one RLI.
+//!
+//! Walks the complete lifecycle of the paper's architecture: register
+//! replicas at a Local Replica Catalog, push the compressed namespace
+//! summary to a Replica Location Index, then discover replicas the way a
+//! Grid client would — RLI first ("who might have it?"), then LRC
+//! ("where exactly is it?").
+//!
+//! Run: `cargo run --example quickstart`
+
+use rls::core::testkit::TestDeployment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Deploy: one LRC, one RLI, Bloom-compressed updates (§3.4).
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .bloom(true)
+        .build()?;
+    println!("LRC listening on {}", dep.lrcs[0].addr());
+    println!("RLI listening on {}", dep.rlis[0].addr());
+
+    // 2. Register replicas: a logical name with two physical copies.
+    let mut lrc = dep.lrc_client(0)?;
+    lrc.create_mapping("lfn://demo/dataset-042", "gsiftp://site-a.example.org/data/042")?;
+    lrc.add_mapping("lfn://demo/dataset-042", "gsiftp://site-b.example.org/mirror/042")?;
+    println!("registered 2 replicas of lfn://demo/dataset-042");
+
+    // 3. Push soft state: LRC → RLI (normally the background update thread;
+    //    forced here so the example is deterministic).
+    for outcome in dep.force_updates() {
+        let o = outcome?;
+        println!(
+            "soft-state update → {}: {:?} in {:?} ({} bytes)",
+            o.target, o.kind, o.duration, o.bytes
+        );
+    }
+
+    // 4. Discover: query the RLI for candidate LRCs...
+    let mut rli = dep.rli_client(0)?;
+    let hits = rli.rli_query_lfn("lfn://demo/dataset-042")?;
+    println!("RLI says these LRCs may hold the name:");
+    for hit in &hits {
+        println!("  - {}", hit.lrc);
+    }
+
+    // 5. ...then ask the LRC for the actual replica locations.
+    let mut replicas = lrc.query_lfn("lfn://demo/dataset-042")?;
+    replicas.sort();
+    println!("LRC resolves the replicas:");
+    for replica in &replicas {
+        println!("  - {replica}");
+    }
+    assert_eq!(replicas.len(), 2);
+
+    // 6. Soft state is soft: deleting the mapping leaves the RLI stale
+    //    until the next update (applications must tolerate this — §3.2).
+    lrc.delete_mapping("lfn://demo/dataset-042", "gsiftp://site-a.example.org/data/042")?;
+    lrc.delete_mapping("lfn://demo/dataset-042", "gsiftp://site-b.example.org/mirror/042")?;
+    let stale = rli.rli_query_lfn("lfn://demo/dataset-042").is_ok();
+    println!("RLI still lists the name before the next update: {stale}");
+    for outcome in dep.force_updates() {
+        outcome?;
+    }
+    let gone = rli.rli_query_lfn("lfn://demo/dataset-042").is_err();
+    println!("after the next Bloom update the RLI has forgotten it: {gone}");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! WAN replication study in miniature: measure soft-state update cost over
+//! an emulated Los Angeles → Chicago link, comparing uncompressed and
+//! Bloom-compressed updates — the §5.4/§5.5 story of the paper as a
+//! runnable demo of the `rls-net` shaping API.
+//!
+//! Run: `cargo run --release --example wan_replication`
+
+use std::sync::Arc;
+
+use rls::bloom::BloomParams;
+use rls::core::{
+    LrcConfig, RliConfig, Server, ServerConfig, UpdateConfig, UpdateMode, Updater, FLAG_BLOOM,
+};
+use rls::net::LinkProfile;
+use rls::storage::RliTarget;
+use rls::types::{Dn, Mapping};
+
+const ENTRIES: u64 = 30_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wan = LinkProfile::wan_la_chicago();
+    println!(
+        "emulated WAN: RTT {:?}, per-flow bandwidth {:.1} Mbit/s",
+        wan.rtt,
+        wan.bandwidth_bps.unwrap_or(0) as f64 / 1e6
+    );
+
+    // RLI "in Chicago".
+    let rli = Server::start(ServerConfig {
+        name: "rli-chicago".into(),
+        rli: Some(RliConfig::default()),
+        ..ServerConfig::default()
+    })?;
+
+    // LRC "in Los Angeles", Bloom mode so the counting filter is
+    // maintained incrementally.
+    let lrc = Server::start(ServerConfig {
+        name: "lrc-losangeles".into(),
+        lrc: Some(LrcConfig {
+            update: UpdateConfig {
+                mode: UpdateMode::Bloom {
+                    interval: std::time::Duration::from_secs(3600),
+                    params: BloomParams::PAPER,
+                },
+                link: wan,
+                ..Default::default()
+            },
+            ..Default::default()
+        }),
+        ..ServerConfig::default()
+    })?;
+
+    println!("loading {ENTRIES} mappings into the LRC...");
+    {
+        let svc = lrc.lrc().expect("lrc role");
+        for i in 0..ENTRIES {
+            svc.create_mapping(&Mapping::new(
+                format!("lfn://wan/file{i:08}"),
+                format!("gsiftp://la-storage.example.org/data/file{i:08}"),
+            )?)?;
+        }
+    }
+
+    let svc = Arc::clone(lrc.lrc().expect("lrc role"));
+    let cfg = lrc.config().lrc.as_ref().expect("config").update.clone();
+    let mut updater = Updater::new(lrc.name().to_owned(), Dn::anonymous(), svc, &cfg);
+
+    // Uncompressed full update over the WAN.
+    let full_target = RliTarget {
+        name: rli.addr().to_string(),
+        flags: 0,
+        patterns: vec![],
+    };
+    let full = updater.send_full(&full_target)?;
+    println!(
+        "uncompressed update: {} names, {} KB payload, {:?}",
+        full.names,
+        full.bytes / 1024,
+        full.duration
+    );
+
+    // Bloom update over the same link (warm-up sizes the filter, the
+    // second send is the steady-state cost).
+    let bloom_target = RliTarget {
+        flags: FLAG_BLOOM,
+        ..full_target.clone()
+    };
+    updater.send_bloom(&bloom_target)?; // one-time generation
+    let bloom = updater.send_bloom(&bloom_target)?;
+    println!(
+        "bloom update:        {} names summarized, {} KB bitmap, {:?}",
+        bloom.names,
+        bloom.bytes / 1024,
+        bloom.duration
+    );
+    let speedup = full.duration.as_secs_f64() / bloom.duration.as_secs_f64();
+    println!("bloom is {speedup:.1}x faster over this link (paper: 2–3 orders of magnitude at 1M+ entries in a congested LAN)");
+    assert!(speedup > 1.0);
+    Ok(())
+}

@@ -1,0 +1,222 @@
+//! `rls-cli` — command-line client for an RLS server, in the spirit of the
+//! original `globus-rls-cli`.
+//!
+//! ```text
+//! rls-cli <server> ping
+//! rls-cli <server> create <lfn> <pfn>
+//! rls-cli <server> add <lfn> <pfn>
+//! rls-cli <server> delete <lfn> <pfn>
+//! rls-cli <server> query <lfn>
+//! rls-cli <server> query-pfn <pfn>
+//! rls-cli <server> wildcard <glob> [limit]
+//! rls-cli <server> bulk-create            # reads "lfn pfn" lines on stdin
+//! rls-cli <server> attr-define <name> <logical|target> <str|int|float|date>
+//! rls-cli <server> attr-add <obj> <logical|target> <name> <value>
+//! rls-cli <server> attr-get <obj> <logical|target>
+//! rls-cli <server> add-rli <addr> [bloom] [pattern...]
+//! rls-cli <server> remove-rli <addr>
+//! rls-cli <server> list-rlis
+//! rls-cli <server> rli-query <lfn>
+//! rls-cli <server> rli-wildcard <glob> [limit]
+//! rls-cli <server> rli-lrcs
+//! rls-cli <server> stats
+//! ```
+//!
+//! The identity presented to the server comes from `$RLS_DN` (defaults to
+//! the anonymous DN).
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use rls::core::{RlsClient, FLAG_BLOOM};
+use rls::types::{AttrValue, AttrValueType, AttributeDef, Dn, Mapping, ObjectType, Timestamp};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rls-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn objtype(s: &str) -> Result<ObjectType, String> {
+    match s {
+        "logical" | "lfn" => Ok(ObjectType::Logical),
+        "target" | "pfn" => Ok(ObjectType::Target),
+        other => Err(format!("expected logical|target, got {other:?}")),
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (server, cmd, rest) = match args.as_slice() {
+        [server, cmd, rest @ ..] => (server.clone(), cmd.clone(), rest.to_vec()),
+        _ => {
+            eprintln!("usage: rls-cli <server> <command> [args] (see --help in the doc comment)");
+            return Err("missing arguments".into());
+        }
+    };
+    let dn = std::env::var("RLS_DN")
+        .map(Dn::new)
+        .unwrap_or_else(|_| Dn::anonymous());
+    let mut client = RlsClient::connect(server.as_str(), &dn)?;
+
+    let arg = |i: usize, what: &str| -> Result<&String, String> {
+        rest.get(i).ok_or_else(|| format!("missing argument: {what}"))
+    };
+
+    match cmd.as_str() {
+        "ping" => {
+            client.ping()?;
+            println!(
+                "pong from {} (lrc={}, rli={})",
+                client.server_version(),
+                client.server_is_lrc(),
+                client.server_is_rli()
+            );
+        }
+        "create" => {
+            client.create_mapping(arg(0, "lfn")?, arg(1, "pfn")?)?;
+            println!("created");
+        }
+        "add" => {
+            client.add_mapping(arg(0, "lfn")?, arg(1, "pfn")?)?;
+            println!("added");
+        }
+        "delete" => {
+            client.delete_mapping(arg(0, "lfn")?, arg(1, "pfn")?)?;
+            println!("deleted");
+        }
+        "query" => {
+            for t in client.query_lfn(arg(0, "lfn")?)? {
+                println!("{t}");
+            }
+        }
+        "query-pfn" => {
+            for l in client.query_pfn(arg(0, "pfn")?)? {
+                println!("{l}");
+            }
+        }
+        "wildcard" => {
+            let limit = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+            for m in client.wildcard_query_lfn(arg(0, "glob")?, limit)? {
+                println!("{} {}", m.logical, m.target);
+            }
+        }
+        "bulk-create" => {
+            let stdin = std::io::stdin();
+            let mut mappings = Vec::new();
+            for line in stdin.lock().lines() {
+                let line = line?;
+                let mut parts = line.split_whitespace();
+                if let (Some(lfn), Some(pfn)) = (parts.next(), parts.next()) {
+                    mappings.push(Mapping::new(lfn, pfn)?);
+                }
+            }
+            let total = mappings.len();
+            let failures = client.bulk_create(mappings)?;
+            println!("{} created, {} failed", total - failures.len(), failures.len());
+            for (idx, err) in failures {
+                eprintln!("  item {idx}: {err}");
+            }
+        }
+        "attr-define" => {
+            let vt = match arg(2, "type")?.as_str() {
+                "str" | "string" => AttrValueType::Str,
+                "int" => AttrValueType::Int,
+                "float" => AttrValueType::Float,
+                "date" => AttrValueType::Date,
+                other => return Err(format!("unknown attribute type {other:?}").into()),
+            };
+            client.define_attribute(AttributeDef::new(
+                arg(0, "name")?.as_str(),
+                objtype(arg(1, "objtype")?)?,
+                vt,
+            )?)?;
+            println!("defined");
+        }
+        "attr-add" => {
+            let raw = arg(3, "value")?;
+            // Infer the value type from the literal: int, then float, then
+            // unix-seconds date prefixed with '@', else string.
+            let value = if let Some(secs) = raw.strip_prefix('@') {
+                AttrValue::Date(Timestamp::from_unix_secs(secs.parse()?))
+            } else if let Ok(i) = raw.parse::<i64>() {
+                AttrValue::Int(i)
+            } else if let Ok(f) = raw.parse::<f64>() {
+                AttrValue::Float(f)
+            } else {
+                AttrValue::Str(raw.clone())
+            };
+            client.add_attribute(
+                arg(0, "object")?,
+                objtype(arg(1, "objtype")?)?,
+                arg(2, "name")?,
+                value,
+            )?;
+            println!("attribute added");
+        }
+        "attr-get" => {
+            for (name, value) in
+                client.get_attributes(arg(0, "object")?, objtype(arg(1, "objtype")?)?, None)?
+            {
+                println!("{name} = {value}");
+            }
+        }
+        "add-rli" => {
+            let addr = arg(0, "rli address")?;
+            let bloom = rest.iter().any(|s| s == "bloom");
+            let patterns: Vec<String> = rest[1..]
+                .iter()
+                .filter(|s| s.as_str() != "bloom")
+                .cloned()
+                .collect();
+            let flags = if bloom { FLAG_BLOOM } else { 0 };
+            client.add_rli(addr, flags, patterns)?;
+            println!("RLI registered");
+        }
+        "remove-rli" => {
+            client.remove_rli(arg(0, "rli address")?)?;
+            println!("RLI removed");
+        }
+        "list-rlis" => {
+            for rli in client.list_rlis()? {
+                let mode = if rli.flags & FLAG_BLOOM != 0 { "bloom" } else { "full" };
+                println!("{} [{mode}] {}", rli.name, rli.patterns.join(" "));
+            }
+        }
+        "rli-query" => {
+            for hit in client.rli_query_lfn(arg(0, "lfn")?)? {
+                println!("{}", hit.lrc);
+            }
+        }
+        "rli-wildcard" => {
+            let limit = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+            for (lfn, lrc) in client.rli_wildcard_query(arg(0, "glob")?, limit)? {
+                println!("{lfn} {lrc}");
+            }
+        }
+        "rli-lrcs" => {
+            for lrc in client.rli_list_lrcs()? {
+                println!("{lrc}");
+            }
+        }
+        "stats" => {
+            let s = client.stats()?;
+            println!("roles:             lrc={} rli={}", s.is_lrc, s.is_rli);
+            println!("lrc logical names: {}", s.lrc_lfn_count);
+            println!("lrc mappings:      {}", s.lrc_mapping_count);
+            println!("rli associations:  {}", s.rli_association_count);
+            println!("rli bloom filters: {}", s.rli_bloom_filters);
+            println!("adds:              {}", s.adds);
+            println!("deletes:           {}", s.deletes);
+            println!("queries:           {}", s.queries);
+            println!("updates received:  {}", s.updates_received);
+            println!("expired entries:   {}", s.expired);
+        }
+        other => return Err(format!("unknown command {other:?}").into()),
+    }
+    Ok(())
+}

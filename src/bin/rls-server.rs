@@ -1,0 +1,84 @@
+//! `rls-server` — run an RLS server from a configuration file.
+//!
+//! ```text
+//! rls-server <config-file>
+//! rls-server --example-config      # print a commented sample config
+//! ```
+//!
+//! The server runs until the process is killed. See
+//! [`rls::core::configfile`] for the file format.
+
+use std::process::ExitCode;
+
+use rls::core::configfile::load_config;
+use rls::core::{Server, FLAG_BLOOM};
+
+const EXAMPLE: &str = r#"# rls-server configuration
+lrc_server   true
+rli_server   false
+server_name  lrc-example
+bind         127.0.0.1:39281
+
+db_vendor    mysql          # mysql | postgres
+db_flush     disabled       # enabled | disabled | none
+#db_wal      /var/lib/rls/lrc.wal
+
+update_mode     bloom       # none | full | immediate | bloom
+update_interval 300
+#update_rli     rli.example.org:39281 bloom
+
+#acl_enabled true
+#gridmap     "/O=Grid/OU=Example/CN=Operator" operator
+#acl         user:operator admin
+#acl         dn:/O=Grid/.* lrc_read
+"#;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag] if flag == "--example-config" => {
+            print!("{EXAMPLE}");
+            ExitCode::SUCCESS
+        }
+        [path] => match run(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("rls-server: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: rls-server <config-file> | rls-server --example-config");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let parsed = load_config(path)?;
+    let server = Server::start(parsed.server)?;
+    eprintln!(
+        "rls-server: {} listening on {} (lrc={}, rli={})",
+        server.name(),
+        server.addr(),
+        server.lrc().is_some(),
+        server.rli().is_some()
+    );
+    // Apply update_rli directives to the catalog's update list.
+    if let Some(lrc) = server.lrc() {
+        let mut db = lrc.db.write();
+        for directive in &parsed.update_rlis {
+            let flags = if directive.bloom { FLAG_BLOOM } else { 0 };
+            match db.add_rli(&directive.name, flags, &directive.patterns) {
+                Ok(()) => eprintln!("rls-server: updating RLI {}", directive.name),
+                // Already present from a previous run's durable catalog.
+                Err(e) if e.code() == rls::types::ErrorCode::RliExists => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,138 @@
+//! Adversarial protocol tests: raw frames against a live server. A public
+//! Grid service must survive malformed, oversized, and out-of-order input.
+
+use rls::core::testkit::TestDeployment;
+use rls::net::{connect, LinkProfile};
+use rls::proto::{Request, Response, PROTOCOL_VERSION};
+use rls::types::{Dn, ErrorCode};
+
+fn hello_frame() -> Vec<u8> {
+    Request::Hello {
+        dn: Dn::anonymous(),
+        version: PROTOCOL_VERSION,
+    }
+    .encode()
+    .into_bytes()
+    .to_vec()
+}
+
+#[test]
+fn request_before_hello_is_rejected() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut conn = connect(dep.lrcs[0].addr(), LinkProfile::unshaped(), None).unwrap();
+    let ping = Request::Ping.encode().into_bytes();
+    let resp = conn.request(&ping).unwrap();
+    let Response::Error(e) = Response::decode(&resp).unwrap() else {
+        panic!("expected error");
+    };
+    assert_eq!(e.code(), ErrorCode::BadRequest);
+}
+
+#[test]
+fn wrong_protocol_version_rejected() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut conn = connect(dep.lrcs[0].addr(), LinkProfile::unshaped(), None).unwrap();
+    let hello = Request::Hello {
+        dn: Dn::anonymous(),
+        version: 999,
+    }
+    .encode()
+    .into_bytes();
+    let resp = conn.request(&hello).unwrap();
+    let Response::Error(e) = Response::decode(&resp).unwrap() else {
+        panic!("expected error");
+    };
+    assert_eq!(e.code(), ErrorCode::Protocol);
+}
+
+#[test]
+fn garbage_after_hello_yields_error_not_crash() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut conn = connect(dep.lrcs[0].addr(), LinkProfile::unshaped(), None).unwrap();
+    let ack = conn.request(&hello_frame()).unwrap();
+    assert!(matches!(
+        Response::decode(&ack).unwrap(),
+        Response::HelloAck { .. }
+    ));
+    // Unknown opcode.
+    let resp = conn.request(&[0xFF, 0xFF, 1, 2, 3]).unwrap();
+    assert!(matches!(Response::decode(&resp).unwrap(), Response::Error(_)));
+    // Truncated body for a known opcode (QueryLfn without its string).
+    let resp = conn.request(&[20, 0]).unwrap();
+    assert!(matches!(Response::decode(&resp).unwrap(), Response::Error(_)));
+    // The connection stays usable afterwards.
+    let resp = conn
+        .request(&Request::Ping.encode().into_bytes())
+        .unwrap();
+    assert!(matches!(Response::decode(&resp).unwrap(), Response::Pong));
+}
+
+#[test]
+fn empty_frame_yields_error() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut conn = connect(dep.lrcs[0].addr(), LinkProfile::unshaped(), None).unwrap();
+    conn.request(&hello_frame()).unwrap();
+    let resp = conn.request(&[]).unwrap();
+    assert!(matches!(Response::decode(&resp).unwrap(), Response::Error(_)));
+}
+
+#[test]
+fn abrupt_disconnect_leaves_server_healthy() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    for _ in 0..20 {
+        let mut conn = connect(dep.lrcs[0].addr(), LinkProfile::unshaped(), None).unwrap();
+        conn.send(&hello_frame()).unwrap();
+        // Drop without reading the ack or closing politely.
+        drop(conn);
+    }
+    // Server still answers.
+    let mut c = dep.lrc_client(0).unwrap();
+    c.ping().unwrap();
+    c.create_mapping("lfn://healthy", "pfn://h").unwrap();
+    assert_eq!(c.query_lfn("lfn://healthy").unwrap().len(), 1);
+}
+
+#[test]
+fn half_written_frame_then_close_is_tolerated() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    {
+        // Raw TCP: announce a large frame, send half of it, vanish.
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(dep.lrcs[0].addr()).unwrap();
+        stream.write_all(&1024u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 100]).unwrap();
+        drop(stream);
+    }
+    let mut c = dep.lrc_client(0).unwrap();
+    c.ping().unwrap();
+}
+
+#[test]
+fn oversized_frame_is_refused() {
+    use rls::core::{LrcConfig, Server, ServerConfig};
+    // A server with a small frame cap refuses a larger request.
+    let server = Server::start(ServerConfig {
+        lrc: Some(LrcConfig::default()),
+        max_frame: 1024,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut conn = connect(server.addr(), LinkProfile::unshaped(), None).unwrap();
+    conn.request(&hello_frame()).unwrap();
+    // 4 KiB of Ping padding — decode would fail anyway, but the frame
+    // layer must refuse before allocating.
+    let big = vec![0u8; 4096];
+    conn.send(&big).unwrap();
+    // The server drops the connection (frame over cap): either we get a
+    // clean EOF or an error, never a hang.
+    match conn.recv() {
+        Ok(None) | Err(_) => {}
+        Ok(Some(body)) => {
+            // Acceptable alternative: an error response before close.
+            assert!(matches!(Response::decode(&body), Ok(Response::Error(_))));
+        }
+    }
+    // And the server remains healthy for new connections.
+    let mut c = rls::core::RlsClient::connect(server.addr(), &Dn::anonymous()).unwrap();
+    c.ping().unwrap();
+}
