@@ -89,5 +89,24 @@ fn main() {
             format!("{:.0}", d.mean_rate()),
         ]);
     }
+    // Server-side view of the same load: per-operation latency quantiles
+    // from the stats RPC (the client-side rates above are the paper's
+    // Fig. 6 series; these are the matching server-side distributions).
+    let mut c = rls_core::RlsClient::connect(server.addr(), &rls_types::Dn::anonymous())
+        .expect("stats client");
+    let stats = c.stats().expect("stats");
+    println!("\n    server-side op latencies (us):");
+    for (name, h) in &stats.op_latencies {
+        let shown = matches!(name.as_str(), "op.query_lfn" | "op.create" | "op.delete");
+        if shown && !h.is_empty() {
+            println!(
+                "      {name:<16} count={:<8} p50={:<6} p99={:<6} max={}",
+                h.count,
+                h.p50(),
+                h.p99(),
+                h.max_micros
+            );
+        }
+    }
     println!("\n    expected shape: query > add > delete; modest decline toward 100 threads");
 }

@@ -172,6 +172,9 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Per-frame size cap.
     pub max_frame: usize,
+    /// Log any operation slower than this to stderr (`slow_op_threshold_ms`
+    /// in the config file); `None` disables the slow-op log.
+    pub slow_op_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -185,6 +188,7 @@ impl Default for ServerConfig {
             auth: AuthConfig::default(),
             max_connections: 512,
             max_frame: rls_proto::DEFAULT_MAX_FRAME,
+            slow_op_threshold: None,
         }
     }
 }

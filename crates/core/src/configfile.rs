@@ -32,6 +32,9 @@
 //! rli_expire_int    60
 //! rli_expire_stale  1800
 //!
+//! # observability
+//! slow_op_threshold_ms 250        # 0 disables the slow-op log
+//!
 //! # security
 //! acl_enabled       true
 //! gridmap           "/O=Grid/OU=ISI/CN=Ann Chervenak" ann
@@ -131,6 +134,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut bloom_hashes = 3u32;
     let mut rli_expire_int = Duration::from_secs(60);
     let mut rli_expire_stale = Duration::from_secs(1800);
+    let mut slow_op_threshold: Option<Duration> = None;
     let mut acl_enabled = false;
     let mut gridmap: HashMap<String, String> = HashMap::new();
     let mut acl: Vec<AclEntry> = Vec::new();
@@ -232,6 +236,16 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             }
             "rli_expire_int" => rli_expire_int = parse_secs(key, one()?)?,
             "rli_expire_stale" => rli_expire_stale = parse_secs(key, one()?)?,
+            "slow_op_threshold_ms" => {
+                let ms: u64 = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected milliseconds, got {:?}",
+                        lineno + 1,
+                        args.first().map(String::as_str).unwrap_or("")
+                    ))
+                })?;
+                slow_op_threshold = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "acl_enabled" => acl_enabled = parse_bool(key, one()?)?,
             "gridmap" => {
                 if args.len() != 2 {
@@ -350,6 +364,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             gridmap,
             acl,
         },
+        slow_op_threshold,
         ..ServerConfig::default()
     };
     Ok(ParsedConfig {
@@ -451,6 +466,19 @@ acl          user:ann admin
         assert!(parse_config("lrc_server true\nupdate_mode warp").is_err());
         assert!(parse_config("lrc_server true\nupdate_rli x bad[pattern").is_err());
         assert!(parse_config("lrc_server true\ngridmap \"unterminated x").is_err());
+    }
+
+    #[test]
+    fn slow_op_threshold_parses() {
+        let p = parse_config("lrc_server true\nslow_op_threshold_ms 250").unwrap();
+        assert_eq!(
+            p.server.slow_op_threshold,
+            Some(Duration::from_millis(250))
+        );
+        // 0 disables the slow-op log.
+        let p = parse_config("lrc_server true\nslow_op_threshold_ms 0").unwrap();
+        assert_eq!(p.server.slow_op_threshold, None);
+        assert!(parse_config("lrc_server true\nslow_op_threshold_ms fast").is_err());
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Request dispatch: authorization, role routing, and execution.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use rls_metrics::Registry;
+use rls_net::ConnMeter;
 use rls_proto::{Request, Response, RliHit, RliTargetWire, ServerStatsWire};
 use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
 
@@ -21,6 +24,15 @@ pub struct ServerState {
     pub rli: Option<Arc<RliService>>,
     /// ACL evaluator.
     pub authorizer: Authorizer,
+    /// Server-level metrics: one `op.*` latency histogram per request
+    /// variant, recorded by [`handle_request`].
+    pub metrics: Arc<Registry>,
+    /// Transport meter shared with every accepted connection (`net.*`
+    /// counters in the stats report).
+    pub net: Arc<ConnMeter>,
+    /// Operations slower than this are logged to stderr; `None` disables
+    /// the slow-op log (`slow_op_threshold_ms` in the config file).
+    pub slow_op_threshold: Option<Duration>,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -46,13 +58,22 @@ impl ServerState {
         })
     }
 
-    /// Assembles the stats snapshot.
+    /// Assembles the stats snapshot: the fixed compatibility counters plus
+    /// every histogram and labeled counter from the server, LRC, and RLI
+    /// registries, engine counters from each role's database, and the
+    /// transport meter.
     pub fn stats(&self) -> ServerStatsWire {
         let mut s = ServerStatsWire {
             is_lrc: self.lrc.is_some(),
             is_rli: self.rli.is_some(),
             ..Default::default()
         };
+        let mut hists = self.metrics.histogram_snapshot();
+        let mut counters = self.metrics.counter_snapshot();
+        counters.push(("net.bytes_in".into(), self.net.bytes_in()));
+        counters.push(("net.bytes_out".into(), self.net.bytes_out()));
+        counters.push(("net.frames_in".into(), self.net.frames_in()));
+        counters.push(("net.frames_out".into(), self.net.frames_out()));
         if let Some(lrc) = &self.lrc {
             let db = lrc.db.read();
             s.lrc_lfn_count = db.lfn_count();
@@ -61,6 +82,18 @@ impl ServerState {
             s.adds = st.adds;
             s.deletes = st.deletes;
             s.queries += st.queries + st.wildcard_queries;
+            push_engine_counters(&mut counters, "lrc", db.engine().stats());
+            drop(db);
+            hists.extend(lrc.metrics().histogram_snapshot());
+            counters.extend(lrc.metrics().counter_snapshot());
+            counters.push((
+                "softstate.pending_deltas".into(),
+                lrc.pending_deltas() as u64,
+            ));
+            counters.push((
+                "softstate.bloom_regenerations".into(),
+                lrc.bloom_regenerations(),
+            ));
         }
         if let Some(rli) = &self.rli {
             s.rli_association_count = rli.association_count();
@@ -68,22 +101,72 @@ impl ServerState {
             s.queries += rli.queries_served();
             s.updates_received = rli.updates_received();
             s.expired = rli.expired_total();
+            push_engine_counters(&mut counters, "rli", rli.db.read().engine().stats());
+            hists.extend(rli.metrics().histogram_snapshot());
+            counters.extend(rli.metrics().counter_snapshot());
         }
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        s.op_latencies = hists;
+        s.counters = counters;
         s
     }
 }
 
+fn push_engine_counters(
+    out: &mut Vec<(String, u64)>,
+    role: &str,
+    st: rls_storage::stats::EngineStats,
+) {
+    for (name, v) in [
+        ("inserts", st.inserts),
+        ("deletes", st.deletes),
+        ("updates", st.updates),
+        ("commits", st.commits),
+        ("commit_micros", st.commit_micros),
+        ("vacuums", st.vacuums),
+        ("vacuum_micros", st.vacuum_micros),
+        ("tuples_reclaimed", st.tuples_reclaimed),
+    ] {
+        out.push((format!("{role}.engine.{name}"), v));
+    }
+}
+
 /// Runs one request to completion, producing the response frame.
+///
+/// Service time (authorization + execution, excluding transport) is
+/// recorded under the request's [`Request::op_name`] histogram; requests
+/// over the configured slow-op threshold are additionally logged to
+/// stderr with their outcome.
 pub fn handle_request(state: &ServerState, identity: &Identity, req: Request) -> Response {
-    if let Some(privilege) = required_privilege(&req) {
-        if let Err(e) = state.authorizer.check(identity, privilege) {
-            return Response::Error(e);
+    let op = req.op_name();
+    let t0 = Instant::now();
+    let resp = {
+        let denied = required_privilege(&req)
+            .and_then(|privilege| state.authorizer.check(identity, privilege).err());
+        match denied {
+            Some(e) => Response::Error(e),
+            None => match execute(state, req) {
+                Ok(resp) => resp,
+                Err(e) => Response::Error(e),
+            },
+        }
+    };
+    let elapsed = t0.elapsed();
+    state.metrics.histogram(op).record(elapsed);
+    if let Some(threshold) = state.slow_op_threshold {
+        if elapsed >= threshold {
+            let outcome = match &resp {
+                Response::Error(e) => format!("error: {:?}", e.code()),
+                _ => "ok".to_string(),
+            };
+            eprintln!(
+                "rls[{}]: slow op {op} took {elapsed:?} (threshold {threshold:?}, {outcome})",
+                state.name
+            );
         }
     }
-    match execute(state, req) {
-        Ok(resp) => resp,
-        Err(e) => Response::Error(e),
-    }
+    resp
 }
 
 fn bulk<T>(items: Vec<T>, mut f: impl FnMut(&T) -> RlsResult<()>) -> Response {
@@ -134,13 +217,21 @@ fn execute(state: &ServerState, req: Request) -> RlsResult<Response> {
         QueryLfn(lfn) => {
             let lrc = state.lrc()?;
             lrc.count_query();
+            let t0 = Instant::now();
             let targets = lrc.db.read().query_lfn(&lfn)?;
+            lrc.metrics()
+                .histogram("storage.query_lfn")
+                .record(t0.elapsed());
             Response::Targets(targets.iter().map(|t| t.to_string()).collect())
         }
         QueryPfn(pfn) => {
             let lrc = state.lrc()?;
             lrc.count_query();
+            let t0 = Instant::now();
             let logicals = lrc.db.read().query_pfn(&pfn)?;
+            lrc.metrics()
+                .histogram("storage.query_pfn")
+                .record(t0.elapsed());
             Response::Logicals(logicals.iter().map(|l| l.to_string()).collect())
         }
         BulkQueryLfn(names) => {
@@ -374,6 +465,9 @@ mod tests {
             lrc: Some(Arc::new(LrcService::new(LrcConfig::default()).unwrap())),
             rli: Some(Arc::new(RliService::new(RliConfig::default()).unwrap())),
             authorizer: Authorizer::new(AuthConfig::default()),
+            metrics: Arc::new(Registry::new()),
+            net: Arc::new(ConnMeter::new()),
+            slow_op_threshold: None,
         }
     }
 
@@ -501,6 +595,60 @@ mod tests {
         assert_eq!(s.lrc_mapping_count, 1);
         assert_eq!(s.adds, 1);
         assert_eq!(s.queries, 1);
+    }
+
+    #[test]
+    fn stats_carry_op_histograms_and_counters() {
+        let st = state();
+        let id = anon();
+        handle_request(&st, &id, Request::Create(m("lfn://a", "pfn://1")));
+        handle_request(&st, &id, Request::QueryLfn("lfn://a".into()));
+        handle_request(&st, &id, Request::QueryLfn("lfn://a".into()));
+        let Response::StatsReport(s) = handle_request(&st, &id, Request::Stats) else {
+            panic!("expected stats");
+        };
+        let hist = |name: &str| {
+            s.op_latencies
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+                .1
+        };
+        assert_eq!(hist("op.create").count, 1);
+        assert_eq!(hist("op.query_lfn").count, 2);
+        assert_eq!(hist("storage.query_lfn").count, 2);
+        let counter = |name: &str| {
+            s.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert!(counter("lrc.engine.inserts") >= 1);
+        // Default update mode journals nothing, but the gauge is reported.
+        assert_eq!(counter("softstate.pending_deltas"), 0);
+        // Names arrive sorted so the CLI report is stable.
+        let names: Vec<&str> = s.op_latencies.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn op_histograms_record_errors_too() {
+        let st = ServerState {
+            rli: None,
+            ..state()
+        };
+        let resp = handle_request(&st, &anon(), Request::RliQueryLfn("lfn://a".into()));
+        assert!(matches!(resp, Response::Error(_)));
+        let s = st.stats();
+        let (_, h) = s
+            .op_latencies
+            .iter()
+            .find(|(n, _)| n == "op.rli_query_lfn")
+            .expect("failed ops still timed");
+        assert_eq!(h.count, 1);
     }
 
     #[test]

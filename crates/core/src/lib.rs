@@ -29,6 +29,7 @@ pub mod hierarchy;
 pub mod locator;
 pub mod lrc;
 pub mod membership;
+pub mod report;
 pub mod rli;
 pub mod server;
 pub mod softstate;
@@ -41,6 +42,7 @@ pub use dispatch::ServerState;
 pub use locator::{Located, LrcDirectory, ReplicaLocator, StaticDirectory};
 pub use lrc::LrcService;
 pub use membership::{Member, MemberRole, MembershipConfig, UpdateEdge};
+pub use report::format_stats_report;
 pub use rli::RliService;
 pub use server::{Server, SERVER_VERSION};
 pub use softstate::{UpdateKind, UpdateOutcome, Updater, FLAG_BLOOM};

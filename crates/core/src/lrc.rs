@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::{Mutex, RwLock};
 
 use rls_bloom::{BloomFilter, BloomParams, CountingBloomFilter};
+use rls_metrics::Registry;
 use rls_storage::{LrcDatabase, MappingChange};
 use rls_types::{Mapping, RlsResult};
 
@@ -53,6 +54,9 @@ pub struct LrcService {
     /// Times the filter had to be regenerated from the catalog.
     bloom_regenerations: AtomicU64,
     queries: AtomicU64,
+    /// Role-level metrics: `storage.*` mutation/query latencies plus the
+    /// `softstate.*` series recorded by the updater.
+    metrics: Registry,
 }
 
 impl std::fmt::Debug for LrcService {
@@ -93,12 +97,18 @@ impl LrcService {
             bloom_params,
             bloom_regenerations: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            metrics: Registry::new(),
         })
     }
 
     /// The role configuration.
     pub fn config(&self) -> &LrcConfig {
         &self.config
+    }
+
+    /// The LRC's metrics registry, merged into the server's stats report.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Counts a served query (wildcard and point) for the stats RPC.
@@ -135,22 +145,28 @@ impl LrcService {
 
     /// `create` through the service (journals the change).
     pub fn create_mapping(&self, m: &Mapping) -> RlsResult<MappingChange> {
+        let t0 = std::time::Instant::now();
         let change = self.db.write().create_mapping(m)?;
         self.note_change(m, change);
+        self.metrics.histogram("storage.create").record(t0.elapsed());
         Ok(change)
     }
 
     /// `add` through the service.
     pub fn add_mapping(&self, m: &Mapping) -> RlsResult<MappingChange> {
+        let t0 = std::time::Instant::now();
         let change = self.db.write().add_mapping(m)?;
         self.note_change(m, change);
+        self.metrics.histogram("storage.add").record(t0.elapsed());
         Ok(change)
     }
 
     /// `delete` through the service.
     pub fn delete_mapping(&self, m: &Mapping) -> RlsResult<MappingChange> {
+        let t0 = std::time::Instant::now();
         let change = self.db.write().delete_mapping(m)?;
         self.note_change(m, change);
+        self.metrics.histogram("storage.delete").record(t0.elapsed());
         Ok(change)
     }
 

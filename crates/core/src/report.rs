@@ -1,0 +1,161 @@
+//! Human-readable rendering of server statistics.
+//!
+//! Turns a [`ServerStatsWire`] snapshot (opcode 50) into the operator
+//! report printed by `rls-cli stats`: catalog sizes, per-operation latency
+//! quantiles (the live counterpart of the paper's Figures 4–6), soft-state
+//! and storage histograms, and the labeled counter list.
+
+use rls_metrics::HistogramSnapshot;
+use rls_proto::ServerStatsWire;
+
+/// Renders one latency value; the saturating bucket's upper bound is
+/// `u64::MAX`, which we print as an open interval rather than the number.
+fn fmt_micros(v: u64) -> String {
+    if v == u64::MAX {
+        ">=2^30".to_owned()
+    } else {
+        v.to_string()
+    }
+}
+
+fn histogram_row(name: &str, h: &HistogramSnapshot) -> String {
+    format!(
+        "  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        name,
+        h.count,
+        // Saturating cast: a mean pinned at u64::MAX renders as the
+        // open interval like the quantiles do.
+        fmt_micros(h.mean_micros() as u64),
+        fmt_micros(h.p50()),
+        fmt_micros(h.p90()),
+        fmt_micros(h.p99()),
+        fmt_micros(h.max_micros),
+    )
+}
+
+fn histogram_header(title: &str) -> String {
+    format!(
+        "{title}\n  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "name", "count", "mean", "p50", "p90", "p99", "max"
+    )
+}
+
+/// Formats a stats snapshot as a multi-line operator report.
+///
+/// Sections with no data are omitted, so a freshly started server prints
+/// only the role/catalog summary.
+pub fn format_stats_report(stats: &ServerStatsWire) -> String {
+    let mut out = String::new();
+    let roles = match (stats.is_lrc, stats.is_rli) {
+        (true, true) => "LRC+RLI",
+        (true, false) => "LRC",
+        (false, true) => "RLI",
+        (false, false) => "none",
+    };
+    out.push_str(&format!("roles: {roles}\n"));
+    if stats.is_lrc {
+        out.push_str(&format!(
+            "lrc: {} lfns, {} mappings\n",
+            stats.lrc_lfn_count, stats.lrc_mapping_count
+        ));
+    }
+    if stats.is_rli {
+        out.push_str(&format!(
+            "rli: {} associations, {} bloom filters\n",
+            stats.rli_association_count, stats.rli_bloom_filters
+        ));
+    }
+    out.push_str(&format!(
+        "totals: adds={} deletes={} queries={} updates_received={} expired={}\n",
+        stats.adds, stats.deletes, stats.queries, stats.updates_received, stats.expired
+    ));
+
+    let (ops, other): (Vec<_>, Vec<_>) = stats
+        .op_latencies
+        .iter()
+        .filter(|(_, h)| !h.is_empty())
+        .partition(|(name, _)| name.starts_with("op."));
+    if !ops.is_empty() {
+        out.push('\n');
+        out.push_str(&histogram_header("operation latencies (us):"));
+        for (name, h) in &ops {
+            out.push_str(&histogram_row(name, h));
+        }
+    }
+    if !other.is_empty() {
+        out.push('\n');
+        out.push_str(&histogram_header("internal latencies (us):"));
+        for (name, h) in &other {
+            out.push_str(&histogram_row(name, h));
+        }
+    }
+    if !stats.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        for (name, v) in &stats.counters {
+            out.push_str(&format!("  {name:<40} {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_metrics::LatencyHistogram;
+
+    fn snap(samples: &[u64]) -> HistogramSnapshot {
+        let h = LatencyHistogram::new();
+        for &s in samples {
+            h.record_micros(s);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn report_includes_quantiles_and_counters() {
+        let stats = ServerStatsWire {
+            is_lrc: true,
+            is_rli: false,
+            lrc_lfn_count: 10,
+            lrc_mapping_count: 20,
+            adds: 3,
+            op_latencies: vec![
+                ("op.create".into(), snap(&[5, 7, 900])),
+                ("storage.query_lfn".into(), snap(&[2])),
+                ("op.never_called".into(), HistogramSnapshot::default()),
+            ],
+            counters: vec![("lrc.engine.inserts".into(), 42)],
+            ..ServerStatsWire::default()
+        };
+        let report = format_stats_report(&stats);
+        assert!(report.contains("roles: LRC"));
+        assert!(report.contains("lrc: 10 lfns, 20 mappings"));
+        assert!(report.contains("operation latencies"));
+        assert!(report.contains("op.create"));
+        assert!(report.contains("internal latencies"));
+        assert!(report.contains("storage.query_lfn"));
+        assert!(report.contains("lrc.engine.inserts"));
+        // Empty histograms are suppressed.
+        assert!(!report.contains("op.never_called"));
+        // p50 of [5, 7, 900] falls in the [4,7] bucket → 7.
+        assert!(report.lines().any(|l| l.contains("op.create") && l.contains(" 7 ")));
+    }
+
+    #[test]
+    fn empty_snapshot_is_compact() {
+        let report = format_stats_report(&ServerStatsWire::default());
+        assert!(report.contains("roles: none"));
+        assert!(!report.contains("latencies"));
+        assert!(!report.contains("counters:"));
+    }
+
+    #[test]
+    fn saturated_max_prints_open_interval() {
+        let stats = ServerStatsWire {
+            op_latencies: vec![("op.slow".into(), snap(&[u64::MAX]))],
+            ..ServerStatsWire::default()
+        };
+        let report = format_stats_report(&stats);
+        assert!(report.contains(">=2^30"));
+    }
+}

@@ -16,6 +16,7 @@ use std::time::Duration;
 use parking_lot::RwLock;
 
 use rls_bloom::BloomFilter;
+use rls_metrics::Registry;
 use rls_storage::{RliDatabase, RliQueryHit};
 use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
 
@@ -38,6 +39,9 @@ pub struct RliService {
     updates_received: AtomicU64,
     queries: AtomicU64,
     expired_total: AtomicU64,
+    /// Role-level metrics: `rli.apply_*` durations, expire sweeps, and the
+    /// state of the most recently received Bloom filter.
+    metrics: Registry,
 }
 
 impl std::fmt::Debug for RliService {
@@ -60,6 +64,7 @@ impl RliService {
             updates_received: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             expired_total: AtomicU64::new(0),
+            metrics: Registry::new(),
         })
     }
 
@@ -68,12 +73,23 @@ impl RliService {
         &self.config
     }
 
+    /// The RLI's metrics registry, merged into the server's stats report.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
     /// Applies one chunk of an uncompressed full update.
     pub fn apply_full_chunk(&self, lrc: &str, lfns: &[String], at: Timestamp) -> RlsResult<u64> {
         self.updates_received.fetch_add(1, Ordering::Relaxed);
-        self.db
+        let t0 = std::time::Instant::now();
+        let n = self
+            .db
             .write()
-            .upsert_batch(lrc, lfns.iter().map(|s| s.as_str()), at)
+            .upsert_batch(lrc, lfns.iter().map(|s| s.as_str()), at)?;
+        self.metrics
+            .histogram("rli.apply_full")
+            .record(t0.elapsed());
+        Ok(n)
     }
 
     /// Applies an incremental (immediate-mode) update.
@@ -85,17 +101,34 @@ impl RliService {
         at: Timestamp,
     ) -> RlsResult<()> {
         self.updates_received.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
         let mut db = self.db.write();
         db.upsert_batch(lrc, added.iter().map(|s| s.as_str()), at)?;
         for lfn in removed {
             db.remove(lfn, lrc)?;
         }
+        drop(db);
+        self.metrics
+            .histogram("rli.apply_delta")
+            .record(t0.elapsed());
         Ok(())
     }
 
     /// Stores (replaces) the Bloom filter for an LRC.
     pub fn apply_bloom(&self, lrc: &str, filter: BloomFilter, at: Timestamp) {
         self.updates_received.fetch_add(1, Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        // Gauges describe the most recently received filter — enough to spot
+        // an over-full (high false-positive) sender at a glance.
+        self.metrics
+            .counter("rli.bloom_bits_set")
+            .set(filter.set_bits());
+        self.metrics
+            .counter("rli.bloom_bits_total")
+            .set(filter.bit_len());
+        self.metrics
+            .counter("rli.bloom_fpp_ppm")
+            .set((filter.estimated_fpp() * 1_000_000.0) as u64);
         self.blooms.write().insert(
             lrc.to_owned(),
             StoredBloom {
@@ -103,6 +136,9 @@ impl RliService {
                 received_at: at,
             },
         );
+        self.metrics
+            .histogram("rli.apply_bloom")
+            .record(t0.elapsed());
     }
 
     /// Queries all stores for a logical name. Hits from Bloom filters carry
@@ -204,24 +240,23 @@ impl RliService {
 
     /// One expire pass over both stores (the paper's expire thread body).
     pub fn expire(&self, now: Timestamp) -> RlsResult<u64> {
-        let timeout = self.config.expire_timeout;
-        let mut n = self.db.write().expire(now, timeout)?;
-        let mut blooms = self.blooms.write();
-        let before = blooms.len() as u64;
-        blooms.retain(|_, stored| !stored.received_at.is_expired(now, timeout));
-        n += before - blooms.len() as u64;
-        self.expired_total.fetch_add(n, Ordering::Relaxed);
-        Ok(n)
+        self.expire_with_timeout(now, self.config.expire_timeout)
     }
 
     /// Expire pass with an explicit timeout (tests and benches).
     pub fn expire_with_timeout(&self, now: Timestamp, timeout: Duration) -> RlsResult<u64> {
+        let t0 = std::time::Instant::now();
         let mut n = self.db.write().expire(now, timeout)?;
         let mut blooms = self.blooms.write();
         let before = blooms.len() as u64;
         blooms.retain(|_, stored| !stored.received_at.is_expired(now, timeout));
         n += before - blooms.len() as u64;
+        drop(blooms);
         self.expired_total.fetch_add(n, Ordering::Relaxed);
+        self.metrics
+            .histogram("rli.expire_sweep")
+            .record(t0.elapsed());
+        self.metrics.counter("rli.expired_last_sweep").set(n);
         Ok(n)
     }
 }
@@ -319,6 +354,39 @@ mod tests {
         assert!(s.query("lfn://b").is_err());
         assert_eq!(s.query("lfn://c").unwrap().len(), 1);
         assert_eq!(s.expired_total(), 2);
+    }
+
+    #[test]
+    fn apply_and_expire_record_metrics() {
+        let s = svc();
+        s.apply_full_chunk("lrc-db", &["lfn://a".to_owned()], ts(100))
+            .unwrap();
+        s.apply_bloom("lrc-bloom", bloom_of(&["lfn://b"]), ts(100));
+        s.expire_with_timeout(ts(200), Duration::from_secs(30))
+            .unwrap();
+        let hists = s.metrics().histogram_snapshot();
+        let count = |name: &str| {
+            hists
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+                .count
+        };
+        assert_eq!(count("rli.apply_full"), 1);
+        assert_eq!(count("rli.apply_bloom"), 1);
+        assert_eq!(count("rli.expire_sweep"), 1);
+        let counters = s.metrics().counter_snapshot();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert!(get("rli.bloom_bits_set") > 0);
+        assert!(get("rli.bloom_bits_total") >= get("rli.bloom_bits_set"));
+        assert_eq!(get("rli.expired_last_sweep"), 2);
     }
 
     #[test]

@@ -74,6 +74,9 @@ impl Server {
             lrc,
             rli,
             authorizer: Authorizer::new(config.auth.clone()),
+            metrics: Arc::new(rls_metrics::Registry::new()),
+            net: Arc::new(rls_net::ConnMeter::new()),
+            slow_op_threshold: config.slow_op_threshold,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let active_conns = Arc::new(AtomicUsize::new(0));
@@ -281,6 +284,8 @@ fn serve_connection(
     state: &ServerState,
     shutdown: &AtomicBool,
 ) -> RlsResult<()> {
+    // Account wire traffic for this connection on the server-wide meter.
+    conn.set_meter(Arc::clone(&state.net));
     // Handshake: first frame must be Hello.
     let Some(first) = conn.recv()? else {
         return Ok(());

@@ -134,6 +134,26 @@ impl Updater {
         patterns.is_empty() || patterns.iter().any(|re| re.is_match(lfn))
     }
 
+    /// Records one delivered update into the LRC's metrics registry
+    /// (`softstate.*` series — the measurement surface behind Table 3 and
+    /// Figures 11–13).
+    fn record_outcome(&self, out: &UpdateOutcome) {
+        let m = self.lrc.metrics();
+        let hist = match out.kind {
+            UpdateKind::Full => "softstate.full_update",
+            UpdateKind::Delta => "softstate.delta_update",
+            UpdateKind::Bloom => "softstate.bloom_update",
+        };
+        m.histogram(hist).record(out.duration);
+        m.counter("softstate.updates_sent").inc();
+        m.counter("softstate.names_sent").add(out.names);
+        m.counter("softstate.bytes_sent").add(out.bytes);
+        if out.generate_seconds > 0.0 {
+            m.histogram("softstate.bloom_generate")
+                .record_micros((out.generate_seconds * 1_000_000.0) as u64);
+        }
+    }
+
     /// Sends an uncompressed full update to one RLI.
     pub fn send_full(&mut self, target: &RliTarget) -> RlsResult<UpdateOutcome> {
         let patterns = Self::compile_partitions(target)?;
@@ -178,14 +198,16 @@ impl Updater {
             self.drop_conn(&target.name);
             return Err(e);
         }
-        Ok(UpdateOutcome {
+        let out = UpdateOutcome {
             target: target.name.clone(),
             kind: UpdateKind::Full,
             duration: t0.elapsed(),
             generate_seconds: 0.0,
             names,
             bytes,
-        })
+        };
+        self.record_outcome(&out);
+        Ok(out)
     }
 
     /// Sends a Bloom update to one RLI.
@@ -193,6 +215,13 @@ impl Updater {
         let (filter, generate_seconds) = self.lrc.bloom_snapshot();
         let names = filter.entries();
         let bytes = filter.byte_len() as u64;
+        // Gauge the outgoing filter: fill level and the paper's §3.4
+        // false-positive estimate (fill_ratio^k), in parts-per-million.
+        let m = self.lrc.metrics();
+        m.counter("softstate.bloom_bits_set").set(filter.set_bits());
+        m.counter("softstate.bloom_bits_total").set(filter.bit_len());
+        m.counter("softstate.bloom_fpp_ppm")
+            .set((filter.estimated_fpp() * 1_000_000.0) as u64);
         let lrc_name = self.lrc_name.clone();
         let t0 = Instant::now();
         let result = self
@@ -202,14 +231,16 @@ impl Updater {
             self.drop_conn(&target.name);
             return Err(e);
         }
-        Ok(UpdateOutcome {
+        let out = UpdateOutcome {
             target: target.name.clone(),
             kind: UpdateKind::Bloom,
             duration: t0.elapsed(),
             generate_seconds,
             names,
             bytes,
-        })
+        };
+        self.record_outcome(&out);
+        Ok(out)
     }
 
     /// Flushes the delta journal to every non-Bloom RLI on the update list.
@@ -258,14 +289,16 @@ impl Updater {
             match result {
                 Ok(()) => {
                     delivered_any = true;
-                    outcomes.push(UpdateOutcome {
+                    let out = UpdateOutcome {
                         target: target.name.clone(),
                         kind: UpdateKind::Delta,
                         duration: t0.elapsed(),
                         generate_seconds: 0.0,
                         names,
                         bytes,
-                    });
+                    };
+                    self.record_outcome(&out);
+                    outcomes.push(out);
                 }
                 Err(_) => self.drop_conn(&target.name),
             }

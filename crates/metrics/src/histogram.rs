@@ -1,0 +1,375 @@
+//! Log2-bucketed latency histogram with atomic recording.
+//!
+//! The histogram covers microsecond latencies with [`BUCKET_COUNT`] (32)
+//! power-of-two buckets: bucket 0 holds zero-duration samples, bucket `i`
+//! (for `1 <= i <= 30`) holds samples in `[2^(i-1), 2^i - 1]` µs, and the
+//! last bucket saturates — it absorbs everything at or above 2^30 µs
+//! (~18 minutes), so no sample is ever dropped. Quantiles are read from a
+//! [`HistogramSnapshot`] by walking the cumulative bucket counts and
+//! reporting the matching bucket's upper bound, clamped to the observed
+//! maximum; the error is therefore bounded by the bucket width (a factor
+//! of two), which is plenty for the paper's figures where the interesting
+//! differences are 2–10×.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets in a [`LatencyHistogram`].
+pub const BUCKET_COUNT: usize = 32;
+
+/// Index of the saturating last bucket.
+const LAST: usize = BUCKET_COUNT - 1;
+
+/// Bucket index for a sample of `micros` microseconds.
+///
+/// Zero maps to bucket 0; otherwise the index is the bit length of the
+/// value (`64 - leading_zeros`), clamped to the saturating last bucket.
+fn bucket_index(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        ((64 - micros.leading_zeros()) as usize).min(LAST)
+    }
+}
+
+/// Inclusive upper bound, in microseconds, of bucket `index`.
+///
+/// The saturating last bucket has no finite upper bound and reports
+/// `u64::MAX`; quantile extraction clamps it to the observed maximum.
+pub fn bucket_upper_micros(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= LAST => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-size log2 latency histogram, safe to record into from many
+/// threads without locking.
+///
+/// Recording is three relaxed atomic adds and an atomic max; reading is
+/// done through [`LatencyHistogram::snapshot`], which copies the counters
+/// into an immutable [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one sample expressed in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Copy the current counters into an immutable snapshot.
+    ///
+    /// Snapshots taken while other threads record are internally
+    /// consistent enough for reporting (counts may trail the sum by a few
+    /// in-flight samples) — the server only snapshots on `stats` RPCs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`]'s counters.
+///
+/// This is the form that travels on the wire (see `rls-proto`) and that
+/// quantiles are extracted from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; bucket `i` covers `[2^(i-1), 2^i - 1]` µs
+    /// (bucket 0 holds zero-duration samples, the last bucket saturates).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples, in microseconds (wraps on overflow,
+    /// which at 2^64 µs is ~585 millennia of cumulative latency).
+    pub sum_micros: u64,
+    /// Largest recorded sample, in microseconds.
+    pub max_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value in microseconds, or 0.0 for an empty histogram.
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) in
+    /// microseconds.
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// requested rank and returns that bucket's inclusive upper bound,
+    /// clamped to the observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_upper_micros(i).min(self.max_micros);
+            }
+        }
+        // Unreachable when count matches the buckets, but a torn
+        // concurrent snapshot could get here: fall back to the maximum.
+        self.max_micros
+    }
+
+    /// Median (p50) estimate in microseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate in microseconds.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate in microseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another snapshot into this one (bucket-wise sum, saturating).
+    ///
+    /// Used to aggregate per-role registries into one server-wide report.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(1 << 30), LAST);
+        assert_eq!(bucket_index(u64::MAX), LAST);
+    }
+
+    #[test]
+    fn upper_bounds_cover_indexes() {
+        assert_eq!(bucket_upper_micros(0), 0);
+        assert_eq!(bucket_upper_micros(1), 1);
+        assert_eq!(bucket_upper_micros(10), 1023);
+        assert_eq!(bucket_upper_micros(LAST), u64::MAX);
+        // Every non-saturating bucket's upper bound maps back to it.
+        for i in 1..LAST {
+            assert_eq!(bucket_index(bucket_upper_micros(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn zero_samples() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max_micros, 0);
+        assert_eq!(s.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let h = LatencyHistogram::new();
+        h.record_micros(100);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum_micros, 100);
+        assert_eq!(s.max_micros, 100);
+        // All quantiles clamp to the single observed value.
+        assert_eq!(s.p50(), 100);
+        assert_eq!(s.p90(), 100);
+        assert_eq!(s.p99(), 100);
+        assert_eq!(s.quantile(0.0), 100);
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn zero_duration_samples_land_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record_micros(0);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn saturating_bucket_absorbs_overflow() {
+        let h = LatencyHistogram::new();
+        h.record_micros(u64::MAX);
+        h.record_micros(1 << 30);
+        h.record_micros((1 << 30) - 1); // largest value below the last bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets[LAST], 2);
+        assert_eq!(s.buckets[LAST - 1], 1);
+        assert_eq!(s.max_micros, u64::MAX);
+        // The saturating bucket reports the observed maximum, not u64::MAX
+        // masquerading as a finite bound.
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        // rank(1/3) = 1 → the one sample below the saturating bucket.
+        assert_eq!(s.quantile(1.0 / 3.0), (1 << 30) - 1);
+        // rank(0.5) = 2 → already inside the saturating bucket.
+        assert_eq!(s.p50(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_at_bucket_boundaries() {
+        let h = LatencyHistogram::new();
+        h.record_micros(1); // bucket 1, upper bound 1
+        h.record_micros(1000); // bucket 10, upper bound 1023
+        let s = h.snapshot();
+        // rank(0.5) = ceil(1.0) = 1 → first bucket with mass.
+        assert_eq!(s.p50(), 1);
+        // rank(0.9) = ceil(1.8) = 2 → second sample's bucket, clamped to
+        // the observed max (1000 < 1023).
+        assert_eq!(s.p90(), 1000);
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_rank_walks_cumulative_counts() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_micros(10); // bucket 4, upper 15
+        }
+        for _ in 0..10 {
+            h.record_micros(5000); // bucket 13, upper 8191
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50(), 15);
+        assert_eq!(s.p90(), 15); // rank 90 is the last fast sample
+        assert_eq!(s.p99(), 5000); // rank 99 lands in the slow bucket
+        assert_eq!(s.max_micros, 5000);
+    }
+
+    #[test]
+    fn merge_of_two_snapshots() {
+        let a = LatencyHistogram::new();
+        a.record_micros(10);
+        a.record_micros(20);
+        let b = LatencyHistogram::new();
+        b.record_micros(4000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum_micros, 4030);
+        assert_eq!(merged.max_micros, 4000);
+        assert_eq!(merged.quantile(1.0), 4000);
+        // Merging an empty snapshot is the identity.
+        let before = merged;
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
+        // Merge saturates rather than wrapping.
+        let mut big = HistogramSnapshot {
+            sum_micros: u64::MAX - 1,
+            ..HistogramSnapshot::default()
+        };
+        big.merge(&merged);
+        assert_eq!(big.sum_micros, u64::MAX);
+    }
+
+    #[test]
+    fn mean_is_sum_over_count() {
+        let h = LatencyHistogram::new();
+        h.record_micros(100);
+        h.record_micros(300);
+        assert_eq!(h.snapshot().mean_micros(), 200.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_micros(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(s.max_micros, 3999);
+    }
+}

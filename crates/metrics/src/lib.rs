@@ -1,0 +1,31 @@
+//! # `rls-metrics` — observability primitives for the RLS reproduction
+//!
+//! Every result in the source paper (*Performance and Scalability of a
+//! Replica Location Service*, HPDC 2004) is a latency or throughput
+//! measurement: operation rates per client count (Figures 4–6), soft-state
+//! update durations and Bloom-filter compression ratios (Table 3, Figures
+//! 9–10), and wide-area update behaviour (Figures 11–13). This crate gives
+//! the servers a matching measurement surface:
+//!
+//! * [`LatencyHistogram`] — a fixed-size, log2-bucketed latency histogram
+//!   over microseconds with lock-free recording and p50/p90/p99/max
+//!   extraction from an immutable [`HistogramSnapshot`].
+//! * [`Registry`] — a named, get-or-create registry of histograms and
+//!   monotonic counters, snapshotted into plain sorted `Vec`s so the wire
+//!   protocol and CLI can carry them without knowing any metric in advance.
+//!
+//! The crate is deliberately **dependency-free** (std only): it sits below
+//! `rls-proto` in the crate graph, and every server role links it, so it
+//! must never pull the workspace into heavier build requirements.
+//!
+//! Values that are conceptually fractional (e.g. a Bloom-filter
+//! false-positive probability) are stored in counters as scaled integers —
+//! by convention parts-per-million, with a `_ppm` name suffix.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{bucket_upper_micros, HistogramSnapshot, LatencyHistogram, BUCKET_COUNT};
+pub use registry::{Counter, Registry};

@@ -1,0 +1,169 @@
+//! Named registry of counters and histograms.
+//!
+//! A [`Registry`] is a get-or-create map from metric name to instrument.
+//! Server components hold a registry and ask for instruments by name at
+//! the recording site; the `stats` RPC snapshots everything into sorted
+//! `(name, value)` vectors, so neither the wire protocol nor the CLI needs
+//! a compiled-in metric list.
+//!
+//! Lookup takes a short mutex on a `BTreeMap`; the returned handles are
+//! `Arc`s over atomics, so hot paths may also cache a handle once and
+//! record lock-free thereafter.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+
+/// A named monotonic (or set-on-update gauge-style) `u64` counter.
+///
+/// Cloning is cheap — clones share the underlying atomic.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value (gauge-style use, e.g. queue depths).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Get-or-create registry of named counters and latency histograms.
+///
+/// Metric names are dot-separated lowercase paths (`"op.create"`,
+/// `"softstate.bloom_fpp_ppm"`); see `docs/OBSERVABILITY.md` in the repo
+/// root for the full catalog and naming conventions.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        if let Some(c) = map.get(name) {
+            return Counter(Arc::clone(c));
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), Arc::clone(&c));
+        Counter(c)
+    }
+
+    /// Look up (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(LatencyHistogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Snapshot every counter as `(name, value)`, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Snapshot every histogram as `(name, snapshot)`, sorted by name.
+    pub fn histogram_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_get_or_create_and_shared() {
+        let r = Registry::new();
+        r.counter("a.hits").inc();
+        r.counter("a.hits").add(2);
+        assert_eq!(r.counter("a.hits").get(), 3);
+        // A clone shares the same atomic.
+        let c = r.counter("a.hits");
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn gauge_style_set_overwrites() {
+        let r = Registry::new();
+        let g = r.counter("queue.depth");
+        g.set(17);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").add(2);
+        r.histogram("z.lat").record_micros(10);
+        r.histogram("a.lat").record_micros(20);
+        let counters = r.counter_snapshot();
+        assert_eq!(
+            counters,
+            vec![("alpha".to_string(), 2), ("zeta".to_string(), 1)]
+        );
+        let hists = r.histogram_snapshot();
+        assert_eq!(hists.len(), 2);
+        assert_eq!(hists[0].0, "a.lat");
+        assert_eq!(hists[1].0, "z.lat");
+        assert_eq!(hists[0].1.count, 1);
+    }
+
+    #[test]
+    fn histogram_handles_share_state() {
+        let r = Registry::new();
+        let h = r.histogram("op.query");
+        h.record_micros(50);
+        r.histogram("op.query").record_micros(70);
+        let snap = &r.histogram_snapshot()[0];
+        assert_eq!(snap.1.count, 2);
+        assert_eq!(snap.1.max_micros, 70);
+    }
+
+    #[test]
+    fn empty_registry_snapshots_are_empty() {
+        let r = Registry::new();
+        assert!(r.counter_snapshot().is_empty());
+        assert!(r.histogram_snapshot().is_empty());
+    }
+}

@@ -2,12 +2,66 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rls_proto::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use rls_types::{RlsError, RlsResult};
 
 use crate::shaper::{sleep_until, ConnCursor, LinkProfile, SharedIngress};
+
+/// Byte and frame counters shared across connections.
+///
+/// A server attaches one meter to every accepted [`Conn`]; the counters
+/// then aggregate transport volume server-wide (`net.*` metrics in the
+/// stats report). Directions are from the meter owner's point of view:
+/// `bytes_in` is what the server received. Counts include the 4-byte
+/// length prefix of each frame — they measure wire bytes, not payload.
+#[derive(Debug, Default)]
+pub struct ConnMeter {
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+impl ConnMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes received, including frame headers.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent, including frame headers.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Total frames received.
+    pub fn frames_in(&self) -> u64 {
+        self.frames_in.load(Ordering::Relaxed)
+    }
+
+    /// Total frames sent.
+    pub fn frames_out(&self) -> u64 {
+        self.frames_out.load(Ordering::Relaxed)
+    }
+
+    fn on_recv(&self, wire_bytes: u64) {
+        self.bytes_in.fetch_add(wire_bytes, Ordering::Relaxed);
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_send(&self, wire_bytes: u64) {
+        self.bytes_out.fetch_add(wire_bytes, Ordering::Relaxed);
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// A framed connection, optionally shaped by a [`LinkProfile`] and charged
 /// against a [`SharedIngress`] pool.
@@ -27,6 +81,7 @@ pub struct Conn {
     cursor: ConnCursor,
     max_frame: usize,
     peer: SocketAddr,
+    meter: Option<Arc<ConnMeter>>,
 }
 
 impl std::fmt::Debug for Conn {
@@ -57,6 +112,7 @@ impl Conn {
             cursor: ConnCursor::new(),
             max_frame,
             peer,
+            meter: None,
         })
     }
 
@@ -73,6 +129,11 @@ impl Conn {
     /// Attaches a shared ingress pool charged on every `send`.
     pub fn set_ingress(&mut self, ingress: SharedIngress) {
         self.ingress = Some(ingress);
+    }
+
+    /// Attaches a traffic meter; every subsequent frame is counted.
+    pub fn set_meter(&mut self, meter: Arc<ConnMeter>) {
+        self.meter = Some(meter);
     }
 
     /// Sets a read timeout on the underlying socket.
@@ -108,6 +169,9 @@ impl Conn {
         self.shape_outbound(body.len() + 4);
         write_frame(&mut self.writer, body)?;
         self.writer.flush()?;
+        if let Some(meter) = &self.meter {
+            meter.on_send(body.len() as u64 + 4);
+        }
         Ok(())
     }
 
@@ -116,6 +180,9 @@ impl Conn {
         let frame = read_frame(&mut self.reader, self.max_frame)?;
         if let Some(body) = &frame {
             self.shape_inbound(body.len() + 4);
+            if let Some(meter) = &self.meter {
+                meter.on_recv(body.len() as u64 + 4);
+            }
         }
         Ok(frame)
     }
@@ -271,6 +338,20 @@ mod tests {
         // Three concurrent 0.1 s transfers through one pool ≈ 0.3 s.
         let elapsed = t0.elapsed().as_secs_f64();
         assert!((0.28..1.2).contains(&elapsed), "elapsed={elapsed}");
+    }
+
+    #[test]
+    fn meter_counts_wire_bytes_both_directions() {
+        let (addr, _h) = echo_server();
+        let meter = Arc::new(ConnMeter::new());
+        let mut conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+        conn.set_meter(Arc::clone(&meter));
+        conn.request(b"hello").unwrap(); // 5 bytes + 4-byte header each way
+        conn.request(b"").unwrap(); // header-only frames still count
+        assert_eq!(meter.bytes_out(), 9 + 4);
+        assert_eq!(meter.bytes_in(), 9 + 4);
+        assert_eq!(meter.frames_out(), 2);
+        assert_eq!(meter.frames_in(), 2);
     }
 
     #[test]

@@ -22,5 +22,5 @@
 pub mod conn;
 pub mod shaper;
 
-pub use conn::{connect, Conn, Listener};
+pub use conn::{connect, Conn, ConnMeter, Listener};
 pub use shaper::{LinkProfile, SharedIngress};

@@ -266,6 +266,7 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Reads an optional value: a presence bool, then the value if present.
     pub fn option<T>(
         &mut self,
         mut f: impl FnMut(&mut Self) -> RlsResult<T>,

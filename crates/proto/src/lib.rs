@@ -16,6 +16,8 @@
 //! three soft-state update forms (full/uncompressed — chunked so that
 //! multi-megabyte updates stream; incremental; Bloom filter).
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod frame;
 pub mod message;

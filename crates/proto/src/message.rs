@@ -2,6 +2,7 @@
 //! Table 1, the soft-state update protocol, and server administration.
 
 use rls_bloom::{BloomFilter, BloomParams};
+use rls_metrics::{HistogramSnapshot, BUCKET_COUNT};
 use rls_types::{
     AttrCompare, AttrValue, AttributeDef, Dn, Mapping, ObjectType, RlsError, RlsResult,
 };
@@ -49,7 +50,11 @@ pub struct RliHit {
 }
 
 /// Server statistics snapshot.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// The fixed counters below predate the metrics registry and stay for
+/// compatibility; `op_latencies` and `counters` carry the open-ended
+/// observability snapshot (see `docs/OBSERVABILITY.md` for the catalog).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStatsWire {
     /// Server acts as an LRC.
     pub is_lrc: bool,
@@ -73,6 +78,14 @@ pub struct ServerStatsWire {
     pub updates_received: u64,
     /// Associations discarded by the expire thread.
     pub expired: u64,
+    /// Latency histograms, `(metric name, snapshot)` sorted by name:
+    /// per-operation dispatch timings (`op.*`) plus storage, soft-state,
+    /// and RLI apply/expire durations.
+    pub op_latencies: Vec<(String, HistogramSnapshot)>,
+    /// Labeled counters and gauges, `(metric name, value)` sorted by name:
+    /// transport bytes/frames, engine counters, Bloom-filter state, queue
+    /// depths. Fractional values use scaled-integer names (`*_ppm`).
+    pub counters: Vec<(String, u64)>,
 }
 
 /// A client request frame.
@@ -311,6 +324,47 @@ fn r_mapping(r: &mut Reader<'_>) -> RlsResult<Mapping> {
     Mapping::new(l, t)
 }
 
+/// Encodes a histogram snapshot sparsely: totals first, then only the
+/// non-empty buckets as `(index, count)` pairs. Most histograms have a
+/// handful of occupied buckets, so this beats shipping all 32 counters.
+fn w_histogram(w: &mut Writer, h: &HistogramSnapshot) {
+    w.u64(h.count);
+    w.u64(h.sum_micros);
+    w.u64(h.max_micros);
+    let occupied = h.buckets.iter().filter(|&&c| c != 0).count() as u32;
+    w.u32(occupied);
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c != 0 {
+            w.u8(i as u8);
+            w.u64(c);
+        }
+    }
+}
+
+fn r_histogram(r: &mut Reader<'_>) -> RlsResult<HistogramSnapshot> {
+    let count = r.u64()?;
+    let sum_micros = r.u64()?;
+    let max_micros = r.u64()?;
+    let occupied = r.u32()? as usize;
+    if occupied > BUCKET_COUNT {
+        return Err(RlsError::protocol("histogram bucket count out of range"));
+    }
+    let mut buckets = [0u64; BUCKET_COUNT];
+    for _ in 0..occupied {
+        let idx = r.u8()? as usize;
+        if idx >= BUCKET_COUNT {
+            return Err(RlsError::protocol("histogram bucket index out of range"));
+        }
+        buckets[idx] = r.u64()?;
+    }
+    Ok(HistogramSnapshot {
+        buckets,
+        count,
+        sum_micros,
+        max_micros,
+    })
+}
+
 fn w_assignment(w: &mut Writer, a: &AttrAssignment) {
     w.str(&a.obj);
     w.u8(a.objtype as u8);
@@ -328,6 +382,49 @@ fn r_assignment(r: &mut Reader<'_>) -> RlsResult<AttrAssignment> {
 }
 
 impl Request {
+    /// Stable metric name for per-operation latency histograms, one per
+    /// variant (`"op.create"`, `"op.soft_state_bloom"`, …). Dispatch
+    /// records each request's service time under this key; the names are
+    /// part of the operator interface documented in `docs/OBSERVABILITY.md`.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Self::Hello { .. } => "op.hello",
+            Self::Ping => "op.ping",
+            Self::Create(_) => "op.create",
+            Self::Add(_) => "op.add",
+            Self::Delete(_) => "op.delete",
+            Self::BulkCreate(_) => "op.bulk_create",
+            Self::BulkAdd(_) => "op.bulk_add",
+            Self::BulkDelete(_) => "op.bulk_delete",
+            Self::QueryLfn(_) => "op.query_lfn",
+            Self::QueryPfn(_) => "op.query_pfn",
+            Self::BulkQueryLfn(_) => "op.bulk_query_lfn",
+            Self::WildcardQueryLfn { .. } => "op.wildcard_query_lfn",
+            Self::WildcardQueryPfn { .. } => "op.wildcard_query_pfn",
+            Self::DefineAttr(_) => "op.define_attr",
+            Self::UndefineAttr { .. } => "op.undefine_attr",
+            Self::AddAttr(_) => "op.add_attr",
+            Self::ModifyAttr(_) => "op.modify_attr",
+            Self::RemoveAttr { .. } => "op.remove_attr",
+            Self::GetAttrs { .. } => "op.get_attrs",
+            Self::SearchAttr { .. } => "op.search_attr",
+            Self::BulkAddAttr(_) => "op.bulk_add_attr",
+            Self::BulkModifyAttr(_) => "op.bulk_modify_attr",
+            Self::BulkRemoveAttr(_) => "op.bulk_remove_attr",
+            Self::AddRli { .. } => "op.add_rli",
+            Self::RemoveRli { .. } => "op.remove_rli",
+            Self::ListRlis => "op.list_rlis",
+            Self::RliQueryLfn(_) => "op.rli_query_lfn",
+            Self::RliBulkQueryLfn(_) => "op.rli_bulk_query_lfn",
+            Self::RliWildcardQuery { .. } => "op.rli_wildcard_query",
+            Self::RliListLrcs => "op.rli_list_lrcs",
+            Self::SoftStateFull { .. } => "op.soft_state_full",
+            Self::SoftStateDelta { .. } => "op.soft_state_delta",
+            Self::SoftStateBloom { .. } => "op.soft_state_bloom",
+            Self::Stats => "op.stats",
+        }
+    }
+
     /// Encodes the request (opcode + body).
     pub fn encode(&self) -> Writer {
         let mut w = Writer::with_capacity(64);
@@ -781,6 +878,14 @@ impl Response {
                 w.u64(s.queries);
                 w.u64(s.updates_received);
                 w.u64(s.expired);
+                w.list(&s.op_latencies, |w, (name, h)| {
+                    w.str(name);
+                    w_histogram(w, h);
+                });
+                w.list(&s.counters, |w, (name, v)| {
+                    w.str(name);
+                    w.u64(*v);
+                });
             }
         }
         w
@@ -856,6 +961,12 @@ impl Response {
                 queries: r.u64()?,
                 updates_received: r.u64()?,
                 expired: r.u64()?,
+                op_latencies: r.list(|r| {
+                    let name = r.str()?;
+                    let h = r_histogram(r)?;
+                    Ok((name, h))
+                })?,
+                counters: r.list(|r| Ok((r.str()?, r.u64()?)))?,
             }),
             other => {
                 return Err(RlsError::protocol(format!(
@@ -889,6 +1000,15 @@ mod tests {
 
     fn m(l: &str, t: &str) -> Mapping {
         Mapping::new(l, t).unwrap()
+    }
+
+    fn sample_histogram() -> HistogramSnapshot {
+        let h = rls_metrics::LatencyHistogram::new();
+        h.record_micros(0);
+        h.record_micros(7);
+        h.record_micros(950);
+        h.record_micros(u64::MAX); // saturating last bucket survives the wire
+        h.snapshot()
     }
 
     #[test]
@@ -1066,11 +1186,68 @@ mod tests {
                 queries: 7,
                 updates_received: 8,
                 expired: 9,
+                op_latencies: vec![("op.query_lfn".into(), sample_histogram())],
+                counters: vec![("net.bytes_in".into(), 4096)],
             }),
+            Response::StatsReport(ServerStatsWire::default()),
         ];
         for resp in resps {
             rt_response(resp);
         }
+    }
+
+    #[test]
+    fn extended_stats_snapshot_round_trips() {
+        // A realistic multi-metric snapshot: quantiles must survive the
+        // sparse bucket encoding exactly.
+        let hist = sample_histogram();
+        let stats = ServerStatsWire {
+            is_lrc: true,
+            queries: 4,
+            op_latencies: vec![
+                ("op.create".into(), HistogramSnapshot::default()),
+                ("op.query_lfn".into(), hist),
+                ("storage.commit".into(), sample_histogram()),
+            ],
+            counters: vec![
+                ("lrc.engine.inserts".into(), 12),
+                ("net.bytes_out".into(), u64::MAX),
+                ("softstate.bloom_fpp_ppm".into(), 420),
+            ],
+            ..ServerStatsWire::default()
+        };
+        let bytes = Response::StatsReport(stats.clone()).encode().into_bytes();
+        let Response::StatsReport(decoded) = Response::decode(&bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(decoded, stats);
+        let (_, h) = &decoded.op_latencies[1];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_index_out_of_range_rejected() {
+        // Hand-encode a StatsReport whose histogram names bucket 32.
+        let mut w = Writer::with_capacity(128);
+        w.u16(50);
+        w.bool(false);
+        w.bool(false);
+        for _ in 0..9 {
+            w.u64(0);
+        }
+        w.u32(1); // one histogram
+        w.str("op.bad");
+        w.u64(1); // count
+        w.u64(1); // sum
+        w.u64(1); // max
+        w.u32(1); // one occupied bucket...
+        w.u8(BUCKET_COUNT as u8); // ...with an out-of-range index
+        w.u64(1);
+        w.u32(0); // no counters
+        let e = Response::decode(&w.into_bytes()).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
     }
 
     #[test]

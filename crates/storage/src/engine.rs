@@ -189,21 +189,25 @@ impl Database {
         if txn.ops.is_empty() {
             return Ok(());
         }
+        let t0 = std::time::Instant::now();
         if let Some(wal) = &mut self.wal {
             wal.append_txn(&txn.ops)?;
         }
         self.stats.commits += 1;
+        self.stats.commit_micros += t0.elapsed().as_micros() as u64;
         Ok(())
     }
 
     /// Runs VACUUM on a table: reclaims dead tuples and logs the pass.
     pub fn vacuum(&mut self, table: TableId) -> RlsResult<u64> {
+        let t0 = std::time::Instant::now();
         let reclaimed = self.tables[table.0 as usize].vacuum();
         if let Some(wal) = &mut self.wal {
             wal.append_txn(&[WalOp::Vacuum { table: table.0 }])?;
         }
         self.stats.vacuums += 1;
         self.stats.tuples_reclaimed += reclaimed;
+        self.stats.vacuum_micros += t0.elapsed().as_micros() as u64;
         Ok(reclaimed)
     }
 

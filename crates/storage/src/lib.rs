@@ -24,6 +24,8 @@
 //!   list, partition rules) and [`RliDatabase`] (logical names, LRCs, and
 //!   timestamped associations with expiry).
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod index;
 pub mod lrcdb;

@@ -15,6 +15,13 @@ pub struct EngineStats {
     pub vacuums: u64,
     /// Dead tuples reclaimed by vacuums.
     pub tuples_reclaimed: u64,
+    /// Cumulative microseconds spent in [`commit`](crate::Database::commit)
+    /// (WAL append + flush) — the cost the paper toggles with "database
+    /// flush enabled/disabled" (Fig. 4–5).
+    pub commit_micros: u64,
+    /// Cumulative microseconds spent in vacuum passes (the dips of the
+    /// PostgreSQL saw-tooth, Fig. 8).
+    pub vacuum_micros: u64,
 }
 
 #[cfg(test)]

@@ -205,16 +205,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "stats" => {
             let s = client.stats()?;
-            println!("roles:             lrc={} rli={}", s.is_lrc, s.is_rli);
-            println!("lrc logical names: {}", s.lrc_lfn_count);
-            println!("lrc mappings:      {}", s.lrc_mapping_count);
-            println!("rli associations:  {}", s.rli_association_count);
-            println!("rli bloom filters: {}", s.rli_bloom_filters);
-            println!("adds:              {}", s.adds);
-            println!("deletes:           {}", s.deletes);
-            println!("queries:           {}", s.queries);
-            println!("updates received:  {}", s.updates_received);
-            println!("expired entries:   {}", s.expired);
+            print!("{}", rls::core::format_stats_report(&s));
         }
         other => return Err(format!("unknown command {other:?}").into()),
     }

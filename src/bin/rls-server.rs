@@ -27,6 +27,9 @@ update_mode     bloom       # none | full | immediate | bloom
 update_interval 300
 #update_rli     rli.example.org:39281 bloom
 
+# log any operation slower than this to stderr; 0 disables
+#slow_op_threshold_ms 250
+
 #acl_enabled true
 #gridmap     "/O=Grid/OU=Example/CN=Operator" operator
 #acl         user:operator admin

@@ -14,6 +14,9 @@
 //! * LRCs push **soft-state updates** to RLIs: uncompressed full dumps,
 //!   incremental "immediate mode" deltas, or [Bloom-filter](bloom) compressed
 //!   summaries; updates may be partitioned across RLIs by namespace regex.
+//! * Every server records **observability metrics** ([`metrics`]): per-op
+//!   latency histograms and labeled counters, surfaced through the `stats`
+//!   RPC and `rls-cli stats`. See `docs/OBSERVABILITY.md` for the catalog.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 
 pub use rls_bloom as bloom;
 pub use rls_core as core;
+pub use rls_metrics as metrics;
 pub use rls_net as net;
 pub use rls_proto as proto;
 pub use rls_storage as storage;

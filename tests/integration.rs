@@ -194,6 +194,71 @@ fn mixed_mode_updates_merge_at_the_rli() {
     assert_eq!(stats.rli_bloom_filters, 1);
 }
 
+/// End-to-end observability: operations against a live server populate the
+/// per-op latency histograms and labeled counters returned by `stats`, and
+/// the operator report renders their quantiles.
+#[test]
+fn stats_expose_latency_histograms_end_to_end() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..20 {
+        c.create_mapping(&format!("lfn://obs/{i}"), &format!("pfn://obs/{i}"))
+            .unwrap();
+    }
+    for i in 0..20 {
+        assert_eq!(c.query_lfn(&format!("lfn://obs/{i}")).unwrap().len(), 1);
+    }
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+
+    let stats = c.stats().unwrap();
+    let hist = |name: &str| {
+        stats
+            .op_latencies
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| *h)
+            .unwrap_or_else(|| panic!("missing histogram {name}"))
+    };
+    let create = hist("op.create");
+    assert_eq!(create.count, 20);
+    assert!(create.p50() <= create.p99());
+    assert!(create.p99() <= create.max_micros.max(1));
+    assert_eq!(hist("op.query_lfn").count, 20);
+    // Storage-layer timing rides along with the dispatch histograms.
+    assert_eq!(hist("storage.query_lfn").count, 20);
+    // Wire-traffic counters move: each request is at least one frame.
+    let counter = |name: &str| {
+        stats
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert!(counter("net.bytes_in") > 0);
+    assert!(counter("net.frames_out") >= 41); // hello ack + 40 responses + stats
+    assert!(counter("lrc.engine.inserts") >= 20);
+
+    // The RLI side records soft-state application metrics.
+    let mut r = dep.rli_client(0).unwrap();
+    let rstats = r.stats().unwrap();
+    assert!(
+        rstats
+            .op_latencies
+            .iter()
+            .any(|(n, h)| n.starts_with("rli.apply") && !h.is_empty()),
+        "RLI must record update application timings"
+    );
+
+    // And the report renders the lot for `rls-cli stats`.
+    let report = rls::core::format_stats_report(&stats);
+    assert!(report.contains("operation latencies"));
+    assert!(report.contains("op.create"));
+    assert!(report.contains("net.bytes_in"));
+}
+
 /// Zipf-skewed query workloads hammer hot names without erroring — the
 /// popular-dataset pattern real catalogs see.
 #[test]
