@@ -90,6 +90,9 @@ pub fn required_privilege(req: &Request) -> Option<Privilege> {
         RliQueryLfn(_) | RliBulkQueryLfn(_) | RliWildcardQuery { .. } | RliListLrcs => {
             Privilege::RliRead
         }
+        // The span journal is readable with either role's read privilege;
+        // dispatch additionally accepts `rli_read` when this check fails.
+        TraceQuery { .. } => Privilege::LrcRead,
         SoftStateFull { .. } | SoftStateDelta { .. } | SoftStateBloom { .. } => {
             Privilege::RliWrite
         }
@@ -190,5 +193,14 @@ mod tests {
             Some(Privilege::RliWrite)
         );
         assert_eq!(required_privilege(&Request::Stats), Some(Privilege::Admin));
+        assert_eq!(
+            required_privilege(&Request::TraceQuery {
+                trace_id: 0,
+                op_prefix: String::new(),
+                min_duration_micros: 0,
+                limit: 0,
+            }),
+            Some(Privilege::LrcRead)
+        );
     }
 }

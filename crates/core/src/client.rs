@@ -6,15 +6,22 @@
 //! the update threads use.
 
 use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rls_bloom::BloomFilter;
 use rls_net::{connect, Conn, LinkProfile, SharedIngress};
 use rls_proto::{
-    AttrAssignment, Request, Response, RliHit, RliTargetWire, ServerStatsWire, PROTOCOL_VERSION,
+    AttrAssignment, Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire,
+    PROTOCOL_VERSION,
 };
+use rls_trace::{mix64, nonzero_id};
 use rls_types::{
     AttrCompare, AttrValue, AttributeDef, Dn, Mapping, ObjectType, RlsError, RlsResult,
 };
+
+/// Process-wide connection counter: each client gets a distinct trace-ID
+/// seed with no clock or RNG involved (deterministic per connection order).
+static CONN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Per-name results of a bulk LRC query.
 pub type BulkLfnResults = Vec<(String, Result<Vec<String>, RlsError>)>;
@@ -22,11 +29,20 @@ pub type BulkLfnResults = Vec<(String, Result<Vec<String>, RlsError>)>;
 pub type BulkRliResults = Vec<(String, Result<Vec<RliHit>, RlsError>)>;
 
 /// A connected, authenticated RLS client.
+///
+/// Every request carries a trace ID in the frame's trace envelope: a fresh
+/// one minted per call (`mix64(seed + counter)`, seed derived from pid and
+/// connection order), or the caller's IDs via [`RlsClient::call_traced`].
+/// [`RlsClient::last_trace_id`] reports the ID of the most recent call so
+/// operators can follow it with `rls-cli trace`.
 pub struct RlsClient {
     conn: Conn,
     server_version: String,
     is_lrc: bool,
     is_rli: bool,
+    trace_seed: u64,
+    next_trace: u64,
+    last_trace_id: u64,
 }
 
 impl std::fmt::Debug for RlsClient {
@@ -54,11 +70,15 @@ impl RlsClient {
         ingress: Option<SharedIngress>,
     ) -> RlsResult<Self> {
         let conn = connect(addr, link, ingress)?;
+        let n = CONN_COUNTER.fetch_add(1, Ordering::Relaxed);
         let mut client = Self {
             conn,
             server_version: String::new(),
             is_lrc: false,
             is_rli: false,
+            trace_seed: mix64(((std::process::id() as u64) << 32) ^ n),
+            next_trace: 0,
+            last_trace_id: 0,
         };
         let resp = client.call(&Request::Hello {
             dn: dn.clone(),
@@ -93,9 +113,18 @@ impl RlsClient {
         self.is_rli
     }
 
-    /// One request/response exchange; `Response::Error` becomes `Err`.
+    /// One request/response exchange under a freshly minted trace ID;
+    /// `Response::Error` becomes `Err`.
     pub fn call(&mut self, req: &Request) -> RlsResult<Response> {
-        let body = req.encode().into_bytes();
+        let id = self.mint_trace_id();
+        self.call_traced(req, &[id])
+    }
+
+    /// One exchange under the caller's trace IDs (soft-state propagation);
+    /// an empty list sends the frame untraced.
+    pub fn call_traced(&mut self, req: &Request, trace_ids: &[u64]) -> RlsResult<Response> {
+        self.last_trace_id = trace_ids.first().copied().unwrap_or(0);
+        let body = req.encode_traced(trace_ids).into_bytes();
         let resp_body = self.conn.request(&body)?;
         let resp = Response::decode(&resp_body)?;
         if let Response::Error(e) = resp {
@@ -104,8 +133,27 @@ impl RlsClient {
         Ok(resp)
     }
 
+    fn mint_trace_id(&mut self) -> u64 {
+        let n = self.next_trace;
+        self.next_trace += 1;
+        nonzero_id(mix64(self.trace_seed.wrapping_add(n)))
+    }
+
+    /// Trace ID the most recent call was sent under (0 before any call or
+    /// after an explicitly untraced one).
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
     fn expect_ok(&mut self, req: &Request) -> RlsResult<()> {
         match self.call(req)? {
+            Response::Ok => Ok(()),
+            other => Err(RlsError::protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    fn expect_ok_traced(&mut self, req: &Request, trace_ids: &[u64]) -> RlsResult<()> {
+        match self.call_traced(req, trace_ids)? {
             Response::Ok => Ok(()),
             other => Err(RlsError::protocol(format!("expected Ok, got {other:?}"))),
         }
@@ -433,13 +481,29 @@ impl RlsClient {
         last: bool,
         lfns: Vec<String>,
     ) -> RlsResult<()> {
-        self.expect_ok(&Request::SoftStateFull {
-            lrc: lrc.to_owned(),
-            update_id,
-            seq,
-            last,
-            lfns,
-        })
+        self.send_full_chunk_traced(lrc, update_id, seq, last, lfns, &[])
+    }
+
+    /// Full-update chunk attributed to the given trace IDs.
+    pub fn send_full_chunk_traced(
+        &mut self,
+        lrc: &str,
+        update_id: u64,
+        seq: u32,
+        last: bool,
+        lfns: Vec<String>,
+        trace_ids: &[u64],
+    ) -> RlsResult<()> {
+        self.expect_ok_traced(
+            &Request::SoftStateFull {
+                lrc: lrc.to_owned(),
+                update_id,
+                seq,
+                last,
+                lfns,
+            },
+            trace_ids,
+        )
     }
 
     /// Sends an incremental (immediate-mode) update.
@@ -449,16 +513,41 @@ impl RlsClient {
         added: Vec<String>,
         removed: Vec<String>,
     ) -> RlsResult<()> {
-        self.expect_ok(&Request::SoftStateDelta {
-            lrc: lrc.to_owned(),
-            added,
-            removed,
-        })
+        self.send_delta_traced(lrc, added, removed, &[])
+    }
+
+    /// Incremental update carrying the originating trace IDs, so the RLI's
+    /// apply spans land in the same traces as the client mutations.
+    pub fn send_delta_traced(
+        &mut self,
+        lrc: &str,
+        added: Vec<String>,
+        removed: Vec<String>,
+        trace_ids: &[u64],
+    ) -> RlsResult<()> {
+        self.expect_ok_traced(
+            &Request::SoftStateDelta {
+                lrc: lrc.to_owned(),
+                added,
+                removed,
+            },
+            trace_ids,
+        )
     }
 
     /// Ships a Bloom-filter summary.
     pub fn send_bloom(&mut self, lrc: &str, filter: &BloomFilter) -> RlsResult<()> {
-        self.expect_ok(&Request::bloom_to_wire(lrc, filter))
+        self.send_bloom_traced(lrc, filter, &[])
+    }
+
+    /// Bloom summary attributed to the given trace IDs.
+    pub fn send_bloom_traced(
+        &mut self,
+        lrc: &str,
+        filter: &BloomFilter,
+        trace_ids: &[u64],
+    ) -> RlsResult<()> {
+        self.expect_ok_traced(&Request::bloom_to_wire(lrc, filter), trace_ids)
     }
 
     // -- admin -------------------------------------------------------------------------
@@ -470,6 +559,27 @@ impl RlsClient {
             other => Err(RlsError::protocol(format!(
                 "expected StatsReport, got {other:?}"
             ))),
+        }
+    }
+
+    /// Queries the server's span journal. All filter clauses are ANDed:
+    /// `trace_id` 0 matches any trace, an empty `op_prefix` matches every
+    /// op, `limit` 0 returns everything retained.
+    pub fn trace_query(
+        &mut self,
+        trace_id: u64,
+        op_prefix: &str,
+        min_duration_micros: u64,
+        limit: u32,
+    ) -> RlsResult<Vec<SpanWire>> {
+        match self.call(&Request::TraceQuery {
+            trace_id,
+            op_prefix: op_prefix.to_owned(),
+            min_duration_micros,
+            limit,
+        })? {
+            Response::Spans(s) => Ok(s),
+            other => Err(RlsError::protocol(format!("expected Spans, got {other:?}"))),
         }
     }
 }

@@ -172,9 +172,21 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Per-frame size cap.
     pub max_frame: usize,
-    /// Log any operation slower than this to stderr (`slow_op_threshold_ms`
-    /// in the config file); `None` disables the slow-op log.
+    /// Log any operation slower than this through the structured logger
+    /// (`slow_op_threshold_ms` in the config file); `None` disables the
+    /// slow-op log.
     pub slow_op_threshold: Option<Duration>,
+    /// Minimum level for the structured logger (`log_level` in the config
+    /// file). Applied to the process-wide logger by `rls-server`, not by
+    /// [`crate::server::Server::start`] — embedded/test servers stay quiet.
+    pub log_level: rls_trace::Level,
+    /// Structured log output format (`log_format`): `text` key=value lines
+    /// or JSON objects.
+    pub log_format: rls_trace::LogFormat,
+    /// Spans retained by the in-memory trace journal
+    /// (`trace_journal_capacity`); 0 disables span retention (IDs still
+    /// mint and propagate).
+    pub trace_journal_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -189,6 +201,9 @@ impl Default for ServerConfig {
             max_connections: 512,
             max_frame: rls_proto::DEFAULT_MAX_FRAME,
             slow_op_threshold: None,
+            log_level: rls_trace::Level::Info,
+            log_format: rls_trace::LogFormat::Text,
+            trace_journal_capacity: 4096,
         }
     }
 }

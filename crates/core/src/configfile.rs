@@ -34,6 +34,9 @@
 //!
 //! # observability
 //! slow_op_threshold_ms 250        # 0 disables the slow-op log
+//! log_level         info           # error | warn | info | debug | trace
+//! log_format        text           # text (key=value) | json
+//! trace_journal_capacity 4096     # spans retained; 0 disables retention
 //!
 //! # security
 //! acl_enabled       true
@@ -135,6 +138,9 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut rli_expire_int = Duration::from_secs(60);
     let mut rli_expire_stale = Duration::from_secs(1800);
     let mut slow_op_threshold: Option<Duration> = None;
+    let mut log_level = rls_trace::Level::Info;
+    let mut log_format = rls_trace::LogFormat::Text;
+    let mut trace_journal_capacity = 4096usize;
     let mut acl_enabled = false;
     let mut gridmap: HashMap<String, String> = HashMap::new();
     let mut acl: Vec<AclEntry> = Vec::new();
@@ -245,6 +251,24 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
                     ))
                 })?;
                 slow_op_threshold = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "log_level" => {
+                log_level = one()?.parse().map_err(|e: String| {
+                    RlsError::bad_request(format!("line {}: {e}", lineno + 1))
+                })?
+            }
+            "log_format" => {
+                log_format = one()?.parse().map_err(|e: String| {
+                    RlsError::bad_request(format!("line {}: {e}", lineno + 1))
+                })?
+            }
+            "trace_journal_capacity" => {
+                trace_journal_capacity = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected a span count",
+                        lineno + 1
+                    ))
+                })?
             }
             "acl_enabled" => acl_enabled = parse_bool(key, one()?)?,
             "gridmap" => {
@@ -365,6 +389,9 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             acl,
         },
         slow_op_threshold,
+        log_level,
+        log_format,
+        trace_journal_capacity,
         ..ServerConfig::default()
     };
     Ok(ParsedConfig {
@@ -479,6 +506,28 @@ acl          user:ann admin
         let p = parse_config("lrc_server true\nslow_op_threshold_ms 0").unwrap();
         assert_eq!(p.server.slow_op_threshold, None);
         assert!(parse_config("lrc_server true\nslow_op_threshold_ms fast").is_err());
+    }
+
+    #[test]
+    fn logging_and_trace_keys_parse() {
+        let p = parse_config(
+            "lrc_server true\nlog_level debug\nlog_format json\ntrace_journal_capacity 128",
+        )
+        .unwrap();
+        assert_eq!(p.server.log_level, rls_trace::Level::Debug);
+        assert_eq!(p.server.log_format, rls_trace::LogFormat::Json);
+        assert_eq!(p.server.trace_journal_capacity, 128);
+        // Defaults.
+        let p = parse_config("lrc_server true").unwrap();
+        assert_eq!(p.server.log_level, rls_trace::Level::Info);
+        assert_eq!(p.server.log_format, rls_trace::LogFormat::Text);
+        assert_eq!(p.server.trace_journal_capacity, 4096);
+        // 0 disables retention but still parses.
+        let p = parse_config("lrc_server true\ntrace_journal_capacity 0").unwrap();
+        assert_eq!(p.server.trace_journal_capacity, 0);
+        assert!(parse_config("lrc_server true\nlog_level loud").is_err());
+        assert!(parse_config("lrc_server true\nlog_format xml").is_err());
+        assert!(parse_config("lrc_server true\ntrace_journal_capacity many").is_err());
     }
 
     #[test]

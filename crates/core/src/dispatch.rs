@@ -5,8 +5,9 @@ use std::time::{Duration, Instant};
 
 use rls_metrics::Registry;
 use rls_net::ConnMeter;
-use rls_proto::{Request, Response, RliHit, RliTargetWire, ServerStatsWire};
-use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
+use rls_proto::{Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire};
+use rls_trace::{SpanRecord, TraceJournal, TraceQueryFilter};
+use rls_types::{ErrorCode, Glob, Privilege, RlsError, RlsResult, Timestamp};
 
 use crate::auth::{required_privilege, Authorizer, Identity};
 use crate::lrc::LrcService;
@@ -30,8 +31,13 @@ pub struct ServerState {
     /// Transport meter shared with every accepted connection (`net.*`
     /// counters in the stats report).
     pub net: Arc<ConnMeter>,
-    /// Operations slower than this are logged to stderr; `None` disables
-    /// the slow-op log (`slow_op_threshold_ms` in the config file).
+    /// Bounded span journal: every request records an `op.*` span here,
+    /// with child spans (`lrc.commit`, `rli.apply_*`, ...) linked to it.
+    /// Queryable via [`Request::TraceQuery`] / `rls-cli trace`.
+    pub journal: Arc<TraceJournal>,
+    /// Operations slower than this are logged through the structured
+    /// logger at `warn`; `None` disables the slow-op log
+    /// (`slow_op_threshold_ms` in the config file).
     pub slow_op_threshold: Option<Duration>,
 }
 
@@ -70,6 +76,12 @@ impl ServerState {
         };
         let mut hists = self.metrics.histogram_snapshot();
         let mut counters = self.metrics.counter_snapshot();
+        counters.push(("trace.journal_spans".into(), self.journal.len() as u64));
+        counters.push((
+            "trace.journal_capacity".into(),
+            self.journal.capacity() as u64,
+        ));
+        counters.push(("trace.spans_recorded".into(), self.journal.recorded_total()));
         counters.push(("net.bytes_in".into(), self.net.bytes_in()));
         counters.push(("net.bytes_out".into(), self.net.bytes_out()));
         counters.push(("net.frames_in".into(), self.net.frames_in()));
@@ -132,21 +144,43 @@ fn push_engine_counters(
     }
 }
 
+/// Runs one untraced request to completion (wraps
+/// [`handle_request_traced`] with an empty trace-ID list).
+pub fn handle_request(state: &ServerState, identity: &Identity, req: Request) -> Response {
+    handle_request_traced(state, identity, req, &[])
+}
+
 /// Runs one request to completion, producing the response frame.
 ///
 /// Service time (authorization + execution, excluding transport) is
-/// recorded under the request's [`Request::op_name`] histogram; requests
-/// over the configured slow-op threshold are additionally logged to
-/// stderr with their outcome.
-pub fn handle_request(state: &ServerState, identity: &Identity, req: Request) -> Response {
+/// recorded under the request's [`Request::op_name`] histogram and as an
+/// `op.*` span in the journal — under the first propagated trace ID, or a
+/// locally minted one when the frame arrived untraced. Requests over the
+/// configured slow-op threshold are additionally logged at `warn` through
+/// the structured logger, trace ID included.
+pub fn handle_request_traced(
+    state: &ServerState,
+    identity: &Identity,
+    req: Request,
+    trace_ids: &[u64],
+) -> Response {
     let op = req.op_name();
+    let trace_id = trace_ids
+        .first()
+        .copied()
+        .unwrap_or_else(|| state.journal.mint_trace_id());
+    let span = state.journal.begin(trace_id, 0, op);
+    let ctx = TraceCtx {
+        ids: trace_ids,
+        trace_id: span.trace_id(),
+        parent: span.span_id(),
+    };
     let t0 = Instant::now();
     let resp = {
-        let denied = required_privilege(&req)
-            .and_then(|privilege| state.authorizer.check(identity, privilege).err());
+        let denied = privilege_denied(state, identity, &req);
         match denied {
             Some(e) => Response::Error(e),
-            None => match execute(state, req) {
+            None => match execute(state, req, &ctx) {
                 Ok(resp) => resp,
                 Err(e) => Response::Error(e),
             },
@@ -154,19 +188,76 @@ pub fn handle_request(state: &ServerState, identity: &Identity, req: Request) ->
     };
     let elapsed = t0.elapsed();
     state.metrics.histogram(op).record(elapsed);
+    let outcome = match &resp {
+        Response::Error(e) => format!("error: {:?}", e.code()),
+        _ => "ok".to_owned(),
+    };
+    span.finish(!matches!(resp, Response::Error(_)), String::new());
     if let Some(threshold) = state.slow_op_threshold {
         if elapsed >= threshold {
-            let outcome = match &resp {
-                Response::Error(e) => format!("error: {:?}", e.code()),
-                _ => "ok".to_string(),
-            };
-            eprintln!(
-                "rls[{}]: slow op {op} took {elapsed:?} (threshold {threshold:?}, {outcome})",
-                state.name
+            rls_trace::warn!(
+                "dispatch",
+                "slow op",
+                server = state.name,
+                op = op,
+                trace = ctx.trace_id,
+                elapsed_micros = elapsed.as_micros(),
+                threshold_micros = threshold.as_micros(),
+                outcome = outcome,
             );
         }
     }
     resp
+}
+
+/// Trace context threaded through [`execute`]: the full propagated ID list
+/// (batched soft-state frames may carry several), the primary trace ID
+/// (first propagated or locally minted, never 0), and the enclosing
+/// `op.*` span to parent child spans under.
+struct TraceCtx<'a> {
+    ids: &'a [u64],
+    trace_id: u64,
+    parent: u64,
+}
+
+impl TraceCtx<'_> {
+    /// IDs to attribute a soft-state apply to: every propagated ID, or the
+    /// local one when the frame arrived untraced.
+    fn apply_ids(&self) -> Vec<u64> {
+        if self.ids.is_empty() {
+            vec![self.trace_id]
+        } else {
+            self.ids.to_vec()
+        }
+    }
+}
+
+/// Evaluates the request's required privilege, returning the denial error
+/// if any. [`Request::TraceQuery`] is special-cased: the journal is
+/// readable with `lrc_read` *or* `rli_read` (a pure-RLI operator should be
+/// able to inspect apply/expire spans without LRC privileges).
+fn privilege_denied(state: &ServerState, identity: &Identity, req: &Request) -> Option<RlsError> {
+    let privilege = required_privilege(req)?;
+    let denied = state.authorizer.check(identity, privilege).err()?;
+    if matches!(req, Request::TraceQuery { .. })
+        && state.authorizer.check(identity, Privilege::RliRead).is_ok()
+    {
+        return None;
+    }
+    Some(denied)
+}
+
+fn span_to_wire(s: SpanRecord) -> SpanWire {
+    SpanWire {
+        trace_id: s.trace_id,
+        span_id: s.span_id,
+        parent_span: s.parent_span,
+        op: s.op,
+        start_micros: s.start_micros,
+        duration_micros: s.duration_micros,
+        ok: s.ok,
+        detail: s.detail,
+    }
 }
 
 fn bulk<T>(items: Vec<T>, mut f: impl FnMut(&T) -> RlsResult<()>) -> Response {
@@ -179,7 +270,7 @@ fn bulk<T>(items: Vec<T>, mut f: impl FnMut(&T) -> RlsResult<()>) -> Response {
     Response::BulkStatus(failures)
 }
 
-fn execute(state: &ServerState, req: Request) -> RlsResult<Response> {
+fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<Response> {
     use Request::*;
     Ok(match req {
         Hello { .. } => Response::Error(RlsError::bad_request(
@@ -189,15 +280,24 @@ fn execute(state: &ServerState, req: Request) -> RlsResult<Response> {
 
         // -- LRC mapping management --
         Create(m) => {
-            state.lrc()?.create_mapping(&m)?;
+            let span = state.journal.begin(ctx.trace_id, ctx.parent, "lrc.commit");
+            let r = state.lrc()?.create_mapping_traced(&m, ctx.trace_id);
+            span.finish(r.is_ok(), m.logical.as_str());
+            r?;
             Response::Ok
         }
         Add(m) => {
-            state.lrc()?.add_mapping(&m)?;
+            let span = state.journal.begin(ctx.trace_id, ctx.parent, "lrc.commit");
+            let r = state.lrc()?.add_mapping_traced(&m, ctx.trace_id);
+            span.finish(r.is_ok(), m.logical.as_str());
+            r?;
             Response::Ok
         }
         Delete(m) => {
-            state.lrc()?.delete_mapping(&m)?;
+            let span = state.journal.begin(ctx.trace_id, ctx.parent, "lrc.commit");
+            let r = state.lrc()?.delete_mapping_traced(&m, ctx.trace_id);
+            span.finish(r.is_ok(), m.logical.as_str());
+            r?;
             Response::Ok
         }
         BulkCreate(ms) => {
@@ -422,7 +522,20 @@ fn execute(state: &ServerState, req: Request) -> RlsResult<Response> {
 
         // -- soft-state updates --
         SoftStateFull { lrc, lfns, .. } => {
-            state.rli()?.apply_full_chunk(&lrc, &lfns, Timestamp::now())?;
+            let t0 = Instant::now();
+            let n = state.rli()?.apply_full_chunk(&lrc, &lfns, Timestamp::now())?;
+            let detail = format!("lrc={lrc} upserts={n}");
+            for id in ctx.apply_ids() {
+                state.journal.record_with(
+                    id,
+                    ctx.parent,
+                    "rli.apply_full",
+                    t0,
+                    t0.elapsed(),
+                    true,
+                    detail.clone(),
+                );
+            }
             Response::Ok
         }
         SoftStateDelta {
@@ -430,9 +543,22 @@ fn execute(state: &ServerState, req: Request) -> RlsResult<Response> {
             added,
             removed,
         } => {
+            let t0 = Instant::now();
             state
                 .rli()?
                 .apply_delta(&lrc, &added, &removed, Timestamp::now())?;
+            let detail = format!("lrc={lrc} added={} removed={}", added.len(), removed.len());
+            for id in ctx.apply_ids() {
+                state.journal.record_with(
+                    id,
+                    ctx.parent,
+                    "rli.apply_delta",
+                    t0,
+                    t0.elapsed(),
+                    true,
+                    detail.clone(),
+                );
+            }
             Response::Ok
         }
         SoftStateBloom {
@@ -443,12 +569,43 @@ fn execute(state: &ServerState, req: Request) -> RlsResult<Response> {
             entries,
         } => {
             let filter = Request::bloom_from_wire(params, bits, &words, entries)?;
+            let t0 = Instant::now();
             state.rli()?.apply_bloom(&lrc, filter, Timestamp::now());
+            for id in ctx.apply_ids() {
+                state.journal.record_with(
+                    id,
+                    ctx.parent,
+                    "rli.apply_bloom",
+                    t0,
+                    t0.elapsed(),
+                    true,
+                    format!("lrc={lrc} entries={entries}"),
+                );
+            }
             Response::Ok
         }
 
         // -- admin --
         Stats => Response::StatsReport(state.stats()),
+        TraceQuery {
+            trace_id,
+            op_prefix,
+            min_duration_micros,
+            limit,
+        } => {
+            let spans = state
+                .journal
+                .query(&TraceQueryFilter {
+                    trace_id,
+                    op_prefix,
+                    min_duration_micros,
+                    limit: limit as usize,
+                })
+                .into_iter()
+                .map(span_to_wire)
+                .collect();
+            Response::Spans(spans)
+        }
     })
 }
 
@@ -467,6 +624,7 @@ mod tests {
             authorizer: Authorizer::new(AuthConfig::default()),
             metrics: Arc::new(Registry::new()),
             net: Arc::new(ConnMeter::new()),
+            journal: Arc::new(TraceJournal::new(1024)),
             slow_op_threshold: None,
         }
     }
@@ -675,6 +833,118 @@ mod tests {
         assert_eq!(e.code(), ErrorCode::PermissionDenied);
         // Ping needs no privilege.
         assert_eq!(handle_request(&st, &stranger, Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn traced_request_records_op_and_commit_spans() {
+        let st = state();
+        let id = anon();
+        let resp =
+            handle_request_traced(&st, &id, Request::Create(m("lfn://t", "pfn://1")), &[4242]);
+        assert_eq!(resp, Response::Ok);
+        let spans = st.journal.query(&TraceQueryFilter {
+            trace_id: 4242,
+            ..Default::default()
+        });
+        assert_eq!(spans.len(), 2, "op span + lrc.commit child: {spans:?}");
+        let op = spans.iter().find(|s| s.op == "op.create").unwrap();
+        let commit = spans.iter().find(|s| s.op == "lrc.commit").unwrap();
+        assert!(op.ok && commit.ok);
+        assert_eq!(commit.parent_span, op.span_id);
+    }
+
+    #[test]
+    fn untraced_request_mints_a_local_trace_id() {
+        let st = state();
+        handle_request(&st, &anon(), Request::QueryLfn("lfn://missing".into()));
+        let spans = st.journal.query(&TraceQueryFilter::default());
+        assert_eq!(spans.len(), 1);
+        assert_ne!(spans[0].trace_id, 0);
+        assert!(!spans[0].ok, "failed query records a failed span");
+    }
+
+    #[test]
+    fn trace_query_over_dispatch_filters_by_trace() {
+        let st = state();
+        let id = anon();
+        handle_request_traced(&st, &id, Request::Create(m("lfn://q", "pfn://1")), &[5]);
+        handle_request(&st, &id, Request::Ping);
+        let Response::Spans(spans) = handle_request(
+            &st,
+            &id,
+            Request::TraceQuery {
+                trace_id: 5,
+                op_prefix: String::new(),
+                min_duration_micros: 0,
+                limit: 0,
+            },
+        ) else {
+            panic!("expected spans");
+        };
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.trace_id == 5));
+    }
+
+    #[test]
+    fn soft_state_delta_applies_under_every_propagated_trace() {
+        let st = state();
+        let resp = handle_request_traced(
+            &st,
+            &anon(),
+            Request::SoftStateDelta {
+                lrc: "lrc-x".into(),
+                added: vec!["lfn://d".into()],
+                removed: vec![],
+            },
+            &[21, 22],
+        );
+        assert_eq!(resp, Response::Ok);
+        for id in [21u64, 22] {
+            let spans = st.journal.query(&TraceQueryFilter {
+                trace_id: id,
+                op_prefix: "rli.apply_delta".into(),
+                ..Default::default()
+            });
+            assert_eq!(spans.len(), 1, "trace {id}");
+        }
+    }
+
+    #[test]
+    fn trace_query_allowed_with_rli_read_alone() {
+        use rls_types::{AclEntry, AclSubject, Privilege};
+        let mut auth = AuthConfig {
+            enabled: true,
+            ..Default::default()
+        };
+        auth.acl.push(
+            AclEntry::new(AclSubject::Dn, "/rli-op/.*", vec![Privilege::RliRead]).unwrap(),
+        );
+        let st = ServerState {
+            authorizer: Authorizer::new(auth),
+            ..state()
+        };
+        let operator = Identity {
+            dn: rls_types::Dn::new("/rli-op/CN=x"),
+            local_user: None,
+        };
+        let q = Request::TraceQuery {
+            trace_id: 0,
+            op_prefix: String::new(),
+            min_duration_micros: 0,
+            limit: 0,
+        };
+        assert!(matches!(
+            handle_request(&st, &operator, q.clone()),
+            Response::Spans(_)
+        ));
+        let stranger = Identity {
+            dn: rls_types::Dn::new("/stranger"),
+            local_user: None,
+        };
+        assert!(matches!(
+            handle_request(&st, &stranger, q),
+            Response::Error(_)
+        ));
     }
 
     #[test]

@@ -21,6 +21,11 @@ use rls_types::{Mapping, RlsResult};
 
 use crate::config::{LrcConfig, UpdateMode};
 
+/// Cap on buffered originating trace IDs per delta journal; beyond this a
+/// flush simply attributes the send to the IDs it kept (the span journal is
+/// best-effort observability, not an audit log).
+const TRACE_IDS_CAP: usize = 1024;
+
 /// Journal of LFN-level changes since the last incremental update.
 #[derive(Debug, Default)]
 pub struct DeltaLog {
@@ -28,10 +33,15 @@ pub struct DeltaLog {
     pub added: Vec<String>,
     /// Logical names fully removed since the last flush.
     pub removed: Vec<String>,
+    /// Trace IDs of the client operations that produced these changes
+    /// (deduplicated consecutively, capped at [`TRACE_IDS_CAP`]); the
+    /// updater attributes its `softstate.delta_send` spans to them so a
+    /// trace follows the change across the soft-state plane.
+    pub trace_ids: Vec<u64>,
 }
 
 impl DeltaLog {
-    /// Total buffered changes.
+    /// Total buffered changes (trace IDs are metadata, not changes).
     pub fn len(&self) -> usize {
         self.added.len() + self.removed.len()
     }
@@ -39,6 +49,15 @@ impl DeltaLog {
     /// True if nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.added.is_empty() && self.removed.is_empty()
+    }
+
+    fn note_trace(&mut self, trace_id: u64) {
+        if trace_id != 0
+            && self.trace_ids.last() != Some(&trace_id)
+            && self.trace_ids.len() < TRACE_IDS_CAP
+        {
+            self.trace_ids.push(trace_id);
+        }
     }
 }
 
@@ -121,7 +140,7 @@ impl LrcService {
         self.queries.load(Ordering::Relaxed)
     }
 
-    fn note_change(&self, m: &Mapping, change: MappingChange) {
+    fn note_change(&self, m: &Mapping, change: MappingChange, trace_id: u64) {
         if change.lfn_created || change.lfn_deleted {
             let track_deltas = matches!(self.config.update.mode, UpdateMode::Immediate { .. });
             if track_deltas {
@@ -131,6 +150,7 @@ impl LrcService {
                 } else {
                     log.removed.push(m.logical.as_str().to_owned());
                 }
+                log.note_trace(trace_id);
             }
             if let Some(bloom) = &self.bloom {
                 let mut filter = bloom.lock();
@@ -145,27 +165,42 @@ impl LrcService {
 
     /// `create` through the service (journals the change).
     pub fn create_mapping(&self, m: &Mapping) -> RlsResult<MappingChange> {
+        self.create_mapping_traced(m, 0)
+    }
+
+    /// `create` attributed to a trace (0 means untraced).
+    pub fn create_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
         let change = self.db.write().create_mapping(m)?;
-        self.note_change(m, change);
+        self.note_change(m, change, trace_id);
         self.metrics.histogram("storage.create").record(t0.elapsed());
         Ok(change)
     }
 
     /// `add` through the service.
     pub fn add_mapping(&self, m: &Mapping) -> RlsResult<MappingChange> {
+        self.add_mapping_traced(m, 0)
+    }
+
+    /// `add` attributed to a trace (0 means untraced).
+    pub fn add_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
         let change = self.db.write().add_mapping(m)?;
-        self.note_change(m, change);
+        self.note_change(m, change, trace_id);
         self.metrics.histogram("storage.add").record(t0.elapsed());
         Ok(change)
     }
 
     /// `delete` through the service.
     pub fn delete_mapping(&self, m: &Mapping) -> RlsResult<MappingChange> {
+        self.delete_mapping_traced(m, 0)
+    }
+
+    /// `delete` attributed to a trace (0 means untraced).
+    pub fn delete_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
         let change = self.db.write().delete_mapping(m)?;
-        self.note_change(m, change);
+        self.note_change(m, change, trace_id);
         self.metrics.histogram("storage.delete").record(t0.elapsed());
         Ok(change)
     }
@@ -187,6 +222,8 @@ impl LrcService {
         let mut restored = log;
         restored.added.append(&mut cur.added);
         restored.removed.append(&mut cur.removed);
+        restored.trace_ids.append(&mut cur.trace_ids);
+        restored.trace_ids.truncate(TRACE_IDS_CAP);
         *cur = restored;
     }
 
@@ -284,6 +321,22 @@ mod tests {
         });
         svc.create_mapping(&m("lfn://a", "pfn://1")).unwrap();
         assert_eq!(svc.pending_deltas(), 0);
+    }
+
+    #[test]
+    fn immediate_mode_journals_originating_trace_ids() {
+        let svc = service(UpdateMode::immediate_default());
+        svc.create_mapping_traced(&m("lfn://a", "pfn://1"), 77).unwrap();
+        svc.add_mapping_traced(&m("lfn://a", "pfn://2"), 77).unwrap(); // no LFN change
+        svc.create_mapping_traced(&m("lfn://b", "pfn://3"), 77).unwrap(); // consecutive dupe
+        svc.delete_mapping_traced(&m("lfn://b", "pfn://3"), 88).unwrap();
+        svc.create_mapping_traced(&m("lfn://c", "pfn://4"), 0).unwrap(); // untraced
+        let log = svc.take_deltas();
+        assert_eq!(log.trace_ids, vec![77, 88]);
+        // Requeue merges the IDs back for the retry.
+        svc.create_mapping_traced(&m("lfn://d", "pfn://5"), 99).unwrap();
+        svc.requeue_deltas(log);
+        assert_eq!(svc.take_deltas().trace_ids, vec![77, 88, 99]);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! Turns a [`ServerStatsWire`] snapshot (opcode 50) into the operator
 //! report printed by `rls-cli stats`: catalog sizes, per-operation latency
 //! quantiles (the live counterpart of the paper's Figures 4–6), soft-state
-//! and storage histograms, and the labeled counter list.
+//! and storage histograms, and the labeled counter list. Also renders the
+//! machine-readable JSON form (`rls-cli stats --json`) and the span table
+//! printed by `rls-cli trace`.
 
 use rls_metrics::HistogramSnapshot;
-use rls_proto::ServerStatsWire;
+use rls_proto::{ServerStatsWire, SpanWire};
 
 /// Renders one latency value; the saturating bucket's upper bound is
 /// `u64::MAX`, which we print as an open interval rather than the number.
@@ -98,6 +100,107 @@ pub fn format_stats_report(stats: &ServerStatsWire) -> String {
     out
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean_micros\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max_micros\":{}}}",
+        h.count,
+        h.mean_micros() as u64,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max_micros,
+    )
+}
+
+/// Formats a stats snapshot as a single JSON object (`rls-cli stats
+/// --json`). All latency values are raw microseconds; the saturating
+/// bucket's `u64::MAX` is emitted verbatim so consumers can detect it.
+pub fn format_stats_json(stats: &ServerStatsWire) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"is_lrc\":{},\"is_rli\":{},\"lrc_lfn_count\":{},\"lrc_mapping_count\":{},\
+         \"rli_association_count\":{},\"rli_bloom_filters\":{},\"adds\":{},\"deletes\":{},\
+         \"queries\":{},\"updates_received\":{},\"expired\":{}",
+        stats.is_lrc,
+        stats.is_rli,
+        stats.lrc_lfn_count,
+        stats.lrc_mapping_count,
+        stats.rli_association_count,
+        stats.rli_bloom_filters,
+        stats.adds,
+        stats.deletes,
+        stats.queries,
+        stats.updates_received,
+        stats.expired,
+    ));
+    out.push_str(",\"op_latencies\":{");
+    let mut first = true;
+    for (name, h) in &stats.op_latencies {
+        if h.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{}", json_escape(name), json_histogram(h)));
+    }
+    out.push_str("},\"counters\":{");
+    for (i, (name, v)) in stats.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders spans returned by a `TraceQuery` as the table printed by
+/// `rls-cli trace`. Trace IDs print as 16-digit hex (the form clients
+/// report); span/parent IDs are journal-local decimal.
+pub fn format_trace_report(spans: &[SpanWire]) -> String {
+    if spans.is_empty() {
+        return "no spans matched\n".to_owned();
+    }
+    let mut out = format!(
+        "{:<16} {:>8} {:>8} {:<24} {:>14} {:>10}  {:<4} {}\n",
+        "trace", "span", "parent", "op", "start_us", "dur_us", "ok", "detail"
+    );
+    for s in spans {
+        out.push_str(&format!(
+            "{:016x} {:>8} {:>8} {:<24} {:>14} {:>10}  {:<4} {}\n",
+            s.trace_id,
+            s.span_id,
+            s.parent_span,
+            s.op,
+            s.start_micros,
+            s.duration_micros,
+            if s.ok { "ok" } else { "ERR" },
+            s.detail,
+        ));
+    }
+    out.push_str(&format!("{} span(s)\n", spans.len()));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +250,74 @@ mod tests {
         assert!(report.contains("roles: none"));
         assert!(!report.contains("latencies"));
         assert!(!report.contains("counters:"));
+    }
+
+    #[test]
+    fn json_report_is_machine_readable() {
+        let stats = ServerStatsWire {
+            is_lrc: true,
+            lrc_lfn_count: 10,
+            adds: 3,
+            op_latencies: vec![
+                ("op.create".into(), snap(&[5, 7, 900])),
+                ("op.never_called".into(), HistogramSnapshot::default()),
+            ],
+            counters: vec![("lrc.engine.inserts".into(), 42)],
+            ..ServerStatsWire::default()
+        };
+        let json = format_stats_json(&stats);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"is_lrc\":true"));
+        assert!(json.contains("\"lrc_lfn_count\":10"));
+        assert!(json.contains("\"op.create\":{\"count\":3"));
+        assert!(json.contains("\"lrc.engine.inserts\":42"));
+        // Empty histograms are suppressed, matching the text report.
+        assert!(!json.contains("op.never_called"));
+        // Balanced braces — a cheap structural sanity check with no JSON
+        // parser in the dependency tree.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_metric_names() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn trace_report_lists_spans() {
+        let spans = vec![
+            SpanWire {
+                trace_id: 0xabc,
+                span_id: 1,
+                parent_span: 0,
+                op: "op.create".into(),
+                start_micros: 10,
+                duration_micros: 250,
+                ok: true,
+                detail: String::new(),
+            },
+            SpanWire {
+                trace_id: 0xabc,
+                span_id: 2,
+                parent_span: 1,
+                op: "lrc.commit".into(),
+                start_micros: 12,
+                duration_micros: 200,
+                ok: false,
+                detail: "lfn0".into(),
+            },
+        ];
+        let report = format_trace_report(&spans);
+        assert!(report.contains("0000000000000abc"));
+        assert!(report.contains("op.create"));
+        assert!(report.contains("lrc.commit"));
+        assert!(report.contains("ERR"));
+        assert!(report.contains("lfn0"));
+        assert!(report.contains("2 span(s)"));
+        assert_eq!(format_trace_report(&[]), "no spans matched\n");
     }
 
     #[test]

@@ -14,11 +14,12 @@ use parking_lot::Mutex;
 
 use rls_net::{Conn, Listener};
 use rls_proto::{Request, Response, PROTOCOL_VERSION};
+use rls_trace::TraceJournal;
 use rls_types::{RlsError, RlsResult, Timestamp};
 
 use crate::auth::Authorizer;
 use crate::config::{ServerConfig, UpdateMode};
-use crate::dispatch::{handle_request, ServerState};
+use crate::dispatch::{handle_request_traced, ServerState};
 use crate::lrc::LrcService;
 use crate::rli::RliService;
 use crate::softstate::{Updater, UpdateOutcome};
@@ -76,6 +77,7 @@ impl Server {
             authorizer: Authorizer::new(config.auth.clone()),
             metrics: Arc::new(rls_metrics::Registry::new()),
             net: Arc::new(rls_net::ConnMeter::new()),
+            journal: Arc::new(TraceJournal::new(config.trace_journal_capacity)),
             slow_op_threshold: config.slow_op_threshold,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -102,12 +104,13 @@ impl Server {
         if let (Some(rli), Some(rli_cfg)) = (&state.rli, &config.rli) {
             if rli_cfg.auto_expire {
                 let rli = Arc::clone(rli);
+                let journal = Arc::clone(&state.journal);
                 let shutdown = Arc::clone(&shutdown);
                 let interval = rli_cfg.expire_interval;
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("rls-expire-{addr}"))
-                        .spawn(move || expire_loop(rli, shutdown, interval))
+                        .spawn(move || expire_loop(rli, journal, shutdown, interval))
                         .expect("spawn expire thread"),
                 );
             }
@@ -116,12 +119,13 @@ impl Server {
         // Update thread (LRC role).
         if let (Some(lrc), Some(lrc_cfg)) = (&state.lrc, &config.lrc) {
             if lrc_cfg.update.auto && !matches!(lrc_cfg.update.mode, UpdateMode::None) {
-                let updater = Updater::new(
+                let mut updater = Updater::new(
                     config.name.clone(),
                     config.dn.clone(),
                     Arc::clone(lrc),
                     &lrc_cfg.update,
                 );
+                updater.set_journal(Arc::clone(&state.journal));
                 let mode = lrc_cfg.update.mode.clone();
                 let shutdown = Arc::clone(&shutdown);
                 threads.push(
@@ -193,6 +197,7 @@ impl Server {
             Arc::clone(lrc),
             &lrc_cfg.update,
         );
+        updater.set_journal(Arc::clone(&self.state.journal));
         Ok(updater.run_cycle())
     }
 
@@ -210,6 +215,7 @@ impl Server {
             Arc::clone(lrc),
             &lrc_cfg.update,
         );
+        updater.set_journal(Arc::clone(&self.state.journal));
         let targets = updater.targets();
         updater.flush_deltas(&targets)
     }
@@ -221,7 +227,7 @@ impl Server {
             .rli
             .as_ref()
             .ok_or_else(|| RlsError::bad_request("server has no RLI role"))?;
-        rli.expire(Timestamp::now())
+        run_traced_expire(rli, &self.state.journal)
     }
 
     /// Stops the accept loop and background threads, then joins them.
@@ -321,13 +327,14 @@ fn serve_connection(
     };
     conn.send(&ack.encode().into_bytes())?;
 
-    // Request loop.
+    // Request loop. Frames may carry a trace envelope; propagated IDs are
+    // threaded into dispatch so spans land under the client's trace.
     while !shutdown.load(Ordering::SeqCst) {
         let Some(frame) = conn.recv()? else {
             return Ok(()); // clean close
         };
-        let response = match Request::decode(&frame) {
-            Ok(req) => handle_request(state, &identity, req),
+        let response = match Request::decode_traced(&frame) {
+            Ok((trace_ids, req)) => handle_request_traced(state, &identity, req, &trace_ids),
             Err(e) => Response::Error(e),
         };
         conn.send(&response.encode().into_bytes())?;
@@ -335,12 +342,31 @@ fn serve_connection(
     Ok(())
 }
 
-fn expire_loop(rli: Arc<RliService>, shutdown: Arc<AtomicBool>, interval: Duration) {
+/// One expire pass recorded as an `rli.expire_sweep` span under a fresh
+/// server-minted trace ID (reclamation is server-originated work).
+fn run_traced_expire(rli: &Arc<RliService>, journal: &Arc<TraceJournal>) -> RlsResult<u64> {
+    let span = journal.begin(journal.mint_trace_id(), 0, "rli.expire_sweep");
+    let result = rli.expire(Timestamp::now());
+    match &result {
+        Ok(n) => span.finish(true, format!("expired={n}")),
+        Err(e) => span.finish(false, format!("error: {:?}", e.code())),
+    }
+    result
+}
+
+fn expire_loop(
+    rli: Arc<RliService>,
+    journal: Arc<TraceJournal>,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+) {
     let mut next = Instant::now() + interval;
     while !shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(20));
         if Instant::now() >= next {
-            let _ = rli.expire(Timestamp::now());
+            if let Err(e) = run_traced_expire(&rli, &journal) {
+                rls_trace::warn!("server", "expire pass failed", error = e);
+            }
             next = Instant::now() + interval;
         }
     }
@@ -374,18 +400,26 @@ fn update_loop(mut updater: Updater, mode: UpdateMode, shutdown: Arc<AtomicBool>
         if let Some(t) = next_delta {
             if now >= t || threshold_hit {
                 let targets = updater.targets();
-                let _ = updater.flush_deltas(&targets);
+                if let Err(e) = updater.flush_deltas(&targets) {
+                    rls_trace::warn!("server", "delta flush failed", error = e);
+                }
                 if let UpdateMode::Immediate { delta_interval, .. } = &mode {
                     next_delta = Some(Instant::now() + *delta_interval);
                 }
             }
         } else if threshold_hit {
             let targets = updater.targets();
-            let _ = updater.flush_deltas(&targets);
+            if let Err(e) = updater.flush_deltas(&targets) {
+                rls_trace::warn!("server", "delta flush failed", error = e);
+            }
         }
         if let Some(t) = next_full {
             if now >= t {
-                let _ = updater.run_cycle();
+                for r in updater.run_cycle() {
+                    if let Err(e) = r {
+                        rls_trace::warn!("server", "update cycle send failed", error = e);
+                    }
+                }
                 match &mode {
                     UpdateMode::Full { interval } | UpdateMode::Bloom { interval, .. } => {
                         next_full = Some(Instant::now() + *interval);

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use rls_net::{LinkProfile, SharedIngress};
 use rls_storage::lrcdb::RliTarget;
+use rls_trace::TraceJournal;
 use rls_types::{Dn, Regex, RlsError, RlsResult};
 
 use crate::client::RlsClient;
@@ -76,6 +77,10 @@ pub struct Updater {
     chunk_size: usize,
     conns: HashMap<String, RlsClient>,
     next_update_id: u64,
+    /// Server span journal, when the updater runs inside a server: sends
+    /// are recorded as `softstate.*_send` spans and their trace IDs are
+    /// propagated to the RLI in the frame's trace envelope.
+    journal: Option<Arc<TraceJournal>>,
 }
 
 impl std::fmt::Debug for Updater {
@@ -98,12 +103,41 @@ impl Updater {
             chunk_size: cfg.chunk_size.max(1),
             conns: HashMap::new(),
             next_update_id: 1,
+            journal: None,
         }
     }
 
     /// The advertised LRC name.
     pub fn lrc_name(&self) -> &str {
         &self.lrc_name
+    }
+
+    /// Attaches the server's span journal: subsequent sends record
+    /// `softstate.*_send` spans and propagate trace IDs on the wire.
+    pub fn set_journal(&mut self, journal: Arc<TraceJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// A fresh update-trace ID, or 0 (untraced) without a journal.
+    fn mint_update_trace(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.mint_trace_id())
+    }
+
+    /// Records one send as a span under each of `trace_ids`.
+    #[allow(clippy::too_many_arguments)]
+    fn record_send_spans(
+        &self,
+        trace_ids: &[u64],
+        op: &str,
+        start: Instant,
+        duration: Duration,
+        ok: bool,
+        detail: &str,
+    ) {
+        let Some(journal) = &self.journal else { return };
+        for &id in trace_ids {
+            journal.record_with(id, 0, op, start, duration, ok, detail);
+        }
     }
 
     fn conn(&mut self, target: &str) -> RlsResult<&mut RlsClient> {
@@ -174,26 +208,40 @@ impl Updater {
         let chunk_size = self.chunk_size;
         let names = lfns.len() as u64;
         let bytes: u64 = lfns.iter().map(|s| s.len() as u64 + 4).sum();
+        // Server-originated work gets a fresh update-trace ID; the RLI's
+        // apply spans land under the same ID via the trace envelope.
+        let trace_id = self.mint_update_trace();
+        let id_buf = [trace_id];
+        let trace_ids: &[u64] = if trace_id == 0 { &[] } else { &id_buf };
         let t0 = Instant::now();
         let result = (|| -> RlsResult<()> {
             let conn = self.conn(&target.name)?;
             if lfns.is_empty() {
-                conn.send_full_chunk(&lrc_name, update_id, 0, true, Vec::new())?;
+                conn.send_full_chunk_traced(&lrc_name, update_id, 0, true, Vec::new(), trace_ids)?;
                 return Ok(());
             }
             let chunks: Vec<&[String]> = lfns.chunks(chunk_size).collect();
             let last_idx = chunks.len() - 1;
             for (seq, chunk) in chunks.into_iter().enumerate() {
-                conn.send_full_chunk(
+                conn.send_full_chunk_traced(
                     &lrc_name,
                     update_id,
                     seq as u32,
                     seq == last_idx,
                     chunk.to_vec(),
+                    trace_ids,
                 )?;
             }
             Ok(())
         })();
+        self.record_send_spans(
+            trace_ids,
+            "softstate.full_send",
+            t0,
+            t0.elapsed(),
+            result.is_ok(),
+            &format!("target={} names={names}", target.name),
+        );
         if let Err(e) = result {
             self.drop_conn(&target.name);
             return Err(e);
@@ -223,10 +271,21 @@ impl Updater {
         m.counter("softstate.bloom_fpp_ppm")
             .set((filter.estimated_fpp() * 1_000_000.0) as u64);
         let lrc_name = self.lrc_name.clone();
+        let trace_id = self.mint_update_trace();
+        let id_buf = [trace_id];
+        let trace_ids: &[u64] = if trace_id == 0 { &[] } else { &id_buf };
         let t0 = Instant::now();
         let result = self
             .conn(&target.name)
-            .and_then(|conn| conn.send_bloom(&lrc_name, &filter));
+            .and_then(|conn| conn.send_bloom_traced(&lrc_name, &filter, trace_ids));
+        self.record_send_spans(
+            trace_ids,
+            "softstate.bloom_send",
+            t0,
+            t0.elapsed(),
+            result.is_ok(),
+            &format!("target={} entries={names}", target.name),
+        );
         if let Err(e) = result {
             self.drop_conn(&target.name);
             return Err(e);
@@ -253,6 +312,15 @@ impl Updater {
         let log = self.lrc.take_deltas();
         if log.is_empty() {
             return Ok(Vec::new());
+        }
+        // Carry the originating client-op trace IDs across the wire; a
+        // journal-less flush of untraced changes goes out untraced.
+        let mut trace_ids = log.trace_ids.clone();
+        if trace_ids.is_empty() {
+            let id = self.mint_update_trace();
+            if id != 0 {
+                trace_ids.push(id);
+            }
         }
         let mut outcomes = Vec::new();
         let mut attempted = 0usize;
@@ -283,9 +351,18 @@ impl Updater {
                 .sum();
             let lrc_name = self.lrc_name.clone();
             let t0 = Instant::now();
+            let ids = &trace_ids;
             let result = self
                 .conn(&target.name)
-                .and_then(|conn| conn.send_delta(&lrc_name, added, removed));
+                .and_then(|conn| conn.send_delta_traced(&lrc_name, added, removed, ids));
+            self.record_send_spans(
+                ids,
+                "softstate.delta_send",
+                t0,
+                t0.elapsed(),
+                result.is_ok(),
+                &format!("target={} names={names}", target.name),
+            );
             match result {
                 Ok(()) => {
                     delivered_any = true;

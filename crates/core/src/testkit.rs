@@ -247,12 +247,14 @@ impl TestDeployment {
             .expect("lrc config")
             .update
             .clone();
-        Updater::new(
+        let mut updater = Updater::new(
             server.name().to_owned(),
             server.config().dn.clone(),
             Arc::clone(lrc),
             &cfg,
-        )
+        );
+        updater.set_journal(Arc::clone(&server.state().journal));
+        updater
     }
 
     /// Shuts every server down.

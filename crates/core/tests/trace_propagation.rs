@@ -1,0 +1,169 @@
+//! Trace-propagation integration tests: the trace ID a client attaches to
+//! a request follows the operation across the soft-state plane — LRC
+//! commit, immediate-mode delta send, RLI apply — and every server's span
+//! journal stays bounded at its configured capacity.
+
+use rls_core::testkit::TestDeployment;
+use rls_core::{LrcConfig, RlsClient, Server, ServerConfig};
+use rls_proto::Request;
+use rls_trace::TraceQueryFilter;
+use rls_types::Dn;
+
+fn by_trace(trace_id: u64) -> TraceQueryFilter {
+    TraceQueryFilter {
+        trace_id,
+        ..TraceQueryFilter::default()
+    }
+}
+
+/// The end-to-end demo of the tracing design: one client write on the LRC,
+/// one forced delta flush, and the same trace ID shows up in both servers'
+/// journals covering every hop.
+#[test]
+fn trace_id_follows_delta_from_lrc_to_rli() {
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .immediate(true)
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://trace/a", "pfn://trace/a").unwrap();
+    let trace_id = c.last_trace_id();
+    assert_ne!(trace_id, 0, "client mints a trace id per request");
+    for r in dep.flush_deltas() {
+        r.unwrap();
+    }
+
+    // LRC journal: the request's root span, the catalog commit under it,
+    // and the delta send that carried the change out.
+    let lrc_spans = dep.lrcs[0].state().journal.query(&by_trace(trace_id));
+    let ops: Vec<&str> = lrc_spans.iter().map(|s| s.op.as_str()).collect();
+    assert!(ops.contains(&"op.create"), "missing op.create in {ops:?}");
+    assert!(ops.contains(&"lrc.commit"), "missing lrc.commit in {ops:?}");
+    assert!(
+        ops.contains(&"softstate.delta_send"),
+        "missing softstate.delta_send in {ops:?}"
+    );
+    let root = lrc_spans.iter().find(|s| s.op == "op.create").unwrap();
+    let commit = lrc_spans.iter().find(|s| s.op == "lrc.commit").unwrap();
+    assert_eq!(root.parent_span, 0);
+    assert_eq!(commit.parent_span, root.span_id, "commit links to the root span");
+    assert!(lrc_spans.iter().all(|s| s.ok));
+
+    // RLI journal: the apply span carries the propagated trace ID.
+    let rli_spans = dep.rlis[0].state().journal.query(&by_trace(trace_id));
+    assert!(
+        rli_spans.iter().any(|s| s.op == "rli.apply_delta"),
+        "RLI journal missing rli.apply_delta for trace {trace_id:#x}"
+    );
+
+    // The same spans are reachable over the wire via TraceQuery.
+    let mut rc = dep.rli_client(0).unwrap();
+    let wire = rc.trace_query(trace_id, "rli.", 0, 0).unwrap();
+    assert!(wire.iter().any(|s| s.op == "rli.apply_delta" && s.trace_id == trace_id));
+    let none = rc.trace_query(trace_id, "op.nomatch", 0, 0).unwrap();
+    assert!(none.is_empty());
+}
+
+/// A frame sent without a trace envelope is served normally and gets a
+/// server-minted trace ID instead of going untraced.
+#[test]
+fn untraced_frame_is_served_and_minted_locally() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    let before = dep.lrcs[0].state().journal.recorded_total();
+    // call_traced with no IDs encodes a plain (pre-tracing) frame.
+    c.call_traced(&Request::Ping, &[]).unwrap();
+    assert_eq!(c.last_trace_id(), 0, "untraced call reports no trace id");
+    let journal = &dep.lrcs[0].state().journal;
+    assert!(journal.recorded_total() > before);
+    let spans = journal.query(&TraceQueryFilter {
+        op_prefix: "op.ping".to_owned(),
+        ..TraceQueryFilter::default()
+    });
+    let ping = spans.first().expect("ping span recorded");
+    assert_ne!(ping.trace_id, 0, "server mints an ID for untraced frames");
+}
+
+/// The journal is a ring: a workload far larger than the configured
+/// capacity leaves exactly `capacity` spans behind.
+#[test]
+fn journal_is_bounded_at_configured_capacity() {
+    let config = ServerConfig {
+        lrc: Some(LrcConfig::default()),
+        trace_journal_capacity: 64,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let mut c = RlsClient::connect(server.addr(), &Dn::anonymous()).unwrap();
+    // Mix writes (which add lrc.commit child spans) with reads.
+    for i in 0..1000 {
+        c.create_mapping(&format!("lfn://cap/{i}"), &format!("pfn://cap/{i}"))
+            .unwrap();
+        c.ping().unwrap();
+    }
+    let journal = &server.state().journal;
+    assert_eq!(journal.capacity(), 64);
+    assert_eq!(journal.len(), 64, "ring holds exactly the configured capacity");
+    assert!(journal.recorded_total() >= 3000);
+    // Unfiltered query is capped by what the ring retains.
+    assert_eq!(journal.query(&TraceQueryFilter::default()).len(), 64);
+    server.shutdown();
+}
+
+/// Capacity 0 disables retention entirely while IDs still mint.
+#[test]
+fn zero_capacity_disables_retention() {
+    let config = ServerConfig {
+        lrc: Some(LrcConfig::default()),
+        trace_journal_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let mut c = RlsClient::connect(server.addr(), &Dn::anonymous()).unwrap();
+    c.create_mapping("lfn://zero/a", "pfn://zero/a").unwrap();
+    assert_ne!(c.last_trace_id(), 0);
+    let journal = &server.state().journal;
+    assert_eq!(journal.len(), 0);
+    assert!(journal.query(&TraceQueryFilter::default()).is_empty());
+    server.shutdown();
+}
+
+/// Full-mode updates and the expire sweep mint their own trace IDs so
+/// background work is attributable too.
+#[test]
+fn background_work_is_traced_with_fresh_ids() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://bg/a", "pfn://bg/a").unwrap();
+    for r in dep.force_updates() {
+        r.unwrap();
+    }
+    dep.force_expire().unwrap();
+
+    let lrc_sends = dep.lrcs[0].state().journal.query(&TraceQueryFilter {
+        op_prefix: "softstate.full_send".to_owned(),
+        ..TraceQueryFilter::default()
+    });
+    let send = lrc_sends.first().expect("full send span");
+    assert_ne!(send.trace_id, 0);
+
+    let rli_journal = &dep.rlis[0].state().journal;
+    let applies = rli_journal.query(&TraceQueryFilter {
+        op_prefix: "rli.apply_full".to_owned(),
+        ..TraceQueryFilter::default()
+    });
+    assert!(
+        applies.iter().any(|s| s.trace_id == send.trace_id),
+        "RLI apply shares the update's minted trace id"
+    );
+    let sweeps = rli_journal.query(&TraceQueryFilter {
+        op_prefix: "rli.expire_sweep".to_owned(),
+        ..TraceQueryFilter::default()
+    });
+    let sweep = sweeps.first().expect("expire sweep span");
+    assert_ne!(sweep.trace_id, 0);
+    assert!(sweep.ok);
+    assert!(sweep.detail.starts_with("expired="));
+}

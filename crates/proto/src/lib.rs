@@ -25,5 +25,5 @@ pub mod message;
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use message::{
     AttrAssignment, ProtocolVersion, Request, Response, RliHit, RliTargetWire, ServerStatsWire,
-    PROTOCOL_VERSION,
+    SpanWire, PROTOCOL_VERSION, TRACE_ENVELOPE_OPCODE,
 };

@@ -15,6 +15,13 @@ pub type ProtocolVersion = u16;
 /// Current protocol version.
 pub const PROTOCOL_VERSION: ProtocolVersion = 1;
 
+/// Reserved opcode marking a request frame that starts with a trace
+/// envelope: `[u16 0xFFFE][u32 n][n × u64 trace IDs]` followed by the
+/// ordinary `[u16 opcode][body]`. Frames without the envelope decode with an
+/// empty trace-ID list, so pre-tracing peers interoperate unchanged; a
+/// batched soft-state delta carries the IDs of every originating operation.
+pub const TRACE_ENVELOPE_OPCODE: u16 = 0xFFFE;
+
 /// An attribute attachment: object, attribute name, value.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AttrAssignment {
@@ -86,6 +93,29 @@ pub struct ServerStatsWire {
     /// transport bytes/frames, engine counters, Bloom-filter state, queue
     /// depths. Fractional values use scaled-integer names (`*_ppm`).
     pub counters: Vec<(String, u64)>,
+}
+
+/// One finished span from a server's trace journal, as returned by
+/// `TraceQuery`. Mirrors `rls_trace::SpanRecord`; kept separate so the wire
+/// format is owned by this crate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanWire {
+    /// Trace the span belongs to (nonzero).
+    pub trace_id: u64,
+    /// Journal-local span identity.
+    pub span_id: u64,
+    /// Enclosing span's `span_id`, or 0 for a root span.
+    pub parent_span: u64,
+    /// Span name (`op.add`, `lrc.commit`, `softstate.delta_send`, ...).
+    pub op: String,
+    /// Start offset in microseconds since the journal was created.
+    pub start_micros: u64,
+    /// Duration in microseconds.
+    pub duration_micros: u64,
+    /// Whether the work succeeded.
+    pub ok: bool,
+    /// Free-form annotation (error code, target server, counts).
+    pub detail: String,
 }
 
 /// A client request frame.
@@ -263,6 +293,17 @@ pub enum Request {
     // -- administration --
     /// Server statistics.
     Stats,
+    /// Query the server's span journal (requires `lrc_read` or `rli_read`).
+    TraceQuery {
+        /// Exact trace ID, or 0 to match any trace.
+        trace_id: u64,
+        /// Span-name prefix filter (empty matches every op).
+        op_prefix: String,
+        /// Minimum span duration in microseconds.
+        min_duration_micros: u64,
+        /// Result cap (0 means server default).
+        limit: u32,
+    },
 }
 
 /// A server response frame.
@@ -309,6 +350,8 @@ pub enum Response {
     Names(Vec<String>),
     /// Statistics snapshot.
     StatsReport(ServerStatsWire),
+    /// Span journal query results, newest first.
+    Spans(Vec<SpanWire>),
 }
 
 // --- encoding ---------------------------------------------------------------
@@ -422,12 +465,32 @@ impl Request {
             Self::SoftStateDelta { .. } => "op.soft_state_delta",
             Self::SoftStateBloom { .. } => "op.soft_state_bloom",
             Self::Stats => "op.stats",
+            Self::TraceQuery { .. } => "op.trace_query",
         }
     }
 
-    /// Encodes the request (opcode + body).
+    /// Encodes the request (opcode + body) with no trace envelope.
     pub fn encode(&self) -> Writer {
+        self.encode_traced(&[])
+    }
+
+    /// Encodes the request, prefixing a trace envelope when any nonzero
+    /// trace IDs are supplied (see [`TRACE_ENVELOPE_OPCODE`]).
+    pub fn encode_traced(&self, trace_ids: &[u64]) -> Writer {
         let mut w = Writer::with_capacity(64);
+        let ids: Vec<u64> = trace_ids.iter().copied().filter(|&t| t != 0).collect();
+        if !ids.is_empty() {
+            w.u16(TRACE_ENVELOPE_OPCODE);
+            w.u32(ids.len() as u32);
+            for id in &ids {
+                w.u64(*id);
+            }
+        }
+        self.encode_body(&mut w);
+        w
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
         match self {
             Self::Hello { dn, version } => {
                 w.u16(1);
@@ -437,15 +500,15 @@ impl Request {
             Self::Ping => w.u16(2),
             Self::Create(m) => {
                 w.u16(10);
-                w_mapping(&mut w, m);
+                w_mapping(w, m);
             }
             Self::Add(m) => {
                 w.u16(11);
-                w_mapping(&mut w, m);
+                w_mapping(w, m);
             }
             Self::Delete(m) => {
                 w.u16(12);
-                w_mapping(&mut w, m);
+                w_mapping(w, m);
             }
             Self::BulkCreate(ms) => {
                 w.u16(13);
@@ -497,11 +560,11 @@ impl Request {
             }
             Self::AddAttr(a) => {
                 w.u16(32);
-                w_assignment(&mut w, a);
+                w_assignment(w, a);
             }
             Self::ModifyAttr(a) => {
                 w.u16(33);
-                w_assignment(&mut w, a);
+                w_assignment(w, a);
             }
             Self::RemoveAttr { obj, objtype, name } => {
                 w.u16(34);
@@ -611,14 +674,43 @@ impl Request {
                 w.bytes(words);
             }
             Self::Stats => w.u16(70),
+            Self::TraceQuery {
+                trace_id,
+                op_prefix,
+                min_duration_micros,
+                limit,
+            } => {
+                w.u16(71);
+                w.u64(*trace_id);
+                w.str(op_prefix);
+                w.u64(*min_duration_micros);
+                w.u32(*limit);
+            }
         }
-        w
     }
 
-    /// Decodes a request frame body.
+    /// Decodes a request frame body, discarding any trace envelope.
     pub fn decode(body: &[u8]) -> RlsResult<Self> {
+        Ok(Self::decode_traced(body)?.1)
+    }
+
+    /// Decodes a request frame body plus its trace IDs. Frames without a
+    /// trace envelope yield an empty ID list (the untraced legacy shape).
+    pub fn decode_traced(body: &[u8]) -> RlsResult<(Vec<u64>, Self)> {
         let mut r = Reader::new(body);
-        let opcode = r.u16()?;
+        let mut opcode = r.u16()?;
+        let mut trace_ids = Vec::new();
+        if opcode == TRACE_ENVELOPE_OPCODE {
+            let n = r.u32()? as usize;
+            if n.saturating_mul(8) > r.remaining() {
+                return Err(RlsError::protocol("trace id list longer than frame"));
+            }
+            trace_ids.reserve(n);
+            for _ in 0..n {
+                trace_ids.push(r.u64()?);
+            }
+            opcode = r.u16()?;
+        }
         let req = match opcode {
             1 => Self::Hello {
                 dn: r.dn()?,
@@ -712,6 +804,12 @@ impl Request {
                 }
             }
             70 => Self::Stats,
+            71 => Self::TraceQuery {
+                trace_id: r.u64()?,
+                op_prefix: r.str()?,
+                min_duration_micros: r.u64()?,
+                limit: r.u32()?,
+            },
             other => {
                 return Err(RlsError::bad_request(format!(
                     "unknown request opcode {other}"
@@ -721,7 +819,7 @@ impl Request {
         if !r.is_done() {
             return Err(RlsError::protocol("trailing bytes after request"));
         }
-        Ok(req)
+        Ok((trace_ids, req))
     }
 
     /// Converts a received `SoftStateBloom` payload into a filter.
@@ -887,6 +985,19 @@ impl Response {
                     w.u64(*v);
                 });
             }
+            Self::Spans(spans) => {
+                w.u16(51);
+                w.list(spans, |w, s| {
+                    w.u64(s.trace_id);
+                    w.u64(s.span_id);
+                    w.u64(s.parent_span);
+                    w.str(&s.op);
+                    w.u64(s.start_micros);
+                    w.u64(s.duration_micros);
+                    w.bool(s.ok);
+                    w.str(&s.detail);
+                });
+            }
         }
         w
     }
@@ -968,6 +1079,18 @@ impl Response {
                 })?,
                 counters: r.list(|r| Ok((r.str()?, r.u64()?)))?,
             }),
+            51 => Self::Spans(r.list(|r| {
+                Ok(SpanWire {
+                    trace_id: r.u64()?,
+                    span_id: r.u64()?,
+                    parent_span: r.u64()?,
+                    op: r.str()?,
+                    start_micros: r.u64()?,
+                    duration_micros: r.u64()?,
+                    ok: r.bool()?,
+                    detail: r.str()?,
+                })
+            })?),
             other => {
                 return Err(RlsError::protocol(format!(
                     "unknown response opcode {other}"
@@ -1122,6 +1245,12 @@ mod tests {
                 entries: 3,
             },
             Request::Stats,
+            Request::TraceQuery {
+                trace_id: 0x9f3a_11d2_0000_0001,
+                op_prefix: "op.".into(),
+                min_duration_micros: 250_000,
+                limit: 64,
+            },
         ];
         for req in reqs {
             rt_request(req);
@@ -1190,10 +1319,66 @@ mod tests {
                 counters: vec![("net.bytes_in".into(), 4096)],
             }),
             Response::StatsReport(ServerStatsWire::default()),
+            Response::Spans(vec![
+                SpanWire {
+                    trace_id: 7,
+                    span_id: 2,
+                    parent_span: 1,
+                    op: "lrc.commit".into(),
+                    start_micros: 1_000,
+                    duration_micros: 85,
+                    ok: true,
+                    detail: "create".into(),
+                },
+                SpanWire::default(),
+            ]),
+            Response::Spans(vec![]),
         ];
         for resp in resps {
             rt_response(resp);
         }
+    }
+
+    #[test]
+    fn trace_envelope_round_trips_and_plain_frames_stay_compatible() {
+        let req = Request::SoftStateDelta {
+            lrc: "lrc:39281".into(),
+            added: vec!["lfn://new".into()],
+            removed: vec![],
+        };
+        // Traced frame: IDs survive, zero IDs are dropped.
+        let bytes = req.encode_traced(&[11, 0, 22]).into_bytes();
+        let (ids, decoded) = Request::decode_traced(&bytes).unwrap();
+        assert_eq!(ids, vec![11, 22]);
+        assert_eq!(decoded, req);
+        // decode() on a traced frame discards the envelope.
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+
+        // Plain (pre-tracing) frame: decode_traced yields an empty ID list.
+        let plain = req.encode().into_bytes();
+        let (ids, decoded) = Request::decode_traced(&plain).unwrap();
+        assert!(ids.is_empty());
+        assert_eq!(decoded, req);
+        // No envelope is emitted for an empty or all-zero ID list.
+        assert_eq!(req.encode_traced(&[]).into_bytes(), plain);
+        assert_eq!(req.encode_traced(&[0, 0]).into_bytes(), plain);
+    }
+
+    #[test]
+    fn trace_envelope_id_count_exceeding_frame_rejected() {
+        let mut w = Writer::with_capacity(16);
+        w.u16(TRACE_ENVELOPE_OPCODE);
+        w.u32(u32::MAX); // claims ~4 billion IDs in a tiny frame
+        w.u64(1);
+        let e = Request::decode_traced(&w.into_bytes()).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn traced_frame_with_trailing_bytes_rejected() {
+        let mut bytes = Request::Ping.encode_traced(&[5]).into_bytes().to_vec();
+        bytes.push(0);
+        assert!(Request::decode_traced(&bytes).is_err());
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Leveled structured logging.
+//!
+//! One process-wide [`Logger`] (see [`global`]) renders `key=value` lines —
+//! or JSON objects in [`LogFormat::Json`] mode — to stderr. The default
+//! level is [`Level::Warn`], so servers spawned inside tests are silent
+//! unless something is actually wrong; `rls-server` raises the level and
+//! picks the format from its config file.
+//!
+//! Call sites use the macros exported at the crate root:
+//!
+//! ```
+//! rls_trace::info!("server", "listening", addr = "127.0.0.1:39281", lrc = true);
+//! rls_trace::warn!("dispatch", "slow op", op = "op.add", trace = 0x9f3au64);
+//! ```
+
+use std::fmt;
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "err" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown log level {other:?} (error|warn|info|debug|trace)")),
+        }
+    }
+}
+
+/// Output encoding for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum LogFormat {
+    /// `ts=... level=info component=server msg="..." key=value ...`
+    #[default]
+    Text = 0,
+    /// One JSON object per line, all values rendered as strings.
+    Json = 1,
+}
+
+impl FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" | "kv" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format {other:?} (text|json)")),
+        }
+    }
+}
+
+enum Sink {
+    Stderr,
+    /// Test hook: lines are appended to the shared buffer instead.
+    Buffer(Arc<Mutex<Vec<u8>>>),
+}
+
+/// A leveled structured logger. Most code uses the process-wide [`global`]
+/// instance through the crate's macros; separate instances exist so tests
+/// can capture output without races.
+pub struct Logger {
+    level: AtomicU8,
+    format: AtomicU8,
+    sink: Mutex<Sink>,
+}
+
+impl Logger {
+    /// A logger at [`Level::Warn`] / [`LogFormat::Text`] writing to stderr.
+    pub const fn new() -> Logger {
+        Logger {
+            level: AtomicU8::new(Level::Warn as u8),
+            format: AtomicU8::new(LogFormat::Text as u8),
+            sink: Mutex::new(Sink::Stderr),
+        }
+    }
+
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    pub fn format(&self) -> LogFormat {
+        if self.format.load(Ordering::Relaxed) == LogFormat::Json as u8 {
+            LogFormat::Json
+        } else {
+            LogFormat::Text
+        }
+    }
+
+    pub fn set_format(&self, format: LogFormat) {
+        self.format.store(format as u8, Ordering::Relaxed);
+    }
+
+    /// True when a message at `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level()
+    }
+
+    /// Redirects output to an in-memory buffer and returns it (test hook).
+    pub fn capture(&self) -> Arc<Mutex<Vec<u8>>> {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        *self.sink.lock().unwrap() = Sink::Buffer(Arc::clone(&buf));
+        buf
+    }
+
+    /// Emits one structured line. Prefer the crate macros, which check
+    /// [`Logger::enabled`] before evaluating field expressions.
+    pub fn log(&self, level: Level, component: &str, msg: &str, fields: &[(&str, &dyn fmt::Display)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let line = match self.format() {
+            LogFormat::Text => render_text(ts, level, component, msg, fields),
+            LogFormat::Json => render_json(ts, level, component, msg, fields),
+        };
+        match &*self.sink.lock().unwrap() {
+            Sink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+            Sink::Buffer(buf) => {
+                let mut buf = buf.lock().unwrap();
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+            }
+        }
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Logger {
+        Logger::new()
+    }
+}
+
+static GLOBAL: Logger = Logger::new();
+
+/// The process-wide logger used by the crate macros.
+pub fn global() -> &'static Logger {
+    &GLOBAL
+}
+
+fn is_bare(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'/' | b'@' | b'+' | b'-')
+        })
+}
+
+fn text_value(s: &str) -> String {
+    if is_bare(s) {
+        s.to_owned()
+    } else {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+fn render_text(
+    ts: u64,
+    level: Level,
+    component: &str,
+    msg: &str,
+    fields: &[(&str, &dyn fmt::Display)],
+) -> String {
+    let mut line = format!(
+        "ts={ts} level={level} component={} msg={}",
+        text_value(component),
+        text_value(msg)
+    );
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        line.push_str(&text_value(&value.to_string()));
+    }
+    line
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_json(
+    ts: u64,
+    level: Level,
+    component: &str,
+    msg: &str,
+    fields: &[(&str, &dyn fmt::Display)],
+) -> String {
+    let mut line = format!(
+        "{{\"ts\":{ts},\"level\":{},\"component\":{},\"msg\":{}",
+        json_string(level.as_str()),
+        json_string(component),
+        json_string(msg)
+    );
+    for (key, value) in fields {
+        line.push(',');
+        line.push_str(&json_string(key));
+        line.push(':');
+        line.push_str(&json_string(&value.to_string()));
+    }
+    line.push('}');
+    line
+}
+
+/// Core logging macro: `log_event!(level, component, msg, key = value, ...)`.
+/// Field expressions are only evaluated when the level is enabled.
+#[macro_export]
+macro_rules! log_event {
+    ($level:expr, $component:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let logger = $crate::global();
+        if logger.enabled($level) {
+            logger.log(
+                $level,
+                $component,
+                $msg,
+                &[$((stringify!($key), &$value as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    }};
+}
+
+/// `error!(component, msg, key = value, ...)` via the global logger.
+#[macro_export]
+macro_rules! error {
+    ($($args:tt)*) => { $crate::log_event!($crate::Level::Error, $($args)*) };
+}
+
+/// `warn!(component, msg, key = value, ...)` via the global logger.
+#[macro_export]
+macro_rules! warn {
+    ($($args:tt)*) => { $crate::log_event!($crate::Level::Warn, $($args)*) };
+}
+
+/// `info!(component, msg, key = value, ...)` via the global logger.
+#[macro_export]
+macro_rules! info {
+    ($($args:tt)*) => { $crate::log_event!($crate::Level::Info, $($args)*) };
+}
+
+/// `debug!(component, msg, key = value, ...)` via the global logger.
+#[macro_export]
+macro_rules! debug {
+    ($($args:tt)*) => { $crate::log_event!($crate::Level::Debug, $($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(buf: &Arc<Mutex<Vec<u8>>>) -> String {
+        let mut buf = buf.lock().unwrap();
+        let s = String::from_utf8(buf.clone()).unwrap();
+        buf.clear();
+        s
+    }
+
+    #[test]
+    fn text_format_quotes_only_when_needed() {
+        let logger = Logger::new();
+        logger.set_level(Level::Info);
+        let buf = logger.capture();
+        logger.log(
+            Level::Info,
+            "server",
+            "listening now",
+            &[("addr", &"127.0.0.1:39281"), ("note", &"has \"quotes\"")],
+        );
+        let line = drain(&buf);
+        assert!(line.starts_with("ts="));
+        assert!(line.contains("level=info"));
+        assert!(line.contains("component=server"));
+        assert!(line.contains("msg=\"listening now\""));
+        assert!(line.contains("addr=127.0.0.1:39281"));
+        assert!(line.contains("note=\"has \\\"quotes\\\"\""));
+    }
+
+    #[test]
+    fn json_format_escapes() {
+        let logger = Logger::new();
+        logger.set_level(Level::Debug);
+        logger.set_format(LogFormat::Json);
+        let buf = logger.capture();
+        logger.log(Level::Debug, "net", "line\nbreak", &[("n", &42u64)]);
+        let line = drain(&buf);
+        assert!(line.contains("\"level\":\"debug\""));
+        assert!(line.contains("\"msg\":\"line\\nbreak\""));
+        assert!(line.contains("\"n\":\"42\""));
+        assert!(line.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn level_gating_suppresses() {
+        let logger = Logger::new(); // default Warn
+        let buf = logger.capture();
+        logger.log(Level::Info, "server", "hidden", &[]);
+        logger.log(Level::Warn, "server", "shown", &[]);
+        let out = drain(&buf);
+        assert!(!out.contains("hidden"));
+        assert!(out.contains("shown"));
+        assert!(logger.enabled(Level::Error));
+        assert!(!logger.enabled(Level::Trace));
+    }
+
+    #[test]
+    fn levels_and_formats_parse() {
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("ERROR".parse::<Level>().unwrap(), Level::Error);
+        assert_eq!("trace".parse::<Level>().unwrap(), Level::Trace);
+        assert!("loud".parse::<Level>().is_err());
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert_eq!("text".parse::<LogFormat>().unwrap(), LogFormat::Text);
+        assert!("xml".parse::<LogFormat>().is_err());
+    }
+
+    #[test]
+    fn global_macros_reach_global_logger() {
+        // The global logger defaults to Warn; error! must pass through it.
+        let buf = crate::global().capture();
+        crate::error!("test", "global macro", code = 7);
+        crate::info!("test", "suppressed by default");
+        let out = drain(&buf);
+        assert!(out.contains("msg=\"global macro\""));
+        assert!(out.contains("code=7"));
+        assert!(!out.contains("suppressed"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Bounded in-memory span journal.
+//!
+//! A [`TraceJournal`] holds the most recent N finished spans in a ring
+//! buffer behind a single `std::sync::Mutex`. Recording a span is one short
+//! critical section (a slot write and two index bumps), so the journal adds
+//! negligible cost to the request path even at high throughput; queries walk
+//! the ring newest-first under the same lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::{mix64, nonzero_id};
+
+/// Process-wide counter so every journal (one per in-process server) gets a
+/// distinct trace-ID seed without any entropy source.
+static JOURNAL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// One finished span: a named unit of work attributed to a trace.
+///
+/// `parent_span` is 0 for root spans; child spans (e.g. `lrc.commit` under
+/// `op.add`) link to the enclosing span's `span_id` within the same journal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanRecord {
+    /// Trace this span belongs to; never 0 in a journal (0 means untraced
+    /// on the wire, and the server mints a local ID before recording).
+    pub trace_id: u64,
+    /// Journal-local span identity, sequential from 1.
+    pub span_id: u64,
+    /// `span_id` of the enclosing span, or 0 for a root span.
+    pub parent_span: u64,
+    /// Span name, e.g. `op.add`, `lrc.commit`, `softstate.delta_send`,
+    /// `rli.apply_delta`, `rli.expire_sweep`.
+    pub op: String,
+    /// Start offset in microseconds since the journal was created.
+    pub start_micros: u64,
+    /// Wall-clock duration of the work in microseconds.
+    pub duration_micros: u64,
+    /// Whether the work succeeded.
+    pub ok: bool,
+    /// Free-form annotation: error code, target server, reclaim count, ...
+    pub detail: String,
+}
+
+/// Filter for [`TraceJournal::query`]; all clauses are ANDed.
+#[derive(Debug, Clone, Default)]
+pub struct TraceQueryFilter {
+    /// Exact trace ID, or 0 to match any trace.
+    pub trace_id: u64,
+    /// Span-name prefix (empty matches every op).
+    pub op_prefix: String,
+    /// Minimum span duration in microseconds.
+    pub min_duration_micros: u64,
+    /// Maximum number of spans returned (0 means no limit).
+    pub limit: usize,
+}
+
+struct Ring {
+    slots: Vec<SpanRecord>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+}
+
+struct Shared {
+    capacity: usize,
+    recorded: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Shared {
+    fn push(&self, rec: SpanRecord) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.slots.len() < self.capacity {
+            ring.slots.push(rec);
+        } else {
+            let at = ring.next;
+            ring.slots[at] = rec;
+        }
+        ring.next = (ring.next + 1) % self.capacity;
+    }
+}
+
+/// A bounded journal of finished spans plus the trace/span ID mints.
+pub struct TraceJournal {
+    epoch: Instant,
+    seed: u64,
+    next_span: AtomicU64,
+    next_trace: AtomicU64,
+    shared: Arc<Shared>,
+}
+
+impl TraceJournal {
+    /// Creates a journal holding at most `capacity` spans (0 disables
+    /// recording entirely; ID minting still works).
+    pub fn new(capacity: usize) -> Self {
+        let n = JOURNAL_COUNTER.fetch_add(1, Ordering::Relaxed);
+        // Distinct per journal within a process, and distinct across
+        // processes on one host via the pid — no clock or RNG involved.
+        let seed = mix64(((std::process::id() as u64) << 32) ^ n);
+        TraceJournal {
+            epoch: Instant::now(),
+            seed,
+            next_span: AtomicU64::new(0),
+            next_trace: AtomicU64::new(0),
+            shared: Arc::new(Shared {
+                capacity,
+                recorded: AtomicU64::new(0),
+                ring: Mutex::new(Ring { slots: Vec::new(), next: 0 }),
+            }),
+        }
+    }
+
+    /// Mints a fresh nonzero trace ID for server-originated work (periodic
+    /// updates, expire sweeps, requests that arrived untraced).
+    pub fn mint_trace_id(&self) -> u64 {
+        let n = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        nonzero_id(mix64(self.seed.wrapping_add(n)))
+    }
+
+    fn mint_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Opens a span; finish it with [`SpanGuard::finish`]. A guard dropped
+    /// without an explicit finish records the span as failed with detail
+    /// `"unfinished"` (e.g. an `?` early return on the error path).
+    pub fn begin(&self, trace_id: u64, parent_span: u64, op: impl Into<String>) -> SpanGuard {
+        SpanGuard {
+            shared: Arc::clone(&self.shared),
+            rec: SpanRecord {
+                trace_id: nonzero_id(trace_id),
+                span_id: self.mint_span_id(),
+                parent_span,
+                op: op.into(),
+                start_micros: self.offset_micros(Instant::now()),
+                duration_micros: 0,
+                ok: false,
+                detail: String::new(),
+            },
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Records an already-measured span (used when one timed operation is
+    /// attributed to several trace IDs, e.g. a batched delta send).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with(
+        &self,
+        trace_id: u64,
+        parent_span: u64,
+        op: impl Into<String>,
+        start: Instant,
+        duration: Duration,
+        ok: bool,
+        detail: impl Into<String>,
+    ) -> u64 {
+        let span_id = self.mint_span_id();
+        self.shared.push(SpanRecord {
+            trace_id: nonzero_id(trace_id),
+            span_id,
+            parent_span,
+            op: op.into(),
+            start_micros: self.offset_micros(start),
+            duration_micros: duration.as_micros().min(u64::MAX as u128) as u64,
+            ok,
+            detail: detail.into(),
+        });
+        span_id
+    }
+
+    fn offset_micros(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64
+    }
+
+    /// Returns matching spans, newest first.
+    pub fn query(&self, filter: &TraceQueryFilter) -> Vec<SpanRecord> {
+        let limit = if filter.limit == 0 { usize::MAX } else { filter.limit };
+        let ring = self.shared.ring.lock().unwrap();
+        let len = ring.slots.len();
+        let mut out = Vec::new();
+        for i in 0..len {
+            // Walk backwards from the most recently written slot.
+            let at = (ring.next + len - 1 - i) % len;
+            let rec = &ring.slots[at];
+            let matches = (filter.trace_id == 0 || rec.trace_id == filter.trace_id)
+                && (filter.op_prefix.is_empty() || rec.op.starts_with(&filter.op_prefix))
+                && rec.duration_micros >= filter.min_duration_micros;
+            if matches {
+                out.push(rec.clone());
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of spans currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.shared.ring.lock().unwrap().slots.len()
+    }
+
+    /// True when no spans have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Total spans ever recorded, including those evicted from the ring.
+    pub fn recorded_total(&self) -> u64 {
+        self.shared.recorded.load(Ordering::Relaxed)
+    }
+}
+
+/// An open span returned by [`TraceJournal::begin`].
+pub struct SpanGuard {
+    shared: Arc<Shared>,
+    rec: SpanRecord,
+    start: Instant,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// The span's identity, for parenting child spans.
+    pub fn span_id(&self) -> u64 {
+        self.rec.span_id
+    }
+
+    /// The trace this span was opened under (already nonzero).
+    pub fn trace_id(&self) -> u64 {
+        self.rec.trace_id
+    }
+
+    /// Closes the span and records it in the journal.
+    pub fn finish(mut self, ok: bool, detail: impl Into<String>) {
+        self.rec.ok = ok;
+        self.rec.detail = detail.into();
+        self.record();
+    }
+
+    fn record(&mut self) {
+        self.done = true;
+        self.rec.duration_micros = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.shared.push(std::mem::take(&mut self.rec));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            self.rec.ok = false;
+            self.rec.detail = "unfinished".to_owned();
+            self.record();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_retains_at_most_capacity_under_heavy_load() {
+        let j = TraceJournal::new(512);
+        let t0 = Instant::now();
+        for i in 0..100_000u64 {
+            j.record_with(i + 1, 0, "op.add", t0, Duration::from_micros(i % 50), true, "");
+        }
+        assert_eq!(j.len(), 512);
+        assert_eq!(j.capacity(), 512);
+        assert_eq!(j.recorded_total(), 100_000);
+        // Newest-first: the last span recorded comes back first.
+        let all = j.query(&TraceQueryFilter::default());
+        assert_eq!(all.len(), 512);
+        assert_eq!(all[0].trace_id, 100_000);
+        assert_eq!(all[511].trace_id, 100_000 - 511);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention_but_counts() {
+        let j = TraceJournal::new(0);
+        j.record_with(1, 0, "op.add", Instant::now(), Duration::ZERO, true, "");
+        assert_eq!(j.len(), 0);
+        assert!(j.is_empty());
+        assert_eq!(j.recorded_total(), 1);
+    }
+
+    #[test]
+    fn query_filters_compose() {
+        let j = TraceJournal::new(16);
+        let t0 = Instant::now();
+        j.record_with(7, 0, "op.add", t0, Duration::from_micros(10), true, "");
+        j.record_with(7, 0, "lrc.commit", t0, Duration::from_micros(900), true, "");
+        j.record_with(9, 0, "op.add", t0, Duration::from_micros(5), false, "boom");
+
+        let by_trace = j.query(&TraceQueryFilter { trace_id: 7, ..Default::default() });
+        assert_eq!(by_trace.len(), 2);
+
+        let by_op = j.query(&TraceQueryFilter { op_prefix: "op.".into(), ..Default::default() });
+        assert_eq!(by_op.len(), 2);
+        assert!(by_op.iter().all(|s| s.op.starts_with("op.")));
+
+        let slow = j.query(&TraceQueryFilter { min_duration_micros: 100, ..Default::default() });
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].op, "lrc.commit");
+
+        let limited = j.query(&TraceQueryFilter { limit: 1, ..Default::default() });
+        assert_eq!(limited.len(), 1);
+        assert_eq!(limited[0].trace_id, 9); // newest first
+    }
+
+    #[test]
+    fn guard_records_on_finish_and_on_drop() {
+        let j = TraceJournal::new(8);
+        let span = j.begin(3, 0, "op.query");
+        let parent = span.span_id();
+        let child = j.begin(3, parent, "lrc.commit");
+        child.finish(true, "1 row");
+        span.finish(true, "");
+        {
+            let _abandoned = j.begin(4, 0, "op.delete");
+            // dropped without finish
+        }
+        let spans = j.query(&TraceQueryFilter::default());
+        assert_eq!(spans.len(), 3);
+        let dropped = spans.iter().find(|s| s.op == "op.delete").unwrap();
+        assert!(!dropped.ok);
+        assert_eq!(dropped.detail, "unfinished");
+        let commit = spans.iter().find(|s| s.op == "lrc.commit").unwrap();
+        assert_eq!(commit.parent_span, parent);
+        assert_eq!(commit.trace_id, 3);
+    }
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let j = TraceJournal::new(1);
+        let a = j.mint_trace_id();
+        let b = j.mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+        // Journals mint from distinct seeds.
+        let other = TraceJournal::new(1);
+        assert_ne!(other.mint_trace_id(), a);
+    }
+
+    #[test]
+    fn untraced_spans_get_trace_id_one() {
+        let j = TraceJournal::new(4);
+        j.begin(0, 0, "op.ping").finish(true, "");
+        assert_eq!(j.query(&TraceQueryFilter::default())[0].trace_id, 1);
+    }
+}

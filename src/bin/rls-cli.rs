@@ -19,8 +19,13 @@
 //! rls-cli <server> rli-query <lfn>
 //! rls-cli <server> rli-wildcard <glob> [limit]
 //! rls-cli <server> rli-lrcs
-//! rls-cli <server> stats
+//! rls-cli <server> stats [--json]
+//! rls-cli <server> trace [--id <trace-id>] [--op <prefix>] [--min-us <n>] [--limit <n>]
 //! ```
+//!
+//! Mutating commands print the trace ID the client attached to the request
+//! (16-digit hex); feed it back to `trace --id` to inspect the spans it
+//! left in the server's journal.
 //!
 //! The identity presented to the server comes from `$RLS_DN` (defaults to
 //! the anonymous DN).
@@ -35,10 +40,23 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("rls-cli: {e}");
+            rls_trace::error!("rls-cli", "command failed", error = e);
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses a trace ID as printed by this tool (16-digit hex), with `0x`
+/// hex and plain decimal accepted too.
+fn parse_trace_id(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else if s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        u64::from_str_radix(s, 16)
+    } else {
+        s.parse::<u64>()
+    };
+    parsed.map_err(|_| format!("bad trace id {s:?} (expected hex or decimal)"))
 }
 
 fn objtype(s: &str) -> Result<ObjectType, String> {
@@ -54,8 +72,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let (server, cmd, rest) = match args.as_slice() {
         [server, cmd, rest @ ..] => (server.clone(), cmd.clone(), rest.to_vec()),
         _ => {
-            eprintln!("usage: rls-cli <server> <command> [args] (see --help in the doc comment)");
-            return Err("missing arguments".into());
+            return Err("usage: rls-cli <server> <command> [args] (see the doc comment)".into());
         }
     };
     let dn = std::env::var("RLS_DN")
@@ -79,15 +96,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "create" => {
             client.create_mapping(arg(0, "lfn")?, arg(1, "pfn")?)?;
-            println!("created");
+            println!("created (trace {:016x})", client.last_trace_id());
         }
         "add" => {
             client.add_mapping(arg(0, "lfn")?, arg(1, "pfn")?)?;
-            println!("added");
+            println!("added (trace {:016x})", client.last_trace_id());
         }
         "delete" => {
             client.delete_mapping(arg(0, "lfn")?, arg(1, "pfn")?)?;
-            println!("deleted");
+            println!("deleted (trace {:016x})", client.last_trace_id());
         }
         "query" => {
             for t in client.query_lfn(arg(0, "lfn")?)? {
@@ -119,7 +136,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let failures = client.bulk_create(mappings)?;
             println!("{} created, {} failed", total - failures.len(), failures.len());
             for (idx, err) in failures {
-                eprintln!("  item {idx}: {err}");
+                rls_trace::warn!("rls-cli", "bulk item failed", item = idx, error = err);
             }
         }
         "attr-define" => {
@@ -205,7 +222,32 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "stats" => {
             let s = client.stats()?;
-            print!("{}", rls::core::format_stats_report(&s));
+            if rest.iter().any(|a| a == "--json") {
+                println!("{}", rls::core::format_stats_json(&s));
+            } else {
+                print!("{}", rls::core::format_stats_report(&s));
+            }
+        }
+        "trace" => {
+            let mut trace_id = 0u64;
+            let mut op_prefix = String::new();
+            let mut min_us = 0u64;
+            let mut limit = 100u32;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut val = |what: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs {what}"))
+                };
+                match flag.as_str() {
+                    "--id" => trace_id = parse_trace_id(val("a trace id")?)?,
+                    "--op" => op_prefix = val("an op prefix")?.clone(),
+                    "--min-us" => min_us = val("a duration in us")?.parse()?,
+                    "--limit" => limit = val("a count")?.parse()?,
+                    other => return Err(format!("unknown trace flag {other:?}").into()),
+                }
+            }
+            let spans = client.trace_query(trace_id, &op_prefix, min_us, limit)?;
+            print!("{}", rls::core::format_trace_report(&spans));
         }
         other => return Err(format!("unknown command {other:?}").into()),
     }

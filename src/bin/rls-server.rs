@@ -27,8 +27,15 @@ update_mode     bloom       # none | full | immediate | bloom
 update_interval 300
 #update_rli     rli.example.org:39281 bloom
 
-# log any operation slower than this to stderr; 0 disables
+# structured logging: minimum level and line format
+#log_level   info           # error | warn | info | debug | trace
+#log_format  text           # text | json
+
+# log any operation slower than this through the structured logger; 0 disables
 #slow_op_threshold_ms 250
+
+# spans kept by the in-memory trace journal (rls-cli trace); 0 disables
+#trace_journal_capacity 4096
 
 #acl_enabled true
 #gridmap     "/O=Grid/OU=Example/CN=Operator" operator
@@ -46,12 +53,15 @@ fn main() -> ExitCode {
         [path] => match run(path) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("rls-server: {e}");
+                rls_trace::error!("rls-server", "startup failed", error = e);
                 ExitCode::FAILURE
             }
         },
         _ => {
-            eprintln!("usage: rls-server <config-file> | rls-server --example-config");
+            rls_trace::error!(
+                "rls-server",
+                "usage: rls-server <config-file> | rls-server --example-config"
+            );
             ExitCode::FAILURE
         }
     }
@@ -59,13 +69,19 @@ fn main() -> ExitCode {
 
 fn run(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let parsed = load_config(path)?;
+    // The config owns the process-wide logger settings; apply them before
+    // anything else logs. Embedded servers (tests, benches) never get here,
+    // so they keep the quiet Warn default.
+    rls_trace::global().set_level(parsed.server.log_level);
+    rls_trace::global().set_format(parsed.server.log_format);
     let server = Server::start(parsed.server)?;
-    eprintln!(
-        "rls-server: {} listening on {} (lrc={}, rli={})",
-        server.name(),
-        server.addr(),
-        server.lrc().is_some(),
-        server.rli().is_some()
+    rls_trace::info!(
+        "rls-server",
+        "listening",
+        name = server.name(),
+        addr = server.addr(),
+        lrc = server.lrc().is_some(),
+        rli = server.rli().is_some()
     );
     // Apply update_rli directives to the catalog's update list.
     if let Some(lrc) = server.lrc() {
@@ -73,7 +89,7 @@ fn run(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         for directive in &parsed.update_rlis {
             let flags = if directive.bloom { FLAG_BLOOM } else { 0 };
             match db.add_rli(&directive.name, flags, &directive.patterns) {
-                Ok(()) => eprintln!("rls-server: updating RLI {}", directive.name),
+                Ok(()) => rls_trace::info!("rls-server", "updating RLI", target = directive.name),
                 // Already present from a previous run's durable catalog.
                 Err(e) if e.code() == rls::types::ErrorCode::RliExists => {}
                 Err(e) => return Err(e.into()),

@@ -17,6 +17,11 @@
 //! * Every server records **observability metrics** ([`metrics`]): per-op
 //!   latency histograms and labeled counters, surfaced through the `stats`
 //!   RPC and `rls-cli stats`. See `docs/OBSERVABILITY.md` for the catalog.
+//! * Every request carries a **trace ID** ([`trace`]) that follows the
+//!   operation across the soft-state plane (LRC commit → delta send → RLI
+//!   apply); each server journals finished spans, queryable via
+//!   `rls-cli trace`. Diagnostics go through the structured logger in the
+//!   same crate.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +55,7 @@ pub use rls_metrics as metrics;
 pub use rls_net as net;
 pub use rls_proto as proto;
 pub use rls_storage as storage;
+pub use rls_trace as trace;
 pub use rls_types as types;
 pub use rls_workload as workload;
 
