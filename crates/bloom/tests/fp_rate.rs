@@ -1,0 +1,59 @@
+//! Measured false-positive behaviour at the paper's filter parameters.
+//!
+//! §3.4 sizes RLI Bloom filters at roughly 10 bits per mapping with 3
+//! hash functions, giving a theoretical false-positive probability of
+//! `(1 - e^(-k·n/m))^k ≈ 1.7%`. These tests pin both halves of the §3.2
+//! soundness contract across several disjoint key universes ("seeds"):
+//! an RLI may point a client at an LRC that lacks a mapping (false
+//! positive, bounded below 2%), but must never hide an LRC that has one
+//! (zero false negatives). Everything here is deterministic — fixed key
+//! sets, fixed hash functions — so the measured rate never flakes.
+
+use rls_bloom::{BloomFilter, BloomParams};
+
+const MEMBERS: usize = 2_000;
+const PROBES: usize = 20_000;
+
+fn member(seed: u64, i: usize) -> String {
+    format!("lfn://seed{seed}/data/file{i:06}")
+}
+
+fn non_member(seed: u64, i: usize) -> String {
+    // A namespace no member key ever uses, per seed.
+    format!("lfn://seed{seed}/absent/ghost{i:06}")
+}
+
+#[test]
+fn paper_params_are_the_documented_shape() {
+    let p = BloomParams::PAPER;
+    assert_eq!(p.bits_per_entry, 10, "§3.4: ~10 bits per mapping");
+    assert_eq!(p.hashes, 3, "§3.4: 3 hash functions");
+}
+
+#[test]
+fn zero_false_negatives_and_fp_rate_under_two_percent() {
+    for seed in 0u64..5 {
+        let mut filter = BloomFilter::with_capacity(BloomParams::PAPER, MEMBERS as u64);
+        for i in 0..MEMBERS {
+            filter.insert(&member(seed, i));
+        }
+        // Soundness: every inserted mapping tests positive.
+        for i in 0..MEMBERS {
+            assert!(
+                filter.contains(&member(seed, i)),
+                "false negative for {} (seed {seed})",
+                member(seed, i)
+            );
+        }
+        // Precision: distinct non-members hit below the design bound.
+        let false_positives = (0..PROBES)
+            .filter(|&i| filter.contains(&non_member(seed, i)))
+            .count();
+        let rate = false_positives as f64 / PROBES as f64;
+        assert!(
+            rate <= 0.02,
+            "seed {seed}: measured FP rate {rate:.4} exceeds 2% \
+             ({false_positives}/{PROBES})"
+        );
+    }
+}

@@ -5,18 +5,22 @@
 //! the paper's Table 1, the bulk variants, and the soft-state update calls
 //! the update threads use.
 
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rls_bloom::BloomFilter;
-use rls_net::{connect, Conn, LinkProfile, SharedIngress};
+use rls_metrics::{Counter, Registry};
+use rls_net::{
+    connect_with, Conn, ConnectOptions, FaultHook, LinkProfile, RetryPolicy, SharedIngress,
+};
 use rls_proto::{
     AttrAssignment, Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire,
     PROTOCOL_VERSION,
 };
 use rls_trace::{mix64, nonzero_id};
 use rls_types::{
-    AttrCompare, AttrValue, AttributeDef, Dn, Mapping, ObjectType, RlsError, RlsResult,
+    AttrCompare, AttrValue, AttributeDef, Dn, ErrorCode, Mapping, ObjectType, RlsError, RlsResult,
 };
 
 /// Process-wide connection counter: each client gets a distinct trace-ID
@@ -28,6 +32,28 @@ pub type BulkLfnResults = Vec<(String, Result<Vec<String>, RlsError>)>;
 /// Per-name results of a bulk RLI query.
 pub type BulkRliResults = Vec<(String, Result<Vec<RliHit>, RlsError>)>;
 
+/// Counter handles a client reports its retries into. Handles are clones
+/// of registry counters, so the numbers surface wherever that registry is
+/// reported — for the soft-state updater, the LRC's own `stats` RPC.
+#[derive(Clone, Debug)]
+pub struct RetryMeter {
+    /// Retries performed (one per re-attempted connect or call).
+    pub retry_total: Counter,
+    /// Milliseconds slept in backoff.
+    pub backoff_ms: Counter,
+}
+
+impl RetryMeter {
+    /// Builds a meter over `<prefix>.retry_total` / `<prefix>.backoff_ms`
+    /// in `registry`.
+    pub fn from_registry(registry: &Registry, prefix: &str) -> Self {
+        Self {
+            retry_total: registry.counter(&format!("{prefix}.retry_total")),
+            backoff_ms: registry.counter(&format!("{prefix}.backoff_ms")),
+        }
+    }
+}
+
 /// A connected, authenticated RLS client.
 ///
 /// Every request carries a trace ID in the frame's trace envelope: a fresh
@@ -35,8 +61,24 @@ pub type BulkRliResults = Vec<(String, Result<Vec<RliHit>, RlsError>)>;
 /// connection order), or the caller's IDs via [`RlsClient::call_traced`].
 /// [`RlsClient::last_trace_id`] reports the ID of the most recent call so
 /// operators can follow it with `rls-cli trace`.
+///
+/// With a [`RetryPolicy`] attached (see [`RlsClient::connect_with`]), a
+/// failed connect or call is transparently retried with exponential
+/// backoff and deterministic jitter: the connection is torn down, redialed
+/// (re-running the Hello handshake) and the request re-sent. Only
+/// transport-level failures retry; an error *returned by the server*
+/// (e.g. `MappingExists`) is authoritative and surfaces immediately.
 pub struct RlsClient {
-    conn: Conn,
+    conn: Option<Conn>,
+    addr: SocketAddr,
+    dn: Dn,
+    link: LinkProfile,
+    ingress: Option<SharedIngress>,
+    policy: RetryPolicy,
+    hook: Option<Arc<dyn FaultHook>>,
+    meter: Option<RetryMeter>,
+    retries: u64,
+    reconnects: u64,
     server_version: String,
     is_lrc: bool,
     is_rli: bool,
@@ -62,17 +104,44 @@ impl RlsClient {
     }
 
     /// Connects with link shaping (WAN/LAN emulation) and an optional
-    /// shared-ingress pool.
+    /// shared-ingress pool. Fail-fast: no retries, no timeouts.
     pub fn connect_shaped(
         addr: impl ToSocketAddrs,
         dn: &Dn,
         link: LinkProfile,
         ingress: Option<SharedIngress>,
     ) -> RlsResult<Self> {
-        let conn = connect(addr, link, ingress)?;
+        Self::connect_with(addr, dn, link, ingress, RetryPolicy::none(), None, None)
+    }
+
+    /// Connects with full control: shaping, a retry/backoff policy, an
+    /// optional fault-injection hook installed on every (re)connection,
+    /// and an optional meter so even initial-connect retries are counted.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        dn: &Dn,
+        link: LinkProfile,
+        ingress: Option<SharedIngress>,
+        policy: RetryPolicy,
+        hook: Option<Arc<dyn FaultHook>>,
+        meter: Option<RetryMeter>,
+    ) -> RlsResult<Self> {
+        let sa = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| RlsError::bad_request("address resolved to nothing"))?;
         let n = CONN_COUNTER.fetch_add(1, Ordering::Relaxed);
         let mut client = Self {
-            conn,
+            conn: None,
+            addr: sa,
+            dn: dn.clone(),
+            link,
+            ingress,
+            policy,
+            hook,
+            meter,
+            retries: 0,
+            reconnects: 0,
             server_version: String::new(),
             is_lrc: false,
             is_rli: false,
@@ -80,22 +149,44 @@ impl RlsClient {
             next_trace: 0,
             last_trace_id: 0,
         };
-        let resp = client.call(&Request::Hello {
-            dn: dn.clone(),
-            version: PROTOCOL_VERSION,
-        })?;
-        let Response::HelloAck {
-            server_version,
-            is_lrc,
-            is_rli,
-        } = resp
-        else {
-            return Err(RlsError::protocol("expected HelloAck"));
-        };
-        client.server_version = server_version;
-        client.is_lrc = is_lrc;
-        client.is_rli = is_rli;
-        Ok(client)
+        let mut attempt = 0u32;
+        loop {
+            match client.ensure_conn() {
+                Ok(()) => return Ok(client),
+                Err(e) if attempt < client.policy.max_retries && Self::is_transport(&e) => {
+                    client.note_retry(attempt);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The retry/backoff policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Replaces the retry/backoff policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Attaches counters that aggregate this client's retries into a
+    /// metrics registry (the updater points this at its LRC's registry so
+    /// retries show up in `rls-cli stats`).
+    pub fn set_retry_meter(&mut self, meter: RetryMeter) {
+        self.meter = Some(meter);
+    }
+
+    /// Retries performed over this client's lifetime.
+    pub fn retries_performed(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnections performed (the initial dial not included).
+    pub fn reconnects_performed(&self) -> u64 {
+        self.reconnects
     }
 
     /// The server's reported software version.
@@ -113,6 +204,70 @@ impl RlsClient {
         self.is_rli
     }
 
+    /// True for errors produced by the transport (dial failures, severed
+    /// or stalled connections, corrupt frames) — the retryable class.
+    /// Server-side errors arrive as `Response::Error` and are not retried.
+    fn is_transport(e: &RlsError) -> bool {
+        matches!(
+            e.code(),
+            ErrorCode::Io | ErrorCode::Timeout | ErrorCode::Protocol
+        )
+    }
+
+    /// Dials and handshakes if not currently connected.
+    fn ensure_conn(&mut self) -> RlsResult<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let opts = ConnectOptions {
+            timeout: self.policy.connect_timeout,
+            hook: self.hook.clone(),
+        };
+        let mut conn = connect_with(self.addr, self.link, self.ingress.clone(), &opts)?;
+        if self.policy.request_timeout.is_some() {
+            conn.set_read_timeout(self.policy.request_timeout)?;
+        }
+        if !self.server_version.is_empty() {
+            self.reconnects += 1;
+        }
+        let id = self.mint_trace_id();
+        let hello = Request::Hello {
+            dn: self.dn.clone(),
+            version: PROTOCOL_VERSION,
+        };
+        let body = hello.encode_traced(&[id]).into_bytes();
+        let resp_body = conn.request(&body)?;
+        let resp = Response::decode(&resp_body)?;
+        match resp {
+            Response::HelloAck {
+                server_version,
+                is_lrc,
+                is_rli,
+            } => {
+                self.server_version = server_version;
+                self.is_lrc = is_lrc;
+                self.is_rli = is_rli;
+                self.conn = Some(conn);
+                Ok(())
+            }
+            Response::Error(e) => Err(e),
+            _ => Err(RlsError::protocol("expected HelloAck")),
+        }
+    }
+
+    /// Counts one retry and sleeps the policy's backoff for `attempt`.
+    fn note_retry(&mut self, attempt: u32) {
+        self.retries += 1;
+        let d = self.policy.backoff(attempt, self.trace_seed);
+        if let Some(meter) = &self.meter {
+            meter.retry_total.inc();
+            meter.backoff_ms.add(d.as_millis() as u64);
+        }
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+
     /// One request/response exchange under a freshly minted trace ID;
     /// `Response::Error` becomes `Err`.
     pub fn call(&mut self, req: &Request) -> RlsResult<Response> {
@@ -122,15 +277,38 @@ impl RlsClient {
 
     /// One exchange under the caller's trace IDs (soft-state propagation);
     /// an empty list sends the frame untraced.
+    ///
+    /// Under a retry policy, a transport failure tears the connection
+    /// down, backs off, reconnects and re-sends — up to `max_retries`
+    /// extra attempts. RLS mutations are idempotent upserts at the RLI
+    /// (soft-state applies) or guarded by existence checks at the LRC, so
+    /// a retried request whose first response was lost is safe: the worst
+    /// case is an `MappingExists`-style server error, which is returned
+    /// unretried.
     pub fn call_traced(&mut self, req: &Request, trace_ids: &[u64]) -> RlsResult<Response> {
         self.last_trace_id = trace_ids.first().copied().unwrap_or(0);
         let body = req.encode_traced(trace_ids).into_bytes();
-        let resp_body = self.conn.request(&body)?;
-        let resp = Response::decode(&resp_body)?;
-        if let Response::Error(e) = resp {
-            return Err(e);
+        let mut attempt = 0u32;
+        loop {
+            let result = self.ensure_conn().and_then(|()| {
+                let conn = self.conn.as_mut().expect("connected after ensure_conn");
+                conn.request(&body)
+            });
+            match result.and_then(|resp_body| Response::decode(&resp_body)) {
+                Ok(Response::Error(e)) => return Err(e),
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // The connection is suspect after any failure: drop it
+                    // so the next attempt (or next call) redials.
+                    self.conn = None;
+                    if attempt >= self.policy.max_retries || !Self::is_transport(&e) {
+                        return Err(e);
+                    }
+                    self.note_retry(attempt);
+                    attempt += 1;
+                }
+            }
         }
-        Ok(resp)
     }
 
     fn mint_trace_id(&mut self) -> u64 {

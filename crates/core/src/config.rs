@@ -9,10 +9,11 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rls_bloom::BloomParams;
-use rls_net::{LinkProfile, SharedIngress};
+use rls_net::{FaultHook, LinkProfile, RetryPolicy, SharedIngress};
 use rls_storage::BackendProfile;
 use rls_types::{AclEntry, Dn};
 
@@ -74,6 +75,16 @@ pub struct UpdateConfig {
     pub ingress: Option<SharedIngress>,
     /// Spawn a background thread driving the update schedule.
     pub auto: bool,
+    /// Retry/backoff policy for LRC→RLI update connections. The default
+    /// ([`RetryPolicy::none`]) fails fast, matching the shipped RLS; set
+    /// `retry_max`/`backoff_base_ms` in the config file to enable
+    /// failover (§6: RLI contents are rebuilt from soft state, so a
+    /// missed update is repaired by the next cycle — retries just shrink
+    /// the stale window).
+    pub retry: RetryPolicy,
+    /// Fault-injection hook installed on every update connection
+    /// (testing only; not reachable from the config file).
+    pub fault_hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl Default for UpdateConfig {
@@ -84,6 +95,8 @@ impl Default for UpdateConfig {
             link: LinkProfile::unshaped(),
             ingress: None,
             auto: false,
+            retry: RetryPolicy::none(),
+            fault_hook: None,
         }
     }
 }

@@ -32,6 +32,11 @@
 //! rli_expire_int    60
 //! rli_expire_stale  1800
 //!
+//! # update resilience (see docs/FAULTS.md)
+//! retry_max         3              # extra attempts per update call
+//! backoff_base_ms   25             # exponential backoff base
+//! connect_timeout_ms 2000          # dial timeout; 0 = block forever
+//!
 //! # observability
 //! slow_op_threshold_ms 250        # 0 disables the slow-op log
 //! log_level         info           # error | warn | info | debug | trace
@@ -137,6 +142,9 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut bloom_hashes = 3u32;
     let mut rli_expire_int = Duration::from_secs(60);
     let mut rli_expire_stale = Duration::from_secs(1800);
+    let mut retry_max: Option<u32> = None;
+    let mut backoff_base_ms: Option<u64> = None;
+    let mut connect_timeout_ms: Option<u64> = None;
     let mut slow_op_threshold: Option<Duration> = None;
     let mut log_level = rls_trace::Level::Info;
     let mut log_format = rls_trace::LogFormat::Text;
@@ -242,6 +250,29 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             }
             "rli_expire_int" => rli_expire_int = parse_secs(key, one()?)?,
             "rli_expire_stale" => rli_expire_stale = parse_secs(key, one()?)?,
+            "retry_max" => {
+                retry_max = Some(one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!("line {}: bad retry count", lineno + 1))
+                })?)
+            }
+            "backoff_base_ms" => {
+                backoff_base_ms = Some(one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected milliseconds, got {:?}",
+                        lineno + 1,
+                        args.first().map(String::as_str).unwrap_or("")
+                    ))
+                })?)
+            }
+            "connect_timeout_ms" => {
+                connect_timeout_ms = Some(one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected milliseconds, got {:?}",
+                        lineno + 1,
+                        args.first().map(String::as_str).unwrap_or("")
+                    ))
+                })?)
+            }
             "slow_op_threshold_ms" => {
                 let ms: u64 = one()?.parse().map_err(|_| {
                     RlsError::bad_request(format!(
@@ -364,6 +395,21 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             )))
         }
     };
+    // Any resilience key switches the update plane from fail-fast to the
+    // retrying defaults, with the named knobs overridden.
+    let mut retry = rls_net::RetryPolicy::none();
+    if retry_max.is_some() || backoff_base_ms.is_some() || connect_timeout_ms.is_some() {
+        retry = rls_net::RetryPolicy::updater_default();
+        if let Some(n) = retry_max {
+            retry.max_retries = n;
+        }
+        if let Some(ms) = backoff_base_ms {
+            retry.backoff_base = Duration::from_millis(ms);
+        }
+        if let Some(ms) = connect_timeout_ms {
+            retry.connect_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+    }
     let server = ServerConfig {
         name,
         bind: bind.unwrap_or_else(|| "127.0.0.1:0".parse().expect("literal")),
@@ -373,6 +419,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             update: UpdateConfig {
                 mode,
                 auto: true,
+                retry,
                 ..Default::default()
             },
         }),
@@ -528,6 +575,35 @@ acl          user:ann admin
         assert!(parse_config("lrc_server true\nlog_level loud").is_err());
         assert!(parse_config("lrc_server true\nlog_format xml").is_err());
         assert!(parse_config("lrc_server true\ntrace_journal_capacity many").is_err());
+    }
+
+    #[test]
+    fn retry_keys_parse() {
+        use rls_net::RetryPolicy;
+        // Absent keys leave the update plane fail-fast.
+        let p = parse_config("lrc_server true").unwrap();
+        let lrc = p.server.lrc.as_ref().unwrap();
+        assert_eq!(lrc.update.retry, RetryPolicy::none());
+        assert!(!lrc.update.retry.retries_enabled());
+        // Any resilience key enables the retrying defaults + overrides.
+        let p = parse_config(
+            "lrc_server true\nretry_max 5\nbackoff_base_ms 10\nconnect_timeout_ms 1500",
+        )
+        .unwrap();
+        let r = p.server.lrc.as_ref().unwrap().update.retry;
+        assert_eq!(r.max_retries, 5);
+        assert_eq!(r.backoff_base, Duration::from_millis(10));
+        assert_eq!(r.connect_timeout, Some(Duration::from_millis(1500)));
+        assert!(r.retries_enabled());
+        // connect_timeout_ms 0 means "block forever" (no dial timeout).
+        let p = parse_config("lrc_server true\nretry_max 1\nconnect_timeout_ms 0").unwrap();
+        assert_eq!(
+            p.server.lrc.as_ref().unwrap().update.retry.connect_timeout,
+            None
+        );
+        assert!(parse_config("lrc_server true\nretry_max lots").is_err());
+        assert!(parse_config("lrc_server true\nbackoff_base_ms soon").is_err());
+        assert!(parse_config("lrc_server true\nconnect_timeout_ms never").is_err());
     }
 
     #[test]

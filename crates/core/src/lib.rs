@@ -36,7 +36,7 @@ pub mod softstate;
 pub mod testkit;
 
 pub use auth::{Authorizer, Identity};
-pub use client::RlsClient;
+pub use client::{RetryMeter, RlsClient};
 pub use config::{AuthConfig, LrcConfig, RliConfig, ServerConfig, UpdateConfig, UpdateMode};
 pub use dispatch::ServerState;
 pub use locator::{Located, LrcDirectory, ReplicaLocator, StaticDirectory};

@@ -10,6 +10,7 @@
 //!   subsequent updates to LRC mappings can be reflected by setting or
 //!   unsetting the corresponding bits" (§3.5, Table 3 column 3).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
@@ -67,6 +68,11 @@ pub struct LrcService {
     pub db: RwLock<LrcDatabase>,
     config: LrcConfig,
     deltas: Mutex<DeltaLog>,
+    /// Per-RLI backlog of deltas whose send failed: the partial-flush
+    /// requeue target. Keyed by the RLI address exactly as it appears on
+    /// the update list, so a delivered target never re-receives deltas
+    /// that only failed toward a *different* RLI.
+    backlog: Mutex<HashMap<String, DeltaLog>>,
     /// Counting filter maintained incrementally in Bloom mode.
     bloom: Option<Mutex<CountingBloomFilter>>,
     bloom_params: BloomParams,
@@ -112,6 +118,7 @@ impl LrcService {
             db: RwLock::new(db),
             config,
             deltas: Mutex::new(DeltaLog::default()),
+            backlog: Mutex::new(HashMap::new()),
             bloom,
             bloom_params,
             bloom_regenerations: AtomicU64::new(0),
@@ -225,6 +232,45 @@ impl LrcService {
         restored.trace_ids.append(&mut cur.trace_ids);
         restored.trace_ids.truncate(TRACE_IDS_CAP);
         *cur = restored;
+    }
+
+    /// Takes the failed-send backlog for one RLI target, if any. The
+    /// caller (the updater) prepends it to the fresh payload so a target
+    /// that missed a flush catches up in order on the next one.
+    pub fn take_backlog(&self, target: &str) -> Option<DeltaLog> {
+        self.backlog.lock().remove(target)
+    }
+
+    /// Queues deltas that failed to reach `target` for that target's next
+    /// flush. Appends after any backlog already waiting (older first).
+    pub fn put_backlog(&self, target: &str, log: DeltaLog) {
+        if log.is_empty() && log.trace_ids.is_empty() {
+            return;
+        }
+        let mut map = self.backlog.lock();
+        let slot = map.entry(target.to_owned()).or_default();
+        let mut log = log;
+        slot.added.append(&mut log.added);
+        slot.removed.append(&mut log.removed);
+        for id in log.trace_ids {
+            slot.note_trace(id);
+        }
+    }
+
+    /// Total deltas parked in per-target backlogs (a target that missed a
+    /// flush counts its copy; the same LFN toward two dead RLIs counts
+    /// twice, because it must be re-sent twice).
+    pub fn pending_backlog(&self) -> usize {
+        self.backlog.lock().values().map(DeltaLog::len).sum()
+    }
+
+    /// Drops backlog entries for targets no longer on the update list
+    /// (an RLI removed from `t_rli` must not pin its queue forever).
+    pub fn prune_backlog(&self, live: impl Fn(&str) -> bool) -> usize {
+        let mut map = self.backlog.lock();
+        let before: usize = map.values().map(DeltaLog::len).sum();
+        map.retain(|target, _| live(target));
+        before - map.values().map(DeltaLog::len).sum::<usize>()
     }
 
     /// Produces the Bloom bitmap for the next update, regenerating the
@@ -348,6 +394,76 @@ mod tests {
         svc.requeue_deltas(log);
         let merged = svc.take_deltas();
         assert_eq!(merged.added, vec!["lfn://a", "lfn://b"]);
+    }
+
+    #[test]
+    fn backlog_is_scoped_per_target() {
+        let svc = service(UpdateMode::immediate_default());
+        assert_eq!(svc.pending_backlog(), 0);
+        assert!(svc.take_backlog("rli-a").is_none());
+        let log = DeltaLog {
+            added: vec!["lfn://x".into()],
+            removed: vec![],
+            trace_ids: vec![7],
+        };
+        svc.put_backlog("rli-a", log);
+        assert_eq!(svc.pending_backlog(), 1);
+        // Another target's backlog is independent.
+        assert!(svc.take_backlog("rli-b").is_none());
+        let got = svc.take_backlog("rli-a").unwrap();
+        assert_eq!(got.added, vec!["lfn://x"]);
+        assert_eq!(got.trace_ids, vec![7]);
+        // take drains it.
+        assert!(svc.take_backlog("rli-a").is_none());
+        assert_eq!(svc.pending_backlog(), 0);
+    }
+
+    #[test]
+    fn backlog_appends_in_failure_order() {
+        let svc = service(UpdateMode::immediate_default());
+        svc.put_backlog(
+            "rli-a",
+            DeltaLog {
+                added: vec!["lfn://first".into()],
+                removed: vec![],
+                trace_ids: vec![1],
+            },
+        );
+        svc.put_backlog(
+            "rli-a",
+            DeltaLog {
+                added: vec!["lfn://second".into()],
+                removed: vec!["lfn://first".into()],
+                trace_ids: vec![1, 2],
+            },
+        );
+        let got = svc.take_backlog("rli-a").unwrap();
+        assert_eq!(got.added, vec!["lfn://first", "lfn://second"]);
+        assert_eq!(got.removed, vec!["lfn://first"]);
+        // note_trace dedups the consecutive repeat of 1.
+        assert_eq!(got.trace_ids, vec![1, 2]);
+        // Empty logs are not stored.
+        svc.put_backlog("rli-a", DeltaLog::default());
+        assert!(svc.take_backlog("rli-a").is_none());
+    }
+
+    #[test]
+    fn prune_backlog_drops_dead_targets() {
+        let svc = service(UpdateMode::immediate_default());
+        for t in ["rli-a", "rli-b"] {
+            svc.put_backlog(
+                t,
+                DeltaLog {
+                    added: vec![format!("lfn://for-{t}")],
+                    removed: vec![],
+                    trace_ids: vec![],
+                },
+            );
+        }
+        let dropped = svc.prune_backlog(|t| t == "rli-a");
+        assert_eq!(dropped, 1);
+        assert_eq!(svc.pending_backlog(), 1);
+        assert!(svc.take_backlog("rli-a").is_some());
     }
 
     #[test]

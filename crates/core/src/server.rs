@@ -333,6 +333,14 @@ fn serve_connection(
         let Some(frame) = conn.recv()? else {
             return Ok(()); // clean close
         };
+        // Re-check after the (blocking) read: a server that shut down
+        // while this frame was in flight must act crashed — drop the
+        // request unanswered so the client sees a dead connection rather
+        // than a reply computed against torn-down state. The chaos tests
+        // rely on this for crash/restart fidelity.
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
         let response = match Request::decode_traced(&frame) {
             Ok((trace_ids, req)) => handle_request_traced(state, &identity, req, &trace_ids),
             Err(e) => Response::Error(e),

@@ -25,12 +25,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rls_net::{LinkProfile, SharedIngress};
+use rls_net::{FaultHook, LinkProfile, RetryPolicy, SharedIngress};
 use rls_storage::lrcdb::RliTarget;
 use rls_trace::TraceJournal;
 use rls_types::{Dn, Regex, RlsError, RlsResult};
 
-use crate::client::RlsClient;
+use crate::client::{RetryMeter, RlsClient};
 use crate::config::UpdateConfig;
 use crate::lrc::{DeltaLog, LrcService};
 
@@ -75,6 +75,8 @@ pub struct Updater {
     link: LinkProfile,
     ingress: Option<SharedIngress>,
     chunk_size: usize,
+    retry: RetryPolicy,
+    hook: Option<Arc<dyn FaultHook>>,
     conns: HashMap<String, RlsClient>,
     next_update_id: u64,
     /// Server span journal, when the updater runs inside a server: sends
@@ -101,6 +103,8 @@ impl Updater {
             link: cfg.link,
             ingress: cfg.ingress.clone(),
             chunk_size: cfg.chunk_size.max(1),
+            retry: cfg.retry,
+            hook: cfg.fault_hook.clone(),
             conns: HashMap::new(),
             next_update_id: 1,
             journal: None,
@@ -142,8 +146,18 @@ impl Updater {
 
     fn conn(&mut self, target: &str) -> RlsResult<&mut RlsClient> {
         if !self.conns.contains_key(target) {
-            let client =
-                RlsClient::connect_shaped(target, &self.dn, self.link, self.ingress.clone())?;
+            // Retries (dial and call alike) surface as softstate.retry_total
+            // / softstate.backoff_ms in the LRC's stats report.
+            let meter = RetryMeter::from_registry(self.lrc.metrics(), "softstate");
+            let client = RlsClient::connect_with(
+                target,
+                &self.dn,
+                self.link,
+                self.ingress.clone(),
+                self.retry,
+                self.hook.clone(),
+                Some(meter),
+            )?;
             self.conns.insert(target.to_owned(), client);
         }
         Ok(self.conns.get_mut(target).expect("just inserted"))
@@ -303,16 +317,34 @@ impl Updater {
     }
 
     /// Flushes the delta journal to every non-Bloom RLI on the update list.
-    /// Deltas are re-queued on total failure so the next flush retries;
-    /// on *partial* failure (some RLIs reached, others not) the journal is
-    /// considered consumed — the unreached RLIs converge at the next
-    /// periodic full refresh, which is exactly the healing role immediate
-    /// mode's "infrequent full updates" play in §3.3.
+    ///
+    /// Failure handling is per target ("requeue once"): deltas that fail
+    /// toward one RLI go into *that target's* backlog and ride along with
+    /// the next flush toward it — RLIs that were reached never re-receive
+    /// them. A backlogged delta that fails a second time is dropped
+    /// (counted in `softstate.deltas_dropped`); the target converges at
+    /// the next periodic full refresh, which is exactly the healing role
+    /// immediate mode's "infrequent full updates" play in §3.3. A dead RLI
+    /// therefore delays nothing and leaks nothing: the cycle skips past it
+    /// and bounded state waits for its return.
     pub fn flush_deltas(&mut self, targets: &[RliTarget]) -> RlsResult<Vec<UpdateOutcome>> {
+        // Compile every partition set BEFORE consuming the journal: a bad
+        // pattern must fail the flush without losing buffered deltas.
+        let non_bloom: Vec<(&RliTarget, Vec<Regex>)> = targets
+            .iter()
+            .filter(|t| t.flags & FLAG_BLOOM == 0)
+            .map(|t| Ok((t, Self::compile_partitions(t)?)))
+            .collect::<RlsResult<_>>()?;
+        // A target dropped from the update list must not pin its backlog.
+        self.lrc
+            .prune_backlog(|name| non_bloom.iter().any(|(t, _)| t.name == name));
         let log = self.lrc.take_deltas();
-        if log.is_empty() {
+        if log.is_empty() && self.lrc.pending_backlog() == 0 {
             return Ok(Vec::new());
         }
+        let unreachable = self.lrc.metrics().counter("softstate.rli_unreachable");
+        let dropped_ctr = self.lrc.metrics().counter("softstate.deltas_dropped");
+        let backlog_gauge = self.lrc.metrics().counter("softstate.backlog_deltas");
         // Carry the originating client-op trace IDs across the wire; a
         // journal-less flush of untraced changes goes out untraced.
         let mut trace_ids = log.trace_ids.clone();
@@ -325,24 +357,33 @@ impl Updater {
         let mut outcomes = Vec::new();
         let mut attempted = 0usize;
         let mut delivered_any = false;
-        for target in targets.iter().filter(|t| t.flags & FLAG_BLOOM == 0) {
-            let patterns = Self::compile_partitions(target)?;
-            let added: Vec<String> = log
+        for (target, patterns) in &non_bloom {
+            let fresh_added: Vec<String> = log
                 .added
                 .iter()
-                .filter(|l| Self::matches_partitions(&patterns, l))
+                .filter(|l| Self::matches_partitions(patterns, l))
                 .cloned()
                 .collect();
-            let removed: Vec<String> = log
+            let fresh_removed: Vec<String> = log
                 .removed
                 .iter()
-                .filter(|l| Self::matches_partitions(&patterns, l))
+                .filter(|l| Self::matches_partitions(patterns, l))
                 .cloned()
                 .collect();
-            if added.is_empty() && removed.is_empty() {
+            // Second-chance payload: this target's backlog goes first so
+            // the RLI applies changes in their original order.
+            let backlog = self.lrc.take_backlog(&target.name).unwrap_or_default();
+            let backlog_len = backlog.len();
+            if backlog_len == 0 && fresh_added.is_empty() && fresh_removed.is_empty() {
                 continue;
             }
             attempted += 1;
+            let mut added = backlog.added;
+            added.extend(fresh_added.iter().cloned());
+            let mut removed = backlog.removed;
+            removed.extend(fresh_removed.iter().cloned());
+            let mut ids = backlog.trace_ids;
+            ids.extend(trace_ids.iter().copied());
             let names = (added.len() + removed.len()) as u64;
             let bytes: u64 = added
                 .iter()
@@ -351,12 +392,11 @@ impl Updater {
                 .sum();
             let lrc_name = self.lrc_name.clone();
             let t0 = Instant::now();
-            let ids = &trace_ids;
             let result = self
                 .conn(&target.name)
-                .and_then(|conn| conn.send_delta_traced(&lrc_name, added, removed, ids));
+                .and_then(|conn| conn.send_delta_traced(&lrc_name, added, removed, &ids));
             self.record_send_spans(
-                ids,
+                &ids,
                 "softstate.delta_send",
                 t0,
                 t0.elapsed(),
@@ -377,15 +417,30 @@ impl Updater {
                     self.record_outcome(&out);
                     outcomes.push(out);
                 }
-                Err(_) => self.drop_conn(&target.name),
+                Err(_) => {
+                    self.drop_conn(&target.name);
+                    unreachable.inc();
+                    // Requeue once: the fresh deltas get a second chance
+                    // next flush; the backlogged ones already had theirs
+                    // and are dropped (the full refresh will heal them).
+                    dropped_ctr.add(backlog_len as u64);
+                    self.lrc.put_backlog(
+                        &target.name,
+                        DeltaLog {
+                            added: fresh_added,
+                            removed: fresh_removed,
+                            trace_ids: trace_ids.clone(),
+                        },
+                    );
+                }
             }
         }
+        backlog_gauge.set(self.lrc.pending_backlog() as u64);
         if attempted > 0 && !delivered_any {
-            // Every send failed: put the journal back for retry.
-            self.lrc.requeue_deltas(log);
+            // Every send failed; the deltas wait in per-target backlogs.
             return Err(RlsError::new(
                 rls_types::ErrorCode::Io,
-                "no RLI reachable for delta flush (re-queued)",
+                "no RLI reachable for delta flush (re-queued per target)",
             ));
         }
         // attempted == 0 means no non-Bloom target wanted any of these
@@ -402,17 +457,24 @@ impl Updater {
     }
 
     /// Runs one complete update cycle: Bloom targets get filters, the rest
-    /// get full updates. Returns one result per target.
+    /// get full updates. Returns one result per target — a dead RLI yields
+    /// its `Err` slot (and bumps `softstate.rli_unreachable`) without
+    /// stalling the rest of the cycle.
     pub fn run_cycle(&mut self) -> Vec<RlsResult<UpdateOutcome>> {
         let targets = self.lrc.db.read().list_rlis();
+        let unreachable = self.lrc.metrics().counter("softstate.rli_unreachable");
         targets
             .iter()
             .map(|t| {
-                if t.flags & FLAG_BLOOM != 0 {
+                let result = if t.flags & FLAG_BLOOM != 0 {
                     self.send_bloom(t)
                 } else {
                     self.send_full(t)
+                };
+                if result.is_err() {
+                    unreachable.inc();
                 }
+                result
             })
             .collect()
     }

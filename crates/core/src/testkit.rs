@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rls_bloom::BloomParams;
-use rls_net::{LinkProfile, SharedIngress};
+use rls_net::{FaultHook, LinkProfile, RetryPolicy, SharedIngress};
 use rls_storage::BackendProfile;
 use rls_types::{Dn, RlsResult};
 
@@ -32,6 +32,8 @@ pub struct TestDeploymentBuilder {
     expire_timeout: Duration,
     chunk_size: usize,
     update_interval: Duration,
+    retry: RetryPolicy,
+    fault_hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl Default for TestDeploymentBuilder {
@@ -48,6 +50,8 @@ impl Default for TestDeploymentBuilder {
             expire_timeout: Duration::from_secs(3600),
             chunk_size: 10_000,
             update_interval: Duration::from_secs(3600),
+            retry: RetryPolicy::none(),
+            fault_hook: None,
         }
     }
 }
@@ -120,6 +124,23 @@ impl TestDeploymentBuilder {
         self
     }
 
+    /// Retry/backoff policy for LRC→RLI update traffic (default:
+    /// fail-fast, matching the shipped RLS).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Installs a fault-injection hook (e.g. an `rls_faults::FaultPlan`)
+    /// on every LRC→RLI update connection, so the whole topology runs
+    /// under scripted chaos. Client connections made through
+    /// [`TestDeployment::lrc_client`]/[`TestDeployment::rli_client`] stay
+    /// clean — tests observe the damage through an undamaged window.
+    pub fn fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
     /// Starts the deployment.
     pub fn build(self) -> RlsResult<TestDeployment> {
         let mut rlis = Vec::with_capacity(self.rlis);
@@ -165,6 +186,8 @@ impl TestDeploymentBuilder {
                         link: self.link,
                         ingress: self.ingress.clone(),
                         auto: self.auto,
+                        retry: self.retry,
+                        fault_hook: self.fault_hook.clone(),
                     },
                 }),
                 ..Default::default()
@@ -181,7 +204,11 @@ impl TestDeploymentBuilder {
             }
             lrcs.push(server);
         }
-        Ok(TestDeployment { lrcs, rlis })
+        Ok(TestDeployment {
+            lrcs,
+            rlis,
+            builder: self,
+        })
     }
 }
 
@@ -191,6 +218,9 @@ pub struct TestDeployment {
     pub lrcs: Vec<Server>,
     /// RLI servers.
     pub rlis: Vec<Server>,
+    /// The builder that produced this deployment (kept so crashed servers
+    /// can be restarted with identical settings).
+    builder: TestDeploymentBuilder,
 }
 
 impl TestDeployment {
@@ -255,6 +285,40 @@ impl TestDeployment {
         );
         updater.set_journal(Arc::clone(&server.state().journal));
         updater
+    }
+
+    /// Crashes RLI `i`: an abrupt stop that loses its in-memory index.
+    /// Handler threads drop in-flight requests unanswered, so clients and
+    /// updaters observe a dead peer, not a graceful drain.
+    pub fn crash_rli(&self, i: usize) {
+        self.rlis[i].shutdown();
+    }
+
+    /// Restarts a crashed RLI on its old address with an *empty* index —
+    /// the paper's recovery model: an RLI "can be reconstructed from the
+    /// periodic soft-state updates" rather than from durable state (§6).
+    pub fn restart_rli(&mut self, i: usize) -> RlsResult<()> {
+        let addr = self.rlis[i].addr();
+        self.rlis[i].shutdown();
+        let cfg = ServerConfig {
+            name: format!("rli-{i}"),
+            bind: addr,
+            rli: Some(RliConfig {
+                profile: self.builder.profile,
+                expire_timeout: self.builder.expire_timeout,
+                auto_expire: self.builder.auto,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        self.rlis[i] = Server::start(cfg)?;
+        Ok(())
+    }
+
+    /// Crashes LRC `i` (its catalog, journal and backlog vanish with it;
+    /// its RLI entries will die by expiry — nothing un-registers them).
+    pub fn crash_lrc(&self, i: usize) {
+        self.lrcs[i].shutdown();
     }
 
     /// Shuts every server down.

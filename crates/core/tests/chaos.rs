@@ -1,0 +1,318 @@
+//! Chaos convergence suite: every injected fault class must leave the RLI
+//! with exactly the mapping set a fault-free run produces.
+//!
+//! The harness is `rls_faults::FaultPlan` — a seeded, deterministic script
+//! of transport faults — installed on the LRC→RLI update plane through
+//! `TestDeploymentBuilder::fault_hook`. Driver/observer clients
+//! (`lrc_client`/`rli_client`) connect without the hook, so every
+//! assertion reads the damaged system through an undamaged window.
+//! Determinism contract: same seed + same topology + same workload ⇒ same
+//! fault sequence, same retries, same final state (see `docs/FAULTS.md`).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rls_core::testkit::TestDeployment;
+use rls_faults::FaultPlan;
+use rls_net::RetryPolicy;
+use rls_proto::ServerStatsWire;
+use rls_types::Timestamp;
+
+/// Fast test-grade retry policy: enough attempts to outlast any scripted
+/// fault burst, millisecond backoffs so suites stay quick.
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 4,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(20),
+        jitter_pct: 50,
+        connect_timeout: Some(Duration::from_secs(2)),
+        request_timeout: None,
+    }
+}
+
+fn seed_names(dep: &TestDeployment, n: usize) {
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..n {
+        c.create_mapping(&format!("lfn://chaos/f{i:02}"), &format!("pfn://site-a/f{i:02}"))
+            .unwrap();
+    }
+}
+
+fn rli_names(dep: &TestDeployment, i: usize) -> BTreeSet<String> {
+    let mut c = dep.rli_client(i).unwrap();
+    c.rli_wildcard_query("lfn://*", 10_000)
+        .unwrap()
+        .into_iter()
+        .map(|(lfn, _lrc)| lfn)
+        .collect()
+}
+
+fn counter(stats: &ServerStatsWire, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// The reference: the same workload with no faults installed.
+fn fault_free_state(n: usize) -> BTreeSet<String> {
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    seed_names(&dep, n);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    rli_names(&dep, 0)
+}
+
+/// Fault class: connection refused. The first two dials toward the RLI
+/// are refused; backoff-retry dials again and the update completes.
+#[test]
+fn converges_through_connection_refusals() {
+    let expected = fault_free_state(10);
+    let plan = Arc::new(FaultPlan::builder(0xC0FFEE).refuse_connects("*", 2).build());
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .retry(quick_retry())
+        .fault_hook(plan.clone())
+        .build()
+        .unwrap();
+    seed_names(&dep, 10);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    assert_eq!(plan.stats().refused(), 2);
+    // The retries are visible on the operator surface (`rls-cli stats`
+    // renders these same counters).
+    let stats = dep.lrc_client(0).unwrap().stats().unwrap();
+    assert!(
+        counter(&stats, "softstate.retry_total") >= 2,
+        "retry counter: {stats:?}"
+    );
+}
+
+/// Fault class: mid-frame disconnect. One update frame is cut in half on
+/// the wire; the sender reconnects and re-sends — chunk applies are
+/// idempotent upserts, so the RLI converges with no duplicates.
+#[test]
+fn converges_through_mid_frame_disconnect() {
+    let expected = fault_free_state(10);
+    // Send event 0 is the Hello handshake; event 1 is the first chunk.
+    let plan = Arc::new(FaultPlan::builder(7).drop_mid_frame("*", 1).build());
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .chunk_size(3) // 10 names → 4 chunks, the drop lands mid-stream
+        .retry(quick_retry())
+        .fault_hook(plan.clone())
+        .build()
+        .unwrap();
+    seed_names(&dep, 10);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    assert_eq!(plan.stats().dropped(), 1);
+    let stats = dep.lrc_client(0).unwrap().stats().unwrap();
+    assert!(counter(&stats, "softstate.retry_total") >= 1);
+}
+
+/// Fault class: read stall. The first response read hangs (bounded by the
+/// injected stall) and times out; the retry reconnects and completes.
+#[test]
+fn converges_through_read_stall() {
+    let expected = fault_free_state(8);
+    let plan = Arc::new(
+        FaultPlan::builder(99)
+            .stall_recv("*", 0, Duration::from_millis(20))
+            .build(),
+    );
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .retry(quick_retry())
+        .fault_hook(plan.clone())
+        .build()
+        .unwrap();
+    seed_names(&dep, 8);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    assert_eq!(plan.stats().stalled(), 1);
+    let stats = dep.lrc_client(0).unwrap().stats().unwrap();
+    assert!(counter(&stats, "softstate.retry_total") >= 1);
+}
+
+/// Fault class: slow link. Every update-plane send and receive is delayed;
+/// nothing fails, nothing needs retrying, state still converges.
+#[test]
+fn converges_over_slow_link() {
+    let expected = fault_free_state(6);
+    let plan = Arc::new(
+        FaultPlan::builder(3)
+            .slow_link("*", Duration::from_millis(1))
+            .build(),
+    );
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .fault_hook(plan.clone()) // note: default fail-fast retry policy
+        .build()
+        .unwrap();
+    seed_names(&dep, 6);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    assert!(plan.stats().delayed() > 0);
+    assert_eq!(plan.stats().refused() + plan.stats().dropped(), 0);
+}
+
+/// Fault class: RLI crash + restart. Deltas toward the dead RLI park in
+/// its backlog; after restart the backlog drains and the periodic full
+/// refresh rebuilds the index from soft state (§3.3/§6: the RLI "can be
+/// reconstructed from the periodic soft-state updates").
+#[test]
+fn converges_through_rli_crash_and_restart() {
+    // Reference run: same workload, no crash.
+    let expected = {
+        let dep = TestDeployment::builder()
+            .lrcs(1)
+            .rlis(1)
+            .immediate(true)
+            .build()
+            .unwrap();
+        seed_names(&dep, 10);
+        for r in dep.flush_deltas() {
+            r.unwrap();
+        }
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        rli_names(&dep, 0)
+    };
+
+    let mut dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .immediate(true)
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..5 {
+        c.create_mapping(&format!("lfn://chaos/f{i:02}"), &format!("pfn://site-a/f{i:02}"))
+            .unwrap();
+    }
+    for r in dep.flush_deltas() {
+        r.unwrap();
+    }
+    // Crash. Changes keep accumulating; the flush fails and the deltas
+    // wait in the dead target's backlog instead of being lost or wedging
+    // the journal.
+    dep.crash_rli(0);
+    for i in 5..10 {
+        c.create_mapping(&format!("lfn://chaos/f{i:02}"), &format!("pfn://site-a/f{i:02}"))
+            .unwrap();
+    }
+    assert!(dep.lrcs[0].flush_deltas().is_err());
+    let lrc = dep.lrcs[0].lrc().unwrap();
+    assert_eq!(lrc.pending_deltas(), 0);
+    assert_eq!(lrc.pending_backlog(), 5);
+
+    // Restart on the same address with an EMPTY index, then drain the
+    // backlog and run the healing full refresh.
+    dep.restart_rli(0).unwrap();
+    let outcomes = dep.lrcs[0].flush_deltas().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].names, 5);
+    assert_eq!(dep.lrcs[0].lrc().unwrap().pending_backlog(), 0);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    // The outage is visible on the operator surface.
+    let stats = dep.lrc_client(0).unwrap().stats().unwrap();
+    assert!(counter(&stats, "softstate.rli_unreachable") >= 1);
+}
+
+/// Determinism: two runs with the same seed script the exact same faults
+/// (probabilistic rules included) and land in the same state.
+#[test]
+fn identical_seeds_script_identical_chaos() {
+    let run = |seed: u64| -> (u64, u64, BTreeSet<String>) {
+        let plan = Arc::new(
+            FaultPlan::builder(seed)
+                .refuse_connects_prob("*", 250_000) // 25% of dials refused
+                .build(),
+        );
+        let dep = TestDeployment::builder()
+            .lrcs(1)
+            .rlis(1)
+            .retry(RetryPolicy {
+                max_retries: 8,
+                ..quick_retry()
+            })
+            .fault_hook(plan.clone())
+            .build()
+            .unwrap();
+        seed_names(&dep, 6);
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        (plan.stats().refused(), plan.stats().total(), rli_names(&dep, 0))
+    };
+    let a = run(0xDEAD_BEEF);
+    let b = run(0xDEAD_BEEF);
+    assert_eq!(a, b, "same seed must replay the same chaos");
+    assert_eq!(a.2, fault_free_state(6), "and still converge");
+}
+
+/// Expiry chaos: kill an LRC mid-run. Its RLI entries die by timeout on
+/// schedule, while a surviving LRC's refreshed entries are retained —
+/// §3.2's soft-state expiration doing its cleanup job.
+#[test]
+fn dead_lrc_entries_expire_on_schedule() {
+    let dep = TestDeployment::builder().lrcs(2).rlis(1).build().unwrap();
+    let mut c0 = dep.lrc_client(0).unwrap();
+    let mut c1 = dep.lrc_client(1).unwrap();
+    for i in 0..2 {
+        c0.create_mapping(&format!("lfn://doomed/f{i}"), &format!("pfn://dead/{i}"))
+            .unwrap();
+        c1.create_mapping(&format!("lfn://alive/g{i}"), &format!("pfn://live/{i}"))
+            .unwrap();
+    }
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let all = rli_names(&dep, 0);
+    assert!(all.contains("lfn://doomed/f0") && all.contains("lfn://alive/g0"));
+
+    // LRC 0 dies; nothing un-registers its entries. Let their timestamps
+    // age past the timeout while the survivor keeps refreshing.
+    dep.crash_lrc(0);
+    std::thread::sleep(Duration::from_millis(400));
+    for o in dep.lrcs[1].run_update_cycle().unwrap() {
+        o.unwrap();
+    }
+    let expired = dep.rlis[0]
+        .rli()
+        .unwrap()
+        .expire_with_timeout(Timestamp::now(), Duration::from_millis(250))
+        .unwrap();
+    assert!(expired >= 2, "dead LRC's associations must expire: {expired}");
+    let names = rli_names(&dep, 0);
+    assert!(
+        !names.iter().any(|n| n.starts_with("lfn://doomed/")),
+        "doomed entries survived expiry: {names:?}"
+    );
+    assert!(
+        names.contains("lfn://alive/g0") && names.contains("lfn://alive/g1"),
+        "refreshed entries must be retained: {names:?}"
+    );
+}

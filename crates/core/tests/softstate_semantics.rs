@@ -46,10 +46,12 @@ fn immediate_mode_bulk_load_caveat() {
     assert_eq!(outcomes.iter().map(|o| o.names).sum::<u64>(), 1);
 }
 
-/// Deltas survive RLI downtime: a failed flush re-queues the journal and a
-/// later flush delivers it.
+/// Deltas survive RLI downtime: a failed flush parks the journal in the
+/// dead target's backlog, and the next flush — once the RLI is back on
+/// the same address — delivers it.
 #[test]
 fn delta_flush_retries_after_rli_outage() {
+    use rls_core::{RliConfig, Server, ServerConfig};
     let dep = TestDeployment::builder()
         .lrcs(1)
         .rlis(1)
@@ -59,41 +61,92 @@ fn delta_flush_retries_after_rli_outage() {
     let mut c = dep.lrc_client(0).unwrap();
     c.create_mapping("lfn://retry/a", "pfn://a").unwrap();
 
-    // Point the LRC's update list at a dead address as well as the live
-    // RLI, then take the live one "down" by using only the dead target.
+    // Repoint the update list at an address nothing listens on.
     let lrc_server = &dep.lrcs[0];
     let live_rli = dep.rlis[0].addr().to_string();
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
     {
         let lrc = lrc_server.lrc().unwrap();
         let mut db = lrc.db.write();
         db.remove_rli(&live_rli).unwrap();
-        // An address nothing listens on.
-        let dead = {
-            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap().to_string()
-        };
-        db.add_rli(&dead, 0, &[]).unwrap();
+        db.add_rli(&dead.to_string(), 0, &[]).unwrap();
     }
-    // Flush fails (no RLI reachable) and re-queues.
+    // Flush fails; the journal moves into the dead target's backlog.
     let res = lrc_server.flush_deltas();
     assert!(res.is_err());
-    assert_eq!(lrc_server.lrc().unwrap().pending_deltas(), 1);
+    let lrc = lrc_server.lrc().unwrap();
+    assert_eq!(lrc.pending_deltas(), 0);
+    assert_eq!(lrc.pending_backlog(), 1);
 
-    // RLI "comes back": restore the live target; the retry delivers.
-    {
-        let lrc = lrc_server.lrc().unwrap();
-        let mut db = lrc.db.write();
-        let rlis = db.list_rlis();
-        for r in rlis {
-            db.remove_rli(&r.name).unwrap();
-        }
-        db.add_rli(&live_rli, 0, &[]).unwrap();
-    }
+    // The RLI comes back on the same address; the next flush delivers.
+    let revived = Server::start(ServerConfig {
+        name: "rli-revived".into(),
+        bind: dead,
+        rli: Some(RliConfig::default()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
     let outcomes = lrc_server.flush_deltas().unwrap();
     assert_eq!(outcomes.len(), 1);
-    assert_eq!(lrc_server.lrc().unwrap().pending_deltas(), 0);
-    let mut rli = dep.rli_client(0).unwrap();
+    assert_eq!(lrc_server.lrc().unwrap().pending_backlog(), 0);
+    let mut rli = RlsClient::connect(revived.addr(), &Dn::anonymous()).unwrap();
     assert_eq!(rli.rli_query_lfn("lfn://retry/a").unwrap().len(), 1);
+    revived.shutdown();
+}
+
+/// Partial-flush regression: when one of two RLIs is down, only the dead
+/// target's deltas are re-queued — the reachable RLI never re-receives a
+/// delta it already applied.
+#[test]
+fn partial_flush_requeues_only_failed_target() {
+    let mut dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(2)
+        .immediate(true)
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+
+    // Both RLIs receive the first delta.
+    c.create_mapping("lfn://partial/a", "pfn://a").unwrap();
+    for r in dep.flush_deltas() {
+        r.unwrap();
+    }
+
+    // RLI 1 crashes; the next flush reaches RLI 0 only.
+    dep.crash_rli(1);
+    c.create_mapping("lfn://partial/b", "pfn://b").unwrap();
+    let outcomes = dep.lrcs[0].flush_deltas().unwrap();
+    assert_eq!(outcomes.len(), 1, "only the live RLI was reached");
+    let lrc = dep.lrcs[0].lrc().unwrap();
+    assert_eq!(lrc.pending_deltas(), 0, "journal consumed");
+    assert_eq!(lrc.pending_backlog(), 1, "dead target holds one delta");
+
+    // RLI 1 returns (empty); the next flush sends ONLY the backlog, and
+    // only to the revived target — the journal has nothing fresh.
+    dep.restart_rli(1).unwrap();
+    let outcomes = dep.lrcs[0].flush_deltas().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].target, dep.rlis[1].addr().to_string());
+    assert_eq!(outcomes[0].names, 1);
+    assert_eq!(dep.lrcs[0].lrc().unwrap().pending_backlog(), 0);
+
+    // RLI 0 saw exactly two delta frames (a, then b) — no duplicates.
+    let mut rli0 = dep.rli_client(0).unwrap();
+    let s0 = rli0.stats().unwrap();
+    assert_eq!(s0.updates_received, 2, "no delta was re-sent to RLI 0");
+    assert_eq!(rli0.rli_query_lfn("lfn://partial/a").unwrap().len(), 1);
+    assert_eq!(rli0.rli_query_lfn("lfn://partial/b").unwrap().len(), 1);
+    // The revived RLI 1 saw exactly the backlog flush; it holds b (a died
+    // with its pre-crash state and returns at the next full refresh).
+    let mut rli1 = dep.rli_client(1).unwrap();
+    let s1 = rli1.stats().unwrap();
+    assert_eq!(s1.updates_received, 1);
+    assert_eq!(rli1.rli_query_lfn("lfn://partial/b").unwrap().len(), 1);
+    assert!(rli1.rli_query_lfn("lfn://partial/a").is_err());
 }
 
 /// Chunked full updates: a tiny chunk size streams many frames but the RLI

@@ -1,0 +1,394 @@
+//! # `rls-faults`
+//!
+//! Deterministic, seeded fault-injection plans for the RLS transport.
+//!
+//! The paper's evaluation (§6) leans on soft state precisely because
+//! servers fail: an RLI that crashes loses its index and is rebuilt from
+//! the next round of LRC updates. This crate makes that story *testable*:
+//! a [`FaultPlan`] is a scripted schedule of transport faults — connection
+//! refusals, mid-frame disconnects, read stalls, slow links — that hooks
+//! into `rls-net` via the [`FaultHook`] trait. Every decision the plan
+//! makes is a pure function of its seed and the sequence of hook events,
+//! so a failing chaos test replays identically from its seed.
+//!
+//! The plan does not know about servers or topologies; crash/restart of a
+//! whole server is orchestrated one level up (the `rls-core` testkit's
+//! `crash_rli`/`restart_rli`), while this crate covers everything that
+//! happens *on the wire*.
+//!
+//! ```
+//! use rls_faults::FaultPlan;
+//! use rls_net::{FaultDecision, FaultHook};
+//! use std::time::Duration;
+//!
+//! // Refuse the first two connects to any target, then stall the third
+//! // read for 5 ms; everything afterwards flows normally.
+//! let plan = FaultPlan::builder(0xC0FFEE)
+//!     .refuse_connects("*", 2)
+//!     .stall_recv("*", 0, Duration::from_millis(5))
+//!     .build();
+//! assert_eq!(plan.on_connect("127.0.0.1:9"), FaultDecision::Refuse);
+//! assert_eq!(plan.on_connect("127.0.0.1:9"), FaultDecision::Refuse);
+//! assert_eq!(plan.on_connect("127.0.0.1:9"), FaultDecision::Allow);
+//! assert_eq!(plan.stats().refused(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rls_net::{splitmix64, FaultDecision, FaultHook};
+
+/// Which hook point a rule applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Site {
+    Connect,
+    Send,
+    Recv,
+}
+
+/// What a firing rule does.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Refuse,
+    DropMidFrame,
+    Stall(Duration),
+    Delay(Duration),
+    /// Fail the event with probability `ppm`/1_000_000, decided by the
+    /// plan's seeded generator (deterministic given the event sequence).
+    RefuseWithProb(u32),
+}
+
+/// One scripted rule plus its mutable progress counters.
+#[derive(Debug)]
+struct Rule {
+    /// Target filter: canonical `ip:port`, or `"*"` for any peer.
+    target: String,
+    site: Site,
+    /// Matching events to let through before the rule starts firing.
+    skip: u64,
+    /// Maximum times the rule fires (`u64::MAX` = forever).
+    count: u64,
+    action: Action,
+    seen: u64,
+    fired: u64,
+}
+
+impl Rule {
+    fn matches(&self, site: Site, target: &str) -> bool {
+        self.site == site && (self.target == "*" || self.target == target)
+    }
+}
+
+/// Counters of faults actually injected, so tests can assert the script
+/// fired (a chaos test whose faults never trigger proves nothing).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    refused: AtomicU64,
+    dropped: AtomicU64,
+    stalled: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultStats {
+    /// Connects/sends refused outright.
+    pub fn refused(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Frames cut off mid-wire.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Operations stalled then timed out.
+    pub fn stalled(&self) -> u64 {
+        self.stalled.load(Ordering::Relaxed)
+    }
+
+    /// Operations delayed (slow link) but allowed through.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected across all classes (delays included).
+    pub fn total(&self) -> u64 {
+        self.refused() + self.dropped() + self.stalled() + self.delayed()
+    }
+
+    fn note(&self, action: Action) {
+        match action {
+            Action::Refuse | Action::RefuseWithProb(_) => {
+                self.refused.fetch_add(1, Ordering::Relaxed)
+            }
+            Action::DropMidFrame => self.dropped.fetch_add(1, Ordering::Relaxed),
+            Action::Stall(_) => self.stalled.fetch_add(1, Ordering::Relaxed),
+            Action::Delay(_) => self.delayed.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// Builder for a [`FaultPlan`]. Rules are evaluated in insertion order;
+/// the first rule that fires for an event decides it.
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlanBuilder {
+    fn rule(mut self, target: &str, site: Site, skip: u64, count: u64, action: Action) -> Self {
+        self.rules.push(Rule {
+            target: target.to_owned(),
+            site,
+            skip,
+            count,
+            action,
+            seen: 0,
+            fired: 0,
+        });
+        self
+    }
+
+    /// Refuse the first `n` connection attempts to `target` (`"*"` = any).
+    pub fn refuse_connects(self, target: &str, n: u64) -> Self {
+        self.rule(target, Site::Connect, 0, n, Action::Refuse)
+    }
+
+    /// Refuse each connect to `target` with probability `ppm`/1_000_000,
+    /// decided deterministically by the plan's seed.
+    pub fn refuse_connects_prob(self, target: &str, ppm: u32) -> Self {
+        self.rule(
+            target,
+            Site::Connect,
+            0,
+            u64::MAX,
+            Action::RefuseWithProb(ppm),
+        )
+    }
+
+    /// Cut the `nth` frame (0-based) sent to `target` off mid-wire and
+    /// sever the connection.
+    pub fn drop_mid_frame(self, target: &str, nth: u64) -> Self {
+        self.rule(target, Site::Send, nth, 1, Action::DropMidFrame)
+    }
+
+    /// Stall the `nth` receive (0-based) from `target` for `dur`, then
+    /// fail it with a timeout.
+    pub fn stall_recv(self, target: &str, nth: u64, dur: Duration) -> Self {
+        self.rule(target, Site::Recv, nth, 1, Action::Stall(dur))
+    }
+
+    /// Delay every frame to and from `target` by `dur` (slow link).
+    pub fn slow_link(self, target: &str, dur: Duration) -> Self {
+        self.rule(target, Site::Send, 0, u64::MAX, Action::Delay(dur))
+            .rule(target, Site::Recv, 0, u64::MAX, Action::Delay(dur))
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            state: Mutex::new(PlanState {
+                rules: self.rules,
+                rng: splitmix64(self.seed),
+                steps: 0,
+            }),
+            stats: FaultStats::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PlanState {
+    rules: Vec<Rule>,
+    rng: u64,
+    steps: u64,
+}
+
+/// A deterministic, seeded fault schedule implementing [`FaultHook`].
+///
+/// Share one plan (behind an `Arc`) across a whole deployment: the
+/// `rls-core` testkit installs it on every LRC→RLI update connection, so
+/// a single script choreographs faults topology-wide. Decisions depend
+/// only on the seed and the order of hook events — single-threaded test
+/// drivers replay bit-identically.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    state: Mutex<PlanState>,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Starts building a plan with the given seed.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// A plan with no rules: allows everything (useful as a control arm).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        Self::builder(seed).build()
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// A deterministic value derived from the seed and a label — for test
+    /// drivers that need seeded choices *outside* the wire (e.g. "crash
+    /// the RLI after step N"): `derive("crash-step") % steps`.
+    pub fn derive(&self, label: &str) -> u64 {
+        let mut h = self.seed;
+        for b in label.bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h
+    }
+
+    fn decide(&self, site: Site, target: &str) -> FaultDecision {
+        let mut st = self.state.lock().expect("fault plan lock");
+        st.steps += 1;
+        // Advance the generator once per event so probabilistic rules stay
+        // aligned with the event sequence regardless of rule order.
+        st.rng = splitmix64(st.rng);
+        let draw = st.rng;
+        for rule in &mut st.rules {
+            if !rule.matches(site, target) {
+                continue;
+            }
+            let idx = rule.seen;
+            rule.seen += 1;
+            if idx < rule.skip || rule.fired >= rule.count {
+                continue;
+            }
+            let fire = match rule.action {
+                Action::RefuseWithProb(ppm) => (draw % 1_000_000) < u64::from(ppm),
+                _ => true,
+            };
+            if !fire {
+                continue;
+            }
+            rule.fired += 1;
+            self.stats.note(rule.action);
+            return match rule.action {
+                Action::Refuse | Action::RefuseWithProb(_) => FaultDecision::Refuse,
+                Action::DropMidFrame => FaultDecision::DropMidFrame,
+                Action::Stall(d) => FaultDecision::Stall(d),
+                Action::Delay(d) => FaultDecision::Delay(d),
+            };
+        }
+        FaultDecision::Allow
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn on_connect(&self, target: &str) -> FaultDecision {
+        self.decide(Site::Connect, target)
+    }
+
+    fn on_send(&self, target: &str, _wire_bytes: usize) -> FaultDecision {
+        self.decide(Site::Send, target)
+    }
+
+    fn on_recv(&self, target: &str) -> FaultDecision {
+        self.decide(Site::Recv, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refusals_fire_then_clear() {
+        let plan = FaultPlan::builder(1).refuse_connects("*", 2).build();
+        assert_eq!(plan.on_connect("a:1"), FaultDecision::Refuse);
+        assert_eq!(plan.on_connect("b:2"), FaultDecision::Refuse);
+        assert_eq!(plan.on_connect("a:1"), FaultDecision::Allow);
+        assert_eq!(plan.stats().refused(), 2);
+        assert_eq!(plan.stats().total(), 2);
+    }
+
+    #[test]
+    fn target_scoping() {
+        let plan = FaultPlan::builder(1).refuse_connects("a:1", 10).build();
+        assert_eq!(plan.on_connect("b:2"), FaultDecision::Allow);
+        assert_eq!(plan.on_connect("a:1"), FaultDecision::Refuse);
+        assert_eq!(plan.stats().refused(), 1);
+    }
+
+    #[test]
+    fn nth_send_dropped_once() {
+        let plan = FaultPlan::builder(2).drop_mid_frame("*", 1).build();
+        assert_eq!(plan.on_send("a:1", 10), FaultDecision::Allow); // 0th passes
+        assert_eq!(plan.on_send("a:1", 10), FaultDecision::DropMidFrame); // 1st dropped
+        assert_eq!(plan.on_send("a:1", 10), FaultDecision::Allow); // count exhausted
+        assert_eq!(plan.stats().dropped(), 1);
+    }
+
+    #[test]
+    fn stall_and_slow_link() {
+        let d = Duration::from_millis(3);
+        let plan = FaultPlan::builder(3)
+            .stall_recv("*", 0, d)
+            .slow_link("*", Duration::from_millis(1))
+            .build();
+        assert_eq!(plan.on_recv("a:1"), FaultDecision::Stall(d));
+        // Stall exhausted: the slow-link rule takes over.
+        assert_eq!(
+            plan.on_recv("a:1"),
+            FaultDecision::Delay(Duration::from_millis(1))
+        );
+        assert_eq!(
+            plan.on_send("a:1", 5),
+            FaultDecision::Delay(Duration::from_millis(1))
+        );
+        assert_eq!(plan.stats().stalled(), 1);
+        assert_eq!(plan.stats().delayed(), 2);
+    }
+
+    /// The determinism contract: two plans built identically produce the
+    /// same decision for every event of the same sequence.
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let build = || {
+            FaultPlan::builder(0xDEADBEEF)
+                .refuse_connects_prob("*", 500_000)
+                .build()
+        };
+        let (a, b) = (build(), build());
+        let decisions_a: Vec<_> = (0..64).map(|_| a.on_connect("x:1")).collect();
+        let decisions_b: Vec<_> = (0..64).map(|_| b.on_connect("x:1")).collect();
+        assert_eq!(decisions_a, decisions_b);
+        // ~50% refusal probability must actually refuse some and allow some.
+        assert!(a.stats().refused() > 0);
+        assert!(a.stats().refused() < 64);
+        // A different seed yields a different schedule.
+        let c = FaultPlan::builder(0xFEEDFACE)
+            .refuse_connects_prob("*", 500_000)
+            .build();
+        let decisions_c: Vec<_> = (0..64).map(|_| c.on_connect("x:1")).collect();
+        assert_ne!(decisions_a, decisions_c);
+    }
+
+    #[test]
+    fn derive_is_stable_per_label() {
+        let plan = FaultPlan::quiet(7);
+        assert_eq!(plan.derive("crash-step"), plan.derive("crash-step"));
+        assert_ne!(plan.derive("crash-step"), plan.derive("other"));
+        let plan2 = FaultPlan::quiet(8);
+        assert_ne!(plan.derive("crash-step"), plan2.derive("crash-step"));
+    }
+}

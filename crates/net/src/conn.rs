@@ -7,8 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rls_proto::{read_frame, write_frame, DEFAULT_MAX_FRAME};
-use rls_types::{RlsError, RlsResult};
+use rls_types::{ErrorCode, RlsError, RlsResult};
 
+use crate::fault::{FaultDecision, FaultHook};
 use crate::shaper::{sleep_until, ConnCursor, LinkProfile, SharedIngress};
 
 /// Byte and frame counters shared across connections.
@@ -81,7 +82,9 @@ pub struct Conn {
     cursor: ConnCursor,
     max_frame: usize,
     peer: SocketAddr,
+    peer_label: String,
     meter: Option<Arc<ConnMeter>>,
+    hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl std::fmt::Debug for Conn {
@@ -112,7 +115,9 @@ impl Conn {
             cursor: ConnCursor::new(),
             max_frame,
             peer,
+            peer_label: peer.to_string(),
             meter: None,
+            hook: None,
         })
     }
 
@@ -142,6 +147,72 @@ impl Conn {
         Ok(())
     }
 
+    /// Attaches a fault-injection hook consulted around every frame.
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Acts on a hook decision for the send path. `Ok(true)` means the
+    /// frame was consumed by the fault (caller must not send it).
+    fn apply_send_fault(&mut self, body: &[u8]) -> RlsResult<()> {
+        let Some(hook) = &self.hook else { return Ok(()) };
+        match hook.on_send(&self.peer_label, body.len() + 4) {
+            FaultDecision::Allow => Ok(()),
+            FaultDecision::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            FaultDecision::Refuse => Err(RlsError::new(
+                ErrorCode::Io,
+                format!("injected send failure to {}", self.peer_label),
+            )),
+            FaultDecision::DropMidFrame => {
+                // Write the length prefix plus half the body, then sever the
+                // connection: the peer observes a truncated frame (protocol
+                // error), the sender an I/O failure — a crash mid-update.
+                let len = body.len() as u32;
+                let _ = self.writer.write_all(&len.to_le_bytes());
+                let _ = self.writer.write_all(&body[..body.len() / 2]);
+                let _ = self.writer.flush();
+                self.shutdown();
+                Err(RlsError::new(
+                    ErrorCode::Io,
+                    format!("injected mid-frame disconnect to {}", self.peer_label),
+                ))
+            }
+            FaultDecision::Stall(d) => {
+                std::thread::sleep(d);
+                Err(RlsError::new(
+                    ErrorCode::Timeout,
+                    format!("injected send stall to {}", self.peer_label),
+                ))
+            }
+        }
+    }
+
+    /// Acts on a hook decision for the receive path.
+    fn apply_recv_fault(&mut self) -> RlsResult<()> {
+        let Some(hook) = &self.hook else { return Ok(()) };
+        match hook.on_recv(&self.peer_label) {
+            FaultDecision::Allow => Ok(()),
+            FaultDecision::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            FaultDecision::Stall(d) => {
+                std::thread::sleep(d);
+                Err(RlsError::new(
+                    ErrorCode::Timeout,
+                    format!("injected read stall from {}", self.peer_label),
+                ))
+            }
+            FaultDecision::Refuse | FaultDecision::DropMidFrame => Err(RlsError::new(
+                ErrorCode::Io,
+                format!("injected receive failure from {}", self.peer_label),
+            )),
+        }
+    }
+
     fn shape_outbound(&mut self, bytes: usize) {
         if self.profile.is_unshaped() && self.ingress.is_none() {
             return;
@@ -166,6 +237,7 @@ impl Conn {
 
     /// Sends one frame.
     pub fn send(&mut self, body: &[u8]) -> RlsResult<()> {
+        self.apply_send_fault(body)?;
         self.shape_outbound(body.len() + 4);
         write_frame(&mut self.writer, body)?;
         self.writer.flush()?;
@@ -177,6 +249,7 @@ impl Conn {
 
     /// Receives one frame; `None` on clean EOF.
     pub fn recv(&mut self) -> RlsResult<Option<Vec<u8>>> {
+        self.apply_recv_fault()?;
         let frame = read_frame(&mut self.reader, self.max_frame)?;
         if let Some(body) = &frame {
             self.shape_inbound(body.len() + 4);
@@ -201,14 +274,65 @@ impl Conn {
     }
 }
 
+/// Options for [`connect_with`] beyond shaping: a connect timeout and a
+/// fault-injection hook.
+#[derive(Clone, Debug, Default)]
+pub struct ConnectOptions {
+    /// TCP connect timeout; `None` uses the OS default.
+    pub timeout: Option<Duration>,
+    /// Hook consulted before the connect and around every frame on the
+    /// resulting connection.
+    pub hook: Option<Arc<dyn FaultHook>>,
+}
+
 /// Connects to a server with the given shaping.
 pub fn connect(
     addr: impl ToSocketAddrs,
     profile: LinkProfile,
     ingress: Option<SharedIngress>,
 ) -> RlsResult<Conn> {
-    let stream = TcpStream::connect(addr)?;
-    Conn::from_stream(stream, profile, ingress, DEFAULT_MAX_FRAME)
+    connect_with(addr, profile, ingress, &ConnectOptions::default())
+}
+
+/// Connects with a timeout and/or fault hook (see [`ConnectOptions`]).
+pub fn connect_with(
+    addr: impl ToSocketAddrs,
+    profile: LinkProfile,
+    ingress: Option<SharedIngress>,
+    opts: &ConnectOptions,
+) -> RlsResult<Conn> {
+    let sa = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| RlsError::bad_request("address resolved to nothing"))?;
+    if let Some(hook) = &opts.hook {
+        match hook.on_connect(&sa.to_string()) {
+            FaultDecision::Allow => {}
+            FaultDecision::Delay(d) => std::thread::sleep(d),
+            FaultDecision::Stall(d) => {
+                std::thread::sleep(d);
+                return Err(RlsError::new(
+                    ErrorCode::Timeout,
+                    format!("injected connect stall to {sa}"),
+                ));
+            }
+            FaultDecision::Refuse | FaultDecision::DropMidFrame => {
+                return Err(RlsError::new(
+                    ErrorCode::Io,
+                    format!("injected connection refusal to {sa}"),
+                ));
+            }
+        }
+    }
+    let stream = match opts.timeout {
+        Some(d) => TcpStream::connect_timeout(&sa, d)?,
+        None => TcpStream::connect(sa)?,
+    };
+    let mut conn = Conn::from_stream(stream, profile, ingress, DEFAULT_MAX_FRAME)?;
+    if let Some(hook) = &opts.hook {
+        conn.set_fault_hook(Arc::clone(hook));
+    }
+    Ok(conn)
 }
 
 /// A listening socket producing unshaped server-side [`Conn`]s.

@@ -1,0 +1,73 @@
+//! Fault-injection hook points for the transport layer.
+//!
+//! A [`FaultHook`] is consulted by [`crate::connect_with`] before dialing
+//! and by [`crate::Conn`] around every frame send/receive. The production
+//! path installs no hook (zero overhead beyond an `Option` check); the
+//! `rls-faults` crate provides a deterministic, seeded implementation so
+//! tests can script connection refusals, mid-frame disconnects, read
+//! stalls and slow links with reproducible schedules.
+
+use std::time::Duration;
+
+/// What a [`FaultHook`] tells the transport to do at one hook point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Proceed normally.
+    Allow,
+    /// Sleep this long, then proceed (slow-link emulation).
+    Delay(Duration),
+    /// Fail immediately, as if the peer refused the connection.
+    Refuse,
+    /// Write a truncated frame, then sever the connection (the peer sees
+    /// wire-format corruption; the sender gets an I/O error). Only
+    /// meaningful on the send path; elsewhere it behaves like [`Refuse`].
+    DropMidFrame,
+    /// Sleep this long (the operation appears hung), then fail with a
+    /// timeout error — a read stall from the caller's point of view.
+    Stall(Duration),
+}
+
+/// Transport fault-injection hook.
+///
+/// `target` is the canonical `ip:port` of the remote peer, so plans can
+/// scope faults to one server or match any (`"*"`-style rules are the
+/// hook implementation's business). Default methods allow everything;
+/// implementations override only the sites they script.
+///
+/// Implementations must be `Send + Sync` (one hook is shared across every
+/// connection of a deployment) and `Debug` (hooks ride inside config
+/// structs that derive it).
+pub trait FaultHook: Send + Sync + std::fmt::Debug {
+    /// Consulted before a TCP connect to `target`.
+    fn on_connect(&self, _target: &str) -> FaultDecision {
+        FaultDecision::Allow
+    }
+
+    /// Consulted before sending a frame of `_wire_bytes` bytes (payload
+    /// plus header) to `target`.
+    fn on_send(&self, _target: &str, _wire_bytes: usize) -> FaultDecision {
+        FaultDecision::Allow
+    }
+
+    /// Consulted before blocking to receive a frame from `target`.
+    fn on_recv(&self, _target: &str) -> FaultDecision {
+        FaultDecision::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct AllowAll;
+    impl FaultHook for AllowAll {}
+
+    #[test]
+    fn default_hook_allows_everything() {
+        let h = AllowAll;
+        assert_eq!(h.on_connect("127.0.0.1:1"), FaultDecision::Allow);
+        assert_eq!(h.on_send("127.0.0.1:1", 64), FaultDecision::Allow);
+        assert_eq!(h.on_recv("127.0.0.1:1"), FaultDecision::Allow);
+    }
+}

@@ -19,8 +19,21 @@
 //! concurrent soft-state updates contend — the mechanism behind the rise in
 //! per-client update time beyond ~7 concurrent LRCs in Fig. 13.
 
+//!
+//! Two resilience surfaces ride on the same layer:
+//!
+//! * [`FaultHook`] — injection points consulted at connect/send/recv so a
+//!   deterministic fault plan (the `rls-faults` crate) can script refused
+//!   connections, mid-frame disconnects, read stalls and slow links;
+//! * [`RetryPolicy`] — exponential backoff with deterministic jitter and
+//!   per-attempt timeouts, consumed by the client layer's retry loops.
+
 pub mod conn;
+pub mod fault;
+pub mod retry;
 pub mod shaper;
 
-pub use conn::{connect, Conn, ConnMeter, Listener};
+pub use conn::{connect, connect_with, Conn, ConnMeter, ConnectOptions, Listener};
+pub use fault::{FaultDecision, FaultHook};
+pub use retry::{splitmix64, RetryPolicy};
 pub use shaper::{LinkProfile, SharedIngress};

@@ -1,0 +1,167 @@
+//! Retry/backoff policy for transport clients.
+//!
+//! The policy itself is pure data plus deterministic arithmetic: the
+//! backoff for attempt `n` is `base × 2ⁿ` capped at `backoff_max`, with a
+//! *deterministic* jitter derived from a caller-supplied seed (no clock,
+//! no RNG) so a seeded test run produces the same sleep schedule every
+//! time. The retry *loop* lives in the client that owns the connection
+//! (`rls-core`'s `RlsClient`); this module only answers "how long until
+//! attempt n+1".
+
+use std::time::Duration;
+
+/// SplitMix64: the one-instruction-wide mixer used for deterministic
+/// jitter (same construction as `rls-trace`'s ID minting).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How a client retries failed connects and calls.
+///
+/// `max_retries` counts *additional* attempts after the first: a policy
+/// with `max_retries = 3` tries an operation at most four times. A policy
+/// of [`RetryPolicy::none`] preserves fail-fast semantics exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_max: Duration,
+    /// Portion of each backoff randomized (0–100). The jitter window is
+    /// centred on the exponential value: `50` yields sleeps in
+    /// `[0.75×, 1.25×]` of the nominal backoff.
+    pub jitter_pct: u32,
+    /// TCP connect timeout; `None` uses the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Per-attempt read timeout on responses; `None` blocks indefinitely.
+    pub request_timeout: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// No retries, no timeouts: the historical fail-fast behaviour.
+    pub const fn none() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::ZERO,
+            jitter_pct: 0,
+            connect_timeout: None,
+            request_timeout: None,
+        }
+    }
+
+    /// Defaults for the LRC's soft-state updater: a few quick retries with
+    /// a bounded connect timeout, so one dead RLI delays but never stalls
+    /// an update cycle.
+    pub const fn updater_default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            jitter_pct: 50,
+            connect_timeout: Some(Duration::from_secs(2)),
+            request_timeout: None,
+        }
+    }
+
+    /// True if any retry would be attempted.
+    pub fn retries_enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// Backoff before retry number `attempt` (0-based), with deterministic
+    /// jitter derived from `seed`. The same `(policy, attempt, seed)`
+    /// always yields the same duration.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let shift = attempt.min(20);
+        let nominal = self
+            .backoff_base
+            .saturating_mul(1u32 << shift.min(31))
+            .min(if self.backoff_max.is_zero() {
+                Duration::MAX
+            } else {
+                self.backoff_max
+            });
+        let jitter_pct = self.jitter_pct.min(100) as u64;
+        if jitter_pct == 0 || nominal.is_zero() {
+            return nominal;
+        }
+        let nominal_ns = nominal.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let span = nominal_ns / 100 * jitter_pct;
+        let r = splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x0065_F35E)) % (span + 1);
+        Duration::from_nanos(nominal_ns.saturating_sub(span / 2).saturating_add(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_is_fail_fast() {
+        let p = RetryPolicy::none();
+        assert!(!p.retries_enabled());
+        assert_eq!(p.backoff(0, 42), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+            jitter_pct: 0,
+            connect_timeout: None,
+            request_timeout: None,
+        };
+        assert_eq!(p.backoff(0, 0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1, 0), Duration::from_millis(20));
+        assert_eq!(p.backoff(2, 0), Duration::from_millis(40));
+        assert_eq!(p.backoff(3, 0), Duration::from_millis(80));
+        assert_eq!(p.backoff(4, 0), Duration::from_millis(100)); // capped
+        assert_eq!(p.backoff(63, 0), Duration::from_millis(100)); // no overflow
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            jitter_pct: 50,
+            ..RetryPolicy::updater_default()
+        };
+        for attempt in 0..4 {
+            let a = p.backoff(attempt, 7);
+            let b = p.backoff(attempt, 7);
+            assert_eq!(a, b, "same seed must give same jitter");
+            let nominal = p.backoff(
+                attempt,
+                0, /* any seed */
+            );
+            // Window: centred on the nominal value, ±25% for jitter_pct=50.
+            let lo = p
+                .backoff_base
+                .saturating_mul(1 << attempt)
+                .min(p.backoff_max)
+                .mul_f64(0.74);
+            let hi = p
+                .backoff_base
+                .saturating_mul(1 << attempt)
+                .min(p.backoff_max)
+                .mul_f64(1.26);
+            assert!(a >= lo && a <= hi, "attempt {attempt}: {a:?} vs {nominal:?}");
+        }
+        // Different seeds should (almost always) give different jitter.
+        assert_ne!(p.backoff(0, 1), p.backoff(0, 2));
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_eq!(splitmix64(99), splitmix64(99));
+    }
+}

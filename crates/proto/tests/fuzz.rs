@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use rls_proto::{Request, Response};
+use rls_proto::{Request, Response, TRACE_ENVELOPE_OPCODE};
 use rls_types::Mapping;
 
 proptest! {
@@ -103,6 +103,63 @@ proptest! {
         let bytes = req.encode().into_bytes();
         if cut < bytes.len() {
             prop_assert!(Request::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Trace-envelope round-trip: arbitrary nonzero ID lists survive the
+    /// 0xFFFE prefix exactly, and every proper prefix of the traced frame
+    /// is an error — never a panic, never a silent partial decode.
+    #[test]
+    fn trace_envelope_round_trip_and_truncations(
+        ids in prop::collection::vec(1u64.., 1..20),
+        lfn in "[a-z0-9/]{1,40}",
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let req = Request::QueryLfn(format!("lfn://{lfn}"));
+        let bytes = req.encode_traced(&ids).into_bytes();
+        let (got_ids, got) = Request::decode_traced(&bytes).unwrap();
+        prop_assert_eq!(&got_ids, &ids);
+        prop_assert_eq!(got, req);
+        let cut = cut.index(bytes.len());
+        prop_assert!(Request::decode_traced(&bytes[..cut]).is_err());
+    }
+
+    /// Zero IDs never produce an envelope: an all-zero (or empty) list
+    /// encodes as a plain legacy frame and decodes back to no IDs.
+    #[test]
+    fn zero_trace_ids_are_stripped(zeros in 0usize..5) {
+        let req = Request::Ping;
+        let bytes = req.encode_traced(&vec![0u64; zeros]).into_bytes();
+        let (got_ids, got) = Request::decode_traced(&bytes).unwrap();
+        prop_assert!(got_ids.is_empty());
+        prop_assert_eq!(got, req);
+    }
+
+    /// Arbitrary garbage after a well-formed trace envelope errors or
+    /// decodes, but never panics — and an envelope whose declared ID count
+    /// exceeds the frame is rejected up front.
+    #[test]
+    fn garbage_after_envelope_never_panics(
+        ids in prop::collection::vec(1u64.., 1..8),
+        junk in prop::collection::vec(any::<u8>(), 0..128),
+        declared in any::<u32>(),
+    ) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_ENVELOPE_OPCODE.to_le_bytes());
+        bytes.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in &ids {
+            bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        bytes.extend_from_slice(&junk);
+        let _ = Request::decode_traced(&bytes);
+
+        // Oversized declared count: must error, not allocate or panic.
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&TRACE_ENVELOPE_OPCODE.to_le_bytes());
+        lying.extend_from_slice(&declared.to_le_bytes());
+        lying.extend_from_slice(&junk);
+        if (declared as usize).saturating_mul(8) > junk.len() {
+            prop_assert!(Request::decode_traced(&lying).is_err());
         }
     }
 }

@@ -51,6 +51,7 @@
 
 pub use rls_bloom as bloom;
 pub use rls_core as core;
+pub use rls_faults as faults;
 pub use rls_metrics as metrics;
 pub use rls_net as net;
 pub use rls_proto as proto;
