@@ -8,7 +8,9 @@
 //! claim: batching amortizes per-request overhead, with the advantage
 //! shrinking as concurrency already keeps the server busy.
 
-use rls_bench::{banner, header, row, start_lrc, Scale};
+use std::time::Duration;
+
+use rls_bench::{banner, header, row, start_lrc, start_lrc_group_commit, Scale};
 use rls_storage::BackendProfile;
 use rls_types::Mapping;
 use rls_workload::{drive, preload_lrc, NameGen, Trials};
@@ -115,4 +117,87 @@ fn main() {
         ]);
     }
     println!("\n    expected shape: bulk q/s > single q/s, advantage shrinking with threads");
+
+    // --- Durable writes: group commit vs per-item commits ------------------
+    // Under FlushMode::PerCommit every commit pays a WAL sync. Before the
+    // transactional bulk path, a bulk create issued one commit per item —
+    // the same sync bill as single adds, i.e. pure write amplification.
+    // The group-commit path stages the whole batch in one transaction: one
+    // WAL record and one sync per bulk request, per-item errors preserved.
+    // The `group_commit` config knob restores the old path for comparison.
+    let disk = Duration::from_millis(2);
+    let wbulk = scale.pick(100, 1000) as usize;
+    let wthreads = 4usize;
+    let wbatches = scale.pick(2, 3) as usize;
+    println!(
+        "\n    durable writes: per-commit flush, {}ms simulated sync, {wbulk} items per bulk request",
+        disk.as_millis()
+    );
+    header(&["write mode", "creates/s", "vs single"]);
+    let mut single_rate = 0.0f64;
+    for (label, group_commit, bulk) in [
+        ("single adds", true, false),
+        ("bulk per-item", false, true),
+        ("bulk grouped", true, true),
+    ] {
+        let server = start_lrc_group_commit(
+            BackendProfile::mysql_durable().with_sync_latency(disk),
+            group_commit,
+        );
+        let wgen = NameGen::new("fig11-durable");
+        let mut tr = Trials::new();
+        for trial in 0..scale.trials {
+            let rate = if bulk {
+                let report = drive(
+                    server.addr(),
+                    rls_net::LinkProfile::unshaped(),
+                    None,
+                    wthreads,
+                    wbatches,
+                    |c, t, i| {
+                        let base = (((trial * wthreads + t) * wbatches + i) * wbulk) as u64;
+                        let mappings: Vec<Mapping> = (0..wbulk as u64)
+                            .map(|k| {
+                                Mapping::new(wgen.lfn(base + k), wgen.pfn(0, base + k)).unwrap()
+                            })
+                            .collect();
+                        let fails = c.bulk_create(mappings)?;
+                        debug_assert!(fails.is_empty());
+                        Ok(())
+                    },
+                )
+                .expect("bulk creates");
+                assert_eq!(report.errors, 0);
+                report.rate() * wbulk as f64
+            } else {
+                let per_thread = wbulk * wbatches;
+                let report = drive(
+                    server.addr(),
+                    rls_net::LinkProfile::unshaped(),
+                    None,
+                    wthreads,
+                    per_thread,
+                    |c, t, i| {
+                        let idx = ((trial * wthreads + t) * per_thread + i) as u64;
+                        c.create_mapping(&wgen.lfn(idx), &wgen.pfn(0, idx))
+                            .map(|_| ())
+                    },
+                )
+                .expect("single creates");
+                assert_eq!(report.errors, 0);
+                report.rate()
+            };
+            tr.push_rate(rate);
+        }
+        let rate = tr.mean_rate();
+        if !bulk {
+            single_rate = rate;
+        }
+        row(&[
+            label.to_string(),
+            format!("{rate:.0}"),
+            format!("{:.1}x", rate / single_rate.max(1e-9)),
+        ]);
+    }
+    println!("\n    expected shape: grouped bulk >= 1.5x single adds; per-item bulk ~= single");
 }

@@ -96,6 +96,14 @@ pub fn header(cells: &[&str]) {
 /// Starts a pure-LRC server with the given backend profile. Durable
 /// profiles get a fresh WAL under the system temp directory.
 pub fn start_lrc(profile: BackendProfile) -> Server {
+    start_lrc_group_commit(profile, true)
+}
+
+/// Starts a pure-LRC server with an explicit group-commit setting.
+/// Figure 11's durable-write columns compare the two paths: with group
+/// commit off, a bulk request pays one WAL commit (and one sync under
+/// per-commit flush) per item — the write-amplified baseline.
+pub fn start_lrc_group_commit(profile: BackendProfile, group_commit: bool) -> Server {
     let wal_path = match profile.flush {
         rls_storage::FlushMode::None => None,
         _ => Some(fresh_wal_path("lrc")),
@@ -105,6 +113,7 @@ pub fn start_lrc(profile: BackendProfile) -> Server {
             profile,
             wal_path,
             update: UpdateConfig::default(),
+            group_commit,
         }),
         ..ServerConfig::default()
     })
@@ -136,6 +145,7 @@ pub fn start_lrc_with_updates(
             profile,
             wal_path: None,
             update,
+            group_commit: true,
         }),
         ..ServerConfig::default()
     })

@@ -108,14 +108,24 @@ impl CountingBloomFilter {
         self.entries += 1;
     }
 
-    /// Removes a key, decrementing its counters.
+    /// Removes a key, decrementing its counters. Returns whether the key
+    /// tested present (and was therefore removed).
+    ///
+    /// A key that was never inserted fails the membership test and is a
+    /// **no-op**: decrementing its counters anyway would steal counts from
+    /// keys that genuinely share those positions and eventually produce
+    /// false negatives — the one failure a Bloom filter must never have.
+    /// (A false-positive key can still pass the test and decrement shared
+    /// counters; that risk is inherent to counting filters and bounded by
+    /// the filter's false-positive rate.)
     ///
     /// Saturated counters are sticky (never decremented), preserving the
-    /// no-false-negative invariant for remaining keys. Removing a key that
-    /// was never inserted can corrupt counts — callers (the LRC) only call
-    /// this for mappings verified present in the catalog.
-    pub fn remove(&mut self, key: &str) {
+    /// no-false-negative invariant for remaining keys.
+    pub fn remove(&mut self, key: &str) -> bool {
         let h = DoubleHasher::new(key.as_bytes());
+        if !(0..self.params.hashes).all(|i| self.get(h.index(i, self.bits)) > 0) {
+            return false;
+        }
         for i in 0..self.params.hashes {
             let idx = h.index(i, self.bits);
             let c = self.get(idx);
@@ -124,6 +134,7 @@ impl CountingBloomFilter {
             }
         }
         self.entries = self.entries.saturating_sub(1);
+        true
     }
 
     /// Membership test (same semantics as the plain filter).
@@ -217,6 +228,27 @@ mod tests {
         }
         let exported = c.to_bitmap();
         assert!(exported.is_empty(), "set_bits={}", exported.set_bits());
+    }
+
+    #[test]
+    fn removing_a_never_inserted_key_is_a_guarded_no_op() {
+        let mut f = cbf(1000);
+        for i in 0..50 {
+            f.insert(&format!("present{i}"));
+        }
+        let before = f.nibbles.clone();
+        // A key that fails the membership test must not touch any counter:
+        // blind decrements would steal counts from genuinely present keys
+        // and open the door to false negatives.
+        assert!(!f.remove("never-inserted-key-xyz"));
+        assert_eq!(f.nibbles, before, "guarded remove must not alter counters");
+        assert_eq!(f.entries(), 50);
+        for i in 0..50 {
+            assert!(f.contains(&format!("present{i}")));
+        }
+        // A genuinely present key still removes and reports true.
+        assert!(f.remove("present0"));
+        assert_eq!(f.entries(), 49);
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct LrcConfig {
     pub wal_path: Option<PathBuf>,
     /// Soft-state update behaviour.
     pub update: UpdateConfig,
+    /// Group-commit bulk requests: the whole batch reaches the WAL as one
+    /// record and pays one flush (`group_commit` in the config file).
+    /// Disabling it restores the per-item commit path — one WAL record and
+    /// one flush per item — which is what Fig. 11's single-operation
+    /// columns measure.
+    pub group_commit: bool,
 }
 
 impl Default for LrcConfig {
@@ -118,6 +124,7 @@ impl Default for LrcConfig {
             profile: BackendProfile::mysql_buffered(),
             wal_path: None,
             update: UpdateConfig::default(),
+            group_commit: true,
         }
     }
 }

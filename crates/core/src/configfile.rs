@@ -18,6 +18,7 @@
 //! db_vendor         mysql          # mysql | postgres
 //! db_flush          disabled       # enabled | disabled | none
 //! db_wal            /var/lib/rls/lrc.wal
+//! group_commit      true           # bulk requests share one WAL flush
 //!
 //! # soft-state updates (choose one mode)
 //! update_mode       bloom          # none | full | immediate | bloom
@@ -135,6 +136,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut vendor = Vendor::MySqlLike;
     let mut flush = FlushMode::Buffered;
     let mut wal: Option<PathBuf> = None;
+    let mut group_commit = true;
     let mut update_mode = "none".to_owned();
     let mut update_interval = Duration::from_secs(300);
     let mut immediate_threshold = 100usize;
@@ -203,6 +205,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
                 }
             }
             "db_wal" => wal = Some(PathBuf::from(one()?)),
+            "group_commit" => group_commit = parse_bool(key, one()?)?,
             "update_mode" => update_mode = one()?.to_owned(),
             "update_interval" => update_interval = parse_secs(key, one()?)?,
             "update_immediate_threshold" => {
@@ -422,6 +425,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
                 retry,
                 ..Default::default()
             },
+            group_commit,
         }),
         rli: is_rli.then_some(RliConfig {
             profile,
@@ -540,6 +544,16 @@ acl          user:ann admin
         assert!(parse_config("lrc_server true\nupdate_mode warp").is_err());
         assert!(parse_config("lrc_server true\nupdate_rli x bad[pattern").is_err());
         assert!(parse_config("lrc_server true\ngridmap \"unterminated x").is_err());
+    }
+
+    #[test]
+    fn group_commit_key_parses() {
+        // Default: bulk requests group-commit.
+        let p = parse_config("lrc_server true").unwrap();
+        assert!(p.server.lrc.as_ref().unwrap().group_commit);
+        let p = parse_config("lrc_server true\ngroup_commit off").unwrap();
+        assert!(!p.server.lrc.as_ref().unwrap().group_commit);
+        assert!(parse_config("lrc_server true\ngroup_commit sometimes").is_err());
     }
 
     #[test]

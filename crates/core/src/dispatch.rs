@@ -135,6 +135,7 @@ fn push_engine_counters(
         ("deletes", st.deletes),
         ("updates", st.updates),
         ("commits", st.commits),
+        ("group_commits", st.group_commits),
         ("commit_micros", st.commit_micros),
         ("vacuums", st.vacuums),
         ("vacuum_micros", st.vacuum_micros),
@@ -260,14 +261,33 @@ fn span_to_wire(s: SpanRecord) -> SpanWire {
     }
 }
 
-fn bulk<T>(items: Vec<T>, mut f: impl FnMut(&T) -> RlsResult<()>) -> Response {
-    let mut failures = Vec::new();
-    for (i, item) in items.iter().enumerate() {
-        if let Err(e) = f(item) {
-            failures.push((i as u32, e));
-        }
-    }
-    Response::BulkStatus(failures)
+/// Collapses per-item bulk results into the wire form: only the failures,
+/// each tagged with its slot index.
+fn bulk_status<T>(results: Vec<Result<T, RlsError>>) -> Response {
+    Response::BulkStatus(
+        results
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.err().map(|e| (i as u32, e)))
+            .collect(),
+    )
+}
+
+/// Runs one bulk mapping batch through the LRC's group-commit path,
+/// recording the batch as a single `lrc.bulk_commit` span.
+fn bulk_mappings(
+    state: &ServerState,
+    op: rls_storage::BulkMappingOp,
+    items: &[rls_types::Mapping],
+    ctx: &TraceCtx<'_>,
+) -> RlsResult<Response> {
+    let lrc = state.lrc()?;
+    let span = state
+        .journal
+        .begin(ctx.trace_id, ctx.parent, "lrc.bulk_commit");
+    let results = lrc.bulk_mappings_traced(op, items, ctx.trace_id);
+    span.finish(results.is_ok(), format!("items={}", items.len()));
+    Ok(bulk_status(results?))
 }
 
 fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<Response> {
@@ -300,18 +320,9 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             r?;
             Response::Ok
         }
-        BulkCreate(ms) => {
-            let lrc = state.lrc()?;
-            bulk(ms, |m| lrc.create_mapping(m).map(|_| ()))
-        }
-        BulkAdd(ms) => {
-            let lrc = state.lrc()?;
-            bulk(ms, |m| lrc.add_mapping(m).map(|_| ()))
-        }
-        BulkDelete(ms) => {
-            let lrc = state.lrc()?;
-            bulk(ms, |m| lrc.delete_mapping(m).map(|_| ()))
-        }
+        BulkCreate(ms) => bulk_mappings(state, rls_storage::BulkMappingOp::Create, &ms, ctx)?,
+        BulkAdd(ms) => bulk_mappings(state, rls_storage::BulkMappingOp::Add, &ms, ctx)?,
+        BulkDelete(ms) => bulk_mappings(state, rls_storage::BulkMappingOp::Delete, &ms, ctx)?,
 
         // -- LRC queries --
         QueryLfn(lfn) => {
@@ -427,26 +438,39 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             Response::Attrs(hits)
         }
         BulkAddAttr(items) => {
-            let lrc = state.lrc()?;
-            bulk(items, |a| {
-                lrc.db
-                    .write()
-                    .add_attribute(&a.obj, a.objtype, &a.name, &a.value)
-            })
+            let ops: Vec<rls_storage::BulkAttrOp<'_>> = items
+                .iter()
+                .map(|a| rls_storage::BulkAttrOp::Add {
+                    obj: &a.obj,
+                    objtype: a.objtype,
+                    name: &a.name,
+                    value: &a.value,
+                })
+                .collect();
+            bulk_status(state.lrc()?.bulk_attributes(&ops)?)
         }
         BulkModifyAttr(items) => {
-            let lrc = state.lrc()?;
-            bulk(items, |a| {
-                lrc.db
-                    .write()
-                    .modify_attribute(&a.obj, a.objtype, &a.name, &a.value)
-            })
+            let ops: Vec<rls_storage::BulkAttrOp<'_>> = items
+                .iter()
+                .map(|a| rls_storage::BulkAttrOp::Modify {
+                    obj: &a.obj,
+                    objtype: a.objtype,
+                    name: &a.name,
+                    value: &a.value,
+                })
+                .collect();
+            bulk_status(state.lrc()?.bulk_attributes(&ops)?)
         }
         BulkRemoveAttr(items) => {
-            let lrc = state.lrc()?;
-            bulk(items, |(obj, objtype, name)| {
-                lrc.db.write().remove_attribute(obj, *objtype, name)
-            })
+            let ops: Vec<rls_storage::BulkAttrOp<'_>> = items
+                .iter()
+                .map(|(obj, objtype, name)| rls_storage::BulkAttrOp::Remove {
+                    obj,
+                    objtype: *objtype,
+                    name,
+                })
+                .collect();
+            bulk_status(state.lrc()?.bulk_attributes(&ops)?)
         }
 
         // -- LRC management --
@@ -521,10 +545,18 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
         RliListLrcs => Response::Names(state.rli()?.lrc_list()),
 
         // -- soft-state updates --
-        SoftStateFull { lrc, lfns, .. } => {
+        SoftStateFull {
+            lrc,
+            update_id,
+            seq,
+            last,
+            lfns,
+        } => {
             let t0 = Instant::now();
-            let n = state.rli()?.apply_full_chunk(&lrc, &lfns, Timestamp::now())?;
-            let detail = format!("lrc={lrc} upserts={n}");
+            let n = state
+                .rli()?
+                .apply_full_chunk_seq(&lrc, update_id, seq, last, &lfns, Timestamp::now())?;
+            let detail = format!("lrc={lrc} update_id={update_id} seq={seq} upserts={n}");
             for id in ctx.apply_ids() {
                 state.journal.record_with(
                     id,

@@ -17,8 +17,8 @@ use parking_lot::{Mutex, RwLock};
 
 use rls_bloom::{BloomFilter, BloomParams, CountingBloomFilter};
 use rls_metrics::Registry;
-use rls_storage::{LrcDatabase, MappingChange};
-use rls_types::{Mapping, RlsResult};
+use rls_storage::{BulkAttrOp, BulkMappingOp, LrcDatabase, MappingChange};
+use rls_types::{Mapping, RlsError, RlsResult};
 
 use crate::config::{LrcConfig, UpdateMode};
 
@@ -28,6 +28,16 @@ use crate::config::{LrcConfig, UpdateMode};
 const TRACE_IDS_CAP: usize = 1024;
 
 /// Journal of LFN-level changes since the last incremental update.
+///
+/// The wire form of a delta (`SoftStateDelta`) carries separate
+/// added/removed lists and the RLI applies **all adds before all removes**,
+/// so the journal maintains an ordering invariant instead of event order: a
+/// name sits in `removed` only if it is absent *as of the newest change
+/// folded in*. [`DeltaLog::note_add`] cancels any buffered removal of the
+/// same name (a delete-then-recreate nets to "present", and a stale removal
+/// applied after the re-add would wrongly win at the RLI). Changes are
+/// folded in commit order — [`LrcService`] stamps them with a commit
+/// sequence inside the catalog's write critical section.
 #[derive(Debug, Default)]
 pub struct DeltaLog {
     /// Logical names registered since the last flush.
@@ -39,6 +49,10 @@ pub struct DeltaLog {
     /// updater attributes its `softstate.delta_send` spans to them so a
     /// trace follows the change across the soft-state plane.
     pub trace_ids: Vec<u64>,
+    /// Commit sequence of the newest change folded into this log (0 when
+    /// empty). Monotonic across the service; lets tests and debugging
+    /// assert journal order matches commit order.
+    pub seq: u64,
 }
 
 impl DeltaLog {
@@ -50,6 +64,36 @@ impl DeltaLog {
     /// True if nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Folds in "this name now exists", stamped with its commit sequence.
+    /// Cancels any buffered removal of the same name (see type docs).
+    pub fn note_add(&mut self, name: String, seq: u64) {
+        self.removed.retain(|n| n != &name);
+        self.added.push(name);
+        self.seq = self.seq.max(seq);
+    }
+
+    /// Folds in "this name is now gone", stamped with its commit sequence.
+    pub fn note_remove(&mut self, name: String, seq: u64) {
+        self.removed.push(name);
+        self.seq = self.seq.max(seq);
+    }
+
+    /// Appends a strictly newer log after this one, preserving the
+    /// removal-cancellation invariant across the merge (a re-add in the
+    /// newer log must cancel a removal buffered in the older one).
+    pub fn merge_newer(&mut self, newer: DeltaLog) {
+        for name in newer.added {
+            self.note_add(name, newer.seq);
+        }
+        for name in newer.removed {
+            self.note_remove(name, newer.seq);
+        }
+        for id in newer.trace_ids {
+            self.note_trace(id);
+        }
+        self.seq = self.seq.max(newer.seq);
     }
 
     fn note_trace(&mut self, trace_id: u64) {
@@ -78,6 +122,11 @@ pub struct LrcService {
     bloom_params: BloomParams,
     /// Times the filter had to be regenerated from the catalog.
     bloom_regenerations: AtomicU64,
+    /// Commit sequence: bumped for every journaled LFN-level change
+    /// *inside* the catalog's write critical section, so delta-journal and
+    /// Bloom-filter order always matches commit order (two concurrent
+    /// writers can no longer publish delete/add to the RLI inverted).
+    commit_seq: AtomicU64,
     queries: AtomicU64,
     /// Role-level metrics: `storage.*` mutation/query latencies plus the
     /// `softstate.*` series recorded by the updater.
@@ -122,6 +171,7 @@ impl LrcService {
             bloom,
             bloom_params,
             bloom_regenerations: AtomicU64::new(0),
+            commit_seq: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             metrics: Registry::new(),
         })
@@ -147,15 +197,22 @@ impl LrcService {
         self.queries.load(Ordering::Relaxed)
     }
 
+    /// Journals one mapping mutation's LFN-level effect. MUST be called
+    /// while the catalog write guard is still held: the commit-sequence
+    /// stamp and the delta/Bloom updates happen inside the critical
+    /// section, so journal order always matches commit order (the fix for
+    /// the delete-then-add inversion two concurrent writers could race
+    /// into when these locks were taken after the guard dropped).
     fn note_change(&self, m: &Mapping, change: MappingChange, trace_id: u64) {
         if change.lfn_created || change.lfn_deleted {
+            let seq = self.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
             let track_deltas = matches!(self.config.update.mode, UpdateMode::Immediate { .. });
             if track_deltas {
                 let mut log = self.deltas.lock();
                 if change.lfn_created {
-                    log.added.push(m.logical.as_str().to_owned());
+                    log.note_add(m.logical.as_str().to_owned(), seq);
                 } else {
-                    log.removed.push(m.logical.as_str().to_owned());
+                    log.note_remove(m.logical.as_str().to_owned(), seq);
                 }
                 log.note_trace(trace_id);
             }
@@ -163,8 +220,11 @@ impl LrcService {
                 let mut filter = bloom.lock();
                 if change.lfn_created {
                     filter.insert(m.logical.as_str());
-                } else {
-                    filter.remove(m.logical.as_str());
+                } else if !filter.remove(m.logical.as_str()) {
+                    // The guard refused a remove of a key the filter never
+                    // saw — accounting drift worth surfacing (the filter
+                    // heals at the next regeneration).
+                    self.metrics.counter("softstate.bloom_remove_misses").inc();
                 }
             }
         }
@@ -178,8 +238,12 @@ impl LrcService {
     /// `create` attributed to a trace (0 means untraced).
     pub fn create_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
-        let change = self.db.write().create_mapping(m)?;
-        self.note_change(m, change, trace_id);
+        let change = {
+            let mut db = self.db.write();
+            let change = db.create_mapping(m)?;
+            self.note_change(m, change, trace_id);
+            change
+        };
         self.metrics.histogram("storage.create").record(t0.elapsed());
         Ok(change)
     }
@@ -192,8 +256,12 @@ impl LrcService {
     /// `add` attributed to a trace (0 means untraced).
     pub fn add_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
-        let change = self.db.write().add_mapping(m)?;
-        self.note_change(m, change, trace_id);
+        let change = {
+            let mut db = self.db.write();
+            let change = db.add_mapping(m)?;
+            self.note_change(m, change, trace_id);
+            change
+        };
         self.metrics.histogram("storage.add").record(t0.elapsed());
         Ok(change)
     }
@@ -206,10 +274,130 @@ impl LrcService {
     /// `delete` attributed to a trace (0 means untraced).
     pub fn delete_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
-        let change = self.db.write().delete_mapping(m)?;
-        self.note_change(m, change, trace_id);
+        let change = {
+            let mut db = self.db.write();
+            let change = db.delete_mapping(m)?;
+            self.note_change(m, change, trace_id);
+            change
+        };
         self.metrics.histogram("storage.delete").record(t0.elapsed());
         Ok(change)
+    }
+
+    /// Applies a bulk mapping batch through the group-commit path: the
+    /// write lock is taken **once**, the whole batch reaches the WAL as
+    /// one record with one flush ([`LrcDatabase::bulk_mappings`]), and the
+    /// delta journal and counting Bloom filter are updated in commit order
+    /// inside the same critical section. Per-item failures occupy their
+    /// `Err` slot without aborting the rest.
+    ///
+    /// With [`LrcConfig::group_commit`] disabled the batch degrades to the
+    /// per-item commit path (one WAL record + flush each) — the
+    /// write-amplified behaviour Fig. 11 compares against.
+    pub fn bulk_mappings_traced(
+        &self,
+        op: BulkMappingOp,
+        items: &[Mapping],
+        trace_id: u64,
+    ) -> RlsResult<Vec<Result<MappingChange, RlsError>>> {
+        let t0 = std::time::Instant::now();
+        let results = {
+            let mut db = self.db.write();
+            if self.config.group_commit {
+                let results = db.bulk_mappings(op, items)?;
+                for (m, r) in items.iter().zip(&results) {
+                    if let Ok(change) = r {
+                        self.note_change(m, *change, trace_id);
+                    }
+                }
+                results
+            } else {
+                items
+                    .iter()
+                    .map(|m| {
+                        let r = match op {
+                            BulkMappingOp::Create => db.create_mapping(m),
+                            BulkMappingOp::Add => db.add_mapping(m),
+                            BulkMappingOp::Delete => db.delete_mapping(m),
+                        };
+                        if let Ok(change) = r {
+                            self.note_change(m, change, trace_id);
+                        }
+                        r
+                    })
+                    .collect()
+            }
+        };
+        self.metrics
+            .histogram("storage.bulk_batch_size")
+            .record_micros(items.len() as u64);
+        if self.config.group_commit && results.iter().any(Result::is_ok) {
+            self.metrics.counter("wal.group_commits").inc();
+        }
+        let name = match op {
+            BulkMappingOp::Create => "storage.bulk_create",
+            BulkMappingOp::Add => "storage.bulk_add",
+            BulkMappingOp::Delete => "storage.bulk_delete",
+        };
+        self.metrics.histogram(name).record(t0.elapsed());
+        Ok(results)
+    }
+
+    /// Untraced [`Self::bulk_mappings_traced`].
+    pub fn bulk_mappings(
+        &self,
+        op: BulkMappingOp,
+        items: &[Mapping],
+    ) -> RlsResult<Vec<Result<MappingChange, RlsError>>> {
+        self.bulk_mappings_traced(op, items, 0)
+    }
+
+    /// Applies a bulk attribute batch as one group commit (attributes are
+    /// not part of soft state, so no journaling — just the single-flush
+    /// write path).
+    pub fn bulk_attributes(
+        &self,
+        items: &[BulkAttrOp<'_>],
+    ) -> RlsResult<Vec<Result<(), RlsError>>> {
+        let t0 = std::time::Instant::now();
+        let results = if self.config.group_commit {
+            self.db.write().bulk_attributes(items)?
+        } else {
+            let mut db = self.db.write();
+            items
+                .iter()
+                .map(|op| match *op {
+                    BulkAttrOp::Add {
+                        obj,
+                        objtype,
+                        name,
+                        value,
+                    } => db.add_attribute(obj, objtype, name, value),
+                    BulkAttrOp::Modify {
+                        obj,
+                        objtype,
+                        name,
+                        value,
+                    } => db.modify_attribute(obj, objtype, name, value),
+                    BulkAttrOp::Remove { obj, objtype, name } => {
+                        db.remove_attribute(obj, objtype, name)
+                    }
+                })
+                .collect()
+        };
+        self.metrics
+            .histogram("storage.bulk_batch_size")
+            .record_micros(items.len() as u64);
+        if self.config.group_commit && results.iter().any(Result::is_ok) {
+            self.metrics.counter("wal.group_commits").inc();
+        }
+        self.metrics.histogram("storage.bulk_attr").record(t0.elapsed());
+        Ok(results)
+    }
+
+    /// The commit sequence of the newest journaled LFN-level change.
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq.load(Ordering::Relaxed)
     }
 
     /// Drains the delta journal (the payload of one incremental update).
@@ -225,12 +413,11 @@ impl LrcService {
     /// Re-queues deltas that failed to send so they retry next cycle.
     pub fn requeue_deltas(&self, log: DeltaLog) {
         let mut cur = self.deltas.lock();
-        // Prepend: original order keeps add-before-remove causality.
+        // Prepend: the failed log is older than whatever has accumulated
+        // since, and the normalizing merge keeps a newer re-add from being
+        // shadowed by the requeued removal.
         let mut restored = log;
-        restored.added.append(&mut cur.added);
-        restored.removed.append(&mut cur.removed);
-        restored.trace_ids.append(&mut cur.trace_ids);
-        restored.trace_ids.truncate(TRACE_IDS_CAP);
+        restored.merge_newer(std::mem::take(&mut *cur));
         *cur = restored;
     }
 
@@ -248,13 +435,7 @@ impl LrcService {
             return;
         }
         let mut map = self.backlog.lock();
-        let slot = map.entry(target.to_owned()).or_default();
-        let mut log = log;
-        slot.added.append(&mut log.added);
-        slot.removed.append(&mut log.removed);
-        for id in log.trace_ids {
-            slot.note_trace(id);
-        }
+        map.entry(target.to_owned()).or_default().merge_newer(log);
     }
 
     /// Total deltas parked in per-target backlogs (a target that missed a
@@ -361,6 +542,134 @@ mod tests {
     }
 
     #[test]
+    fn recreate_cancels_buffered_removal() {
+        // Regression: the wire delta applies adds before removes, so a
+        // buffered removal surviving a later re-add would delete the name
+        // at the RLI even though it exists. note_add must cancel it.
+        let svc = service(UpdateMode::immediate_default());
+        svc.create_mapping(&m("lfn://x", "pfn://1")).unwrap();
+        svc.take_deltas();
+        svc.delete_mapping(&m("lfn://x", "pfn://1")).unwrap();
+        svc.create_mapping(&m("lfn://x", "pfn://2")).unwrap();
+        let log = svc.take_deltas();
+        assert_eq!(log.added, vec!["lfn://x"]);
+        assert!(log.removed.is_empty(), "stale removal survived: {log:?}");
+        // Create-then-delete still nets to absent (add applied, then remove).
+        svc.create_mapping(&m("lfn://y", "pfn://1")).unwrap();
+        svc.delete_mapping(&m("lfn://y", "pfn://1")).unwrap();
+        let log = svc.take_deltas();
+        assert_eq!(log.removed, vec!["lfn://y"]);
+    }
+
+    #[test]
+    fn requeue_then_readd_cancels_requeued_removal() {
+        let svc = service(UpdateMode::immediate_default());
+        svc.create_mapping(&m("lfn://x", "pfn://1")).unwrap();
+        svc.take_deltas();
+        svc.delete_mapping(&m("lfn://x", "pfn://1")).unwrap();
+        let failed = svc.take_deltas(); // removal that failed to send
+        svc.create_mapping(&m("lfn://x", "pfn://2")).unwrap();
+        svc.requeue_deltas(failed);
+        let merged = svc.take_deltas();
+        assert_eq!(merged.added, vec!["lfn://x"]);
+        assert!(merged.removed.is_empty(), "requeued removal must be cancelled");
+        // Same invariant through the per-target backlog.
+        svc.delete_mapping(&m("lfn://x", "pfn://2")).unwrap();
+        svc.put_backlog("rli-a", svc.take_deltas());
+        svc.create_mapping(&m("lfn://x", "pfn://3")).unwrap();
+        svc.put_backlog("rli-a", svc.take_deltas());
+        let got = svc.take_backlog("rli-a").unwrap();
+        assert_eq!(got.added, vec!["lfn://x"]);
+        assert!(got.removed.is_empty());
+    }
+
+    #[test]
+    fn journal_order_matches_commit_order_under_concurrency() {
+        // Replaying the delta journal over the last-flushed snapshot must
+        // always reproduce the catalog's LFN set, no matter how writers
+        // interleave. Before notes moved inside the write critical
+        // section, a delete/create race could invert the journal.
+        use std::collections::BTreeSet;
+        use std::sync::Arc;
+        let svc = Arc::new(service(UpdateMode::immediate_default()));
+        svc.create_mapping(&m("lfn://hot", "pfn://seed")).unwrap();
+        let baseline: BTreeSet<String> =
+            svc.take_deltas().added.into_iter().collect();
+        let churn = |svc: Arc<LrcService>, tgt: &'static str| {
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let _ = svc.delete_mapping(&m("lfn://hot", tgt));
+                    let _ = svc.create_mapping(&m("lfn://hot", tgt));
+                }
+            })
+        };
+        let h1 = churn(svc.clone(), "pfn://a");
+        let h2 = churn(svc.clone(), "pfn://b");
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let log = svc.take_deltas();
+        let mut replayed = baseline;
+        for a in &log.added {
+            replayed.insert(a.clone());
+        }
+        for r in &log.removed {
+            replayed.remove(r);
+        }
+        let actual: BTreeSet<String> = svc
+            .db
+            .read()
+            .all_lfns()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(replayed, actual, "journal replay diverged from catalog");
+        assert!(log.seq <= svc.commit_seq());
+    }
+
+    #[test]
+    fn bulk_apply_journals_in_commit_order() {
+        let svc = service(UpdateMode::immediate_default());
+        svc.create_mapping(&m("lfn://pre", "pfn://pre")).unwrap();
+        svc.take_deltas();
+        let items = vec![
+            m("lfn://b0", "pfn://0"),
+            m("lfn://pre", "pfn://x"), // fails: already registered
+            m("lfn://b1", "pfn://1"),
+        ];
+        let results = svc
+            .bulk_mappings(rls_storage::BulkMappingOp::Create, &items)
+            .unwrap();
+        assert!(results[0].is_ok() && results[1].is_err() && results[2].is_ok());
+        let log = svc.take_deltas();
+        assert_eq!(log.added, vec!["lfn://b0", "lfn://b1"]);
+        assert!(log.removed.is_empty());
+        // One group commit for the whole batch.
+        assert_eq!(svc.db.read().engine().stats().group_commits, 1);
+        assert_eq!(svc.metrics().counter("wal.group_commits").get(), 1);
+    }
+
+    #[test]
+    fn bulk_apply_maintains_bloom_filter() {
+        let svc = service(UpdateMode::Bloom {
+            interval: Duration::from_secs(60),
+            params: BloomParams::PAPER,
+        });
+        let items: Vec<Mapping> = (0..20)
+            .map(|i| m(&format!("lfn://bb/{i}"), &format!("pfn://bb/{i}")))
+            .collect();
+        svc.bulk_mappings(rls_storage::BulkMappingOp::Create, &items)
+            .unwrap();
+        let (snap, cost) = svc.bloom_snapshot();
+        assert!(snap.contains("lfn://bb/0") && snap.contains("lfn://bb/19"));
+        assert_eq!(cost, 0.0, "bulk path must maintain the filter incrementally");
+        svc.bulk_mappings(rls_storage::BulkMappingOp::Delete, &items[..10])
+            .unwrap();
+        let (snap, _) = svc.bloom_snapshot();
+        assert!(!snap.contains("lfn://bb/3"));
+        assert!(snap.contains("lfn://bb/15"));
+    }
+
+    #[test]
     fn non_immediate_modes_skip_the_journal() {
         let svc = service(UpdateMode::Full {
             interval: Duration::from_secs(60),
@@ -405,6 +714,7 @@ mod tests {
             added: vec!["lfn://x".into()],
             removed: vec![],
             trace_ids: vec![7],
+            seq: 1,
         };
         svc.put_backlog("rli-a", log);
         assert_eq!(svc.pending_backlog(), 1);
@@ -427,6 +737,7 @@ mod tests {
                 added: vec!["lfn://first".into()],
                 removed: vec![],
                 trace_ids: vec![1],
+                seq: 1,
             },
         );
         svc.put_backlog(
@@ -435,6 +746,7 @@ mod tests {
                 added: vec!["lfn://second".into()],
                 removed: vec!["lfn://first".into()],
                 trace_ids: vec![1, 2],
+                seq: 2,
             },
         );
         let got = svc.take_backlog("rli-a").unwrap();
@@ -457,6 +769,7 @@ mod tests {
                     added: vec![format!("lfn://for-{t}")],
                     removed: vec![],
                     trace_ids: vec![],
+                    seq: 0,
                 },
             );
         }

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use rls_bloom::BloomFilter;
 use rls_metrics::Registry;
@@ -30,11 +30,22 @@ struct StoredBloom {
     received_at: Timestamp,
 }
 
+/// Reassembly position for one LRC's chunked full update: which update the
+/// stream belongs to and the next chunk sequence expected.
+#[derive(Clone, Copy, Debug)]
+struct ChunkCursor {
+    update_id: u64,
+    next_seq: u32,
+}
+
 /// The RLI role of a server.
 pub struct RliService {
     /// Relational store for uncompressed/incremental updates.
     pub db: RwLock<RliDatabase>,
     blooms: RwLock<HashMap<String, StoredBloom>>,
+    /// Per-LRC chunk reassembly state for sequenced full updates (one
+    /// cursor per sender, replaced when a new update id arrives).
+    chunks: Mutex<HashMap<String, ChunkCursor>>,
     config: RliConfig,
     updates_received: AtomicU64,
     queries: AtomicU64,
@@ -60,6 +71,7 @@ impl RliService {
         Ok(Self {
             db: RwLock::new(db),
             blooms: RwLock::new(HashMap::new()),
+            chunks: Mutex::new(HashMap::new()),
             config,
             updates_received: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -90,6 +102,69 @@ impl RliService {
             .histogram("rli.apply_full")
             .record(t0.elapsed());
         Ok(n)
+    }
+
+    /// Applies one chunk of a *sequenced* full update, validating the
+    /// stream position the wire frame carries instead of discarding it.
+    ///
+    /// Rules, per sending LRC:
+    ///
+    /// * a chunk for a **new `update_id`** must start at `seq` 0 (it
+    ///   supersedes any unfinished stream from that LRC);
+    /// * within an update, chunks must arrive **in order** (`seq` equal to
+    ///   the next expected) — gaps and stale duplicates are rejected with
+    ///   `BadRequest` and apply nothing;
+    /// * a **retransmit of the chunk just applied** (the client's
+    ///   transport-level retry after a lost response) is acknowledged
+    ///   idempotently without re-applying, counted under
+    ///   `rli.chunk_retransmits`.
+    pub fn apply_full_chunk_seq(
+        &self,
+        lrc: &str,
+        update_id: u64,
+        seq: u32,
+        last: bool,
+        lfns: &[String],
+        at: Timestamp,
+    ) -> RlsResult<u64> {
+        let mut chunks = self.chunks.lock();
+        match chunks.get(lrc) {
+            Some(c) if c.update_id == update_id => {
+                if seq.checked_add(1) == Some(c.next_seq) {
+                    self.metrics.counter("rli.chunk_retransmits").inc();
+                    return Ok(0);
+                }
+                if seq != c.next_seq {
+                    return Err(RlsError::bad_request(format!(
+                        "chunk seq {seq} for lrc {lrc:?} update {update_id}: expected {} \
+                         (duplicate or out-of-order chunk)",
+                        c.next_seq
+                    )));
+                }
+            }
+            _ => {
+                if seq != 0 {
+                    return Err(RlsError::bad_request(format!(
+                        "chunk seq {seq} for lrc {lrc:?} update {update_id}: \
+                         a new update must start at seq 0"
+                    )));
+                }
+            }
+        }
+        // Keep the cursor after `last` too: it makes a retransmitted final
+        // chunk idempotent and is replaced by the next update id anyway.
+        chunks.insert(
+            lrc.to_owned(),
+            ChunkCursor {
+                update_id,
+                next_seq: seq + 1,
+            },
+        );
+        drop(chunks);
+        if last {
+            self.metrics.counter("rli.full_updates_completed").inc();
+        }
+        self.apply_full_chunk(lrc, lfns, at)
     }
 
     /// Applies an incremental (immediate-mode) update.
@@ -296,6 +371,70 @@ mod tests {
         assert_eq!(&*hits[0].lrc, "lrc-1");
         assert!(s.query("lfn://zzz").is_err());
         assert_eq!(s.updates_received(), 1);
+    }
+
+    #[test]
+    fn sequenced_chunks_reject_gaps_and_stale_duplicates() {
+        let s = svc();
+        let names = |ns: &[&str]| ns.iter().map(|n| (*n).to_owned()).collect::<Vec<_>>();
+        // In-order stream applies.
+        s.apply_full_chunk_seq("lrc-1", 7, 0, false, &names(&["lfn://a"]), ts(1))
+            .unwrap();
+        s.apply_full_chunk_seq("lrc-1", 7, 1, true, &names(&["lfn://b"]), ts(1))
+            .unwrap();
+        assert_eq!(s.query("lfn://a").unwrap().len(), 1);
+        assert_eq!(s.query("lfn://b").unwrap().len(), 1);
+        // A gap is rejected and applies nothing.
+        let e = s
+            .apply_full_chunk_seq("lrc-1", 8, 0, false, &names(&["lfn://c"]), ts(2))
+            .map(|_| ())
+            .and(s.apply_full_chunk_seq("lrc-1", 8, 2, false, &names(&["lfn://skip"]), ts(2))
+                .map(|_| ()))
+            .unwrap_err();
+        assert_eq!(e.code(), ErrorCode::BadRequest);
+        assert!(s.query("lfn://skip").is_err());
+        // A stale duplicate from earlier in the stream is rejected too.
+        s.apply_full_chunk_seq("lrc-1", 8, 1, false, &names(&["lfn://d"]), ts(2))
+            .unwrap();
+        let e = s
+            .apply_full_chunk_seq("lrc-1", 8, 0, false, &names(&["lfn://c"]), ts(2))
+            .unwrap_err();
+        assert_eq!(e.code(), ErrorCode::BadRequest);
+        // A new update id must start at seq 0.
+        let e = s
+            .apply_full_chunk_seq("lrc-1", 9, 3, true, &names(&["lfn://e"]), ts(3))
+            .unwrap_err();
+        assert_eq!(e.code(), ErrorCode::BadRequest);
+        // Cursors are per LRC: another sender is unaffected.
+        s.apply_full_chunk_seq("lrc-2", 1, 0, true, &names(&["lfn://z"]), ts(3))
+            .unwrap();
+    }
+
+    #[test]
+    fn retransmit_of_last_applied_chunk_is_idempotent() {
+        let s = svc();
+        let chunk = vec!["lfn://r".to_owned()];
+        assert_eq!(s.apply_full_chunk_seq("lrc-1", 3, 0, false, &chunk, ts(1)).unwrap(), 1);
+        // Transport retry re-sends the same chunk: acknowledged, not
+        // re-applied, and counted.
+        assert_eq!(s.apply_full_chunk_seq("lrc-1", 3, 0, false, &chunk, ts(1)).unwrap(), 0);
+        s.apply_full_chunk_seq("lrc-1", 3, 1, true, &chunk, ts(1))
+            .unwrap();
+        // Final chunk retransmits stay idempotent after `last`.
+        assert_eq!(s.apply_full_chunk_seq("lrc-1", 3, 1, true, &chunk, ts(1)).unwrap(), 0);
+        let counters = s.metrics().counter_snapshot();
+        let retrans = counters
+            .iter()
+            .find(|(n, _)| n == "rli.chunk_retransmits")
+            .expect("retransmit counter")
+            .1;
+        assert_eq!(retrans, 2);
+        let completed = counters
+            .iter()
+            .find(|(n, _)| n == "rli.full_updates_completed")
+            .expect("completion counter")
+            .1;
+        assert_eq!(completed, 1);
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub struct Updater {
     retry: RetryPolicy,
     hook: Option<Arc<dyn FaultHook>>,
     conns: HashMap<String, RlsClient>,
-    next_update_id: u64,
+    /// Compiled partition regexes per RLI target, keyed by target name and
+    /// invalidated when the target's pattern list changes. Compiling on
+    /// every send made each full update and delta flush pay a regex-build
+    /// pass per target per cycle.
+    partitions: HashMap<String, (Vec<String>, Arc<Vec<Regex>>)>,
     /// Server span journal, when the updater runs inside a server: sends
     /// are recorded as `softstate.*_send` spans and their trace IDs are
     /// propagated to the RLI in the frame's trace envelope.
@@ -106,7 +110,7 @@ impl Updater {
             retry: cfg.retry,
             hook: cfg.fault_hook.clone(),
             conns: HashMap::new(),
-            next_update_id: 1,
+            partitions: HashMap::new(),
             journal: None,
         }
     }
@@ -178,6 +182,25 @@ impl Updater {
             .collect()
     }
 
+    /// Compiled partition regexes for `target`, from the per-target cache.
+    /// Recompiles only when the target's pattern list has changed (patterns
+    /// are catalog state and can be edited via `add_rli`). Invalid patterns
+    /// still fail here — config-file patterns are additionally validated at
+    /// load time, so for file-driven deployments this path never fails.
+    fn partitions(&mut self, target: &RliTarget) -> RlsResult<Arc<Vec<Regex>>> {
+        if let Some((patterns, compiled)) = self.partitions.get(&target.name) {
+            if *patterns == target.patterns {
+                return Ok(Arc::clone(compiled));
+            }
+        }
+        let compiled = Arc::new(Self::compile_partitions(target)?);
+        self.partitions.insert(
+            target.name.clone(),
+            (target.patterns.clone(), Arc::clone(&compiled)),
+        );
+        Ok(compiled)
+    }
+
     fn matches_partitions(patterns: &[Regex], lfn: &str) -> bool {
         patterns.is_empty() || patterns.iter().any(|re| re.is_match(lfn))
     }
@@ -204,7 +227,7 @@ impl Updater {
 
     /// Sends an uncompressed full update to one RLI.
     pub fn send_full(&mut self, target: &RliTarget) -> RlsResult<UpdateOutcome> {
-        let patterns = Self::compile_partitions(target)?;
+        let patterns = self.partitions(target)?;
         // Snapshot the namespace (shared Arcs, not copies of the strings).
         let lfns: Vec<String> = {
             let db = self.lrc.db.read();
@@ -216,8 +239,16 @@ impl Updater {
             });
             v
         };
-        let update_id = self.next_update_id;
-        self.next_update_id += 1;
+        // Update IDs must be unique across *all* updater instances for this
+        // process: callers (server update thread, synchronous test cycles)
+        // construct short-lived Updaters freely, and the RLI's chunk-
+        // reassembly cursor treats a repeated (update_id, seq) as an
+        // idempotent retransmit. A per-instance counter restarting at 1
+        // would make every fresh updater's first full update look like a
+        // retransmit of the previous one and be silently dropped.
+        static NEXT_UPDATE_ID: std::sync::atomic::AtomicU64 =
+            std::sync::atomic::AtomicU64::new(1);
+        let update_id = NEXT_UPDATE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let lrc_name = self.lrc_name.clone();
         let chunk_size = self.chunk_size;
         let names = lfns.len() as u64;
@@ -237,10 +268,20 @@ impl Updater {
             let chunks: Vec<&[String]> = lfns.chunks(chunk_size).collect();
             let last_idx = chunks.len() - 1;
             for (seq, chunk) in chunks.into_iter().enumerate() {
+                // The wire carries a u32 sequence; a catalog big enough to
+                // overflow it must fail loudly, not wrap and corrupt the
+                // RLI's reassembly ordering.
+                let wire_seq = u32::try_from(seq).map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "full update to {} exceeds {} chunks (u32 sequence space)",
+                        target.name,
+                        u32::MAX
+                    ))
+                })?;
                 conn.send_full_chunk_traced(
                     &lrc_name,
                     update_id,
-                    seq as u32,
+                    wire_seq,
                     seq == last_idx,
                     chunk.to_vec(),
                     trace_ids,
@@ -328,12 +369,12 @@ impl Updater {
     /// therefore delays nothing and leaks nothing: the cycle skips past it
     /// and bounded state waits for its return.
     pub fn flush_deltas(&mut self, targets: &[RliTarget]) -> RlsResult<Vec<UpdateOutcome>> {
-        // Compile every partition set BEFORE consuming the journal: a bad
+        // Resolve every partition set BEFORE consuming the journal: a bad
         // pattern must fail the flush without losing buffered deltas.
-        let non_bloom: Vec<(&RliTarget, Vec<Regex>)> = targets
+        let non_bloom: Vec<(&RliTarget, Arc<Vec<Regex>>)> = targets
             .iter()
             .filter(|t| t.flags & FLAG_BLOOM == 0)
-            .map(|t| Ok((t, Self::compile_partitions(t)?)))
+            .map(|t| Ok((t, self.partitions(t)?)))
             .collect::<RlsResult<_>>()?;
         // A target dropped from the update list must not pin its backlog.
         self.lrc
@@ -430,6 +471,7 @@ impl Updater {
                             added: fresh_added,
                             removed: fresh_removed,
                             trace_ids: trace_ids.clone(),
+                            seq: log.seq,
                         },
                     );
                 }

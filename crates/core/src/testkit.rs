@@ -189,6 +189,7 @@ impl TestDeploymentBuilder {
                         retry: self.retry,
                         fault_hook: self.fault_hook.clone(),
                     },
+                    group_commit: true,
                 }),
                 ..Default::default()
             };

@@ -316,3 +316,79 @@ fn dead_lrc_entries_expire_on_schedule() {
         "refreshed entries must be retained: {names:?}"
     );
 }
+
+/// Crash chaos meets the bulk path: an RLI dies between two bulk batches.
+/// The second batch still group-commits locally (per-item statuses intact,
+/// duplicate included), its deltas park in the dead target's backlog, and
+/// after restart the backlog drains and the index converges on exactly the
+/// fault-free state.
+#[test]
+fn bulk_writes_converge_through_rli_crash_mid_stream() {
+    use rls_types::Mapping;
+    let batch = |lo: usize, hi: usize| -> Vec<Mapping> {
+        (lo..hi)
+            .map(|i| {
+                Mapping::new(format!("lfn://chaos/f{i:02}"), format!("pfn://site-a/f{i:02}"))
+                    .unwrap()
+            })
+            .collect()
+    };
+    // Reference run: the same two bulk batches, no crash.
+    let expected = {
+        let dep = TestDeployment::builder()
+            .lrcs(1)
+            .rlis(1)
+            .immediate(true)
+            .build()
+            .unwrap();
+        let mut c = dep.lrc_client(0).unwrap();
+        assert!(c.bulk_create(batch(0, 5)).unwrap().is_empty());
+        assert!(c.bulk_create(batch(5, 10)).unwrap().is_empty());
+        for r in dep.flush_deltas() {
+            r.unwrap();
+        }
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        rli_names(&dep, 0)
+    };
+
+    let mut dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .immediate(true)
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    assert!(c.bulk_create(batch(0, 5)).unwrap().is_empty());
+    for r in dep.flush_deltas() {
+        r.unwrap();
+    }
+    // Crash. The next bulk batch commits locally all the same — and keeps
+    // its per-item error reporting: one slot collides with the first batch.
+    dep.crash_rli(0);
+    let mut second = batch(5, 10);
+    second.insert(2, Mapping::new("lfn://chaos/f01", "pfn://dup").unwrap());
+    let failures = c.bulk_create(second).unwrap();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].0, 2);
+    // The flush toward the dead RLI fails; the batch's five fresh names
+    // wait in that target's backlog (the failed slot journaled nothing).
+    assert!(dep.lrcs[0].flush_deltas().is_err());
+    let lrc = dep.lrcs[0].lrc().unwrap();
+    assert_eq!(lrc.pending_deltas(), 0);
+    assert_eq!(lrc.pending_backlog(), 5);
+
+    // Restart empty, drain the backlog, run the healing full refresh.
+    dep.restart_rli(0).unwrap();
+    let outcomes = dep.lrcs[0].flush_deltas().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].names, 5);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    let stats = dep.lrc_client(0).unwrap().stats().unwrap();
+    assert!(counter(&stats, "softstate.rli_unreachable") >= 1);
+    assert!(counter(&stats, "wal.group_commits") >= 2);
+}

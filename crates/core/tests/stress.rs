@@ -158,3 +158,67 @@ fn bulk_and_single_ops_interleaved() {
     // All bulk work cancelled itself out; singles remain.
     assert_eq!(c.stats().unwrap().lrc_lfn_count, 300);
 }
+
+#[test]
+fn concurrent_bulk_writers_with_mixed_failures() {
+    use rls_types::Mapping;
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let addr = dep.lrcs[0].addr();
+    // Each writer owns a seed mapping that every later round collides with.
+    {
+        let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+        for t in 0..4 {
+            c.create_mapping(&format!("lfn://bulkseed/{t}"), "pfn://seed")
+                .unwrap();
+        }
+    }
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            s.spawn(move || {
+                let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+                let m = |l: String, p: &str| Mapping::new(l, p).unwrap();
+                for round in 0..20 {
+                    // Slots: 0 fresh, 1 duplicate of the seed (MappingExists),
+                    // 2 fresh, 3 within-batch duplicate of slot 2.
+                    let batch = vec![
+                        m(format!("lfn://bulkchaos/{t}/{round}/a"), "pfn://1"),
+                        m(format!("lfn://bulkseed/{t}"), "pfn://dup"),
+                        m(format!("lfn://bulkchaos/{t}/{round}/b"), "pfn://1"),
+                        m(format!("lfn://bulkchaos/{t}/{round}/b"), "pfn://2"),
+                    ];
+                    let failures = c.bulk_create(batch).unwrap();
+                    let slots: Vec<u32> = failures.iter().map(|(i, _)| *i).collect();
+                    assert_eq!(slots, vec![1, 3], "round {round} writer {t}");
+                    for (_, e) in &failures {
+                        assert_eq!(e.code(), ErrorCode::MappingExists);
+                    }
+                    // Deletes: slots 0/1 succeed, 2 targets a ghost mapping.
+                    let dels = vec![
+                        m(format!("lfn://bulkchaos/{t}/{round}/a"), "pfn://1"),
+                        m(format!("lfn://bulkchaos/{t}/{round}/b"), "pfn://1"),
+                        m(format!("lfn://bulkchaos/{t}/{round}/ghost"), "pfn://1"),
+                    ];
+                    let failures = c.bulk_delete(dels).unwrap();
+                    assert_eq!(failures.len(), 1, "round {round} writer {t}");
+                    assert_eq!(failures[0].0, 2);
+                    assert_eq!(failures[0].1.code(), ErrorCode::LogicalNameNotFound);
+                }
+            });
+        }
+    });
+    // Every fresh mapping was deleted again; only the seeds survive, and
+    // the interleaved failures corrupted nothing.
+    let mut c = dep.lrc_client(0).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.lrc_lfn_count, 4);
+    assert_eq!(stats.lrc_mapping_count, 4);
+    // Every batch had at least one success, so every batch group-committed:
+    // 4 writers x 20 rounds x 2 batches, visible on the operator surface.
+    let group_commits = stats
+        .counters
+        .iter()
+        .find(|(n, _)| n == "lrc.engine.group_commits")
+        .expect("group_commits engine counter")
+        .1;
+    assert_eq!(group_commits, 4 * 20 * 2);
+}

@@ -198,6 +198,28 @@ impl Database {
         Ok(())
     }
 
+    /// Commits a batched bulk transaction: every item's staged ops reach
+    /// the WAL as **one** group-committed record and pay **one** flush,
+    /// instead of a sync per item (Fig. 11's bulk advantage). Identical to
+    /// [`Self::commit`] on the durability path — recovery replays the
+    /// record's ops in stage order — but counted in
+    /// [`EngineStats::group_commits`] so benchmarks and tests can assert
+    /// the amortization actually happened.
+    pub fn bulk_commit(&mut self, txn: Transaction) -> RlsResult<()> {
+        let grouped = !txn.is_empty();
+        self.commit(txn)?;
+        if grouped {
+            self.stats.group_commits += 1;
+        }
+        Ok(())
+    }
+
+    /// WAL records written so far (0 without a WAL). Each record is one
+    /// atomic commit frame, so a bulk request contributes exactly one.
+    pub fn wal_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::records_written)
+    }
+
     /// Runs VACUUM on a table: reclaims dead tuples and logs the pass.
     pub fn vacuum(&mut self, table: TableId) -> RlsResult<u64> {
         let t0 = std::time::Instant::now();

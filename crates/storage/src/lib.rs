@@ -41,7 +41,7 @@ pub mod value;
 pub mod wal;
 
 pub use engine::{Database, TableId};
-pub use lrcdb::{LrcDatabase, LrcStats, MappingChange, RliTarget};
+pub use lrcdb::{BulkAttrOp, BulkMappingOp, LrcDatabase, LrcStats, MappingChange, RliTarget};
 pub use rlidb::RliDbStats;
 pub use predicate::Predicate;
 pub use profile::{BackendProfile, FlushMode, Vendor};

@@ -67,6 +67,55 @@ pub struct RliTarget {
     pub patterns: Vec<String>,
 }
 
+/// Which mapping verb a bulk batch applies (the paper's Fig. 11 bulk
+/// create/add/delete requests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BulkMappingOp {
+    /// Register brand-new logical names ([`LrcDatabase::create_mapping`]).
+    Create,
+    /// Add replicas to existing logical names ([`LrcDatabase::add_mapping`]).
+    Add,
+    /// Remove mappings ([`LrcDatabase::delete_mapping`]).
+    Delete,
+}
+
+/// One item of a bulk attribute batch. Borrowed so dispatch can map wire
+/// items without cloning strings.
+#[derive(Clone, Copy, Debug)]
+pub enum BulkAttrOp<'a> {
+    /// Attach a value ([`LrcDatabase::add_attribute`]).
+    Add {
+        /// Object (logical or target) name.
+        obj: &'a str,
+        /// Which namespace the object lives in.
+        objtype: ObjectType,
+        /// Attribute name.
+        name: &'a str,
+        /// Value to attach.
+        value: &'a AttrValue,
+    },
+    /// Replace a value ([`LrcDatabase::modify_attribute`]).
+    Modify {
+        /// Object (logical or target) name.
+        obj: &'a str,
+        /// Which namespace the object lives in.
+        objtype: ObjectType,
+        /// Attribute name.
+        name: &'a str,
+        /// Replacement value.
+        value: &'a AttrValue,
+    },
+    /// Detach a value ([`LrcDatabase::remove_attribute`]).
+    Remove {
+        /// Object (logical or target) name.
+        obj: &'a str,
+        /// Which namespace the object lives in.
+        objtype: ObjectType,
+        /// Attribute name.
+        name: &'a str,
+    },
+}
+
 /// Operation counters for the LRC service's stats RPC (snapshot form).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LrcStats {
@@ -402,37 +451,33 @@ impl LrcDatabase {
 
     // --- mapping management (Table 1: "Mapping management") -----------------
 
-    /// `create`: registers a brand-new logical name with its first mapping.
-    ///
-    /// # Errors
-    /// [`ErrorCode::LogicalNameNotFound`]'s dual: fails with
-    /// [`ErrorCode::MappingExists`] if the logical name is already
-    /// registered (use [`Self::add_mapping`] to add replicas).
-    pub fn create_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+    /// Validates and stages one `create` against the state the transaction
+    /// has already applied (ops apply eagerly, so earlier staged items are
+    /// visible). A validation failure stages nothing, which is what lets a
+    /// failed bulk item skip its slot without aborting the batch.
+    fn stage_create_mapping(
+        &mut self,
+        txn: &mut Transaction,
+        m: &Mapping,
+    ) -> RlsResult<MappingChange> {
         if self.find_name_row(self.t_lfn, m.logical.as_str()).is_some() {
             return Err(RlsError::new(
                 ErrorCode::MappingExists,
                 format!("logical name {} already registered", m.logical),
             ));
         }
-        let mut txn = Transaction::new();
-        let (lfn_id, _) = self.upsert_name(&mut txn, self.t_lfn, &m.logical.shared())?;
-        let (pfn_id, _) = self.upsert_name(&mut txn, self.t_pfn, &m.target.shared())?;
-        self.db.txn_insert(
-            &mut txn,
-            self.t_map,
-            vec![Value::Int(lfn_id), Value::Int(pfn_id)],
-        )?;
-        self.db.commit(txn)?;
-        self.stats.adds.fetch_add(1, Ordering::Relaxed);
+        let (lfn_id, _) = self.upsert_name(txn, self.t_lfn, &m.logical.shared())?;
+        let (pfn_id, _) = self.upsert_name(txn, self.t_pfn, &m.target.shared())?;
+        self.db
+            .txn_insert(txn, self.t_map, vec![Value::Int(lfn_id), Value::Int(pfn_id)])?;
         Ok(MappingChange {
             lfn_created: true,
             lfn_deleted: false,
         })
     }
 
-    /// `add`: adds a replica mapping to an *existing* logical name.
-    pub fn add_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+    /// Validates and stages one `add` (see [`Self::stage_create_mapping`]).
+    fn stage_add_mapping(&mut self, txn: &mut Transaction, m: &Mapping) -> RlsResult<MappingChange> {
         let Some((_, lfn_id, _)) = self.find_name_row(self.t_lfn, m.logical.as_str()) else {
             return Err(RlsError::new(
                 ErrorCode::LogicalNameNotFound,
@@ -447,19 +492,36 @@ impl LrcDatabase {
                 ));
             }
         }
-        let mut txn = Transaction::new();
         // Bump the lfn refcount for the extra mapping.
-        let (lfn_id, created) = self.upsert_name(&mut txn, self.t_lfn, &m.logical.shared())?;
+        let (lfn_id, created) = self.upsert_name(txn, self.t_lfn, &m.logical.shared())?;
         debug_assert!(!created);
-        let (pfn_id, _) = self.upsert_name(&mut txn, self.t_pfn, &m.target.shared())?;
-        self.db.txn_insert(
-            &mut txn,
-            self.t_map,
-            vec![Value::Int(lfn_id), Value::Int(pfn_id)],
-        )?;
+        let (pfn_id, _) = self.upsert_name(txn, self.t_pfn, &m.target.shared())?;
+        self.db
+            .txn_insert(txn, self.t_map, vec![Value::Int(lfn_id), Value::Int(pfn_id)])?;
+        Ok(MappingChange::default())
+    }
+
+    /// `create`: registers a brand-new logical name with its first mapping.
+    ///
+    /// # Errors
+    /// [`ErrorCode::LogicalNameNotFound`]'s dual: fails with
+    /// [`ErrorCode::MappingExists`] if the logical name is already
+    /// registered (use [`Self::add_mapping`] to add replicas).
+    pub fn create_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+        let mut txn = Transaction::new();
+        let change = self.stage_create_mapping(&mut txn, m)?;
         self.db.commit(txn)?;
         self.stats.adds.fetch_add(1, Ordering::Relaxed);
-        Ok(MappingChange::default())
+        Ok(change)
+    }
+
+    /// `add`: adds a replica mapping to an *existing* logical name.
+    pub fn add_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+        let mut txn = Transaction::new();
+        let change = self.stage_add_mapping(&mut txn, m)?;
+        self.db.commit(txn)?;
+        self.stats.adds.fetch_add(1, Ordering::Relaxed);
+        Ok(change)
     }
 
     /// Registers a mapping, creating the logical name if needed — the
@@ -472,9 +534,12 @@ impl LrcDatabase {
         }
     }
 
-    /// `delete`: removes one replica mapping. Removes the logical/target
-    /// name rows (and attributes) when their last mapping goes away.
-    pub fn delete_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+    /// Validates and stages one `delete` (see [`Self::stage_create_mapping`]).
+    fn stage_delete_mapping(
+        &mut self,
+        txn: &mut Transaction,
+        m: &Mapping,
+    ) -> RlsResult<MappingChange> {
         let Some((_, lfn_id, _)) = self.find_name_row(self.t_lfn, m.logical.as_str()) else {
             return Err(RlsError::new(
                 ErrorCode::LogicalNameNotFound,
@@ -493,16 +558,59 @@ impl LrcDatabase {
                 format!("no mapping {m}"),
             ));
         };
-        let mut txn = Transaction::new();
-        self.db.txn_delete(&mut txn, self.t_map, map_rid)?;
-        let lfn_deleted = self.release_name(&mut txn, self.t_lfn, m.logical.as_str())?;
-        self.release_name(&mut txn, self.t_pfn, m.target.as_str())?;
-        self.db.commit(txn)?;
-        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.db.txn_delete(txn, self.t_map, map_rid)?;
+        let lfn_deleted = self.release_name(txn, self.t_lfn, m.logical.as_str())?;
+        self.release_name(txn, self.t_pfn, m.target.as_str())?;
         Ok(MappingChange {
             lfn_created: false,
             lfn_deleted,
         })
+    }
+
+    /// `delete`: removes one replica mapping. Removes the logical/target
+    /// name rows (and attributes) when their last mapping goes away.
+    pub fn delete_mapping(&mut self, m: &Mapping) -> RlsResult<MappingChange> {
+        let mut txn = Transaction::new();
+        let change = self.stage_delete_mapping(&mut txn, m)?;
+        self.db.commit(txn)?;
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(change)
+    }
+
+    /// Applies a batch of same-verb mapping mutations as **one**
+    /// transaction: each item is validated against the catalog state left
+    /// by the items before it (a duplicate within a batch fails exactly
+    /// like a duplicate across requests), successful items stage into one
+    /// shared transaction, and the whole batch group-commits — one WAL
+    /// record, one flush (Fig. 11). A failed item occupies its `Err` slot
+    /// and neither aborts nor un-syncs the rest; because it stages
+    /// nothing, crash recovery replays exactly the successful items.
+    pub fn bulk_mappings(
+        &mut self,
+        op: BulkMappingOp,
+        items: &[Mapping],
+    ) -> RlsResult<Vec<Result<MappingChange, RlsError>>> {
+        let mut txn = Transaction::new();
+        let mut results = Vec::with_capacity(items.len());
+        let (mut adds, mut deletes) = (0u64, 0u64);
+        for m in items {
+            let r = match op {
+                BulkMappingOp::Create => self.stage_create_mapping(&mut txn, m),
+                BulkMappingOp::Add => self.stage_add_mapping(&mut txn, m),
+                BulkMappingOp::Delete => self.stage_delete_mapping(&mut txn, m),
+            };
+            if r.is_ok() {
+                match op {
+                    BulkMappingOp::Create | BulkMappingOp::Add => adds += 1,
+                    BulkMappingOp::Delete => deletes += 1,
+                }
+            }
+            results.push(r);
+        }
+        self.db.bulk_commit(txn)?;
+        self.stats.adds.fetch_add(adds, Ordering::Relaxed);
+        self.stats.deletes.fetch_add(deletes, Ordering::Relaxed);
+        Ok(results)
     }
 
     // --- queries (Table 1: "Query operations") -------------------------------
@@ -788,15 +896,16 @@ impl LrcDatabase {
             .map(|(rid, _)| rid)
     }
 
-    /// Attaches an attribute value to an object.
-    pub fn add_attribute(
+    /// Validates and stages one attribute attach (no staging on failure,
+    /// same contract as [`Self::stage_create_mapping`]).
+    fn stage_add_attribute(
         &mut self,
+        txn: &mut Transaction,
         obj: &str,
         objtype: ObjectType,
         attr_name: &str,
         value: &AttrValue,
     ) -> RlsResult<()> {
-        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
         let Some((_, attr_id, vt)) = self.find_attr_def(attr_name, objtype) else {
             return Err(RlsError::new(
                 ErrorCode::AttributeNotFound,
@@ -817,9 +926,8 @@ impl LrcDatabase {
                 format!("object {obj:?} already has attribute {attr_name:?}"),
             ));
         }
-        let mut txn = Transaction::new();
         self.db.txn_insert(
-            &mut txn,
+            txn,
             vtable,
             vec![
                 Value::Int(obj_id),
@@ -827,18 +935,18 @@ impl LrcDatabase {
                 Self::attr_value_to_engine(value),
             ],
         )?;
-        self.db.commit(txn)
+        Ok(())
     }
 
-    /// Replaces an existing attribute value.
-    pub fn modify_attribute(
+    /// Validates and stages one attribute replace.
+    fn stage_modify_attribute(
         &mut self,
+        txn: &mut Transaction,
         obj: &str,
         objtype: ObjectType,
         attr_name: &str,
         value: &AttrValue,
     ) -> RlsResult<()> {
-        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
         let Some((_, attr_id, vt)) = self.find_attr_def(attr_name, objtype) else {
             return Err(RlsError::new(
                 ErrorCode::AttributeNotFound,
@@ -859,9 +967,8 @@ impl LrcDatabase {
                 format!("object {obj:?} has no value for attribute {attr_name:?}"),
             ));
         };
-        let mut txn = Transaction::new();
         self.db.txn_update(
-            &mut txn,
+            txn,
             vtable,
             rid,
             vec![
@@ -870,17 +977,17 @@ impl LrcDatabase {
                 Self::attr_value_to_engine(value),
             ],
         )?;
-        self.db.commit(txn)
+        Ok(())
     }
 
-    /// Detaches an attribute value from an object.
-    pub fn remove_attribute(
+    /// Validates and stages one attribute detach.
+    fn stage_remove_attribute(
         &mut self,
+        txn: &mut Transaction,
         obj: &str,
         objtype: ObjectType,
         attr_name: &str,
     ) -> RlsResult<()> {
-        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
         let Some((_, attr_id, vt)) = self.find_attr_def(attr_name, objtype) else {
             return Err(RlsError::new(
                 ErrorCode::AttributeNotFound,
@@ -895,9 +1002,85 @@ impl LrcDatabase {
                 format!("object {obj:?} has no value for attribute {attr_name:?}"),
             ));
         };
+        self.db.txn_delete(txn, vtable, rid)?;
+        Ok(())
+    }
+
+    /// Attaches an attribute value to an object.
+    pub fn add_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+        value: &AttrValue,
+    ) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
         let mut txn = Transaction::new();
-        self.db.txn_delete(&mut txn, vtable, rid)?;
+        self.stage_add_attribute(&mut txn, obj, objtype, attr_name, value)?;
         self.db.commit(txn)
+    }
+
+    /// Replaces an existing attribute value.
+    pub fn modify_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+        value: &AttrValue,
+    ) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let mut txn = Transaction::new();
+        self.stage_modify_attribute(&mut txn, obj, objtype, attr_name, value)?;
+        self.db.commit(txn)
+    }
+
+    /// Detaches an attribute value from an object.
+    pub fn remove_attribute(
+        &mut self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+    ) -> RlsResult<()> {
+        self.stats.attribute_ops.fetch_add(1, Ordering::Relaxed);
+        let mut txn = Transaction::new();
+        self.stage_remove_attribute(&mut txn, obj, objtype, attr_name)?;
+        self.db.commit(txn)
+    }
+
+    /// Applies a batch of attribute mutations (possibly mixed verbs) as
+    /// one group-committed transaction — the attribute-side counterpart of
+    /// [`Self::bulk_mappings`], with the same per-item failure contract.
+    pub fn bulk_attributes(
+        &mut self,
+        items: &[BulkAttrOp<'_>],
+    ) -> RlsResult<Vec<Result<(), RlsError>>> {
+        self.stats
+            .attribute_ops
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        let mut txn = Transaction::new();
+        let mut results = Vec::with_capacity(items.len());
+        for item in items {
+            let r = match *item {
+                BulkAttrOp::Add {
+                    obj,
+                    objtype,
+                    name,
+                    value,
+                } => self.stage_add_attribute(&mut txn, obj, objtype, name, value),
+                BulkAttrOp::Modify {
+                    obj,
+                    objtype,
+                    name,
+                    value,
+                } => self.stage_modify_attribute(&mut txn, obj, objtype, name, value),
+                BulkAttrOp::Remove { obj, objtype, name } => {
+                    self.stage_remove_attribute(&mut txn, obj, objtype, name)
+                }
+            };
+            results.push(r);
+        }
+        self.db.bulk_commit(txn)?;
+        Ok(results)
     }
 
     /// All attribute values attached to an object (optionally one named
@@ -1387,6 +1570,139 @@ mod tests {
             c.remove_rli("rli-west:39281").unwrap_err().code(),
             ErrorCode::RliNotFound
         );
+    }
+
+    #[test]
+    fn bulk_create_shares_one_commit() {
+        let dir = std::env::temp_dir().join(format!("rls-bulk1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("bulk1.wal");
+        let _ = std::fs::remove_file(&wal);
+        let mut c = LrcDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+        let items: Vec<Mapping> = (0..100)
+            .map(|i| m(&format!("lfn://b/{i}"), &format!("pfn://b/{i}")))
+            .collect();
+        let results = c.bulk_mappings(BulkMappingOp::Create, &items).unwrap();
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(c.lfn_count(), 100);
+        // The whole batch is one WAL record, one commit, one group commit —
+        // not 100 of each.
+        assert_eq!(c.engine().wal_records(), 1);
+        assert_eq!(c.engine().stats().commits, 1);
+        assert_eq!(c.engine().stats().group_commits, 1);
+        assert_eq!(c.stats().adds, 100);
+    }
+
+    #[test]
+    fn bulk_failures_do_not_abort_the_batch() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://dup", "pfn://dup")).unwrap();
+        let items = vec![
+            m("lfn://ok1", "pfn://1"),
+            m("lfn://dup", "pfn://2"),  // exists before the batch
+            m("lfn://ok2", "pfn://3"),
+            m("lfn://ok1", "pfn://4"),  // duplicate *within* the batch
+        ];
+        let results = c.bulk_mappings(BulkMappingOp::Create, &items).unwrap();
+        assert!(results[0].is_ok() && results[2].is_ok());
+        assert_eq!(results[1].as_ref().unwrap_err().code(), ErrorCode::MappingExists);
+        assert_eq!(results[3].as_ref().unwrap_err().code(), ErrorCode::MappingExists);
+        // Successes landed; failures left no trace.
+        assert!(c.mapping_exists(&m("lfn://ok1", "pfn://1")));
+        assert!(c.mapping_exists(&m("lfn://ok2", "pfn://3")));
+        assert!(!c.mapping_exists(&m("lfn://dup", "pfn://2")));
+        assert!(!c.mapping_exists(&m("lfn://ok1", "pfn://4")));
+        assert_eq!(c.stats().adds, 1 + 2);
+    }
+
+    #[test]
+    fn bulk_batch_recovers_exactly_the_successful_items() {
+        let dir = std::env::temp_dir().join(format!("rls-bulk2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("bulk2.wal");
+        let _ = std::fs::remove_file(&wal);
+        {
+            let mut c = LrcDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+            c.create_mapping(&m("lfn://pre", "pfn://pre")).unwrap();
+            let items = vec![
+                m("lfn://g/0", "pfn://g/0"),
+                m("lfn://pre", "pfn://clash"), // fails: already registered
+                m("lfn://g/1", "pfn://g/1"),
+            ];
+            let results = c.bulk_mappings(BulkMappingOp::Create, &items).unwrap();
+            assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 2);
+            // Mixed delete batch in the same group-commit style.
+            let dels = vec![
+                m("lfn://g/0", "pfn://g/0"),
+                m("lfn://gone", "pfn://gone"), // fails: never existed
+            ];
+            let results = c.bulk_mappings(BulkMappingOp::Delete, &dels).unwrap();
+            assert!(results[0].is_ok() && results[1].is_err());
+            assert_eq!(c.engine().stats().group_commits, 2);
+            // No explicit sync: PerCommit flushed each group commit already.
+        }
+        let c = LrcDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+        // Replay restores exactly the per-item-successful mutations.
+        assert!(c.lfn_exists("lfn://pre"));
+        assert!(c.lfn_exists("lfn://g/1"));
+        assert!(!c.lfn_exists("lfn://g/0"));
+        assert!(!c.mapping_exists(&m("lfn://pre", "pfn://clash")));
+        assert_eq!(c.lfn_count(), 2);
+        assert_eq!(c.mapping_count(), 2);
+    }
+
+    #[test]
+    fn bulk_attributes_mixed_verbs_one_commit() {
+        let mut c = lrc();
+        c.create_mapping(&m("lfn://f", "pfn://f")).unwrap();
+        let def = AttributeDef::new("size", ObjectType::Target, AttrValueType::Int).unwrap();
+        c.define_attribute(&def).unwrap();
+        c.add_attribute("pfn://f", ObjectType::Target, "size", &AttrValue::Int(1))
+            .unwrap();
+        let commits_before = c.engine().stats().commits;
+        let v = AttrValue::Int(7);
+        let items = vec![
+            BulkAttrOp::Modify {
+                obj: "pfn://f",
+                objtype: ObjectType::Target,
+                name: "size",
+                value: &v,
+            },
+            BulkAttrOp::Add {
+                obj: "pfn://f",
+                objtype: ObjectType::Target,
+                name: "size",
+                value: &v, // fails: value exists (just modified)
+            },
+            BulkAttrOp::Remove {
+                obj: "pfn://missing",
+                objtype: ObjectType::Target,
+                name: "size", // fails: object unknown
+            },
+        ];
+        let results = c.bulk_attributes(&items).unwrap();
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1].as_ref().unwrap_err().code(),
+            ErrorCode::AttributeValueExists
+        );
+        assert_eq!(
+            results[2].as_ref().unwrap_err().code(),
+            ErrorCode::TargetNameNotFound
+        );
+        assert_eq!(c.engine().stats().commits, commits_before + 1);
+        assert_eq!(c.engine().stats().group_commits, 1);
+        let attrs = c.get_attributes("pfn://f", ObjectType::Target, None).unwrap();
+        assert_eq!(attrs, vec![("size".to_owned(), AttrValue::Int(7))]);
+    }
+
+    #[test]
+    fn empty_bulk_is_free() {
+        let mut c = lrc();
+        let results = c.bulk_mappings(BulkMappingOp::Create, &[]).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(c.engine().stats().commits, 0);
+        assert_eq!(c.engine().stats().group_commits, 0);
     }
 
     #[test]

@@ -11,6 +11,10 @@ pub struct EngineStats {
     pub updates: u64,
     /// Transactions committed.
     pub commits: u64,
+    /// Commits that group-committed a multi-item bulk request: the whole
+    /// batch reached the WAL as one record and paid one `fdatasync`
+    /// (Fig. 11's bulk-operation advantage).
+    pub group_commits: u64,
     /// Vacuum passes executed.
     pub vacuums: u64,
     /// Dead tuples reclaimed by vacuums.
