@@ -108,5 +108,39 @@ fn main() {
             );
         }
     }
+    // Worker-pool health under the same load: admission and scheduling
+    // metrics from the bounded request path. `workers_busy_hwm` ≤
+    // `worker_threads` is the pool bound holding; `busy_rejects` counts
+    // over-cap connections turned away with a retryable Busy.
+    println!("\n    worker pool:");
+    for key in [
+        "server.worker_threads",
+        "server.workers_busy_hwm",
+        "server.conns_admitted",
+        "server.busy_rejects",
+        "server.accept_errors",
+        "server.idle_reaped",
+    ] {
+        let v = stats
+            .counters
+            .iter()
+            .find(|(n, _)| n == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        println!("      {key:<26} {v}");
+    }
+    for key in ["server.conn_wait", "server.accept_queue_depth"] {
+        if let Some((_, h)) = stats.op_latencies.iter().find(|(n, _)| n == key) {
+            if !h.is_empty() {
+                println!(
+                    "      {key:<26} count={:<8} p50={:<6} p99={:<6} max={}",
+                    h.count,
+                    h.p50(),
+                    h.p99(),
+                    h.max_micros
+                );
+            }
+        }
+    }
     println!("\n    expected shape: query > add > delete; modest decline toward 100 threads");
 }

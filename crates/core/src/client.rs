@@ -204,14 +204,13 @@ impl RlsClient {
         self.is_rli
     }
 
-    /// True for errors produced by the transport (dial failures, severed
-    /// or stalled connections, corrupt frames) — the retryable class.
-    /// Server-side errors arrive as `Response::Error` and are not retried.
+    /// True for errors worth retrying under the policy: transport
+    /// failures (dial failures, severed or stalled connections, corrupt
+    /// frames) plus the server's `Busy` admission rejection, which is an
+    /// explicit invitation to back off and come back. Other server-side
+    /// errors arrive as `Response::Error` and are not retried.
     fn is_transport(e: &RlsError) -> bool {
-        matches!(
-            e.code(),
-            ErrorCode::Io | ErrorCode::Timeout | ErrorCode::Protocol
-        )
+        RetryPolicy::is_retryable(e.code())
     }
 
     /// Dials and handshakes if not currently connected.
@@ -295,7 +294,18 @@ impl RlsClient {
                 conn.request(&body)
             });
             match result.and_then(|resp_body| Response::decode(&resp_body)) {
-                Ok(Response::Error(e)) => return Err(e),
+                Ok(Response::Error(e)) => {
+                    // A Busy verdict on the response path (e.g. racing an
+                    // admission-controlled reconnect) is retryable like a
+                    // transport fault; every other server error is final.
+                    if e.code() == ErrorCode::Busy && attempt < self.policy.max_retries {
+                        self.conn = None;
+                        self.note_retry(attempt);
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
                     // The connection is suspect after any failure: drop it

@@ -188,8 +188,19 @@ pub struct ServerConfig {
     pub rli: Option<RliConfig>,
     /// Authn/authz settings.
     pub auth: AuthConfig,
-    /// Maximum concurrent client connections.
+    /// Maximum concurrent client connections. Connections beyond the cap
+    /// are rejected with a retryable `Busy` error before any work is done.
     pub max_connections: usize,
+    /// Request-handler worker threads (`worker_threads` in the config
+    /// file). `0` sizes the pool from [`std::thread::available_parallelism`].
+    /// Admitted connections are multiplexed across this fixed pool instead
+    /// of each owning an OS thread.
+    pub worker_threads: usize,
+    /// Admitted connections idle longer than this are reaped
+    /// (`idle_timeout_ms` in the config file), releasing their admission
+    /// slot; the client sees a clean EOF on its next request and can
+    /// reconnect.
+    pub idle_timeout: Duration,
     /// Per-frame size cap.
     pub max_frame: usize,
     /// Log any operation slower than this through the structured logger
@@ -219,6 +230,8 @@ impl Default for ServerConfig {
             rli: None,
             auth: AuthConfig::default(),
             max_connections: 512,
+            worker_threads: 0,
+            idle_timeout: Duration::from_secs(300),
             max_frame: rls_proto::DEFAULT_MAX_FRAME,
             slow_op_threshold: None,
             log_level: rls_trace::Level::Info,
@@ -265,6 +278,8 @@ mod tests {
         assert!(c.lrc.is_none() && c.rli.is_none());
         assert!(!c.auth.enabled);
         assert_eq!(c.bind.ip().to_string(), "127.0.0.1");
+        assert_eq!(c.worker_threads, 0); // auto-size from the host
+        assert_eq!(c.idle_timeout, Duration::from_secs(300));
         let l = ServerConfig::lrc_default();
         assert!(l.lrc.is_some() && l.rli.is_none());
         let r = ServerConfig::rli_default();

@@ -38,6 +38,11 @@
 //! backoff_base_ms   25             # exponential backoff base
 //! connect_timeout_ms 2000          # dial timeout; 0 = block forever
 //!
+//! # connection handling
+//! max_connections   512            # admission cap; over-cap connects get Busy
+//! worker_threads    8              # request-handler pool; 0 = size from cores
+//! idle_timeout_ms   300000         # reap idle admitted connections; 0 = never
+//!
 //! # observability
 //! slow_op_threshold_ms 250        # 0 disables the slow-op log
 //! log_level         info           # error | warn | info | debug | trace
@@ -147,6 +152,9 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut retry_max: Option<u32> = None;
     let mut backoff_base_ms: Option<u64> = None;
     let mut connect_timeout_ms: Option<u64> = None;
+    let mut max_connections: Option<usize> = None;
+    let mut worker_threads = 0usize;
+    let mut idle_timeout: Option<Duration> = None;
     let mut slow_op_threshold: Option<Duration> = None;
     let mut log_level = rls_trace::Level::Info;
     let mut log_format = rls_trace::LogFormat::Text;
@@ -275,6 +283,32 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
                         args.first().map(String::as_str).unwrap_or("")
                     ))
                 })?)
+            }
+            "max_connections" => {
+                max_connections = Some(one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected a connection count",
+                        lineno + 1
+                    ))
+                })?)
+            }
+            "worker_threads" => {
+                worker_threads = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected a thread count",
+                        lineno + 1
+                    ))
+                })?
+            }
+            "idle_timeout_ms" => {
+                let ms: u64 = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected milliseconds, got {:?}",
+                        lineno + 1,
+                        args.first().map(String::as_str).unwrap_or("")
+                    ))
+                })?;
+                idle_timeout = Some(Duration::from_millis(ms));
             }
             "slow_op_threshold_ms" => {
                 let ms: u64 = one()?.parse().map_err(|_| {
@@ -439,6 +473,9 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             gridmap,
             acl,
         },
+        max_connections: max_connections.unwrap_or(512),
+        worker_threads,
+        idle_timeout: idle_timeout.unwrap_or_else(|| Duration::from_secs(300)),
         slow_op_threshold,
         log_level,
         log_format,
@@ -618,6 +655,28 @@ acl          user:ann admin
         assert!(parse_config("lrc_server true\nretry_max lots").is_err());
         assert!(parse_config("lrc_server true\nbackoff_base_ms soon").is_err());
         assert!(parse_config("lrc_server true\nconnect_timeout_ms never").is_err());
+    }
+
+    #[test]
+    fn connection_keys_parse() {
+        let p = parse_config(
+            "lrc_server true\nmax_connections 64\nworker_threads 4\nidle_timeout_ms 15000",
+        )
+        .unwrap();
+        assert_eq!(p.server.max_connections, 64);
+        assert_eq!(p.server.worker_threads, 4);
+        assert_eq!(p.server.idle_timeout, Duration::from_millis(15_000));
+        // Defaults: 512 slots, auto-sized pool, 5-minute reap.
+        let p = parse_config("lrc_server true").unwrap();
+        assert_eq!(p.server.max_connections, 512);
+        assert_eq!(p.server.worker_threads, 0);
+        assert_eq!(p.server.idle_timeout, Duration::from_secs(300));
+        // idle_timeout_ms 0 disables reaping.
+        let p = parse_config("lrc_server true\nidle_timeout_ms 0").unwrap();
+        assert_eq!(p.server.idle_timeout, Duration::ZERO);
+        assert!(parse_config("lrc_server true\nmax_connections lots").is_err());
+        assert!(parse_config("lrc_server true\nworker_threads some").is_err());
+        assert!(parse_config("lrc_server true\nidle_timeout_ms later").is_err());
     }
 
     #[test]

@@ -1,32 +1,83 @@
 //! The common LRC/RLI server (§3.1).
 //!
-//! A multi-threaded, connection-oriented server: an accept loop hands each
-//! connection to its own handler thread (the original is a multi-threaded C
-//! server over `globus_io`), bounded by `max_connections`. Background
-//! threads drive the soft-state update schedule (LRC role) and the expire
-//! pass (RLI role).
+//! A multi-threaded, connection-oriented server (the original is a
+//! multi-threaded C server over `globus_io`), built as a **bounded worker
+//! pool** with explicit admission control:
+//!
+//! * the accept loop admits at most `max_connections` concurrent clients;
+//!   an over-cap connection is answered with a retryable [`Busy`] error —
+//!   never silently dropped — so the client's backoff policy can tell
+//!   "come back shortly" from a crash;
+//! * admitted connections are multiplexed across a fixed pool of
+//!   `worker_threads` handler threads at *request* granularity. A
+//!   readiness poller sweeps parked connections with zero-wait reads and
+//!   queues only those with a complete frame, so workers never block on a
+//!   socket that has nothing to say; 100 requesting threads degrade
+//!   gracefully on a handful of workers instead of costing 100 OS threads
+//!   (the paper's Fig. 6 shape). When no other connection is waiting, a
+//!   worker *camps* on its connection for a short quantum, which keeps
+//!   per-request latency at thread-per-connection levels under light load;
+//! * connections idle past `idle_timeout` are reaped, releasing their
+//!   admission slot.
+//!
+//! Background threads drive the soft-state update schedule (LRC role) and
+//! the expire pass (RLI role). The update plane shares **one** updater —
+//! and therefore one set of LRC→RLI streams — between the background
+//! schedule and the synchronous trigger entry points.
+//!
+//! The pool reports itself through `server.*` metrics (queue depth, wait
+//! time, busy rejects, accept errors) in the stats RPC; see
+//! docs/OBSERVABILITY.md.
+//!
+//! [`Busy`]: rls_types::ErrorCode::Busy
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use rls_net::{Conn, Listener};
+use rls_metrics::Counter;
+use rls_net::{Conn, Listener, TryRecv};
 use rls_proto::{Request, Response, PROTOCOL_VERSION};
 use rls_trace::TraceJournal;
-use rls_types::{RlsError, RlsResult, Timestamp};
+use rls_types::{ErrorCode, RlsError, RlsResult, Timestamp};
 
-use crate::auth::Authorizer;
+use crate::auth::{Authorizer, Identity};
 use crate::config::{ServerConfig, UpdateMode};
 use crate::dispatch::{handle_request_traced, ServerState};
 use crate::lrc::LrcService;
 use crate::rli::RliService;
-use crate::softstate::{Updater, UpdateOutcome};
+use crate::softstate::{UpdateOutcome, Updater};
 
 /// Version string advertised in handshakes: the RLS release this repo
 /// reproduces.
 pub const SERVER_VERSION: &str = "2.0.9-rust";
+
+/// How long a worker camps on one connection's socket when no other
+/// connection is waiting to be served. Camping keeps the request→response
+/// ping-pong of a lightly loaded server free of poller latency; the wait
+/// is abandoned (zero-wait reads only) the moment the ready queue fills.
+const READ_QUANTUM: Duration = Duration::from_millis(1);
+
+/// Requests served from one connection before it re-queues, so a
+/// firehose client cannot pin a worker while others wait.
+const BURST_LIMIT: usize = 32;
+
+/// Poller sleep between sweeps that woke nothing. Doubles up to
+/// [`DISPATCH_IDLE_MAX`] while the server stays quiet so an idle server
+/// isn't a busy loop, and snaps back on any activity.
+const DISPATCH_IDLE: Duration = Duration::from_micros(500);
+const DISPATCH_IDLE_MAX: Duration = Duration::from_millis(2);
+
+/// Accept-loop poll interval: the granularity at which the accept thread
+/// notices shutdown. Replaces the old "connect to yourself to unblock
+/// accept" trick, which broke for `0.0.0.0`/unroutable binds.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// Upper bound for the accept-error backoff (EMFILE and friends).
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
 
 /// A running RLS server.
 pub struct Server {
@@ -35,7 +86,12 @@ pub struct Server {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    active_conns: Arc<AtomicUsize>,
+    pool: Arc<ConnPool>,
+    /// The one updater shared by the background update thread and the
+    /// synchronous `run_update_cycle`/`flush_deltas` entry points, so all
+    /// soft-state traffic toward an RLI rides a single stream instead of
+    /// interleaving frames from per-call connections.
+    updater: Option<Arc<Mutex<Updater>>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -48,8 +104,8 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds, builds the configured services, and starts the accept loop
-    /// plus background threads.
+    /// Binds, builds the configured services, and starts the accept loop,
+    /// the worker pool, and background threads.
     pub fn start(mut config: ServerConfig) -> RlsResult<Self> {
         let listener = Listener::bind(config.bind)?;
         let addr = listener.local_addr()?;
@@ -81,22 +137,64 @@ impl Server {
             slow_op_threshold: config.slow_op_threshold,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
-        let active_conns = Arc::new(AtomicUsize::new(0));
+        let workers = if config.worker_threads == 0 {
+            // Floor of 4: on small hosts the pool must still overlap
+            // requests that sleep in the storage layer (flush-enabled
+            // backend profiles), and idle workers cost only a parked
+            // thread.
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4)
+        } else {
+            config.worker_threads
+        };
+        state
+            .metrics
+            .counter("server.worker_threads")
+            .set(workers as u64);
+        let pool = Arc::new(ConnPool::new(&state, config.idle_timeout));
         let mut threads = Vec::new();
 
         // Accept loop.
         {
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
-            let active = Arc::clone(&active_conns);
+            let pool = Arc::clone(&pool);
             let max_conns = config.max_connections;
             let mut listener = listener;
             listener.set_max_frame(config.max_frame);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rls-accept-{addr}"))
-                    .spawn(move || accept_loop(listener, state, shutdown, active, max_conns))
+                    .spawn(move || accept_loop(listener, pool, state, shutdown, max_conns))
                     .expect("spawn accept thread"),
+            );
+        }
+
+        // Readiness poller: sweeps parked connections with zero-wait
+        // reads, feeding the ready queue. Also the idle-reap clock.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let pool = Arc::clone(&pool);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rls-poll-{addr}"))
+                    .spawn(move || dispatch_loop(&pool, &shutdown))
+                    .expect("spawn poller thread"),
+            );
+        }
+
+        // Worker pool: the only threads that run request handlers.
+        for i in 0..workers {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            let pool = Arc::clone(&pool);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rls-worker-{i}-{addr}"))
+                    .spawn(move || worker_loop(&pool, &state, &shutdown))
+                    .expect("spawn worker thread"),
             );
         }
 
@@ -116,22 +214,31 @@ impl Server {
             }
         }
 
-        // Update thread (LRC role).
-        if let (Some(lrc), Some(lrc_cfg)) = (&state.lrc, &config.lrc) {
-            if lrc_cfg.update.auto && !matches!(lrc_cfg.update.mode, UpdateMode::None) {
-                let mut updater = Updater::new(
+        // One shared updater for every update path (LRC role).
+        let updater = match (&state.lrc, &config.lrc) {
+            (Some(lrc), Some(lrc_cfg)) => {
+                let mut u = Updater::new(
                     config.name.clone(),
                     config.dn.clone(),
                     Arc::clone(lrc),
                     &lrc_cfg.update,
                 );
-                updater.set_journal(Arc::clone(&state.journal));
+                u.set_journal(Arc::clone(&state.journal));
+                Some(Arc::new(Mutex::new(u)))
+            }
+            _ => None,
+        };
+
+        // Update thread (LRC role) drives the shared updater.
+        if let (Some(updater), Some(lrc_cfg)) = (&updater, &config.lrc) {
+            if lrc_cfg.update.auto && !matches!(lrc_cfg.update.mode, UpdateMode::None) {
+                let updater = Arc::clone(updater);
                 let mode = lrc_cfg.update.mode.clone();
                 let shutdown = Arc::clone(&shutdown);
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("rls-update-{addr}"))
-                        .spawn(move || update_loop(updater, mode, shutdown))
+                        .spawn(move || update_loop(&updater, &mode, &shutdown))
                         .expect("spawn update thread"),
                 );
             }
@@ -143,7 +250,8 @@ impl Server {
             addr,
             shutdown,
             threads: Mutex::new(threads),
-            active_conns,
+            pool,
+            updater,
         })
     }
 
@@ -177,45 +285,29 @@ impl Server {
         self.state.rli.as_ref()
     }
 
-    /// Currently active client connections.
+    /// Currently admitted client connections (queued or in service).
     pub fn active_connections(&self) -> usize {
-        self.active_conns.load(Ordering::Relaxed)
+        self.pool.active.load(Ordering::SeqCst)
     }
 
     /// Runs one synchronous update cycle (tests/benches); requires the LRC
-    /// role.
+    /// role. Shares the background thread's updater, so triggered and
+    /// scheduled updates never interleave on an RLI stream.
     pub fn run_update_cycle(&self) -> RlsResult<Vec<RlsResult<UpdateOutcome>>> {
-        let lrc = self
-            .state
-            .lrc
+        let updater = self
+            .updater
             .as_ref()
             .ok_or_else(|| RlsError::bad_request("server has no LRC role"))?;
-        let lrc_cfg = self.config.lrc.as_ref().expect("lrc config present");
-        let mut updater = Updater::new(
-            self.state.name.clone(),
-            self.config.dn.clone(),
-            Arc::clone(lrc),
-            &lrc_cfg.update,
-        );
-        updater.set_journal(Arc::clone(&self.state.journal));
-        Ok(updater.run_cycle())
+        Ok(updater.lock().run_cycle())
     }
 
     /// Runs one synchronous delta flush (immediate mode).
     pub fn flush_deltas(&self) -> RlsResult<Vec<UpdateOutcome>> {
-        let lrc = self
-            .state
-            .lrc
+        let updater = self
+            .updater
             .as_ref()
             .ok_or_else(|| RlsError::bad_request("server has no LRC role"))?;
-        let lrc_cfg = self.config.lrc.as_ref().expect("lrc config present");
-        let mut updater = Updater::new(
-            self.state.name.clone(),
-            self.config.dn.clone(),
-            Arc::clone(lrc),
-            &lrc_cfg.update,
-        );
-        updater.set_journal(Arc::clone(&self.state.journal));
+        let mut updater = updater.lock();
         let targets = updater.targets();
         updater.flush_deltas(&targets)
     }
@@ -230,17 +322,26 @@ impl Server {
         run_traced_expire(rli, &self.state.journal)
     }
 
-    /// Stops the accept loop and background threads, then joins them.
+    /// Stops the accept loop, worker pool and background threads, then
+    /// joins them. Queued and in-flight requests are dropped unanswered —
+    /// from a client's view the server crashed, which is exactly what the
+    /// chaos suite's crash/restart scenarios rely on.
     pub fn shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop.
-        let _ = std::net::TcpStream::connect(self.addr);
+        // Workers may be parked on the queue condvar; the accept loop
+        // notices on its next poll tick.
+        self.pool.notify_all();
         let threads = std::mem::take(&mut *self.threads.lock());
         for t in threads {
             let _ = t.join();
         }
+        // Close every still-admitted connection. A shut-down server must
+        // look *crashed* to its peers; leaving queued sockets open would
+        // strand clients (and the soft-state updater) blocking on reads
+        // against a server that will never answer.
+        self.pool.drain();
     }
 }
 
@@ -250,104 +351,399 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: Listener,
-    state: Arc<ServerState>,
-    shutdown: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
-    max_conns: usize,
-) {
-    loop {
-        let conn = match listener.accept() {
-            Ok(conn) => conn,
-            Err(_) if shutdown.load(Ordering::SeqCst) => return,
-            Err(_) => continue,
+/// One admitted connection, alternating between the poller's parked set
+/// (no complete request on the wire) and the ready queue (a frame is
+/// waiting for a worker).
+struct Session {
+    conn: Conn,
+    /// `None` until the Hello handshake completes.
+    identity: Option<Identity>,
+    /// Last time a frame arrived (idle-reap clock).
+    last_active: Instant,
+    /// When the session was last queued (wait-time metric).
+    enqueued_at: Instant,
+    /// A frame the poller already read off the wire, handed to the worker
+    /// with the session so no bytes are read twice.
+    pending: Option<Vec<u8>>,
+}
+
+/// The admission ledger plus the two session homes: the parked set the
+/// poller sweeps, and the ready queue feeding the worker pool.
+struct ConnPool {
+    queue: StdMutex<VecDeque<Session>>,
+    cond: Condvar,
+    /// Sessions with no complete request buffered, owned by the poller
+    /// between sweeps. The accept loop and workers drop sessions here.
+    parked: StdMutex<Vec<Session>>,
+    /// Admission slots in use: queued plus in-service sessions. The accept
+    /// loop checks this against `max_connections`.
+    active: AtomicUsize,
+    /// Workers currently inside a request handler, and the high-water
+    /// mark — the observable proof that handling is bounded by the pool
+    /// size, not the connection count.
+    busy_now: AtomicUsize,
+    busy_hwm: AtomicUsize,
+    idle_timeout: Duration,
+    queue_depth: Arc<rls_metrics::LatencyHistogram>,
+    conn_wait: Arc<rls_metrics::LatencyHistogram>,
+    idle_reaped: Counter,
+    hwm_gauge: Counter,
+}
+
+impl ConnPool {
+    fn new(state: &ServerState, idle_timeout: Duration) -> Self {
+        Self {
+            queue: StdMutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            parked: StdMutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
+            busy_now: AtomicUsize::new(0),
+            busy_hwm: AtomicUsize::new(0),
+            idle_timeout,
+            queue_depth: state.metrics.histogram("server.accept_queue_depth"),
+            conn_wait: state.metrics.histogram("server.conn_wait"),
+            idle_reaped: state.metrics.counter("server.idle_reaped"),
+            hwm_gauge: state.metrics.counter("server.workers_busy_hwm"),
+        }
+    }
+
+    /// Parks a freshly admitted connection; the poller will queue it as
+    /// soon as its Hello frame is on the wire.
+    fn admit(&self, conn: Conn) {
+        let now = Instant::now();
+        self.park(Session {
+            conn,
+            identity: None,
+            last_active: now,
+            enqueued_at: now,
+            pending: None,
+        });
+    }
+
+    /// Returns a session to the poller's sweep set.
+    fn park(&self, session: Session) {
+        self.parked.lock().expect("parked set poisoned").push(session);
+    }
+
+    /// Queues a session with a ready frame and wakes one worker.
+    fn push(&self, mut session: Session) {
+        session.enqueued_at = Instant::now();
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        self.queue_depth.record_micros(q.len() as u64);
+        q.push_back(session);
+        drop(q);
+        self.cond.notify_one();
+    }
+
+    /// True when no session is waiting for a worker — the signal that a
+    /// worker may camp on its current connection instead of parking it.
+    fn ready_is_empty(&self) -> bool {
+        self.queue.lock().expect("pool queue poisoned").is_empty()
+    }
+
+    /// Blocks until a session is available or shutdown begins.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Session> {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("pool queue poisoned");
+            q = guard;
+        }
+    }
+
+    /// Returns a session's admission slot.
+    fn release(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Drops every queued and parked session, closing its socket and
+    /// releasing its slot (shutdown path; the threads have already been
+    /// joined).
+    fn drain(&self) {
+        let mut drained: Vec<Session> = {
+            let mut q = self.queue.lock().expect("pool queue poisoned");
+            q.drain(..).collect()
         };
-        if shutdown.load(Ordering::SeqCst) {
-            return;
+        drained.extend(
+            self.parked
+                .lock()
+                .expect("parked set poisoned")
+                .drain(..),
+        );
+        for _ in &drained {
+            self.release();
         }
-        if active.load(Ordering::Relaxed) >= max_conns {
-            // Connection cap: refuse politely by dropping; the client sees
-            // EOF before HelloAck and can retry.
-            drop(conn);
-            continue;
+    }
+
+    fn notify_all(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Marks one worker as inside a handler, maintaining the high-water
+    /// mark gauge.
+    fn enter_busy(&self) {
+        let now = self.busy_now.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut hwm = self.busy_hwm.load(Ordering::Relaxed);
+        while now > hwm {
+            match self
+                .busy_hwm
+                .compare_exchange_weak(hwm, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.hwm_gauge.set(now as u64);
+                    break;
+                }
+                Err(cur) => hwm = cur,
+            }
         }
-        active.fetch_add(1, Ordering::Relaxed);
-        let state = Arc::clone(&state);
-        let active = Arc::clone(&active);
-        let shutdown = Arc::clone(&shutdown);
-        let _ = std::thread::Builder::new()
-            .name("rls-conn".to_owned())
-            .spawn(move || {
-                let _ = serve_connection(conn, &state, &shutdown);
-                active.fetch_sub(1, Ordering::Relaxed);
-            });
+    }
+
+    fn exit_busy(&self) {
+        self.busy_now.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn serve_connection(
-    mut conn: Conn,
-    state: &ServerState,
-    shutdown: &AtomicBool,
-) -> RlsResult<()> {
-    // Account wire traffic for this connection on the server-wide meter.
-    conn.set_meter(Arc::clone(&state.net));
-    // Handshake: first frame must be Hello.
-    let Some(first) = conn.recv()? else {
-        return Ok(());
-    };
-    let identity = match Request::decode(&first) {
-        Ok(Request::Hello { dn, version }) if version == PROTOCOL_VERSION => {
-            state.authorizer.authenticate(dn)
-        }
-        Ok(Request::Hello { version, .. }) => {
-            let resp = Response::Error(RlsError::protocol(format!(
-                "unsupported protocol version {version}"
-            )));
-            conn.send(&resp.encode().into_bytes())?;
-            return Ok(());
-        }
-        Ok(_) => {
-            let resp = Response::Error(RlsError::bad_request(
-                "first frame must be Hello",
-            ));
-            conn.send(&resp.encode().into_bytes())?;
-            return Ok(());
-        }
-        Err(e) => {
-            let resp = Response::Error(e);
-            conn.send(&resp.encode().into_bytes())?;
-            return Ok(());
-        }
-    };
-    let ack = Response::HelloAck {
-        server_version: state.version.clone(),
-        is_lrc: state.lrc.is_some(),
-        is_rli: state.rli.is_some(),
-    };
-    conn.send(&ack.encode().into_bytes())?;
-
-    // Request loop. Frames may carry a trace envelope; propagated IDs are
-    // threaded into dispatch so spans land under the client's trace.
+fn accept_loop(
+    listener: Listener,
+    pool: Arc<ConnPool>,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    max_conns: usize,
+) {
+    let busy_rejects = state.metrics.counter("server.busy_rejects");
+    let accept_errors = state.metrics.counter("server.accept_errors");
+    let admitted = state.metrics.counter("server.conns_admitted");
+    let mut backoff = Duration::from_millis(5);
     while !shutdown.load(Ordering::SeqCst) {
-        let Some(frame) = conn.recv()? else {
-            return Ok(()); // clean close
-        };
-        // Re-check after the (blocking) read: a server that shut down
-        // while this frame was in flight must act crashed — drop the
-        // request unanswered so the client sees a dead connection rather
-        // than a reply computed against torn-down state. The chaos tests
-        // rely on this for crash/restart fidelity.
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+        match listener.accept_timeout(ACCEPT_POLL) {
+            // Timeout: loop around and re-check the shutdown flag.
+            Ok(None) => {}
+            Ok(Some(mut conn)) => {
+                backoff = Duration::from_millis(5);
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if pool.active.load(Ordering::SeqCst) >= max_conns {
+                    // Admission control: answer, don't silently drop. The
+                    // client's pending Hello surfaces this frame as a Busy
+                    // error, which its retry policy treats as backoff-able.
+                    busy_rejects.inc();
+                    let resp = Response::Error(RlsError::new(
+                        ErrorCode::Busy,
+                        format!("connection limit of {max_conns} reached; retry with backoff"),
+                    ));
+                    let _ = conn.send(&resp.encode().into_bytes());
+                    // Drain the client's Hello before dropping: closing a
+                    // socket with unread inbound bytes raises RST, which
+                    // can destroy the Busy frame before the client reads it.
+                    let _ = conn.try_recv(Duration::from_millis(50));
+                    continue;
+                }
+                pool.active.fetch_add(1, Ordering::SeqCst);
+                conn.set_meter(Arc::clone(&state.net));
+                admitted.inc();
+                pool.admit(conn);
+            }
+            Err(e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (EMFILE, ...) must not spin the
+                // loop at 100% CPU: back off exponentially, and surface the
+                // failures on the operator counter.
+                accept_errors.inc();
+                rls_trace::warn!("server", "accept failed", error = e);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
         }
-        let response = match Request::decode_traced(&frame) {
-            Ok((trace_ids, req)) => handle_request_traced(state, &identity, req, &trace_ids),
-            Err(e) => Response::Error(e),
-        };
-        conn.send(&response.encode().into_bytes())?;
     }
-    Ok(())
+}
+
+/// What to do with the connection after answering one frame.
+enum FrameOutcome {
+    /// Keep serving this connection.
+    Continue,
+    /// Handshake failed terminally; close after the reply.
+    Close,
+}
+
+/// Handles one inbound frame: the Hello handshake while the session is
+/// unauthenticated, request dispatch afterwards. `Err` means the
+/// connection is unusable (send failure) and must be dropped.
+fn serve_frame(session: &mut Session, frame: &[u8], state: &ServerState) -> RlsResult<FrameOutcome> {
+    let Session { conn, identity, .. } = session;
+    match identity {
+        Some(identity) => {
+            // Frames may carry a trace envelope; propagated IDs are
+            // threaded into dispatch so spans land under the client's
+            // trace.
+            let response = match Request::decode_traced(frame) {
+                Ok((trace_ids, req)) => handle_request_traced(state, identity, req, &trace_ids),
+                Err(e) => Response::Error(e),
+            };
+            conn.send(&response.encode().into_bytes())?;
+            Ok(FrameOutcome::Continue)
+        }
+        None => match Request::decode(frame) {
+            Ok(Request::Hello { dn, version }) if version == PROTOCOL_VERSION => {
+                *identity = Some(state.authorizer.authenticate(dn));
+                let ack = Response::HelloAck {
+                    server_version: state.version.clone(),
+                    is_lrc: state.lrc.is_some(),
+                    is_rli: state.rli.is_some(),
+                };
+                conn.send(&ack.encode().into_bytes())?;
+                Ok(FrameOutcome::Continue)
+            }
+            Ok(Request::Hello { version, .. }) => {
+                let resp = Response::Error(RlsError::protocol(format!(
+                    "unsupported protocol version {version}"
+                )));
+                conn.send(&resp.encode().into_bytes())?;
+                Ok(FrameOutcome::Close)
+            }
+            Ok(_) => {
+                let resp = Response::Error(RlsError::bad_request("first frame must be Hello"));
+                conn.send(&resp.encode().into_bytes())?;
+                Ok(FrameOutcome::Close)
+            }
+            Err(e) => {
+                let resp = Response::Error(e);
+                conn.send(&resp.encode().into_bytes())?;
+                Ok(FrameOutcome::Close)
+            }
+        },
+    }
+}
+
+/// The readiness poller. Each sweep takes the parked set, probes every
+/// session with a zero-wait read, and hands sessions with a complete
+/// frame to the worker queue. Partial frames stay buffered in the
+/// session's connection and complete across sweeps. Sessions idle past
+/// the timeout, closed, or errored are retired here — the poller is the
+/// only place a parked connection's state is ever observed, so this and
+/// the worker's retire path are the *only* two ways a slot comes back.
+fn dispatch_loop(pool: &Arc<ConnPool>, shutdown: &Arc<AtomicBool>) {
+    let mut idle_sleep = DISPATCH_IDLE;
+    while !shutdown.load(Ordering::SeqCst) {
+        let parked: Vec<Session> = {
+            let mut p = pool.parked.lock().expect("parked set poisoned");
+            std::mem::take(&mut *p)
+        };
+        let mut still_parked = Vec::with_capacity(parked.len());
+        let mut woke = 0usize;
+        for mut session in parked {
+            match session.conn.try_recv(Duration::ZERO) {
+                Ok(TryRecv::Frame(frame)) => {
+                    session.pending = Some(frame);
+                    pool.push(session);
+                    woke += 1;
+                }
+                Ok(TryRecv::Idle) => {
+                    if !pool.idle_timeout.is_zero()
+                        && session.last_active.elapsed() >= pool.idle_timeout
+                    {
+                        pool.idle_reaped.inc();
+                        pool.release(); // dropping the session closes the socket
+                    } else {
+                        still_parked.push(session);
+                    }
+                }
+                Ok(TryRecv::Closed) | Err(_) => pool.release(),
+            }
+        }
+        pool.parked
+            .lock()
+            .expect("parked set poisoned")
+            .append(&mut still_parked);
+        if woke == 0 {
+            std::thread::sleep(idle_sleep);
+            idle_sleep = (idle_sleep * 2).min(DISPATCH_IDLE_MAX);
+        } else {
+            idle_sleep = DISPATCH_IDLE;
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One pool worker: pops a ready session, serves its pending frame, keeps
+/// serving while requests are already buffered (bounded burst), then
+/// parks or retires it. When the ready queue is empty the worker camps on
+/// the connection for [`READ_QUANTUM`] instead of bouncing it back to the
+/// poller — a lightly loaded server answers ping-pong clients at
+/// thread-per-connection latency.
+fn worker_loop(pool: &Arc<ConnPool>, state: &Arc<ServerState>, shutdown: &Arc<AtomicBool>) {
+    while let Some(mut session) = pool.pop(shutdown) {
+        pool.conn_wait
+            .record_micros(session.enqueued_at.elapsed().as_micros() as u64);
+        // Whether the session survives this service slice.
+        let mut keep = true;
+        let mut served = 0usize;
+        let mut next = session.pending.take();
+        loop {
+            let frame = match next.take() {
+                Some(f) => f,
+                None => {
+                    let wait = if pool.ready_is_empty() {
+                        READ_QUANTUM
+                    } else {
+                        Duration::ZERO
+                    };
+                    match session.conn.try_recv(wait) {
+                        Ok(TryRecv::Frame(f)) => f,
+                        Ok(TryRecv::Idle) => break, // park: poller takes over
+                        Ok(TryRecv::Closed) | Err(_) => {
+                            keep = false;
+                            break;
+                        }
+                    }
+                }
+            };
+            // Re-check after the read: a server that shut down while this
+            // frame was in flight must act crashed — drop the request
+            // unanswered so the client sees a dead connection rather than
+            // a reply computed against torn-down state. The chaos tests
+            // rely on this for crash/restart fidelity.
+            if shutdown.load(Ordering::SeqCst) {
+                keep = false;
+                break;
+            }
+            session.last_active = Instant::now();
+            pool.enter_busy();
+            let outcome = serve_frame(&mut session, &frame, state);
+            pool.exit_busy();
+            match outcome {
+                Ok(FrameOutcome::Continue) => {
+                    served += 1;
+                    if served >= BURST_LIMIT {
+                        break; // park: fairness across sessions
+                    }
+                }
+                Ok(FrameOutcome::Close) | Err(_) => {
+                    keep = false;
+                    break;
+                }
+            }
+        }
+        if keep {
+            pool.park(session);
+        } else {
+            // Dropping the session closes the socket; the slot frees here
+            // or in the poller's retire path — nowhere else — whether the
+            // close was clean, mid-request, a handshake failure, or an
+            // idle reap. No way to leak it.
+            pool.release();
+        }
+    }
 }
 
 /// One expire pass recorded as an `rli.expire_sweep` span under a fresh
@@ -380,10 +776,13 @@ fn expire_loop(
     }
 }
 
-fn update_loop(mut updater: Updater, mode: UpdateMode, shutdown: Arc<AtomicBool>) {
+fn update_loop(updater: &Arc<Mutex<Updater>>, mode: &UpdateMode, shutdown: &Arc<AtomicBool>) {
     let tick = Duration::from_millis(20);
+    // The service handle is stable; grab it once so the pending-delta
+    // check doesn't contend on the updater lock every tick.
+    let lrc = updater.lock().lrc_handle();
     let now = Instant::now();
-    let (mut next_full, mut next_delta) = match &mode {
+    let (mut next_full, mut next_delta) = match mode {
         UpdateMode::None => return,
         UpdateMode::Full { interval } => (Some(now + *interval), None),
         UpdateMode::Immediate {
@@ -393,7 +792,7 @@ fn update_loop(mut updater: Updater, mode: UpdateMode, shutdown: Arc<AtomicBool>
         } => (Some(now + *full_interval), Some(now + *delta_interval)),
         UpdateMode::Bloom { interval, .. } => (Some(now + *interval), None),
     };
-    let delta_threshold = match &mode {
+    let delta_threshold = match mode {
         UpdateMode::Immediate {
             delta_threshold, ..
         } => *delta_threshold,
@@ -404,18 +803,20 @@ fn update_loop(mut updater: Updater, mode: UpdateMode, shutdown: Arc<AtomicBool>
         let now = Instant::now();
         // Threshold-triggered delta flush ("after a specified number of LRC
         // updates have occurred", §3.3).
-        let threshold_hit = updater_pending(&updater) >= delta_threshold;
+        let threshold_hit = lrc.pending_deltas() >= delta_threshold;
         if let Some(t) = next_delta {
             if now >= t || threshold_hit {
+                let mut updater = updater.lock();
                 let targets = updater.targets();
                 if let Err(e) = updater.flush_deltas(&targets) {
                     rls_trace::warn!("server", "delta flush failed", error = e);
                 }
-                if let UpdateMode::Immediate { delta_interval, .. } = &mode {
+                if let UpdateMode::Immediate { delta_interval, .. } = mode {
                     next_delta = Some(Instant::now() + *delta_interval);
                 }
             }
         } else if threshold_hit {
+            let mut updater = updater.lock();
             let targets = updater.targets();
             if let Err(e) = updater.flush_deltas(&targets) {
                 rls_trace::warn!("server", "delta flush failed", error = e);
@@ -423,12 +824,12 @@ fn update_loop(mut updater: Updater, mode: UpdateMode, shutdown: Arc<AtomicBool>
         }
         if let Some(t) = next_full {
             if now >= t {
-                for r in updater.run_cycle() {
+                for r in updater.lock().run_cycle() {
                     if let Err(e) = r {
                         rls_trace::warn!("server", "update cycle send failed", error = e);
                     }
                 }
-                match &mode {
+                match mode {
                     UpdateMode::Full { interval } | UpdateMode::Bloom { interval, .. } => {
                         next_full = Some(Instant::now() + *interval);
                     }
@@ -440,13 +841,4 @@ fn update_loop(mut updater: Updater, mode: UpdateMode, shutdown: Arc<AtomicBool>
             }
         }
     }
-}
-
-fn updater_pending(updater: &Updater) -> usize {
-    // Pending delta count lives on the service; reach through the updater.
-    updater_lrc(updater).pending_deltas()
-}
-
-fn updater_lrc(updater: &Updater) -> Arc<LrcService> {
-    updater.lrc_handle()
 }

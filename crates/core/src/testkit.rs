@@ -34,6 +34,8 @@ pub struct TestDeploymentBuilder {
     update_interval: Duration,
     retry: RetryPolicy,
     fault_hook: Option<Arc<dyn FaultHook>>,
+    max_connections: usize,
+    worker_threads: usize,
 }
 
 impl Default for TestDeploymentBuilder {
@@ -52,6 +54,8 @@ impl Default for TestDeploymentBuilder {
             update_interval: Duration::from_secs(3600),
             retry: RetryPolicy::none(),
             fault_hook: None,
+            max_connections: 512,
+            worker_threads: 0,
         }
     }
 }
@@ -141,6 +145,20 @@ impl TestDeploymentBuilder {
         self
     }
 
+    /// Admission cap for every server in the deployment (connections past
+    /// the cap are rejected with a retryable `Busy`). Small values turn
+    /// the deployment into an overload harness.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Request-handler pool size for every server (0 = auto-size).
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n;
+        self
+    }
+
     /// Starts the deployment.
     pub fn build(self) -> RlsResult<TestDeployment> {
         let mut rlis = Vec::with_capacity(self.rlis);
@@ -153,6 +171,8 @@ impl TestDeploymentBuilder {
                     auto_expire: self.auto,
                     ..Default::default()
                 }),
+                max_connections: self.max_connections,
+                worker_threads: self.worker_threads,
                 ..Default::default()
             };
             rlis.push(Server::start(cfg)?);
@@ -191,6 +211,8 @@ impl TestDeploymentBuilder {
                     },
                     group_commit: true,
                 }),
+                max_connections: self.max_connections,
+                worker_threads: self.worker_threads,
                 ..Default::default()
             };
             let server = Server::start(cfg)?;

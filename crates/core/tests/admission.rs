@@ -1,0 +1,192 @@
+//! Admission-control suite: the bounded worker pool must reject over-cap
+//! connections with a retryable `Busy` (never a silent EOF), reclaim slots
+//! on every disconnect path, bound handler concurrency at `worker_threads`,
+//! and reap idle connections.
+//!
+//! Servers are built straight from `ServerConfig` so each test can pin
+//! `max_connections` / `worker_threads` / `idle_timeout` to tiny values
+//! that make the behaviour deterministic.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rls_core::{RlsClient, Server, ServerConfig};
+use rls_net::{LinkProfile, RetryPolicy};
+use rls_proto::ServerStatsWire;
+use rls_types::{Dn, ErrorCode};
+
+fn counter(stats: &ServerStatsWire, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn lrc_with(max_connections: usize, worker_threads: usize, idle_timeout: Duration) -> Server {
+    Server::start(ServerConfig {
+        max_connections,
+        worker_threads,
+        idle_timeout,
+        ..ServerConfig::lrc_default()
+    })
+    .unwrap()
+}
+
+/// Waits until `active_connections` reports `want`, panicking on timeout.
+fn wait_active(server: &Server, want: usize, deadline: Duration) {
+    let start = Instant::now();
+    while server.active_connections() != want {
+        assert!(
+            start.elapsed() < deadline,
+            "active_connections stuck at {} (wanted {want})",
+            server.active_connections()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn patient_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 50,
+        backoff_base: Duration::from_millis(2),
+        backoff_max: Duration::from_millis(30),
+        jitter_pct: 50,
+        connect_timeout: Some(Duration::from_secs(2)),
+        request_timeout: None,
+    }
+}
+
+/// Over-cap connections get an explicit `Busy` error frame — not a silent
+/// close — and the rejection is visible as `server.busy_rejects`.
+#[test]
+fn over_cap_gets_busy_not_silent_eof() {
+    let server = lrc_with(1, 2, Duration::from_secs(300));
+    let dn = Dn::anonymous();
+    // Holder occupies the only admission slot.
+    let mut holder = RlsClient::connect(server.addr(), &dn).unwrap();
+    holder.ping().unwrap();
+
+    // A fail-fast client must surface the server's Busy verdict as an
+    // error, proving the rejection travelled the wire as a real frame.
+    let err = RlsClient::connect(server.addr(), &dn).expect_err("over-cap connect must fail");
+    assert_eq!(err.code(), ErrorCode::Busy, "got {err}");
+    assert!(RetryPolicy::is_retryable(err.code()));
+
+    let stats = holder.stats().unwrap();
+    assert!(counter(&stats, "server.busy_rejects") >= 1, "{stats:?}");
+    server.shutdown();
+}
+
+/// A retrying client parked behind a full server is admitted as soon as
+/// the slot holder disconnects — the backoff loop turns `Busy` into a
+/// wait, not a failure.
+#[test]
+fn retry_client_admitted_after_slot_frees() {
+    let server = lrc_with(1, 2, Duration::from_secs(300));
+    let dn = Dn::anonymous();
+    let holder = RlsClient::connect(server.addr(), &dn).unwrap();
+
+    let addr = server.addr();
+    let waiter = std::thread::spawn(move || {
+        let mut c = RlsClient::connect_with(
+            addr,
+            &Dn::anonymous(),
+            LinkProfile::unshaped(),
+            None,
+            patient_retry(),
+            None,
+            None,
+        )?;
+        c.create_mapping("lfn://adm/retry", "pfn://adm/retry")?;
+        c.query_lfn("lfn://adm/retry")
+    });
+
+    // Give the waiter time to collect at least one Busy, then free the slot.
+    std::thread::sleep(Duration::from_millis(40));
+    drop(holder);
+
+    let pfns = waiter.join().unwrap().expect("retries should win the freed slot");
+    assert_eq!(pfns, vec!["pfn://adm/retry".to_string()]);
+    server.shutdown();
+}
+
+/// A connection that dies mid-frame (header sent, body never arrives)
+/// must give its slot back: `active_connections` returns to zero and the
+/// next client is admitted normally.
+#[test]
+fn slot_reclaimed_on_mid_request_close() {
+    let server = lrc_with(1, 2, Duration::from_secs(300));
+    let dn = Dn::anonymous();
+
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        // Length prefix promising 64 bytes, then only 8 — a half request.
+        raw.write_all(&64u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 8]).unwrap();
+        raw.flush().unwrap();
+        wait_active(&server, 1, Duration::from_secs(2));
+    } // socket drops here with the frame still unfinished
+
+    wait_active(&server, 0, Duration::from_secs(2));
+
+    // The freed slot is genuinely reusable (cap is 1).
+    let mut c = RlsClient::connect(server.addr(), &dn).unwrap();
+    c.ping().unwrap();
+    server.shutdown();
+}
+
+/// Acceptance criterion for the bounded pool: with `worker_threads = 2`,
+/// eight concurrent clients all succeed while at most two requests are
+/// ever in a handler simultaneously (`server.workers_busy_hwm`).
+#[test]
+fn pool_bounds_handler_concurrency() {
+    let server = lrc_with(64, 2, Duration::from_secs(300));
+    let addr = server.addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+                for i in 0..25 {
+                    let lfn = format!("lfn://pool/t{t}/f{i}");
+                    c.create_mapping(&lfn, &format!("pfn://pool/t{t}/f{i}")).unwrap();
+                    assert_eq!(c.query_lfn(&lfn).unwrap().len(), 1);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let mut c = RlsClient::connect(addr, &Dn::anonymous()).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(counter(&stats, "server.worker_threads"), 2);
+    let hwm = counter(&stats, "server.workers_busy_hwm");
+    assert!((1..=2).contains(&hwm), "busy high-water mark {hwm} escaped the pool bound");
+    assert!(counter(&stats, "server.conns_admitted") >= 8);
+    server.shutdown();
+}
+
+/// Idle connections are reaped after `idle_timeout`, freeing their slot;
+/// the reap is visible as `server.idle_reaped` and the stale client sees
+/// an error (not a hang) on its next call.
+#[test]
+fn idle_connections_are_reaped() {
+    let server = lrc_with(8, 2, Duration::from_millis(40));
+    let dn = Dn::anonymous();
+
+    let mut stale = RlsClient::connect(server.addr(), &dn).unwrap();
+    stale.ping().unwrap();
+    wait_active(&server, 0, Duration::from_secs(2));
+
+    assert!(stale.ping().is_err(), "reaped connection must not answer");
+
+    let mut fresh = RlsClient::connect(server.addr(), &dn).unwrap();
+    let stats = fresh.stats().unwrap();
+    assert!(counter(&stats, "server.idle_reaped") >= 1, "{stats:?}");
+    server.shutdown();
+}

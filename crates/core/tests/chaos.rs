@@ -14,10 +14,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rls_core::testkit::TestDeployment;
+use rls_core::RlsClient;
 use rls_faults::FaultPlan;
-use rls_net::RetryPolicy;
+use rls_net::{LinkProfile, RetryPolicy};
 use rls_proto::ServerStatsWire;
-use rls_types::Timestamp;
+use rls_types::{Dn, Timestamp};
 
 /// Fast test-grade retry policy: enough attempts to outlast any scripted
 /// fault burst, millisecond backoffs so suites stay quick.
@@ -391,4 +392,68 @@ fn bulk_writes_converge_through_rli_crash_mid_stream() {
     let stats = dep.lrc_client(0).unwrap().stats().unwrap();
     assert!(counter(&stats, "softstate.rli_unreachable") >= 1);
     assert!(counter(&stats, "wal.group_commits") >= 2);
+}
+
+/// Fault class: overload. The LRC is squeezed to `max_connections = 3`
+/// over a two-thread worker pool, then hit with a 12-client stampede —
+/// each client pins its admission slot for ~10 ms, so most dials find
+/// the server full and collect a `Busy` rejection. Backoff-retry turns
+/// every rejection into a wait: once the load drops the catalog (and the
+/// RLI, after an update cycle) must match the fault-free reference, and
+/// a fresh client must be admitted without retries.
+#[test]
+fn overloaded_server_converges_once_load_drops() {
+    let expected = fault_free_state(12);
+
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .max_connections(3)
+        .worker_threads(2)
+        .build()
+        .unwrap();
+    let addr = dep.lrcs[0].addr();
+    let stampede_retry = RetryPolicy {
+        max_retries: 30,
+        ..quick_retry()
+    };
+
+    let threads: Vec<_> = (0..12)
+        .map(|i| {
+            let policy = stampede_retry.clone();
+            std::thread::spawn(move || {
+                let mut c = RlsClient::connect_with(
+                    addr,
+                    &Dn::anonymous(),
+                    LinkProfile::unshaped(),
+                    None,
+                    policy,
+                    None,
+                    None,
+                )?;
+                let lfn = format!("lfn://chaos/f{i:02}");
+                c.create_mapping(&lfn, &format!("pfn://site-a/f{i:02}"))?;
+                // Hold the slot long enough that later dialers meet a
+                // full server rather than a lucky gap.
+                std::thread::sleep(Duration::from_millis(10));
+                c.query_lfn(&lfn)
+            })
+        })
+        .collect();
+    for t in threads {
+        let pfns = t.join().unwrap().expect("retries must outlast the stampede");
+        assert_eq!(pfns.len(), 1);
+    }
+
+    // Load has dropped: a plain fail-fast client walks straight in.
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    let stats = dep.lrc_client(0).unwrap().stats().unwrap();
+    assert!(
+        counter(&stats, "server.busy_rejects") >= 1,
+        "stampede never overloaded the server: {stats:?}"
+    );
+    assert!(counter(&stats, "server.conns_admitted") >= 12);
 }

@@ -85,6 +85,13 @@ pub struct Conn {
     peer_label: String,
     meter: Option<Arc<ConnMeter>>,
     hook: Option<Arc<dyn FaultHook>>,
+    /// Partial-frame accumulator for [`Conn::try_recv`]: raw wire bytes
+    /// (length prefix included) carried across calls that time out
+    /// mid-frame.
+    rx_buf: Vec<u8>,
+    /// Cached `SO_RCVTIMEO` so [`Conn::try_recv`] only issues the
+    /// `setsockopt` when the requested wait actually changes.
+    rx_timeout: Option<Duration>,
 }
 
 impl std::fmt::Debug for Conn {
@@ -118,6 +125,8 @@ impl Conn {
             peer_label: peer.to_string(),
             meter: None,
             hook: None,
+            rx_buf: Vec::new(),
+            rx_timeout: None,
         })
     }
 
@@ -141,9 +150,14 @@ impl Conn {
         self.meter = Some(meter);
     }
 
-    /// Sets a read timeout on the underlying socket.
+    /// Sets a read timeout on the underlying socket. Clears any
+    /// non-blocking mode a zero-wait [`Conn::try_recv`] left behind.
     pub fn set_read_timeout(&mut self, d: Option<Duration>) -> RlsResult<()> {
+        if self.rx_timeout == Some(Duration::ZERO) {
+            self.reader.get_ref().set_nonblocking(false)?;
+        }
         self.reader.get_ref().set_read_timeout(d)?;
+        self.rx_timeout = d;
         Ok(())
     }
 
@@ -260,6 +274,98 @@ impl Conn {
         Ok(frame)
     }
 
+    /// Attempts to receive one frame, waiting at most `wait` for bytes to
+    /// arrive. The read is **resumable**: a frame that is only partially
+    /// on the wire when the wait expires is buffered and completed by a
+    /// later call, so a worker pool can time-slice many connections
+    /// without losing mid-frame bytes.
+    ///
+    /// A connection driven by `try_recv` must stay on `try_recv`:
+    /// [`Conn::recv`] reads the socket directly and would corrupt a
+    /// partially-buffered frame. Fault hooks are *not* consulted here —
+    /// this is the server-side read path, and hooks are an initiator-side
+    /// (client) surface.
+    ///
+    /// `wait == 0` is a true non-blocking probe (`O_NONBLOCK`, not
+    /// `SO_RCVTIMEO`): it returns immediately with whatever is buffered,
+    /// which is what a readiness poller sweeping hundreds of parked
+    /// connections needs. Because `O_NONBLOCK` also covers the write half,
+    /// the socket is switched back to blocking before a completed frame is
+    /// returned — the caller's next move is sending a response, and a
+    /// short-write on a full send buffer must block, not error.
+    pub fn try_recv(&mut self, wait: Duration) -> RlsResult<TryRecv> {
+        use std::io::Read;
+        // The rx_timeout cache encodes the socket mode: `Some(ZERO)` is
+        // non-blocking, `Some(d)` is blocking with SO_RCVTIMEO d, `None`
+        // is plain blocking. Only issue syscalls on transitions.
+        if wait.is_zero() {
+            if self.rx_timeout != Some(Duration::ZERO) {
+                self.reader.get_ref().set_nonblocking(true)?;
+                self.rx_timeout = Some(Duration::ZERO);
+            }
+        } else {
+            // SO_RCVTIMEO of zero means "block forever" — clamp up instead.
+            let wait = wait.max(Duration::from_millis(1));
+            if self.rx_timeout != Some(wait) {
+                if self.rx_timeout == Some(Duration::ZERO) {
+                    self.reader.get_ref().set_nonblocking(false)?;
+                }
+                self.reader.get_ref().set_read_timeout(Some(wait))?;
+                self.rx_timeout = Some(wait);
+            }
+        }
+        loop {
+            // A completed frame may already be buffered (the previous read
+            // can over-read into the next frame); drain it without
+            // touching the socket.
+            if self.rx_buf.len() >= 4 {
+                let len =
+                    u32::from_le_bytes(self.rx_buf[..4].try_into().expect("4 bytes")) as usize;
+                if len > self.max_frame {
+                    return Err(RlsError::new(
+                        ErrorCode::ResourceLimit,
+                        format!("frame of {len} bytes exceeds cap of {}", self.max_frame),
+                    ));
+                }
+                if self.rx_buf.len() >= 4 + len {
+                    let body = self.rx_buf[4..4 + len].to_vec();
+                    self.rx_buf.drain(..4 + len);
+                    self.shape_inbound(len + 4);
+                    if let Some(meter) = &self.meter {
+                        meter.on_recv(len as u64 + 4);
+                    }
+                    // Leave the socket blocking: the caller's response
+                    // send must not see O_NONBLOCK short writes.
+                    if self.rx_timeout == Some(Duration::ZERO) {
+                        self.reader.get_ref().set_nonblocking(false)?;
+                        self.reader.get_ref().set_read_timeout(None)?;
+                        self.rx_timeout = None;
+                    }
+                    return Ok(TryRecv::Frame(body));
+                }
+            }
+            let mut tmp = [0u8; 16 * 1024];
+            match self.reader.read(&mut tmp) {
+                Ok(0) => {
+                    return if self.rx_buf.is_empty() {
+                        Ok(TryRecv::Closed)
+                    } else {
+                        Err(RlsError::protocol("connection closed mid-frame"))
+                    };
+                }
+                Ok(n) => self.rx_buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(TryRecv::Idle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
     /// Request/response exchange.
     pub fn request(&mut self, body: &[u8]) -> RlsResult<Vec<u8>> {
         self.send(body)?;
@@ -272,6 +378,18 @@ impl Conn {
         let _ = self.writer.flush();
         let _ = self.writer.get_ref().shutdown(std::net::Shutdown::Both);
     }
+}
+
+/// Outcome of one [`Conn::try_recv`] attempt.
+#[derive(Debug)]
+pub enum TryRecv {
+    /// A complete frame arrived.
+    Frame(Vec<u8>),
+    /// Nothing (or only part of a frame) arrived within the wait; the
+    /// partial bytes are buffered and a later call resumes the read.
+    Idle,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
 }
 
 /// Options for [`connect_with`] beyond shaping: a connect timeout and a
@@ -362,8 +480,41 @@ impl Listener {
 
     /// Accepts one connection.
     pub fn accept(&self) -> RlsResult<Conn> {
+        self.inner.set_nonblocking(false)?;
         let (stream, _) = self.inner.accept()?;
         Conn::from_stream(stream, LinkProfile::unshaped(), None, self.max_frame)
+    }
+
+    /// Accepts one connection, waiting at most `wait`; `Ok(None)` when
+    /// nothing arrived in time. Unlike a blocking [`Listener::accept`],
+    /// this gives the accept loop a natural shutdown poll point — no
+    /// self-connect tricks needed to unblock it.
+    pub fn accept_timeout(&self, wait: Duration) -> RlsResult<Option<Conn>> {
+        self.inner.set_nonblocking(true)?;
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            match self.inner.accept() {
+                Ok((stream, _)) => {
+                    // Non-blocking inheritance from the listener is
+                    // platform-dependent; the Conn's reads must block.
+                    stream.set_nonblocking(false)?;
+                    return Ok(Some(Conn::from_stream(
+                        stream,
+                        LinkProfile::unshaped(),
+                        None,
+                        self.max_frame,
+                    )?));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Clones the listener handle (for multi-threaded accept loops).
@@ -476,6 +627,172 @@ mod tests {
         assert_eq!(meter.bytes_in(), 9 + 4);
         assert_eq!(meter.frames_out(), 2);
         assert_eq!(meter.frames_in(), 2);
+    }
+
+    #[test]
+    fn try_recv_resumes_partial_frames() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        let mut server = listener.accept().unwrap();
+        // Nothing on the wire yet: idle, not an error.
+        assert!(matches!(
+            server.try_recv(Duration::from_millis(5)).unwrap(),
+            TryRecv::Idle
+        ));
+        // Header plus half the body — the read must park, not fail.
+        let body = b"hello-worker-pool";
+        raw.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&body[..8]).unwrap();
+        raw.flush().unwrap();
+        assert!(matches!(
+            server.try_recv(Duration::from_millis(20)).unwrap(),
+            TryRecv::Idle
+        ));
+        // The rest arrives: the buffered half is completed, nothing lost.
+        raw.write_all(&body[8..]).unwrap();
+        raw.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.try_recv(Duration::from_millis(20)).unwrap() {
+                TryRecv::Frame(f) => {
+                    assert_eq!(f, body);
+                    break;
+                }
+                TryRecv::Idle if Instant::now() < deadline => {}
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_wait_try_recv_probes_without_blocking() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        let mut server = listener.accept().unwrap();
+        // An empty socket answers Idle in (much) less than a millisecond —
+        // this is the O_NONBLOCK path, not a 1 ms SO_RCVTIMEO wait.
+        let start = Instant::now();
+        for _ in 0..100 {
+            assert!(matches!(
+                server.try_recv(Duration::ZERO).unwrap(),
+                TryRecv::Idle
+            ));
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(50),
+            "zero-wait probes blocked: {:?}",
+            start.elapsed()
+        );
+        // Partial frame: the probe buffers the header and stays Idle.
+        let body = b"ready";
+        raw.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(
+            server.try_recv(Duration::ZERO).unwrap(),
+            TryRecv::Idle
+        ));
+        raw.write_all(body).unwrap();
+        raw.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let frame = loop {
+            match server.try_recv(Duration::ZERO).unwrap() {
+                TryRecv::Frame(f) => break f,
+                TryRecv::Idle if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1))
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        };
+        assert_eq!(frame, body);
+        // Returning the frame restored blocking mode: a response send and
+        // a timed read both behave normally afterwards.
+        server.send(b"ack").unwrap();
+        let mut len = [0u8; 4];
+        std::io::Read::read_exact(&mut raw, &mut len).unwrap();
+        assert_eq!(u32::from_le_bytes(len), 3);
+    }
+
+    #[test]
+    fn try_recv_drains_back_to_back_frames_and_sees_eof() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = connect(addr, LinkProfile::unshaped(), None).unwrap();
+        let mut server = listener.accept().unwrap();
+        client.send(b"one").unwrap();
+        client.send(b"two").unwrap();
+        client.shutdown();
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.try_recv(Duration::from_millis(20)).unwrap() {
+                TryRecv::Frame(f) => got.push(f),
+                TryRecv::Closed => break,
+                TryRecv::Idle => assert!(Instant::now() < deadline, "timed out"),
+            }
+        }
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn try_recv_mid_frame_eof_is_protocol_error() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut server = listener.accept().unwrap();
+        // Claim 100 bytes, deliver 3, vanish.
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(b"abc").unwrap();
+        raw.flush().unwrap();
+        drop(raw);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let err = loop {
+            match server.try_recv(Duration::from_millis(20)) {
+                Ok(TryRecv::Idle) if Instant::now() < deadline => {}
+                Ok(other) => panic!("expected error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code(), ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn try_recv_enforces_frame_cap() {
+        let mut listener = Listener::bind("127.0.0.1:0").unwrap();
+        listener.set_max_frame(64);
+        let addr = listener.local_addr().unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut server = listener.accept().unwrap();
+        raw.write_all(&1_000_000u32.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let err = loop {
+            match server.try_recv(Duration::from_millis(20)) {
+                Ok(TryRecv::Idle) if Instant::now() < deadline => {}
+                Ok(other) => panic!("expected error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code(), ErrorCode::ResourceLimit);
+    }
+
+    #[test]
+    fn accept_timeout_times_out_then_accepts() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t0 = Instant::now();
+        assert!(listener
+            .accept_timeout(Duration::from_millis(30))
+            .unwrap()
+            .is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        let _client = TcpStream::connect(addr).unwrap();
+        let conn = listener.accept_timeout(Duration::from_secs(2)).unwrap();
+        assert!(conn.is_some());
     }
 
     #[test]

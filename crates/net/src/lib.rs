@@ -33,7 +33,7 @@ pub mod fault;
 pub mod retry;
 pub mod shaper;
 
-pub use conn::{connect, connect_with, Conn, ConnMeter, ConnectOptions, Listener};
+pub use conn::{connect, connect_with, Conn, ConnMeter, ConnectOptions, Listener, TryRecv};
 pub use fault::{FaultDecision, FaultHook};
 pub use retry::{splitmix64, RetryPolicy};
 pub use shaper::{LinkProfile, SharedIngress};

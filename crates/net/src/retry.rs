@@ -10,6 +10,8 @@
 
 use std::time::Duration;
 
+use rls_types::ErrorCode;
+
 /// SplitMix64: the one-instruction-wide mixer used for deterministic
 /// jitter (same construction as `rls-trace`'s ID minting).
 pub fn splitmix64(x: u64) -> u64 {
@@ -72,6 +74,19 @@ impl RetryPolicy {
     /// True if any retry would be attempted.
     pub fn retries_enabled(&self) -> bool {
         self.max_retries > 0
+    }
+
+    /// True for error codes worth retrying with backoff: transport-level
+    /// failures (the connection may heal, the peer may restart) and the
+    /// server's [`ErrorCode::Busy`] admission rejection, which is an
+    /// explicit "come back shortly" rather than a verdict on the request.
+    /// Everything else — caller mistakes, storage faults, shutdown — fails
+    /// immediately no matter the policy.
+    pub fn is_retryable(code: ErrorCode) -> bool {
+        matches!(
+            code,
+            ErrorCode::Io | ErrorCode::Timeout | ErrorCode::Protocol | ErrorCode::Busy
+        )
     }
 
     /// Backoff before retry number `attempt` (0-based), with deterministic
@@ -156,6 +171,27 @@ mod tests {
         }
         // Different seeds should (almost always) give different jitter.
         assert_ne!(p.backoff(0, 1), p.backoff(0, 2));
+    }
+
+    #[test]
+    fn retryable_codes() {
+        for code in [
+            ErrorCode::Io,
+            ErrorCode::Timeout,
+            ErrorCode::Protocol,
+            ErrorCode::Busy,
+        ] {
+            assert!(RetryPolicy::is_retryable(code), "{code} should retry");
+        }
+        for code in [
+            ErrorCode::MappingExists,
+            ErrorCode::PermissionDenied,
+            ErrorCode::Shutdown,
+            ErrorCode::Storage,
+            ErrorCode::ResourceLimit,
+        ] {
+            assert!(!RetryPolicy::is_retryable(code), "{code} must not retry");
+        }
     }
 
     #[test]

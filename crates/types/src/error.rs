@@ -68,6 +68,11 @@ pub enum ErrorCode {
     UpdateRejected = 23,
     /// Server resource limit reached (thread pool saturated, body too big).
     ResourceLimit = 24,
+    /// The server is at its connection-admission limit. Unlike
+    /// [`ResourceLimit`] this is transient by construction: the server
+    /// rejected the connection *before* doing any work, and a client that
+    /// backs off and retries is expected to get in once a slot frees.
+    Busy = 25,
 }
 
 impl ErrorCode {
@@ -99,6 +104,7 @@ impl ErrorCode {
             22 => RliExists,
             23 => UpdateRejected,
             24 => ResourceLimit,
+            25 => Busy,
             _ => return None,
         })
     }
@@ -264,5 +270,13 @@ mod tests {
         assert!(ErrorCode::MappingNotFound.is_client_error());
         assert!(!ErrorCode::Io.is_client_error());
         assert!(!ErrorCode::Storage.is_client_error());
+        // Busy is a server-side admission decision, not a caller mistake.
+        assert!(!ErrorCode::Busy.is_client_error());
+    }
+
+    #[test]
+    fn busy_round_trips() {
+        assert_eq!(ErrorCode::Busy.as_u16(), 25);
+        assert_eq!(ErrorCode::from_u16(25), Some(ErrorCode::Busy));
     }
 }
