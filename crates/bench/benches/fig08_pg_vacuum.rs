@@ -67,13 +67,7 @@ fn main() {
                     },
                 )
                 .expect("deletes");
-                let dead = server
-                    .lrc()
-                    .expect("lrc")
-                    .db
-                    .read()
-                    .engine()
-                    .dead_tuples();
+                let dead = server.lrc().expect("lrc").catalog().dead_tuples();
                 row(&[
                     threads.to_string(),
                     format!("{}", cycle * trials_per_cycle + trial + 1),
@@ -82,7 +76,7 @@ fn main() {
                     String::new(),
                 ]);
             }
-            let reclaimed = server.lrc().expect("lrc").db.write().vacuum().expect("vacuum");
+            let reclaimed = server.lrc().expect("lrc").catalog().vacuum().expect("vacuum");
             row(&[
                 threads.to_string(),
                 "-".into(),

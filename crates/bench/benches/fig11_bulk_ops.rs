@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use rls_bench::{banner, header, row, start_lrc, start_lrc_group_commit, Scale};
+use rls_bench::{banner, header, row, start_lrc_group_commit, start_lrc_sharded, Scale};
 use rls_storage::BackendProfile;
 use rls_types::Mapping;
 use rls_workload::{drive, preload_lrc, NameGen, Trials};
@@ -25,10 +25,13 @@ fn main() {
     let entries = scale.pick(20_000, 1_000_000);
     let bulk_size = 1000usize;
     let bulks_per_thread = scale.pick(3, 10) as usize;
-    println!("    preload: {entries} mappings; {bulk_size} requests per bulk op");
+    println!(
+        "    preload: {entries} mappings; {bulk_size} requests per bulk op  (catalog shards: {})",
+        scale.shards
+    );
     header(&["clients", "threads", "bulk q/s", "bulk add+del/s", "single q/s"]);
 
-    let server = start_lrc(BackendProfile::mysql_buffered());
+    let server = start_lrc_sharded(BackendProfile::mysql_buffered(), scale.shards);
     let gen = NameGen::new("fig11");
     preload_lrc(&server, &gen, entries).expect("preload");
     let tgen = NameGen::new("fig11-trial");

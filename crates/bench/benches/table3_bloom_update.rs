@@ -73,7 +73,7 @@ fn main() {
         // pre-counting-filter implementation pays on every update.
         let t0 = Instant::now();
         let mut fresh = BloomFilter::with_capacity(BloomParams::PAPER, entries);
-        lrc.db.read().for_each_lfn(|lfn| fresh.insert(lfn));
+        lrc.catalog().for_each_lfn(|lfn| fresh.insert(lfn));
         let generate_s = t0.elapsed().as_secs_f64();
 
         // Column 2: soft-state update time over the WAN, mean over trials.

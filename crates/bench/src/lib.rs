@@ -25,6 +25,8 @@ pub struct Scale {
     pub scale: f64,
     /// Trials per data point.
     pub trials: usize,
+    /// LRC catalog shards (`--shards <n>`, default 1 = classic engine).
+    pub shards: usize,
 }
 
 impl Scale {
@@ -35,6 +37,7 @@ impl Scale {
             full: false,
             scale: 1.0,
             trials: 3,
+            shards: 1,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -48,6 +51,11 @@ impl Scale {
                 "--trials" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                         s.trials = v;
+                    }
+                }
+                "--shards" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        s.shards = v;
                     }
                 }
                 _ => {}
@@ -99,6 +107,31 @@ pub fn start_lrc(profile: BackendProfile) -> Server {
     start_lrc_group_commit(profile, true)
 }
 
+/// Starts a pure-LRC server with the catalog partitioned into `shards`
+/// LFN-hash shards (1 = the classic single engine). Durable profiles get a
+/// fresh per-shard WAL family under the system temp directory. The worker
+/// pool is sized to at least one thread per shard so the measurement sees
+/// storage-level scaling, not an artificially small pool: each shard can
+/// have a commit (and its WAL sync) in flight concurrently.
+pub fn start_lrc_sharded(profile: BackendProfile, shards: usize) -> Server {
+    let wal_path = match profile.flush {
+        rls_storage::FlushMode::None => None,
+        _ => Some(fresh_wal_path("lrc")),
+    };
+    Server::start(ServerConfig {
+        lrc: Some(LrcConfig {
+            profile,
+            wal_path,
+            update: UpdateConfig::default(),
+            group_commit: true,
+            shards,
+        }),
+        worker_threads: shards.max(4),
+        ..ServerConfig::default()
+    })
+    .expect("start sharded LRC server")
+}
+
 /// Starts a pure-LRC server with an explicit group-commit setting.
 /// Figure 11's durable-write columns compare the two paths: with group
 /// commit off, a bulk request pays one WAL commit (and one sync under
@@ -114,6 +147,7 @@ pub fn start_lrc_group_commit(profile: BackendProfile, group_commit: bool) -> Se
             wal_path,
             update: UpdateConfig::default(),
             group_commit,
+            shards: 1,
         }),
         ..ServerConfig::default()
     })
@@ -146,6 +180,7 @@ pub fn start_lrc_with_updates(
             wal_path: None,
             update,
             group_commit: true,
+            shards: 1,
         }),
         ..ServerConfig::default()
     })
@@ -154,8 +189,7 @@ pub fn start_lrc_with_updates(
     server
         .lrc()
         .expect("lrc role")
-        .db
-        .write()
+        .catalog()
         .add_rli(rli_addr, flags, &[])
         .expect("register RLI");
     server
@@ -194,12 +228,14 @@ mod tests {
             full: false,
             scale: 0.5,
             trials: 3,
+            shards: 1,
         };
         assert_eq!(s.pick(1000, 1_000_000), 500);
         let f = Scale {
             full: true,
             scale: 1.0,
             trials: 3,
+            shards: 1,
         };
         assert_eq!(f.pick(1000, 1_000_000), 1_000_000);
     }

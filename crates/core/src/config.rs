@@ -116,6 +116,16 @@ pub struct LrcConfig {
     /// one flush per item — which is what Fig. 11's single-operation
     /// columns measure.
     pub group_commit: bool,
+    /// Number of catalog shards (`shards` in the config file). The catalog
+    /// is partitioned by LFN hash into this many independent engines, each
+    /// with its own WAL and group-commit queue, so writers on distinct
+    /// shards never contend on a lock. `1` (the default) keeps the single
+    /// engine and the exact `wal_path` of earlier releases; with N > 1 the
+    /// per-shard WALs derive from `wal_path` with a `.s<i>` suffix. The
+    /// shard count of a durable catalog must not change between runs —
+    /// routing is by hash, so a different N would look up names on the
+    /// wrong shard. `0` is treated as `1`.
+    pub shards: usize,
 }
 
 impl Default for LrcConfig {
@@ -125,6 +135,7 @@ impl Default for LrcConfig {
             wal_path: None,
             update: UpdateConfig::default(),
             group_commit: true,
+            shards: 1,
         }
     }
 }

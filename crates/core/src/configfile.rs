@@ -19,6 +19,7 @@
 //! db_flush          disabled       # enabled | disabled | none
 //! db_wal            /var/lib/rls/lrc.wal
 //! group_commit      true           # bulk requests share one WAL flush
+//! shards            4              # LFN-hash catalog shards (1 = single engine)
 //!
 //! # soft-state updates (choose one mode)
 //! update_mode       bloom          # none | full | immediate | bloom
@@ -142,6 +143,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut flush = FlushMode::Buffered;
     let mut wal: Option<PathBuf> = None;
     let mut group_commit = true;
+    let mut shards = 1usize;
     let mut update_mode = "none".to_owned();
     let mut update_interval = Duration::from_secs(300);
     let mut immediate_threshold = 100usize;
@@ -214,6 +216,14 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             }
             "db_wal" => wal = Some(PathBuf::from(one()?)),
             "group_commit" => group_commit = parse_bool(key, one()?)?,
+            "shards" => {
+                shards = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected a shard count",
+                        lineno + 1
+                    ))
+                })?
+            }
             "update_mode" => update_mode = one()?.to_owned(),
             "update_interval" => update_interval = parse_secs(key, one()?)?,
             "update_immediate_threshold" => {
@@ -460,6 +470,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
                 ..Default::default()
             },
             group_commit,
+            shards,
         }),
         rli: is_rli.then_some(RliConfig {
             profile,
@@ -591,6 +602,16 @@ acl          user:ann admin
         let p = parse_config("lrc_server true\ngroup_commit off").unwrap();
         assert!(!p.server.lrc.as_ref().unwrap().group_commit);
         assert!(parse_config("lrc_server true\ngroup_commit sometimes").is_err());
+    }
+
+    #[test]
+    fn shards_key_parses() {
+        // Default: one shard, the classic single engine.
+        let p = parse_config("lrc_server true").unwrap();
+        assert_eq!(p.server.lrc.as_ref().unwrap().shards, 1);
+        let p = parse_config("lrc_server true\nshards 8").unwrap();
+        assert_eq!(p.server.lrc.as_ref().unwrap().shards, 8);
+        assert!(parse_config("lrc_server true\nshards many").is_err());
     }
 
     #[test]

@@ -87,15 +87,17 @@ impl ServerState {
         counters.push(("net.frames_in".into(), self.net.frames_in()));
         counters.push(("net.frames_out".into(), self.net.frames_out()));
         if let Some(lrc) = &self.lrc {
-            let db = lrc.db.read();
-            s.lrc_lfn_count = db.lfn_count();
-            s.lrc_mapping_count = db.mapping_count();
-            let st = db.stats();
+            let catalog = lrc.catalog();
+            s.lrc_lfn_count = catalog.lfn_count();
+            s.lrc_mapping_count = catalog.mapping_count();
+            let st = catalog.stats();
             s.adds = st.adds;
             s.deletes = st.deletes;
             s.queries += st.queries + st.wildcard_queries;
-            push_engine_counters(&mut counters, "lrc", db.engine().stats());
-            drop(db);
+            // `lrc.engine.*` aggregates every shard; the per-shard split is
+            // in the `storage.shard.*` counters from the LRC registry.
+            push_engine_counters(&mut counters, "lrc", catalog.engine_stats());
+            lrc.record_shard_gauges();
             hists.extend(lrc.metrics().histogram_snapshot());
             counters.extend(lrc.metrics().counter_snapshot());
             counters.push((
@@ -329,7 +331,7 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             let lrc = state.lrc()?;
             lrc.count_query();
             let t0 = Instant::now();
-            let targets = lrc.db.read().query_lfn(&lfn)?;
+            let targets = lrc.catalog().query_lfn(&lfn)?;
             lrc.metrics()
                 .histogram("storage.query_lfn")
                 .record(t0.elapsed());
@@ -339,7 +341,7 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             let lrc = state.lrc()?;
             lrc.count_query();
             let t0 = Instant::now();
-            let logicals = lrc.db.read().query_pfn(&pfn)?;
+            let logicals = lrc.catalog().query_pfn(&pfn)?;
             lrc.metrics()
                 .histogram("storage.query_pfn")
                 .record(t0.elapsed());
@@ -348,11 +350,13 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
         BulkQueryLfn(names) => {
             let lrc = state.lrc()?;
             lrc.count_query();
-            let db = lrc.db.read();
+            // Each name takes its owner shard's read lock; the batch never
+            // pins the whole catalog.
             let results = names
                 .into_iter()
                 .map(|name| {
-                    let res = db
+                    let res = lrc
+                        .catalog()
                         .query_lfn(&name)
                         .map(|ts| ts.iter().map(|t| t.to_string()).collect());
                     (name, res)
@@ -364,20 +368,20 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             let lrc = state.lrc()?;
             lrc.count_query();
             let glob = Glob::new(pattern)?;
-            let hits = lrc.db.read().wildcard_query_lfn(&glob, limit as usize)?;
+            let hits = lrc.catalog().wildcard_query_lfn(&glob, limit as usize)?;
             Response::Mappings(hits)
         }
         WildcardQueryPfn { pattern, limit } => {
             let lrc = state.lrc()?;
             lrc.count_query();
             let glob = Glob::new(pattern)?;
-            let hits = lrc.db.read().wildcard_query_pfn(&glob, limit as usize)?;
+            let hits = lrc.catalog().wildcard_query_pfn(&glob, limit as usize)?;
             Response::Mappings(hits)
         }
 
         // -- LRC attributes --
         DefineAttr(def) => {
-            state.lrc()?.db.write().define_attribute(&def)?;
+            state.lrc()?.catalog().define_attribute(&def)?;
             Response::Ok
         }
         UndefineAttr {
@@ -387,40 +391,35 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
         } => {
             state
                 .lrc()?
-                .db
-                .write()
+                .catalog()
                 .undefine_attribute(&name, objtype, clear_values)?;
             Response::Ok
         }
         AddAttr(a) => {
             state
                 .lrc()?
-                .db
-                .write()
+                .catalog()
                 .add_attribute(&a.obj, a.objtype, &a.name, &a.value)?;
             Response::Ok
         }
         ModifyAttr(a) => {
             state
                 .lrc()?
-                .db
-                .write()
+                .catalog()
                 .modify_attribute(&a.obj, a.objtype, &a.name, &a.value)?;
             Response::Ok
         }
         RemoveAttr { obj, objtype, name } => {
             state
                 .lrc()?
-                .db
-                .write()
+                .catalog()
                 .remove_attribute(&obj, objtype, &name)?;
             Response::Ok
         }
         GetAttrs { obj, objtype, name } => {
             let lrc = state.lrc()?;
             let attrs = lrc
-                .db
-                .read()
+                .catalog()
                 .get_attributes(&obj, objtype, name.as_deref())?;
             Response::Attrs(attrs)
         }
@@ -432,8 +431,7 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
         } => {
             let lrc = state.lrc()?;
             let hits = lrc
-                .db
-                .read()
+                .catalog()
                 .search_attribute(&name, objtype, op, operand.as_ref())?;
             Response::Attrs(hits)
         }
@@ -479,18 +477,17 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             flags,
             patterns,
         } => {
-            state.lrc()?.db.write().add_rli(&name, flags, &patterns)?;
+            state.lrc()?.catalog().add_rli(&name, flags, &patterns)?;
             Response::Ok
         }
         RemoveRli { name } => {
-            state.lrc()?.db.write().remove_rli(&name)?;
+            state.lrc()?.catalog().remove_rli(&name)?;
             Response::Ok
         }
         ListRlis => {
             let rlis = state
                 .lrc()?
-                .db
-                .read()
+                .catalog()
                 .list_rlis()
                 .into_iter()
                 .map(|t| RliTargetWire {

@@ -6,6 +6,9 @@
 //!   an RLI, or both (§3.1);
 //! * [`lrc`] / [`rli`] — the two roles' service layers over the storage
 //!   engine (plus the RLI's in-memory Bloom store);
+//! * [`shard`] — the LFN-hash-partitioned LRC catalog: N independent
+//!   engines, each with its own lock, WAL, and group-commit queue, so
+//!   writers on different shards never serialize;
 //! * [`softstate`] — the soft-state update senders: uncompressed full,
 //!   immediate/incremental, Bloom-compressed, and namespace-partitioned
 //!   (§3.2–3.5);
@@ -32,6 +35,7 @@ pub mod membership;
 pub mod report;
 pub mod rli;
 pub mod server;
+pub mod shard;
 pub mod softstate;
 pub mod testkit;
 
@@ -45,5 +49,6 @@ pub use membership::{Member, MemberRole, MembershipConfig, UpdateEdge};
 pub use report::{format_stats_json, format_stats_report, format_trace_report};
 pub use rli::RliService;
 pub use server::{Server, SERVER_VERSION};
+pub use shard::ShardedCatalog;
 pub use softstate::{UpdateKind, UpdateOutcome, Updater, FLAG_BLOOM};
 pub use testkit::{TestDeployment, TestDeploymentBuilder};

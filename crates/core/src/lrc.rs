@@ -9,18 +9,27 @@
 //!   paper's point that filter generation is "a one-time cost, since
 //!   subsequent updates to LRC mappings can be reflected by setting or
 //!   unsetting the corresponding bits" (§3.5, Table 3 column 3).
+//!
+//! The catalog itself is a [`ShardedCatalog`]: N independent engines routed
+//! by LFN hash ([`LrcConfig::shards`], default 1). Mutations take only the
+//! owning shard's write lock; the commit sequence is stamped *inside* that
+//! critical section, so the delta journal and counting Bloom filter still
+//! observe every LFN's changes in commit order — per-LFN ordering is what
+//! the soft-state plane needs, and a name's commits always serialize on
+//! its own shard.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use rls_bloom::{BloomFilter, BloomParams, CountingBloomFilter};
-use rls_metrics::Registry;
-use rls_storage::{BulkAttrOp, BulkMappingOp, LrcDatabase, MappingChange};
-use rls_types::{Mapping, RlsError, RlsResult};
+use rls_metrics::{Counter, Registry};
+use rls_storage::{BulkAttrOp, BulkMappingOp, MappingChange};
+use rls_types::{Mapping, ObjectType, RlsError, RlsResult};
 
 use crate::config::{LrcConfig, UpdateMode};
+use crate::shard::ShardedCatalog;
 
 /// Cap on buffered originating trace IDs per delta journal; beyond this a
 /// flush simply attributes the send to the IDs it kept (the span journal is
@@ -108,9 +117,13 @@ impl DeltaLog {
 
 /// The LRC role of a server.
 pub struct LrcService {
-    /// The catalog, readable concurrently, writable exclusively.
-    pub db: RwLock<LrcDatabase>,
+    /// The sharded catalog: per-shard engines, each readable concurrently
+    /// and writable exclusively under its own lock.
+    catalog: ShardedCatalog,
     config: LrcConfig,
+    /// Pre-resolved `storage.shard.<i>.commits` counter handles, one per
+    /// shard, so the write path never takes the registry lock.
+    shard_commits: Vec<Counter>,
     deltas: Mutex<DeltaLog>,
     /// Per-RLI backlog of deltas whose send failed: the partial-flush
     /// requeue target. Keyed by the RLI address exactly as it appears on
@@ -145,27 +158,30 @@ impl std::fmt::Debug for LrcService {
 const INITIAL_BLOOM_CAPACITY: u64 = 4_096;
 
 impl LrcService {
-    /// Builds the service, opening or creating the catalog.
+    /// Builds the service, opening or creating the catalog (replaying one
+    /// WAL per shard for durable configurations).
     pub fn new(config: LrcConfig) -> RlsResult<Self> {
-        let db = match &config.wal_path {
-            Some(path) => LrcDatabase::open(config.profile, path)?,
-            None => LrcDatabase::in_memory(config.profile),
-        };
+        let catalog = ShardedCatalog::open(&config)?;
         let bloom_params = match config.update.mode {
             UpdateMode::Bloom { params, .. } => params,
             _ => BloomParams::PAPER,
         };
         let bloom = if config.update.mode.is_bloom() {
-            let capacity = db.lfn_count().max(INITIAL_BLOOM_CAPACITY);
+            let capacity = catalog.lfn_count().max(INITIAL_BLOOM_CAPACITY);
             let mut filter = CountingBloomFilter::with_capacity(bloom_params, capacity);
-            db.for_each_lfn(|lfn| filter.insert(lfn));
+            catalog.for_each_lfn(|lfn| filter.insert(lfn));
             Some(Mutex::new(filter))
         } else {
             None
         };
+        let metrics = Registry::new();
+        let shard_commits = (0..catalog.shard_count())
+            .map(|i| metrics.counter(&format!("storage.shard.{i}.commits")))
+            .collect();
         Ok(Self {
-            db: RwLock::new(db),
+            catalog,
             config,
+            shard_commits,
             deltas: Mutex::new(DeltaLog::default()),
             backlog: Mutex::new(HashMap::new()),
             bloom,
@@ -173,13 +189,37 @@ impl LrcService {
             bloom_regenerations: AtomicU64::new(0),
             commit_seq: AtomicU64::new(0),
             queries: AtomicU64::new(0),
-            metrics: Registry::new(),
+            metrics,
         })
     }
 
     /// The role configuration.
     pub fn config(&self) -> &LrcConfig {
         &self.config
+    }
+
+    /// The sharded catalog (reads, per-shard access, fan-out queries).
+    pub fn catalog(&self) -> &ShardedCatalog {
+        &self.catalog
+    }
+
+    /// Refreshes the `storage.shard.*` skew gauges from live per-shard
+    /// mapping counts: `storage.shard.imbalance_ppm` is the hottest
+    /// shard's excess over the mean, in parts per million (0 = perfectly
+    /// balanced or empty). Called when the stats RPC snapshots metrics.
+    pub fn record_shard_gauges(&self) {
+        let counts = self.catalog.per_shard_mapping_counts();
+        let total: u64 = counts.iter().sum();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / counts.len() as f64;
+        let imbalance = if mean > 0.0 {
+            (((max as f64 - mean) / mean) * 1_000_000.0) as u64
+        } else {
+            0
+        };
+        self.metrics
+            .counter("storage.shard.imbalance_ppm")
+            .set(imbalance);
     }
 
     /// The LRC's metrics registry, merged into the server's stats report.
@@ -239,9 +279,10 @@ impl LrcService {
     pub fn create_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
         let change = {
-            let mut db = self.db.write();
+            let (shard, mut db) = self.catalog.write_owner(m.logical.as_str());
             let change = db.create_mapping(m)?;
             self.note_change(m, change, trace_id);
+            self.shard_commits[shard].inc();
             change
         };
         self.metrics.histogram("storage.create").record(t0.elapsed());
@@ -257,9 +298,10 @@ impl LrcService {
     pub fn add_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
         let change = {
-            let mut db = self.db.write();
+            let (shard, mut db) = self.catalog.write_owner(m.logical.as_str());
             let change = db.add_mapping(m)?;
             self.note_change(m, change, trace_id);
+            self.shard_commits[shard].inc();
             change
         };
         self.metrics.histogram("storage.add").record(t0.elapsed());
@@ -275,21 +317,26 @@ impl LrcService {
     pub fn delete_mapping_traced(&self, m: &Mapping, trace_id: u64) -> RlsResult<MappingChange> {
         let t0 = std::time::Instant::now();
         let change = {
-            let mut db = self.db.write();
+            let (shard, mut db) = self.catalog.write_owner(m.logical.as_str());
             let change = db.delete_mapping(m)?;
             self.note_change(m, change, trace_id);
+            self.shard_commits[shard].inc();
             change
         };
         self.metrics.histogram("storage.delete").record(t0.elapsed());
         Ok(change)
     }
 
-    /// Applies a bulk mapping batch through the group-commit path: the
-    /// write lock is taken **once**, the whole batch reaches the WAL as
-    /// one record with one flush ([`LrcDatabase::bulk_mappings`]), and the
-    /// delta journal and counting Bloom filter are updated in commit order
-    /// inside the same critical section. Per-item failures occupy their
-    /// `Err` slot without aborting the rest.
+    /// Applies a bulk mapping batch through the group-commit path. Items
+    /// are partitioned by owning shard; each shard's sub-batch reaches that
+    /// shard's WAL as **one** record with one flush
+    /// ([`rls_storage::LrcDatabase::bulk_mappings_indexed`]), and the delta
+    /// journal and counting Bloom filter are updated in commit order inside
+    /// each shard's critical section. Shards are visited in ascending order
+    /// holding one shard lock at a time, so concurrent bulks on disjoint
+    /// shards proceed in parallel. Per-item failures occupy their `Err`
+    /// slot without aborting the rest — on any shard; a failed item stages
+    /// nothing anywhere.
     ///
     /// With [`LrcConfig::group_commit`] disabled the batch degrades to the
     /// per-item commit path (one WAL record + flush each) — the
@@ -301,38 +348,89 @@ impl LrcService {
         trace_id: u64,
     ) -> RlsResult<Vec<Result<MappingChange, RlsError>>> {
         let t0 = std::time::Instant::now();
-        let results = {
-            let mut db = self.db.write();
-            if self.config.group_commit {
-                let results = db.bulk_mappings(op, items)?;
-                for (m, r) in items.iter().zip(&results) {
+        let n_shards = self.catalog.shard_count();
+        let mut group_commits = 0u64;
+        let mut shards_touched = 0u64;
+        let results = if !self.config.group_commit {
+            // Per-item commit path: each item routes to its owner shard and
+            // pays its own WAL record + flush.
+            items
+                .iter()
+                .map(|m| {
+                    let (shard, mut db) = self.catalog.write_owner(m.logical.as_str());
+                    let r = match op {
+                        BulkMappingOp::Create => db.create_mapping(m),
+                        BulkMappingOp::Add => db.add_mapping(m),
+                        BulkMappingOp::Delete => db.delete_mapping(m),
+                    };
                     if let Ok(change) = r {
-                        self.note_change(m, *change, trace_id);
+                        self.note_change(m, change, trace_id);
+                        self.shard_commits[shard].inc();
                     }
+                    r
+                })
+                .collect()
+        } else if n_shards == 1 {
+            // Single shard: the whole batch is one transaction, exactly the
+            // pre-sharding behaviour.
+            let mut db = self.catalog.shard(0).write();
+            let results = db.bulk_mappings(op, items)?;
+            for (m, r) in items.iter().zip(&results) {
+                if let Ok(change) = r {
+                    self.note_change(m, *change, trace_id);
                 }
-                results
-            } else {
-                items
-                    .iter()
-                    .map(|m| {
-                        let r = match op {
-                            BulkMappingOp::Create => db.create_mapping(m),
-                            BulkMappingOp::Add => db.add_mapping(m),
-                            BulkMappingOp::Delete => db.delete_mapping(m),
-                        };
-                        if let Ok(change) = r {
-                            self.note_change(m, change, trace_id);
-                        }
-                        r
-                    })
-                    .collect()
             }
+            if results.iter().any(Result::is_ok) {
+                group_commits = 1;
+                shards_touched = 1;
+                self.shard_commits[0].inc();
+            }
+            results
+        } else {
+            // Fan out: group item indices by owning shard, then run one
+            // group-committed transaction per shard, merging results back
+            // into the caller's slots.
+            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+            for (i, m) in items.iter().enumerate() {
+                by_shard[self.catalog.shard_of(m.logical.as_str())].push(i);
+            }
+            let mut results: Vec<Option<Result<MappingChange, RlsError>>> =
+                (0..items.len()).map(|_| None).collect();
+            for (shard, idx) in by_shard.iter().enumerate() {
+                if idx.is_empty() {
+                    continue;
+                }
+                let mut db = self.catalog.shard(shard).write();
+                let shard_results = db.bulk_mappings_indexed(op, items, idx)?;
+                let mut any_ok = false;
+                for (&i, r) in idx.iter().zip(shard_results) {
+                    if let Ok(change) = &r {
+                        self.note_change(&items[i], *change, trace_id);
+                        any_ok = true;
+                    }
+                    results[i] = Some(r);
+                }
+                if any_ok {
+                    group_commits += 1;
+                    shards_touched += 1;
+                    self.shard_commits[shard].inc();
+                }
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("every item routed to exactly one shard"))
+                .collect()
         };
         self.metrics
             .histogram("storage.bulk_batch_size")
             .record_micros(items.len() as u64);
-        if self.config.group_commit && results.iter().any(Result::is_ok) {
-            self.metrics.counter("wal.group_commits").inc();
+        if group_commits > 0 {
+            self.metrics.counter("wal.group_commits").add(group_commits);
+            // Cross-shard fan-out width: how many shard transactions one
+            // bulk request became (a histogram over counts, not latencies).
+            self.metrics
+                .histogram("storage.shard.bulk_fanout")
+                .record_micros(shards_touched);
         }
         let name = match op {
             BulkMappingOp::Create => "storage.bulk_create",
@@ -352,18 +450,26 @@ impl LrcService {
         self.bulk_mappings_traced(op, items, 0)
     }
 
-    /// Applies a bulk attribute batch as one group commit (attributes are
-    /// not part of soft state, so no journaling — just the single-flush
-    /// write path).
+    /// Applies a bulk attribute batch as one group commit per shard
+    /// (attributes are not part of soft state, so no journaling — just the
+    /// single-flush write path). Logical-object items group-commit on
+    /// their owner shard; target-object items route through the catalog's
+    /// broadcast path individually, since a target's rows may live on
+    /// several shards.
     pub fn bulk_attributes(
         &self,
         items: &[BulkAttrOp<'_>],
     ) -> RlsResult<Vec<Result<(), RlsError>>> {
+        fn obj_of<'a>(op: &BulkAttrOp<'a>) -> (&'a str, ObjectType) {
+            match *op {
+                BulkAttrOp::Add { obj, objtype, .. }
+                | BulkAttrOp::Modify { obj, objtype, .. }
+                | BulkAttrOp::Remove { obj, objtype, .. } => (obj, objtype),
+            }
+        }
         let t0 = std::time::Instant::now();
-        let results = if self.config.group_commit {
-            self.db.write().bulk_attributes(items)?
-        } else {
-            let mut db = self.db.write();
+        let n_shards = self.catalog.shard_count();
+        let results = if !self.config.group_commit {
             items
                 .iter()
                 .map(|op| match *op {
@@ -372,17 +478,67 @@ impl LrcService {
                         objtype,
                         name,
                         value,
-                    } => db.add_attribute(obj, objtype, name, value),
+                    } => self.catalog.add_attribute(obj, objtype, name, value),
                     BulkAttrOp::Modify {
                         obj,
                         objtype,
                         name,
                         value,
-                    } => db.modify_attribute(obj, objtype, name, value),
+                    } => self.catalog.modify_attribute(obj, objtype, name, value),
                     BulkAttrOp::Remove { obj, objtype, name } => {
-                        db.remove_attribute(obj, objtype, name)
+                        self.catalog.remove_attribute(obj, objtype, name)
                     }
                 })
+                .collect()
+        } else if n_shards == 1 {
+            self.catalog.shard(0).write().bulk_attributes(items)?
+        } else {
+            // Partition: logical items by owner shard (one group commit
+            // each), target items through the broadcast router.
+            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+            let mut broadcast: Vec<usize> = Vec::new();
+            for (i, op) in items.iter().enumerate() {
+                let (obj, objtype) = obj_of(op);
+                match objtype {
+                    ObjectType::Logical => by_shard[self.catalog.shard_of(obj)].push(i),
+                    ObjectType::Target => broadcast.push(i),
+                }
+            }
+            let mut results: Vec<Option<Result<(), RlsError>>> =
+                (0..items.len()).map(|_| None).collect();
+            for (shard, idx) in by_shard.iter().enumerate() {
+                if idx.is_empty() {
+                    continue;
+                }
+                let subset: Vec<BulkAttrOp<'_>> = idx.iter().map(|&i| items[i]).collect();
+                let shard_results = self.catalog.shard(shard).write().bulk_attributes(&subset)?;
+                for (&i, r) in idx.iter().zip(shard_results) {
+                    results[i] = Some(r);
+                }
+            }
+            for i in broadcast {
+                let r = match items[i] {
+                    BulkAttrOp::Add {
+                        obj,
+                        objtype,
+                        name,
+                        value,
+                    } => self.catalog.add_attribute(obj, objtype, name, value),
+                    BulkAttrOp::Modify {
+                        obj,
+                        objtype,
+                        name,
+                        value,
+                    } => self.catalog.modify_attribute(obj, objtype, name, value),
+                    BulkAttrOp::Remove { obj, objtype, name } => {
+                        self.catalog.remove_attribute(obj, objtype, name)
+                    }
+                };
+                results[i] = Some(r);
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("every item routed"))
                 .collect()
         };
         self.metrics
@@ -466,17 +622,23 @@ impl LrcService {
             // Not in Bloom update mode: no incrementally-maintained filter
             // exists, so generate one from the catalog (full cost, every
             // time) — what a pre-counting-filter implementation would do.
+            // All shard read guards are taken (ascending) for a consistent
+            // point-in-time scan.
             let t0 = std::time::Instant::now();
-            let db = self.db.read();
-            let mut filter = BloomFilter::with_capacity(
-                self.bloom_params,
-                db.lfn_count().max(INITIAL_BLOOM_CAPACITY),
-            );
-            db.for_each_lfn(|lfn| filter.insert(lfn));
+            let guards = self.catalog.read_all();
+            let n: u64 = guards.iter().map(|g| g.lfn_count()).sum();
+            let mut filter =
+                BloomFilter::with_capacity(self.bloom_params, n.max(INITIAL_BLOOM_CAPACITY));
+            for g in &guards {
+                g.for_each_lfn(|lfn| filter.insert(lfn));
+            }
             return (filter, t0.elapsed().as_secs_f64());
         };
-        let db = self.db.read();
-        let n = db.lfn_count();
+        // Shard read guards (ascending) before the filter lock — the same
+        // order writers use (owner shard guard, then filter), so a regen
+        // scan can never deadlock with a writer or miss its change.
+        let guards = self.catalog.read_all();
+        let n: u64 = guards.iter().map(|g| g.lfn_count()).sum();
         let mut filter = bloom.lock();
         let capacity_bits = filter.bit_len();
         let needed_bits = self
@@ -491,7 +653,9 @@ impl LrcService {
                 self.bloom_params,
                 n.max(INITIAL_BLOOM_CAPACITY),
             );
-            db.for_each_lfn(|lfn| fresh.insert(lfn));
+            for g in &guards {
+                g.for_each_lfn(|lfn| fresh.insert(lfn));
+            }
             *filter = fresh;
             self.bloom_regenerations.fetch_add(1, Ordering::Relaxed);
             let cost = t0.elapsed().as_secs_f64();
@@ -616,8 +780,7 @@ mod tests {
             replayed.remove(r);
         }
         let actual: BTreeSet<String> = svc
-            .db
-            .read()
+            .catalog()
             .all_lfns()
             .iter()
             .map(|s| s.to_string())
@@ -644,7 +807,7 @@ mod tests {
         assert_eq!(log.added, vec!["lfn://b0", "lfn://b1"]);
         assert!(log.removed.is_empty());
         // One group commit for the whole batch.
-        assert_eq!(svc.db.read().engine().stats().group_commits, 1);
+        assert_eq!(svc.catalog().engine_stats().group_commits, 1);
         assert_eq!(svc.metrics().counter("wal.group_commits").get(), 1);
     }
 

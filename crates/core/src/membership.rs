@@ -185,22 +185,22 @@ impl MembershipConfig {
                 (addr, e)
             })
             .collect();
-        let mut db = lrc.db.write();
-        let current = db.list_rlis();
+        let catalog = lrc.catalog();
+        let current = catalog.list_rlis();
         let mut added = 0;
         let mut removed = 0;
         // Remove or refresh existing entries.
         for target in &current {
             match desired.get(&target.name) {
                 None => {
-                    db.remove_rli(&target.name)?;
+                    catalog.remove_rli(&target.name)?;
                     removed += 1;
                 }
                 Some(edge) => {
                     let flags = if edge.bloom { FLAG_BLOOM } else { 0 };
                     if target.flags != flags || target.patterns != edge.patterns {
-                        db.remove_rli(&target.name)?;
-                        db.add_rli(&target.name, flags, &edge.patterns)?;
+                        catalog.remove_rli(&target.name)?;
+                        catalog.add_rli(&target.name, flags, &edge.patterns)?;
                         // A changed edge counts as both.
                         added += 1;
                         removed += 1;
@@ -212,7 +212,7 @@ impl MembershipConfig {
         for (addr, edge) in &desired {
             if !current.iter().any(|t| &t.name == addr) {
                 let flags = if edge.bloom { FLAG_BLOOM } else { 0 };
-                db.add_rli(addr, flags, &edge.patterns)?;
+                catalog.add_rli(addr, flags, &edge.patterns)?;
                 added += 1;
             }
         }
@@ -270,7 +270,7 @@ update esg-x  rli-1  bloom
         assert_eq!(v1.apply("me", &lrc).unwrap(), (2, 0));
         // Idempotent.
         assert_eq!(v1.apply("me", &lrc).unwrap(), (0, 0));
-        assert_eq!(lrc.db.read().list_rlis().len(), 2);
+        assert_eq!(lrc.catalog().list_rlis().len(), 2);
 
         // Membership change: r2 leaves, r3 joins, r1's mode flips to full.
         let v2 = MembershipConfig::parse(
@@ -280,7 +280,7 @@ update esg-x  rli-1  bloom
         .unwrap();
         let (added, removed) = v2.apply("me", &lrc).unwrap();
         assert_eq!((added, removed), (2, 2)); // r3 new + r1 changed; r2 gone + r1 changed
-        let mut rlis = lrc.db.read().list_rlis();
+        let mut rlis = lrc.catalog().list_rlis();
         rlis.sort_by(|a, b| a.name.cmp(&b.name));
         assert_eq!(rlis.len(), 2);
         assert_eq!(rlis[0].name, "127.0.0.1:2");

@@ -1,0 +1,695 @@
+//! The sharded LRC catalog: N independent [`LrcDatabase`] engines, routed
+//! by LFN hash.
+//!
+//! The paper's LRC update rates (Fig. 6, Fig. 11) flatten once mutations
+//! serialize on the catalog; after group commit (PR 4) and the worker pool
+//! (PR 5) the remaining wall was the single `RwLock` around the whole
+//! storage engine. This module removes it: the catalog is partitioned into
+//! `shards` engines, each with its own WAL and group-commit queue, and
+//! every operation takes only the owning shard's lock. Writers whose LFNs
+//! hash to different shards proceed fully in parallel.
+//!
+//! Routing rules:
+//!
+//! * **LFN-keyed operations** (create/add/delete/query by logical name, and
+//!   everything derived from an LFN, like its mappings and logical-object
+//!   attribute values) go to `shard_of(lfn)` — a splitmix64-finalized FNV-1a
+//!   hash modulo the shard count, the same mixer the Bloom filters use.
+//! * **PFN-keyed and wildcard reads** fan out: each shard is consulted
+//!   under its own read lock and the partial results are merged. A target
+//!   name can be referenced by LFNs on several shards, so its rows (and
+//!   target-object attribute values) legitimately exist on each of them.
+//! * **Catalog-wide metadata** — attribute *definitions* — is broadcast to
+//!   every shard (each shard validates values against its local defs) and
+//!   listed from shard 0.
+//! * **The RLI update list** (`t_rli`/`t_rlipartition`) lives on shard 0
+//!   only, the "meta shard".
+//!
+//! Recovery opens each shard's WAL independently (`<wal_path>.s<i>` for
+//! N > 1; exactly `wal_path` when N = 1, preserving old catalogs), so a
+//! crash replays exactly the per-shard committed transactions. The shard
+//! count of a durable catalog is part of its on-disk identity: reopening
+//! with a different N would route names to the wrong shard.
+//!
+//! Lock discipline: methods that touch several shards acquire guards in
+//! ascending shard order, and shard guards are always taken before the
+//! service-level delta/Bloom mutexes. Single-shard operations hold exactly
+//! one shard lock.
+
+use std::path::PathBuf;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use rls_bloom::{fnv1a_64, splitmix64};
+use rls_storage::{EngineStats, LrcDatabase, LrcStats, RliTarget};
+use rls_types::{
+    AttrCompare, AttrValue, AttributeDef, ErrorCode, Glob, LogicalName, Mapping, ObjectType,
+    RlsError, RlsResult, TargetName,
+};
+
+use crate::config::LrcConfig;
+
+/// The LFN-hash-partitioned catalog.
+pub struct ShardedCatalog {
+    shards: Box<[RwLock<LrcDatabase>]>,
+}
+
+impl std::fmt::Debug for ShardedCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCatalog")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// Derives shard `i`'s WAL path from the configured base path.
+fn shard_wal_path(base: &std::path::Path, i: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".s{i}"));
+    PathBuf::from(os)
+}
+
+impl ShardedCatalog {
+    /// Opens (or creates in memory) all shards, replaying each WAL.
+    pub fn open(config: &LrcConfig) -> RlsResult<Self> {
+        let n = config.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let db = match &config.wal_path {
+                // One shard keeps the exact configured path so existing
+                // durable catalogs reopen unchanged.
+                Some(path) if n == 1 => LrcDatabase::open(config.profile, path)?,
+                Some(path) => LrcDatabase::open(config.profile, shard_wal_path(path, i))?,
+                None => LrcDatabase::in_memory(config.profile),
+            };
+            shards.push(RwLock::new(db));
+        }
+        Ok(Self {
+            shards: shards.into_boxed_slice(),
+        })
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a logical name.
+    pub fn shard_of(&self, lfn: &str) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        (splitmix64(fnv1a_64(lfn.as_bytes())) % self.shards.len() as u64) as usize
+    }
+
+    /// Direct access to one shard's lock (tests, benches, stats plumbing).
+    pub fn shard(&self, i: usize) -> &RwLock<LrcDatabase> {
+        &self.shards[i]
+    }
+
+    /// Shard 0 — home of the RLI update list and other singleton metadata.
+    pub fn meta(&self) -> &RwLock<LrcDatabase> {
+        &self.shards[0]
+    }
+
+    /// Read-locks the shard owning `lfn`.
+    pub fn read_owner(&self, lfn: &str) -> (usize, RwLockReadGuard<'_, LrcDatabase>) {
+        let i = self.shard_of(lfn);
+        (i, self.shards[i].read())
+    }
+
+    /// Write-locks the shard owning `lfn`.
+    pub fn write_owner(&self, lfn: &str) -> (usize, RwLockWriteGuard<'_, LrcDatabase>) {
+        let i = self.shard_of(lfn);
+        (i, self.shards[i].write())
+    }
+
+    /// Read guards for every shard, in ascending order — a consistent
+    /// point-in-time view (used by Bloom regeneration).
+    pub fn read_all(&self) -> Vec<RwLockReadGuard<'_, LrcDatabase>> {
+        self.shards.iter().map(|s| s.read()).collect()
+    }
+
+    /// Write guards for every shard, in ascending order (broadcast
+    /// mutations: attribute definitions, target-object values).
+    fn write_all(&self) -> Vec<RwLockWriteGuard<'_, LrcDatabase>> {
+        self.shards.iter().map(|s| s.write()).collect()
+    }
+
+    // --- queries -----------------------------------------------------------
+
+    /// Replicas of a logical name (owner shard only).
+    pub fn query_lfn(&self, lfn: &str) -> RlsResult<Vec<TargetName>> {
+        self.read_owner(lfn).1.query_lfn(lfn)
+    }
+
+    /// Logical names mapped to a target (fan-out: the target's rows may
+    /// exist on every shard whose LFNs reference it).
+    pub fn query_pfn(&self, pfn: &str) -> RlsResult<Vec<LogicalName>> {
+        let mut out = Vec::new();
+        let mut first_err = None;
+        for shard in self.shards.iter() {
+            match shard.read().query_pfn(pfn) {
+                Ok(mut names) => out.append(&mut names),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Wildcard query over logical names, fanned out up to `limit`.
+    pub fn wildcard_query_lfn(&self, glob: &Glob, limit: usize) -> RlsResult<Vec<Mapping>> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let remaining = limit.saturating_sub(out.len());
+            if remaining == 0 {
+                break;
+            }
+            out.append(&mut shard.read().wildcard_query_lfn(glob, remaining)?);
+        }
+        Ok(out)
+    }
+
+    /// Wildcard query over target names, fanned out up to `limit`.
+    pub fn wildcard_query_pfn(&self, glob: &Glob, limit: usize) -> RlsResult<Vec<Mapping>> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let remaining = limit.saturating_sub(out.len());
+            if remaining == 0 {
+                break;
+            }
+            out.append(&mut shard.read().wildcard_query_pfn(glob, remaining)?);
+        }
+        Ok(out)
+    }
+
+    /// True if the logical name is registered (owner shard).
+    pub fn lfn_exists(&self, lfn: &str) -> bool {
+        self.read_owner(lfn).1.lfn_exists(lfn)
+    }
+
+    /// True if the exact mapping is registered (owner shard).
+    pub fn mapping_exists(&self, m: &Mapping) -> bool {
+        self.read_owner(m.logical.as_str()).1.mapping_exists(m)
+    }
+
+    /// Registered logical names, summed across shards.
+    pub fn lfn_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().lfn_count()).sum()
+    }
+
+    /// Mappings, summed across shards.
+    pub fn mapping_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().mapping_count()).sum()
+    }
+
+    /// All logical names. Within a shard the names come back in index
+    /// order; across shards the concatenation is unordered — sort if the
+    /// caller needs a canonical sequence.
+    pub fn all_lfns(&self) -> Vec<std::sync::Arc<str>> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.append(&mut shard.read().all_lfns());
+        }
+        out
+    }
+
+    /// Visits every logical name, shard by shard, without materializing
+    /// the list. Each shard is read-locked only for its own scan, so a
+    /// long enumeration (a full soft-state update) never blocks writers on
+    /// the other shards.
+    pub fn for_each_lfn(&self, mut f: impl FnMut(&str)) {
+        for shard in self.shards.iter() {
+            shard.read().for_each_lfn(&mut f);
+        }
+    }
+
+    /// Operation counters, accumulated across shards. Broadcast operations
+    /// (attribute definitions, target-object values) count once per shard
+    /// they touched.
+    pub fn stats(&self) -> LrcStats {
+        let mut total = LrcStats::default();
+        for shard in self.shards.iter() {
+            total.accumulate(&shard.read().stats());
+        }
+        total
+    }
+
+    /// Engine counters, accumulated across shards.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for shard in self.shards.iter() {
+            total.accumulate(&shard.read().engine().stats());
+        }
+        total
+    }
+
+    /// Mapping counts per shard (the skew diagnostic behind the
+    /// `storage.shard.imbalance_ppm` gauge).
+    pub fn per_shard_mapping_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.read().mapping_count()).collect()
+    }
+
+    /// Dead tuples across all shard engines (Fig. 8 vacuum probe).
+    pub fn dead_tuples(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().engine().dead_tuples()).sum()
+    }
+
+    /// Runs VACUUM shard by shard; returns tuples reclaimed.
+    pub fn vacuum(&self) -> RlsResult<u64> {
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            total += shard.write().vacuum()?;
+        }
+        Ok(total)
+    }
+
+    // --- attribute routing -------------------------------------------------
+
+    /// Defines an attribute on every shard (each shard validates values
+    /// against its local definition table). All shard locks are held for
+    /// the broadcast so the definition appears atomically.
+    pub fn define_attribute(&self, def: &AttributeDef) -> RlsResult<()> {
+        let mut guards = self.write_all();
+        // Validate against shard 0 first so a duplicate definition errors
+        // before any shard mutates.
+        if guards[0]
+            .list_attribute_defs(Some(def.object_type))
+            .iter()
+            .any(|d| d.name == def.name)
+        {
+            return Err(RlsError::new(
+                ErrorCode::AttributeExists,
+                format!("attribute {:?} already defined", def.name),
+            ));
+        }
+        for g in guards.iter_mut() {
+            g.define_attribute(def)?;
+        }
+        Ok(())
+    }
+
+    /// Removes an attribute definition from every shard. Without
+    /// `clear_values`, fails if *any* shard still holds values — checked
+    /// up front under all shard locks so no shard drops the definition
+    /// while another keeps it.
+    pub fn undefine_attribute(
+        &self,
+        name: &str,
+        objtype: ObjectType,
+        clear_values: bool,
+    ) -> RlsResult<()> {
+        let mut guards = self.write_all();
+        if !guards[0]
+            .list_attribute_defs(Some(objtype))
+            .iter()
+            .any(|d| d.name == name)
+        {
+            return Err(RlsError::new(
+                ErrorCode::AttributeNotFound,
+                format!("attribute {name:?} not defined"),
+            ));
+        }
+        if !clear_values {
+            let mut values = 0;
+            for g in guards.iter() {
+                values += g
+                    .search_attribute(name, objtype, AttrCompare::All, None)
+                    .map(|v| v.len())
+                    .unwrap_or(0);
+            }
+            if values > 0 {
+                return Err(RlsError::new(
+                    ErrorCode::AttributeValueExists,
+                    format!("attribute {name:?} still has {values} values"),
+                ));
+            }
+        }
+        for g in guards.iter_mut() {
+            g.undefine_attribute(name, objtype, true)?;
+        }
+        Ok(())
+    }
+
+    /// Attribute definitions (read from shard 0; definitions are
+    /// broadcast-identical on every shard).
+    pub fn list_attribute_defs(&self, objtype: Option<ObjectType>) -> Vec<AttributeDef> {
+        self.meta().read().list_attribute_defs(objtype)
+    }
+
+    /// Routes one attribute mutation: logical objects to the owner shard;
+    /// target objects to every shard holding the target's row (the write
+    /// succeeds if at least one shard accepted it, mirroring how target
+    /// rows are themselves distributed).
+    fn route_attr_write(
+        &self,
+        obj: &str,
+        objtype: ObjectType,
+        f: impl Fn(&mut LrcDatabase) -> RlsResult<()>,
+    ) -> RlsResult<()> {
+        match objtype {
+            ObjectType::Logical => f(&mut self.write_owner(obj).1),
+            ObjectType::Target => {
+                let mut guards = self.write_all();
+                let mut first_err = None;
+                let mut any_ok = false;
+                for g in guards.iter_mut() {
+                    match f(g) {
+                        Ok(()) => any_ok = true,
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                if any_ok {
+                    Ok(())
+                } else {
+                    Err(first_err.expect("at least one shard"))
+                }
+            }
+        }
+    }
+
+    /// Attaches an attribute value (routed; see `route_attr_write`).
+    pub fn add_attribute(
+        &self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+        value: &AttrValue,
+    ) -> RlsResult<()> {
+        self.route_attr_write(obj, objtype, |db| {
+            db.add_attribute(obj, objtype, attr_name, value)
+        })
+    }
+
+    /// Replaces an attribute value (routed).
+    pub fn modify_attribute(
+        &self,
+        obj: &str,
+        objtype: ObjectType,
+        attr_name: &str,
+        value: &AttrValue,
+    ) -> RlsResult<()> {
+        self.route_attr_write(obj, objtype, |db| {
+            db.modify_attribute(obj, objtype, attr_name, value)
+        })
+    }
+
+    /// Detaches an attribute value (routed).
+    pub fn remove_attribute(&self, obj: &str, objtype: ObjectType, attr_name: &str) -> RlsResult<()> {
+        self.route_attr_write(obj, objtype, |db| db.remove_attribute(obj, objtype, attr_name))
+    }
+
+    /// Attribute values on an object. Logical objects read their owner
+    /// shard; target objects fan out and deduplicate by attribute name
+    /// (every shard holding the target's row stores the same values).
+    pub fn get_attributes(
+        &self,
+        obj: &str,
+        objtype: ObjectType,
+        name_filter: Option<&str>,
+    ) -> RlsResult<Vec<(String, AttrValue)>> {
+        match objtype {
+            ObjectType::Logical => self.read_owner(obj).1.get_attributes(obj, objtype, name_filter),
+            ObjectType::Target => {
+                let mut out: Vec<(String, AttrValue)> = Vec::new();
+                let mut first_err = None;
+                let mut any_ok = false;
+                for shard in self.shards.iter() {
+                    match shard.read().get_attributes(obj, objtype, name_filter) {
+                        Ok(vals) => {
+                            any_ok = true;
+                            for (name, value) in vals {
+                                if !out.iter().any(|(n, _)| *n == name) {
+                                    out.push((name, value));
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                if any_ok {
+                    Ok(out)
+                } else {
+                    Err(first_err.expect("at least one shard"))
+                }
+            }
+        }
+    }
+
+    /// Attribute search, fanned out across shards. Logical results are
+    /// disjoint by construction (each LFN lives on one shard); target
+    /// results deduplicate by object name.
+    pub fn search_attribute(
+        &self,
+        attr_name: &str,
+        objtype: ObjectType,
+        op: AttrCompare,
+        operand: Option<&AttrValue>,
+    ) -> RlsResult<Vec<(String, AttrValue)>> {
+        let mut out: Vec<(String, AttrValue)> = Vec::new();
+        for shard in self.shards.iter() {
+            // Definitions are broadcast, so a def/type error from one shard
+            // would come from every shard: propagate immediately.
+            let vals = shard.read().search_attribute(attr_name, objtype, op, operand)?;
+            match objtype {
+                ObjectType::Logical => out.extend(vals),
+                ObjectType::Target => {
+                    for (name, value) in vals {
+                        if !out.iter().any(|(n, _)| *n == name) {
+                            out.push((name, value));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // --- RLI update list (meta shard) --------------------------------------
+
+    /// Adds an RLI to the update list (meta shard).
+    pub fn add_rli(&self, name: &str, flags: i64, patterns: &[String]) -> RlsResult<()> {
+        self.meta().write().add_rli(name, flags, patterns)
+    }
+
+    /// Removes an RLI from the update list (meta shard).
+    pub fn remove_rli(&self, name: &str) -> RlsResult<()> {
+        self.meta().write().remove_rli(name)
+    }
+
+    /// The RLIs this LRC updates (meta shard).
+    pub fn list_rlis(&self) -> Vec<RliTarget> {
+        self.meta().read().list_rlis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rls_types::AttrValueType;
+
+    fn catalog(n: usize) -> ShardedCatalog {
+        ShardedCatalog::open(&LrcConfig {
+            shards: n,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn m(l: &str, t: &str) -> Mapping {
+        Mapping::new(l, t).unwrap()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_single_shard_is_identity() {
+        let c = catalog(4);
+        for i in 0..64 {
+            let lfn = format!("lfn://route/{i}");
+            let s = c.shard_of(&lfn);
+            assert!(s < 4);
+            assert_eq!(s, c.shard_of(&lfn), "routing must be stable");
+        }
+        let one = catalog(1);
+        for i in 0..64 {
+            assert_eq!(one.shard_of(&format!("lfn://route/{i}")), 0);
+        }
+        // Zero is clamped to one shard rather than panicking on modulo.
+        assert_eq!(catalog(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn names_spread_across_shards() {
+        let c = catalog(4);
+        let mut seen = [false; 4];
+        for i in 0..256 {
+            seen[c.shard_of(&format!("lfn://spread/{i}"))] = true;
+        }
+        assert_eq!(seen, [true; 4], "256 names must hit all 4 shards");
+    }
+
+    #[test]
+    fn fanout_reads_merge_across_shards() {
+        let c = catalog(4);
+        // One shared target referenced by many LFNs lands its row on
+        // several shards; query_pfn must see every logical name.
+        for i in 0..32 {
+            let lfn = format!("lfn://fan/{i}");
+            c.write_owner(&lfn)
+                .1
+                .create_mapping(&m(&lfn, "pfn://shared/target"))
+                .unwrap();
+        }
+        assert_eq!(c.lfn_count(), 32);
+        assert_eq!(c.mapping_count(), 32);
+        let logicals = c.query_pfn("pfn://shared/target").unwrap();
+        assert_eq!(logicals.len(), 32);
+        let glob = Glob::new("lfn://fan/*").unwrap();
+        assert_eq!(c.wildcard_query_lfn(&glob, 1000).unwrap().len(), 32);
+        assert_eq!(c.wildcard_query_lfn(&glob, 5).unwrap().len(), 5);
+        let all = c.all_lfns();
+        assert_eq!(all.len(), 32);
+        let mut visited = 0;
+        c.for_each_lfn(|_| visited += 1);
+        assert_eq!(visited, 32);
+        // Unknown PFN surfaces the per-shard error, not an empty Ok.
+        let err = c.query_pfn("pfn://nowhere").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::TargetNameNotFound);
+    }
+
+    #[test]
+    fn attribute_defs_broadcast_and_values_route() {
+        let c = catalog(4);
+        for i in 0..16 {
+            let lfn = format!("lfn://attr/{i}");
+            c.write_owner(&lfn)
+                .1
+                .create_mapping(&m(&lfn, "pfn://attr/shared"))
+                .unwrap();
+        }
+        let def = AttributeDef {
+            name: "size".into(),
+            object_type: ObjectType::Logical,
+            value_type: AttrValueType::Int,
+        };
+        c.define_attribute(&def).unwrap();
+        assert_eq!(
+            c.define_attribute(&def).unwrap_err().code(),
+            ErrorCode::AttributeExists
+        );
+        // Every shard accepted the definition: any LFN can take a value.
+        for i in 0..16 {
+            c.add_attribute(
+                &format!("lfn://attr/{i}"),
+                ObjectType::Logical,
+                "size",
+                &AttrValue::Int(i),
+            )
+            .unwrap();
+        }
+        let hits = c
+            .search_attribute("size", ObjectType::Logical, AttrCompare::All, None)
+            .unwrap();
+        assert_eq!(hits.len(), 16);
+        // Target-object values: stored wherever the target row lives,
+        // deduplicated on read.
+        let tdef = AttributeDef {
+            name: "site".into(),
+            object_type: ObjectType::Target,
+            value_type: AttrValueType::Str,
+        };
+        c.define_attribute(&tdef).unwrap();
+        c.add_attribute(
+            "pfn://attr/shared",
+            ObjectType::Target,
+            "site",
+            &AttrValue::Str("isi".into()),
+        )
+        .unwrap();
+        let got = c
+            .get_attributes("pfn://attr/shared", ObjectType::Target, None)
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        let found = c
+            .search_attribute("site", ObjectType::Target, AttrCompare::All, None)
+            .unwrap();
+        assert_eq!(found.len(), 1, "target hits must deduplicate: {found:?}");
+        // Undefine without clear fails while values exist, on any shard.
+        assert_eq!(
+            c.undefine_attribute("site", ObjectType::Target, false)
+                .unwrap_err()
+                .code(),
+            ErrorCode::AttributeValueExists
+        );
+        c.undefine_attribute("site", ObjectType::Target, true).unwrap();
+        assert!(c
+            .list_attribute_defs(Some(ObjectType::Target))
+            .is_empty());
+    }
+
+    #[test]
+    fn rli_list_lives_on_meta_shard() {
+        let c = catalog(4);
+        c.add_rli("rli.example:39281", 0, &[]).unwrap();
+        assert_eq!(c.list_rlis().len(), 1);
+        assert_eq!(c.meta().read().list_rlis().len(), 1);
+        for i in 1..4 {
+            assert!(c.shard(i).read().list_rlis().is_empty());
+        }
+        c.remove_rli("rli.example:39281").unwrap();
+        assert!(c.list_rlis().is_empty());
+    }
+
+    #[test]
+    fn per_shard_wals_reopen_independently() {
+        let dir = std::env::temp_dir().join(format!("rls-shardcat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("cat.wal");
+        for i in 0..4 {
+            let _ = std::fs::remove_file(shard_wal_path(&wal, i));
+        }
+        let cfg = LrcConfig {
+            wal_path: Some(wal.clone()),
+            shards: 4,
+            ..Default::default()
+        };
+        let names: Vec<String> = (0..24).map(|i| format!("lfn://wal/{i}")).collect();
+        {
+            let c = ShardedCatalog::open(&cfg).unwrap();
+            for n in &names {
+                c.write_owner(n).1.create_mapping(&m(n, "pfn://w")).unwrap();
+            }
+        }
+        // Every shard got at least one WAL file of its own.
+        for i in 0..4 {
+            assert!(
+                shard_wal_path(&wal, i).exists(),
+                "missing WAL for shard {i}"
+            );
+        }
+        let c = ShardedCatalog::open(&cfg).unwrap();
+        assert_eq!(c.lfn_count(), 24);
+        for n in &names {
+            assert!(c.lfn_exists(n), "lost {n} across reopen");
+        }
+        for i in 0..4 {
+            let _ = std::fs::remove_file(shard_wal_path(&wal, i));
+        }
+    }
+}

@@ -228,11 +228,15 @@ impl Updater {
     /// Sends an uncompressed full update to one RLI.
     pub fn send_full(&mut self, target: &RliTarget) -> RlsResult<UpdateOutcome> {
         let patterns = self.partitions(target)?;
-        // Snapshot the namespace (shared Arcs, not copies of the strings).
+        // Snapshot the namespace shard by shard (each shard read-locked
+        // only for its own scan). Full updates are idempotent upserts, so a
+        // write landing between shard scans is healed by the next cycle —
+        // the same soft-state contract that already tolerates a write
+        // landing right after the snapshot.
         let lfns: Vec<String> = {
-            let db = self.lrc.db.read();
-            let mut v = Vec::with_capacity(db.lfn_count() as usize);
-            db.for_each_lfn(|lfn| {
+            let catalog = self.lrc.catalog();
+            let mut v = Vec::with_capacity(catalog.lfn_count() as usize);
+            catalog.for_each_lfn(|lfn| {
                 if Self::matches_partitions(&patterns, lfn) {
                     v.push(lfn.to_owned());
                 }
@@ -503,7 +507,7 @@ impl Updater {
     /// its `Err` slot (and bumps `softstate.rli_unreachable`) without
     /// stalling the rest of the cycle.
     pub fn run_cycle(&mut self) -> Vec<RlsResult<UpdateOutcome>> {
-        let targets = self.lrc.db.read().list_rlis();
+        let targets = self.lrc.catalog().list_rlis();
         let unreachable = self.lrc.metrics().counter("softstate.rli_unreachable");
         targets
             .iter()
@@ -523,7 +527,7 @@ impl Updater {
 
     /// Current RLI update-list snapshot.
     pub fn targets(&self) -> Vec<RliTarget> {
-        self.lrc.db.read().list_rlis()
+        self.lrc.catalog().list_rlis()
     }
 
     /// Handle to the LRC service this updater drains.

@@ -36,6 +36,7 @@ pub struct TestDeploymentBuilder {
     fault_hook: Option<Arc<dyn FaultHook>>,
     max_connections: usize,
     worker_threads: usize,
+    shards: usize,
 }
 
 impl Default for TestDeploymentBuilder {
@@ -56,6 +57,7 @@ impl Default for TestDeploymentBuilder {
             fault_hook: None,
             max_connections: 512,
             worker_threads: 0,
+            shards: 1,
         }
     }
 }
@@ -159,6 +161,12 @@ impl TestDeploymentBuilder {
         self
     }
 
+    /// Number of LRC catalog shards (1 = the classic single engine).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
     /// Starts the deployment.
     pub fn build(self) -> RlsResult<TestDeployment> {
         let mut rlis = Vec::with_capacity(self.rlis);
@@ -210,6 +218,7 @@ impl TestDeploymentBuilder {
                         fault_hook: self.fault_hook.clone(),
                     },
                     group_commit: true,
+                    shards: self.shards,
                 }),
                 max_connections: self.max_connections,
                 worker_threads: self.worker_threads,
@@ -220,9 +229,8 @@ impl TestDeploymentBuilder {
             let flags = if self.bloom { FLAG_BLOOM } else { 0 };
             {
                 let lrc = server.lrc().expect("lrc role");
-                let mut db = lrc.db.write();
                 for rli in &rlis {
-                    db.add_rli(&rli.addr().to_string(), flags, &[])?;
+                    lrc.catalog().add_rli(&rli.addr().to_string(), flags, &[])?;
                 }
             }
             lrcs.push(server);

@@ -394,6 +394,48 @@ fn bulk_writes_converge_through_rli_crash_mid_stream() {
     assert!(counter(&stats, "wal.group_commits") >= 2);
 }
 
+/// The gauntlet at `shards = 4`: the same convergence contract must hold
+/// when the LRC catalog is partitioned. A bulk create fans out across the
+/// shard engines (one group commit per shard touched), the update plane
+/// runs under scripted connection refusals, and the RLI still lands on
+/// exactly the fault-free state — the per-shard commit counters prove the
+/// write really was spread out.
+#[test]
+fn sharded_catalog_converges_through_chaos() {
+    use rls_types::Mapping;
+    let expected = fault_free_state(12);
+    let plan = Arc::new(FaultPlan::builder(0x5AAD).refuse_connects("*", 2).build());
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .shards(4)
+        .retry(quick_retry())
+        .fault_hook(plan.clone())
+        .build()
+        .unwrap();
+    // Same 12 names as the (single-shard, non-bulk) reference run, loaded
+    // through the cross-shard bulk path instead.
+    let batch: Vec<Mapping> = (0..12)
+        .map(|i| {
+            Mapping::new(format!("lfn://chaos/f{i:02}"), format!("pfn://site-a/f{i:02}"))
+                .unwrap()
+        })
+        .collect();
+    let mut c = dep.lrc_client(0).unwrap();
+    assert!(c.bulk_create(batch).unwrap().is_empty());
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    assert_eq!(plan.stats().refused(), 2);
+    let stats = dep.lrc_client(0).unwrap().stats().unwrap();
+    let shards_hit = (0..4)
+        .filter(|i| counter(&stats, &format!("storage.shard.{i}.commits")) > 0)
+        .count();
+    assert!(shards_hit >= 2, "12 names must spread over ≥2 shards: {stats:?}");
+    assert_eq!(counter(&stats, "wal.group_commits"), shards_hit as u64);
+}
+
 /// Fault class: overload. The LRC is squeezed to `max_connections = 3`
 /// over a two-thread worker pool, then hit with a 12-client stampede —
 /// each client pins its admission slot for ~10 ms, so most dials find
@@ -420,7 +462,7 @@ fn overloaded_server_converges_once_load_drops() {
 
     let threads: Vec<_> = (0..12)
         .map(|i| {
-            let policy = stampede_retry.clone();
+            let policy = stampede_retry;
             std::thread::spawn(move || {
                 let mut c = RlsClient::connect_with(
                     addr,

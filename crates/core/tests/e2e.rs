@@ -201,22 +201,24 @@ fn namespace_partitioning_routes_updates() {
     let dep = TestDeployment::builder().lrcs(1).rlis(2).build().unwrap();
     {
         let lrc = dep.lrcs[0].lrc().unwrap();
-        let mut db = lrc.db.write();
+        let catalog = lrc.catalog();
         // Replace the default (unpartitioned) update list.
-        db.remove_rli(&dep.rlis[0].addr().to_string()).unwrap();
-        db.remove_rli(&dep.rlis[1].addr().to_string()).unwrap();
-        db.add_rli(
-            &dep.rlis[0].addr().to_string(),
-            0,
-            &["^lfn://ligo/.*".to_owned()],
-        )
-        .unwrap();
-        db.add_rli(
-            &dep.rlis[1].addr().to_string(),
-            0,
-            &["^lfn://sdss/.*".to_owned()],
-        )
-        .unwrap();
+        catalog.remove_rli(&dep.rlis[0].addr().to_string()).unwrap();
+        catalog.remove_rli(&dep.rlis[1].addr().to_string()).unwrap();
+        catalog
+            .add_rli(
+                &dep.rlis[0].addr().to_string(),
+                0,
+                &["^lfn://ligo/.*".to_owned()],
+            )
+            .unwrap();
+        catalog
+            .add_rli(
+                &dep.rlis[1].addr().to_string(),
+                0,
+                &["^lfn://sdss/.*".to_owned()],
+            )
+            .unwrap();
     }
     let mut c = dep.lrc_client(0).unwrap();
     c.create_mapping("lfn://ligo/frame1", "pfn://l/1").unwrap();
@@ -365,10 +367,11 @@ fn combined_server_full_mesh_esg_style() {
     // Everyone updates everyone else.
     for (i, s) in servers.iter().enumerate() {
         let lrc = s.lrc().unwrap();
-        let mut db = lrc.db.write();
         for (j, other) in servers.iter().enumerate() {
             if i != j {
-                db.add_rli(&other.addr().to_string(), 0, &[]).unwrap();
+                lrc.catalog()
+                    .add_rli(&other.addr().to_string(), 0, &[])
+                    .unwrap();
             }
         }
     }

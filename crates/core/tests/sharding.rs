@@ -1,0 +1,287 @@
+//! Cross-shard semantics of the LFN-hash-partitioned catalog: bulk
+//! operations keep their per-item error contract across shard boundaries,
+//! writers on distinct shards never serialize on each other, and crash
+//! recovery replays exactly the committed per-shard transactions from the
+//! N independent WALs.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rls_core::{LrcConfig, LrcService, ShardedCatalog};
+use rls_storage::{BackendProfile, BulkMappingOp};
+use rls_types::{ErrorCode, Mapping};
+
+fn m(l: &str, t: &str) -> Mapping {
+    Mapping::new(l, t).unwrap()
+}
+
+fn service(shards: usize) -> LrcService {
+    LrcService::new(LrcConfig {
+        shards,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// An LFN per shard: scans candidate names until every shard owns one.
+fn lfn_on_each_shard(svc: &LrcService) -> Vec<String> {
+    let n = svc.catalog().shard_count();
+    let mut out: Vec<Option<String>> = vec![None; n];
+    for i in 0.. {
+        let lfn = format!("lfn://pin/{i}");
+        let s = svc.catalog().shard_of(&lfn);
+        if out[s].is_none() {
+            out[s] = Some(lfn);
+            if out.iter().all(Option::is_some) {
+                break;
+            }
+        }
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// A bulk batch with per-item failures scattered across shards commits the
+/// good items and stages *nothing* for the failed slots — on any shard.
+#[test]
+fn per_item_bulk_errors_stage_nothing_on_any_shard() {
+    let svc = service(4);
+    // Two pre-existing names (almost surely on different shards) that the
+    // batch will collide with.
+    svc.create_mapping(&m("lfn://pre/a", "pfn://orig/a")).unwrap();
+    svc.create_mapping(&m("lfn://pre/b", "pfn://orig/b")).unwrap();
+
+    let mut items: Vec<Mapping> = (0..20)
+        .map(|i| m(&format!("lfn://bulk/{i}"), &format!("pfn://bulk/{i}")))
+        .collect();
+    // Colliding creates at fixed slots: `create` requires a fresh LFN.
+    items.insert(3, m("lfn://pre/a", "pfn://sneak/a"));
+    items.insert(11, m("lfn://pre/b", "pfn://sneak/b"));
+
+    let results = svc.bulk_mappings(BulkMappingOp::Create, &items).unwrap();
+    assert_eq!(results.len(), 22);
+    for (i, r) in results.iter().enumerate() {
+        if i == 3 || i == 11 {
+            let err = r.as_ref().unwrap_err();
+            assert_eq!(err.code(), ErrorCode::MappingExists, "slot {i}: {err:?}");
+        } else {
+            assert!(r.is_ok(), "slot {i} must commit: {r:?}");
+        }
+    }
+    // The failed slots staged nothing: the original mappings are intact
+    // and the colliding targets appear nowhere in the catalog.
+    let cat = svc.catalog();
+    assert_eq!(cat.query_lfn("lfn://pre/a").unwrap().len(), 1);
+    assert!(!cat.mapping_exists(&m("lfn://pre/a", "pfn://sneak/a")));
+    assert!(cat.query_pfn("pfn://sneak/b").is_err());
+    assert_eq!(cat.lfn_count(), 22); // 2 pre-existing + 20 committed
+    assert_eq!(cat.mapping_count(), 22);
+
+    // The fan-out is observable: per-shard commit counters cover several
+    // shards and the bulk recorded its shard fan-out width.
+    let shards_hit = (0..4)
+        .filter(|i| svc.metrics().counter(&format!("storage.shard.{i}.commits")).get() > 0)
+        .count();
+    assert!(shards_hit >= 2, "20 names must land on ≥2 of 4 shards");
+    assert!(svc.metrics().counter("wal.group_commits").get() >= shards_hit as u64);
+}
+
+/// Writers whose LFNs hash to different shards proceed in parallel: a
+/// held write lock on one shard neither blocks a writer on another shard
+/// nor is leaked by it. The same probe against the *held* shard blocks
+/// until release — the lock is still doing its job.
+#[test]
+fn writers_on_distinct_shards_never_block() {
+    let svc = Arc::new(service(4));
+    let pins = lfn_on_each_shard(&svc);
+
+    // Pin shard 0 exclusively, as a slow writer would.
+    let guard = svc.catalog().shard(0).write();
+
+    // A writer routed to shard 1 must complete while shard 0 stays held.
+    let (tx, rx) = mpsc::channel();
+    let other = {
+        let svc = Arc::clone(&svc);
+        let lfn = pins[1].clone();
+        std::thread::spawn(move || {
+            let r = svc.create_mapping(&m(&lfn, "pfn://other-shard"));
+            tx.send(()).unwrap();
+            r
+        })
+    };
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("writer on a distinct shard blocked behind an unrelated lock");
+    other.join().unwrap().unwrap();
+
+    // A writer routed to the held shard stays parked...
+    let (tx0, rx0) = mpsc::channel();
+    let same = {
+        let svc = Arc::clone(&svc);
+        let lfn = pins[0].clone();
+        std::thread::spawn(move || {
+            let r = svc.create_mapping(&m(&lfn, "pfn://same-shard"));
+            tx0.send(()).unwrap();
+            r
+        })
+    };
+    assert!(
+        rx0.recv_timeout(Duration::from_millis(100)).is_err(),
+        "writer on the held shard must wait for the lock"
+    );
+    // ...and proceeds as soon as the lock releases.
+    drop(guard);
+    rx0.recv_timeout(Duration::from_secs(10))
+        .expect("writer never unblocked after release");
+    same.join().unwrap().unwrap();
+
+    assert!(svc.catalog().lfn_exists(&pins[0]));
+    assert!(svc.catalog().lfn_exists(&pins[1]));
+}
+
+/// Kill mid-bulk: a cross-shard bulk is one transaction *per shard*, so a
+/// crash between shard transactions recovers exactly the committed shards'
+/// items — nothing more, nothing less — by replaying all N WALs.
+#[test]
+fn kill_mid_bulk_recovers_exactly_committed_items() {
+    let dir = std::env::temp_dir().join(format!("rls-shardkill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("kill.wal");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let _ = std::fs::remove_file(entry.unwrap().path());
+    }
+    let cfg = || LrcConfig {
+        wal_path: Some(wal.clone()),
+        profile: BackendProfile::mysql_durable(),
+        shards: 4,
+        ..Default::default()
+    };
+
+    let items: Vec<Mapping> = (0..40)
+        .map(|i| m(&format!("lfn://kill/{i}"), &format!("pfn://kill/{i}")))
+        .collect();
+
+    // Phase 1: replicate the service's fan-out (group item indices by
+    // owning shard, one group-committed transaction per shard in ascending
+    // order) but "crash" after the first two shard transactions.
+    let committed: Vec<usize> = {
+        let cat = ShardedCatalog::open(&cfg()).unwrap();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); 4];
+        for (i, it) in items.iter().enumerate() {
+            by_shard[cat.shard_of(it.logical.as_str())].push(i);
+        }
+        assert!(
+            by_shard.iter().filter(|idx| !idx.is_empty()).count() >= 3,
+            "40 names must spread over ≥3 shards for the test to bite"
+        );
+        let mut committed = Vec::new();
+        for (shard, idx) in by_shard.iter().enumerate().take(2) {
+            if idx.is_empty() {
+                continue;
+            }
+            let results = cat
+                .shard(shard)
+                .write()
+                .bulk_mappings_indexed(BulkMappingOp::Create, &items, idx)
+                .unwrap();
+            assert!(results.iter().all(Result::is_ok));
+            committed.extend_from_slice(idx);
+        }
+        committed
+        // `cat` dropped here without any orderly shutdown: the kill.
+    };
+    assert!(!committed.is_empty() && committed.len() < items.len());
+
+    // Phase 2: recovery replays the per-shard WALs. Exactly the committed
+    // items are back; the un-committed shards contributed nothing.
+    {
+        let cat = ShardedCatalog::open(&cfg()).unwrap();
+        assert_eq!(cat.mapping_count(), committed.len() as u64);
+        for (i, it) in items.iter().enumerate() {
+            if committed.contains(&i) {
+                assert!(cat.mapping_exists(it), "lost committed item {i}");
+            } else {
+                assert!(!cat.lfn_exists(it.logical.as_str()), "ghost item {i}");
+            }
+        }
+    }
+
+    // Phase 3: the full service reopens the same catalog and re-runs the
+    // whole batch; the already-committed slots fail per-item (`create`
+    // demands a fresh LFN) without disturbing anything, the rest commit.
+    {
+        let svc = LrcService::new(cfg()).unwrap();
+        let results = svc.bulk_mappings(BulkMappingOp::Create, &items).unwrap();
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.is_err(),
+                committed.contains(&i),
+                "slot {i} after recovery: {r:?}"
+            );
+        }
+        assert_eq!(svc.catalog().mapping_count(), items.len() as u64);
+    }
+
+    // And a final reopen proves the second run's commits were durable too.
+    let cat = ShardedCatalog::open(&cfg()).unwrap();
+    assert_eq!(cat.mapping_count(), items.len() as u64);
+    for it in &items {
+        assert!(cat.mapping_exists(it));
+    }
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let _ = std::fs::remove_file(entry.unwrap().path());
+    }
+}
+
+/// `shards = 1` is byte-for-byte the classic single-engine behaviour: the
+/// same workload lands in the same state as a 4-shard catalog, and a bulk
+/// batch is exactly one group commit.
+#[test]
+fn single_shard_matches_sharded_results() {
+    let one = service(1);
+    let four = service(4);
+    let items: Vec<Mapping> = (0..30)
+        .map(|i| m(&format!("lfn://eq/{i}"), &format!("pfn://eq/{}", i % 5)))
+        .collect();
+    for svc in [&one, &four] {
+        let results = svc.bulk_mappings(BulkMappingOp::Create, &items).unwrap();
+        assert!(results.iter().all(Result::is_ok));
+        svc.delete_mapping(&m("lfn://eq/7", "pfn://eq/2")).unwrap();
+    }
+    assert_eq!(one.catalog().lfn_count(), four.catalog().lfn_count());
+    assert_eq!(one.catalog().mapping_count(), four.catalog().mapping_count());
+    for i in 0..30 {
+        let lfn = format!("lfn://eq/{i}");
+        let sort = |mut v: Vec<rls_types::TargetName>| {
+            v.sort();
+            v
+        };
+        match (one.catalog().query_lfn(&lfn), four.catalog().query_lfn(&lfn)) {
+            (Ok(a), Ok(b)) => assert_eq!(sort(a), sort(b), "{lfn}"),
+            (Err(a), Err(b)) => assert_eq!(a.code(), b.code(), "{lfn}"),
+            (a, b) => panic!("{lfn}: diverged: {a:?} vs {b:?}"),
+        }
+    }
+    // PFN fan-out merges to the same answer.
+    for p in 0..5 {
+        let pfn = format!("pfn://eq/{p}");
+        let mut a = one.catalog().query_pfn(&pfn).unwrap();
+        let mut b = four.catalog().query_pfn(&pfn).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{pfn}");
+    }
+    // The single-shard bulk stayed one transaction, the classic path.
+    assert_eq!(one.metrics().counter("wal.group_commits").get(), 1);
+}
+
+/// Repo lint: every PR appends its line to CHANGES.md — this one included.
+/// Fails the tier-1 `--test sharding` gate if the entry is missing.
+#[test]
+fn changes_md_records_this_pr() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../CHANGES.md");
+    let text = std::fs::read_to_string(&path).expect("CHANGES.md must exist at the repo root");
+    assert!(
+        text.lines().any(|l| l.trim_start().starts_with("- PR 6 (")),
+        "CHANGES.md is missing its PR 6 entry"
+    );
+}

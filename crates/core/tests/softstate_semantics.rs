@@ -70,9 +70,9 @@ fn delta_flush_retries_after_rli_outage() {
     };
     {
         let lrc = lrc_server.lrc().unwrap();
-        let mut db = lrc.db.write();
-        db.remove_rli(&live_rli).unwrap();
-        db.add_rli(&dead.to_string(), 0, &[]).unwrap();
+        let catalog = lrc.catalog();
+        catalog.remove_rli(&live_rli).unwrap();
+        catalog.add_rli(&dead.to_string(), 0, &[]).unwrap();
     }
     // Flush fails; the journal moves into the dead target's backlog.
     let res = lrc_server.flush_deltas();
@@ -190,21 +190,23 @@ fn partitioned_deltas() {
         .unwrap();
     {
         let lrc = dep.lrcs[0].lrc().unwrap();
-        let mut db = lrc.db.write();
-        db.remove_rli(&dep.rlis[0].addr().to_string()).unwrap();
-        db.remove_rli(&dep.rlis[1].addr().to_string()).unwrap();
-        db.add_rli(
-            &dep.rlis[0].addr().to_string(),
-            0,
-            &["^lfn://h1/.*".to_owned()],
-        )
-        .unwrap();
-        db.add_rli(
-            &dep.rlis[1].addr().to_string(),
-            0,
-            &["^lfn://l1/.*".to_owned()],
-        )
-        .unwrap();
+        let catalog = lrc.catalog();
+        catalog.remove_rli(&dep.rlis[0].addr().to_string()).unwrap();
+        catalog.remove_rli(&dep.rlis[1].addr().to_string()).unwrap();
+        catalog
+            .add_rli(
+                &dep.rlis[0].addr().to_string(),
+                0,
+                &["^lfn://h1/.*".to_owned()],
+            )
+            .unwrap();
+        catalog
+            .add_rli(
+                &dep.rlis[1].addr().to_string(),
+                0,
+                &["^lfn://l1/.*".to_owned()],
+            )
+            .unwrap();
     }
     let mut c = dep.lrc_client(0).unwrap();
     c.create_mapping("lfn://h1/f", "pfn://1").unwrap();
@@ -280,9 +282,11 @@ fn updater_survives_rli_restart() {
     .unwrap();
     {
         let lrc = dep.lrcs[0].lrc().unwrap();
-        let mut db = lrc.db.write();
-        db.remove_rli(&targets[0].name).unwrap();
-        db.add_rli(&new_rli.addr().to_string(), 0, &[]).unwrap();
+        let catalog = lrc.catalog();
+        catalog.remove_rli(&targets[0].name).unwrap();
+        catalog
+            .add_rli(&new_rli.addr().to_string(), 0, &[])
+            .unwrap();
     }
     // Old cached connection is useless. The very first send may still be
     // absorbed by a handler thread that was mid-recv when shutdown hit, but

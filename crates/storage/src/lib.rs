@@ -43,6 +43,7 @@ pub mod wal;
 pub use engine::{Database, TableId};
 pub use lrcdb::{BulkAttrOp, BulkMappingOp, LrcDatabase, LrcStats, MappingChange, RliTarget};
 pub use rlidb::RliDbStats;
+pub use stats::EngineStats;
 pub use predicate::Predicate;
 pub use profile::{BackendProfile, FlushMode, Vendor};
 pub use rlidb::{RliDatabase, RliQueryHit};

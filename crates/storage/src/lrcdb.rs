@@ -131,6 +131,18 @@ pub struct LrcStats {
     pub attribute_ops: u64,
 }
 
+impl LrcStats {
+    /// Fold another snapshot into this one. Used to aggregate per-shard
+    /// catalogs into the single stats surface the server reports.
+    pub fn accumulate(&mut self, other: &LrcStats) {
+        self.adds += other.adds;
+        self.deletes += other.deletes;
+        self.queries += other.queries;
+        self.wildcard_queries += other.wildcard_queries;
+        self.attribute_ops += other.attribute_ops;
+    }
+}
+
 /// Internal atomic counters, incrementable through `&self` so read-only
 /// queries stay shareable across server threads.
 #[derive(Debug, Default)]
@@ -589,6 +601,28 @@ impl LrcDatabase {
         &mut self,
         op: BulkMappingOp,
         items: &[Mapping],
+    ) -> RlsResult<Vec<Result<MappingChange, RlsError>>> {
+        self.bulk_mappings_impl(op, items.iter())
+    }
+
+    /// Like [`Self::bulk_mappings`], but over the subset of `items`
+    /// selected by `idx` (in `idx` order). This is the shard router's
+    /// fan-out path: each shard stages only its own items straight from the
+    /// request slice, without cloning them into a per-shard batch. Results
+    /// align with `idx`, not with `items`.
+    pub fn bulk_mappings_indexed(
+        &mut self,
+        op: BulkMappingOp,
+        items: &[Mapping],
+        idx: &[usize],
+    ) -> RlsResult<Vec<Result<MappingChange, RlsError>>> {
+        self.bulk_mappings_impl(op, idx.iter().map(|&i| &items[i]))
+    }
+
+    fn bulk_mappings_impl<'a>(
+        &mut self,
+        op: BulkMappingOp,
+        items: impl ExactSizeIterator<Item = &'a Mapping>,
     ) -> RlsResult<Vec<Result<MappingChange, RlsError>>> {
         let mut txn = Transaction::new();
         let mut results = Vec::with_capacity(items.len());

@@ -28,6 +28,22 @@ pub struct EngineStats {
     pub vacuum_micros: u64,
 }
 
+impl EngineStats {
+    /// Fold another engine's counters into this one. Used to aggregate
+    /// per-shard engines into the single `lrc.engine.*` stats surface.
+    pub fn accumulate(&mut self, other: &EngineStats) {
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.updates += other.updates;
+        self.commits += other.commits;
+        self.group_commits += other.group_commits;
+        self.vacuums += other.vacuums;
+        self.tuples_reclaimed += other.tuples_reclaimed;
+        self.commit_micros += other.commit_micros;
+        self.vacuum_micros += other.vacuum_micros;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,9 +53,11 @@ pub fn preload_lrc(server: &Server, gen: &NameGen, n: u64) -> RlsResult<u64> {
     let lrc = server
         .lrc()
         .ok_or_else(|| rls_types::RlsError::bad_request("server has no LRC role"))?;
-    let mut db = lrc.db.write();
+    let catalog = lrc.catalog();
     for i in 0..n {
-        db.create_mapping(&gen.mapping(i))?;
+        let m = gen.mapping(i);
+        let (_, mut db) = catalog.write_owner(m.logical.as_str());
+        db.create_mapping(&m)?;
     }
     Ok(n)
 }
@@ -92,7 +94,7 @@ mod tests {
         let g = NameGen::new("pre");
         preload_lrc(&dep.lrcs[0], &g, 500).unwrap();
         let lrc = dep.lrcs[0].lrc().unwrap();
-        assert_eq!(lrc.db.read().lfn_count(), 500);
-        assert_eq!(lrc.db.read().mapping_count(), 500);
+        assert_eq!(lrc.catalog().lfn_count(), 500);
+        assert_eq!(lrc.catalog().mapping_count(), 500);
     }
 }

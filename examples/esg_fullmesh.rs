@@ -38,10 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fully-connected update mesh: every LRC updates every other RLI.
     for (i, server) in servers.iter().enumerate() {
         let lrc = server.lrc().expect("combined server");
-        let mut db = lrc.db.write();
         for (j, other) in servers.iter().enumerate() {
             if i != j {
-                db.add_rli(&other.addr().to_string(), 0, &[])?;
+                lrc.catalog().add_rli(&other.addr().to_string(), 0, &[])?;
             }
         }
     }

@@ -25,15 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Partition the namespace: H1 frames to RLI 0, L1 frames to RLI 1.
     {
         let lrc = dep.lrcs[0].lrc().expect("lrc role");
-        let mut db = lrc.db.write();
-        db.remove_rli(&dep.rlis[0].addr().to_string())?;
-        db.remove_rli(&dep.rlis[1].addr().to_string())?;
-        db.add_rli(
+        let catalog = lrc.catalog();
+        catalog.remove_rli(&dep.rlis[0].addr().to_string())?;
+        catalog.remove_rli(&dep.rlis[1].addr().to_string())?;
+        catalog.add_rli(
             &dep.rlis[0].addr().to_string(),
             0,
             &["^lfn://ligo/h1/.*".to_owned()],
         )?;
-        db.add_rli(
+        catalog.add_rli(
             &dep.rlis[1].addr().to_string(),
             0,
             &["^lfn://ligo/l1/.*".to_owned()],

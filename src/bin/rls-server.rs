@@ -22,6 +22,7 @@ bind         127.0.0.1:39281
 db_vendor    mysql          # mysql | postgres
 db_flush     disabled       # enabled | disabled | none
 #db_wal      /var/lib/rls/lrc.wal
+#shards      4              # LFN-hash catalog shards (1 = single engine)
 
 update_mode     bloom       # none | full | immediate | bloom
 update_interval 300
@@ -85,10 +86,12 @@ fn run(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     );
     // Apply update_rli directives to the catalog's update list.
     if let Some(lrc) = server.lrc() {
-        let mut db = lrc.db.write();
         for directive in &parsed.update_rlis {
             let flags = if directive.bloom { FLAG_BLOOM } else { 0 };
-            match db.add_rli(&directive.name, flags, &directive.patterns) {
+            match lrc
+                .catalog()
+                .add_rli(&directive.name, flags, &directive.patterns)
+            {
                 Ok(()) => rls_trace::info!("rls-server", "updating RLI", target = directive.name),
                 // Already present from a previous run's durable catalog.
                 Err(e) if e.code() == rls::types::ErrorCode::RliExists => {}

@@ -83,6 +83,7 @@ fn server_restart_recovers_catalog_from_wal() {
             profile: BackendProfile::mysql_durable(),
             wal_path: Some(wal.clone()),
             update: UpdateConfig::default(),
+            ..Default::default()
         }),
         ..ServerConfig::default()
     };
