@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admission-2f8b9b06c9513263.d: crates/core/tests/admission.rs
+
+/root/repo/target/debug/deps/admission-2f8b9b06c9513263: crates/core/tests/admission.rs
+
+crates/core/tests/admission.rs:

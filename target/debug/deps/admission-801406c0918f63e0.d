@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admission-801406c0918f63e0.d: crates/core/tests/admission.rs
+
+/root/repo/target/debug/deps/libadmission-801406c0918f63e0.rmeta: crates/core/tests/admission.rs
+
+crates/core/tests/admission.rs:

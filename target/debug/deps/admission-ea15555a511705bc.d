@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/admission-ea15555a511705bc.d: crates/core/tests/admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadmission-ea15555a511705bc.rmeta: crates/core/tests/admission.rs Cargo.toml
+
+crates/core/tests/admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

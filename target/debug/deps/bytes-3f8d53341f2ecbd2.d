@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-3f8d53341f2ecbd2.d: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3f8d53341f2ecbd2.rlib: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3f8d53341f2ecbd2.rmeta: /tmp/vendor/bytes/src/lib.rs
+
+/tmp/vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-67b6c0b40ebeaadb.d: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-67b6c0b40ebeaadb.rmeta: /tmp/vendor/bytes/src/lib.rs
+
+/tmp/vendor/bytes/src/lib.rs:

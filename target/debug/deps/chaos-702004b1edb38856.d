@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-702004b1edb38856.d: crates/core/tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-702004b1edb38856.rmeta: crates/core/tests/chaos.rs
+
+crates/core/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-9350e69e154df36a.d: crates/core/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-9350e69e154df36a: crates/core/tests/chaos.rs
+
+crates/core/tests/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-329bbf0387baaa18.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-329bbf0387baaa18.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-329bbf0387baaa18.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f189c3428b452971.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f189c3428b452971.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-1abd8e9b8c3d336a.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1abd8e9b8c3d336a.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1abd8e9b8c3d336a.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

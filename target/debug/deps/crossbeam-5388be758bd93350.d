@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-5388be758bd93350.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-5388be758bd93350.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e-7fbd823c23e163ab.d: crates/core/tests/e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e-7fbd823c23e163ab.rmeta: crates/core/tests/e2e.rs Cargo.toml
+
+crates/core/tests/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-db0ad10203b55204.d: crates/core/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-db0ad10203b55204: crates/core/tests/e2e.rs
+
+crates/core/tests/e2e.rs:

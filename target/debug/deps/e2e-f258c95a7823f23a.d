@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-f258c95a7823f23a.d: crates/core/tests/e2e.rs
+
+/root/repo/target/debug/deps/libe2e-f258c95a7823f23a.rmeta: crates/core/tests/e2e.rs
+
+crates/core/tests/e2e.rs:

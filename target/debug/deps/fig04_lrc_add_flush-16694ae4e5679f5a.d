@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_lrc_add_flush-16694ae4e5679f5a.d: crates/bench/benches/fig04_lrc_add_flush.rs
+
+/root/repo/target/debug/deps/libfig04_lrc_add_flush-16694ae4e5679f5a.rmeta: crates/bench/benches/fig04_lrc_add_flush.rs
+
+crates/bench/benches/fig04_lrc_add_flush.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_lrc_add_flush-49281fa5e6cd81fb.d: crates/bench/benches/fig04_lrc_add_flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_lrc_add_flush-49281fa5e6cd81fb.rmeta: crates/bench/benches/fig04_lrc_add_flush.rs Cargo.toml
+
+crates/bench/benches/fig04_lrc_add_flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_lrc_query_flush-b238e963017146b7.d: crates/bench/benches/fig05_lrc_query_flush.rs
+
+/root/repo/target/debug/deps/libfig05_lrc_query_flush-b238e963017146b7.rmeta: crates/bench/benches/fig05_lrc_query_flush.rs
+
+crates/bench/benches/fig05_lrc_query_flush.rs:

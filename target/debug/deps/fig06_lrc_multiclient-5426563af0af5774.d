@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_lrc_multiclient-5426563af0af5774.d: crates/bench/benches/fig06_lrc_multiclient.rs
+
+/root/repo/target/debug/deps/libfig06_lrc_multiclient-5426563af0af5774.rmeta: crates/bench/benches/fig06_lrc_multiclient.rs
+
+crates/bench/benches/fig06_lrc_multiclient.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_native_db-00f5494a9f6dd1a8.d: crates/bench/benches/fig07_native_db.rs
+
+/root/repo/target/debug/deps/libfig07_native_db-00f5494a9f6dd1a8.rmeta: crates/bench/benches/fig07_native_db.rs
+
+crates/bench/benches/fig07_native_db.rs:

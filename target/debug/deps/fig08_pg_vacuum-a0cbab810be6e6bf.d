@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_pg_vacuum-a0cbab810be6e6bf.d: crates/bench/benches/fig08_pg_vacuum.rs
+
+/root/repo/target/debug/deps/libfig08_pg_vacuum-a0cbab810be6e6bf.rmeta: crates/bench/benches/fig08_pg_vacuum.rs
+
+crates/bench/benches/fig08_pg_vacuum.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_rli_query_db-8f34ddc712e0bbad.d: crates/bench/benches/fig09_rli_query_db.rs
+
+/root/repo/target/debug/deps/libfig09_rli_query_db-8f34ddc712e0bbad.rmeta: crates/bench/benches/fig09_rli_query_db.rs
+
+crates/bench/benches/fig09_rli_query_db.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_rli_query_bloom-e70b62dd66b9b346.d: crates/bench/benches/fig10_rli_query_bloom.rs
+
+/root/repo/target/debug/deps/libfig10_rli_query_bloom-e70b62dd66b9b346.rmeta: crates/bench/benches/fig10_rli_query_bloom.rs
+
+crates/bench/benches/fig10_rli_query_bloom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bulk_ops-a4c816e45f11ba03.d: crates/bench/benches/fig11_bulk_ops.rs
+
+/root/repo/target/debug/deps/libfig11_bulk_ops-a4c816e45f11ba03.rmeta: crates/bench/benches/fig11_bulk_ops.rs
+
+crates/bench/benches/fig11_bulk_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_uncompressed_updates-9075339cf3f9f914.d: crates/bench/benches/fig12_uncompressed_updates.rs
+
+/root/repo/target/debug/deps/libfig12_uncompressed_updates-9075339cf3f9f914.rmeta: crates/bench/benches/fig12_uncompressed_updates.rs
+
+crates/bench/benches/fig12_uncompressed_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_bloom_wan_scaling-31ae4a6d2b8fd2c6.d: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+/root/repo/target/debug/deps/libfig13_bloom_wan_scaling-31ae4a6d2b8fd2c6.rmeta: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+crates/bench/benches/fig13_bloom_wan_scaling.rs:

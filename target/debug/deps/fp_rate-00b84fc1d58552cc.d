@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fp_rate-00b84fc1d58552cc.d: crates/bloom/tests/fp_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfp_rate-00b84fc1d58552cc.rmeta: crates/bloom/tests/fp_rate.rs Cargo.toml
+
+crates/bloom/tests/fp_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fp_rate-75f0b8fb05e85322.d: crates/bloom/tests/fp_rate.rs
+
+/root/repo/target/debug/deps/fp_rate-75f0b8fb05e85322: crates/bloom/tests/fp_rate.rs
+
+crates/bloom/tests/fp_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-d3791301e67745a7.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-d3791301e67745a7: tests/integration.rs
+
+tests/integration.rs:

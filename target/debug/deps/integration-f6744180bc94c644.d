@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-f6744180bc94c644.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-f6744180bc94c644.rmeta: tests/integration.rs
+
+tests/integration.rs:

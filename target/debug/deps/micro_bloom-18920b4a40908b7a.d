@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_bloom-18920b4a40908b7a.d: crates/bench/benches/micro_bloom.rs
+
+/root/repo/target/debug/deps/libmicro_bloom-18920b4a40908b7a.rmeta: crates/bench/benches/micro_bloom.rs
+
+crates/bench/benches/micro_bloom.rs:

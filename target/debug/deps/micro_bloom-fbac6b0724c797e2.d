@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_bloom-fbac6b0724c797e2.d: crates/bench/benches/micro_bloom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_bloom-fbac6b0724c797e2.rmeta: crates/bench/benches/micro_bloom.rs Cargo.toml
+
+crates/bench/benches/micro_bloom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_codec-2fd09bc74b1d2a60.d: crates/bench/benches/micro_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_codec-2fd09bc74b1d2a60.rmeta: crates/bench/benches/micro_codec.rs Cargo.toml
+
+crates/bench/benches/micro_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_codec-e8df6c10e1f45ae9.d: crates/bench/benches/micro_codec.rs
+
+/root/repo/target/debug/deps/libmicro_codec-e8df6c10e1f45ae9.rmeta: crates/bench/benches/micro_codec.rs
+
+crates/bench/benches/micro_codec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_pattern-74c220c9ebfa3d85.d: crates/bench/benches/micro_pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_pattern-74c220c9ebfa3d85.rmeta: crates/bench/benches/micro_pattern.rs Cargo.toml
+
+crates/bench/benches/micro_pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

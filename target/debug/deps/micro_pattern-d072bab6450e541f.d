@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_pattern-d072bab6450e541f.d: crates/bench/benches/micro_pattern.rs
+
+/root/repo/target/debug/deps/libmicro_pattern-d072bab6450e541f.rmeta: crates/bench/benches/micro_pattern.rs
+
+crates/bench/benches/micro_pattern.rs:

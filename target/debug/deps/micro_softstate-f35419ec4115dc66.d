@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_softstate-f35419ec4115dc66.d: crates/bench/benches/micro_softstate.rs
+
+/root/repo/target/debug/deps/libmicro_softstate-f35419ec4115dc66.rmeta: crates/bench/benches/micro_softstate.rs
+
+crates/bench/benches/micro_softstate.rs:

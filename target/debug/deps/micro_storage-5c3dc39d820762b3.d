@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_storage-5c3dc39d820762b3.d: crates/bench/benches/micro_storage.rs
+
+/root/repo/target/debug/deps/libmicro_storage-5c3dc39d820762b3.rmeta: crates/bench/benches/micro_storage.rs
+
+crates/bench/benches/micro_storage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_storage-f2f1a84441086665.d: crates/bench/benches/micro_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_storage-f2f1a84441086665.rmeta: crates/bench/benches/micro_storage.rs Cargo.toml
+
+crates/bench/benches/micro_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-3d909d4af48ecfd0.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3d909d4af48ecfd0.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-576fa9060d0da73a.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-576fa9060d0da73a.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-576fa9060d0da73a.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

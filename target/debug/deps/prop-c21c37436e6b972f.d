@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c21c37436e6b972f.d: crates/storage/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-c21c37436e6b972f: crates/storage/tests/prop.rs
+
+crates/storage/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4fae94779d297870.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4fae94779d297870.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-662cf7fbbb36c2f3.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-662cf7fbbb36c2f3.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-662cf7fbbb36c2f3.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_robustness-4d57b1ad1675a81c.d: tests/protocol_robustness.rs
+
+/root/repo/target/debug/deps/libprotocol_robustness-4d57b1ad1675a81c.rmeta: tests/protocol_robustness.rs
+
+tests/protocol_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_robustness-60ebd4189cf63b42.d: tests/protocol_robustness.rs
+
+/root/repo/target/debug/deps/protocol_robustness-60ebd4189cf63b42: tests/protocol_robustness.rs
+
+tests/protocol_robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8d2ea7d87b7c7930.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8d2ea7d87b7c7930.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8d2ea7d87b7c7930.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

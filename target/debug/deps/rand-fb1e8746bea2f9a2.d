@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-fb1e8746bea2f9a2.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-fb1e8746bea2f9a2.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

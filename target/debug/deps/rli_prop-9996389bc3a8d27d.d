@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rli_prop-9996389bc3a8d27d.d: crates/storage/tests/rli_prop.rs
+
+/root/repo/target/debug/deps/librli_prop-9996389bc3a8d27d.rmeta: crates/storage/tests/rli_prop.rs
+
+crates/storage/tests/rli_prop.rs:

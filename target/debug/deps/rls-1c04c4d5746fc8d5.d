@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls-1c04c4d5746fc8d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/librls-1c04c4d5746fc8d5.rmeta: src/lib.rs
+
+src/lib.rs:

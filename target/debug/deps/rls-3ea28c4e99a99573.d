@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls-3ea28c4e99a99573.d: src/lib.rs
+
+/root/repo/target/debug/deps/librls-3ea28c4e99a99573.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librls-3ea28c4e99a99573.rmeta: src/lib.rs
+
+src/lib.rs:

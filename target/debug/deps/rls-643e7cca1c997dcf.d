@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls-643e7cca1c997dcf.d: src/lib.rs
+
+/root/repo/target/debug/deps/rls-643e7cca1c997dcf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls-bc4bd3299f17dd97.d: src/lib.rs
+
+/root/repo/target/debug/deps/librls-bc4bd3299f17dd97.rmeta: src/lib.rs
+
+src/lib.rs:

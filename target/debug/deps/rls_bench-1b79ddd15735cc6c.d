@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_bench-1b79ddd15735cc6c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_bench-1b79ddd15735cc6c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

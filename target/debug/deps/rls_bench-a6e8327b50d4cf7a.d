@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_bench-a6e8327b50d4cf7a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librls_bench-a6e8327b50d4cf7a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

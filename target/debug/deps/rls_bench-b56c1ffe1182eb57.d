@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_bench-b56c1ffe1182eb57.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librls_bench-b56c1ffe1182eb57.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

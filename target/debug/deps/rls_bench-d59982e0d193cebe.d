@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_bench-d59982e0d193cebe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rls_bench-d59982e0d193cebe: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls_bench-f409481f0df2f59c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librls_bench-f409481f0df2f59c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librls_bench-f409481f0df2f59c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

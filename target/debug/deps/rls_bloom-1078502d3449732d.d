@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_bloom-1078502d3449732d.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+/root/repo/target/debug/deps/librls_bloom-1078502d3449732d.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/hash.rs:
+crates/bloom/src/params.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rls_bloom-1d95ef0302b6252a.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_bloom-1d95ef0302b6252a.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs Cargo.toml
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/hash.rs:
+crates/bloom/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rls_bloom-4c426580a98dab2d.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+/root/repo/target/debug/deps/librls_bloom-4c426580a98dab2d.rlib: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+/root/repo/target/debug/deps/librls_bloom-4c426580a98dab2d.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/hash.rs:
+crates/bloom/src/params.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_bloom-61148af1e1a72af8.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+/root/repo/target/debug/deps/rls_bloom-61148af1e1a72af8: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/hash.rs:
+crates/bloom/src/params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_cli-276d8bd457796cc4.d: src/bin/rls-cli.rs
+
+/root/repo/target/debug/deps/rls_cli-276d8bd457796cc4: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_cli-7d3cca2b751d5fe7.d: src/bin/rls-cli.rs
+
+/root/repo/target/debug/deps/rls_cli-7d3cca2b751d5fe7: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

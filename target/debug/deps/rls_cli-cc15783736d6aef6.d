@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_cli-cc15783736d6aef6.d: src/bin/rls-cli.rs
+
+/root/repo/target/debug/deps/librls_cli-cc15783736d6aef6.rmeta: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

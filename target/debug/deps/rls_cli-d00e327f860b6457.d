@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_cli-d00e327f860b6457.d: src/bin/rls-cli.rs
+
+/root/repo/target/debug/deps/librls_cli-d00e327f860b6457.rmeta: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

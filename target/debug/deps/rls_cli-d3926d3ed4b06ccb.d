@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_cli-d3926d3ed4b06ccb.d: src/bin/rls-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_cli-d3926d3ed4b06ccb.rmeta: src/bin/rls-cli.rs Cargo.toml
+
+src/bin/rls-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

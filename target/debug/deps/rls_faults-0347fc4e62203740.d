@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_faults-0347fc4e62203740.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/librls_faults-0347fc4e62203740.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

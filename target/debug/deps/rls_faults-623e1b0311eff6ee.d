@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_faults-623e1b0311eff6ee.d: crates/faults/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_faults-623e1b0311eff6ee.rmeta: crates/faults/src/lib.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_faults-8436c882c7a61c0a.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/rls_faults-8436c882c7a61c0a: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls_faults-9ced56d9596e6797.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/librls_faults-9ced56d9596e6797.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/librls_faults-9ced56d9596e6797.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

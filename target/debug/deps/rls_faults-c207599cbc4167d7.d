@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_faults-c207599cbc4167d7.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/librls_faults-c207599cbc4167d7.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

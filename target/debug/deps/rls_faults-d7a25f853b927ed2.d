@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_faults-d7a25f853b927ed2.d: crates/faults/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_faults-d7a25f853b927ed2.rmeta: crates/faults/src/lib.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls_metrics-693f962747d635ff.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+
+/root/repo/target/debug/deps/librls_metrics-693f962747d635ff.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/registry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_net-e6b738fed1738548.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+
+/root/repo/target/debug/deps/librls_net-e6b738fed1738548.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+
+crates/net/src/lib.rs:
+crates/net/src/conn.rs:
+crates/net/src/fault.rs:
+crates/net/src/retry.rs:
+crates/net/src/shaper.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rls_proto-53d589188d828269.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/rls_proto-53d589188d828269: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/message.rs:

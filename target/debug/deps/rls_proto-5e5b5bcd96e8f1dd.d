@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rls_proto-5e5b5bcd96e8f1dd.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/librls_proto-5e5b5bcd96e8f1dd.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/message.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rls_proto-7e37c7475b9eaf33.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_proto-7e37c7475b9eaf33.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/message.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

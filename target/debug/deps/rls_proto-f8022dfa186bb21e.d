@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rls_proto-f8022dfa186bb21e.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/librls_proto-f8022dfa186bb21e.rlib: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+/root/repo/target/debug/deps/librls_proto-f8022dfa186bb21e.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/message.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_server-0748b7b1b42f39e5.d: src/bin/rls-server.rs
+
+/root/repo/target/debug/deps/rls_server-0748b7b1b42f39e5: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

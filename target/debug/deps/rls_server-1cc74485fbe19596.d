@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_server-1cc74485fbe19596.d: src/bin/rls-server.rs
+
+/root/repo/target/debug/deps/librls_server-1cc74485fbe19596.rmeta: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

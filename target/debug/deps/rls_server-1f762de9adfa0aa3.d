@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_server-1f762de9adfa0aa3.d: src/bin/rls-server.rs
+
+/root/repo/target/debug/deps/librls_server-1f762de9adfa0aa3.rmeta: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

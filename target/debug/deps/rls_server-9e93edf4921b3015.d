@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_server-9e93edf4921b3015.d: src/bin/rls-server.rs
+
+/root/repo/target/debug/deps/rls_server-9e93edf4921b3015: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_trace-3c7dd3a72f5fa3e5.d: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/librls_trace-3c7dd3a72f5fa3e5.rlib: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/librls_trace-3c7dd3a72f5fa3e5.rmeta: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/log.rs:
+crates/trace/src/span.rs:

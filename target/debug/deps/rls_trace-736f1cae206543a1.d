@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls_trace-736f1cae206543a1.d: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/librls_trace-736f1cae206543a1.rmeta: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/log.rs:
+crates/trace/src/span.rs:

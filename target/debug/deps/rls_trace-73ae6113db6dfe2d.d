@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rls_trace-73ae6113db6dfe2d.d: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_trace-73ae6113db6dfe2d.rmeta: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/log.rs:
+crates/trace/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls_trace-80aeba5d0786d88b.d: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/rls_trace-80aeba5d0786d88b: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/log.rs:
+crates/trace/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls_trace-da13d5c2ba953201.d: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/librls_trace-da13d5c2ba953201.rmeta: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/log.rs:
+crates/trace/src/span.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rls_types-097f8ccde5f564ca.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/librls_types-097f8ccde5f564ca.rmeta: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/auth.rs:
+crates/types/src/error.rs:
+crates/types/src/names.rs:
+crates/types/src/pattern.rs:
+crates/types/src/time.rs:

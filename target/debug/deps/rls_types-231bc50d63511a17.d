@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rls_types-231bc50d63511a17.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/rls_types-231bc50d63511a17: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/auth.rs:
+crates/types/src/error.rs:
+crates/types/src/names.rs:
+crates/types/src/pattern.rs:
+crates/types/src/time.rs:

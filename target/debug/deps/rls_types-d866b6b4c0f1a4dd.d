@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rls_types-d866b6b4c0f1a4dd.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/librls_types-d866b6b4c0f1a4dd.rlib: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/librls_types-d866b6b4c0f1a4dd.rmeta: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/auth.rs:
+crates/types/src/error.rs:
+crates/types/src/names.rs:
+crates/types/src/pattern.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rls_types-e0fe50de22f5e06b.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_types-e0fe50de22f5e06b.rmeta: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/auth.rs:
+crates/types/src/error.rs:
+crates/types/src/names.rs:
+crates/types/src/pattern.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rls_workload-e67058a7c9b7d74a.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/librls_workload-e67058a7c9b7d74a.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/librls_workload-e67058a7c9b7d74a.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/namegen.rs:
+crates/workload/src/stats.rs:

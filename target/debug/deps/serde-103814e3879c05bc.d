@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-103814e3879c05bc.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-103814e3879c05bc.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

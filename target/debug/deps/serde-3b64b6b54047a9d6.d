@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-3b64b6b54047a9d6.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3b64b6b54047a9d6.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-3b64b6b54047a9d6.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sharding-3d1e1ae6d8c51c69.d: crates/core/tests/sharding.rs
+
+/root/repo/target/debug/deps/sharding-3d1e1ae6d8c51c69: crates/core/tests/sharding.rs
+
+crates/core/tests/sharding.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

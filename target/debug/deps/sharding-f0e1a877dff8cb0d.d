@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sharding-f0e1a877dff8cb0d.d: crates/core/tests/sharding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharding-f0e1a877dff8cb0d.rmeta: crates/core/tests/sharding.rs Cargo.toml
+
+crates/core/tests/sharding.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

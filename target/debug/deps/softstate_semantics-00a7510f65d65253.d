@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softstate_semantics-00a7510f65d65253.d: crates/core/tests/softstate_semantics.rs
+
+/root/repo/target/debug/deps/libsoftstate_semantics-00a7510f65d65253.rmeta: crates/core/tests/softstate_semantics.rs
+
+crates/core/tests/softstate_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softstate_semantics-7d6fc414a40a680e.d: crates/core/tests/softstate_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftstate_semantics-7d6fc414a40a680e.rmeta: crates/core/tests/softstate_semantics.rs Cargo.toml
+
+crates/core/tests/softstate_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

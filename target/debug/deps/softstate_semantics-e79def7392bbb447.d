@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softstate_semantics-e79def7392bbb447.d: crates/core/tests/softstate_semantics.rs
+
+/root/repo/target/debug/deps/softstate_semantics-e79def7392bbb447: crates/core/tests/softstate_semantics.rs
+
+crates/core/tests/softstate_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-041356460c44895e.d: crates/core/tests/stress.rs
+
+/root/repo/target/debug/deps/libstress-041356460c44895e.rmeta: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

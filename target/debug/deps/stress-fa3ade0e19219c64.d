@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-fa3ade0e19219c64.d: crates/core/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-fa3ade0e19219c64: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

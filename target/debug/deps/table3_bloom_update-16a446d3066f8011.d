@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_bloom_update-16a446d3066f8011.d: crates/bench/benches/table3_bloom_update.rs
+
+/root/repo/target/debug/deps/libtable3_bloom_update-16a446d3066f8011.rmeta: crates/bench/benches/table3_bloom_update.rs
+
+crates/bench/benches/table3_bloom_update.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-5a5eb2716807c477.d: crates/net/tests/timing.rs
+
+/root/repo/target/debug/deps/timing-5a5eb2716807c477: crates/net/tests/timing.rs
+
+crates/net/tests/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-a57ae1f6523763ba.d: crates/net/tests/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-a57ae1f6523763ba.rmeta: crates/net/tests/timing.rs Cargo.toml
+
+crates/net/tests/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-a6afc53620bb8a0d.d: crates/net/tests/timing.rs
+
+/root/repo/target/debug/deps/libtiming-a6afc53620bb8a0d.rmeta: crates/net/tests/timing.rs
+
+crates/net/tests/timing.rs:

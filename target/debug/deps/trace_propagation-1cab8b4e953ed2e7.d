@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_propagation-1cab8b4e953ed2e7.d: crates/core/tests/trace_propagation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_propagation-1cab8b4e953ed2e7.rmeta: crates/core/tests/trace_propagation.rs Cargo.toml
+
+crates/core/tests/trace_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

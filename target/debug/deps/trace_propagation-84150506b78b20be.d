@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_propagation-84150506b78b20be.d: crates/core/tests/trace_propagation.rs
+
+/root/repo/target/debug/deps/trace_propagation-84150506b78b20be: crates/core/tests/trace_propagation.rs
+
+crates/core/tests/trace_propagation.rs:

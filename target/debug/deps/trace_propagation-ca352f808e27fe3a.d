@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_propagation-ca352f808e27fe3a.d: crates/core/tests/trace_propagation.rs
+
+/root/repo/target/debug/deps/libtrace_propagation-ca352f808e27fe3a.rmeta: crates/core/tests/trace_propagation.rs
+
+crates/core/tests/trace_propagation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/esg_fullmesh-36b102b5884afaba.d: examples/esg_fullmesh.rs
+
+/root/repo/target/debug/examples/esg_fullmesh-36b102b5884afaba: examples/esg_fullmesh.rs
+
+examples/esg_fullmesh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/esg_fullmesh-66e7dac7392bb44f.d: examples/esg_fullmesh.rs
+
+/root/repo/target/debug/examples/libesg_fullmesh-66e7dac7392bb44f.rmeta: examples/esg_fullmesh.rs
+
+examples/esg_fullmesh.rs:

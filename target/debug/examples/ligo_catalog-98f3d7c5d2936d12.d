@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ligo_catalog-98f3d7c5d2936d12.d: examples/ligo_catalog.rs
+
+/root/repo/target/debug/examples/ligo_catalog-98f3d7c5d2936d12: examples/ligo_catalog.rs
+
+examples/ligo_catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ligo_catalog-a2865262ac9a2c09.d: examples/ligo_catalog.rs
+
+/root/repo/target/debug/examples/libligo_catalog-a2865262ac9a2c09.rmeta: examples/ligo_catalog.rs
+
+examples/ligo_catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pegasus_workflow-948e7c3f2f8cb439.d: examples/pegasus_workflow.rs
+
+/root/repo/target/debug/examples/pegasus_workflow-948e7c3f2f8cb439: examples/pegasus_workflow.rs
+
+examples/pegasus_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pegasus_workflow-9600b97db2bd02dc.d: examples/pegasus_workflow.rs
+
+/root/repo/target/debug/examples/libpegasus_workflow-9600b97db2bd02dc.rmeta: examples/pegasus_workflow.rs
+
+examples/pegasus_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7c685b0d7ce3fd90.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7c685b0d7ce3fd90: examples/quickstart.rs
+
+examples/quickstart.rs:

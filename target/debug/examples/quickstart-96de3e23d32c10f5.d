@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-96de3e23d32c10f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-96de3e23d32c10f5.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wan_replication-01e9d82a68a233ed.d: examples/wan_replication.rs
+
+/root/repo/target/debug/examples/libwan_replication-01e9d82a68a233ed.rmeta: examples/wan_replication.rs
+
+examples/wan_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wan_replication-60d174e7210f0957.d: examples/wan_replication.rs
+
+/root/repo/target/debug/examples/wan_replication-60d174e7210f0957: examples/wan_replication.rs
+
+examples/wan_replication.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rls_storage",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"enum\" href=\"rls_storage/index/enum.PostingsIter.html\" title=\"enum rls_storage::index::PostingsIter\">PostingsIter</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[350]}

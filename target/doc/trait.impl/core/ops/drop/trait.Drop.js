@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rls_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"rls_core/server/struct.Server.html\" title=\"struct rls_core::server::Server\">Server</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"rls_core/testkit/struct.TestDeployment.html\" title=\"struct rls_core::testkit::TestDeployment\">TestDeployment</a>",0]]],["rls_trace",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"rls_trace/struct.SpanGuard.html\" title=\"struct rls_trace::SpanGuard\">SpanGuard</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[580,282]}

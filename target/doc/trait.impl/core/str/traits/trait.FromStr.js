@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rls_trace",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/str/traits/trait.FromStr.html\" title=\"trait core::str::traits::FromStr\">FromStr</a> for <a class=\"enum\" href=\"rls_trace/enum.Level.html\" title=\"enum rls_trace::Level\">Level</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/str/traits/trait.FromStr.html\" title=\"trait core::str::traits::FromStr\">FromStr</a> for <a class=\"enum\" href=\"rls_trace/enum.LogFormat.html\" title=\"enum rls_trace::LogFormat\">LogFormat</a>",0]]],["rls_types",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/str/traits/trait.FromStr.html\" title=\"trait core::str::traits::FromStr\">FromStr</a> for <a class=\"struct\" href=\"rls_types/names/struct.LogicalName.html\" title=\"struct rls_types::names::LogicalName\">LogicalName</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/str/traits/trait.FromStr.html\" title=\"trait core::str::traits::FromStr\">FromStr</a> for <a class=\"struct\" href=\"rls_types/names/struct.TargetName.html\" title=\"struct rls_types::names::TargetName\">TargetName</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[549,609]}

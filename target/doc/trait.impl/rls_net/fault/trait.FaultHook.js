@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["rls_faults",[["impl FaultHook for <a class=\"struct\" href=\"rls_faults/struct.FaultPlan.html\" title=\"struct rls_faults::FaultPlan\">FaultPlan</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[156]}

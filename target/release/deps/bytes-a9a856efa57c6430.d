@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-a9a856efa57c6430.d: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a9a856efa57c6430.rlib: /tmp/vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a9a856efa57c6430.rmeta: /tmp/vendor/bytes/src/lib.rs
+
+/tmp/vendor/bytes/src/lib.rs:

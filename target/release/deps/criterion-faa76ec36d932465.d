@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-faa76ec36d932465.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-faa76ec36d932465.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-faa76ec36d932465.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

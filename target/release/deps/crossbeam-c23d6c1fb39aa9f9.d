@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-c23d6c1fb39aa9f9.d: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c23d6c1fb39aa9f9.rlib: /tmp/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-c23d6c1fb39aa9f9.rmeta: /tmp/vendor/crossbeam/src/lib.rs
+
+/tmp/vendor/crossbeam/src/lib.rs:

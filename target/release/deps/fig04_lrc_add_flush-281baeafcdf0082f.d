@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_lrc_add_flush-281baeafcdf0082f.d: crates/bench/benches/fig04_lrc_add_flush.rs
+
+/root/repo/target/release/deps/fig04_lrc_add_flush-281baeafcdf0082f: crates/bench/benches/fig04_lrc_add_flush.rs
+
+crates/bench/benches/fig04_lrc_add_flush.rs:

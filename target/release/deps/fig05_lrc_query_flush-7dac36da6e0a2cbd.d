@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_lrc_query_flush-7dac36da6e0a2cbd.d: crates/bench/benches/fig05_lrc_query_flush.rs
+
+/root/repo/target/release/deps/fig05_lrc_query_flush-7dac36da6e0a2cbd: crates/bench/benches/fig05_lrc_query_flush.rs
+
+crates/bench/benches/fig05_lrc_query_flush.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_lrc_multiclient-387ea1229ecb54d0.d: crates/bench/benches/fig06_lrc_multiclient.rs
+
+/root/repo/target/release/deps/fig06_lrc_multiclient-387ea1229ecb54d0: crates/bench/benches/fig06_lrc_multiclient.rs
+
+crates/bench/benches/fig06_lrc_multiclient.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_native_db-2c40c375cd8a255e.d: crates/bench/benches/fig07_native_db.rs
+
+/root/repo/target/release/deps/fig07_native_db-2c40c375cd8a255e: crates/bench/benches/fig07_native_db.rs
+
+crates/bench/benches/fig07_native_db.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pg_vacuum-36a74cd33a2ecd63.d: crates/bench/benches/fig08_pg_vacuum.rs
+
+/root/repo/target/release/deps/fig08_pg_vacuum-36a74cd33a2ecd63: crates/bench/benches/fig08_pg_vacuum.rs
+
+crates/bench/benches/fig08_pg_vacuum.rs:

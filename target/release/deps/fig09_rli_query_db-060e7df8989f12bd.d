@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_rli_query_db-060e7df8989f12bd.d: crates/bench/benches/fig09_rli_query_db.rs
+
+/root/repo/target/release/deps/fig09_rli_query_db-060e7df8989f12bd: crates/bench/benches/fig09_rli_query_db.rs
+
+crates/bench/benches/fig09_rli_query_db.rs:

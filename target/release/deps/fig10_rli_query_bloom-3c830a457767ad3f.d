@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_rli_query_bloom-3c830a457767ad3f.d: crates/bench/benches/fig10_rli_query_bloom.rs
+
+/root/repo/target/release/deps/fig10_rli_query_bloom-3c830a457767ad3f: crates/bench/benches/fig10_rli_query_bloom.rs
+
+crates/bench/benches/fig10_rli_query_bloom.rs:

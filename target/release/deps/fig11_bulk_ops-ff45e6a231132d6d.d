@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bulk_ops-ff45e6a231132d6d.d: crates/bench/benches/fig11_bulk_ops.rs
+
+/root/repo/target/release/deps/fig11_bulk_ops-ff45e6a231132d6d: crates/bench/benches/fig11_bulk_ops.rs
+
+crates/bench/benches/fig11_bulk_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_uncompressed_updates-cb22809836d6ed46.d: crates/bench/benches/fig12_uncompressed_updates.rs
+
+/root/repo/target/release/deps/fig12_uncompressed_updates-cb22809836d6ed46: crates/bench/benches/fig12_uncompressed_updates.rs
+
+crates/bench/benches/fig12_uncompressed_updates.rs:

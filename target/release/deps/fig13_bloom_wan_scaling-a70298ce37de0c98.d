@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_bloom_wan_scaling-a70298ce37de0c98.d: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+/root/repo/target/release/deps/fig13_bloom_wan_scaling-a70298ce37de0c98: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+crates/bench/benches/fig13_bloom_wan_scaling.rs:

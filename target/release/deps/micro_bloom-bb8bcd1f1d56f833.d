@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_bloom-bb8bcd1f1d56f833.d: crates/bench/benches/micro_bloom.rs
+
+/root/repo/target/release/deps/micro_bloom-bb8bcd1f1d56f833: crates/bench/benches/micro_bloom.rs
+
+crates/bench/benches/micro_bloom.rs:

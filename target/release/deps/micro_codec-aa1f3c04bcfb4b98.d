@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_codec-aa1f3c04bcfb4b98.d: crates/bench/benches/micro_codec.rs
+
+/root/repo/target/release/deps/micro_codec-aa1f3c04bcfb4b98: crates/bench/benches/micro_codec.rs
+
+crates/bench/benches/micro_codec.rs:

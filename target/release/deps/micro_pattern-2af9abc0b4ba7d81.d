@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_pattern-2af9abc0b4ba7d81.d: crates/bench/benches/micro_pattern.rs
+
+/root/repo/target/release/deps/micro_pattern-2af9abc0b4ba7d81: crates/bench/benches/micro_pattern.rs
+
+crates/bench/benches/micro_pattern.rs:

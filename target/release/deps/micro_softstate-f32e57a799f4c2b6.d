@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_softstate-f32e57a799f4c2b6.d: crates/bench/benches/micro_softstate.rs
+
+/root/repo/target/release/deps/micro_softstate-f32e57a799f4c2b6: crates/bench/benches/micro_softstate.rs
+
+crates/bench/benches/micro_softstate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_storage-694bbde1b9329a3a.d: crates/bench/benches/micro_storage.rs
+
+/root/repo/target/release/deps/micro_storage-694bbde1b9329a3a: crates/bench/benches/micro_storage.rs
+
+crates/bench/benches/micro_storage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-0bb8d098239f9f9a.d: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0bb8d098239f9f9a.rlib: /tmp/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0bb8d098239f9f9a.rmeta: /tmp/vendor/parking_lot/src/lib.rs
+
+/tmp/vendor/parking_lot/src/lib.rs:

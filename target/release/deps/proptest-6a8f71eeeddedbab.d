@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6a8f71eeeddedbab.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6a8f71eeeddedbab.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6a8f71eeeddedbab.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

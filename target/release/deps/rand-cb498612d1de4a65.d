@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-cb498612d1de4a65.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cb498612d1de4a65.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cb498612d1de4a65.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

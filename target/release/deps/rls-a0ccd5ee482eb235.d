@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls-a0ccd5ee482eb235.d: src/lib.rs
+
+/root/repo/target/release/deps/rls-a0ccd5ee482eb235: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rls-fef7c96978f070dd.d: src/lib.rs
+
+/root/repo/target/release/deps/librls-fef7c96978f070dd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librls-fef7c96978f070dd.rmeta: src/lib.rs
+
+src/lib.rs:

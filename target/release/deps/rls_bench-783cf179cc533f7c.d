@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rls_bench-783cf179cc533f7c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librls_bench-783cf179cc533f7c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librls_bench-783cf179cc533f7c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rls_bloom-ee80d4df89179778.d: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+/root/repo/target/release/deps/librls_bloom-ee80d4df89179778.rlib: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+/root/repo/target/release/deps/librls_bloom-ee80d4df89179778.rmeta: crates/bloom/src/lib.rs crates/bloom/src/counting.rs crates/bloom/src/filter.rs crates/bloom/src/hash.rs crates/bloom/src/params.rs
+
+crates/bloom/src/lib.rs:
+crates/bloom/src/counting.rs:
+crates/bloom/src/filter.rs:
+crates/bloom/src/hash.rs:
+crates/bloom/src/params.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_cli-40caed3fa5ac55d5.d: src/bin/rls-cli.rs
+
+/root/repo/target/release/deps/rls_cli-40caed3fa5ac55d5: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_cli-5a0abf9c9fd74281.d: src/bin/rls-cli.rs
+
+/root/repo/target/release/deps/rls_cli-5a0abf9c9fd74281: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

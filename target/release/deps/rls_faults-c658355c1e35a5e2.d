@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rls_faults-c658355c1e35a5e2.d: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/librls_faults-c658355c1e35a5e2.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/librls_faults-c658355c1e35a5e2.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rls_proto-ac8e1629fb794fca.d: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+/root/repo/target/release/deps/librls_proto-ac8e1629fb794fca.rlib: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+/root/repo/target/release/deps/librls_proto-ac8e1629fb794fca.rmeta: crates/proto/src/lib.rs crates/proto/src/codec.rs crates/proto/src/frame.rs crates/proto/src/message.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/codec.rs:
+crates/proto/src/frame.rs:
+crates/proto/src/message.rs:

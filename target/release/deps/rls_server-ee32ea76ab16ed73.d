@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_server-ee32ea76ab16ed73.d: src/bin/rls-server.rs
+
+/root/repo/target/release/deps/rls_server-ee32ea76ab16ed73: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_server-fdf4846b440f2245.d: src/bin/rls-server.rs
+
+/root/repo/target/release/deps/rls_server-fdf4846b440f2245: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

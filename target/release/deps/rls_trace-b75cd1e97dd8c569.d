@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rls_trace-b75cd1e97dd8c569.d: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+/root/repo/target/release/deps/librls_trace-b75cd1e97dd8c569.rlib: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+/root/repo/target/release/deps/librls_trace-b75cd1e97dd8c569.rmeta: crates/trace/src/lib.rs crates/trace/src/log.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/log.rs:
+crates/trace/src/span.rs:

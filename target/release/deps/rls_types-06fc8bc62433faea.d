@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rls_types-06fc8bc62433faea.d: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/librls_types-06fc8bc62433faea.rlib: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/librls_types-06fc8bc62433faea.rmeta: crates/types/src/lib.rs crates/types/src/attribute.rs crates/types/src/auth.rs crates/types/src/error.rs crates/types/src/names.rs crates/types/src/pattern.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/attribute.rs:
+crates/types/src/auth.rs:
+crates/types/src/error.rs:
+crates/types/src/names.rs:
+crates/types/src/pattern.rs:
+crates/types/src/time.rs:

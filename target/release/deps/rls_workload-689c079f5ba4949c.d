@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rls_workload-689c079f5ba4949c.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/librls_workload-689c079f5ba4949c.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/librls_workload-689c079f5ba4949c.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/namegen.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-184d2f22338f5914.d: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-184d2f22338f5914.rlib: /tmp/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-184d2f22338f5914.rmeta: /tmp/vendor/serde/src/lib.rs
+
+/tmp/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-3b2ebb3133a50fb9.d: /tmp/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-3b2ebb3133a50fb9.so: /tmp/vendor/serde_derive/src/lib.rs
+
+/tmp/vendor/serde_derive/src/lib.rs:
