@@ -1,0 +1,235 @@
+//! **Snapshot** — one-shot perf-trajectory helper: re-measures the fig06 /
+//! fig11 headline numbers at CI scale and writes them as `BENCH_<pr>.json`
+//! (the series started by `BENCH_6.json`), plus a flight-recorder block
+//! timing the PR 7 telemetry sampler itself.
+//!
+//! ```text
+//! cargo bench -p rls-bench --bench snapshot -- --pr 7 --date 2026-08-08 \
+//!     [--out BENCH_7.json] [--scale f] [--trials n]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use rls_bench::{banner, start_lrc_sharded, Scale};
+use rls_storage::BackendProfile;
+use rls_types::{Dn, Mapping};
+use rls_workload::{drive, preload_lrc, NameGen, Trials};
+
+fn flag(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn counter(stats: &rls_proto::ServerStatsWire, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn p99(stats: &rls_proto::ServerStatsWire, name: &str) -> u64 {
+    stats
+        .op_latencies
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, h)| h.p99())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let pr: u64 = flag("--pr").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let date = flag("--date").unwrap_or_else(|| "unknown".to_owned());
+    let out = flag("--out").unwrap_or_else(|| format!("BENCH_{pr}.json"));
+    banner("Snapshot", "fig06/fig11 headline numbers → JSON", &scale);
+
+    // --- fig06 headline: buffered op rates, 10 threads ------------------
+    let entries = scale.pick(5_000, 100_000);
+    let per_thread = scale.pick(200, 2_000) as usize;
+    let threads = 10usize;
+    let server = start_lrc_sharded(BackendProfile::mysql_buffered(), 1);
+    let gen = NameGen::new("snap06");
+    preload_lrc(&server, &gen, entries).expect("preload");
+    let tgen = NameGen::new("snap06-trial");
+    let (mut q, mut a, mut d) = (Trials::new(), Trials::new(), Trials::new());
+    for trial in 0..scale.trials {
+        let base = (trial * 10_000_000) as u64;
+        let r = drive(server.addr(), rls_net::LinkProfile::unshaped(), None, threads, per_thread, |c, t, i| {
+            let idx = (t as u64).wrapping_mul(6151).wrapping_add(i as u64) % entries;
+            c.query_lfn(&gen.lfn(idx)).map(|_| ())
+        })
+        .expect("queries");
+        q.push(&r);
+        let r = drive(server.addr(), rls_net::LinkProfile::unshaped(), None, threads, per_thread, |c, t, i| {
+            let idx = base + (t * per_thread + i) as u64;
+            c.create_mapping(&tgen.lfn(idx), &tgen.pfn(0, idx))
+        })
+        .expect("adds");
+        assert_eq!(r.errors, 0);
+        a.push(&r);
+        let r = drive(server.addr(), rls_net::LinkProfile::unshaped(), None, threads, per_thread, |c, t, i| {
+            let idx = base + (t * per_thread + i) as u64;
+            c.delete_mapping(&tgen.lfn(idx), &tgen.pfn(0, idx))
+        })
+        .expect("deletes");
+        assert_eq!(r.errors, 0);
+        d.push(&r);
+    }
+    let mut sc = rls_core::RlsClient::connect(server.addr(), &Dn::anonymous()).expect("stats client");
+    let stats = sc.stats().expect("stats");
+
+    // --- flight recorder: sampler capture cost + ring health -------------
+    let capture_trials = 200u32;
+    let t0 = Instant::now();
+    for _ in 0..capture_trials {
+        server.force_sample();
+    }
+    let capture_us = t0.elapsed().as_micros() as u64 / capture_trials as u64;
+    let history = sc.stats_history(0, 0).expect("stats_history");
+    println!(
+        "    flight recorder: {} samples retained, capture mean {capture_us}us",
+        history.samples.len()
+    );
+
+    // --- fig06 headline: durable adds by shards --------------------------
+    let disk = Duration::from_millis(2);
+    let wthreads = 8usize;
+    let wper = scale.pick(30, 500) as usize;
+    let mut durable = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let server = start_lrc_sharded(BackendProfile::mysql_durable().with_sync_latency(disk), shards);
+        let wgen = NameGen::new("snap06-durable");
+        let mut tr = Trials::new();
+        for trial in 0..scale.trials {
+            let r = drive(server.addr(), rls_net::LinkProfile::unshaped(), None, wthreads, wper, |c, t, i| {
+                let idx = ((trial * wthreads + t) * wper + i) as u64;
+                c.create_mapping(&wgen.lfn(idx), &wgen.pfn(0, idx)).map(|_| ())
+            })
+            .expect("durable adds");
+            assert_eq!(r.errors, 0);
+            tr.push(&r);
+        }
+        durable.push((shards, tr.mean_rate()));
+        println!("    durable adds @ {shards} shard(s): {:.0}/s", tr.mean_rate());
+    }
+
+    // --- fig11 headline: bulk rates by shards ----------------------------
+    let bulk_size = 500usize;
+    let bulks_per_thread = scale.pick(3, 10) as usize;
+    let mut bulk_addel = Vec::new();
+    let mut bulk_query = 0.0f64;
+    for shards in [1usize, 2, 4] {
+        let server = start_lrc_sharded(BackendProfile::mysql_buffered(), shards);
+        let bgen = NameGen::new("snap11");
+        preload_lrc(&server, &bgen, entries).expect("preload");
+        let tgen = NameGen::new("snap11-trial");
+        let mut bad = Trials::new();
+        for trial in 0..scale.trials {
+            let r = drive(server.addr(), rls_net::LinkProfile::unshaped(), None, threads, bulks_per_thread, |c, t, i| {
+                let base = ((trial * 1000 + t) * 1_000_000 + i * bulk_size) as u64;
+                let mappings: Vec<Mapping> = (0..bulk_size as u64)
+                    .map(|k| Mapping::new(tgen.lfn(base + k), tgen.pfn(0, base + k)).unwrap())
+                    .collect();
+                let fails = c.bulk_create(mappings.clone())?;
+                debug_assert!(fails.is_empty());
+                let fails = c.bulk_delete(mappings)?;
+                debug_assert!(fails.is_empty());
+                Ok(())
+            })
+            .expect("bulk add/delete");
+            assert_eq!(r.errors, 0);
+            bad.push_rate(r.rate() * (2 * bulk_size) as f64);
+        }
+        bulk_addel.push((shards, bad.mean_rate()));
+        println!("    bulk add+del @ {shards} shard(s): {:.0} items/s", bad.mean_rate());
+        if shards == 1 {
+            let mut bq = Trials::new();
+            for trial in 0..scale.trials {
+                let r = drive(server.addr(), rls_net::LinkProfile::unshaped(), None, threads, bulks_per_thread, |c, t, i| {
+                    let names: Vec<String> = (0..bulk_size)
+                        .map(|k| {
+                            let idx = ((t + trial) as u64)
+                                .wrapping_mul(7919)
+                                .wrapping_add((i * bulk_size + k) as u64)
+                                % entries;
+                            bgen.lfn(idx)
+                        })
+                        .collect();
+                    c.bulk_query_lfn(names).map(|_| ())
+                })
+                .expect("bulk queries");
+                assert_eq!(r.errors, 0);
+                bq.push_rate(r.rate() * bulk_size as f64);
+            }
+            bulk_query = bq.mean_rate();
+            println!("    bulk query @ 1 shard: {bulk_query:.0} items/s");
+        }
+    }
+
+    // --- emit ------------------------------------------------------------
+    let by_shards = |rows: &[(usize, f64)]| -> String {
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|(s, r)| format!("\"{s}\": {:.0}", r))
+            .collect();
+        format!("{{ {} }}", cells.join(", "))
+    };
+    let json = format!(
+        r#"{{
+  "pr": {pr},
+  "date": "{date}",
+  "host": "1-core container, in-process engine, emulated network",
+  "note": "Perf-trajectory snapshot emitted by `cargo bench -p rls-bench --bench snapshot`. CI-scale runs of the fig06/fig11 headline measurements plus the PR 7 flight-recorder sampler cost; regenerate with the named bench targets for full curves.",
+  "fig06_lrc_multiclient": {{
+    "buffered_1_client_10_threads": {{
+      "shards": 1,
+      "query_per_s": {qr:.0},
+      "add_per_s": {ar:.0},
+      "delete_per_s": {dr:.0}
+    }},
+    "durable_adds_per_s_by_shards": {durable},
+    "server_p99_us": {{
+      "op.create": {p99c},
+      "op.delete": {p99d},
+      "op.query_lfn": {p99q}
+    }},
+    "worker_pool": {{ "busy_rejects": {rejects}, "accept_errors": {aerr}, "conns_admitted": {admitted} }}
+  }},
+  "fig11_bulk_ops": {{
+    "bulk_add_del_items_per_s_10_threads_by_shards": {bulk},
+    "bulk_query_items_per_s_10_threads_shards_1": {bq:.0}
+  }},
+  "flight_recorder": {{
+    "sample_capture_mean_us": {capture_us},
+    "samples_retained": {retained},
+    "ring_capacity": {cap},
+    "interval_micros": {interval}
+  }}
+}}
+"#,
+        qr = q.mean_rate(),
+        ar = a.mean_rate(),
+        dr = d.mean_rate(),
+        durable = by_shards(&durable),
+        p99c = p99(&stats, "op.create"),
+        p99d = p99(&stats, "op.delete"),
+        p99q = p99(&stats, "op.query_lfn"),
+        rejects = counter(&stats, "server.busy_rejects"),
+        aerr = counter(&stats, "server.accept_errors"),
+        admitted = counter(&stats, "server.conns_admitted"),
+        bulk = by_shards(&bulk_addel),
+        bq = bulk_query,
+        retained = history.samples.len(),
+        cap = history.ring_capacity,
+        interval = history.interval_micros,
+    );
+    std::fs::write(&out, &json).expect("write snapshot");
+    println!("\n    wrote {out}");
+}

@@ -96,7 +96,7 @@ pub fn required_privilege(req: &Request) -> Option<Privilege> {
         SoftStateFull { .. } | SoftStateDelta { .. } | SoftStateBloom { .. } => {
             Privilege::RliWrite
         }
-        Stats => Privilege::Admin,
+        Stats | StatsHistory { .. } => Privilege::Admin,
     })
 }
 
@@ -193,6 +193,13 @@ mod tests {
             Some(Privilege::RliWrite)
         );
         assert_eq!(required_privilege(&Request::Stats), Some(Privilege::Admin));
+        assert_eq!(
+            required_privilege(&Request::StatsHistory {
+                since_seq: 0,
+                limit: 0
+            }),
+            Some(Privilege::Admin)
+        );
         assert_eq!(
             required_privilege(&Request::TraceQuery {
                 trace_id: 0,

@@ -15,8 +15,8 @@ use rls_net::{
     connect_with, Conn, ConnectOptions, FaultHook, LinkProfile, RetryPolicy, SharedIngress,
 };
 use rls_proto::{
-    AttrAssignment, Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire,
-    PROTOCOL_VERSION,
+    AttrAssignment, LagStamp, Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire,
+    StatsHistoryWire, PROTOCOL_VERSION,
 };
 use rls_trace::{mix64, nonzero_id};
 use rls_types::{
@@ -285,8 +285,22 @@ impl RlsClient {
     /// case is an `MappingExists`-style server error, which is returned
     /// unretried.
     pub fn call_traced(&mut self, req: &Request, trace_ids: &[u64]) -> RlsResult<Response> {
+        self.call_framed(req, trace_ids, None)
+    }
+
+    /// One exchange carrying full frame metadata: trace IDs plus an
+    /// optional soft-state [`LagStamp`] (commit sequence and wall-clock
+    /// commit time of the shipped state, which the RLI turns into its
+    /// update-lag plane). Without a stamp the frame encoding is
+    /// byte-identical to [`call_traced`]'s.
+    pub fn call_framed(
+        &mut self,
+        req: &Request,
+        trace_ids: &[u64],
+        stamp: Option<LagStamp>,
+    ) -> RlsResult<Response> {
         self.last_trace_id = trace_ids.first().copied().unwrap_or(0);
-        let body = req.encode_traced(trace_ids).into_bytes();
+        let body = req.encode_framed(trace_ids, stamp).into_bytes();
         let mut attempt = 0u32;
         loop {
             let result = self.ensure_conn().and_then(|()| {
@@ -340,8 +354,13 @@ impl RlsClient {
         }
     }
 
-    fn expect_ok_traced(&mut self, req: &Request, trace_ids: &[u64]) -> RlsResult<()> {
-        match self.call_traced(req, trace_ids)? {
+    fn expect_ok_framed(
+        &mut self,
+        req: &Request,
+        trace_ids: &[u64],
+        stamp: Option<LagStamp>,
+    ) -> RlsResult<()> {
+        match self.call_framed(req, trace_ids, stamp)? {
             Response::Ok => Ok(()),
             other => Err(RlsError::protocol(format!("expected Ok, got {other:?}"))),
         }
@@ -682,7 +701,23 @@ impl RlsClient {
         lfns: Vec<String>,
         trace_ids: &[u64],
     ) -> RlsResult<()> {
-        self.expect_ok_traced(
+        self.send_full_chunk_framed(lrc, update_id, seq, last, lfns, trace_ids, None)
+    }
+
+    /// Full-update chunk with trace IDs and an optional freshness stamp
+    /// (the updater attaches one to the final chunk of a stream).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_full_chunk_framed(
+        &mut self,
+        lrc: &str,
+        update_id: u64,
+        seq: u32,
+        last: bool,
+        lfns: Vec<String>,
+        trace_ids: &[u64],
+        stamp: Option<LagStamp>,
+    ) -> RlsResult<()> {
+        self.expect_ok_framed(
             &Request::SoftStateFull {
                 lrc: lrc.to_owned(),
                 update_id,
@@ -691,6 +726,7 @@ impl RlsClient {
                 lfns,
             },
             trace_ids,
+            stamp,
         )
     }
 
@@ -713,13 +749,26 @@ impl RlsClient {
         removed: Vec<String>,
         trace_ids: &[u64],
     ) -> RlsResult<()> {
-        self.expect_ok_traced(
+        self.send_delta_framed(lrc, added, removed, trace_ids, None)
+    }
+
+    /// Incremental update with trace IDs and an optional freshness stamp.
+    pub fn send_delta_framed(
+        &mut self,
+        lrc: &str,
+        added: Vec<String>,
+        removed: Vec<String>,
+        trace_ids: &[u64],
+        stamp: Option<LagStamp>,
+    ) -> RlsResult<()> {
+        self.expect_ok_framed(
             &Request::SoftStateDelta {
                 lrc: lrc.to_owned(),
                 added,
                 removed,
             },
             trace_ids,
+            stamp,
         )
     }
 
@@ -735,7 +784,18 @@ impl RlsClient {
         filter: &BloomFilter,
         trace_ids: &[u64],
     ) -> RlsResult<()> {
-        self.expect_ok_traced(&Request::bloom_to_wire(lrc, filter), trace_ids)
+        self.send_bloom_framed(lrc, filter, trace_ids, None)
+    }
+
+    /// Bloom summary with trace IDs and an optional freshness stamp.
+    pub fn send_bloom_framed(
+        &mut self,
+        lrc: &str,
+        filter: &BloomFilter,
+        trace_ids: &[u64],
+        stamp: Option<LagStamp>,
+    ) -> RlsResult<()> {
+        self.expect_ok_framed(&Request::bloom_to_wire(lrc, filter), trace_ids, stamp)
     }
 
     // -- admin -------------------------------------------------------------------------
@@ -746,6 +806,19 @@ impl RlsClient {
             Response::StatsReport(s) => Ok(s),
             other => Err(RlsError::protocol(format!(
                 "expected StatsReport, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's flight-recorder history: samples with
+    /// `seq > since_seq`, newest-`limit` capped (`limit` 0 = everything
+    /// retained). Poll with the last seen `seq` as the cursor to stream
+    /// increments.
+    pub fn stats_history(&mut self, since_seq: u64, limit: u32) -> RlsResult<StatsHistoryWire> {
+        match self.call(&Request::StatsHistory { since_seq, limit })? {
+            Response::StatsHistoryReport(h) => Ok(h),
+            other => Err(RlsError::protocol(format!(
+                "expected StatsHistoryReport, got {other:?}"
             ))),
         }
     }

@@ -229,6 +229,16 @@ pub struct ServerConfig {
     /// (`trace_journal_capacity`); 0 disables span retention (IDs still
     /// mint and propagate).
     pub trace_journal_capacity: usize,
+    /// Flight-recorder sampling period (`telemetry_interval_ms` in the
+    /// config file). Every tick the sampler refreshes gauges, rolls the
+    /// per-operation latency exemplars, and captures the whole metrics
+    /// registry into the telemetry ring. Zero disables the sampler thread
+    /// (manual [`crate::server::Server::force_sample`] still works).
+    pub telemetry_interval: Duration,
+    /// Samples retained by the telemetry ring
+    /// (`telemetry_ring_capacity`). At the default 1 s cadence the default
+    /// capacity holds about 8.5 minutes of history.
+    pub telemetry_ring_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -248,6 +258,8 @@ impl Default for ServerConfig {
             log_level: rls_trace::Level::Info,
             log_format: rls_trace::LogFormat::Text,
             trace_journal_capacity: 4096,
+            telemetry_interval: Duration::from_secs(1),
+            telemetry_ring_capacity: 512,
         }
     }
 }
@@ -291,6 +303,8 @@ mod tests {
         assert_eq!(c.bind.ip().to_string(), "127.0.0.1");
         assert_eq!(c.worker_threads, 0); // auto-size from the host
         assert_eq!(c.idle_timeout, Duration::from_secs(300));
+        assert_eq!(c.telemetry_interval, Duration::from_secs(1));
+        assert_eq!(c.telemetry_ring_capacity, 512);
         let l = ServerConfig::lrc_default();
         assert!(l.lrc.is_some() && l.rli.is_none());
         let r = ServerConfig::rli_default();

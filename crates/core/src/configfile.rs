@@ -49,6 +49,8 @@
 //! log_level         info           # error | warn | info | debug | trace
 //! log_format        text           # text (key=value) | json
 //! trace_journal_capacity 4096     # spans retained; 0 disables retention
+//! telemetry_interval_ms 1000      # flight-recorder cadence; 0 disables the sampler
+//! telemetry_ring_capacity 512     # samples retained in the telemetry ring
 //!
 //! # security
 //! acl_enabled       true
@@ -161,6 +163,8 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut log_level = rls_trace::Level::Info;
     let mut log_format = rls_trace::LogFormat::Text;
     let mut trace_journal_capacity = 4096usize;
+    let mut telemetry_interval = Duration::from_secs(1);
+    let mut telemetry_ring_capacity = 512usize;
     let mut acl_enabled = false;
     let mut gridmap: HashMap<String, String> = HashMap::new();
     let mut acl: Vec<AclEntry> = Vec::new();
@@ -348,6 +352,24 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
                     ))
                 })?
             }
+            "telemetry_interval_ms" => {
+                let ms: u64 = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected milliseconds, got {:?}",
+                        lineno + 1,
+                        args.first().map(String::as_str).unwrap_or("")
+                    ))
+                })?;
+                telemetry_interval = Duration::from_millis(ms);
+            }
+            "telemetry_ring_capacity" => {
+                telemetry_ring_capacity = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected a sample count",
+                        lineno + 1
+                    ))
+                })?
+            }
             "acl_enabled" => acl_enabled = parse_bool(key, one()?)?,
             "gridmap" => {
                 if args.len() != 2 {
@@ -491,6 +513,8 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
         log_level,
         log_format,
         trace_journal_capacity,
+        telemetry_interval,
+        telemetry_ring_capacity,
         ..ServerConfig::default()
     };
     Ok(ParsedConfig {
@@ -647,6 +671,25 @@ acl          user:ann admin
         assert!(parse_config("lrc_server true\nlog_level loud").is_err());
         assert!(parse_config("lrc_server true\nlog_format xml").is_err());
         assert!(parse_config("lrc_server true\ntrace_journal_capacity many").is_err());
+    }
+
+    #[test]
+    fn telemetry_keys_parse() {
+        let p = parse_config(
+            "lrc_server true\ntelemetry_interval_ms 250\ntelemetry_ring_capacity 64",
+        )
+        .unwrap();
+        assert_eq!(p.server.telemetry_interval, Duration::from_millis(250));
+        assert_eq!(p.server.telemetry_ring_capacity, 64);
+        // Defaults: 1 s cadence, 512 samples.
+        let p = parse_config("lrc_server true").unwrap();
+        assert_eq!(p.server.telemetry_interval, Duration::from_secs(1));
+        assert_eq!(p.server.telemetry_ring_capacity, 512);
+        // 0 disables the sampler thread but still parses.
+        let p = parse_config("lrc_server true\ntelemetry_interval_ms 0").unwrap();
+        assert_eq!(p.server.telemetry_interval, Duration::ZERO);
+        assert!(parse_config("lrc_server true\ntelemetry_interval_ms soon").is_err());
+        assert!(parse_config("lrc_server true\ntelemetry_ring_capacity lots").is_err());
     }
 
     #[test]

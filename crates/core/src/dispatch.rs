@@ -3,15 +3,23 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rls_metrics::Registry;
+use rls_metrics::{unix_micros_now, HistogramSnapshot, Registry, TelemetryRing, TelemetrySample};
 use rls_net::ConnMeter;
-use rls_proto::{Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire};
+use rls_proto::{
+    FrameMeta, LagStamp, Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire,
+    StatsHistoryWire,
+};
 use rls_trace::{SpanRecord, TraceJournal, TraceQueryFilter};
 use rls_types::{ErrorCode, Glob, Privilege, RlsError, RlsResult, Timestamp};
 
 use crate::auth::{required_privilege, Authorizer, Identity};
 use crate::lrc::LrcService;
 use crate::rli::RliService;
+
+/// Name-sorted (histograms, counters) lists gathered from every registry
+/// on the server — the shared payload of the stats RPC and each
+/// flight-recorder telemetry sample.
+pub type MetricsCapture = (Vec<(String, HistogramSnapshot)>, Vec<(String, u64)>);
 
 /// Shared server state handed to every connection handler.
 pub struct ServerState {
@@ -39,6 +47,16 @@ pub struct ServerState {
     /// logger at `warn`; `None` disables the slow-op log
     /// (`slow_op_threshold_ms` in the config file).
     pub slow_op_threshold: Option<Duration>,
+    /// Flight-recorder ring of whole-registry snapshots, filled by the
+    /// sampler thread (or [`capture_sample`](Self::capture_sample)
+    /// directly) and served by the `StatsHistory` RPC.
+    pub telemetry: Arc<TelemetryRing>,
+    /// Sampler cadence, echoed to `StatsHistory` clients so they can
+    /// compute rates without guessing the window (zero = sampler off).
+    pub telemetry_interval: Duration,
+    /// Server start instant; telemetry samples carry monotonic uptimes
+    /// derived from this.
+    pub started_at: Instant,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -64,16 +82,12 @@ impl ServerState {
         })
     }
 
-    /// Assembles the stats snapshot: the fixed compatibility counters plus
-    /// every histogram and labeled counter from the server, LRC, and RLI
-    /// registries, engine counters from each role's database, and the
-    /// transport meter.
-    pub fn stats(&self) -> ServerStatsWire {
-        let mut s = ServerStatsWire {
-            is_lrc: self.lrc.is_some(),
-            is_rli: self.rli.is_some(),
-            ..Default::default()
-        };
+    /// Every histogram and labeled counter from the server, LRC and RLI
+    /// registries, plus engine counters from each role's database, the
+    /// transport meter, and the trace journal — both lists sorted by name.
+    /// Shared by [`stats`](Self::stats) and the telemetry sampler, so the
+    /// flight-recorder samples carry exactly what the stats RPC reports.
+    pub fn collect_metrics(&self) -> MetricsCapture {
         let mut hists = self.metrics.histogram_snapshot();
         let mut counters = self.metrics.counter_snapshot();
         counters.push(("trace.journal_spans".into(), self.journal.len() as u64));
@@ -87,17 +101,9 @@ impl ServerState {
         counters.push(("net.frames_in".into(), self.net.frames_in()));
         counters.push(("net.frames_out".into(), self.net.frames_out()));
         if let Some(lrc) = &self.lrc {
-            let catalog = lrc.catalog();
-            s.lrc_lfn_count = catalog.lfn_count();
-            s.lrc_mapping_count = catalog.mapping_count();
-            let st = catalog.stats();
-            s.adds = st.adds;
-            s.deletes = st.deletes;
-            s.queries += st.queries + st.wildcard_queries;
             // `lrc.engine.*` aggregates every shard; the per-shard split is
             // in the `storage.shard.*` counters from the LRC registry.
-            push_engine_counters(&mut counters, "lrc", catalog.engine_stats());
-            lrc.record_shard_gauges();
+            push_engine_counters(&mut counters, "lrc", lrc.catalog().engine_stats());
             hists.extend(lrc.metrics().histogram_snapshot());
             counters.extend(lrc.metrics().counter_snapshot());
             counters.push((
@@ -110,20 +116,92 @@ impl ServerState {
             ));
         }
         if let Some(rli) = &self.rli {
-            s.rli_association_count = rli.association_count();
-            s.rli_bloom_filters = rli.bloom_count();
-            s.queries += rli.queries_served();
-            s.updates_received = rli.updates_received();
-            s.expired = rli.expired_total();
             push_engine_counters(&mut counters, "rli", rli.db.read().engine().stats());
             hists.extend(rli.metrics().histogram_snapshot());
             counters.extend(rli.metrics().counter_snapshot());
         }
         hists.sort_by(|a, b| a.0.cmp(&b.0));
         counters.sort_by(|a, b| a.0.cmp(&b.0));
+        (hists, counters)
+    }
+
+    /// Assembles the stats snapshot: the fixed compatibility counters plus
+    /// everything [`collect_metrics`](Self::collect_metrics) gathers.
+    pub fn stats(&self) -> ServerStatsWire {
+        let mut s = ServerStatsWire {
+            is_lrc: self.lrc.is_some(),
+            is_rli: self.rli.is_some(),
+            ..Default::default()
+        };
+        if let Some(lrc) = &self.lrc {
+            let catalog = lrc.catalog();
+            s.lrc_lfn_count = catalog.lfn_count();
+            s.lrc_mapping_count = catalog.mapping_count();
+            let st = catalog.stats();
+            s.adds = st.adds;
+            s.deletes = st.deletes;
+            s.queries += st.queries + st.wildcard_queries;
+        }
+        if let Some(rli) = &self.rli {
+            s.rli_association_count = rli.association_count();
+            s.rli_bloom_filters = rli.bloom_count();
+            s.queries += rli.queries_served();
+            s.updates_received = rli.updates_received();
+            s.expired = rli.expired_total();
+        }
+        let (hists, counters) = self.collect_metrics();
         s.op_latencies = hists;
         s.counters = counters;
         s
+    }
+
+    /// Refreshes every derived gauge that earlier releases computed lazily
+    /// inside the stats RPC: the per-shard mapping counts and
+    /// `storage.shard.imbalance_ppm` on the LRC, and the per-LRC staleness
+    /// plane (`rli.lrc.staleness_ms.*`, `rli.mapping_divergence.*`) on the
+    /// RLI. Runs on the sampler cadence, so the gauges stay live even when
+    /// nobody polls `Stats`.
+    pub fn refresh_gauges(&self) {
+        if let Some(lrc) = &self.lrc {
+            lrc.record_shard_gauges();
+        }
+        if let Some(rli) = &self.rli {
+            rli.refresh_staleness_gauges();
+        }
+    }
+
+    /// Rolls the per-operation worst-latency exemplars into
+    /// `exemplar.<op>.max_us` / `exemplar.<op>.trace_id` gauge pairs. A
+    /// window with no samples keeps the previous pair, so the last
+    /// non-empty window stays diagnosable from `rls-cli stats`.
+    pub fn roll_exemplars(&self) {
+        for (name, ex) in self.metrics.exemplar_handles() {
+            if let Some((micros, trace_id)) = ex.take() {
+                self.metrics
+                    .counter(&format!("exemplar.{name}.max_us"))
+                    .set(micros);
+                self.metrics
+                    .counter(&format!("exemplar.{name}.trace_id"))
+                    .set(trace_id);
+            }
+        }
+    }
+
+    /// One flight-recorder tick: refresh the derived gauges, roll the
+    /// latency exemplars, then capture the whole registry into the
+    /// telemetry ring. Returns the captured sample's sequence number.
+    pub fn capture_sample(&self) -> u64 {
+        self.refresh_gauges();
+        self.roll_exemplars();
+        self.metrics.counter("telemetry.samples").inc();
+        let (histograms, counters) = self.collect_metrics();
+        self.telemetry.push(TelemetrySample {
+            seq: 0, // the ring owns sequence assignment
+            at_unix_micros: unix_micros_now(),
+            uptime_micros: self.started_at.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            counters,
+            histograms,
+        })
     }
 }
 
@@ -148,9 +226,24 @@ fn push_engine_counters(
 }
 
 /// Runs one untraced request to completion (wraps
-/// [`handle_request_traced`] with an empty trace-ID list).
+/// [`handle_request_framed`] with empty frame metadata).
 pub fn handle_request(state: &ServerState, identity: &Identity, req: Request) -> Response {
-    handle_request_traced(state, identity, req, &[])
+    handle_request_framed(state, identity, req, &FrameMeta::default())
+}
+
+/// Runs one request to completion with propagated trace IDs but no lag
+/// stamp (wraps [`handle_request_framed`]).
+pub fn handle_request_traced(
+    state: &ServerState,
+    identity: &Identity,
+    req: Request,
+    trace_ids: &[u64],
+) -> Response {
+    let meta = FrameMeta {
+        trace_ids: trace_ids.to_vec(),
+        lag: None,
+    };
+    handle_request_framed(state, identity, req, &meta)
 }
 
 /// Runs one request to completion, producing the response frame.
@@ -158,25 +251,30 @@ pub fn handle_request(state: &ServerState, identity: &Identity, req: Request) ->
 /// Service time (authorization + execution, excluding transport) is
 /// recorded under the request's [`Request::op_name`] histogram and as an
 /// `op.*` span in the journal — under the first propagated trace ID, or a
-/// locally minted one when the frame arrived untraced. Requests over the
-/// configured slow-op threshold are additionally logged at `warn` through
-/// the structured logger, trace ID included.
-pub fn handle_request_traced(
+/// locally minted one when the frame arrived untraced — and offered to the
+/// operation's worst-latency [exemplar](rls_metrics::Exemplar). A
+/// [`LagStamp`] in the frame metadata is recorded into the RLI staleness
+/// plane by the soft-state arms. Requests over the configured slow-op
+/// threshold are additionally logged at `warn` through the structured
+/// logger, trace ID included.
+pub fn handle_request_framed(
     state: &ServerState,
     identity: &Identity,
     req: Request,
-    trace_ids: &[u64],
+    meta: &FrameMeta,
 ) -> Response {
     let op = req.op_name();
-    let trace_id = trace_ids
+    let trace_id = meta
+        .trace_ids
         .first()
         .copied()
         .unwrap_or_else(|| state.journal.mint_trace_id());
     let span = state.journal.begin(trace_id, 0, op);
     let ctx = TraceCtx {
-        ids: trace_ids,
+        ids: &meta.trace_ids,
         trace_id: span.trace_id(),
         parent: span.span_id(),
+        lag: meta.lag,
     };
     let t0 = Instant::now();
     let resp = {
@@ -191,6 +289,10 @@ pub fn handle_request_traced(
     };
     let elapsed = t0.elapsed();
     state.metrics.histogram(op).record(elapsed);
+    state
+        .metrics
+        .exemplar(op)
+        .offer(elapsed.as_micros().min(u64::MAX as u128) as u64, ctx.trace_id);
     let outcome = match &resp {
         Response::Error(e) => format!("error: {:?}", e.code()),
         _ => "ok".to_owned(),
@@ -215,12 +317,14 @@ pub fn handle_request_traced(
 
 /// Trace context threaded through [`execute`]: the full propagated ID list
 /// (batched soft-state frames may carry several), the primary trace ID
-/// (first propagated or locally minted, never 0), and the enclosing
-/// `op.*` span to parent child spans under.
+/// (first propagated or locally minted, never 0), the enclosing `op.*`
+/// span to parent child spans under, and the sender's soft-state lag
+/// stamp, if the frame carried one.
 struct TraceCtx<'a> {
     ids: &'a [u64],
     trace_id: u64,
     parent: u64,
+    lag: Option<LagStamp>,
 }
 
 impl TraceCtx<'_> {
@@ -553,6 +657,9 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             let n = state
                 .rli()?
                 .apply_full_chunk_seq(&lrc, update_id, seq, last, &lfns, Timestamp::now())?;
+            if let Some(stamp) = ctx.lag {
+                state.rli()?.note_update_stamp(&lrc, stamp);
+            }
             let detail = format!("lrc={lrc} update_id={update_id} seq={seq} upserts={n}");
             for id in ctx.apply_ids() {
                 state.journal.record_with(
@@ -576,6 +683,9 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             state
                 .rli()?
                 .apply_delta(&lrc, &added, &removed, Timestamp::now())?;
+            if let Some(stamp) = ctx.lag {
+                state.rli()?.note_update_stamp(&lrc, stamp);
+            }
             let detail = format!("lrc={lrc} added={} removed={}", added.len(), removed.len());
             for id in ctx.apply_ids() {
                 state.journal.record_with(
@@ -600,6 +710,9 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
             let filter = Request::bloom_from_wire(params, bits, &words, entries)?;
             let t0 = Instant::now();
             state.rli()?.apply_bloom(&lrc, filter, Timestamp::now());
+            if let Some(stamp) = ctx.lag {
+                state.rli()?.note_update_stamp(&lrc, stamp);
+            }
             for id in ctx.apply_ids() {
                 state.journal.record_with(
                     id,
@@ -616,6 +729,17 @@ fn execute(state: &ServerState, req: Request, ctx: &TraceCtx<'_>) -> RlsResult<R
 
         // -- admin --
         Stats => Response::StatsReport(state.stats()),
+        StatsHistory { since_seq, limit } => {
+            Response::StatsHistoryReport(StatsHistoryWire {
+                interval_micros: state
+                    .telemetry_interval
+                    .as_micros()
+                    .min(u64::MAX as u128) as u64,
+                ring_capacity: state.telemetry.capacity() as u64,
+                samples_total: state.telemetry.total_samples(),
+                samples: state.telemetry.since(since_seq, limit as usize),
+            })
+        }
         TraceQuery {
             trace_id,
             op_prefix,
@@ -655,6 +779,9 @@ mod tests {
             net: Arc::new(ConnMeter::new()),
             journal: Arc::new(TraceJournal::new(1024)),
             slow_op_threshold: None,
+            telemetry: Arc::new(TelemetryRing::new(64)),
+            telemetry_interval: Duration::from_secs(1),
+            started_at: Instant::now(),
         }
     }
 
@@ -974,6 +1101,140 @@ mod tests {
             handle_request(&st, &stranger, q),
             Response::Error(_)
         ));
+    }
+
+    #[test]
+    fn stats_history_over_dispatch_with_cursor() {
+        let st = state();
+        let id = anon();
+        handle_request(&st, &id, Request::Create(m("lfn://h", "pfn://1")));
+        let first = st.capture_sample();
+        handle_request(&st, &id, Request::QueryLfn("lfn://h".into()));
+        st.capture_sample();
+        let Response::StatsHistoryReport(h) = handle_request(
+            &st,
+            &id,
+            Request::StatsHistory {
+                since_seq: 0,
+                limit: 0,
+            },
+        ) else {
+            panic!("expected history");
+        };
+        assert_eq!(h.interval_micros, 1_000_000);
+        assert_eq!(h.ring_capacity, 64);
+        assert_eq!(h.samples_total, 2);
+        assert_eq!(h.samples.len(), 2);
+        assert!(h.samples[0].seq < h.samples[1].seq);
+        // A cursor skips already-seen samples.
+        let Response::StatsHistoryReport(h) = handle_request(
+            &st,
+            &id,
+            Request::StatsHistory {
+                since_seq: first,
+                limit: 0,
+            },
+        ) else {
+            panic!("expected history");
+        };
+        assert_eq!(h.samples.len(), 1);
+        // Samples carry the merged registry, including the sampler's own
+        // tick counter.
+        let counter = |s: &rls_metrics::TelemetrySample, name: &str| {
+            s.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(counter(&h.samples[0], "telemetry.samples"), 2);
+        assert!(h.samples[0]
+            .histograms
+            .iter()
+            .any(|(n, hs)| n == "op.create" && hs.count == 1));
+    }
+
+    #[test]
+    fn sampler_refreshes_gauges_and_rolls_exemplars() {
+        let st = state();
+        let id = anon();
+        handle_request(&st, &id, Request::Create(m("lfn://e", "pfn://1")));
+        // The stats RPC no longer computes shard gauges lazily; they appear
+        // once the sampler has run.
+        let Response::StatsReport(s) = handle_request(&st, &id, Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(
+            !s.counters
+                .iter()
+                .any(|(n, _)| n == "storage.shard.imbalance_ppm"),
+            "shard gauges refresh on the sampler cadence, not in Stats"
+        );
+        st.capture_sample();
+        let latest = st.telemetry.latest().expect("sample captured");
+        let counter = |name: &str| {
+            latest
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(counter("storage.shard.imbalance_ppm"), 0); // one shard
+        assert!(counter("exemplar.op.create.max_us") > 0);
+        let exemplar_trace = counter("exemplar.op.create.trace_id");
+        assert_ne!(exemplar_trace, 0);
+        // The exemplar links back to a real journal span.
+        let spans = st.journal.query(&TraceQueryFilter {
+            trace_id: exemplar_trace,
+            ..Default::default()
+        });
+        assert!(!spans.is_empty(), "exemplar trace id resolves in journal");
+        // An idle window keeps the previous exemplar pair.
+        st.capture_sample();
+        let latest = st.telemetry.latest().unwrap();
+        assert!(latest
+            .counters
+            .iter()
+            .any(|(n, v)| n == "exemplar.op.create.trace_id" && *v == exemplar_trace));
+    }
+
+    #[test]
+    fn lag_stamp_feeds_the_staleness_plane() {
+        let st = state();
+        let meta = FrameMeta {
+            trace_ids: vec![77],
+            lag: Some(LagStamp {
+                commit_seq: 9,
+                commit_unix_micros: unix_micros_now().saturating_sub(250_000),
+            }),
+        };
+        let resp = handle_request_framed(
+            &st,
+            &anon(),
+            Request::SoftStateDelta {
+                lrc: "lrc-lag".into(),
+                added: vec!["lfn://lag".into()],
+                removed: vec![],
+            },
+            &meta,
+        );
+        assert_eq!(resp, Response::Ok);
+        let rli = st.rli.as_ref().unwrap();
+        let counters = rli.metrics().counter_snapshot();
+        let lag_ms = counters
+            .iter()
+            .find(|(n, _)| n == "rli.update_lag_ms.lrc-lag")
+            .expect("per-LRC lag gauge")
+            .1;
+        assert!((250..10_000).contains(&lag_ms), "lag_ms={lag_ms}");
+        assert!(counters
+            .iter()
+            .any(|(n, v)| n == "rli.commit_seq.lrc-lag" && *v == 9));
+        let hists = rli.metrics().histogram_snapshot();
+        assert!(hists
+            .iter()
+            .any(|(n, h)| n == "rli.update_lag" && h.count == 1));
     }
 
     #[test]

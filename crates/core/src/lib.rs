@@ -46,7 +46,10 @@ pub use dispatch::ServerState;
 pub use locator::{Located, LrcDirectory, ReplicaLocator, StaticDirectory};
 pub use lrc::LrcService;
 pub use membership::{Member, MemberRole, MembershipConfig, UpdateEdge};
-pub use report::{format_stats_json, format_stats_report, format_trace_report};
+pub use report::{
+    format_history_json, format_stats_json, format_stats_report, format_trace_report, render_top,
+    TopOptions,
+};
 pub use rli::RliService;
 pub use server::{Server, SERVER_VERSION};
 pub use shard::ShardedCatalog;

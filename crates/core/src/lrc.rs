@@ -206,7 +206,9 @@ impl LrcService {
     /// Refreshes the `storage.shard.*` skew gauges from live per-shard
     /// mapping counts: `storage.shard.imbalance_ppm` is the hottest
     /// shard's excess over the mean, in parts per million (0 = perfectly
-    /// balanced or empty). Called when the stats RPC snapshots metrics.
+    /// balanced or empty). Called on the telemetry sampler's cadence
+    /// (`ServerState::refresh_gauges`), so the stats RPC reads a current
+    /// value without paying the per-shard count walk itself.
     pub fn record_shard_gauges(&self) {
         let counts = self.catalog.per_shard_mapping_counts();
         let total: u64 = counts.iter().sum();

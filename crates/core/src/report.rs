@@ -4,11 +4,15 @@
 //! report printed by `rls-cli stats`: catalog sizes, per-operation latency
 //! quantiles (the live counterpart of the paper's Figures 4–6), soft-state
 //! and storage histograms, and the labeled counter list. Also renders the
-//! machine-readable JSON form (`rls-cli stats --json`) and the span table
-//! printed by `rls-cli trace`.
+//! machine-readable JSON form (`rls-cli stats --json`), the span table
+//! printed by `rls-cli trace`, and the flight-recorder views: the live
+//! `rls-cli top` dashboard ([`render_top`]) and the `rls-cli history
+//! --json` dump ([`format_history_json`]).
 
-use rls_metrics::HistogramSnapshot;
-use rls_proto::{ServerStatsWire, SpanWire};
+use rls_metrics::{
+    counter_window, histogram_window, rate_per_sec, HistogramSnapshot, TelemetrySample,
+};
+use rls_proto::{ServerStatsWire, SpanWire, StatsHistoryWire};
 
 /// Renders one latency value; the saturating bucket's upper bound is
 /// `u64::MAX`, which we print as an open interval rather than the number.
@@ -91,12 +95,227 @@ pub fn format_stats_report(stats: &ServerStatsWire) -> String {
             out.push_str(&histogram_row(name, h));
         }
     }
+    let exemplars: Vec<(&str, u64)> = stats
+        .counters
+        .iter()
+        .filter_map(|(n, v)| {
+            n.strip_prefix("exemplar.")
+                .and_then(|r| r.strip_suffix(".max_us"))
+                .map(|op| (op, *v))
+        })
+        .collect();
+    if !exemplars.is_empty() {
+        out.push_str("\nworst-latency exemplars (last sampler window):\n");
+        for (op, us) in exemplars {
+            let trace = stats
+                .counters
+                .iter()
+                .find(|(n, _)| n == &format!("exemplar.{op}.trace_id"))
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            out.push_str(&format!("  {op:<28} {us:>9}us  trace {trace:016x}\n"));
+        }
+    }
     if !stats.counters.is_empty() {
         out.push_str("\ncounters:\n");
         for (name, v) in &stats.counters {
             out.push_str(&format!("  {name:<40} {v}\n"));
         }
     }
+    out
+}
+
+/// Options controlling [`render_top`].
+#[derive(Clone, Debug)]
+pub struct TopOptions {
+    /// Emit ANSI colors on the staleness rows.
+    pub color: bool,
+    /// Per-LRC staleness above this renders as a warning (yellow).
+    pub stale_warn_ms: u64,
+    /// Per-LRC staleness above this renders as critical (red).
+    pub stale_crit_ms: u64,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        Self {
+            color: true,
+            stale_warn_ms: 10_000,
+            stale_crit_ms: 60_000,
+        }
+    }
+}
+
+fn fmt_rate_bytes(per_sec: f64) -> String {
+    if per_sec >= 1_048_576.0 {
+        format!("{:.1}MiB", per_sec / 1_048_576.0)
+    } else if per_sec >= 1024.0 {
+        format!("{:.1}KiB", per_sec / 1024.0)
+    } else {
+        format!("{per_sec:.0}B")
+    }
+}
+
+/// Renders one frame of the `rls-cli top` dashboard from the retained
+/// sample window: per-window operation rates and percentiles (deltas of
+/// the last two samples), worker-pool occupancy, net throughput, shard
+/// imbalance, the per-LRC staleness plane with threshold coloring, and the
+/// worst-latency exemplars. With a single sample the view is cumulative
+/// (the whole uptime is the window).
+pub fn render_top(window: &[TelemetrySample], interval_micros: u64, opts: &TopOptions) -> String {
+    let Some(cur) = window.last() else {
+        return "no telemetry samples yet (is the sampler enabled?)\n".to_owned();
+    };
+    let prev = window.len().checked_sub(2).map(|i| &window[i]);
+    let window_micros = match prev {
+        Some(p) => cur.uptime_micros.saturating_sub(p.uptime_micros),
+        None => cur.uptime_micros,
+    };
+    let mut out = format!(
+        "sample #{} | uptime {:.1}s | window {:.1}s | cadence {}ms\n",
+        cur.seq,
+        cur.uptime_micros as f64 / 1e6,
+        window_micros as f64 / 1e6,
+        interval_micros / 1000,
+    );
+    let counter_deltas: Vec<(&str, u64)> = match prev {
+        Some(p) => counter_window(&p.counters, &cur.counters),
+        None => cur.counters.iter().map(|(n, v)| (n.as_str(), *v)).collect(),
+    };
+    let find = |name: &str| {
+        cur.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    let delta = |name: &str| {
+        counter_deltas
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    out.push_str(&format!(
+        "workers {}/{} busy (hwm {}) | net {}/s in {}/s out | shard imbalance {}\n",
+        find("server.workers_busy").unwrap_or(0),
+        find("server.worker_threads").unwrap_or(0),
+        find("server.workers_busy_hwm").unwrap_or(0),
+        fmt_rate_bytes(rate_per_sec(delta("net.bytes_in"), window_micros)),
+        fmt_rate_bytes(rate_per_sec(delta("net.bytes_out"), window_micros)),
+        find("storage.shard.imbalance_ppm")
+            .map(|v| format!("{v}ppm"))
+            .unwrap_or_else(|| "-".to_owned()),
+    ));
+    let hist_deltas: Vec<(&str, HistogramSnapshot)> = match prev {
+        Some(p) => histogram_window(&p.histograms, &cur.histograms),
+        None => cur
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.as_str(), *h))
+            .collect(),
+    };
+    let ops: Vec<&(&str, HistogramSnapshot)> = hist_deltas
+        .iter()
+        .filter(|(n, h)| n.starts_with("op.") && h.count > 0)
+        .collect();
+    if !ops.is_empty() {
+        out.push_str(&format!(
+            "\n  {:<24} {:>8} {:>9} {:>9} {:>9}  {}\n",
+            "op (window)", "rate/s", "p50us", "p99us", "maxus", "worst trace"
+        ));
+        for (name, h) in ops {
+            let worst = match (
+                find(&format!("exemplar.{name}.max_us")),
+                find(&format!("exemplar.{name}.trace_id")),
+            ) {
+                (Some(us), Some(id)) if id != 0 => format!("{us}us @{id:016x}"),
+                _ => "-".to_owned(),
+            };
+            out.push_str(&format!(
+                "  {:<24} {:>8.1} {:>9} {:>9} {:>9}  {}\n",
+                name,
+                rate_per_sec(h.count, window_micros),
+                fmt_micros(h.p50()),
+                fmt_micros(h.p99()),
+                fmt_micros(h.max_micros),
+                worst,
+            ));
+        }
+    }
+    let stale: Vec<(&str, u64)> = cur
+        .counters
+        .iter()
+        .filter_map(|(n, v)| n.strip_prefix("rli.lrc.staleness_ms.").map(|lrc| (lrc, *v)))
+        .collect();
+    if !stale.is_empty() {
+        out.push_str(&format!(
+            "\n  {:<24} {:>10} {:>10} {:>11}\n",
+            "lrc (staleness)", "age_ms", "lag_ms", "divergence"
+        ));
+        let opt = |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_else(|| "-".to_owned());
+        for (lrc, age_ms) in stale {
+            let row = format!(
+                "  {:<24} {:>10} {:>10} {:>11}",
+                lrc,
+                age_ms,
+                opt(find(&format!("rli.update_lag_ms.{lrc}"))),
+                opt(find(&format!("rli.mapping_divergence.{lrc}"))),
+            );
+            if opts.color {
+                let code = if age_ms >= opts.stale_crit_ms {
+                    "\x1b[31m" // red
+                } else if age_ms >= opts.stale_warn_ms {
+                    "\x1b[33m" // yellow
+                } else {
+                    "\x1b[32m" // green
+                };
+                out.push_str(&format!("{code}{row}\x1b[0m\n"));
+            } else {
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Formats a `StatsHistory` report as one JSON object (`rls-cli history
+/// --json`): the sampler configuration plus every retained sample with its
+/// counters and non-empty histogram summaries, oldest first.
+pub fn format_history_json(h: &StatsHistoryWire) -> String {
+    let mut out = format!(
+        "{{\"interval_micros\":{},\"ring_capacity\":{},\"samples_total\":{},\"samples\":[",
+        h.interval_micros, h.ring_capacity, h.samples_total
+    );
+    for (i, s) in h.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"at_unix_micros\":{},\"uptime_micros\":{},\"counters\":{{",
+            s.seq, s.at_unix_micros, s.uptime_micros
+        ));
+        for (j, (name, v)) in s.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, hist) in &s.histograms {
+            if hist.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", json_escape(name), json_histogram(hist)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
     out
 }
 
@@ -328,5 +547,131 @@ mod tests {
         };
         let report = format_stats_report(&stats);
         assert!(report.contains(">=2^30"));
+    }
+
+    #[test]
+    fn stats_report_prints_exemplar_section() {
+        let stats = ServerStatsWire {
+            counters: vec![
+                ("exemplar.op.create.max_us".into(), 950),
+                ("exemplar.op.create.trace_id".into(), 0xdead_beef),
+            ],
+            ..ServerStatsWire::default()
+        };
+        let report = format_stats_report(&stats);
+        assert!(report.contains("worst-latency exemplars"));
+        assert!(report.contains("op.create"));
+        assert!(report.contains("950us"));
+        assert!(report.contains("00000000deadbeef"));
+        // No exemplar counters → no section.
+        assert!(!format_stats_report(&ServerStatsWire::default())
+            .contains("worst-latency exemplars"));
+    }
+
+    fn sample(seq: u64, uptime_micros: u64) -> TelemetrySample {
+        TelemetrySample {
+            seq,
+            at_unix_micros: 1_000_000 + uptime_micros,
+            uptime_micros,
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn top_renders_window_rates_and_staleness_colors() {
+        let mut a = sample(1, 1_000_000);
+        a.counters = vec![
+            ("net.bytes_in".into(), 1_000),
+            ("op.query.count".into(), 0),
+        ];
+        a.histograms = vec![("op.query".into(), snap(&[10]))];
+        let mut b = sample(2, 2_000_000);
+        b.counters = vec![
+            ("exemplar.op.query.max_us".into(), 400),
+            ("exemplar.op.query.trace_id".into(), 0xfeed),
+            ("net.bytes_in".into(), 3_048),
+            ("rli.lrc.staleness_ms.lrc-cold".into(), 120_000),
+            ("rli.lrc.staleness_ms.lrc-hot".into(), 5),
+            ("rli.lrc.staleness_ms.lrc-warm".into(), 15_000),
+            ("rli.mapping_divergence.lrc-hot".into(), 2),
+            ("server.worker_threads".into(), 8),
+            ("server.workers_busy".into(), 3),
+            ("storage.shard.imbalance_ppm".into(), 1234),
+        ];
+        b.histograms = vec![("op.query".into(), snap(&[10, 100, 100, 400]))];
+        let window = [a, b];
+        let opts = TopOptions::default();
+        let out = render_top(&window, 1_000_000, &opts);
+        assert!(out.contains("sample #2"));
+        assert!(out.contains("window 1.0s"));
+        assert!(out.contains("cadence 1000ms"));
+        assert!(out.contains("workers 3/8 busy"));
+        assert!(out.contains("1234ppm"));
+        // 3048-1000 = 2048 bytes over a 1s window.
+        assert!(out.contains("2.0KiB/s in"));
+        // op.query window delta: 4-1 = 3 events/s.
+        assert!(out.lines().any(|l| l.contains("op.query") && l.contains("3.0")));
+        assert!(out.contains("400us @000000000000feed"));
+        // Threshold coloring: hot green, warm yellow, cold red.
+        assert!(out.contains("\x1b[32m") && out.contains("lrc-hot"));
+        assert!(out.contains("\x1b[33m") && out.contains("lrc-warm"));
+        assert!(out.contains("\x1b[31m") && out.contains("lrc-cold"));
+        // Missing lag gauge renders as "-", present divergence as a number.
+        assert!(out.lines().any(|l| l.contains("lrc-hot") && l.contains('-') && l.contains('2')));
+
+        let plain = render_top(
+            &window,
+            1_000_000,
+            &TopOptions {
+                color: false,
+                ..TopOptions::default()
+            },
+        );
+        assert!(!plain.contains('\x1b'));
+    }
+
+    #[test]
+    fn top_with_one_sample_is_cumulative_and_empty_window_explains() {
+        let mut only = sample(7, 2_000_000);
+        only.histograms = vec![("op.add".into(), snap(&[50, 50]))];
+        let out = render_top(std::slice::from_ref(&only), 500_000, &TopOptions::default());
+        assert!(out.contains("sample #7"));
+        assert!(out.contains("window 2.0s"));
+        // Cumulative rate: 2 events over 2s uptime.
+        assert!(out.lines().any(|l| l.contains("op.add") && l.contains("1.0")));
+        assert!(render_top(&[], 500_000, &TopOptions::default()).contains("no telemetry samples"));
+    }
+
+    #[test]
+    fn history_json_is_brace_balanced_and_skips_empty_histograms() {
+        let mut s = sample(3, 42);
+        s.counters = vec![("telemetry.samples".into(), 3)];
+        s.histograms = vec![
+            ("op.idle".into(), HistogramSnapshot::default()),
+            ("op.query".into(), snap(&[9])),
+        ];
+        let wire = StatsHistoryWire {
+            interval_micros: 1_000_000,
+            ring_capacity: 512,
+            samples_total: 3,
+            samples: vec![s],
+        };
+        let json = format_history_json(&wire);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert!(json.contains("\"interval_micros\":1000000"));
+        assert!(json.contains("\"samples_total\":3"));
+        assert!(json.contains("\"seq\":3"));
+        assert!(json.contains("\"telemetry.samples\":3"));
+        assert!(json.contains("\"op.query\""));
+        assert!(!json.contains("op.idle"));
+        // Empty history still forms a valid object.
+        let empty = format_history_json(&StatsHistoryWire::default());
+        assert!(empty.contains("\"samples\":[]"));
     }
 }

@@ -11,12 +11,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
 use rls_bloom::BloomFilter;
 use rls_metrics::Registry;
+use rls_proto::LagStamp;
 use rls_storage::{RliDatabase, RliQueryHit};
 use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
 
@@ -38,6 +39,18 @@ struct ChunkCursor {
     next_seq: u32,
 }
 
+/// Per-LRC freshness bookkeeping behind the staleness gauges: when this
+/// RLI last applied *anything* from the LRC, how many names the LRC itself
+/// claimed to hold at its last whole-state push (completed full update or
+/// Bloom filter), and the names accumulated so far in an in-flight chunked
+/// full update.
+#[derive(Clone, Copy, Debug)]
+struct Freshness {
+    last_apply: Instant,
+    claimed_count: Option<u64>,
+    pending_full: u64,
+}
+
 /// The RLI role of a server.
 pub struct RliService {
     /// Relational store for uncompressed/incremental updates.
@@ -46,6 +59,8 @@ pub struct RliService {
     /// Per-LRC chunk reassembly state for sequenced full updates (one
     /// cursor per sender, replaced when a new update id arrives).
     chunks: Mutex<HashMap<String, ChunkCursor>>,
+    /// Per-LRC freshness bookkeeping feeding the staleness gauges.
+    freshness: Mutex<HashMap<String, Freshness>>,
     config: RliConfig,
     updates_received: AtomicU64,
     queries: AtomicU64,
@@ -72,6 +87,7 @@ impl RliService {
             db: RwLock::new(db),
             blooms: RwLock::new(HashMap::new()),
             chunks: Mutex::new(HashMap::new()),
+            freshness: Mutex::new(HashMap::new()),
             config,
             updates_received: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -90,6 +106,19 @@ impl RliService {
         &self.metrics
     }
 
+    /// Mutates `lrc`'s freshness entry (creating it on first contact) and
+    /// touches its last-apply instant. Called with no other lock held.
+    fn touch_freshness(&self, lrc: &str, f: impl FnOnce(&mut Freshness)) {
+        let mut fresh = self.freshness.lock();
+        let entry = fresh.entry(lrc.to_owned()).or_insert_with(|| Freshness {
+            last_apply: Instant::now(),
+            claimed_count: None,
+            pending_full: 0,
+        });
+        entry.last_apply = Instant::now();
+        f(entry);
+    }
+
     /// Applies one chunk of an uncompressed full update.
     pub fn apply_full_chunk(&self, lrc: &str, lfns: &[String], at: Timestamp) -> RlsResult<u64> {
         self.updates_received.fetch_add(1, Ordering::Relaxed);
@@ -101,6 +130,7 @@ impl RliService {
         self.metrics
             .histogram("rli.apply_full")
             .record(t0.elapsed());
+        self.touch_freshness(lrc, |_| {});
         Ok(n)
     }
 
@@ -164,7 +194,21 @@ impl RliService {
         if last {
             self.metrics.counter("rli.full_updates_completed").inc();
         }
-        self.apply_full_chunk(lrc, lfns, at)
+        let n = self.apply_full_chunk(lrc, lfns, at)?;
+        // Account the chunk toward the sender's claimed mapping count: a
+        // completed stream tells us exactly how many names the LRC holds,
+        // which the divergence gauge compares against our own view.
+        self.touch_freshness(lrc, |f| {
+            if seq == 0 {
+                f.pending_full = 0;
+            }
+            f.pending_full += lfns.len() as u64;
+            if last {
+                f.claimed_count = Some(f.pending_full);
+                f.pending_full = 0;
+            }
+        });
+        Ok(n)
     }
 
     /// Applies an incremental (immediate-mode) update.
@@ -186,6 +230,10 @@ impl RliService {
         self.metrics
             .histogram("rli.apply_delta")
             .record(t0.elapsed());
+        // Deltas refresh the age gauge but not the claimed count — drift
+        // between deltas and the last whole-state push is exactly what the
+        // divergence gauge is watching for.
+        self.touch_freshness(lrc, |_| {});
         Ok(())
     }
 
@@ -204,6 +252,7 @@ impl RliService {
         self.metrics
             .counter("rli.bloom_fpp_ppm")
             .set((filter.estimated_fpp() * 1_000_000.0) as u64);
+        let entries = filter.entries();
         self.blooms.write().insert(
             lrc.to_owned(),
             StoredBloom {
@@ -214,6 +263,53 @@ impl RliService {
         self.metrics
             .histogram("rli.apply_bloom")
             .record(t0.elapsed());
+        self.touch_freshness(lrc, |f| f.claimed_count = Some(entries));
+    }
+
+    /// Records a sender's [`LagStamp`] into the update-lag plane: the
+    /// `rli.update_lag` histogram (microseconds between the LRC committing
+    /// the shipped state and this RLI applying it) plus per-LRC
+    /// `rli.update_lag_ms.<lrc>` / `rli.commit_seq.<lrc>` gauges.
+    pub fn note_update_stamp(&self, lrc: &str, stamp: LagStamp) {
+        let now = rls_metrics::unix_micros_now();
+        let lag_micros = now.saturating_sub(stamp.commit_unix_micros);
+        self.metrics
+            .histogram("rli.update_lag")
+            .record(Duration::from_micros(lag_micros));
+        self.metrics
+            .counter(&format!("rli.update_lag_ms.{lrc}"))
+            .set(lag_micros / 1_000);
+        self.metrics
+            .counter(&format!("rli.commit_seq.{lrc}"))
+            .set(stamp.commit_seq);
+    }
+
+    /// Refreshes the per-LRC staleness gauges from the freshness map:
+    /// `rli.lrc.staleness_ms.<lrc>` (time since this RLI last applied
+    /// anything from the LRC) and `rli.mapping_divergence.<lrc>` (absolute
+    /// difference between the mapping count the LRC claimed at its last
+    /// whole-state push and the count this RLI currently holds for it).
+    /// Called on the telemetry sampler cadence.
+    pub fn refresh_staleness_gauges(&self) {
+        let fresh = self.freshness.lock();
+        for (lrc, f) in fresh.iter() {
+            let age_ms = f.last_apply.elapsed().as_millis().min(u64::MAX as u128) as u64;
+            self.metrics
+                .counter(&format!("rli.lrc.staleness_ms.{lrc}"))
+                .set(age_ms);
+            if let Some(claimed) = f.claimed_count {
+                // A Bloom-mode sender's view is the stored filter itself —
+                // always whole-state, so it never diverges; relational
+                // senders are compared against the O(1) per-LRC refcount.
+                let held = match self.blooms.read().get(lrc) {
+                    Some(stored) => stored.filter.entries(),
+                    None => self.db.read().count_for_lrc(lrc),
+                };
+                self.metrics
+                    .counter(&format!("rli.mapping_divergence.{lrc}"))
+                    .set(claimed.abs_diff(held));
+            }
+        }
     }
 
     /// Queries all stores for a logical name. Hits from Bloom filters carry
@@ -526,6 +622,69 @@ mod tests {
         assert!(get("rli.bloom_bits_set") > 0);
         assert!(get("rli.bloom_bits_total") >= get("rli.bloom_bits_set"));
         assert_eq!(get("rli.expired_last_sweep"), 2);
+    }
+
+    #[test]
+    fn staleness_gauges_track_age_and_divergence() {
+        let s = svc();
+        let names = |ns: &[&str]| ns.iter().map(|n| (*n).to_owned()).collect::<Vec<_>>();
+        // Completed full update: claimed count = 2, held count = 2.
+        s.apply_full_chunk_seq("lrc-1", 1, 0, false, &names(&["lfn://a"]), ts(1))
+            .unwrap();
+        s.apply_full_chunk_seq("lrc-1", 1, 1, true, &names(&["lfn://b"]), ts(1))
+            .unwrap();
+        s.refresh_staleness_gauges();
+        let get = |name: &str| {
+            s.metrics()
+                .counter_snapshot()
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert!(get("rli.lrc.staleness_ms.lrc-1") < 60_000);
+        assert_eq!(get("rli.mapping_divergence.lrc-1"), 0);
+        // A delta that drops a name opens a divergence window until the
+        // next whole-state push.
+        s.apply_delta("lrc-1", &[], &names(&["lfn://b"]), ts(2))
+            .unwrap();
+        s.refresh_staleness_gauges();
+        assert_eq!(get("rli.mapping_divergence.lrc-1"), 1);
+        // Bloom senders always claim exactly the stored filter.
+        s.apply_bloom("lrc-bloom", bloom_of(&["lfn://x", "lfn://y"]), ts(3));
+        s.refresh_staleness_gauges();
+        assert_eq!(get("rli.mapping_divergence.lrc-bloom"), 0);
+        assert!(get("rli.lrc.staleness_ms.lrc-bloom") < 60_000);
+    }
+
+    #[test]
+    fn update_stamp_records_lag_plane() {
+        use rls_proto::LagStamp;
+        let s = svc();
+        s.note_update_stamp(
+            "lrc-1",
+            LagStamp {
+                commit_seq: 5,
+                commit_unix_micros: rls_metrics::unix_micros_now().saturating_sub(42_000),
+            },
+        );
+        let counters = s.metrics().counter_snapshot();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert!((42..10_000).contains(&get("rli.update_lag_ms.lrc-1")));
+        assert_eq!(get("rli.commit_seq.lrc-1"), 5);
+        let hists = s.metrics().histogram_snapshot();
+        let lag = hists
+            .iter()
+            .find(|(n, _)| n == "rli.update_lag")
+            .expect("lag histogram");
+        assert_eq!(lag.1.count, 1);
+        assert!(lag.1.sum_micros >= 42_000);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use rls_metrics::Counter;
+use rls_metrics::{Counter, TelemetryRing};
 use rls_net::{Conn, Listener, TryRecv};
 use rls_proto::{Request, Response, PROTOCOL_VERSION};
 use rls_trace::TraceJournal;
@@ -46,7 +46,7 @@ use rls_types::{ErrorCode, RlsError, RlsResult, Timestamp};
 
 use crate::auth::{Authorizer, Identity};
 use crate::config::{ServerConfig, UpdateMode};
-use crate::dispatch::{handle_request_traced, ServerState};
+use crate::dispatch::{handle_request_framed, ServerState};
 use crate::lrc::LrcService;
 use crate::rli::RliService;
 use crate::softstate::{UpdateOutcome, Updater};
@@ -135,6 +135,9 @@ impl Server {
             net: Arc::new(rls_net::ConnMeter::new()),
             journal: Arc::new(TraceJournal::new(config.trace_journal_capacity)),
             slow_op_threshold: config.slow_op_threshold,
+            telemetry: Arc::new(TelemetryRing::new(config.telemetry_ring_capacity)),
+            telemetry_interval: config.telemetry_interval,
+            started_at: Instant::now(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = if config.worker_threads == 0 {
@@ -229,6 +232,23 @@ impl Server {
             _ => None,
         };
 
+        // Flight-recorder sampler: refreshes derived gauges (worker
+        // occupancy, shard imbalance, RLI staleness), rolls the latency
+        // exemplars, and captures the whole registry into the telemetry
+        // ring every `telemetry_interval_ms`.
+        if !config.telemetry_interval.is_zero() {
+            let state = Arc::clone(&state);
+            let pool = Arc::clone(&pool);
+            let shutdown = Arc::clone(&shutdown);
+            let interval = config.telemetry_interval;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rls-telemetry-{addr}"))
+                    .spawn(move || telemetry_loop(&state, &pool, &shutdown, interval))
+                    .expect("spawn telemetry thread"),
+            );
+        }
+
         // Update thread (LRC role) drives the shared updater.
         if let (Some(updater), Some(lrc_cfg)) = (&updater, &config.lrc) {
             if lrc_cfg.update.auto && !matches!(lrc_cfg.update.mode, UpdateMode::None) {
@@ -310,6 +330,17 @@ impl Server {
         let mut updater = updater.lock();
         let targets = updater.targets();
         updater.flush_deltas(&targets)
+    }
+
+    /// Captures one flight-recorder sample synchronously (tests and the
+    /// chaos suite use this for deterministic telemetry instead of waiting
+    /// out the sampler interval). Works with the sampler disabled too.
+    pub fn force_sample(&self) -> u64 {
+        self.state
+            .metrics
+            .counter("server.workers_busy")
+            .set(self.pool.busy_now.load(Ordering::SeqCst) as u64);
+        self.state.capture_sample()
     }
 
     /// Runs one synchronous expire pass; requires the RLI role.
@@ -586,8 +617,8 @@ fn serve_frame(session: &mut Session, frame: &[u8], state: &ServerState) -> RlsR
             // Frames may carry a trace envelope; propagated IDs are
             // threaded into dispatch so spans land under the client's
             // trace.
-            let response = match Request::decode_traced(frame) {
-                Ok((trace_ids, req)) => handle_request_traced(state, identity, req, &trace_ids),
+            let response = match Request::decode_framed(frame) {
+                Ok((meta, req)) => handle_request_framed(state, identity, req, &meta),
                 Err(e) => Response::Error(e),
             };
             conn.send(&response.encode().into_bytes())?;
@@ -622,6 +653,32 @@ fn serve_frame(session: &mut Session, frame: &[u8], state: &ServerState) -> RlsR
                 Ok(FrameOutcome::Close)
             }
         },
+    }
+}
+
+/// The flight-recorder sampler thread: every `interval`, publish the
+/// live worker occupancy and take one registry sample into the telemetry
+/// ring. Sleeps in short ticks so shutdown is noticed promptly even at
+/// multi-second sampling intervals.
+fn telemetry_loop(
+    state: &Arc<ServerState>,
+    pool: &Arc<ConnPool>,
+    shutdown: &Arc<AtomicBool>,
+    interval: Duration,
+) {
+    let tick = Duration::from_millis(20);
+    let mut next = Instant::now() + interval;
+    while !shutdown.load(Ordering::SeqCst) {
+        if Instant::now() < next {
+            std::thread::sleep(tick.min(interval));
+            continue;
+        }
+        next += interval;
+        state
+            .metrics
+            .counter("server.workers_busy")
+            .set(pool.busy_now.load(Ordering::SeqCst) as u64);
+        state.capture_sample();
     }
 }
 

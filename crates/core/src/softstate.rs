@@ -25,7 +25,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rls_metrics::unix_micros_now;
 use rls_net::{FaultHook, LinkProfile, RetryPolicy, SharedIngress};
+use rls_proto::LagStamp;
 use rls_storage::lrcdb::RliTarget;
 use rls_trace::TraceJournal;
 use rls_types::{Dn, Regex, RlsError, RlsResult};
@@ -228,6 +230,14 @@ impl Updater {
     /// Sends an uncompressed full update to one RLI.
     pub fn send_full(&mut self, target: &RliTarget) -> RlsResult<UpdateOutcome> {
         let patterns = self.partitions(target)?;
+        // Freshness stamp taken at snapshot start: the shipped state is
+        // current as of this commit sequence and wall-clock instant. It
+        // rides only on the final chunk — the RLI's lag plane should see
+        // one stamp per completed update, not one per chunk.
+        let stamp = LagStamp {
+            commit_seq: self.lrc.commit_seq(),
+            commit_unix_micros: unix_micros_now(),
+        };
         // Snapshot the namespace shard by shard (each shard read-locked
         // only for its own scan). Full updates are idempotent upserts, so a
         // write landing between shard scans is healed by the next cycle —
@@ -266,7 +276,15 @@ impl Updater {
         let result = (|| -> RlsResult<()> {
             let conn = self.conn(&target.name)?;
             if lfns.is_empty() {
-                conn.send_full_chunk_traced(&lrc_name, update_id, 0, true, Vec::new(), trace_ids)?;
+                conn.send_full_chunk_framed(
+                    &lrc_name,
+                    update_id,
+                    0,
+                    true,
+                    Vec::new(),
+                    trace_ids,
+                    Some(stamp),
+                )?;
                 return Ok(());
             }
             let chunks: Vec<&[String]> = lfns.chunks(chunk_size).collect();
@@ -282,13 +300,15 @@ impl Updater {
                         u32::MAX
                     ))
                 })?;
-                conn.send_full_chunk_traced(
+                let last = seq == last_idx;
+                conn.send_full_chunk_framed(
                     &lrc_name,
                     update_id,
                     wire_seq,
-                    seq == last_idx,
+                    last,
                     chunk.to_vec(),
                     trace_ids,
+                    if last { Some(stamp) } else { None },
                 )?;
             }
             Ok(())
@@ -319,6 +339,10 @@ impl Updater {
 
     /// Sends a Bloom update to one RLI.
     pub fn send_bloom(&mut self, target: &RliTarget) -> RlsResult<UpdateOutcome> {
+        let stamp = LagStamp {
+            commit_seq: self.lrc.commit_seq(),
+            commit_unix_micros: unix_micros_now(),
+        };
         let (filter, generate_seconds) = self.lrc.bloom_snapshot();
         let names = filter.entries();
         let bytes = filter.byte_len() as u64;
@@ -336,7 +360,7 @@ impl Updater {
         let t0 = Instant::now();
         let result = self
             .conn(&target.name)
-            .and_then(|conn| conn.send_bloom_traced(&lrc_name, &filter, trace_ids));
+            .and_then(|conn| conn.send_bloom_framed(&lrc_name, &filter, trace_ids, Some(stamp)));
         self.record_send_spans(
             trace_ids,
             "softstate.bloom_send",
@@ -387,6 +411,12 @@ impl Updater {
         if log.is_empty() && self.lrc.pending_backlog() == 0 {
             return Ok(Vec::new());
         }
+        // The journal is drained as of now: the flushed deltas carry this
+        // commit sequence and instant as their freshness stamp.
+        let stamp = LagStamp {
+            commit_seq: log.seq,
+            commit_unix_micros: unix_micros_now(),
+        };
         let unreachable = self.lrc.metrics().counter("softstate.rli_unreachable");
         let dropped_ctr = self.lrc.metrics().counter("softstate.deltas_dropped");
         let backlog_gauge = self.lrc.metrics().counter("softstate.backlog_deltas");
@@ -437,9 +467,9 @@ impl Updater {
                 .sum();
             let lrc_name = self.lrc_name.clone();
             let t0 = Instant::now();
-            let result = self
-                .conn(&target.name)
-                .and_then(|conn| conn.send_delta_traced(&lrc_name, added, removed, &ids));
+            let result = self.conn(&target.name).and_then(|conn| {
+                conn.send_delta_framed(&lrc_name, added, removed, &ids, Some(stamp))
+            });
             self.record_send_spans(
                 &ids,
                 "softstate.delta_send",

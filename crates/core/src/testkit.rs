@@ -287,6 +287,15 @@ impl TestDeployment {
         self.lrcs.iter().map(Server::flush_deltas).collect()
     }
 
+    /// Synchronously captures one flight-recorder sample on every server
+    /// (LRCs then RLIs), refreshing the derived gauges first — the
+    /// deterministic stand-in for waiting out the sampler interval.
+    pub fn force_samples(&self) {
+        for s in self.lrcs.iter().chain(&self.rlis) {
+            s.force_sample();
+        }
+    }
+
     /// Synchronously runs one expire pass on every RLI.
     pub fn force_expire(&self) -> RlsResult<u64> {
         let mut total = 0;

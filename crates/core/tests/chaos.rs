@@ -436,6 +436,60 @@ fn sharded_catalog_converges_through_chaos() {
     assert_eq!(counter(&stats, "wal.group_commits"), shards_hit as u64);
 }
 
+/// Fault class: updater outage, seen through the staleness plane. A
+/// healthy first cycle seeds the RLI's freshness ledger; a scripted
+/// mid-frame drop then kills the next cycle, so `rli.lrc.staleness_ms`
+/// keeps aging past the sleep; the healed cycle (the sender re-dials)
+/// snaps it back near zero — exactly what `rls-cli top` colors by.
+#[test]
+fn staleness_plane_tracks_updater_outage_and_heals() {
+    // Send event 0 is the Hello handshake, 1 the first cycle's chunk; the
+    // cached connection makes the second cycle's chunk send event 2.
+    let plan = Arc::new(FaultPlan::builder(0x57A1E).drop_mid_frame("*", 2).build());
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .fault_hook(plan.clone()) // default fail-fast retry: the cycle errors
+        .build()
+        .unwrap();
+    seed_names(&dep, 5);
+    let staleness = |dep: &TestDeployment| -> u64 {
+        dep.force_samples();
+        let stats = dep.rli_client(0).unwrap().stats().unwrap();
+        stats
+            .counters
+            .iter()
+            .find(|(n, _)| n == "rli.lrc.staleness_ms.lrc-0")
+            .map(|(_, v)| *v)
+            .expect("staleness gauge must exist after the first apply")
+    };
+
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let fresh = staleness(&dep);
+    assert!(fresh < 250, "fresh after a healthy cycle: {fresh}ms");
+
+    std::thread::sleep(Duration::from_millis(300));
+    let outcomes = dep.force_updates();
+    assert!(
+        outcomes.iter().any(|o| o.is_err()),
+        "the scripted drop must fail this cycle: {outcomes:?}"
+    );
+    assert_eq!(plan.stats().dropped(), 1);
+    let stale = staleness(&dep);
+    assert!(stale >= 250, "no refresh landed, so age keeps growing: {stale}ms");
+
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let healed = staleness(&dep);
+    assert!(
+        healed < stale && healed < 250,
+        "healed cycle must reset the age: {healed}ms (was {stale}ms)"
+    );
+}
+
 /// Fault class: overload. The LRC is squeezed to `max_connections = 3`
 /// over a two-thread worker pool, then hit with a 12-client stampede —
 /// each client pins its admission slot for ~10 ms, so most dials find

@@ -1,0 +1,100 @@
+//! Flight-recorder integration: the telemetry ring, the `StatsHistory`
+//! RPC and the soft-state staleness plane, observed over real loopback
+//! sockets through `rls-cli`'s own client and renderers.
+//!
+//! Samples are captured deterministically with
+//! `TestDeployment::force_samples` (the stand-in for waiting out the
+//! sampler interval), so nothing here sleeps on the background thread.
+
+use rls_core::testkit::TestDeployment;
+use rls_core::{format_history_json, render_top, TopOptions};
+use rls_proto::ServerStatsWire;
+
+/// Reads a gauge/counter that MUST be present — `0` for a missing name
+/// would make staleness assertions pass vacuously.
+fn gauge(stats: &ServerStatsWire, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("gauge {name} missing: {:?}", stats.counters))
+}
+
+#[test]
+fn stats_history_streams_samples_with_cursor() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    c.create_mapping("lfn://fr/a", "pfn://x/a").unwrap();
+    dep.force_samples();
+    c.query_lfn("lfn://fr/a").unwrap();
+    dep.force_samples();
+
+    let h = c.stats_history(0, 0).unwrap();
+    assert!(h.interval_micros > 0);
+    assert_eq!(h.ring_capacity, 512);
+    assert!(h.samples.len() >= 2, "two forced samples: {h:?}");
+    assert!(h.samples_total >= h.samples.len() as u64);
+    for w in h.samples.windows(2) {
+        assert!(w[1].seq > w[0].seq, "seq must be strictly increasing");
+    }
+    let last = h.samples.last().unwrap();
+    assert!(last
+        .counters
+        .iter()
+        .any(|(n, v)| n == "telemetry.samples" && *v >= 2));
+    assert!(last
+        .histograms
+        .iter()
+        .any(|(n, s)| n == "op.create" && s.count == 1));
+
+    // Cursor semantics: `since_seq` is exclusive — pass the last seq you
+    // saw and you get only what came after.
+    let prev = &h.samples[h.samples.len() - 2];
+    let tail = c.stats_history(prev.seq, 0).unwrap();
+    assert_eq!(tail.samples.len(), 1);
+    assert_eq!(tail.samples[0].seq, last.seq);
+    assert!(c.stats_history(last.seq, 0).unwrap().samples.is_empty());
+
+    // The CLI surfaces are built from this same wire payload.
+    let json = format_history_json(&h);
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains("\"telemetry.samples\""));
+    let top = render_top(
+        &h.samples,
+        h.interval_micros,
+        &TopOptions {
+            color: false,
+            ..TopOptions::default()
+        },
+    );
+    // op.query_lfn landed between the two samples, so it has window count.
+    assert!(top.contains("op.query_lfn"), "top frame:\n{top}");
+}
+
+#[test]
+fn staleness_plane_settles_after_update_cycle() {
+    let dep = TestDeployment::builder().lrcs(1).rlis(1).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..3 {
+        c.create_mapping(&format!("lfn://fr/f{i}"), &format!("pfn://x/f{i}"))
+            .unwrap();
+    }
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    dep.force_samples();
+    let stats = dep.rli_client(0).unwrap().stats().unwrap();
+    // Fresh after a successful update: age and lag both near zero, the
+    // claimed count matches what the index holds.
+    assert!(gauge(&stats, "rli.lrc.staleness_ms.lrc-0") < 5_000);
+    assert!(gauge(&stats, "rli.update_lag_ms.lrc-0") < 5_000);
+    assert_eq!(gauge(&stats, "rli.mapping_divergence.lrc-0"), 0);
+    // The stamp carried the LRC's commit sequence across the wire.
+    assert!(gauge(&stats, "rli.commit_seq.lrc-0") >= 1);
+    // And the lag histogram is on the latency report.
+    assert!(stats
+        .op_latencies
+        .iter()
+        .any(|(n, s)| n == "rli.update_lag" && s.count >= 1));
+}

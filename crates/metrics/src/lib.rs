@@ -26,6 +26,11 @@
 
 mod histogram;
 mod registry;
+mod telemetry;
 
 pub use histogram::{bucket_upper_micros, HistogramSnapshot, LatencyHistogram, BUCKET_COUNT};
 pub use registry::{Counter, Registry};
+pub use telemetry::{
+    counter_delta, counter_window, histogram_delta, histogram_window, rate_per_sec,
+    unix_micros_now, Exemplar, TelemetryRing, TelemetrySample,
+};

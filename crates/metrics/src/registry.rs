@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::telemetry::Exemplar;
 
 /// A named monotonic (or set-on-update gauge-style) `u64` counter.
 ///
@@ -53,6 +54,7 @@ impl Counter {
 pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
+    exemplars: Mutex<BTreeMap<String, Arc<Exemplar>>>,
 }
 
 impl Registry {
@@ -81,6 +83,29 @@ impl Registry {
         let h = Arc::new(LatencyHistogram::new());
         map.insert(name.to_string(), Arc::clone(&h));
         h
+    }
+
+    /// Look up (creating on first use) the worst-latency exemplar named
+    /// `name` (conventionally the same name as the histogram it annotates).
+    pub fn exemplar(&self, name: &str) -> Arc<Exemplar> {
+        let mut map = self.exemplars.lock().expect("metrics registry poisoned");
+        if let Some(e) = map.get(name) {
+            return Arc::clone(e);
+        }
+        let e = Arc::new(Exemplar::new());
+        map.insert(name.to_string(), Arc::clone(&e));
+        e
+    }
+
+    /// Every exemplar as `(name, handle)`, sorted by name — the telemetry
+    /// sampler walks this to roll windows.
+    pub fn exemplar_handles(&self) -> Vec<(String, Arc<Exemplar>)> {
+        self.exemplars
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
     }
 
     /// Snapshot every counter as `(name, value)`, sorted by name.

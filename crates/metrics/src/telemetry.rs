@@ -1,0 +1,324 @@
+//! Flight-recorder telemetry: a bounded ring of timestamped registry
+//! snapshots plus the delta/rate math that turns two cumulative snapshots
+//! into a per-window view.
+//!
+//! The paper's figures are all *time series* — sustained rates under load,
+//! soft-state staleness windows — but a cumulative counter registry only
+//! answers point-in-time questions. The server closes the gap by running a
+//! background sampler that captures the whole registry into a
+//! [`TelemetryRing`] every `telemetry_interval_ms`; the `StatsHistory` RPC
+//! then streams the retained samples to clients, which derive rates and
+//! per-window percentiles with [`counter_delta`] / [`histogram_delta`].
+//!
+//! All delta math is **counter-reset tolerant**: a cumulative value that
+//! went backwards (server restart, registry wipe) is treated as a fresh
+//! start rather than producing a bogus enormous delta.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::histogram::HistogramSnapshot;
+
+/// Wall-clock microseconds since the Unix epoch (0 if the clock reads
+/// before the epoch, which only a badly misconfigured host can produce).
+pub fn unix_micros_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// One captured snapshot of a server's whole metrics registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySample {
+    /// Monotonically increasing sample number, 1-based; never reused
+    /// within a ring, so clients can poll with `since_seq` cursors.
+    pub seq: u64,
+    /// Wall-clock capture time, microseconds since the Unix epoch.
+    pub at_unix_micros: u64,
+    /// Monotonic capture time, microseconds since the ring was created.
+    /// Rate windows are computed from this, not from the wall clock,
+    /// so they survive NTP steps.
+    pub uptime_micros: u64,
+    /// Cumulative counters, `(name, value)` sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Cumulative histograms, `(name, snapshot)` sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+struct RingInner {
+    samples: VecDeque<TelemetrySample>,
+    next_seq: u64,
+    last_uptime: u64,
+}
+
+/// A bounded, timestamped ring of [`TelemetrySample`]s.
+///
+/// Pushing past capacity evicts the oldest sample; sequence numbers keep
+/// growing, so a reader that polls `since(seq)` sees a gap (not stale
+/// duplicates) when it falls behind. Uptime timestamps are forced
+/// monotonic on insert — a sample can never appear to precede its
+/// predecessor even if the caller's clock reads misordered.
+pub struct TelemetryRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+    total: AtomicU64,
+}
+
+impl std::fmt::Debug for TelemetryRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryRing")
+            .field("capacity", &self.capacity)
+            .field("total", &self.total.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TelemetryRing {
+    /// Create an empty ring retaining at most `capacity` samples
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(RingInner {
+                samples: VecDeque::with_capacity(capacity.min(64)),
+                next_seq: 1,
+                last_uptime: 0,
+            }),
+            capacity,
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Push one captured registry snapshot; assigns and returns its `seq`.
+    ///
+    /// The ring owns sequence numbering and uptime monotonicity: the
+    /// sample's `seq` and any backwards `uptime_micros` are overwritten.
+    pub fn push(&self, mut sample: TelemetrySample) -> u64 {
+        let mut inner = self.inner.lock().expect("telemetry ring poisoned");
+        sample.seq = inner.next_seq;
+        inner.next_seq += 1;
+        sample.uptime_micros = sample.uptime_micros.max(inner.last_uptime);
+        inner.last_uptime = sample.uptime_micros;
+        let seq = sample.seq;
+        inner.samples.push_back(sample);
+        while inner.samples.len() > self.capacity {
+            inner.samples.pop_front();
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+        seq
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<TelemetrySample> {
+        self.inner
+            .lock()
+            .expect("telemetry ring poisoned")
+            .samples
+            .back()
+            .cloned()
+    }
+
+    /// Samples with `seq > since_seq`, oldest first, capped at `limit`
+    /// (0 = no cap). A cursor that fell behind the ring simply misses the
+    /// evicted window.
+    pub fn since(&self, since_seq: u64, limit: usize) -> Vec<TelemetrySample> {
+        let inner = self.inner.lock().expect("telemetry ring poisoned");
+        let iter = inner.samples.iter().filter(|s| s.seq > since_seq);
+        if limit == 0 {
+            iter.cloned().collect()
+        } else {
+            // Keep the *newest* `limit` matches: a dashboard polling with a
+            // stale cursor wants the current window, not ancient history.
+            let matching = inner.samples.iter().filter(|s| s.seq > since_seq).count();
+            iter.skip(matching.saturating_sub(limit)).cloned().collect()
+        }
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("telemetry ring poisoned")
+            .samples
+            .len()
+    }
+
+    /// True when no samples have been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime count of samples pushed (including evicted ones).
+    pub fn total_samples(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// Counter delta across a window, tolerant of counter resets: a value that
+/// went backwards (restart) counts from zero again, so the delta is the
+/// new value itself rather than a wrapped giant.
+pub fn counter_delta(prev: u64, cur: u64) -> u64 {
+    if cur >= prev {
+        cur - prev
+    } else {
+        cur
+    }
+}
+
+/// Events-per-second rate from a window delta. An empty window (zero
+/// duration) yields 0.0 rather than infinity.
+pub fn rate_per_sec(delta: u64, window_micros: u64) -> f64 {
+    if window_micros == 0 {
+        0.0
+    } else {
+        delta as f64 * 1_000_000.0 / window_micros as f64
+    }
+}
+
+/// Per-window histogram: bucket-wise difference of two cumulative
+/// snapshots, from which window quantiles are read with the ordinary
+/// [`HistogramSnapshot::quantile`] walk.
+///
+/// Reset tolerance: if the current snapshot's total count or any bucket
+/// went backwards, the previous snapshot is from a dead incarnation and
+/// the current cumulative snapshot *is* the window. `max_micros` keeps the
+/// cumulative maximum (the per-window max is not recoverable from log2
+/// buckets), so window quantiles clamp against the lifetime max — an
+/// upper-bound estimate, exactly like the cumulative quantiles.
+pub fn histogram_delta(prev: &HistogramSnapshot, cur: &HistogramSnapshot) -> HistogramSnapshot {
+    let reset = cur.count < prev.count
+        || cur.sum_micros < prev.sum_micros
+        || cur
+            .buckets
+            .iter()
+            .zip(prev.buckets.iter())
+            .any(|(c, p)| c < p);
+    if reset {
+        return *cur;
+    }
+    let mut out = HistogramSnapshot {
+        buckets: [0; crate::histogram::BUCKET_COUNT],
+        count: cur.count - prev.count,
+        sum_micros: cur.sum_micros - prev.sum_micros,
+        max_micros: cur.max_micros,
+    };
+    for (i, o) in out.buckets.iter_mut().enumerate() {
+        *o = cur.buckets[i] - prev.buckets[i];
+    }
+    out
+}
+
+/// Merge-join two name-sorted counter snapshots into per-name window
+/// deltas (reset-tolerant). Names that appear only in `cur` — metrics born
+/// inside the window — count from zero; names that vanished are dropped.
+pub fn counter_window<'a>(
+    prev: &[(String, u64)],
+    cur: &'a [(String, u64)],
+) -> Vec<(&'a str, u64)> {
+    let mut out = Vec::with_capacity(cur.len());
+    let mut pi = 0;
+    for (name, value) in cur {
+        while pi < prev.len() && prev[pi].0.as_str() < name.as_str() {
+            pi += 1;
+        }
+        let prev_value = if pi < prev.len() && prev[pi].0 == *name {
+            prev[pi].1
+        } else {
+            0
+        };
+        out.push((name.as_str(), counter_delta(prev_value, *value)));
+    }
+    out
+}
+
+/// Merge-join two name-sorted histogram snapshots into per-name window
+/// histograms (see [`histogram_delta`]).
+pub fn histogram_window<'a>(
+    prev: &[(String, HistogramSnapshot)],
+    cur: &'a [(String, HistogramSnapshot)],
+) -> Vec<(&'a str, HistogramSnapshot)> {
+    let empty = HistogramSnapshot::default();
+    let mut out = Vec::with_capacity(cur.len());
+    let mut pi = 0;
+    for (name, snap) in cur {
+        while pi < prev.len() && prev[pi].0.as_str() < name.as_str() {
+            pi += 1;
+        }
+        let prev_snap = if pi < prev.len() && prev[pi].0 == *name {
+            &prev[pi].1
+        } else {
+            &empty
+        };
+        out.push((name.as_str(), histogram_delta(prev_snap, snap)));
+    }
+    out
+}
+
+/// Worst-latency exemplar for one metric: remembers the slowest sample in
+/// the current window together with the trace ID that produced it, so a
+/// p99 spike in `rls-cli top` links straight to `rls-cli trace --id`.
+///
+/// Recording is lock-free (a CAS max race may momentarily pair the max
+/// with a neighbouring sample's trace ID — harmless for an exemplar);
+/// the telemetry sampler calls [`Exemplar::take`] once per window.
+#[derive(Debug, Default)]
+pub struct Exemplar {
+    max_micros: AtomicU64,
+    trace_id: AtomicU64,
+}
+
+impl Exemplar {
+    /// Create an empty exemplar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer one sample; keeps it only if it is the window's worst so far.
+    pub fn offer(&self, micros: u64, trace_id: u64) {
+        let mut cur = self.max_micros.load(Ordering::Relaxed);
+        while micros > cur {
+            match self.max_micros.compare_exchange_weak(
+                cur,
+                micros,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.trace_id.store(trace_id, Ordering::Relaxed);
+                    break;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current worst `(micros, trace_id)` without resetting, or `None` if
+    /// the window is empty so far.
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        let max = self.max_micros.load(Ordering::Relaxed);
+        if max == 0 {
+            None
+        } else {
+            Some((max, self.trace_id.load(Ordering::Relaxed)))
+        }
+    }
+
+    /// Take the window's worst `(micros, trace_id)` and reset for the next
+    /// window; `None` if nothing was recorded this window.
+    pub fn take(&self) -> Option<(u64, u64)> {
+        let max = self.max_micros.swap(0, Ordering::Relaxed);
+        if max == 0 {
+            None
+        } else {
+            Some((max, self.trace_id.load(Ordering::Relaxed)))
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Flight-recorder telemetry suite (tier-1 gated): ring capacity/eviction,
+//! monotonic timestamps, counter-reset-tolerant rate math, per-window
+//! histogram percentiles, and exemplar window semantics.
+
+use rls_metrics::{
+    counter_delta, counter_window, histogram_delta, histogram_window, rate_per_sec, Exemplar,
+    HistogramSnapshot, LatencyHistogram, Registry, TelemetryRing, TelemetrySample,
+};
+
+fn sample(uptime_micros: u64, counters: Vec<(&str, u64)>) -> TelemetrySample {
+    TelemetrySample {
+        seq: 0, // the ring assigns it
+        at_unix_micros: 1_700_000_000_000_000 + uptime_micros,
+        uptime_micros,
+        counters: counters
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect(),
+        histograms: Vec::new(),
+    }
+}
+
+#[test]
+fn ring_assigns_sequential_seqs_and_reports_totals() {
+    let ring = TelemetryRing::new(8);
+    assert!(ring.is_empty());
+    assert_eq!(ring.capacity(), 8);
+    for i in 0..5u64 {
+        let seq = ring.push(sample(i * 1000, vec![]));
+        assert_eq!(seq, i + 1);
+    }
+    assert_eq!(ring.len(), 5);
+    assert_eq!(ring.total_samples(), 5);
+    assert_eq!(ring.latest().unwrap().seq, 5);
+}
+
+#[test]
+fn ring_capacity_evicts_oldest_but_seqs_keep_growing() {
+    let ring = TelemetryRing::new(3);
+    for i in 0..10u64 {
+        ring.push(sample(i * 1000, vec![]));
+    }
+    assert_eq!(ring.len(), 3);
+    assert_eq!(ring.total_samples(), 10);
+    let all = ring.since(0, 0);
+    let seqs: Vec<u64> = all.iter().map(|s| s.seq).collect();
+    assert_eq!(seqs, vec![8, 9, 10]); // oldest evicted, numbering intact
+}
+
+#[test]
+fn ring_capacity_zero_is_clamped_to_one() {
+    let ring = TelemetryRing::new(0);
+    assert_eq!(ring.capacity(), 1);
+    ring.push(sample(1, vec![]));
+    ring.push(sample(2, vec![]));
+    assert_eq!(ring.len(), 1);
+    assert_eq!(ring.latest().unwrap().seq, 2);
+}
+
+#[test]
+fn ring_uptime_timestamps_are_forced_monotonic() {
+    let ring = TelemetryRing::new(4);
+    ring.push(sample(5_000, vec![]));
+    // A caller whose clock went backwards cannot make time run backwards
+    // inside the ring.
+    ring.push(sample(3_000, vec![]));
+    ring.push(sample(9_000, vec![]));
+    let ups: Vec<u64> = ring.since(0, 0).iter().map(|s| s.uptime_micros).collect();
+    assert_eq!(ups, vec![5_000, 5_000, 9_000]);
+    assert!(ups.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn since_cursor_and_limit_semantics() {
+    let ring = TelemetryRing::new(10);
+    for i in 0..6u64 {
+        ring.push(sample(i, vec![]));
+    }
+    // Cursor: only samples strictly after the given seq.
+    let tail = ring.since(4, 0);
+    assert_eq!(tail.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![5, 6]);
+    // Limit keeps the newest matches (a stale dashboard wants "now").
+    let newest = ring.since(0, 2);
+    assert_eq!(newest.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![5, 6]);
+    // Cursor at or past the head yields nothing.
+    assert!(ring.since(6, 0).is_empty());
+    assert!(ring.since(99, 5).is_empty());
+}
+
+#[test]
+fn counter_delta_is_reset_tolerant() {
+    assert_eq!(counter_delta(100, 150), 50);
+    assert_eq!(counter_delta(100, 100), 0);
+    // Reset: the server restarted and counted 7 events since; the delta is
+    // those 7, not a wrapped near-u64 monster.
+    assert_eq!(counter_delta(100, 7), 7);
+    assert_eq!(counter_delta(u64::MAX, 1), 1);
+}
+
+#[test]
+fn rate_from_delta_math_handles_empty_windows() {
+    // 500 events over half a second = 1000/s.
+    let r = rate_per_sec(500, 500_000);
+    assert!((r - 1000.0).abs() < 1e-9);
+    // Empty (zero-length) window never divides by zero.
+    assert_eq!(rate_per_sec(500, 0), 0.0);
+    // Zero events is just zero.
+    assert_eq!(rate_per_sec(0, 1_000_000), 0.0);
+}
+
+#[test]
+fn counter_window_merges_new_and_missing_names() {
+    let prev = vec![
+        ("a.ops".to_string(), 10u64),
+        ("gone".to_string(), 5),
+        ("z.ops".to_string(), 100),
+    ];
+    let cur = vec![
+        ("a.ops".to_string(), 25u64),
+        ("born".to_string(), 3),
+        ("z.ops".to_string(), 40), // reset mid-window
+    ];
+    let win = counter_window(&prev, &cur);
+    assert_eq!(
+        win,
+        vec![("a.ops", 15u64), ("born", 3), ("z.ops", 40)],
+        "new names count from zero, vanished names drop, resets tolerate"
+    );
+}
+
+#[test]
+fn histogram_delta_yields_window_percentiles() {
+    let h = LatencyHistogram::new();
+    for _ in 0..100 {
+        h.record_micros(10);
+    }
+    let prev = h.snapshot();
+    // Window: 90 fast + 10 slow samples on top of the old fast ones.
+    for _ in 0..90 {
+        h.record_micros(12);
+    }
+    for _ in 0..10 {
+        h.record_micros(5_000);
+    }
+    let cur = h.snapshot();
+    let win = histogram_delta(&prev, &cur);
+    assert_eq!(win.count, 100);
+    assert_eq!(win.sum_micros, 90 * 12 + 10 * 5_000);
+    // The cumulative p99 is still dominated by the old fast samples …
+    assert!(cur.quantile(0.5) <= 15);
+    // … but the window p99 sees the spike.
+    assert_eq!(win.p99(), 5_000);
+    assert!(win.p50() <= 15);
+}
+
+#[test]
+fn histogram_delta_tolerates_counter_reset() {
+    let old = {
+        let h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record_micros(50);
+        }
+        h.snapshot()
+    };
+    let fresh = {
+        let h = LatencyHistogram::new();
+        h.record_micros(30);
+        h.record_micros(40);
+        h.snapshot()
+    };
+    // The "current" snapshot has fewer samples than the previous one: a
+    // restart. The window is the fresh snapshot itself.
+    let win = histogram_delta(&old, &fresh);
+    assert_eq!(win, fresh);
+    assert_eq!(win.count, 2);
+}
+
+#[test]
+fn histogram_delta_of_identical_snapshots_is_empty() {
+    let h = LatencyHistogram::new();
+    h.record_micros(123);
+    let s = h.snapshot();
+    let win = histogram_delta(&s, &s);
+    assert!(win.is_empty());
+    assert_eq!(win.count, 0);
+    assert_eq!(win.p99(), 0);
+}
+
+#[test]
+fn histogram_window_joins_by_name() {
+    let h1 = LatencyHistogram::new();
+    h1.record_micros(10);
+    let prev = vec![("op.add".to_string(), h1.snapshot())];
+    h1.record_micros(20);
+    let h2 = LatencyHistogram::new();
+    h2.record_micros(7);
+    let cur = vec![
+        ("op.add".to_string(), h1.snapshot()),
+        ("op.new".to_string(), h2.snapshot()),
+    ];
+    let win = histogram_window(&prev, &cur);
+    assert_eq!(win.len(), 2);
+    assert_eq!(win[0].0, "op.add");
+    assert_eq!(win[0].1.count, 1, "only the in-window sample remains");
+    assert_eq!(win[1].0, "op.new");
+    assert_eq!(win[1].1.count, 1, "metrics born mid-window count whole");
+}
+
+#[test]
+fn ring_round_trips_full_registry_snapshots() {
+    let reg = Registry::new();
+    reg.counter("net.bytes_in").add(4096);
+    reg.histogram("op.query").record_micros(250);
+    let ring = TelemetryRing::new(4);
+    ring.push(TelemetrySample {
+        seq: 0,
+        at_unix_micros: rls_metrics::unix_micros_now(),
+        uptime_micros: 1_000,
+        counters: reg.counter_snapshot(),
+        histograms: reg.histogram_snapshot(),
+    });
+    reg.counter("net.bytes_in").add(4096);
+    reg.histogram("op.query").record_micros(750);
+    ring.push(TelemetrySample {
+        seq: 0,
+        at_unix_micros: rls_metrics::unix_micros_now(),
+        uptime_micros: 2_000,
+        counters: reg.counter_snapshot(),
+        histograms: reg.histogram_snapshot(),
+    });
+    let samples = ring.since(0, 0);
+    assert_eq!(samples.len(), 2);
+    let counters = counter_window(&samples[0].counters, &samples[1].counters);
+    assert_eq!(counters, vec![("net.bytes_in", 4096)]);
+    let hists = histogram_window(&samples[0].histograms, &samples[1].histograms);
+    assert_eq!(hists[0].1.count, 1);
+    let window = samples[1].uptime_micros - samples[0].uptime_micros;
+    assert!((rate_per_sec(counters[0].1, window) - 4_096_000.0).abs() < 1e-6);
+}
+
+#[test]
+fn exemplar_keeps_the_window_worst_and_resets_on_take() {
+    let e = Exemplar::new();
+    assert_eq!(e.peek(), None);
+    assert_eq!(e.take(), None, "empty window takes nothing");
+    e.offer(100, 11);
+    e.offer(50, 22); // not the worst; ignored
+    e.offer(900, 33);
+    assert_eq!(e.peek(), Some((900, 33)));
+    assert_eq!(e.take(), Some((900, 33)));
+    // The take rolled the window.
+    assert_eq!(e.peek(), None);
+    e.offer(10, 44);
+    assert_eq!(e.take(), Some((10, 44)));
+}
+
+#[test]
+fn registry_exemplars_are_get_or_create_and_enumerable() {
+    let reg = Registry::new();
+    reg.exemplar("op.add").offer(500, 7);
+    reg.exemplar("op.add").offer(900, 8); // same handle
+    reg.exemplar("op.query").offer(10, 9);
+    let handles = reg.exemplar_handles();
+    let names: Vec<&str> = handles.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["op.add", "op.query"]);
+    assert_eq!(handles[0].1.peek(), Some((900, 8)));
+}

@@ -24,6 +24,7 @@ pub mod message;
 
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use message::{
-    AttrAssignment, ProtocolVersion, Request, Response, RliHit, RliTargetWire, ServerStatsWire,
-    SpanWire, PROTOCOL_VERSION, TRACE_ENVELOPE_OPCODE,
+    AttrAssignment, FrameMeta, LagStamp, ProtocolVersion, Request, Response, RliHit,
+    RliTargetWire, ServerStatsWire, SpanWire, StatsHistoryWire, LAG_ENVELOPE_OPCODE,
+    PROTOCOL_VERSION, TRACE_ENVELOPE_OPCODE,
 };

@@ -2,7 +2,7 @@
 //! Table 1, the soft-state update protocol, and server administration.
 
 use rls_bloom::{BloomFilter, BloomParams};
-use rls_metrics::{HistogramSnapshot, BUCKET_COUNT};
+use rls_metrics::{HistogramSnapshot, TelemetrySample, BUCKET_COUNT};
 use rls_types::{
     AttrCompare, AttrValue, AttributeDef, Dn, Mapping, ObjectType, RlsError, RlsResult,
 };
@@ -21,6 +21,40 @@ pub const PROTOCOL_VERSION: ProtocolVersion = 1;
 /// empty trace-ID list, so pre-tracing peers interoperate unchanged; a
 /// batched soft-state delta carries the IDs of every originating operation.
 pub const TRACE_ENVELOPE_OPCODE: u16 = 0xFFFE;
+
+/// Reserved opcode marking a freshness-stamp envelope on soft-state request
+/// frames: `[u16 0xFFFD][u64 commit_seq][u64 commit_unix_micros]` followed
+/// by the rest of the frame (either the trace envelope or the ordinary
+/// `[u16 opcode][body]`). The sending LRC stamps each update with the
+/// catalog commit sequence it covers and the wall-clock time that state was
+/// current; the receiving RLI subtracts to get its update lag
+/// (`rli.update_lag` / `rli.update_lag_ms.<lrc>` in the staleness plane).
+/// Frames without the envelope decode with no stamp, so older peers
+/// interoperate unchanged.
+pub const LAG_ENVELOPE_OPCODE: u16 = 0xFFFD;
+
+/// A soft-state freshness stamp carried in the [`LAG_ENVELOPE_OPCODE`]
+/// envelope (see there for semantics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LagStamp {
+    /// LRC catalog commit sequence this update covers (its `commit_seq()`
+    /// at snapshot/flush time).
+    pub commit_seq: u64,
+    /// Wall-clock microseconds since the Unix epoch at which the shipped
+    /// state was current on the LRC.
+    pub commit_unix_micros: u64,
+}
+
+/// Everything a request frame carries besides the request itself: trace
+/// IDs from the trace envelope and the optional soft-state freshness
+/// stamp. Produced by [`Request::decode_framed`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Trace IDs of the originating operations (empty for untraced frames).
+    pub trace_ids: Vec<u64>,
+    /// Soft-state freshness stamp, if the sender attached one.
+    pub lag: Option<LagStamp>,
+}
 
 /// An attribute attachment: object, attribute name, value.
 #[derive(Clone, Debug, PartialEq)]
@@ -93,6 +127,25 @@ pub struct ServerStatsWire {
     /// transport bytes/frames, engine counters, Bloom-filter state, queue
     /// depths. Fractional values use scaled-integer names (`*_ppm`).
     pub counters: Vec<(String, u64)>,
+}
+
+/// Flight-recorder history snapshot, as returned by `StatsHistory`.
+///
+/// Samples are cumulative registry snapshots ([`TelemetrySample`], the same
+/// shape the server's `TelemetryRing` retains); clients derive rates and
+/// per-window percentiles by diffing consecutive samples with the
+/// `rls_metrics` delta helpers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsHistoryWire {
+    /// Configured sampler cadence in microseconds (0 = sampler disabled;
+    /// the ring then only grows through forced samples).
+    pub interval_micros: u64,
+    /// Ring capacity in samples.
+    pub ring_capacity: u64,
+    /// Lifetime count of samples captured (including evicted ones).
+    pub samples_total: u64,
+    /// Retained samples matching the query, oldest first.
+    pub samples: Vec<TelemetrySample>,
 }
 
 /// One finished span from a server's trace journal, as returned by
@@ -293,6 +346,15 @@ pub enum Request {
     // -- administration --
     /// Server statistics.
     Stats,
+    /// Flight-recorder telemetry history: retained registry samples with
+    /// `seq > since_seq` (admin privilege, like `Stats`).
+    StatsHistory {
+        /// Return only samples with a larger sequence number (0 = from
+        /// the oldest retained sample).
+        since_seq: u64,
+        /// Result cap; the *newest* matches win (0 = server default).
+        limit: u32,
+    },
     /// Query the server's span journal (requires `lrc_read` or `rli_read`).
     TraceQuery {
         /// Exact trace ID, or 0 to match any trace.
@@ -352,6 +414,8 @@ pub enum Response {
     StatsReport(ServerStatsWire),
     /// Span journal query results, newest first.
     Spans(Vec<SpanWire>),
+    /// Flight-recorder history (`StatsHistory`).
+    StatsHistoryReport(StatsHistoryWire),
 }
 
 // --- encoding ---------------------------------------------------------------
@@ -405,6 +469,36 @@ fn r_histogram(r: &mut Reader<'_>) -> RlsResult<HistogramSnapshot> {
         count,
         sum_micros,
         max_micros,
+    })
+}
+
+/// Encodes one telemetry sample: header, then the counter and histogram
+/// registries (histograms reuse the sparse bucket encoding).
+fn w_sample(w: &mut Writer, s: &TelemetrySample) {
+    w.u64(s.seq);
+    w.u64(s.at_unix_micros);
+    w.u64(s.uptime_micros);
+    w.list(&s.counters, |w, (name, v)| {
+        w.str(name);
+        w.u64(*v);
+    });
+    w.list(&s.histograms, |w, (name, h)| {
+        w.str(name);
+        w_histogram(w, h);
+    });
+}
+
+fn r_sample(r: &mut Reader<'_>) -> RlsResult<TelemetrySample> {
+    Ok(TelemetrySample {
+        seq: r.u64()?,
+        at_unix_micros: r.u64()?,
+        uptime_micros: r.u64()?,
+        counters: r.list(|r| Ok((r.str()?, r.u64()?)))?,
+        histograms: r.list(|r| {
+            let name = r.str()?;
+            let h = r_histogram(r)?;
+            Ok((name, h))
+        })?,
     })
 }
 
@@ -465,6 +559,7 @@ impl Request {
             Self::SoftStateDelta { .. } => "op.soft_state_delta",
             Self::SoftStateBloom { .. } => "op.soft_state_bloom",
             Self::Stats => "op.stats",
+            Self::StatsHistory { .. } => "op.stats_history",
             Self::TraceQuery { .. } => "op.trace_query",
         }
     }
@@ -477,6 +572,13 @@ impl Request {
     /// Encodes the request, prefixing a trace envelope when any nonzero
     /// trace IDs are supplied (see [`TRACE_ENVELOPE_OPCODE`]).
     pub fn encode_traced(&self, trace_ids: &[u64]) -> Writer {
+        self.encode_framed(trace_ids, None)
+    }
+
+    /// Encodes the request with the full envelope set: a trace envelope
+    /// when any nonzero trace IDs are supplied, and a freshness-stamp
+    /// envelope when `stamp` is present (see [`LAG_ENVELOPE_OPCODE`]).
+    pub fn encode_framed(&self, trace_ids: &[u64], stamp: Option<LagStamp>) -> Writer {
         let mut w = Writer::with_capacity(64);
         let ids: Vec<u64> = trace_ids.iter().copied().filter(|&t| t != 0).collect();
         if !ids.is_empty() {
@@ -485,6 +587,11 @@ impl Request {
             for id in &ids {
                 w.u64(*id);
             }
+        }
+        if let Some(stamp) = stamp {
+            w.u16(LAG_ENVELOPE_OPCODE);
+            w.u64(stamp.commit_seq);
+            w.u64(stamp.commit_unix_micros);
         }
         self.encode_body(&mut w);
         w
@@ -674,6 +781,11 @@ impl Request {
                 w.bytes(words);
             }
             Self::Stats => w.u16(70),
+            Self::StatsHistory { since_seq, limit } => {
+                w.u16(72);
+                w.u64(*since_seq);
+                w.u32(*limit);
+            }
             Self::TraceQuery {
                 trace_id,
                 op_prefix,
@@ -697,17 +809,37 @@ impl Request {
     /// Decodes a request frame body plus its trace IDs. Frames without a
     /// trace envelope yield an empty ID list (the untraced legacy shape).
     pub fn decode_traced(body: &[u8]) -> RlsResult<(Vec<u64>, Self)> {
+        let (meta, req) = Self::decode_framed(body)?;
+        Ok((meta.trace_ids, req))
+    }
+
+    /// Decodes a request frame body plus every envelope it carries (trace
+    /// IDs and the optional soft-state freshness stamp). Envelopes may
+    /// appear in either order; frames without envelopes decode with an
+    /// empty [`FrameMeta`].
+    pub fn decode_framed(body: &[u8]) -> RlsResult<(FrameMeta, Self)> {
         let mut r = Reader::new(body);
         let mut opcode = r.u16()?;
-        let mut trace_ids = Vec::new();
-        if opcode == TRACE_ENVELOPE_OPCODE {
-            let n = r.u32()? as usize;
-            if n.saturating_mul(8) > r.remaining() {
-                return Err(RlsError::protocol("trace id list longer than frame"));
-            }
-            trace_ids.reserve(n);
-            for _ in 0..n {
-                trace_ids.push(r.u64()?);
+        let mut meta = FrameMeta::default();
+        loop {
+            match opcode {
+                TRACE_ENVELOPE_OPCODE => {
+                    let n = r.u32()? as usize;
+                    if n.saturating_mul(8) > r.remaining() {
+                        return Err(RlsError::protocol("trace id list longer than frame"));
+                    }
+                    meta.trace_ids.reserve(n);
+                    for _ in 0..n {
+                        meta.trace_ids.push(r.u64()?);
+                    }
+                }
+                LAG_ENVELOPE_OPCODE => {
+                    meta.lag = Some(LagStamp {
+                        commit_seq: r.u64()?,
+                        commit_unix_micros: r.u64()?,
+                    });
+                }
+                _ => break,
             }
             opcode = r.u16()?;
         }
@@ -810,6 +942,10 @@ impl Request {
                 min_duration_micros: r.u64()?,
                 limit: r.u32()?,
             },
+            72 => Self::StatsHistory {
+                since_seq: r.u64()?,
+                limit: r.u32()?,
+            },
             other => {
                 return Err(RlsError::bad_request(format!(
                     "unknown request opcode {other}"
@@ -819,7 +955,7 @@ impl Request {
         if !r.is_done() {
             return Err(RlsError::protocol("trailing bytes after request"));
         }
-        Ok((trace_ids, req))
+        Ok((meta, req))
     }
 
     /// Converts a received `SoftStateBloom` payload into a filter.
@@ -998,6 +1134,13 @@ impl Response {
                     w.str(&s.detail);
                 });
             }
+            Self::StatsHistoryReport(h) => {
+                w.u16(52);
+                w.u64(h.interval_micros);
+                w.u64(h.ring_capacity);
+                w.u64(h.samples_total);
+                w.list(&h.samples, w_sample);
+            }
         }
         w
     }
@@ -1091,6 +1234,12 @@ impl Response {
                     detail: r.str()?,
                 })
             })?),
+            52 => Self::StatsHistoryReport(StatsHistoryWire {
+                interval_micros: r.u64()?,
+                ring_capacity: r.u64()?,
+                samples_total: r.u64()?,
+                samples: r.list(r_sample)?,
+            }),
             other => {
                 return Err(RlsError::protocol(format!(
                     "unknown response opcode {other}"
@@ -1245,6 +1394,14 @@ mod tests {
                 entries: 3,
             },
             Request::Stats,
+            Request::StatsHistory {
+                since_seq: 41,
+                limit: 16,
+            },
+            Request::StatsHistory {
+                since_seq: 0,
+                limit: 0,
+            },
             Request::TraceQuery {
                 trace_id: 0x9f3a_11d2_0000_0001,
                 op_prefix: "op.".into(),
@@ -1333,6 +1490,22 @@ mod tests {
                 SpanWire::default(),
             ]),
             Response::Spans(vec![]),
+            Response::StatsHistoryReport(StatsHistoryWire {
+                interval_micros: 1_000_000,
+                ring_capacity: 512,
+                samples_total: 977,
+                samples: vec![
+                    TelemetrySample {
+                        seq: 976,
+                        at_unix_micros: 1_700_000_000_000_000,
+                        uptime_micros: 975_000_000,
+                        counters: vec![("net.bytes_in".into(), 123), ("srv.adds".into(), 7)],
+                        histograms: vec![("op.add".into(), sample_histogram())],
+                    },
+                    TelemetrySample::default(),
+                ],
+            }),
+            Response::StatsHistoryReport(StatsHistoryWire::default()),
         ];
         for resp in resps {
             rt_response(resp);
@@ -1362,6 +1535,126 @@ mod tests {
         // No envelope is emitted for an empty or all-zero ID list.
         assert_eq!(req.encode_traced(&[]).into_bytes(), plain);
         assert_eq!(req.encode_traced(&[0, 0]).into_bytes(), plain);
+    }
+
+    #[test]
+    fn lag_envelope_round_trips_in_any_order_and_plain_frames_stay_compatible() {
+        let req = Request::SoftStateDelta {
+            lrc: "lrc:39281".into(),
+            added: vec!["lfn://new".into()],
+            removed: vec![],
+        };
+        let stamp = LagStamp {
+            commit_seq: 420,
+            commit_unix_micros: 1_700_000_000_000_000,
+        };
+        // Stamp alone.
+        let bytes = req.encode_framed(&[], Some(stamp)).into_bytes();
+        let (meta, decoded) = Request::decode_framed(&bytes).unwrap();
+        assert_eq!(meta.lag, Some(stamp));
+        assert!(meta.trace_ids.is_empty());
+        assert_eq!(decoded, req);
+        // decode()/decode_traced() on a stamped frame just drop the stamp.
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+        assert_eq!(Request::decode_traced(&bytes).unwrap().1, req);
+
+        // Stamp + trace envelope together (encoder order: trace first).
+        let bytes = req.encode_framed(&[11, 22], Some(stamp)).into_bytes();
+        let (meta, decoded) = Request::decode_framed(&bytes).unwrap();
+        assert_eq!(meta.trace_ids, vec![11, 22]);
+        assert_eq!(meta.lag, Some(stamp));
+        assert_eq!(decoded, req);
+
+        // Decoder accepts the opposite envelope order too.
+        let mut w = Writer::with_capacity(64);
+        w.u16(LAG_ENVELOPE_OPCODE);
+        w.u64(stamp.commit_seq);
+        w.u64(stamp.commit_unix_micros);
+        w.u16(TRACE_ENVELOPE_OPCODE);
+        w.u32(1);
+        w.u64(33);
+        req.encode_body(&mut w);
+        let (meta, decoded) = Request::decode_framed(&w.into_bytes()).unwrap();
+        assert_eq!(meta.trace_ids, vec![33]);
+        assert_eq!(meta.lag, Some(stamp));
+        assert_eq!(decoded, req);
+
+        // No stamp → byte-identical to the legacy encoding.
+        assert_eq!(
+            req.encode_framed(&[], None).into_bytes(),
+            req.encode().into_bytes()
+        );
+        let (meta, _) = Request::decode_framed(&req.encode().into_bytes()).unwrap();
+        assert_eq!(meta, FrameMeta::default());
+    }
+
+    #[test]
+    fn truncated_lag_envelope_rejected() {
+        let mut w = Writer::with_capacity(8);
+        w.u16(LAG_ENVELOPE_OPCODE);
+        w.u64(1); // commit_seq present, commit time and request body missing
+        assert!(Request::decode_framed(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn stats_history_truncation_fuzz_never_panics() {
+        // Every prefix of a real StatsHistoryReport frame must decode to a
+        // clean error, never a panic or a bogus success.
+        let resp = Response::StatsHistoryReport(StatsHistoryWire {
+            interval_micros: 250_000,
+            ring_capacity: 4,
+            samples_total: 9,
+            samples: vec![TelemetrySample {
+                seq: 9,
+                at_unix_micros: 1_700_000_000_000_000,
+                uptime_micros: 2_250_000,
+                counters: vec![("telemetry.samples".into(), 9)],
+                histograms: vec![("op.query_lfn".into(), sample_histogram())],
+            }],
+        });
+        let bytes = resp.encode().into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Response::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+        // And corrupting the sample's histogram bucket index is rejected
+        // through the shared r_histogram bounds check.
+        let mut w = Writer::with_capacity(96);
+        w.u16(52);
+        w.u64(0); // interval
+        w.u64(1); // capacity
+        w.u64(1); // total
+        w.u32(1); // one sample
+        w.u64(1); // seq
+        w.u64(2); // at
+        w.u64(3); // uptime
+        w.u32(0); // no counters
+        w.u32(1); // one histogram
+        w.str("op.bad");
+        w.u64(1); // count
+        w.u64(1); // sum
+        w.u64(1); // max
+        w.u32(1); // one occupied bucket...
+        w.u8(BUCKET_COUNT as u8); // ...out of range
+        w.u64(1);
+        let e = Response::decode(&w.into_bytes()).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn stats_history_request_with_trailing_bytes_rejected() {
+        let mut bytes = Request::StatsHistory {
+            since_seq: 1,
+            limit: 2,
+        }
+        .encode()
+        .into_bytes()
+        .to_vec();
+        bytes.push(0xAA);
+        let e = Request::decode(&bytes).unwrap_err();
+        assert_eq!(e.code(), ErrorCode::Protocol);
     }
 
     #[test]

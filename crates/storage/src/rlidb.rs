@@ -384,6 +384,16 @@ impl RliDatabase {
         self.db.table(self.t_lfn).len()
     }
 
+    /// Number of associations attributed to one LRC (0 if the LRC is
+    /// unknown). Reads the interned name row's refcount — every
+    /// association holds one reference — so this is O(1), cheap enough
+    /// for the telemetry sampler's divergence gauges.
+    pub fn count_for_lrc(&self, lrc: &str) -> u64 {
+        self.find_name(self.t_lrc, lrc)
+            .map(|(_, _, refs)| refs.max(0) as u64)
+            .unwrap_or(0)
+    }
+
     /// Visits every indexed logical name (hierarchical RLI forwarding).
     pub fn for_each_lfn(&self, mut f: impl FnMut(&str)) {
         for (_, row) in self.db.table(self.t_lfn).index_prefix_scan(IDX_NAME, "") {
@@ -484,6 +494,12 @@ mod tests {
         let mut r = rli();
         r.upsert("lfn://a", "lrc-1", ts(1)).unwrap();
         r.upsert("lfn://a", "lrc-2", ts(1)).unwrap();
+        r.upsert("lfn://b", "lrc-1", ts(1)).unwrap();
+        assert_eq!(r.count_for_lrc("lrc-1"), 2);
+        assert_eq!(r.count_for_lrc("lrc-2"), 1);
+        assert_eq!(r.count_for_lrc("lrc-unknown"), 0);
+        r.remove("lfn://b", "lrc-1").unwrap();
+        assert_eq!(r.count_for_lrc("lrc-1"), 1);
         assert!(r.remove("lfn://a", "lrc-1").unwrap());
         assert_eq!(r.query("lfn://a").unwrap().len(), 1);
         assert!(!r.remove("lfn://a", "lrc-1").unwrap()); // idempotent

@@ -20,6 +20,9 @@
 //! rls-cli <server> rli-wildcard <glob> [limit]
 //! rls-cli <server> rli-lrcs
 //! rls-cli <server> stats [--json]
+//! rls-cli <server> history [--json] [--since <seq>] [--limit <n>]
+//! rls-cli <server> top [--interval-ms <n>] [--iterations <n>] [--no-color]
+//!                      [--stale-warn-ms <n>] [--stale-crit-ms <n>]
 //! rls-cli <server> trace [--id <trace-id>] [--op <prefix>] [--min-us <n>] [--limit <n>]
 //! ```
 //!
@@ -226,6 +229,96 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{}", rls::core::format_stats_json(&s));
             } else {
                 print!("{}", rls::core::format_stats_report(&s));
+            }
+        }
+        "history" => {
+            let mut since = 0u64;
+            let mut limit = 0u32;
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut val = |what: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs {what}"))
+                };
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--since" => since = val("a sample seq")?.parse()?,
+                    "--limit" => limit = val("a count")?.parse()?,
+                    other => return Err(format!("unknown history flag {other:?}").into()),
+                }
+            }
+            let h = client.stats_history(since, limit)?;
+            if json {
+                println!("{}", rls::core::format_history_json(&h));
+            } else {
+                println!(
+                    "{} sample(s) retained (of {} captured, ring {} @ {}ms cadence)",
+                    h.samples.len(),
+                    h.samples_total,
+                    h.ring_capacity,
+                    h.interval_micros / 1000
+                );
+                for s in &h.samples {
+                    println!(
+                        "  #{:<6} uptime {:>10.1}s  {} counters, {} histograms",
+                        s.seq,
+                        s.uptime_micros as f64 / 1e6,
+                        s.counters.len(),
+                        s.histograms.len()
+                    );
+                }
+            }
+        }
+        "top" => {
+            let mut opts = rls::core::TopOptions::default();
+            let mut interval_ms = 0u64; // 0 = follow the server's cadence
+            let mut iterations = 0u64; // 0 = until interrupted
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut val = |what: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{flag} needs {what}"))
+                };
+                match flag.as_str() {
+                    "--interval-ms" => interval_ms = val("milliseconds")?.parse()?,
+                    "--iterations" => iterations = val("a count")?.parse()?,
+                    "--no-color" => opts.color = false,
+                    "--stale-warn-ms" => opts.stale_warn_ms = val("milliseconds")?.parse()?,
+                    "--stale-crit-ms" => opts.stale_crit_ms = val("milliseconds")?.parse()?,
+                    other => return Err(format!("unknown top flag {other:?}").into()),
+                }
+            }
+            // Seed from the two newest retained samples so the first frame
+            // already shows a window, then follow the ring with a cursor.
+            let mut window: Vec<rls::metrics::TelemetrySample> = Vec::new();
+            let mut cursor = 0u64;
+            let mut frames = 0u64;
+            loop {
+                // `since` is exclusive: the cursor is the last seq seen.
+                let h = client.stats_history(cursor, if cursor == 0 { 2 } else { 0 })?;
+                if let Some(last) = h.samples.last() {
+                    cursor = last.seq;
+                }
+                window.extend(h.samples);
+                if window.len() > 2 {
+                    window.drain(..window.len() - 2);
+                }
+                if opts.color {
+                    print!("\x1b[2J\x1b[H"); // clear screen, home cursor
+                }
+                println!("rls-cli top — {server}");
+                print!("{}", rls::core::render_top(&window, h.interval_micros, &opts));
+                use std::io::Write;
+                std::io::stdout().flush()?;
+                frames += 1;
+                if iterations != 0 && frames >= iterations {
+                    break;
+                }
+                let ms = if interval_ms != 0 {
+                    interval_ms
+                } else {
+                    (h.interval_micros / 1000).clamp(100, 60_000)
+                };
+                std::thread::sleep(std::time::Duration::from_millis(ms));
             }
         }
         "trace" => {

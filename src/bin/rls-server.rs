@@ -38,6 +38,10 @@ update_interval 300
 # spans kept by the in-memory trace journal (rls-cli trace); 0 disables
 #trace_journal_capacity 4096
 
+# flight recorder (rls-cli top / history): sampling cadence and ring depth
+#telemetry_interval_ms   1000   # 0 disables the sampler thread
+#telemetry_ring_capacity 512
+
 #acl_enabled true
 #gridmap     "/O=Grid/OU=Example/CN=Operator" operator
 #acl         user:operator admin

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/rls_metrics-316c1eab06495a0d.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/debug/deps/rls_metrics-316c1eab06495a0d.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
-/root/repo/target/debug/deps/librls_metrics-316c1eab06495a0d.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/debug/deps/librls_metrics-316c1eab06495a0d.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
-/root/repo/target/debug/deps/librls_metrics-316c1eab06495a0d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/debug/deps/librls_metrics-316c1eab06495a0d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/histogram.rs:
 crates/metrics/src/registry.rs:
+crates/metrics/src/telemetry.rs:

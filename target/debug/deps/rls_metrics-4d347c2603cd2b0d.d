@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rls_metrics-4d347c2603cd2b0d.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/debug/deps/rls_metrics-4d347c2603cd2b0d.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
-/root/repo/target/debug/deps/librls_metrics-4d347c2603cd2b0d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/debug/deps/librls_metrics-4d347c2603cd2b0d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/histogram.rs:
 crates/metrics/src/registry.rs:
+crates/metrics/src/telemetry.rs:

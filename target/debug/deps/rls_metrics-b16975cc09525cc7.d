@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rls_metrics-b16975cc09525cc7.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/debug/deps/rls_metrics-b16975cc09525cc7.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
-/root/repo/target/debug/deps/rls_metrics-b16975cc09525cc7: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/debug/deps/rls_metrics-b16975cc09525cc7: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/histogram.rs:
 crates/metrics/src/registry.rs:
+crates/metrics/src/telemetry.rs:

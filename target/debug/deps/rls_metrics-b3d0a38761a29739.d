@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/rls_metrics-b3d0a38761a29739.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs Cargo.toml
+/root/repo/target/debug/deps/rls_metrics-b3d0a38761a29739.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs Cargo.toml
 
-/root/repo/target/debug/deps/librls_metrics-b3d0a38761a29739.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs Cargo.toml
+/root/repo/target/debug/deps/librls_metrics-b3d0a38761a29739.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs Cargo.toml
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/histogram.rs:
 crates/metrics/src/registry.rs:
+crates/metrics/src/telemetry.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

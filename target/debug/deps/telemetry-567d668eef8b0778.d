@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-567d668eef8b0778.d: crates/metrics/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-567d668eef8b0778: crates/metrics/tests/telemetry.rs
+
+crates/metrics/tests/telemetry.rs:

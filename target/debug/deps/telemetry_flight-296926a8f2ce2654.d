@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_flight-296926a8f2ce2654.d: crates/core/tests/telemetry_flight.rs
+
+/root/repo/target/debug/deps/telemetry_flight-296926a8f2ce2654: crates/core/tests/telemetry_flight.rs
+
+crates/core/tests/telemetry_flight.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/rls_metrics-7594a261fac9c8ae.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/release/deps/rls_metrics-7594a261fac9c8ae.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
-/root/repo/target/release/deps/librls_metrics-7594a261fac9c8ae.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/release/deps/librls_metrics-7594a261fac9c8ae.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
-/root/repo/target/release/deps/librls_metrics-7594a261fac9c8ae.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs
+/root/repo/target/release/deps/librls_metrics-7594a261fac9c8ae.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/telemetry.rs
 
 crates/metrics/src/lib.rs:
 crates/metrics/src/histogram.rs:
 crates/metrics/src/registry.rs:
+crates/metrics/src/telemetry.rs:
