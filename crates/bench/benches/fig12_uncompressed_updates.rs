@@ -6,10 +6,15 @@
 //! the RLI concurrently (the RLI's ingest rate is the shared bottleneck) —
 //! 6 LRCs × 1 M entries averaged 5102 s. The reproduced claims: both
 //! growth directions and the multiplicative interaction.
+//!
+//! `--shards <n>` partitions the target RLI's index into `n` LFN-hash
+//! shards (default 1 = the classic single-lock index the paper measured),
+//! so the same sweep shows how much of the "linear in LRC count" slope is
+//! the shared write lock rather than the ingest work itself.
 
 use std::sync::Arc;
 
-use rls_bench::{banner, header, manual_updates, row, start_rli, Scale};
+use rls_bench::{banner, header, manual_updates, row, start_rli_sharded, Scale};
 use rls_core::{Server, Updater};
 use rls_net::LinkProfile;
 use rls_storage::BackendProfile;
@@ -23,6 +28,7 @@ fn main() {
         "uncompressed soft-state update times vs LRC size and count (LAN)",
         &scale,
     );
+    println!("    rli shards: {}", scale.shards);
     let sizes: Vec<u64> = if scale.full {
         vec![10_000, 100_000, 1_000_000]
     } else {
@@ -46,7 +52,7 @@ fn main() {
             .collect();
         for num_lrcs in 1..=max_lrcs {
             // Fresh RLI per point so its ingest table starts empty.
-            let rli = start_rli();
+            let rli = start_rli_sharded(BackendProfile::mysql_buffered(), scale.shards);
             let rli_addr = rli.addr().to_string();
             let durations: Vec<f64> = std::thread::scope(|s| {
                 let handles: Vec<_> = lrcs[..num_lrcs]

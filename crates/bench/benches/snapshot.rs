@@ -1,16 +1,16 @@
 //! **Snapshot** — one-shot perf-trajectory helper: re-measures the fig06 /
-//! fig11 headline numbers at CI scale and writes them as `BENCH_<pr>.json`
-//! (the series started by `BENCH_6.json`), plus a flight-recorder block
-//! timing the PR 7 telemetry sampler itself.
+//! fig11 / fig12 headline numbers at CI scale and writes them as
+//! `BENCH_<pr>.json` (the series started by `BENCH_6.json`), plus a
+//! flight-recorder block timing the PR 7 telemetry sampler itself.
 //!
 //! ```text
-//! cargo bench -p rls-bench --bench snapshot -- --pr 7 --date 2026-08-08 \
-//!     [--out BENCH_7.json] [--scale f] [--trials n]
+//! cargo bench -p rls-bench --bench snapshot -- --pr 8 --date 2026-08-08 \
+//!     [--out BENCH_8.json] [--scale f] [--trials n]
 //! ```
 
 use std::time::{Duration, Instant};
 
-use rls_bench::{banner, start_lrc_sharded, Scale};
+use rls_bench::{banner, start_lrc_sharded, start_rli_sharded, Scale};
 use rls_storage::BackendProfile;
 use rls_types::{Dn, Mapping};
 use rls_workload::{drive, preload_lrc, NameGen, Trials};
@@ -45,10 +45,10 @@ fn p99(stats: &rls_proto::ServerStatsWire, name: &str) -> u64 {
 
 fn main() {
     let scale = Scale::from_args();
-    let pr: u64 = flag("--pr").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let pr: u64 = flag("--pr").and_then(|v| v.parse().ok()).unwrap_or(8);
     let date = flag("--date").unwrap_or_else(|| "unknown".to_owned());
     let out = flag("--out").unwrap_or_else(|| format!("BENCH_{pr}.json"));
-    banner("Snapshot", "fig06/fig11 headline numbers → JSON", &scale);
+    banner("Snapshot", "fig06/fig11/fig12 headline numbers → JSON", &scale);
 
     // --- fig06 headline: buffered op rates, 10 threads ------------------
     let entries = scale.pick(5_000, 100_000);
@@ -173,6 +173,39 @@ fn main() {
         }
     }
 
+    // --- fig12 headline: RLI delta ingest by rli_shards ------------------
+    // Eight concurrent immediate-mode senders, each delta a single name
+    // (so every apply routes to one owner shard), against a durable RLI
+    // whose per-shard WAL pays the same 2 ms emulated sync as the durable
+    // LRC above. With one shard every sync serializes behind the global
+    // write lock; with N shards the streams land on disjoint shards and
+    // the syncs overlap.
+    let ithreads = 8usize;
+    let iper = scale.pick(30, 500) as usize;
+    let mut rli_ingest = Vec::new();
+    for rli_shards in [1usize, 4, 8] {
+        let rli = start_rli_sharded(
+            BackendProfile::mysql_durable().with_sync_latency(disk),
+            rli_shards,
+        );
+        let igen = NameGen::new("snap12");
+        let mut tr = Trials::new();
+        for trial in 0..scale.trials {
+            let r = drive(rli.addr(), rls_net::LinkProfile::unshaped(), None, ithreads, iper, |c, t, i| {
+                let idx = ((trial * ithreads + t) * iper + i) as u64;
+                c.send_delta(&format!("lrc-{t}"), vec![igen.lfn(idx)], vec![])
+            })
+            .expect("delta ingest");
+            assert_eq!(r.errors, 0);
+            tr.push(&r);
+        }
+        rli_ingest.push((rli_shards, tr.mean_rate()));
+        println!(
+            "    rli delta ingest @ {rli_shards} shard(s): {:.0} names/s",
+            tr.mean_rate()
+        );
+    }
+
     // --- emit ------------------------------------------------------------
     let by_shards = |rows: &[(usize, f64)]| -> String {
         let cells: Vec<String> = rows
@@ -186,7 +219,7 @@ fn main() {
   "pr": {pr},
   "date": "{date}",
   "host": "1-core container, in-process engine, emulated network",
-  "note": "Perf-trajectory snapshot emitted by `cargo bench -p rls-bench --bench snapshot`. CI-scale runs of the fig06/fig11 headline measurements plus the PR 7 flight-recorder sampler cost; regenerate with the named bench targets for full curves.",
+  "note": "Perf-trajectory snapshot emitted by `cargo bench -p rls-bench --bench snapshot`. CI-scale runs of the fig06/fig11/fig12 headline measurements plus the PR 7 flight-recorder sampler cost; regenerate with the named bench targets for full curves.",
   "fig06_lrc_multiclient": {{
     "buffered_1_client_10_threads": {{
       "shards": 1,
@@ -205,6 +238,10 @@ fn main() {
   "fig11_bulk_ops": {{
     "bulk_add_del_items_per_s_10_threads_by_shards": {bulk},
     "bulk_query_items_per_s_10_threads_shards_1": {bq:.0}
+  }},
+  "fig12_uncompressed_updates": {{
+    "delta_ingest_names_per_s_8_threads_by_rli_shards": {ingest},
+    "note": "durable RLI, 2ms emulated WAL sync per commit; single-name deltas route to their owner shard, so sharding lets concurrent update streams overlap their syncs"
   }},
   "flight_recorder": {{
     "sample_capture_mean_us": {capture_us},
@@ -226,6 +263,7 @@ fn main() {
         admitted = counter(&stats, "server.conns_admitted"),
         bulk = by_shards(&bulk_addel),
         bq = bulk_query,
+        ingest = by_shards(&rli_ingest),
         retained = history.samples.len(),
         cap = history.ring_capacity,
         interval = history.interval_micros,

@@ -166,6 +166,31 @@ pub fn start_rli() -> Server {
     .expect("start RLI server")
 }
 
+/// Starts a pure-RLI server with the index partitioned into `shards`
+/// LFN-hash shards (1 = the classic single-lock index). Durable profiles
+/// get a fresh WAL family (`.s<i>` per shard) under the system temp
+/// directory. The worker pool is sized to at least one thread per shard so
+/// concurrent update streams can actually land on distinct shards — each
+/// shard can have an apply (and its WAL sync) in flight concurrently.
+pub fn start_rli_sharded(profile: BackendProfile, shards: usize) -> Server {
+    let wal_path = match profile.flush {
+        rls_storage::FlushMode::None => None,
+        _ => Some(fresh_wal_path("rli")),
+    };
+    Server::start(ServerConfig {
+        rli: Some(RliConfig {
+            profile,
+            wal_path,
+            expire_timeout: Duration::from_secs(24 * 3600),
+            shards,
+            ..Default::default()
+        }),
+        worker_threads: shards.max(4),
+        ..ServerConfig::default()
+    })
+    .expect("start sharded RLI server")
+}
+
 /// Starts an LRC wired to push updates to `rli_addr` with the given update
 /// configuration.
 pub fn start_lrc_with_updates(

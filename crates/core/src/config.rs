@@ -153,6 +153,16 @@ pub struct RliConfig {
     pub expire_interval: Duration,
     /// Spawn the expire thread.
     pub auto_expire: bool,
+    /// Number of relational-store shards (`rli_shards` in the config
+    /// file). The index is partitioned by LFN hash into this many
+    /// independent engines so concurrent LRC update streams land on
+    /// disjoint shards instead of serializing on one write lock. `1` (the
+    /// default) keeps the single engine and the exact `rli_wal` path of
+    /// earlier releases; with N > 1 the per-shard WALs derive from the
+    /// base path with a `.s<i>` suffix. Like the LRC's `shards`, the
+    /// count is part of a durable store's on-disk identity and must not
+    /// change between runs. `0` is treated as `1`.
+    pub shards: usize,
 }
 
 impl Default for RliConfig {
@@ -165,6 +175,7 @@ impl Default for RliConfig {
             expire_timeout: Duration::from_secs(24 * 3600),
             expire_interval: Duration::from_secs(60),
             auto_expire: false,
+            shards: 1,
         }
     }
 }

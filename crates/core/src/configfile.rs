@@ -30,9 +30,10 @@
 //! update_rli        rli-east.example.org:39281
 //! update_rli        rli-west.example.org:39281 bloom ^lfn://ligo/.*
 //!
-//! # RLI expiry
+//! # RLI expiry + sharding
 //! rli_expire_int    60
 //! rli_expire_stale  1800
+//! rli_shards        4              # LFN-hash RLI index shards (1 = single engine)
 //!
 //! # update resilience (see docs/FAULTS.md)
 //! retry_max         3              # extra attempts per update call
@@ -153,6 +154,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
     let mut bloom_hashes = 3u32;
     let mut rli_expire_int = Duration::from_secs(60);
     let mut rli_expire_stale = Duration::from_secs(1800);
+    let mut rli_shards = 1usize;
     let mut retry_max: Option<u32> = None;
     let mut backoff_base_ms: Option<u64> = None;
     let mut connect_timeout_ms: Option<u64> = None;
@@ -275,6 +277,14 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             }
             "rli_expire_int" => rli_expire_int = parse_secs(key, one()?)?,
             "rli_expire_stale" => rli_expire_stale = parse_secs(key, one()?)?,
+            "rli_shards" => {
+                rli_shards = one()?.parse().map_err(|_| {
+                    RlsError::bad_request(format!(
+                        "line {}: expected a shard count",
+                        lineno + 1
+                    ))
+                })?
+            }
             "retry_max" => {
                 retry_max = Some(one()?.parse().map_err(|_| {
                     RlsError::bad_request(format!("line {}: bad retry count", lineno + 1))
@@ -500,6 +510,7 @@ pub fn parse_config(text: &str) -> RlsResult<ParsedConfig> {
             expire_timeout: rli_expire_stale,
             expire_interval: rli_expire_int,
             auto_expire: true,
+            shards: rli_shards,
         }),
         auth: AuthConfig {
             enabled: acl_enabled,
@@ -636,6 +647,16 @@ acl          user:ann admin
         let p = parse_config("lrc_server true\nshards 8").unwrap();
         assert_eq!(p.server.lrc.as_ref().unwrap().shards, 8);
         assert!(parse_config("lrc_server true\nshards many").is_err());
+    }
+
+    #[test]
+    fn rli_shards_key_parses() {
+        // Default: one shard, the classic single-lock index.
+        let p = parse_config("rli_server true").unwrap();
+        assert_eq!(p.server.rli.as_ref().unwrap().shards, 1);
+        let p = parse_config("rli_server true\nrli_shards 8").unwrap();
+        assert_eq!(p.server.rli.as_ref().unwrap().shards, 8);
+        assert!(parse_config("rli_server true\nrli_shards many").is_err());
     }
 
     #[test]

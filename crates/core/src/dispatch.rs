@@ -116,7 +116,7 @@ impl ServerState {
             ));
         }
         if let Some(rli) = &self.rli {
-            push_engine_counters(&mut counters, "rli", rli.db.read().engine().stats());
+            push_engine_counters(&mut counters, "rli", rli.db().engine_stats());
             hists.extend(rli.metrics().histogram_snapshot());
             counters.extend(rli.metrics().counter_snapshot());
         }

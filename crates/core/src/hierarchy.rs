@@ -55,9 +55,11 @@ impl RliForwarder {
         }
     }
 
-    /// Builds the Bloom summary of the child's relational store.
+    /// Builds the Bloom summary of the child's relational store. Shards
+    /// are scanned one read lock at a time, so a long summary never
+    /// blocks appliers on the other shards.
     pub fn relational_summary(&self) -> BloomFilter {
-        let db = self.rli.db.read();
+        let db = self.rli.db();
         let mut filter = BloomFilter::with_capacity(self.params, db.lfn_count().max(1024));
         db.for_each_lfn(|lfn| filter.insert(lfn));
         filter

@@ -16,9 +16,9 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use rls_bloom::BloomFilter;
-use rls_metrics::Registry;
+use rls_metrics::{Counter, Registry};
 use rls_proto::LagStamp;
-use rls_storage::{RliDatabase, RliQueryHit};
+use rls_storage::{RliQueryHit, ShardedRliDatabase};
 use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
 
 use crate::config::RliConfig;
@@ -53,8 +53,14 @@ struct Freshness {
 
 /// The RLI role of a server.
 pub struct RliService {
-    /// Relational store for uncompressed/incremental updates.
-    pub db: RwLock<RliDatabase>,
+    /// Relational store for uncompressed/incremental updates, partitioned
+    /// by LFN hash (`rli_shards`; 1 = the legacy single engine). Shard
+    /// locks live inside the container, so concurrent senders whose names
+    /// hash to different shards apply in parallel.
+    db: ShardedRliDatabase,
+    /// Apply-transaction counters per shard, pre-resolved so the hot
+    /// apply path never takes the registry lock.
+    shard_applies: Vec<Counter>,
     blooms: RwLock<HashMap<String, StoredBloom>>,
     /// Per-LRC chunk reassembly state for sequenced full updates (one
     /// cursor per sender, replaced when a new update id arrives).
@@ -77,14 +83,18 @@ impl std::fmt::Debug for RliService {
 }
 
 impl RliService {
-    /// Builds the service, opening or creating the relational store.
+    /// Builds the service, opening or creating the relational store (all
+    /// `config.shards` partitions of it).
     pub fn new(config: RliConfig) -> RlsResult<Self> {
-        let db = match &config.wal_path {
-            Some(path) => RliDatabase::open(config.profile, path)?,
-            None => RliDatabase::in_memory(config.profile),
-        };
+        let db =
+            ShardedRliDatabase::open(config.profile, config.wal_path.as_deref(), config.shards)?;
+        let metrics = Registry::new();
+        let shard_applies = (0..db.shard_count())
+            .map(|i| metrics.counter(&format!("rli.shard.{i}.applies")))
+            .collect();
         Ok(Self {
-            db: RwLock::new(db),
+            db,
+            shard_applies,
             blooms: RwLock::new(HashMap::new()),
             chunks: Mutex::new(HashMap::new()),
             freshness: Mutex::new(HashMap::new()),
@@ -92,13 +102,26 @@ impl RliService {
             updates_received: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             expired_total: AtomicU64::new(0),
-            metrics: Registry::new(),
+            metrics,
         })
     }
 
     /// The role configuration.
     pub fn config(&self) -> &RliConfig {
         &self.config
+    }
+
+    /// The sharded relational store (per-shard access, fan-out reads,
+    /// engine stats).
+    pub fn db(&self) -> &ShardedRliDatabase {
+        &self.db
+    }
+
+    /// LRCs currently tracked by the staleness plane (freshness entries).
+    /// Expire sweeps evict entries for senders that no longer hold any
+    /// state, so this stays bounded by the live sender population.
+    pub fn staleness_tracked_lrcs(&self) -> usize {
+        self.freshness.lock().len()
     }
 
     /// The RLI's metrics registry, merged into the server's stats report.
@@ -119,14 +142,31 @@ impl RliService {
         f(entry);
     }
 
-    /// Applies one chunk of an uncompressed full update.
+    /// Applies one chunk of an uncompressed full update. Names are
+    /// bucketed by owner shard and each touched shard applies its bucket
+    /// as one transaction under its own lock (ascending shard order, one
+    /// lock at a time), so chunks from senders on disjoint shards never
+    /// wait on each other.
     pub fn apply_full_chunk(&self, lrc: &str, lfns: &[String], at: Timestamp) -> RlsResult<u64> {
         self.updates_received.fetch_add(1, Ordering::Relaxed);
         let t0 = std::time::Instant::now();
-        let n = self
+        let mut n = 0;
+        for (i, bucket) in self
             .db
-            .write()
-            .upsert_batch(lrc, lfns.iter().map(|s| s.as_str()), at)?;
+            .bucket_by_shard(lfns.iter().map(|s| s.as_str()))
+            .into_iter()
+            .enumerate()
+        {
+            if bucket.is_empty() {
+                continue;
+            }
+            n += self
+                .db
+                .shard(i)
+                .write()
+                .upsert_batch(lrc, bucket, at)?;
+            self.shard_applies[i].inc();
+        }
         self.metrics
             .histogram("rli.apply_full")
             .record(t0.elapsed());
@@ -211,7 +251,13 @@ impl RliService {
         Ok(n)
     }
 
-    /// Applies an incremental (immediate-mode) update.
+    /// Applies an incremental (immediate-mode) update. Adds and removes
+    /// are bucketed by owner shard; each touched shard applies its adds
+    /// (one transaction) then its removes under a single acquisition of
+    /// its own lock. A name's add and remove both route to its owner
+    /// shard, so per-name ordering is exactly the single-lock behaviour;
+    /// only cross-shard atomicity is relaxed (a concurrent fan-out read
+    /// may see a delta half-applied — soft state the next update repairs).
     pub fn apply_delta(
         &self,
         lrc: &str,
@@ -221,12 +267,26 @@ impl RliService {
     ) -> RlsResult<()> {
         self.updates_received.fetch_add(1, Ordering::Relaxed);
         let t0 = std::time::Instant::now();
-        let mut db = self.db.write();
-        db.upsert_batch(lrc, added.iter().map(|s| s.as_str()), at)?;
-        for lfn in removed {
-            db.remove(lfn, lrc)?;
+        let added_buckets = self.db.bucket_by_shard(added.iter().map(|s| s.as_str()));
+        let removed_buckets = self.db.bucket_by_shard(removed.iter().map(|s| s.as_str()));
+        for (i, (add, rm)) in added_buckets
+            .into_iter()
+            .zip(removed_buckets)
+            .enumerate()
+        {
+            if add.is_empty() && rm.is_empty() {
+                continue;
+            }
+            let mut shard = self.db.shard(i).write();
+            if !add.is_empty() {
+                shard.upsert_batch(lrc, add, at)?;
+            }
+            for lfn in rm {
+                shard.remove(lfn, lrc)?;
+            }
+            drop(shard);
+            self.shard_applies[i].inc();
         }
-        drop(db);
         self.metrics
             .histogram("rli.apply_delta")
             .record(t0.elapsed());
@@ -289,8 +349,22 @@ impl RliService {
     /// anything from the LRC) and `rli.mapping_divergence.<lrc>` (absolute
     /// difference between the mapping count the LRC claimed at its last
     /// whole-state push and the count this RLI currently holds for it).
-    /// Called on the telemetry sampler cadence.
+    /// Also refreshes `rli.shard.imbalance_ppm` — the hottest shard's
+    /// association-count excess over the per-shard mean, ×10⁶. Called on
+    /// the telemetry sampler cadence.
     pub fn refresh_staleness_gauges(&self) {
+        let counts = self.db.per_shard_association_counts();
+        let total: u64 = counts.iter().sum();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / counts.len() as f64;
+        let imbalance = if mean > 0.0 {
+            (((max as f64 - mean) / mean) * 1_000_000.0) as u64
+        } else {
+            0
+        };
+        self.metrics
+            .counter("rli.shard.imbalance_ppm")
+            .set(imbalance);
         let fresh = self.freshness.lock();
         for (lrc, f) in fresh.iter() {
             let age_ms = f.last_apply.elapsed().as_millis().min(u64::MAX as u128) as u64;
@@ -303,7 +377,7 @@ impl RliService {
                 // senders are compared against the O(1) per-LRC refcount.
                 let held = match self.blooms.read().get(lrc) {
                     Some(stored) => stored.filter.entries(),
-                    None => self.db.read().count_for_lrc(lrc),
+                    None => self.db.count_for_lrc(lrc),
                 };
                 self.metrics
                     .counter(&format!("rli.mapping_divergence.{lrc}"))
@@ -319,7 +393,7 @@ impl RliService {
     /// the name, matching the relational path's behaviour.
     pub fn query(&self, lfn: &str) -> RlsResult<Vec<RliQueryHit>> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        let mut hits = match self.db.read().query(lfn) {
+        let mut hits = match self.db.query(lfn) {
             Ok(hits) => hits,
             Err(e) if e.code() == ErrorCode::LogicalNameNotFound => Vec::new(),
             Err(e) => return Err(e),
@@ -353,18 +427,12 @@ impl RliService {
         limit: usize,
     ) -> RlsResult<Vec<(Arc<str>, Arc<str>)>> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.db.read().wildcard_query(glob, limit)
+        self.db.wildcard_query(glob, limit)
     }
 
     /// The LRCs currently known to this RLI (relational + Bloom senders).
     pub fn lrc_list(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .db
-            .read()
-            .lrc_list()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let mut names: Vec<String> = self.db.lrc_list().iter().map(|s| s.to_string()).collect();
         for lrc in self.blooms.read().keys() {
             if !names.iter().any(|n| n == lrc) {
                 names.push(lrc.clone());
@@ -389,9 +457,9 @@ impl RliService {
             .collect()
     }
 
-    /// Associations in the relational store.
+    /// Associations in the relational store (summed across shards).
     pub fn association_count(&self) -> u64 {
-        self.db.read().association_count()
+        self.db.association_count()
     }
 
     /// Soft-state updates received (all kinds).
@@ -414,21 +482,45 @@ impl RliService {
         self.expire_with_timeout(now, self.config.expire_timeout)
     }
 
-    /// Expire pass with an explicit timeout (tests and benches).
+    /// Expire pass with an explicit timeout (tests and benches). The
+    /// relational sweep visits one shard at a time, so senders applying
+    /// to other shards never wait on it.
     pub fn expire_with_timeout(&self, now: Timestamp, timeout: Duration) -> RlsResult<u64> {
         let t0 = std::time::Instant::now();
-        let mut n = self.db.write().expire(now, timeout)?;
+        let mut n = self.db.expire(now, timeout)?;
         let mut blooms = self.blooms.write();
         let before = blooms.len() as u64;
         blooms.retain(|_, stored| !stored.received_at.is_expired(now, timeout));
         n += before - blooms.len() as u64;
         drop(blooms);
+        self.evict_dead_cursors();
         self.expired_total.fetch_add(n, Ordering::Relaxed);
         self.metrics
             .histogram("rli.expire_sweep")
             .record(t0.elapsed());
         self.metrics.counter("rli.expired_last_sweep").set(n);
         Ok(n)
+    }
+
+    /// Drops chunk cursors and freshness entries for LRCs that no longer
+    /// hold any state here — neither relational associations nor a Bloom
+    /// filter. Without this the `chunks`/`freshness` maps grow one entry
+    /// per sender that ever contacted the RLI and never shrink, a slow
+    /// leak for senders that go away for good. Run from the expire sweep:
+    /// a sender only reaches zero state after staying silent past the
+    /// soft-state timeout, at which point any in-flight chunk stream of
+    /// its is long dead (a returning sender starts a new update at seq 0,
+    /// which an empty cursor slot accepts).
+    fn evict_dead_cursors(&self) {
+        let live: std::collections::HashSet<String> = self
+            .db
+            .lrc_list()
+            .iter()
+            .map(|s| s.to_string())
+            .chain(self.blooms.read().keys().cloned())
+            .collect();
+        self.chunks.lock().retain(|lrc, _| live.contains(lrc));
+        self.freshness.lock().retain(|lrc, _| live.contains(lrc));
     }
 }
 

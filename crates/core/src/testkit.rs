@@ -37,6 +37,7 @@ pub struct TestDeploymentBuilder {
     max_connections: usize,
     worker_threads: usize,
     shards: usize,
+    rli_shards: usize,
 }
 
 impl Default for TestDeploymentBuilder {
@@ -58,6 +59,7 @@ impl Default for TestDeploymentBuilder {
             max_connections: 512,
             worker_threads: 0,
             shards: 1,
+            rli_shards: 1,
         }
     }
 }
@@ -167,6 +169,13 @@ impl TestDeploymentBuilder {
         self
     }
 
+    /// Number of RLI index shards on every RLI (1 = the classic
+    /// single-lock index). Survives [`TestDeployment::restart_rli`].
+    pub fn rli_shards(mut self, n: usize) -> Self {
+        self.rli_shards = n;
+        self
+    }
+
     /// Starts the deployment.
     pub fn build(self) -> RlsResult<TestDeployment> {
         let mut rlis = Vec::with_capacity(self.rlis);
@@ -177,6 +186,7 @@ impl TestDeploymentBuilder {
                     profile: self.profile,
                     expire_timeout: self.expire_timeout,
                     auto_expire: self.auto,
+                    shards: self.rli_shards,
                     ..Default::default()
                 }),
                 max_connections: self.max_connections,
@@ -347,6 +357,7 @@ impl TestDeployment {
                 profile: self.builder.profile,
                 expire_timeout: self.builder.expire_timeout,
                 auto_expire: self.builder.auto,
+                shards: self.builder.rli_shards,
                 ..Default::default()
             }),
             ..Default::default()

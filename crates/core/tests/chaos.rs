@@ -436,6 +436,190 @@ fn sharded_catalog_converges_through_chaos() {
     assert_eq!(counter(&stats, "wal.group_commits"), shards_hit as u64);
 }
 
+/// The gauntlet at `rli_shards = 4`: every transport fault class from the
+/// sweep above, re-run against an RLI whose index is LFN-hash partitioned.
+/// The convergence contract is unchanged — each damaged run must land on
+/// exactly the fault-free single-shard mapping set — and the per-shard
+/// `rli.shard.<i>.applies` counters prove the recovered update stream
+/// really fanned out across the partitions.
+#[test]
+fn sharded_rli_converges_through_chaos_sweep() {
+    let expected = fault_free_state(12);
+    let classes: [(&str, Arc<FaultPlan>); 4] = [
+        (
+            "connection refusals",
+            Arc::new(FaultPlan::builder(0x8A).refuse_connects("*", 2).build()),
+        ),
+        (
+            "mid-frame disconnect",
+            Arc::new(FaultPlan::builder(0x8B).drop_mid_frame("*", 1).build()),
+        ),
+        (
+            "read stall",
+            Arc::new(
+                FaultPlan::builder(0x8C)
+                    .stall_recv("*", 0, Duration::from_millis(20))
+                    .build(),
+            ),
+        ),
+        (
+            "slow link",
+            Arc::new(
+                FaultPlan::builder(0x8D)
+                    .slow_link("*", Duration::from_millis(1))
+                    .build(),
+            ),
+        ),
+    ];
+    for (class, plan) in classes {
+        let dep = TestDeployment::builder()
+            .lrcs(1)
+            .rlis(1)
+            .rli_shards(4)
+            .chunk_size(3) // 12 names → 4 chunks, so drops land mid-stream
+            .retry(quick_retry())
+            .fault_hook(plan)
+            .build()
+            .unwrap();
+        seed_names(&dep, 12);
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        assert_eq!(
+            rli_names(&dep, 0),
+            expected,
+            "fault class {class:?} must converge at rli_shards=4"
+        );
+        dep.force_samples();
+        let stats = dep.rli_client(0).unwrap().stats().unwrap();
+        let shards_hit = (0..4)
+            .filter(|i| counter(&stats, &format!("rli.shard.{i}.applies")) > 0)
+            .count();
+        assert!(
+            shards_hit >= 2,
+            "{class}: 12 names must spread over ≥2 RLI shards: {stats:?}"
+        );
+        assert!(
+            stats.counters.iter().any(|(n, _)| n == "rli.shard.imbalance_ppm"),
+            "{class}: imbalance gauge must publish on the sampler cadence"
+        );
+    }
+}
+
+/// Fault class at `rli_shards = 4`: RLI crash + restart. The restarted
+/// server comes back with four *empty* shards (restart preserves the
+/// configured shard count), the parked backlog drains into them, and the
+/// healing full refresh rebuilds the partitioned index from soft state.
+#[test]
+fn sharded_rli_converges_through_crash_and_restart() {
+    let expected = {
+        let dep = TestDeployment::builder()
+            .lrcs(1)
+            .rlis(1)
+            .immediate(true)
+            .build()
+            .unwrap();
+        seed_names(&dep, 10);
+        for r in dep.flush_deltas() {
+            r.unwrap();
+        }
+        for o in dep.force_updates() {
+            o.unwrap();
+        }
+        rli_names(&dep, 0)
+    };
+
+    let mut dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .rli_shards(4)
+        .immediate(true)
+        .build()
+        .unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..5 {
+        c.create_mapping(&format!("lfn://chaos/f{i:02}"), &format!("pfn://site-a/f{i:02}"))
+            .unwrap();
+    }
+    for r in dep.flush_deltas() {
+        r.unwrap();
+    }
+    dep.crash_rli(0);
+    for i in 5..10 {
+        c.create_mapping(&format!("lfn://chaos/f{i:02}"), &format!("pfn://site-a/f{i:02}"))
+            .unwrap();
+    }
+    assert!(dep.lrcs[0].flush_deltas().is_err());
+    dep.restart_rli(0).unwrap();
+    let outcomes = dep.lrcs[0].flush_deltas().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].names, 5);
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    assert_eq!(rli_names(&dep, 0), expected);
+    // The rebuilt index is partitioned again: the post-restart applies
+    // show up on the per-shard counters.
+    dep.force_samples();
+    let stats = dep.rli_client(0).unwrap().stats().unwrap();
+    let shards_hit = (0..4)
+        .filter(|i| counter(&stats, &format!("rli.shard.{i}.applies")) > 0)
+        .count();
+    assert!(shards_hit >= 2, "rebuild must fan out: {stats:?}");
+}
+
+/// The PR 7 staleness-plane heal check, at `rli_shards = 4`: the
+/// freshness ledger stays global above the partitioned index, so an
+/// updater outage ages `rli.lrc.staleness_ms` and the healed cycle snaps
+/// it back exactly as on a single-shard RLI.
+#[test]
+fn sharded_rli_staleness_plane_heals() {
+    let plan = Arc::new(FaultPlan::builder(0x57A2E).drop_mid_frame("*", 2).build());
+    let dep = TestDeployment::builder()
+        .lrcs(1)
+        .rlis(1)
+        .rli_shards(4)
+        .fault_hook(plan.clone()) // default fail-fast retry: the cycle errors
+        .build()
+        .unwrap();
+    seed_names(&dep, 5);
+    let staleness = |dep: &TestDeployment| -> u64 {
+        dep.force_samples();
+        let stats = dep.rli_client(0).unwrap().stats().unwrap();
+        stats
+            .counters
+            .iter()
+            .find(|(n, _)| n == "rli.lrc.staleness_ms.lrc-0")
+            .map(|(_, v)| *v)
+            .expect("staleness gauge must exist after the first apply")
+    };
+
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let fresh = staleness(&dep);
+    assert!(fresh < 250, "fresh after a healthy cycle: {fresh}ms");
+
+    std::thread::sleep(Duration::from_millis(300));
+    let outcomes = dep.force_updates();
+    assert!(
+        outcomes.iter().any(|o| o.is_err()),
+        "the scripted drop must fail this cycle: {outcomes:?}"
+    );
+    assert_eq!(plan.stats().dropped(), 1);
+    let stale = staleness(&dep);
+    assert!(stale >= 250, "no refresh landed, so age keeps growing: {stale}ms");
+
+    for o in dep.force_updates() {
+        o.unwrap();
+    }
+    let healed = staleness(&dep);
+    assert!(
+        healed < stale && healed < 250,
+        "healed cycle must reset the age: {healed}ms (was {stale}ms)"
+    );
+}
+
 /// Fault class: updater outage, seen through the staleness plane. A
 /// healthy first cycle seeds the RLI's freshness ledger; a scripted
 /// mid-frame drop then kills the next cycle, so `rli.lrc.staleness_ms`

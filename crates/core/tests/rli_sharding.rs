@@ -1,0 +1,550 @@
+//! Cross-shard semantics of the LFN-hash-partitioned RLI index: with one
+//! shard the service is indistinguishable from the legacy single-lock
+//! layout (down to the bytes of its WAL), senders whose names land on
+//! distinct shards never serialize on each other, concurrent
+//! delta/full/expire interleavings converge to the fault-free mapping
+//! set, chunk-reassembly sequencing survives the partitioning, and a
+//! seeded multi-LRC soak cross-checks `count_for_lrc` against a
+//! ground-truth model after thousands of randomized operations.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rls_bloom::splitmix64;
+use rls_core::{RliConfig, RliService};
+use rls_storage::{BackendProfile, RliDatabase};
+use rls_types::{ErrorCode, Glob, Timestamp};
+
+fn service(shards: usize) -> RliService {
+    RliService::new(RliConfig {
+        shards,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn ts(s: u64) -> Timestamp {
+    Timestamp::from_unix_secs(s)
+}
+
+fn names(ns: &[&str]) -> Vec<String> {
+    ns.iter().map(|n| (*n).to_owned()).collect()
+}
+
+/// An LFN per shard: scans candidate names until every shard owns one.
+fn lfn_on_each_shard(svc: &RliService) -> Vec<String> {
+    let n = svc.db().shard_count();
+    let mut out: Vec<Option<String>> = vec![None; n];
+    for i in 0.. {
+        let lfn = format!("lfn://pin/{i}");
+        let s = svc.db().shard_of(&lfn);
+        if out[s].is_none() {
+            out[s] = Some(lfn);
+            if out.iter().all(Option::is_some) {
+                break;
+            }
+        }
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// The full relational state as a comparable set of `(lfn, lrc)` pairs.
+fn state_of(svc: &RliService) -> BTreeSet<(String, String)> {
+    svc.wildcard_query(&Glob::new("*").unwrap(), usize::MAX)
+        .unwrap()
+        .into_iter()
+        .map(|(l, r)| (l.to_string(), r.to_string()))
+        .collect()
+}
+
+/// Deterministic splitmix64 RNG so every schedule is replayable by seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.0)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// --- shards=1 equivalence ----------------------------------------------
+
+/// One shard must be the exact legacy layout: the same operation stream
+/// applied through the sharded service and through a bare `RliDatabase`
+/// produces byte-identical WALs at the exact configured path, and every
+/// query surface agrees.
+#[test]
+fn single_shard_matches_legacy_layout() {
+    let dir = std::env::temp_dir().join(format!("rls-rli-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let svc_wal = dir.join("svc.wal");
+    let legacy_wal = dir.join("legacy.wal");
+    let _ = std::fs::remove_file(&svc_wal);
+    let _ = std::fs::remove_file(&legacy_wal);
+
+    let svc = RliService::new(RliConfig {
+        profile: BackendProfile::mysql_durable(),
+        wal_path: Some(svc_wal.clone()),
+        shards: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut legacy = RliDatabase::open(BackendProfile::mysql_durable(), &legacy_wal).unwrap();
+
+    // The same stream of batches, deltas and expires through both.
+    for round in 0..4u64 {
+        let batch: Vec<String> = (0..20)
+            .map(|i| format!("lfn://equiv/{}/{i}", round % 2))
+            .collect();
+        svc.apply_full_chunk("lrc-1", &batch, ts(100 + round)).unwrap();
+        legacy
+            .upsert_batch("lrc-1", batch.iter().map(|s| s.as_str()), ts(100 + round))
+            .unwrap();
+    }
+    svc.apply_delta(
+        "lrc-2",
+        &names(&["lfn://equiv/d1", "lfn://equiv/d2"]),
+        &[],
+        ts(110),
+    )
+    .unwrap();
+    legacy
+        .upsert_batch("lrc-2", ["lfn://equiv/d1", "lfn://equiv/d2"], ts(110))
+        .unwrap();
+    svc.apply_delta("lrc-2", &[], &names(&["lfn://equiv/d1"]), ts(111))
+        .unwrap();
+    legacy.remove("lfn://equiv/d1", "lrc-2").unwrap();
+    // Window chosen so the round-0 re-assertions (ts 102) expire while
+    // the round-1 set (ts 103) and lrc-2's surviving delta stay live.
+    svc.expire_with_timeout(ts(160), Duration::from_secs(57)).unwrap();
+    legacy.expire(ts(160), Duration::from_secs(57)).unwrap();
+
+    // Logical state agrees on every read surface.
+    assert_eq!(svc.association_count(), legacy.association_count());
+    assert_eq!(svc.db().lfn_count(), legacy.lfn_count());
+    assert_eq!(svc.db().count_for_lrc("lrc-1"), legacy.count_for_lrc("lrc-1"));
+    assert_eq!(svc.db().count_for_lrc("lrc-2"), legacy.count_for_lrc("lrc-2"));
+    assert_eq!(
+        svc.lrc_list(),
+        legacy.lrc_list().iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    );
+    let glob = Glob::new("lfn://equiv/*").unwrap();
+    assert_eq!(
+        svc.wildcard_query(&glob, usize::MAX).unwrap().len(),
+        legacy.wildcard_query(&glob, usize::MAX).unwrap().len()
+    );
+    for i in 0..20 {
+        let lfn = format!("lfn://equiv/1/{i}");
+        assert_eq!(svc.query(&lfn).unwrap(), legacy.query(&lfn).unwrap());
+    }
+
+    // And the on-disk layout is bit-identical: a single shard logs to the
+    // exact configured path, producing the same WAL bytes the legacy
+    // single-engine store writes for the same stream.
+    drop(svc);
+    drop(legacy);
+    let svc_bytes = std::fs::read(&svc_wal).unwrap();
+    let legacy_bytes = std::fs::read(&legacy_wal).unwrap();
+    assert!(!svc_bytes.is_empty());
+    assert_eq!(svc_bytes, legacy_bytes, "shards=1 WAL must match legacy byte-for-byte");
+    // No `.s0` sibling appears for the single-shard layout.
+    assert!(!dir.join("svc.wal.s0").exists());
+    let _ = std::fs::remove_file(&svc_wal);
+    let _ = std::fs::remove_file(&legacy_wal);
+}
+
+// --- cross-shard concurrency -------------------------------------------
+
+/// Senders whose names hash to distinct shards must never wait on each
+/// other: with one shard's write lock held hostage, an apply routed to a
+/// different shard completes immediately, while an apply routed to the
+/// held shard blocks until release.
+#[test]
+fn updaters_on_distinct_shards_never_block() {
+    let svc = Arc::new(service(4));
+    let pins = lfn_on_each_shard(&svc);
+
+    // Scripted slow apply: camp on shard 0's write lock.
+    let hostage = svc.db().shard(0).write();
+
+    // A delta for a shard-1 name applies while shard 0 is held.
+    let (tx, rx) = mpsc::channel();
+    let other = {
+        let svc = Arc::clone(&svc);
+        let lfn = pins[1].clone();
+        std::thread::spawn(move || {
+            svc.apply_delta("lrc-other", &[lfn], &[], ts(5)).unwrap();
+            tx.send(()).unwrap();
+        })
+    };
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("distinct-shard apply must not wait on the held shard");
+    other.join().unwrap();
+
+    // A full chunk for a shard-0 name blocks until the hostage releases.
+    let (tx, rx) = mpsc::channel();
+    let same = {
+        let svc = Arc::clone(&svc);
+        let lfn = pins[0].clone();
+        std::thread::spawn(move || {
+            svc.apply_full_chunk("lrc-same", &[lfn], ts(5)).unwrap();
+            tx.send(()).unwrap();
+        })
+    };
+    assert!(
+        rx.recv_timeout(Duration::from_millis(100)).is_err(),
+        "same-shard apply must wait for the shard lock"
+    );
+    drop(hostage);
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("apply must proceed once the shard lock frees");
+    same.join().unwrap();
+
+    assert_eq!(svc.query(&pins[0]).unwrap().len(), 1);
+    assert_eq!(svc.query(&pins[1]).unwrap().len(), 1);
+}
+
+/// Concurrent full-update streams, immediate-mode deltas and expire
+/// sweeps over disjoint shards converge to exactly the fault-free
+/// mapping set once the dust settles.
+#[test]
+fn concurrent_delta_full_expire_interleavings_converge() {
+    let svc = Arc::new(service(4));
+    let full_names: Vec<String> = (0..120).map(|i| format!("lfn://conv/full/{i}")).collect();
+    let delta_names: Vec<String> = (0..120).map(|i| format!("lfn://conv/delta/{i}")).collect();
+    let stale_names: Vec<String> = (0..60).map(|i| format!("lfn://conv/stale/{i}")).collect();
+
+    let mut threads = Vec::new();
+    // Full-update stream, chunked, repeatedly re-asserted at a live ts.
+    {
+        let svc = Arc::clone(&svc);
+        let full = full_names.clone();
+        threads.push(std::thread::spawn(move || {
+            for round in 0..10 {
+                for chunk in full.chunks(30) {
+                    svc.apply_full_chunk("lrc-full", chunk, ts(1_000 + round)).unwrap();
+                }
+            }
+        }));
+    }
+    // Immediate-mode sender: adds everything, removes the odd half, over
+    // and over — the survivors are deterministic.
+    {
+        let svc = Arc::clone(&svc);
+        let delta = delta_names.clone();
+        threads.push(std::thread::spawn(move || {
+            let removed: Vec<String> = delta.iter().skip(1).step_by(2).cloned().collect();
+            for round in 0..10 {
+                svc.apply_delta("lrc-delta", &delta, &[], ts(1_000 + round)).unwrap();
+                svc.apply_delta("lrc-delta", &[], &removed, ts(1_000 + round)).unwrap();
+            }
+        }));
+    }
+    // A sender whose entries are already stale, racing the expire sweeps.
+    {
+        let svc = Arc::clone(&svc);
+        let stale = stale_names.clone();
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                svc.apply_full_chunk("lrc-stale", &stale, ts(10)).unwrap();
+            }
+        }));
+    }
+    // The expire thread, sweeping shard by shard throughout.
+    {
+        let svc = Arc::clone(&svc);
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..20 {
+                svc.expire_with_timeout(ts(500), Duration::from_secs(30)).unwrap();
+                std::thread::yield_now();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    // One final sweep makes the stale sender's fate deterministic.
+    svc.expire_with_timeout(ts(500), Duration::from_secs(30)).unwrap();
+
+    let mut expect = BTreeSet::new();
+    for n in &full_names {
+        expect.insert((n.clone(), "lrc-full".to_owned()));
+    }
+    for n in delta_names.iter().step_by(2) {
+        expect.insert((n.clone(), "lrc-delta".to_owned()));
+    }
+    assert_eq!(state_of(&svc), expect, "must converge to the fault-free mapping set");
+    assert_eq!(svc.db().count_for_lrc("lrc-stale"), 0);
+    assert_eq!(svc.db().count_for_lrc("lrc-full"), 120);
+    assert_eq!(svc.db().count_for_lrc("lrc-delta"), 60);
+}
+
+// --- chunk reassembly across shards ------------------------------------
+
+/// The per-LRC chunk cursor stays global while the chunks' names scatter
+/// across shards: gaps and stale duplicates are still rejected, accepted
+/// chunks land on their owner shards, and cursors remain independent
+/// between senders.
+#[test]
+fn chunk_sequencing_holds_across_shards() {
+    let svc = service(4);
+    let pins = lfn_on_each_shard(&svc);
+
+    // An in-order stream whose chunks each live on a different shard.
+    svc.apply_full_chunk_seq("lrc-1", 7, 0, false, &[pins[0].clone()], ts(1)).unwrap();
+    svc.apply_full_chunk_seq("lrc-1", 7, 1, false, &[pins[1].clone()], ts(1)).unwrap();
+    // A gap is rejected and applies nothing to any shard.
+    let e = svc
+        .apply_full_chunk_seq("lrc-1", 7, 3, false, &names(&["lfn://skip"]), ts(1))
+        .unwrap_err();
+    assert_eq!(e.code(), ErrorCode::BadRequest);
+    assert!(svc.query("lfn://skip").is_err());
+    // A stale duplicate of an earlier chunk is rejected too.
+    let e = svc
+        .apply_full_chunk_seq("lrc-1", 7, 0, false, &[pins[0].clone()], ts(1))
+        .unwrap_err();
+    assert_eq!(e.code(), ErrorCode::BadRequest);
+    // A retransmit of the just-applied chunk is acked idempotently.
+    assert_eq!(
+        svc.apply_full_chunk_seq("lrc-1", 7, 1, false, &[pins[1].clone()], ts(1)).unwrap(),
+        0
+    );
+    // Another sender's cursor is untouched by all of the above.
+    svc.apply_full_chunk_seq("lrc-2", 1, 0, true, &[pins[2].clone()], ts(1)).unwrap();
+    // Finish lrc-1's stream; both survive with their own associations.
+    svc.apply_full_chunk_seq("lrc-1", 7, 2, true, &[pins[3].clone()], ts(1)).unwrap();
+    assert_eq!(svc.db().count_for_lrc("lrc-1"), 3);
+    assert_eq!(svc.db().count_for_lrc("lrc-2"), 1);
+    // A new update id supersedes the finished stream, starting at seq 0.
+    let e = svc
+        .apply_full_chunk_seq("lrc-1", 8, 2, false, &[pins[0].clone()], ts(2))
+        .unwrap_err();
+    assert_eq!(e.code(), ErrorCode::BadRequest);
+    svc.apply_full_chunk_seq("lrc-1", 8, 0, true, &[pins[0].clone()], ts(2)).unwrap();
+}
+
+// --- cursor eviction (regression) --------------------------------------
+
+/// `chunks`/`freshness` entries for senders that lost all their state
+/// must be evicted by the expire sweep — the maps otherwise grow one
+/// entry per sender that ever contacted the RLI (the unbounded-growth
+/// bug this PR fixes). An evicted mid-stream cursor also means a
+/// returning sender must start a fresh update at seq 0.
+#[test]
+fn expire_evicts_cursors_and_freshness_for_dead_lrcs() {
+    let svc = service(2);
+    // lrc-gone leaves a mid-stream cursor and stale associations.
+    svc.apply_full_chunk_seq("lrc-gone", 5, 0, false, &names(&["lfn://ev/a"]), ts(10)).unwrap();
+    svc.apply_full_chunk_seq("lrc-gone", 5, 1, false, &names(&["lfn://ev/b"]), ts(10)).unwrap();
+    // lrc-live keeps fresh associations; lrc-bloom holds only a filter.
+    svc.apply_full_chunk("lrc-live", &names(&["lfn://ev/live"]), ts(195)).unwrap();
+    let mut filter = rls_bloom::BloomFilter::with_capacity(rls_bloom::BloomParams::PAPER, 100);
+    filter.insert("lfn://ev/bloomed");
+    svc.apply_bloom("lrc-bloom", filter, ts(195));
+    assert_eq!(svc.staleness_tracked_lrcs(), 3);
+
+    let n = svc.expire_with_timeout(ts(200), Duration::from_secs(30)).unwrap();
+    assert_eq!(n, 2, "only lrc-gone's two stale associations expire");
+    // The dead sender's bookkeeping is gone; live senders keep theirs.
+    assert_eq!(svc.staleness_tracked_lrcs(), 2);
+    // Its mid-stream cursor was evicted with it: resuming the old stream
+    // is rejected, a fresh update at seq 0 is accepted.
+    let e = svc
+        .apply_full_chunk_seq("lrc-gone", 5, 2, true, &names(&["lfn://ev/c"]), ts(201))
+        .unwrap_err();
+    assert_eq!(e.code(), ErrorCode::BadRequest);
+    svc.apply_full_chunk_seq("lrc-gone", 6, 0, true, &names(&["lfn://ev/c"]), ts(201)).unwrap();
+    assert_eq!(svc.staleness_tracked_lrcs(), 3);
+    // Repeated sweeps with nothing to do keep the live entries.
+    svc.expire_with_timeout(ts(202), Duration::from_secs(30)).unwrap();
+    assert_eq!(svc.staleness_tracked_lrcs(), 3);
+}
+
+// --- metrics -----------------------------------------------------------
+
+/// Applies land on the per-shard `rli.shard.<i>.applies` counters and the
+/// sampler-cadence refresh publishes `rli.shard.imbalance_ppm`.
+#[test]
+fn shard_metrics_track_apply_distribution() {
+    let svc = service(4);
+    let batch: Vec<String> = (0..64).map(|i| format!("lfn://met/{i}")).collect();
+    svc.apply_full_chunk("lrc-1", &batch, ts(1)).unwrap();
+    svc.apply_delta("lrc-1", &names(&["lfn://met/0"]), &[], ts(2)).unwrap();
+    svc.refresh_staleness_gauges();
+    let counters: HashMap<String, u64> = svc.metrics().counter_snapshot().into_iter().collect();
+    let per_shard: Vec<u64> = (0..4)
+        .map(|i| *counters.get(&format!("rli.shard.{i}.applies")).unwrap_or(&0))
+        .collect();
+    // The 64-name batch fans out to one apply per touched shard (all 4,
+    // with 64 names), plus the delta's single-shard apply.
+    assert_eq!(per_shard.iter().sum::<u64>(), 5);
+    assert!(per_shard.iter().all(|&c| c >= 1));
+    assert!(
+        counters.contains_key("rli.shard.imbalance_ppm"),
+        "imbalance gauge must publish on the sampler cadence"
+    );
+}
+
+// --- seeded soak -------------------------------------------------------
+
+/// Ground-truth model of the relational store: `(lfn, lrc) → last ts`.
+#[derive(Default)]
+struct Model {
+    map: BTreeMap<(String, String), Timestamp>,
+}
+
+impl Model {
+    fn upsert(&mut self, lfn: &str, lrc: &str, at: Timestamp) {
+        self.map.insert((lfn.to_owned(), lrc.to_owned()), at);
+    }
+
+    fn remove(&mut self, lfn: &str, lrc: &str) {
+        self.map.remove(&(lfn.to_owned(), lrc.to_owned()));
+    }
+
+    fn expire(&mut self, now: Timestamp, timeout: Duration) {
+        self.map.retain(|_, at| !at.is_expired(now, timeout));
+    }
+
+    fn count_for_lrc(&self, lrc: &str) -> u64 {
+        self.map.keys().filter(|(_, r)| r == lrc).count() as u64
+    }
+
+    fn state(&self) -> BTreeSet<(String, String)> {
+        self.map.keys().cloned().collect()
+    }
+}
+
+/// Runs a seeded randomized schedule against a service, mirroring every
+/// operation into the ground-truth model.
+fn run_schedule(svc: &RliService, seed: u64, ops: usize) -> Model {
+    let mut rng = Rng(seed);
+    let mut model = Model::default();
+    let lrcs = ["lrc-0", "lrc-1", "lrc-2", "lrc-3"];
+    let mut clock = 1_000u64;
+    for _ in 0..ops {
+        clock += 1;
+        let at = ts(clock);
+        let lrc = lrcs[rng.below(4) as usize];
+        match rng.below(100) {
+            // Full-update chunk: a batch of names re-asserted fresh.
+            0..=54 => {
+                let k = 1 + rng.below(8);
+                let batch: Vec<String> = (0..k)
+                    .map(|_| format!("lfn://soak/{}", rng.below(400)))
+                    .collect();
+                svc.apply_full_chunk(lrc, &batch, at).unwrap();
+                for n in &batch {
+                    model.upsert(n, lrc, at);
+                }
+            }
+            // Immediate-mode delta: some adds, some removes.
+            55..=84 => {
+                let adds: Vec<String> = (0..rng.below(4))
+                    .map(|_| format!("lfn://soak/{}", rng.below(400)))
+                    .collect();
+                let removes: Vec<String> = (0..rng.below(4))
+                    .map(|_| format!("lfn://soak/{}", rng.below(400)))
+                    .collect();
+                svc.apply_delta(lrc, &adds, &removes, at).unwrap();
+                for n in &adds {
+                    model.upsert(n, lrc, at);
+                }
+                for n in &removes {
+                    model.remove(n, lrc);
+                }
+            }
+            // Expire sweep with a window that bites ~the older half.
+            _ => {
+                let timeout = Duration::from_secs(20 + rng.below(60));
+                svc.expire_with_timeout(at, timeout).unwrap();
+                model.expire(at, timeout);
+            }
+        }
+    }
+    model
+}
+
+/// Thousands of randomized full/delta/expire ops over four senders: the
+/// sharded service must agree with the ground-truth model on the full
+/// mapping set, per-LRC counts (the divergence gauge's input) and point
+/// queries.
+#[test]
+fn seeded_soak_cross_checks_count_for_lrc() {
+    let svc = service(4);
+    let model = run_schedule(&svc, 0x5EED_0008, 3_000);
+    assert_eq!(state_of(&svc), model.state());
+    assert_eq!(svc.association_count(), model.map.len() as u64);
+    for lrc in ["lrc-0", "lrc-1", "lrc-2", "lrc-3"] {
+        assert_eq!(
+            svc.db().count_for_lrc(lrc),
+            model.count_for_lrc(lrc),
+            "count_for_lrc({lrc}) diverged from the model"
+        );
+    }
+    // Spot-check point queries against the model.
+    for i in 0..400 {
+        let lfn = format!("lfn://soak/{i}");
+        let expect: BTreeSet<String> = model
+            .map
+            .keys()
+            .filter(|(l, _)| *l == lfn)
+            .map(|(_, r)| r.clone())
+            .collect();
+        match svc.query(&lfn) {
+            Ok(hits) => {
+                let got: BTreeSet<String> =
+                    hits.into_iter().map(|h| h.lrc.to_string()).collect();
+                assert_eq!(got, expect, "query({lfn}) diverged");
+            }
+            Err(e) => {
+                assert_eq!(e.code(), ErrorCode::LogicalNameNotFound);
+                assert!(expect.is_empty(), "query({lfn}) lost hits: {expect:?}");
+            }
+        }
+    }
+}
+
+/// The same seeded schedule applied at 4 shards and at 1 shard lands on
+/// the identical final state, op for op — and replaying the seed
+/// reproduces it exactly.
+#[test]
+fn seeded_schedule_matches_single_shard() {
+    let sharded = service(4);
+    let single = service(1);
+    let m4 = run_schedule(&sharded, 0xD1CE_0008, 1_500);
+    let m1 = run_schedule(&single, 0xD1CE_0008, 1_500);
+    assert_eq!(m4.state(), m1.state(), "models must agree (same schedule)");
+    assert_eq!(state_of(&sharded), state_of(&single));
+    assert_eq!(sharded.association_count(), single.association_count());
+    assert_eq!(sharded.lrc_list(), single.lrc_list());
+    for lrc in ["lrc-0", "lrc-1", "lrc-2", "lrc-3"] {
+        assert_eq!(sharded.db().count_for_lrc(lrc), single.db().count_for_lrc(lrc));
+    }
+    // Replayable by seed: a fresh run of the same schedule is identical.
+    let replay = service(4);
+    run_schedule(&replay, 0xD1CE_0008, 1_500);
+    assert_eq!(state_of(&replay), state_of(&sharded));
+}
+
+// --- changelog lint ----------------------------------------------------
+
+/// Every PR appends its one-line entry to CHANGES.md (newest first).
+#[test]
+fn changes_md_records_this_pr() {
+    let changes = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../CHANGES.md"
+    ))
+    .expect("CHANGES.md at the repo root");
+    assert!(
+        changes.contains("- PR 8 ("),
+        "CHANGES.md must record PR 8 (one line, newest first)"
+    );
+}

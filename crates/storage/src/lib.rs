@@ -46,7 +46,7 @@ pub use rlidb::RliDbStats;
 pub use stats::EngineStats;
 pub use predicate::Predicate;
 pub use profile::{BackendProfile, FlushMode, Vendor};
-pub use rlidb::{RliDatabase, RliQueryHit};
+pub use rlidb::{RliDatabase, RliQueryHit, ShardedRliDatabase};
 pub use schema::{ColumnDef, IndexKind, IndexSpec, TableSchema};
 pub use table::{RowId, Table};
 pub use txn::Transaction;

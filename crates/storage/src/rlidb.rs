@@ -15,6 +15,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use rls_bloom::{fnv1a_64, splitmix64};
 use rls_types::{ErrorCode, Glob, RlsError, RlsResult, Timestamp};
 
 use crate::engine::{Database, TableId};
@@ -50,6 +53,16 @@ pub struct RliDbStats {
     pub expired: u64,
     /// Queries served.
     pub queries: u64,
+}
+
+impl RliDbStats {
+    /// Adds another snapshot into this one (per-shard accumulation).
+    pub fn accumulate(&mut self, other: &RliDbStats) {
+        self.upserts += other.upserts;
+        self.removes += other.removes;
+        self.expired += other.expired;
+        self.queries += other.queries;
+    }
 }
 
 /// Internal atomic counters so read-only queries work through `&self`.
@@ -428,6 +441,200 @@ impl RliDatabase {
     }
 }
 
+/// The LFN-hash-partitioned RLI store: N independent [`RliDatabase`]
+/// engines behind their own locks, routed by the same splitmix64-finalized
+/// FNV-1a mixer the LRC catalog shards (and the Bloom filters) use.
+///
+/// The paper's Fig. 12 measures RLI ingest under concurrent LRC senders;
+/// with one relational store every update frame from every sender
+/// serializes on a single write lock. Partitioning by LFN puts concurrent
+/// senders' names on disjoint shards so their applies proceed in parallel:
+///
+/// * **LFN-keyed operations** (upsert, remove, point query) take only the
+///   owner shard's lock.
+/// * **Wildcard reads, `lrc_list`, counts and `count_for_lrc`** fan out,
+///   locking one shard at a time (ascending order) and merging — there is
+///   no global lock to take. An LRC's associations live on every shard its
+///   names hash to, so per-LRC counts are sums of per-shard refcounts.
+/// * **Expire sweeps** visit one shard at a time; senders on other shards
+///   keep applying throughout.
+///
+/// Durability mirrors the LRC catalog's `ShardedCatalog` naming: one
+/// shard keeps the exact configured WAL path (old RLI stores reopen
+/// unchanged); with N > 1 shard *i* logs to `<wal_path>.s<i>`. The shard
+/// count of a durable store is part of its on-disk identity — reopening
+/// with a different N would route names to the wrong shard.
+#[derive(Debug)]
+pub struct ShardedRliDatabase {
+    shards: Box<[RwLock<RliDatabase>]>,
+}
+
+/// Derives shard `i`'s WAL path from the configured base path.
+fn shard_wal_path(base: &std::path::Path, i: usize) -> std::path::PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".s{i}"));
+    std::path::PathBuf::from(os)
+}
+
+impl ShardedRliDatabase {
+    /// Opens all shards, replaying each WAL; `wal_path: None` keeps every
+    /// shard in memory. `shards` is clamped to at least 1; with exactly 1
+    /// the configured path is used verbatim so legacy stores reopen.
+    pub fn open(
+        profile: BackendProfile,
+        wal_path: Option<&std::path::Path>,
+        shards: usize,
+    ) -> RlsResult<Self> {
+        let n = shards.max(1);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let db = match wal_path {
+                Some(path) if n == 1 => RliDatabase::open(profile, path)?,
+                Some(path) => RliDatabase::open(profile, shard_wal_path(path, i))?,
+                None => RliDatabase::in_memory(profile),
+            };
+            out.push(RwLock::new(db));
+        }
+        Ok(Self {
+            shards: out.into_boxed_slice(),
+        })
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a logical name.
+    pub fn shard_of(&self, lfn: &str) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        (splitmix64(fnv1a_64(lfn.as_bytes())) % self.shards.len() as u64) as usize
+    }
+
+    /// Direct access to one shard's lock (tests, benches, stats plumbing).
+    pub fn shard(&self, i: usize) -> &RwLock<RliDatabase> {
+        &self.shards[i]
+    }
+
+    /// Read-locks the shard owning `lfn`.
+    pub fn read_owner(&self, lfn: &str) -> (usize, RwLockReadGuard<'_, RliDatabase>) {
+        let i = self.shard_of(lfn);
+        (i, self.shards[i].read())
+    }
+
+    /// Write-locks the shard owning `lfn`.
+    pub fn write_owner(&self, lfn: &str) -> (usize, RwLockWriteGuard<'_, RliDatabase>) {
+        let i = self.shard_of(lfn);
+        (i, self.shards[i].write())
+    }
+
+    /// Groups logical names into per-shard buckets of `(index into the
+    /// input, name)` pairs, ascending shard order, empty buckets included.
+    /// The apply paths use this to visit each touched shard exactly once.
+    pub fn bucket_by_shard<'a>(
+        &self,
+        lfns: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<Vec<&'a str>> {
+        let mut buckets: Vec<Vec<&'a str>> = vec![Vec::new(); self.shards.len()];
+        for lfn in lfns {
+            buckets[self.shard_of(lfn)].push(lfn);
+        }
+        buckets
+    }
+
+    /// Queries the LRCs believed to hold mappings for `lfn` (owner shard).
+    pub fn query(&self, lfn: &str) -> RlsResult<Vec<RliQueryHit>> {
+        self.read_owner(lfn).1.query(lfn)
+    }
+
+    /// Wildcard query fanned out across shards up to `limit`. Within a
+    /// shard results come back in index order; across shards the
+    /// concatenation is unordered.
+    pub fn wildcard_query(&self, glob: &Glob, limit: usize) -> RlsResult<Vec<(Arc<str>, Arc<str>)>> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let remaining = limit.saturating_sub(out.len());
+            if remaining == 0 {
+                break;
+            }
+            out.append(&mut shard.read().wildcard_query(glob, remaining)?);
+        }
+        Ok(out)
+    }
+
+    /// The LRCs present on any shard, deduplicated (a sender's names hash
+    /// to every shard, so its row exists on each of them).
+    pub fn lrc_list(&self) -> Vec<Arc<str>> {
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in self.shards.iter() {
+            seen.extend(shard.read().lrc_list());
+        }
+        seen.into_iter().collect()
+    }
+
+    /// `{LFN, LRC}` associations held, summed across shards.
+    pub fn association_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().association_count()).sum()
+    }
+
+    /// Distinct logical names indexed, summed across shards (a name lives
+    /// on exactly one shard, so the sum is exact).
+    pub fn lfn_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().lfn_count()).sum()
+    }
+
+    /// Associations attributed to one LRC, summed across shards — still
+    /// O(shards) refcount reads, cheap enough for the divergence gauges.
+    pub fn count_for_lrc(&self, lrc: &str) -> u64 {
+        self.shards.iter().map(|s| s.read().count_for_lrc(lrc)).sum()
+    }
+
+    /// Association counts per shard (the skew diagnostic behind the
+    /// `rli.shard.imbalance_ppm` gauge).
+    pub fn per_shard_association_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.read().association_count()).collect()
+    }
+
+    /// Visits every indexed logical name, shard by shard, without holding
+    /// more than one shard lock at a time.
+    pub fn for_each_lfn(&self, mut f: impl FnMut(&str)) {
+        for shard in self.shards.iter() {
+            shard.read().for_each_lfn(&mut f);
+        }
+    }
+
+    /// Store counters, accumulated across shards.
+    pub fn stats(&self) -> RliDbStats {
+        let mut total = RliDbStats::default();
+        for shard in self.shards.iter() {
+            total.accumulate(&shard.read().stats());
+        }
+        total
+    }
+
+    /// Engine counters, accumulated across shards.
+    pub fn engine_stats(&self) -> crate::stats::EngineStats {
+        let mut total = crate::stats::EngineStats::default();
+        for shard in self.shards.iter() {
+            total.accumulate(&shard.read().engine().stats());
+        }
+        total
+    }
+
+    /// Expires stale associations shard by shard — one shard lock at a
+    /// time, so concurrent applies on other shards never wait on the
+    /// sweep. Returns the total number expired.
+    pub fn expire(&self, now: Timestamp, timeout: std::time::Duration) -> RlsResult<u64> {
+        let mut n = 0;
+        for shard in self.shards.iter() {
+            n += shard.write().expire(now, timeout)?;
+        }
+        Ok(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +741,111 @@ mod tests {
         assert_eq!(hits.len(), 10);
         let hits = r.wildcard_query(&g, 3).unwrap();
         assert_eq!(hits.len(), 3);
+    }
+
+    fn sharded(n: usize) -> ShardedRliDatabase {
+        ShardedRliDatabase::open(BackendProfile::default(), None, n).unwrap()
+    }
+
+    #[test]
+    fn sharded_routing_is_deterministic_and_clamped() {
+        let s = sharded(4);
+        for i in 0..64 {
+            let lfn = format!("lfn://route/{i}");
+            let owner = s.shard_of(&lfn);
+            assert!(owner < 4);
+            assert_eq!(owner, s.shard_of(&lfn), "routing must be stable");
+        }
+        let one = sharded(1);
+        for i in 0..64 {
+            assert_eq!(one.shard_of(&format!("lfn://route/{i}")), 0);
+        }
+        assert_eq!(sharded(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_fanout_merges_and_counts_sum() {
+        let s = sharded(4);
+        let names: Vec<String> = (0..64).map(|i| format!("lfn://fan/{i}")).collect();
+        for n in &names {
+            s.write_owner(n).1.upsert(n, "lrc-1", ts(5)).unwrap();
+        }
+        s.write_owner("lfn://fan/0").1.upsert("lfn://fan/0", "lrc-2", ts(5)).unwrap();
+        // A sender's rows exist on every shard its names hash to; the
+        // merged list still reports it once.
+        let lrcs = s.lrc_list();
+        assert_eq!(lrcs.len(), 2);
+        assert_eq!(s.association_count(), 65);
+        assert_eq!(s.lfn_count(), 64);
+        assert_eq!(s.count_for_lrc("lrc-1"), 64);
+        assert_eq!(s.count_for_lrc("lrc-2"), 1);
+        assert_eq!(s.count_for_lrc("lrc-zzz"), 0);
+        let per_shard = s.per_shard_association_counts();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().sum::<u64>(), 65);
+        assert!(per_shard.iter().all(|&c| c > 0), "64 names must spread: {per_shard:?}");
+        let g = Glob::new("lfn://fan/*").unwrap();
+        assert_eq!(s.wildcard_query(&g, 1000).unwrap().len(), 65);
+        assert_eq!(s.wildcard_query(&g, 7).unwrap().len(), 7);
+        let mut visited = 0;
+        s.for_each_lfn(|_| visited += 1);
+        assert_eq!(visited, 64);
+        assert_eq!(s.query("lfn://fan/1").unwrap().len(), 1);
+        assert!(s.query("lfn://nowhere").is_err());
+        assert_eq!(s.stats().upserts, 65);
+    }
+
+    #[test]
+    fn sharded_expire_sweeps_every_shard() {
+        let s = sharded(4);
+        for i in 0..32 {
+            let lfn = format!("lfn://old/{i}");
+            s.write_owner(&lfn).1.upsert(&lfn, "lrc-1", ts(100)).unwrap();
+        }
+        s.write_owner("lfn://fresh").1.upsert("lfn://fresh", "lrc-1", ts(195)).unwrap();
+        assert_eq!(s.expire(ts(200), Duration::from_secs(30)).unwrap(), 32);
+        assert_eq!(s.association_count(), 1);
+        assert_eq!(s.count_for_lrc("lrc-1"), 1);
+    }
+
+    #[test]
+    fn sharded_wals_reopen_independently() {
+        let dir = std::env::temp_dir().join(format!("rls-rlishard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("rli.wal");
+        let _ = std::fs::remove_file(&wal);
+        for i in 0..4 {
+            let _ = std::fs::remove_file(shard_wal_path(&wal, i));
+        }
+        let names: Vec<String> = (0..24).map(|i| format!("lfn://wal/{i}")).collect();
+        {
+            let s =
+                ShardedRliDatabase::open(BackendProfile::mysql_durable(), Some(&wal), 4).unwrap();
+            for n in &names {
+                s.write_owner(n).1.upsert(n, "lrc-1", ts(9)).unwrap();
+            }
+        }
+        for i in 0..4 {
+            assert!(shard_wal_path(&wal, i).exists(), "missing WAL for shard {i}");
+        }
+        let s = ShardedRliDatabase::open(BackendProfile::mysql_durable(), Some(&wal), 4).unwrap();
+        assert_eq!(s.association_count(), 24);
+        for n in &names {
+            assert_eq!(s.query(n).unwrap().len(), 1, "lost {n} across reopen");
+        }
+        // One shard uses the exact configured path — legacy stores reopen.
+        {
+            let s =
+                ShardedRliDatabase::open(BackendProfile::mysql_durable(), Some(&wal), 1).unwrap();
+            s.write_owner("lfn://one").1.upsert("lfn://one", "lrc-1", ts(9)).unwrap();
+        }
+        assert!(wal.exists());
+        let legacy = RliDatabase::open(BackendProfile::mysql_durable(), &wal).unwrap();
+        assert_eq!(legacy.query("lfn://one").unwrap().len(), 1);
+        let _ = std::fs::remove_file(&wal);
+        for i in 0..4 {
+            let _ = std::fs::remove_file(shard_wal_path(&wal, i));
+        }
     }
 
     #[test]

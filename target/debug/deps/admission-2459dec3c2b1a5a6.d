@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admission-2459dec3c2b1a5a6.d: crates/core/tests/admission.rs
+
+/root/repo/target/debug/deps/libadmission-2459dec3c2b1a5a6.rmeta: crates/core/tests/admission.rs
+
+crates/core/tests/admission.rs:

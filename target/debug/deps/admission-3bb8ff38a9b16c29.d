@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/admission-3bb8ff38a9b16c29.d: crates/core/tests/admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadmission-3bb8ff38a9b16c29.rmeta: crates/core/tests/admission.rs Cargo.toml
+
+crates/core/tests/admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

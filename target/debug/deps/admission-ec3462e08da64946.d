@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/admission-ec3462e08da64946.d: crates/core/tests/admission.rs
+
+/root/repo/target/debug/deps/admission-ec3462e08da64946: crates/core/tests/admission.rs
+
+crates/core/tests/admission.rs:

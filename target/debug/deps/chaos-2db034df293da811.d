@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-2db034df293da811.d: crates/core/tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-2db034df293da811.rmeta: crates/core/tests/chaos.rs
+
+crates/core/tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-a8d966c6042a2595.d: crates/core/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-a8d966c6042a2595.rmeta: crates/core/tests/chaos.rs Cargo.toml
+
+crates/core/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-b433176ad065f4a4.d: crates/core/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-b433176ad065f4a4: crates/core/tests/chaos.rs
+
+crates/core/tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2e-23ec5e163b560d48.d: crates/core/tests/e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2e-23ec5e163b560d48.rmeta: crates/core/tests/e2e.rs Cargo.toml
+
+crates/core/tests/e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-7caad810802f4996.d: crates/core/tests/e2e.rs
+
+/root/repo/target/debug/deps/libe2e-7caad810802f4996.rmeta: crates/core/tests/e2e.rs
+
+crates/core/tests/e2e.rs:

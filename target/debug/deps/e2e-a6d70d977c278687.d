@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-a6d70d977c278687.d: crates/core/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-a6d70d977c278687: crates/core/tests/e2e.rs
+
+crates/core/tests/e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_lrc_add_flush-46b492e0f8b8b972.d: crates/bench/benches/fig04_lrc_add_flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_lrc_add_flush-46b492e0f8b8b972.rmeta: crates/bench/benches/fig04_lrc_add_flush.rs Cargo.toml
+
+crates/bench/benches/fig04_lrc_add_flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

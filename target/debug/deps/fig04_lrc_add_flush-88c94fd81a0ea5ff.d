@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_lrc_add_flush-88c94fd81a0ea5ff.d: crates/bench/benches/fig04_lrc_add_flush.rs
+
+/root/repo/target/debug/deps/fig04_lrc_add_flush-88c94fd81a0ea5ff: crates/bench/benches/fig04_lrc_add_flush.rs
+
+crates/bench/benches/fig04_lrc_add_flush.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_lrc_query_flush-16dd43e4f1dc28b4.d: crates/bench/benches/fig05_lrc_query_flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_lrc_query_flush-16dd43e4f1dc28b4.rmeta: crates/bench/benches/fig05_lrc_query_flush.rs Cargo.toml
+
+crates/bench/benches/fig05_lrc_query_flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_lrc_query_flush-e75f97a5705e1655.d: crates/bench/benches/fig05_lrc_query_flush.rs
+
+/root/repo/target/debug/deps/fig05_lrc_query_flush-e75f97a5705e1655: crates/bench/benches/fig05_lrc_query_flush.rs
+
+crates/bench/benches/fig05_lrc_query_flush.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_lrc_multiclient-059827f4f21282bc.d: crates/bench/benches/fig06_lrc_multiclient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_lrc_multiclient-059827f4f21282bc.rmeta: crates/bench/benches/fig06_lrc_multiclient.rs Cargo.toml
+
+crates/bench/benches/fig06_lrc_multiclient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_lrc_multiclient-26c3ebf1e76a5a14.d: crates/bench/benches/fig06_lrc_multiclient.rs
+
+/root/repo/target/debug/deps/fig06_lrc_multiclient-26c3ebf1e76a5a14: crates/bench/benches/fig06_lrc_multiclient.rs
+
+crates/bench/benches/fig06_lrc_multiclient.rs:

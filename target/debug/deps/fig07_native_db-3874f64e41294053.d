@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_native_db-3874f64e41294053.d: crates/bench/benches/fig07_native_db.rs
+
+/root/repo/target/debug/deps/fig07_native_db-3874f64e41294053: crates/bench/benches/fig07_native_db.rs
+
+crates/bench/benches/fig07_native_db.rs:

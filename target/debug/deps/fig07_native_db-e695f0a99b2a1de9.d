@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_native_db-e695f0a99b2a1de9.d: crates/bench/benches/fig07_native_db.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_native_db-e695f0a99b2a1de9.rmeta: crates/bench/benches/fig07_native_db.rs Cargo.toml
+
+crates/bench/benches/fig07_native_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_pg_vacuum-0e46c661c76c59d6.d: crates/bench/benches/fig08_pg_vacuum.rs
+
+/root/repo/target/debug/deps/fig08_pg_vacuum-0e46c661c76c59d6: crates/bench/benches/fig08_pg_vacuum.rs
+
+crates/bench/benches/fig08_pg_vacuum.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_pg_vacuum-4f023fab9b368a7a.d: crates/bench/benches/fig08_pg_vacuum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_pg_vacuum-4f023fab9b368a7a.rmeta: crates/bench/benches/fig08_pg_vacuum.rs Cargo.toml
+
+crates/bench/benches/fig08_pg_vacuum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_rli_query_db-13708e101f813356.d: crates/bench/benches/fig09_rli_query_db.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_rli_query_db-13708e101f813356.rmeta: crates/bench/benches/fig09_rli_query_db.rs Cargo.toml
+
+crates/bench/benches/fig09_rli_query_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_rli_query_db-65b4e7071f3ba72d.d: crates/bench/benches/fig09_rli_query_db.rs
+
+/root/repo/target/debug/deps/fig09_rli_query_db-65b4e7071f3ba72d: crates/bench/benches/fig09_rli_query_db.rs
+
+crates/bench/benches/fig09_rli_query_db.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_rli_query_bloom-0b5632dbd0f30ea1.d: crates/bench/benches/fig10_rli_query_bloom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_rli_query_bloom-0b5632dbd0f30ea1.rmeta: crates/bench/benches/fig10_rli_query_bloom.rs Cargo.toml
+
+crates/bench/benches/fig10_rli_query_bloom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_rli_query_bloom-b1c32c7087494841.d: crates/bench/benches/fig10_rli_query_bloom.rs
+
+/root/repo/target/debug/deps/fig10_rli_query_bloom-b1c32c7087494841: crates/bench/benches/fig10_rli_query_bloom.rs
+
+crates/bench/benches/fig10_rli_query_bloom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bulk_ops-2d778577035f8d3e.d: crates/bench/benches/fig11_bulk_ops.rs
+
+/root/repo/target/debug/deps/fig11_bulk_ops-2d778577035f8d3e: crates/bench/benches/fig11_bulk_ops.rs
+
+crates/bench/benches/fig11_bulk_ops.rs:

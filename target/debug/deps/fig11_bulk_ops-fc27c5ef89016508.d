@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_bulk_ops-fc27c5ef89016508.d: crates/bench/benches/fig11_bulk_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_bulk_ops-fc27c5ef89016508.rmeta: crates/bench/benches/fig11_bulk_ops.rs Cargo.toml
+
+crates/bench/benches/fig11_bulk_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

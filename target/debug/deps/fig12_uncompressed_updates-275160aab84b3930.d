@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_uncompressed_updates-275160aab84b3930.d: crates/bench/benches/fig12_uncompressed_updates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_uncompressed_updates-275160aab84b3930.rmeta: crates/bench/benches/fig12_uncompressed_updates.rs Cargo.toml
+
+crates/bench/benches/fig12_uncompressed_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

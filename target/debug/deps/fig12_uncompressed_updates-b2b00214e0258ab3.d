@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_uncompressed_updates-b2b00214e0258ab3.d: crates/bench/benches/fig12_uncompressed_updates.rs
+
+/root/repo/target/debug/deps/fig12_uncompressed_updates-b2b00214e0258ab3: crates/bench/benches/fig12_uncompressed_updates.rs
+
+crates/bench/benches/fig12_uncompressed_updates.rs:

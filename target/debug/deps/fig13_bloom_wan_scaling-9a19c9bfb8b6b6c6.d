@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_bloom_wan_scaling-9a19c9bfb8b6b6c6.d: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+/root/repo/target/debug/deps/fig13_bloom_wan_scaling-9a19c9bfb8b6b6c6: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+crates/bench/benches/fig13_bloom_wan_scaling.rs:

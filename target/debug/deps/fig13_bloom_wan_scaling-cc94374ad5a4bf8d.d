@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_bloom_wan_scaling-cc94374ad5a4bf8d.d: crates/bench/benches/fig13_bloom_wan_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_bloom_wan_scaling-cc94374ad5a4bf8d.rmeta: crates/bench/benches/fig13_bloom_wan_scaling.rs Cargo.toml
+
+crates/bench/benches/fig13_bloom_wan_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-304fc575991043a4.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-304fc575991043a4: tests/integration.rs
+
+tests/integration.rs:

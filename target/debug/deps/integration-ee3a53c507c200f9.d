@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-ee3a53c507c200f9.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-ee3a53c507c200f9.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_bloom-992ae6ae24e58d9c.d: crates/bench/benches/micro_bloom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_bloom-992ae6ae24e58d9c.rmeta: crates/bench/benches/micro_bloom.rs Cargo.toml
+
+crates/bench/benches/micro_bloom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_bloom-9aa2522752400c28.d: crates/bench/benches/micro_bloom.rs
+
+/root/repo/target/debug/deps/micro_bloom-9aa2522752400c28: crates/bench/benches/micro_bloom.rs
+
+crates/bench/benches/micro_bloom.rs:

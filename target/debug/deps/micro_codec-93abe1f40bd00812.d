@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_codec-93abe1f40bd00812.d: crates/bench/benches/micro_codec.rs
+
+/root/repo/target/debug/deps/micro_codec-93abe1f40bd00812: crates/bench/benches/micro_codec.rs
+
+crates/bench/benches/micro_codec.rs:

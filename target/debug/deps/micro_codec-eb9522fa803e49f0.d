@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_codec-eb9522fa803e49f0.d: crates/bench/benches/micro_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_codec-eb9522fa803e49f0.rmeta: crates/bench/benches/micro_codec.rs Cargo.toml
+
+crates/bench/benches/micro_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_pattern-25ee4da6fe057236.d: crates/bench/benches/micro_pattern.rs
+
+/root/repo/target/debug/deps/micro_pattern-25ee4da6fe057236: crates/bench/benches/micro_pattern.rs
+
+crates/bench/benches/micro_pattern.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_pattern-aba16be1e58e06d8.d: crates/bench/benches/micro_pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_pattern-aba16be1e58e06d8.rmeta: crates/bench/benches/micro_pattern.rs Cargo.toml
+
+crates/bench/benches/micro_pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

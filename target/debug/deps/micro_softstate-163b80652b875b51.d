@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_softstate-163b80652b875b51.d: crates/bench/benches/micro_softstate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_softstate-163b80652b875b51.rmeta: crates/bench/benches/micro_softstate.rs Cargo.toml
+
+crates/bench/benches/micro_softstate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

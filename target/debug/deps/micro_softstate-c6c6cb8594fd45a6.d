@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_softstate-c6c6cb8594fd45a6.d: crates/bench/benches/micro_softstate.rs
+
+/root/repo/target/debug/deps/micro_softstate-c6c6cb8594fd45a6: crates/bench/benches/micro_softstate.rs
+
+crates/bench/benches/micro_softstate.rs:

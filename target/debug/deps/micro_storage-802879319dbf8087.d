@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_storage-802879319dbf8087.d: crates/bench/benches/micro_storage.rs
+
+/root/repo/target/debug/deps/micro_storage-802879319dbf8087: crates/bench/benches/micro_storage.rs
+
+crates/bench/benches/micro_storage.rs:

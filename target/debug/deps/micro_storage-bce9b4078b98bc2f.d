@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_storage-bce9b4078b98bc2f.d: crates/bench/benches/micro_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_storage-bce9b4078b98bc2f.rmeta: crates/bench/benches/micro_storage.rs Cargo.toml
+
+crates/bench/benches/micro_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-56d5a16ed5f78fe3.d: crates/bloom/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-56d5a16ed5f78fe3.rmeta: crates/bloom/tests/prop.rs Cargo.toml
+
+crates/bloom/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

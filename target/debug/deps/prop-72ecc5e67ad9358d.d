@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-72ecc5e67ad9358d.d: crates/types/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-72ecc5e67ad9358d.rmeta: crates/types/tests/prop.rs Cargo.toml
+
+crates/types/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

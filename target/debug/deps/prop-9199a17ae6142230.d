@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-9199a17ae6142230.d: crates/storage/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-9199a17ae6142230.rmeta: crates/storage/tests/prop.rs Cargo.toml
+
+crates/storage/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_robustness-3e2bc52f9163a2de.d: tests/protocol_robustness.rs
+
+/root/repo/target/debug/deps/protocol_robustness-3e2bc52f9163a2de: tests/protocol_robustness.rs
+
+tests/protocol_robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rli_sharding-1653b33b4fba05d8.d: crates/core/tests/rli_sharding.rs
+
+/root/repo/target/debug/deps/rli_sharding-1653b33b4fba05d8: crates/core/tests/rli_sharding.rs
+
+crates/core/tests/rli_sharding.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

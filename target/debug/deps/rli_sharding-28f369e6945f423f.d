@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rli_sharding-28f369e6945f423f.d: crates/core/tests/rli_sharding.rs Cargo.toml
+
+/root/repo/target/debug/deps/librli_sharding-28f369e6945f423f.rmeta: crates/core/tests/rli_sharding.rs Cargo.toml
+
+crates/core/tests/rli_sharding.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls-8a5ca9ebbf182d28.d: src/lib.rs
+
+/root/repo/target/debug/deps/librls-8a5ca9ebbf182d28.rmeta: src/lib.rs
+
+src/lib.rs:

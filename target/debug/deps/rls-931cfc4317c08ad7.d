@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls-931cfc4317c08ad7.d: src/lib.rs
+
+/root/repo/target/debug/deps/rls-931cfc4317c08ad7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls-c5c7de0d73e82300.d: src/lib.rs
+
+/root/repo/target/debug/deps/librls-c5c7de0d73e82300.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librls-c5c7de0d73e82300.rmeta: src/lib.rs
+
+src/lib.rs:

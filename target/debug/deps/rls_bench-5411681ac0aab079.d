@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_bench-5411681ac0aab079.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_bench-5411681ac0aab079.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_bench-8dcd1a361efc1c04.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rls_bench-8dcd1a361efc1c04: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls_bench-b411d6b7df888c8c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librls_bench-b411d6b7df888c8c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librls_bench-b411d6b7df888c8c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_cli-492b4408bb9ac56b.d: src/bin/rls-cli.rs
+
+/root/repo/target/debug/deps/rls_cli-492b4408bb9ac56b: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_cli-502204d01eacdf00.d: src/bin/rls-cli.rs
+
+/root/repo/target/debug/deps/rls_cli-502204d01eacdf00: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_cli-cc77cc1a14ce020d.d: src/bin/rls-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_cli-cc77cc1a14ce020d.rmeta: src/bin/rls-cli.rs Cargo.toml
+
+src/bin/rls-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_server-20d7b586ca1d8cf8.d: src/bin/rls-server.rs
+
+/root/repo/target/debug/deps/rls_server-20d7b586ca1d8cf8: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

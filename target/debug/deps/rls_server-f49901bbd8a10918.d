@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_server-f49901bbd8a10918.d: src/bin/rls-server.rs
+
+/root/repo/target/debug/deps/rls_server-f49901bbd8a10918: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/rls_storage-7c7b078b23c8c7cf.d: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_storage-7c7b078b23c8c7cf.rmeta: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/engine.rs:
+crates/storage/src/index.rs:
+crates/storage/src/lrcdb.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/rlidb.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/txn.rs:
+crates/storage/src/value.rs:
+crates/storage/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rls_storage-f1507c4e10856f3e.d: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/librls_storage-f1507c4e10856f3e.rlib: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/librls_storage-f1507c4e10856f3e.rmeta: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/engine.rs:
+crates/storage/src/index.rs:
+crates/storage/src/lrcdb.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/rlidb.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/txn.rs:
+crates/storage/src/value.rs:
+crates/storage/src/wal.rs:

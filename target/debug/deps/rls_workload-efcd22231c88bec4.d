@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rls_workload-efcd22231c88bec4.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_workload-efcd22231c88bec4.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/namegen.rs:
+crates/workload/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

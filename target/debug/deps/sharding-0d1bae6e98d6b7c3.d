@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sharding-0d1bae6e98d6b7c3.d: crates/core/tests/sharding.rs
+
+/root/repo/target/debug/deps/libsharding-0d1bae6e98d6b7c3.rmeta: crates/core/tests/sharding.rs
+
+crates/core/tests/sharding.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

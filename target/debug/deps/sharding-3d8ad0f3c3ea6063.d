@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sharding-3d8ad0f3c3ea6063.d: crates/core/tests/sharding.rs
+
+/root/repo/target/debug/deps/sharding-3d8ad0f3c3ea6063: crates/core/tests/sharding.rs
+
+crates/core/tests/sharding.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

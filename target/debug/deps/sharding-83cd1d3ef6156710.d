@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sharding-83cd1d3ef6156710.d: crates/core/tests/sharding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharding-83cd1d3ef6156710.rmeta: crates/core/tests/sharding.rs Cargo.toml
+
+crates/core/tests/sharding.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

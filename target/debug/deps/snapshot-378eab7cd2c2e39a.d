@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snapshot-378eab7cd2c2e39a.d: crates/bench/benches/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshot-378eab7cd2c2e39a.rmeta: crates/bench/benches/snapshot.rs Cargo.toml
+
+crates/bench/benches/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot-ec4566ea19d4feb2.d: crates/bench/benches/snapshot.rs
+
+/root/repo/target/debug/deps/snapshot-ec4566ea19d4feb2: crates/bench/benches/snapshot.rs
+
+crates/bench/benches/snapshot.rs:

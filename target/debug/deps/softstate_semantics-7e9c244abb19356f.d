@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softstate_semantics-7e9c244abb19356f.d: crates/core/tests/softstate_semantics.rs
+
+/root/repo/target/debug/deps/softstate_semantics-7e9c244abb19356f: crates/core/tests/softstate_semantics.rs
+
+crates/core/tests/softstate_semantics.rs:

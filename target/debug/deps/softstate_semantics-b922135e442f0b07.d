@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softstate_semantics-b922135e442f0b07.d: crates/core/tests/softstate_semantics.rs
+
+/root/repo/target/debug/deps/libsoftstate_semantics-b922135e442f0b07.rmeta: crates/core/tests/softstate_semantics.rs
+
+crates/core/tests/softstate_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softstate_semantics-c4e7eae83ecba03b.d: crates/core/tests/softstate_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftstate_semantics-c4e7eae83ecba03b.rmeta: crates/core/tests/softstate_semantics.rs Cargo.toml
+
+crates/core/tests/softstate_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

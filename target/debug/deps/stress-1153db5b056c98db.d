@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-1153db5b056c98db.d: crates/core/tests/stress.rs
+
+/root/repo/target/debug/deps/libstress-1153db5b056c98db.rmeta: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-3db4faeaae39fdc3.d: crates/core/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-3db4faeaae39fdc3: crates/core/tests/stress.rs
+
+crates/core/tests/stress.rs:

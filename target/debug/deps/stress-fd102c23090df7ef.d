@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-fd102c23090df7ef.d: crates/core/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-fd102c23090df7ef.rmeta: crates/core/tests/stress.rs Cargo.toml
+
+crates/core/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

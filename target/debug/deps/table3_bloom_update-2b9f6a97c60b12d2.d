@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_bloom_update-2b9f6a97c60b12d2.d: crates/bench/benches/table3_bloom_update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_bloom_update-2b9f6a97c60b12d2.rmeta: crates/bench/benches/table3_bloom_update.rs Cargo.toml
+
+crates/bench/benches/table3_bloom_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

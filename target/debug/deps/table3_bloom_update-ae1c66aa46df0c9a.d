@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_bloom_update-ae1c66aa46df0c9a.d: crates/bench/benches/table3_bloom_update.rs
+
+/root/repo/target/debug/deps/table3_bloom_update-ae1c66aa46df0c9a: crates/bench/benches/table3_bloom_update.rs
+
+crates/bench/benches/table3_bloom_update.rs:

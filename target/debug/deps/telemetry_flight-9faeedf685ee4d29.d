@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_flight-9faeedf685ee4d29.d: crates/core/tests/telemetry_flight.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_flight-9faeedf685ee4d29.rmeta: crates/core/tests/telemetry_flight.rs Cargo.toml
+
+crates/core/tests/telemetry_flight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_flight-a0c6caec7136f37d.d: crates/core/tests/telemetry_flight.rs
+
+/root/repo/target/debug/deps/telemetry_flight-a0c6caec7136f37d: crates/core/tests/telemetry_flight.rs
+
+crates/core/tests/telemetry_flight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_flight-cf77565f4736e1da.d: crates/core/tests/telemetry_flight.rs
+
+/root/repo/target/debug/deps/libtelemetry_flight-cf77565f4736e1da.rmeta: crates/core/tests/telemetry_flight.rs
+
+crates/core/tests/telemetry_flight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_propagation-19448ad6fa6b11ef.d: crates/core/tests/trace_propagation.rs
+
+/root/repo/target/debug/deps/trace_propagation-19448ad6fa6b11ef: crates/core/tests/trace_propagation.rs
+
+crates/core/tests/trace_propagation.rs:

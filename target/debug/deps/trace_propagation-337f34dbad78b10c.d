@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_propagation-337f34dbad78b10c.d: crates/core/tests/trace_propagation.rs
+
+/root/repo/target/debug/deps/libtrace_propagation-337f34dbad78b10c.rmeta: crates/core/tests/trace_propagation.rs
+
+crates/core/tests/trace_propagation.rs:

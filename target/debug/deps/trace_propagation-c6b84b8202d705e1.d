@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_propagation-c6b84b8202d705e1.d: crates/core/tests/trace_propagation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_propagation-c6b84b8202d705e1.rmeta: crates/core/tests/trace_propagation.rs Cargo.toml
+
+crates/core/tests/trace_propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

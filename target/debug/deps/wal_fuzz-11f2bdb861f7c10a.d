@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_fuzz-11f2bdb861f7c10a.d: crates/storage/tests/wal_fuzz.rs
+
+/root/repo/target/debug/deps/wal_fuzz-11f2bdb861f7c10a: crates/storage/tests/wal_fuzz.rs
+
+crates/storage/tests/wal_fuzz.rs:

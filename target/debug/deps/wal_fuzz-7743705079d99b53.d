@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_fuzz-7743705079d99b53.d: crates/storage/tests/wal_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_fuzz-7743705079d99b53.rmeta: crates/storage/tests/wal_fuzz.rs Cargo.toml
+
+crates/storage/tests/wal_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/esg_fullmesh-0351a3d55c28cb37.d: examples/esg_fullmesh.rs Cargo.toml
+
+/root/repo/target/debug/examples/libesg_fullmesh-0351a3d55c28cb37.rmeta: examples/esg_fullmesh.rs Cargo.toml
+
+examples/esg_fullmesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/esg_fullmesh-4f97657acc86184d.d: examples/esg_fullmesh.rs
+
+/root/repo/target/debug/examples/esg_fullmesh-4f97657acc86184d: examples/esg_fullmesh.rs
+
+examples/esg_fullmesh.rs:

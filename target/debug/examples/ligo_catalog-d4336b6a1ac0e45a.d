@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ligo_catalog-d4336b6a1ac0e45a.d: examples/ligo_catalog.rs
+
+/root/repo/target/debug/examples/ligo_catalog-d4336b6a1ac0e45a: examples/ligo_catalog.rs
+
+examples/ligo_catalog.rs:

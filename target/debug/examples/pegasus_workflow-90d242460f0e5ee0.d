@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pegasus_workflow-90d242460f0e5ee0.d: examples/pegasus_workflow.rs
+
+/root/repo/target/debug/examples/pegasus_workflow-90d242460f0e5ee0: examples/pegasus_workflow.rs
+
+examples/pegasus_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-90e55af36ceb9761.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-90e55af36ceb9761: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wan_replication-56232945b4459263.d: examples/wan_replication.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwan_replication-56232945b4459263.rmeta: examples/wan_replication.rs Cargo.toml
+
+examples/wan_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wan_replication-c1eede1fe3b14fd9.d: examples/wan_replication.rs
+
+/root/repo/target/debug/examples/wan_replication-c1eede1fe3b14fd9: examples/wan_replication.rs
+
+examples/wan_replication.rs:

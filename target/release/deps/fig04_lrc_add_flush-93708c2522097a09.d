@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_lrc_add_flush-93708c2522097a09.d: crates/bench/benches/fig04_lrc_add_flush.rs
+
+/root/repo/target/release/deps/fig04_lrc_add_flush-93708c2522097a09: crates/bench/benches/fig04_lrc_add_flush.rs
+
+crates/bench/benches/fig04_lrc_add_flush.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_lrc_multiclient-a22a07c125a4c9d2.d: crates/bench/benches/fig06_lrc_multiclient.rs
+
+/root/repo/target/release/deps/fig06_lrc_multiclient-a22a07c125a4c9d2: crates/bench/benches/fig06_lrc_multiclient.rs
+
+crates/bench/benches/fig06_lrc_multiclient.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_native_db-e931cc1b73afa341.d: crates/bench/benches/fig07_native_db.rs
+
+/root/repo/target/release/deps/fig07_native_db-e931cc1b73afa341: crates/bench/benches/fig07_native_db.rs
+
+crates/bench/benches/fig07_native_db.rs:

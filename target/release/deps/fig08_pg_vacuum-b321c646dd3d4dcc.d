@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pg_vacuum-b321c646dd3d4dcc.d: crates/bench/benches/fig08_pg_vacuum.rs
+
+/root/repo/target/release/deps/fig08_pg_vacuum-b321c646dd3d4dcc: crates/bench/benches/fig08_pg_vacuum.rs
+
+crates/bench/benches/fig08_pg_vacuum.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_rli_query_db-ba9040e497733585.d: crates/bench/benches/fig09_rli_query_db.rs
+
+/root/repo/target/release/deps/fig09_rli_query_db-ba9040e497733585: crates/bench/benches/fig09_rli_query_db.rs
+
+crates/bench/benches/fig09_rli_query_db.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_rli_query_bloom-b089f3e4ffe2d391.d: crates/bench/benches/fig10_rli_query_bloom.rs
+
+/root/repo/target/release/deps/fig10_rli_query_bloom-b089f3e4ffe2d391: crates/bench/benches/fig10_rli_query_bloom.rs
+
+crates/bench/benches/fig10_rli_query_bloom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bulk_ops-0b88b8b655dc6efc.d: crates/bench/benches/fig11_bulk_ops.rs
+
+/root/repo/target/release/deps/fig11_bulk_ops-0b88b8b655dc6efc: crates/bench/benches/fig11_bulk_ops.rs
+
+crates/bench/benches/fig11_bulk_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_uncompressed_updates-2536277072c2fb21.d: crates/bench/benches/fig12_uncompressed_updates.rs
+
+/root/repo/target/release/deps/fig12_uncompressed_updates-2536277072c2fb21: crates/bench/benches/fig12_uncompressed_updates.rs
+
+crates/bench/benches/fig12_uncompressed_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_bloom_wan_scaling-9c2a35bcab5951c3.d: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+/root/repo/target/release/deps/fig13_bloom_wan_scaling-9c2a35bcab5951c3: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+crates/bench/benches/fig13_bloom_wan_scaling.rs:

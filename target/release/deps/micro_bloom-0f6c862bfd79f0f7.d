@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_bloom-0f6c862bfd79f0f7.d: crates/bench/benches/micro_bloom.rs
+
+/root/repo/target/release/deps/micro_bloom-0f6c862bfd79f0f7: crates/bench/benches/micro_bloom.rs
+
+crates/bench/benches/micro_bloom.rs:

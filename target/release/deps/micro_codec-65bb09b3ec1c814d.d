@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_codec-65bb09b3ec1c814d.d: crates/bench/benches/micro_codec.rs
+
+/root/repo/target/release/deps/micro_codec-65bb09b3ec1c814d: crates/bench/benches/micro_codec.rs
+
+crates/bench/benches/micro_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_pattern-b2d5228f455e1272.d: crates/bench/benches/micro_pattern.rs
+
+/root/repo/target/release/deps/micro_pattern-b2d5228f455e1272: crates/bench/benches/micro_pattern.rs
+
+crates/bench/benches/micro_pattern.rs:

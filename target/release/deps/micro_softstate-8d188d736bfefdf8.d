@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_softstate-8d188d736bfefdf8.d: crates/bench/benches/micro_softstate.rs
+
+/root/repo/target/release/deps/micro_softstate-8d188d736bfefdf8: crates/bench/benches/micro_softstate.rs
+
+crates/bench/benches/micro_softstate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_storage-b6aa554e0e5c623e.d: crates/bench/benches/micro_storage.rs
+
+/root/repo/target/release/deps/micro_storage-b6aa554e0e5c623e: crates/bench/benches/micro_storage.rs
+
+crates/bench/benches/micro_storage.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rls-e1369e84dad8b127.d: src/lib.rs
+
+/root/repo/target/release/deps/librls-e1369e84dad8b127.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librls-e1369e84dad8b127.rmeta: src/lib.rs
+
+src/lib.rs:

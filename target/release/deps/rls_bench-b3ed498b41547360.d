@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rls_bench-b3ed498b41547360.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librls_bench-b3ed498b41547360.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librls_bench-b3ed498b41547360.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_cli-1287fcaa338345e8.d: src/bin/rls-cli.rs
+
+/root/repo/target/release/deps/rls_cli-1287fcaa338345e8: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

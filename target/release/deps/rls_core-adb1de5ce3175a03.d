@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/rls_core-adb1de5ce3175a03.d: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/configfile.rs crates/core/src/dispatch.rs crates/core/src/hierarchy.rs crates/core/src/locator.rs crates/core/src/lrc.rs crates/core/src/membership.rs crates/core/src/report.rs crates/core/src/rli.rs crates/core/src/server.rs crates/core/src/shard.rs crates/core/src/softstate.rs crates/core/src/testkit.rs
+
+/root/repo/target/release/deps/librls_core-adb1de5ce3175a03.rlib: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/configfile.rs crates/core/src/dispatch.rs crates/core/src/hierarchy.rs crates/core/src/locator.rs crates/core/src/lrc.rs crates/core/src/membership.rs crates/core/src/report.rs crates/core/src/rli.rs crates/core/src/server.rs crates/core/src/shard.rs crates/core/src/softstate.rs crates/core/src/testkit.rs
+
+/root/repo/target/release/deps/librls_core-adb1de5ce3175a03.rmeta: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/configfile.rs crates/core/src/dispatch.rs crates/core/src/hierarchy.rs crates/core/src/locator.rs crates/core/src/lrc.rs crates/core/src/membership.rs crates/core/src/report.rs crates/core/src/rli.rs crates/core/src/server.rs crates/core/src/shard.rs crates/core/src/softstate.rs crates/core/src/testkit.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auth.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/configfile.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/hierarchy.rs:
+crates/core/src/locator.rs:
+crates/core/src/lrc.rs:
+crates/core/src/membership.rs:
+crates/core/src/report.rs:
+crates/core/src/rli.rs:
+crates/core/src/server.rs:
+crates/core/src/shard.rs:
+crates/core/src/softstate.rs:
+crates/core/src/testkit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_server-fe67029cfeee0090.d: src/bin/rls-server.rs
+
+/root/repo/target/release/deps/rls_server-fe67029cfeee0090: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/rls_storage-002e75a4fbf46ac2.d: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/librls_storage-002e75a4fbf46ac2.rlib: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/librls_storage-002e75a4fbf46ac2.rmeta: crates/storage/src/lib.rs crates/storage/src/engine.rs crates/storage/src/index.rs crates/storage/src/lrcdb.rs crates/storage/src/predicate.rs crates/storage/src/profile.rs crates/storage/src/rlidb.rs crates/storage/src/schema.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/table.rs crates/storage/src/txn.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/engine.rs:
+crates/storage/src/index.rs:
+crates/storage/src/lrcdb.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/rlidb.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/table.rs:
+crates/storage/src/txn.rs:
+crates/storage/src/value.rs:
+crates/storage/src/wal.rs:

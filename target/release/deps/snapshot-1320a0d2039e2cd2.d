@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snapshot-1320a0d2039e2cd2.d: crates/bench/benches/snapshot.rs
+
+/root/repo/target/release/deps/snapshot-1320a0d2039e2cd2: crates/bench/benches/snapshot.rs
+
+crates/bench/benches/snapshot.rs:

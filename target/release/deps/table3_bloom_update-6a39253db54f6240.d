@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_bloom_update-6a39253db54f6240.d: crates/bench/benches/table3_bloom_update.rs
+
+/root/repo/target/release/deps/table3_bloom_update-6a39253db54f6240: crates/bench/benches/table3_bloom_update.rs
+
+crates/bench/benches/table3_bloom_update.rs:
