@@ -11,8 +11,9 @@
 use std::time::Duration;
 
 use rls_bench::{banner, header, row, start_lrc_sharded, Scale};
+use rls_proto::Request;
 use rls_storage::BackendProfile;
-use rls_workload::{drive, preload_lrc, NameGen, Trials};
+use rls_workload::{drive, drive_pipelined, preload_lrc, NameGen, Trials};
 
 fn main() {
     let scale = Scale::from_args();
@@ -145,6 +146,82 @@ fn main() {
         }
     }
     println!("\n    expected shape: query > add > delete; modest decline toward 100 threads");
+
+    // --- Pipelined RPC path --------------------------------------------
+    // The fig07 gap closer: the same workload at an equal worker count,
+    // lockstep vs `--pipeline <depth>` requests in flight per connection.
+    // Lockstep pays one full round trip of dead wire per op; a pipelined
+    // window keeps the server's request queue fed, so the per-op RPC
+    // overhead amortizes toward the native (fig07) rate.
+    let depth = if scale.pipeline > 1 { scale.pipeline } else { 8 };
+    let pthreads = 10usize;
+    let pper = ops_per_trial.div_ceil(pthreads);
+    println!(
+        "\n    pipelined comparison: {pthreads} threads, window depth {depth} vs lockstep"
+    );
+    header(&["series", "query/s", "add/s", "delete/s"]);
+    for (label, d) in [("lockstep", 1usize), ("pipelined", depth)] {
+        let (mut q, mut a, mut del) = (Trials::new(), Trials::new(), Trials::new());
+        for trial in 0..scale.trials {
+            let base = (900_000_000 + trial * 10_000_000 + d * 1_000_000) as u64;
+            let report = drive_pipelined(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                pthreads,
+                pper,
+                d,
+                |t, i| {
+                    let idx = (t as u64).wrapping_mul(6151).wrapping_add(i as u64) % entries;
+                    Request::QueryLfn(gen.lfn(idx))
+                },
+            )
+            .expect("pipelined queries");
+            assert_eq!(report.errors, 0);
+            q.push(&report);
+            let report = drive_pipelined(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                pthreads,
+                pper,
+                d,
+                |t, i| {
+                    let idx = base + (t * pper + i) as u64;
+                    Request::Create(
+                        rls_types::Mapping::new(tgen.lfn(idx), tgen.pfn(0, idx)).unwrap(),
+                    )
+                },
+            )
+            .expect("pipelined adds");
+            assert_eq!(report.errors, 0);
+            a.push(&report);
+            let report = drive_pipelined(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                pthreads,
+                pper,
+                d,
+                |t, i| {
+                    let idx = base + (t * pper + i) as u64;
+                    Request::Delete(
+                        rls_types::Mapping::new(tgen.lfn(idx), tgen.pfn(0, idx)).unwrap(),
+                    )
+                },
+            )
+            .expect("pipelined deletes");
+            assert_eq!(report.errors, 0);
+            del.push(&report);
+        }
+        row(&[
+            label.to_string(),
+            format!("{:.0}", q.mean_rate()),
+            format!("{:.0}", a.mean_rate()),
+            format!("{:.0}", del.mean_rate()),
+        ]);
+    }
+    println!("    expected shape: pipelined >= lockstep on every series");
 
     // --- Sharded durable adds ------------------------------------------
     // The write-scaling exhibit behind the `--shards` knob. With

@@ -11,10 +11,11 @@
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use rls_bench::{banner, header, row, Scale};
+use rls_bench::{banner, header, row, start_lrc_sharded, Scale};
+use rls_proto::Request;
 use rls_storage::{BackendProfile, LrcDatabase};
 use rls_types::Mapping;
-use rls_workload::{NameGen, Trials};
+use rls_workload::{drive_pipelined, preload_lrc, NameGen, Trials};
 
 fn drive_native<F>(db: &Arc<RwLock<LrcDatabase>>, threads: usize, per_thread: usize, op: F) -> f64
 where
@@ -95,4 +96,59 @@ fn main() {
         ]);
     }
     println!("\n    compare with Figure 6: LRC ≈70–90% of these native rates (RPC+auth overhead)");
+
+    // --- The RPC gap, measured directly --------------------------------
+    // The paper's fig06/fig07 ratio is the cost of the RPC path. Measure
+    // it here in one place: native engine queries vs the same queries
+    // over the wire, lockstep and with `--pipeline <depth>` requests in
+    // flight. Pipelining hides the per-request round trip, so the
+    // over-the-wire fraction of native should rise toward 1.
+    let depth = if scale.pipeline > 1 { scale.pipeline } else { 8 };
+    let threads = 10usize;
+    let per_thread = ops_per_trial.div_ceil(threads);
+    let mut native = Trials::new();
+    for _ in 0..scale.trials {
+        native.push_rate(drive_native(&db, threads, per_thread, |db, t, i| {
+            let idx = (t as u64).wrapping_mul(6151).wrapping_add(i as u64) % entries;
+            let _ = db.read().query_lfn(&gen.lfn(idx));
+        }));
+    }
+    let server = start_lrc_sharded(BackendProfile::mysql_buffered(), scale.shards);
+    let sgen = NameGen::new("fig07");
+    preload_lrc(&server, &sgen, entries).expect("preload server");
+    println!(
+        "\n    RPC gap at {threads} threads (window depth {depth} vs lockstep):"
+    );
+    header(&["series", "query/s", "of native"]);
+    row(&[
+        "native".to_string(),
+        format!("{:.0}", native.mean_rate()),
+        "1.00".to_string(),
+    ]);
+    for (label, d) in [("rpc lockstep", 1usize), ("rpc pipelined", depth)] {
+        let mut tr = Trials::new();
+        for _ in 0..scale.trials {
+            let report = drive_pipelined(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                threads,
+                per_thread,
+                d,
+                |t, i| {
+                    let idx = (t as u64).wrapping_mul(6151).wrapping_add(i as u64) % entries;
+                    Request::QueryLfn(sgen.lfn(idx))
+                },
+            )
+            .expect("rpc queries");
+            assert_eq!(report.errors, 0);
+            tr.push(&report);
+        }
+        row(&[
+            label.to_string(),
+            format!("{:.0}", tr.mean_rate()),
+            format!("{:.2}", tr.mean_rate() / native.mean_rate().max(1e-9)),
+        ]);
+    }
+    println!("    expected shape: pipelined fraction > lockstep fraction");
 }

@@ -11,9 +11,10 @@
 use std::time::Duration;
 
 use rls_bench::{banner, header, row, start_lrc_group_commit, start_lrc_sharded, Scale};
+use rls_proto::Request;
 use rls_storage::BackendProfile;
 use rls_types::Mapping;
-use rls_workload::{drive, preload_lrc, NameGen, Trials};
+use rls_workload::{drive, drive_pipelined, preload_lrc, NameGen, Trials};
 
 fn main() {
     let scale = Scale::from_args();
@@ -120,6 +121,44 @@ fn main() {
         ]);
     }
     println!("\n    expected shape: bulk q/s > single q/s, advantage shrinking with threads");
+
+    // --- Pipelined singles vs bulk --------------------------------------
+    // Bulk ops amortize per-request overhead by batching inside one frame;
+    // pipelining amortizes it by keeping `--pipeline <depth>` frames in
+    // flight. Compare the three on the query workload at 10 threads: how
+    // much of the bulk advantage does pipelining alone recover?
+    let depth = if scale.pipeline > 1 { scale.pipeline } else { 8 };
+    let pthreads = 10usize;
+    let pper = (bulks_per_thread * bulk_size / 10).max(100);
+    println!(
+        "\n    single queries, lockstep vs pipelined (depth {depth}), {pthreads} threads:"
+    );
+    header(&["series", "query/s"]);
+    for (label, d) in [("single lockstep", 1usize), ("single pipelined", depth)] {
+        let mut tr = Trials::new();
+        for trial in 0..scale.trials {
+            let report = drive_pipelined(
+                server.addr(),
+                rls_net::LinkProfile::unshaped(),
+                None,
+                pthreads,
+                pper,
+                d,
+                |t, i| {
+                    let idx = ((t + trial) as u64)
+                        .wrapping_mul(6151)
+                        .wrapping_add(i as u64)
+                        % entries;
+                    Request::QueryLfn(gen.lfn(idx))
+                },
+            )
+            .expect("pipelined single queries");
+            assert_eq!(report.errors, 0);
+            tr.push(&report);
+        }
+        row(&[label.to_string(), format!("{:.0}", tr.mean_rate())]);
+    }
+    println!("    compare with the 10-thread bulk q/s row above");
 
     // --- Durable writes: group commit vs per-item commits ------------------
     // Under FlushMode::PerCommit every commit pays a WAL sync. Before the

@@ -4,8 +4,8 @@
 //! flight-recorder block timing the PR 7 telemetry sampler itself.
 //!
 //! ```text
-//! cargo bench -p rls-bench --bench snapshot -- --pr 8 --date 2026-08-08 \
-//!     [--out BENCH_8.json] [--scale f] [--trials n]
+//! cargo bench -p rls-bench --bench snapshot -- --pr 9 --date 2026-08-08 \
+//!     [--out BENCH_9.json] [--scale f] [--trials n] [--pipeline d]
 //! ```
 
 use std::time::{Duration, Instant};
@@ -45,7 +45,7 @@ fn p99(stats: &rls_proto::ServerStatsWire, name: &str) -> u64 {
 
 fn main() {
     let scale = Scale::from_args();
-    let pr: u64 = flag("--pr").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let pr: u64 = flag("--pr").and_then(|v| v.parse().ok()).unwrap_or(9);
     let date = flag("--date").unwrap_or_else(|| "unknown".to_owned());
     let out = flag("--out").unwrap_or_else(|| format!("BENCH_{pr}.json"));
     banner("Snapshot", "fig06/fig11/fig12 headline numbers → JSON", &scale);
@@ -82,6 +82,34 @@ fn main() {
         assert_eq!(r.errors, 0);
         d.push(&r);
     }
+    // --- fig07 RPC gap: the same queries with a pipelined window ---------
+    // Lockstep (above) pays one full round trip of dead wire per query;
+    // `depth` requests in flight amortize the RPC path, closing toward
+    // the fig07 native rate.
+    let depth = if scale.pipeline > 1 { scale.pipeline } else { 8 };
+    let mut pq = Trials::new();
+    for _ in 0..scale.trials {
+        let r = rls_workload::drive_pipelined(
+            server.addr(),
+            rls_net::LinkProfile::unshaped(),
+            None,
+            threads,
+            per_thread,
+            depth,
+            |t, i| {
+                let idx = (t as u64).wrapping_mul(6151).wrapping_add(i as u64) % entries;
+                rls_proto::Request::QueryLfn(gen.lfn(idx))
+            },
+        )
+        .expect("pipelined queries");
+        assert_eq!(r.errors, 0);
+        pq.push(&r);
+    }
+    println!(
+        "    fig07 rpc gap: lockstep {:.0} q/s vs pipelined(depth {depth}) {:.0} q/s",
+        q.mean_rate(),
+        pq.mean_rate()
+    );
     let mut sc = rls_core::RlsClient::connect(server.addr(), &Dn::anonymous()).expect("stats client");
     let stats = sc.stats().expect("stats");
 
@@ -219,7 +247,7 @@ fn main() {
   "pr": {pr},
   "date": "{date}",
   "host": "1-core container, in-process engine, emulated network",
-  "note": "Perf-trajectory snapshot emitted by `cargo bench -p rls-bench --bench snapshot`. CI-scale runs of the fig06/fig11/fig12 headline measurements plus the PR 7 flight-recorder sampler cost; regenerate with the named bench targets for full curves.",
+  "note": "Perf-trajectory snapshot emitted by `cargo bench -p rls-bench --bench snapshot`. CI-scale runs of the fig06/fig11/fig12 headline measurements, the fig07 RPC-gap comparison (lockstep vs pipelined window), and the PR 7 flight-recorder sampler cost; regenerate with the named bench targets for full curves.",
   "fig06_lrc_multiclient": {{
     "buffered_1_client_10_threads": {{
       "shards": 1,
@@ -234,6 +262,18 @@ fn main() {
       "op.query_lfn": {p99q}
     }},
     "worker_pool": {{ "busy_rejects": {rejects}, "accept_errors": {aerr}, "conns_admitted": {admitted} }}
+  }},
+  "fig07_rpc_gap": {{
+    "pipeline_depth": {depth},
+    "lockstep_query_per_s": {qr:.0},
+    "pipelined_query_per_s": {pqr:.0},
+    "pipelined_vs_lockstep": {pvl:.2},
+    "server_counters": {{
+      "net.pipeline.offloaded": {offloaded},
+      "net.pipeline.inline": {inline},
+      "net.tx_writev": {writev},
+      "net.tx_writev_resumes": {writev_resumes}
+    }}
   }},
   "fig11_bulk_ops": {{
     "bulk_add_del_items_per_s_10_threads_by_shards": {bulk},
@@ -254,6 +294,12 @@ fn main() {
         qr = q.mean_rate(),
         ar = a.mean_rate(),
         dr = d.mean_rate(),
+        pqr = pq.mean_rate(),
+        pvl = pq.mean_rate() / q.mean_rate().max(1e-9),
+        offloaded = counter(&stats, "net.pipeline.offloaded"),
+        inline = counter(&stats, "net.pipeline.inline"),
+        writev = counter(&stats, "net.tx_writev"),
+        writev_resumes = counter(&stats, "net.tx_writev_resumes"),
         durable = by_shards(&durable),
         p99c = p99(&stats, "op.create"),
         p99d = p99(&stats, "op.delete"),

@@ -9,7 +9,8 @@
 //!
 //! * `--full` — paper-scale parameters (minutes to hours of runtime);
 //! * `--scale <f>` — multiply default workload sizes by `f`;
-//! * `--trials <n>` — trials per data point (paper: typically 5).
+//! * `--trials <n>` — trials per data point (paper: typically 5);
+//! * `--pipeline <n>` — client request-pipelining depth (1 = lockstep).
 
 use std::time::Duration;
 
@@ -27,6 +28,8 @@ pub struct Scale {
     pub trials: usize,
     /// LRC catalog shards (`--shards <n>`, default 1 = classic engine).
     pub shards: usize,
+    /// Client pipeline depth (`--pipeline <n>`, default 1 = lockstep).
+    pub pipeline: usize,
 }
 
 impl Scale {
@@ -38,6 +41,7 @@ impl Scale {
             scale: 1.0,
             trials: 3,
             shards: 1,
+            pipeline: 1,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -56,6 +60,11 @@ impl Scale {
                 "--shards" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                         s.shards = v;
+                    }
+                }
+                "--pipeline" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        s.pipeline = v;
                     }
                 }
                 _ => {}
@@ -254,6 +263,7 @@ mod tests {
             scale: 0.5,
             trials: 3,
             shards: 1,
+            pipeline: 1,
         };
         assert_eq!(s.pick(1000, 1_000_000), 500);
         let f = Scale {
@@ -261,6 +271,7 @@ mod tests {
             scale: 1.0,
             trials: 3,
             shards: 1,
+            pipeline: 1,
         };
         assert_eq!(f.pick(1000, 1_000_000), 1_000_000);
     }

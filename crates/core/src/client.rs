@@ -5,6 +5,7 @@
 //! the paper's Table 1, the bulk variants, and the soft-state update calls
 //! the update threads use.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -12,11 +13,12 @@ use std::sync::Arc;
 use rls_bloom::BloomFilter;
 use rls_metrics::{Counter, Registry};
 use rls_net::{
-    connect_with, Conn, ConnectOptions, FaultHook, LinkProfile, RetryPolicy, SharedIngress,
+    connect_with, Conn, ConnectOptions, FaultHook, LinkProfile, Pipeline, RetryPolicy,
+    SharedIngress,
 };
 use rls_proto::{
-    AttrAssignment, LagStamp, Request, Response, RliHit, RliTargetWire, ServerStatsWire, SpanWire,
-    StatsHistoryWire, PROTOCOL_VERSION,
+    AttrAssignment, LagStamp, ProtocolVersion, Request, Response, RliHit, RliTargetWire,
+    ServerStatsWire, SpanWire, StatsHistoryWire, PROTOCOL_VERSION, PROTOCOL_VERSION_PIPELINED,
 };
 use rls_trace::{mix64, nonzero_id};
 use rls_types::{
@@ -85,6 +87,17 @@ pub struct RlsClient {
     trace_seed: u64,
     next_trace: u64,
     last_trace_id: u64,
+    /// Requested in-flight window. 1 (the default) is lockstep: the
+    /// handshake and every frame are byte-identical to the legacy
+    /// protocol.
+    pipeline_depth: usize,
+    /// Protocol version the current/last connection settled on.
+    negotiated: ProtocolVersion,
+    /// In-flight window state for the pipelined call path.
+    pipe: Pipeline,
+    /// Responses received (or deterministically failed) but not yet
+    /// collected by the caller, in completion order.
+    completed: VecDeque<(u64, RlsResult<Response>)>,
 }
 
 impl std::fmt::Debug for RlsClient {
@@ -148,6 +161,10 @@ impl RlsClient {
             trace_seed: mix64(((std::process::id() as u64) << 32) ^ n),
             next_trace: 0,
             last_trace_id: 0,
+            pipeline_depth: 1,
+            negotiated: PROTOCOL_VERSION,
+            pipe: Pipeline::new(1),
+            completed: VecDeque::new(),
         };
         let mut attempt = 0u32;
         loop {
@@ -214,43 +231,69 @@ impl RlsClient {
     }
 
     /// Dials and handshakes if not currently connected.
+    ///
+    /// With `pipeline_depth > 1` the Hello requests the pipelined
+    /// protocol. An old peer answers that with a protocol error — the
+    /// client then redials once with the baseline version and runs
+    /// lockstep, so a pipelining-configured client interoperates with an
+    /// un-negotiated server transparently. At depth 1 the Hello carries
+    /// the baseline version and the handshake is byte-identical to the
+    /// legacy client's.
     fn ensure_conn(&mut self) -> RlsResult<()> {
         if self.conn.is_some() {
             return Ok(());
         }
-        let opts = ConnectOptions {
-            timeout: self.policy.connect_timeout,
-            hook: self.hook.clone(),
-        };
-        let mut conn = connect_with(self.addr, self.link, self.ingress.clone(), &opts)?;
-        if self.policy.request_timeout.is_some() {
-            conn.set_read_timeout(self.policy.request_timeout)?;
-        }
         if !self.server_version.is_empty() {
             self.reconnects += 1;
         }
-        let id = self.mint_trace_id();
-        let hello = Request::Hello {
-            dn: self.dn.clone(),
-            version: PROTOCOL_VERSION,
+        let mut version = if self.pipeline_depth > 1 {
+            PROTOCOL_VERSION_PIPELINED
+        } else {
+            PROTOCOL_VERSION
         };
-        let body = hello.encode_traced(&[id]).into_bytes();
-        let resp_body = conn.request(&body)?;
-        let resp = Response::decode(&resp_body)?;
-        match resp {
-            Response::HelloAck {
-                server_version,
-                is_lrc,
-                is_rli,
-            } => {
-                self.server_version = server_version;
-                self.is_lrc = is_lrc;
-                self.is_rli = is_rli;
-                self.conn = Some(conn);
-                Ok(())
+        loop {
+            let opts = ConnectOptions {
+                timeout: self.policy.connect_timeout,
+                hook: self.hook.clone(),
+            };
+            let mut conn = connect_with(self.addr, self.link, self.ingress.clone(), &opts)?;
+            if self.policy.request_timeout.is_some() {
+                conn.set_read_timeout(self.policy.request_timeout)?;
             }
-            Response::Error(e) => Err(e),
-            _ => Err(RlsError::protocol("expected HelloAck")),
+            let id = self.mint_trace_id();
+            let hello = Request::Hello {
+                dn: self.dn.clone(),
+                version,
+            };
+            let body = hello.encode_traced(&[id]).into_bytes();
+            let resp_body = conn.request(&body)?;
+            let resp = Response::decode(&resp_body)?;
+            match resp {
+                Response::HelloAck {
+                    server_version,
+                    is_lrc,
+                    is_rli,
+                    protocol,
+                } => {
+                    self.server_version = server_version;
+                    self.is_lrc = is_lrc;
+                    self.is_rli = is_rli;
+                    // Settle on the lower of what we asked and what the
+                    // server acknowledged (a legacy ack implies v1).
+                    self.negotiated = protocol.min(version);
+                    self.conn = Some(conn);
+                    return Ok(());
+                }
+                Response::Error(e)
+                    if version == PROTOCOL_VERSION_PIPELINED
+                        && e.code() == ErrorCode::Protocol =>
+                {
+                    // Old-protocol peer: fall back to the legacy handshake.
+                    version = PROTOCOL_VERSION;
+                }
+                Response::Error(e) => return Err(e),
+                _ => return Err(RlsError::protocol("expected HelloAck")),
+            }
         }
     }
 
@@ -299,6 +342,11 @@ impl RlsClient {
         trace_ids: &[u64],
         stamp: Option<LagStamp>,
     ) -> RlsResult<Response> {
+        // A lockstep call must not interleave with pipelined responses:
+        // resolve the window first (results stay collectable).
+        if self.pipe.in_flight() > 0 {
+            self.pipeline_flush()?;
+        }
         self.last_trace_id = trace_ids.first().copied().unwrap_or(0);
         let body = req.encode_framed(trace_ids, stamp).into_bytes();
         let mut attempt = 0u32;
@@ -332,6 +380,291 @@ impl RlsClient {
                     attempt += 1;
                 }
             }
+        }
+    }
+
+    // -- pipelined calls ------------------------------------------------------
+
+    /// Sets the in-flight window for the pipelined call path. Depth 1
+    /// (the default) is lockstep — byte-identical on the wire to the
+    /// legacy protocol. Larger depths negotiate the pipelined protocol
+    /// on the next (re)connect; against an old server the client falls
+    /// back to lockstep automatically. Fails if requests are currently
+    /// in flight.
+    pub fn set_pipeline_depth(&mut self, depth: usize) -> RlsResult<()> {
+        if self.pipe.in_flight() > 0 {
+            return Err(RlsError::bad_request(
+                "cannot change pipeline depth with requests in flight",
+            ));
+        }
+        let depth = depth.max(1);
+        self.pipeline_depth = depth;
+        self.pipe = Pipeline::new(depth);
+        // The current connection's negotiation may no longer match the
+        // requested mode; redial lazily on the next call.
+        let want = if depth > 1 {
+            PROTOCOL_VERSION_PIPELINED
+        } else {
+            PROTOCOL_VERSION
+        };
+        if self.conn.is_some() && self.negotiated != want {
+            self.conn = None;
+        }
+        Ok(())
+    }
+
+    /// The configured in-flight window.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
+    /// Protocol version the current/last connection negotiated.
+    pub fn negotiated_protocol(&self) -> ProtocolVersion {
+        self.negotiated
+    }
+
+    /// Requests currently submitted but unresolved.
+    pub fn pipeline_in_flight(&self) -> usize {
+        self.pipe.in_flight()
+    }
+
+    /// Lifetime count of in-flight requests replayed after reconnects.
+    pub fn pipeline_replays(&self) -> u64 {
+        self.pipe.replayed()
+    }
+
+    /// Lifetime count of in-flight requests failed by exhausted
+    /// reconnect retries (each surfaced as an `Err` entry).
+    pub fn pipeline_failures(&self) -> u64 {
+        self.pipe.failed()
+    }
+
+    /// The window actually usable on the live connection: the configured
+    /// depth under the pipelined protocol, 1 against a legacy peer.
+    fn effective_depth(&self) -> usize {
+        if self.negotiated >= PROTOCOL_VERSION_PIPELINED {
+            self.pipeline_depth
+        } else {
+            1
+        }
+    }
+
+    /// Submits one request into the pipeline and returns its request ID.
+    /// Blocks only when the in-flight window is full, in which case one
+    /// response is resolved first (at depth 1 this degenerates to
+    /// lockstep). Results are collected with [`RlsClient::pipeline_drain`]
+    /// (or [`RlsClient::pipeline_collect`] for what has already resolved).
+    ///
+    /// Failure semantics mirror [`RlsClient::call_traced`]: a transport
+    /// fault tears the connection down, reconnects under the retry
+    /// policy, and **replays every in-flight frame in submission order**;
+    /// when retries are exhausted, all in-flight requests fail as a unit,
+    /// each surfacing as an `Err` entry. (The same idempotency argument
+    /// applies — a replayed request whose first response was lost is at
+    /// worst a `MappingExists`-style server error on its entry.)
+    pub fn pipeline_submit(&mut self, req: &Request) -> RlsResult<u64> {
+        self.ensure_pipeline_conn()?;
+        while self.pipe.in_flight() >= self.effective_depth() {
+            self.pipeline_receive_one()?;
+        }
+        self.ensure_pipeline_conn()?; // receive may have torn the connection down
+        let trace = self.mint_trace_id();
+        self.last_trace_id = trace;
+        let id = self.pipe.next_id();
+        // Only a genuinely pipelined window stamps the ID envelope: at an
+        // effective depth of 1 (configured, or clamped by a legacy peer)
+        // at most one request is outstanding, responses match implicitly,
+        // and the wire bytes stay identical to the lockstep protocol.
+        let wire_id = (self.effective_depth() > 1).then_some(id);
+        let frame = req
+            .encode_framed_with_id(&[trace], None, wire_id)
+            .into_bytes()
+            .to_vec();
+        let sent = self
+            .conn
+            .as_mut()
+            .expect("connected after ensure_conn")
+            .send(&frame);
+        // Record before recovering: a send that died mid-frame is still
+        // an in-flight request the replay path must re-send.
+        self.pipe.record(id, frame);
+        if let Err(e) = sent {
+            self.conn = None;
+            self.pipeline_recover(e)?;
+        }
+        Ok(id)
+    }
+
+    /// Resolves every in-flight request (successfully or as a
+    /// deterministic failure), leaving the results collectable.
+    pub fn pipeline_flush(&mut self) -> RlsResult<()> {
+        while self.pipe.in_flight() > 0 {
+            self.pipeline_receive_one()?;
+        }
+        Ok(())
+    }
+
+    /// Takes the responses resolved so far, in completion order (which
+    /// under pipelining is not necessarily submission order — match by
+    /// the returned request IDs).
+    pub fn pipeline_collect(&mut self) -> Vec<(u64, RlsResult<Response>)> {
+        self.completed.drain(..).collect()
+    }
+
+    /// Flushes the window and takes every result:
+    /// [`RlsClient::pipeline_flush`] + [`RlsClient::pipeline_collect`].
+    pub fn pipeline_drain(&mut self) -> RlsResult<Vec<(u64, RlsResult<Response>)>> {
+        self.pipeline_flush()?;
+        Ok(self.pipeline_collect())
+    }
+
+    /// Like [`ensure_conn`](Self::ensure_conn), but when the connection
+    /// was lost with requests still in flight, the redial goes through
+    /// the recover path so those frames are replayed (or failed) before
+    /// anything new rides the fresh connection.
+    fn ensure_pipeline_conn(&mut self) -> RlsResult<()> {
+        if self.conn.is_none() && self.pipe.in_flight() > 0 {
+            let cause = RlsError::new(ErrorCode::Io, "connection lost with requests in flight");
+            self.pipeline_recover(cause)?;
+        }
+        self.ensure_conn()
+    }
+
+    /// Receives one pipelined response and resolves it into `completed`.
+    /// Transport faults go through reconnect-and-replay; a poisoned
+    /// stream (unmatched ID, garbage frame) fails the whole window
+    /// deterministically. Either way, every submitted request eventually
+    /// resolves — this function only errors on internal misuse.
+    fn pipeline_receive_one(&mut self) -> RlsResult<()> {
+        loop {
+            if self.pipe.in_flight() == 0 {
+                return Ok(());
+            }
+            if self.conn.is_none() {
+                // A previous failure tore the connection down with
+                // requests still in flight; recover (replay) first.
+                let cause = RlsError::new(ErrorCode::Io, "connection lost with requests in flight");
+                self.pipeline_recover(cause)?;
+                continue;
+            }
+            let conn = self.conn.as_mut().expect("checked above");
+            let frame = match conn.recv() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => {
+                    self.conn = None;
+                    let cause = RlsError::new(
+                        ErrorCode::Io,
+                        "connection closed with requests in flight",
+                    );
+                    self.pipeline_recover(cause)?;
+                    continue;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    if Self::is_transport(&e) {
+                        self.pipeline_recover(e)?;
+                        continue;
+                    }
+                    self.pipeline_fail_all(&e);
+                    return Ok(());
+                }
+            };
+            match Response::decode_framed(&frame) {
+                Ok((got, resp)) => {
+                    // An un-stamped response is valid only in lockstep:
+                    // with exactly one request outstanding it can only
+                    // answer that one (the depth-1 / legacy-peer path,
+                    // where requests carry no ID either).
+                    let id = match got {
+                        Some(id) => id,
+                        None if self.pipe.in_flight() == 1 => {
+                            self.pipe.oldest_id().expect("one in flight")
+                        }
+                        None => {
+                            let e = RlsError::protocol(
+                                "pipelined response carries no request id",
+                            );
+                            self.conn = None;
+                            self.pipeline_fail_all(&e);
+                            return Ok(());
+                        }
+                    };
+                    if let Err(e) = self.pipe.complete(id) {
+                        // An ID we never sent: the stream cannot be
+                        // trusted to route any further response.
+                        self.conn = None;
+                        self.pipeline_fail_all(&e);
+                        return Ok(());
+                    }
+                    let entry = match resp {
+                        Response::Error(e) => (id, Err(e)),
+                        other => (id, Ok(other)),
+                    };
+                    self.completed.push_back(entry);
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.conn = None;
+                    self.pipeline_fail_all(&e);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Reconnects under the retry policy and replays every in-flight
+    /// frame in submission order. When retries are exhausted (or the
+    /// failure is not transport-level), the whole window fails as a
+    /// unit — deterministically, not request-by-request.
+    fn pipeline_recover(&mut self, cause: RlsError) -> RlsResult<()> {
+        let mut cause = cause;
+        let mut attempt = 0u32;
+        loop {
+            if !Self::is_transport(&cause) || attempt >= self.policy.max_retries {
+                self.pipeline_fail_all(&cause);
+                return Ok(());
+            }
+            self.note_retry(attempt);
+            attempt += 1;
+            match self.ensure_conn() {
+                Ok(()) => {
+                    let frames: Vec<Vec<u8>> =
+                        self.pipe.replayable().map(|(_, f)| f.to_vec()).collect();
+                    let conn = self.conn.as_mut().expect("connected after ensure_conn");
+                    let mut failed = None;
+                    for frame in &frames {
+                        if let Err(e) = conn.send(frame) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                    match failed {
+                        None => {
+                            self.pipe.note_replayed();
+                            return Ok(());
+                        }
+                        Some(e) => {
+                            self.conn = None;
+                            cause = e;
+                        }
+                    }
+                }
+                Err(e) => cause = e,
+            }
+        }
+    }
+
+    /// Fails every in-flight request with a copy of `cause`, surfacing
+    /// each as an `Err` entry in completion order (= submission order).
+    fn pipeline_fail_all(&mut self, cause: &RlsError) {
+        for id in self.pipe.fail_all() {
+            self.completed.push_back((
+                id,
+                Err(RlsError::new(
+                    cause.code(),
+                    format!("pipelined request {id} failed: {cause}"),
+                )),
+            ));
         }
     }
 

@@ -100,6 +100,9 @@ impl ServerState {
         counters.push(("net.bytes_out".into(), self.net.bytes_out()));
         counters.push(("net.frames_in".into(), self.net.frames_in()));
         counters.push(("net.frames_out".into(), self.net.frames_out()));
+        counters.push(("net.tx_writev".into(), self.net.tx_writev()));
+        counters.push(("net.tx_writev_resumes".into(), self.net.tx_writev_resumes()));
+        counters.push(("net.tx_errors".into(), self.net.tx_errors()));
         if let Some(lrc) = &self.lrc {
             // `lrc.engine.*` aggregates every shard; the per-shard split is
             // in the `storage.shard.*` counters from the LRC registry.
@@ -242,6 +245,7 @@ pub fn handle_request_traced(
     let meta = FrameMeta {
         trace_ids: trace_ids.to_vec(),
         lag: None,
+        request_id: None,
     };
     handle_request_framed(state, identity, req, &meta)
 }
@@ -1208,6 +1212,7 @@ mod tests {
                 commit_seq: 9,
                 commit_unix_micros: unix_micros_now().saturating_sub(250_000),
             }),
+            request_id: None,
         };
         let resp = handle_request_framed(
             &st,

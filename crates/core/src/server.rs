@@ -39,8 +39,10 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use rls_metrics::{Counter, TelemetryRing};
-use rls_net::{Conn, Listener, TryRecv};
-use rls_proto::{Request, Response, PROTOCOL_VERSION};
+use rls_net::{Conn, Listener, Readiness, RecvHalf, SendHalf, TryRecvRef};
+use rls_proto::{
+    peek_request_id, Request, Response, PROTOCOL_VERSION, PROTOCOL_VERSION_PIPELINED,
+};
 use rls_trace::TraceJournal;
 use rls_types::{ErrorCode, RlsError, RlsResult, Timestamp};
 
@@ -385,23 +387,44 @@ impl Drop for Server {
 /// One admitted connection, alternating between the poller's parked set
 /// (no complete request on the wire) and the ready queue (a frame is
 /// waiting for a worker).
+///
+/// The connection is held split: the receive half travels with the
+/// session (exactly one thread reads at a time), while the send half sits
+/// behind a shared lock so pipelined requests offloaded to *other*
+/// workers can write their responses to the same socket out of order.
 struct Session {
-    conn: Conn,
+    rx: RecvHalf,
+    tx: Arc<Mutex<SendHalf>>,
     /// `None` until the Hello handshake completes.
     identity: Option<Identity>,
     /// Last time a frame arrived (idle-reap clock).
     last_active: Instant,
     /// When the session was last queued (wait-time metric).
     enqueued_at: Instant,
-    /// A frame the poller already read off the wire, handed to the worker
-    /// with the session so no bytes are read twice.
-    pending: Option<Vec<u8>>,
+}
+
+/// A pipelined request detached from its connection: the frame bytes, the
+/// shared send half to answer on, and the authenticated identity. Queued
+/// as its own work unit so several requests from one connection can run
+/// on several workers concurrently — the out-of-order completion the
+/// request-ID envelope exists for.
+struct WorkItem {
+    frame: Vec<u8>,
+    tx: Arc<Mutex<SendHalf>>,
+    identity: Identity,
+}
+
+/// What the worker queue carries: a connection with (at least) one frame
+/// ready to read, or a single detached pipelined request.
+enum Work {
+    Conn(Session),
+    Item(WorkItem),
 }
 
 /// The admission ledger plus the two session homes: the parked set the
 /// poller sweeps, and the ready queue feeding the worker pool.
 struct ConnPool {
-    queue: StdMutex<VecDeque<Session>>,
+    queue: StdMutex<VecDeque<Work>>,
     cond: Condvar,
     /// Sessions with no complete request buffered, owned by the poller
     /// between sweeps. The accept loop and workers drop sessions here.
@@ -419,6 +442,12 @@ struct ConnPool {
     conn_wait: Arc<rls_metrics::LatencyHistogram>,
     idle_reaped: Counter,
     hwm_gauge: Counter,
+    /// Pipelined (ID-stamped) frames detached into their own work units.
+    pipeline_offloaded: Counter,
+    /// Legacy frames served inline, strictly serially, on the session.
+    pipeline_inline: Counter,
+    /// Response writes that failed; each one also closes its connection.
+    write_errors: Counter,
 }
 
 impl ConnPool {
@@ -435,6 +464,9 @@ impl ConnPool {
             conn_wait: state.metrics.histogram("server.conn_wait"),
             idle_reaped: state.metrics.counter("server.idle_reaped"),
             hwm_gauge: state.metrics.counter("server.workers_busy_hwm"),
+            pipeline_offloaded: state.metrics.counter("net.pipeline.offloaded"),
+            pipeline_inline: state.metrics.counter("net.pipeline.inline"),
+            write_errors: state.metrics.counter("server.write_errors"),
         }
     }
 
@@ -442,12 +474,13 @@ impl ConnPool {
     /// soon as its Hello frame is on the wire.
     fn admit(&self, conn: Conn) {
         let now = Instant::now();
+        let (rx, tx) = conn.split();
         self.park(Session {
-            conn,
+            rx,
+            tx: Arc::new(Mutex::new(tx)),
             identity: None,
             last_active: now,
             enqueued_at: now,
-            pending: None,
         });
     }
 
@@ -461,7 +494,16 @@ impl ConnPool {
         session.enqueued_at = Instant::now();
         let mut q = self.queue.lock().expect("pool queue poisoned");
         self.queue_depth.record_micros(q.len() as u64);
-        q.push_back(session);
+        q.push_back(Work::Conn(session));
+        drop(q);
+        self.cond.notify_one();
+    }
+
+    /// Queues one detached pipelined request and wakes one worker.
+    fn push_item(&self, item: WorkItem) {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        self.queue_depth.record_micros(q.len() as u64);
+        q.push_back(Work::Item(item));
         drop(q);
         self.cond.notify_one();
     }
@@ -472,8 +514,8 @@ impl ConnPool {
         self.queue.lock().expect("pool queue poisoned").is_empty()
     }
 
-    /// Blocks until a session is available or shutdown begins.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<Session> {
+    /// Blocks until work is available or shutdown begins.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Work> {
         let mut q = self.queue.lock().expect("pool queue poisoned");
         loop {
             if shutdown.load(Ordering::SeqCst) {
@@ -497,19 +539,25 @@ impl ConnPool {
 
     /// Drops every queued and parked session, closing its socket and
     /// releasing its slot (shutdown path; the threads have already been
-    /// joined).
+    /// joined). Detached work items ride their session's slot, so only
+    /// sessions release one.
     fn drain(&self) {
-        let mut drained: Vec<Session> = {
+        let queued: Vec<Work> = {
             let mut q = self.queue.lock().expect("pool queue poisoned");
             q.drain(..).collect()
         };
-        drained.extend(
-            self.parked
-                .lock()
-                .expect("parked set poisoned")
-                .drain(..),
-        );
-        for _ in &drained {
+        for work in &queued {
+            if matches!(work, Work::Conn(_)) {
+                self.release();
+            }
+        }
+        let parked: Vec<Session> = self
+            .parked
+            .lock()
+            .expect("parked set poisoned")
+            .drain(..)
+            .collect();
+        for _ in &parked {
             self.release();
         }
     }
@@ -607,53 +655,96 @@ enum FrameOutcome {
     Close,
 }
 
-/// Handles one inbound frame: the Hello handshake while the session is
-/// unauthenticated, request dispatch afterwards. `Err` means the
-/// connection is unusable (send failure) and must be dropped.
-fn serve_frame(session: &mut Session, frame: &[u8], state: &ServerState) -> RlsResult<FrameOutcome> {
-    let Session { conn, identity, .. } = session;
+/// Sends one response frame on a session's shared send half. A failed
+/// write is never silent: the send half has already poisoned itself and
+/// shut the socket down; this counts it on the operator metric and tells
+/// the caller to retire the connection.
+fn send_response(tx: &Mutex<SendHalf>, body: &[u8], write_errors: &Counter) -> RlsResult<()> {
+    tx.lock().send(body).inspect_err(|_| write_errors.inc())
+}
+
+/// Handles one inbound frame inline: the Hello handshake while the
+/// session is unauthenticated, request dispatch afterwards. `Err` means
+/// the connection is unusable (send failure) and must be dropped.
+fn serve_frame(
+    identity: &mut Option<Identity>,
+    tx: &Mutex<SendHalf>,
+    frame: &[u8],
+    state: &ServerState,
+    write_errors: &Counter,
+) -> RlsResult<FrameOutcome> {
     match identity {
         Some(identity) => {
-            // Frames may carry a trace envelope; propagated IDs are
-            // threaded into dispatch so spans land under the client's
-            // trace.
-            let response = match Request::decode_framed(frame) {
-                Ok((meta, req)) => handle_request_framed(state, identity, req, &meta),
-                Err(e) => Response::Error(e),
+            // Frames may carry trace/request-ID envelopes; propagated
+            // trace IDs are threaded into dispatch so spans land under
+            // the client's trace, and a request ID is echoed on the
+            // response so a pipelined client can match it.
+            let (id, response) = match Request::decode_framed(frame) {
+                Ok((meta, req)) => {
+                    let id = meta.request_id;
+                    (id, handle_request_framed(state, identity, req, &meta))
+                }
+                Err(e) => (peek_request_id(frame), Response::Error(e)),
             };
-            conn.send(&response.encode().into_bytes())?;
+            send_response(tx, &response.encode_with_id(id).into_bytes(), write_errors)?;
             Ok(FrameOutcome::Continue)
         }
         None => match Request::decode(frame) {
-            Ok(Request::Hello { dn, version }) if version == PROTOCOL_VERSION => {
+            Ok(Request::Hello { dn, version })
+                if version == PROTOCOL_VERSION || version == PROTOCOL_VERSION_PIPELINED =>
+            {
                 *identity = Some(state.authorizer.authenticate(dn));
+                // Echo the negotiated version: a v1 ack is byte-identical
+                // to the legacy handshake, a v2 ack tells the client its
+                // pipelined requests will be answered (possibly out of
+                // order) by request ID.
                 let ack = Response::HelloAck {
                     server_version: state.version.clone(),
                     is_lrc: state.lrc.is_some(),
                     is_rli: state.rli.is_some(),
+                    protocol: version,
                 };
-                conn.send(&ack.encode().into_bytes())?;
+                send_response(tx, &ack.encode().into_bytes(), write_errors)?;
                 Ok(FrameOutcome::Continue)
             }
             Ok(Request::Hello { version, .. }) => {
                 let resp = Response::Error(RlsError::protocol(format!(
                     "unsupported protocol version {version}"
                 )));
-                conn.send(&resp.encode().into_bytes())?;
+                send_response(tx, &resp.encode().into_bytes(), write_errors)?;
                 Ok(FrameOutcome::Close)
             }
             Ok(_) => {
                 let resp = Response::Error(RlsError::bad_request("first frame must be Hello"));
-                conn.send(&resp.encode().into_bytes())?;
+                send_response(tx, &resp.encode().into_bytes(), write_errors)?;
                 Ok(FrameOutcome::Close)
             }
             Err(e) => {
                 let resp = Response::Error(e);
-                conn.send(&resp.encode().into_bytes())?;
+                send_response(tx, &resp.encode().into_bytes(), write_errors)?;
                 Ok(FrameOutcome::Close)
             }
         },
     }
+}
+
+/// Serves one detached pipelined request and writes its ID-stamped
+/// response through the shared send half. Write failures are counted;
+/// the session's receive path observes the resulting shutdown and
+/// retires the connection.
+fn serve_item(item: &WorkItem, state: &ServerState, write_errors: &Counter) {
+    let (id, response) = match Request::decode_framed(&item.frame) {
+        Ok((meta, req)) => {
+            let id = meta.request_id;
+            (id, handle_request_framed(state, &item.identity, req, &meta))
+        }
+        Err(e) => (peek_request_id(&item.frame), Response::Error(e)),
+    };
+    let _ = send_response(
+        &item.tx,
+        &response.encode_with_id(id).into_bytes(),
+        write_errors,
+    );
 }
 
 /// The flight-recorder sampler thread: every `interval`, publish the
@@ -699,13 +790,16 @@ fn dispatch_loop(pool: &Arc<ConnPool>, shutdown: &Arc<AtomicBool>) {
         let mut still_parked = Vec::with_capacity(parked.len());
         let mut woke = 0usize;
         for mut session in parked {
-            match session.conn.try_recv(Duration::ZERO) {
-                Ok(TryRecv::Frame(frame)) => {
-                    session.pending = Some(frame);
+            // A readiness probe only: the frame stays buffered in the
+            // session's receive half, and the worker that pops the
+            // session reads it — no bytes are read twice and none are
+            // copied out here.
+            match session.rx.poll_ready(Duration::ZERO) {
+                Ok(Readiness::Ready) => {
                     pool.push(session);
                     woke += 1;
                 }
-                Ok(TryRecv::Idle) => {
+                Ok(Readiness::Idle) => {
                     if !pool.idle_timeout.is_zero()
                         && session.last_active.elapsed() >= pool.idle_timeout
                     {
@@ -715,7 +809,7 @@ fn dispatch_loop(pool: &Arc<ConnPool>, shutdown: &Arc<AtomicBool>) {
                         still_parked.push(session);
                     }
                 }
-                Ok(TryRecv::Closed) | Err(_) => pool.release(),
+                Ok(Readiness::Closed) | Err(_) => pool.release(),
             }
         }
         pool.parked
@@ -739,30 +833,48 @@ fn dispatch_loop(pool: &Arc<ConnPool>, shutdown: &Arc<AtomicBool>) {
 /// poller — a lightly loaded server answers ping-pong clients at
 /// thread-per-connection latency.
 fn worker_loop(pool: &Arc<ConnPool>, state: &Arc<ServerState>, shutdown: &Arc<AtomicBool>) {
-    while let Some(mut session) = pool.pop(shutdown) {
+    while let Some(work) = pool.pop(shutdown) {
+        let mut session = match work {
+            Work::Conn(session) => session,
+            Work::Item(item) => {
+                // A detached pipelined request: serve and answer through
+                // the shared send half. Shutdown re-check as below — a
+                // stopping server drops it unanswered.
+                if !shutdown.load(Ordering::SeqCst) {
+                    pool.enter_busy();
+                    serve_item(&item, state, &pool.write_errors);
+                    pool.exit_busy();
+                }
+                continue;
+            }
+        };
         pool.conn_wait
             .record_micros(session.enqueued_at.elapsed().as_micros() as u64);
         // Whether the session survives this service slice.
         let mut keep = true;
         let mut served = 0usize;
-        let mut next = session.pending.take();
         loop {
-            let frame = match next.take() {
-                Some(f) => f,
-                None => {
-                    let wait = if pool.ready_is_empty() {
-                        READ_QUANTUM
-                    } else {
-                        Duration::ZERO
-                    };
-                    match session.conn.try_recv(wait) {
-                        Ok(TryRecv::Frame(f)) => f,
-                        Ok(TryRecv::Idle) => break, // park: poller takes over
-                        Ok(TryRecv::Closed) | Err(_) => {
-                            keep = false;
-                            break;
-                        }
-                    }
+            let wait = if pool.ready_is_empty() {
+                READ_QUANTUM
+            } else {
+                Duration::ZERO
+            };
+            // Disjoint borrows: the frame borrows the receive half's
+            // buffer (no copy) while the send half and identity stay
+            // usable for the reply.
+            let Session {
+                rx,
+                tx,
+                identity,
+                last_active,
+                ..
+            } = &mut session;
+            let frame = match rx.try_recv_ref(wait) {
+                Ok(TryRecvRef::Frame(f)) => f,
+                Ok(TryRecvRef::Idle) => break, // park: poller takes over
+                Ok(TryRecvRef::Closed) | Err(_) => {
+                    keep = false;
+                    break;
                 }
             };
             // Re-check after the read: a server that shut down while this
@@ -774,9 +886,32 @@ fn worker_loop(pool: &Arc<ConnPool>, state: &Arc<ServerState>, shutdown: &Arc<At
                 keep = false;
                 break;
             }
-            session.last_active = Instant::now();
+            *last_active = Instant::now();
+            // An ID-stamped frame from an authenticated client is
+            // detached into its own work unit — that, not this worker's
+            // serial loop, is what lets responses complete out of order
+            // when one request stalls. The copy here is the price of
+            // handing the frame to another thread; legacy frames stay
+            // zero-copy.
+            if let (Some(ident), Some(_)) = (identity.as_ref(), rls_proto::peek_request_id(frame))
+            {
+                pool.pipeline_offloaded.inc();
+                pool.push_item(WorkItem {
+                    frame: frame.to_vec(),
+                    tx: Arc::clone(tx),
+                    identity: ident.clone(),
+                });
+                served += 1;
+                if served >= BURST_LIMIT {
+                    break; // park: fairness across sessions
+                }
+                continue;
+            }
+            if identity.is_some() {
+                pool.pipeline_inline.inc();
+            }
             pool.enter_busy();
-            let outcome = serve_frame(&mut session, &frame, state);
+            let outcome = serve_frame(identity, tx, frame, state, &pool.write_errors);
             pool.exit_busy();
             match outcome {
                 Ok(FrameOutcome::Continue) => {

@@ -497,6 +497,192 @@ fn concurrent_clients_hammer_one_lrc() {
     assert_eq!(stats.adds, 400);
 }
 
+// -- pipelined RPC path (fig07 gap) ------------------------------------------
+
+fn counter(stats: &rls_proto::ServerStatsWire, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn pipelined_window_over_the_wire() {
+    use rls_proto::{Request, Response, PROTOCOL_VERSION_PIPELINED};
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    for i in 0..32 {
+        c.create_mapping(&format!("lfn://pipe/{i}"), &format!("pfn://pipe/{i}"))
+            .unwrap();
+    }
+
+    c.set_pipeline_depth(8).unwrap();
+    let mut expected = Vec::new();
+    for i in 0..32 {
+        let id = c
+            .pipeline_submit(&Request::QueryLfn(format!("lfn://pipe/{i}")))
+            .unwrap();
+        expected.push((id, format!("pfn://pipe/{i}")));
+    }
+    assert_eq!(c.negotiated_protocol(), PROTOCOL_VERSION_PIPELINED);
+    let mut results = c.pipeline_drain().unwrap();
+    assert_eq!(c.pipeline_in_flight(), 0);
+    assert_eq!(results.len(), 32);
+    // Every submitted request resolved exactly once, matched by ID.
+    results.sort_by_key(|(id, _)| *id);
+    expected.sort_by_key(|(id, _)| *id);
+    for ((id, resp), (want_id, want_pfn)) in results.into_iter().zip(expected) {
+        assert_eq!(id, want_id);
+        match resp.unwrap() {
+            Response::Targets(t) => assert_eq!(t, vec![want_pfn]),
+            other => panic!("expected Targets, got {other:?}"),
+        }
+    }
+    // The server answered these off the out-of-order path, and says so.
+    let stats = c.stats().unwrap();
+    assert!(
+        counter(&stats, "net.pipeline.offloaded") >= 32,
+        "offload counter: {stats:?}"
+    );
+}
+
+#[test]
+fn pipeline_depth_one_stays_on_the_legacy_protocol() {
+    use rls_proto::{Request, Response, PROTOCOL_VERSION};
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    let mut c = dep.lrc_client(0).unwrap();
+    // Depth 1 is the default: no negotiation, no ID envelopes, and the
+    // server serves every frame inline (zero-copy), none off the
+    // out-of-order queue.
+    let id = c.pipeline_submit(&Request::Ping).unwrap();
+    let results = c.pipeline_drain().unwrap();
+    assert_eq!(c.negotiated_protocol(), PROTOCOL_VERSION);
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].0, id);
+    assert!(matches!(results[0].1, Ok(Response::Pong)));
+    let stats = c.stats().unwrap();
+    assert_eq!(counter(&stats, "net.pipeline.offloaded"), 0);
+    assert!(counter(&stats, "net.pipeline.inline") >= 1);
+}
+
+#[test]
+fn pipelined_client_replays_in_flight_after_connection_loss() {
+    use rls_proto::{Request, Response};
+    use rls_faults::FaultPlan;
+    use rls_net::{LinkProfile, RetryPolicy};
+    let dep = TestDeployment::builder().lrcs(1).rlis(0).build().unwrap();
+    {
+        let mut seedc = dep.lrc_client(0).unwrap();
+        for i in 0..4 {
+            seedc
+                .create_mapping(&format!("lfn://replay/{i}"), &format!("pfn://replay/{i}"))
+                .unwrap();
+        }
+    }
+    // Seeded plan: the 4th frame this client sends dies mid-wire. Sends
+    // 0 and 1 are the two Hellos (the initial v1 dial, then the v2
+    // renegotiation redial), so index 3 is the second query — it dies
+    // with the window partly in flight.
+    let plan = Arc::new(FaultPlan::builder(0xD1A7).drop_mid_frame("*", 3).build());
+    let policy = RetryPolicy {
+        max_retries: 4,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(20),
+        jitter_pct: 50,
+        connect_timeout: Some(Duration::from_secs(2)),
+        request_timeout: None,
+    };
+    let mut c = RlsClient::connect_with(
+        dep.lrcs[0].addr(),
+        &anon(),
+        LinkProfile::unshaped(),
+        None,
+        policy,
+        Some(plan.clone()),
+        None,
+    )
+    .unwrap();
+    c.set_pipeline_depth(4).unwrap();
+    for i in 0..4 {
+        c.pipeline_submit(&Request::QueryLfn(format!("lfn://replay/{i}")))
+            .unwrap();
+    }
+    let mut results = c.pipeline_drain().unwrap();
+    // The fault fired, the client reconnected, and every in-flight
+    // request still resolved successfully (queries replay cleanly).
+    assert_eq!(plan.stats().dropped(), 1);
+    assert!(c.reconnects_performed() >= 1, "reconnects: {}", c.reconnects_performed());
+    assert_eq!(c.pipeline_replays(), 2, "one in flight plus the dying frame");
+    assert_eq!(results.len(), 4);
+    results.sort_by_key(|(id, _)| *id);
+    for (i, (id, resp)) in results.into_iter().enumerate() {
+        assert_eq!(id, i as u64 + 1);
+        match resp.unwrap() {
+            Response::Targets(t) => assert_eq!(t, vec![format!("pfn://replay/{i}")]),
+            other => panic!("expected Targets, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn pipelined_client_falls_back_against_v1_only_peer() {
+    use rls_net::Listener;
+    use rls_proto::{Request, Response, PROTOCOL_VERSION};
+    // A peer that speaks only the original protocol: acks v1 Hellos,
+    // rejects anything newer the way the pre-pipelining server did, and
+    // then answers legacy (un-stamped) requests in lockstep.
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            while let Ok(Some(frame)) = conn.recv() {
+                let Ok((meta, req)) = Request::decode_framed(&frame) else { break };
+                assert!(
+                    meta.request_id.is_none(),
+                    "client leaked an ID envelope to an old peer"
+                );
+                let resp = match req {
+                    Request::Hello { version, .. } if version == PROTOCOL_VERSION => {
+                        Response::HelloAck {
+                            server_version: "2.0.9-legacy".into(),
+                            is_lrc: true,
+                            is_rli: false,
+                            protocol: PROTOCOL_VERSION,
+                        }
+                    }
+                    Request::Hello { version, .. } => Response::Error(
+                        rls_types::RlsError::protocol(format!(
+                            "unsupported protocol version {version}"
+                        )),
+                    ),
+                    _ => Response::Pong,
+                };
+                if conn.send(&resp.encode().into_bytes()).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+
+    let mut c = RlsClient::connect(addr, &anon()).unwrap();
+    // Asking for a deeper window renegotiates on the next call; the old
+    // peer refuses the pipelined protocol and the client falls back to
+    // lockstep transparently — the calls still succeed.
+    c.set_pipeline_depth(8).unwrap();
+    let a = c.pipeline_submit(&Request::Ping).unwrap();
+    let b = c.pipeline_submit(&Request::Ping).unwrap();
+    let results = c.pipeline_drain().unwrap();
+    assert_eq!(c.negotiated_protocol(), PROTOCOL_VERSION, "clamped to v1");
+    assert_eq!(c.pipeline_depth(), 8, "configured depth survives the clamp");
+    let ids: Vec<u64> = results.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![a, b]);
+    for (_, resp) in results {
+        assert!(matches!(resp.unwrap(), Response::Pong));
+    }
+}
+
 #[test]
 fn stale_read_window_and_refresh() {
     // A client may see stale RLI info between updates (§3.2): deleted

@@ -1,16 +1,43 @@
 //! Framed, optionally-shaped connections.
+//!
+//! A [`Conn`] is the composition of a [`RecvHalf`] and a [`SendHalf`] over
+//! one TCP stream. The halves can be borrowed disjointly
+//! ([`Conn::halves`]) or split into owned handles ([`Conn::split`]), which
+//! is what lets a pipelining client keep sending while earlier responses
+//! are still in flight, and lets the server answer one connection's
+//! requests from several workers (the send half behind a lock) while the
+//! receive half stays with the readiness poller.
+//!
+//! The receive path is allocation-free in steady state: frames are
+//! decoded as `&[u8]` borrows out of a per-connection buffer
+//! ([`RecvHalf::try_recv_ref`]), and the buffer's retained capacity is
+//! capped once it drains ([`RX_RETAIN_CAP`]) so a one-off bulk frame does
+//! not pin its high-water mark forever. The send path coalesces the
+//! length prefix and body into a single `write_vectored` call with a
+//! short-write continuation loop.
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rls_proto::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use parking_lot::Mutex;
+use rls_proto::DEFAULT_MAX_FRAME;
 use rls_types::{ErrorCode, RlsError, RlsResult};
 
 use crate::fault::{FaultDecision, FaultHook};
 use crate::shaper::{sleep_until, ConnCursor, LinkProfile, SharedIngress};
+
+/// Chunk size for speculative socket reads when the next frame's length
+/// is not yet known (or to over-read into back-to-back frames).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Retained receive-buffer capacity after the buffer drains. A frame
+/// larger than this grows the buffer for as long as it is being
+/// assembled, but the excess is released at the next receive call once
+/// every buffered byte has been consumed.
+pub const RX_RETAIN_CAP: usize = 64 * 1024;
 
 /// Byte and frame counters shared across connections.
 ///
@@ -25,6 +52,9 @@ pub struct ConnMeter {
     bytes_out: AtomicU64,
     frames_in: AtomicU64,
     frames_out: AtomicU64,
+    tx_writev: AtomicU64,
+    tx_writev_resumes: AtomicU64,
+    tx_errors: AtomicU64,
 }
 
 impl ConnMeter {
@@ -53,6 +83,24 @@ impl ConnMeter {
         self.frames_out.load(Ordering::Relaxed)
     }
 
+    /// Total `write_vectored` syscalls issued on the send path.
+    pub fn tx_writev(&self) -> u64 {
+        self.tx_writev.load(Ordering::Relaxed)
+    }
+
+    /// Continuation iterations of the vectored-write loop: short writes
+    /// and `EWOULDBLOCK` retries that needed a second (or later) syscall
+    /// to finish a frame. `tx_writev == frames_out` and zero resumes is
+    /// the ideal one-syscall-per-frame steady state.
+    pub fn tx_writev_resumes(&self) -> u64 {
+        self.tx_writev_resumes.load(Ordering::Relaxed)
+    }
+
+    /// Hard send errors (the connection is closed and poisoned).
+    pub fn tx_errors(&self) -> u64 {
+        self.tx_errors.load(Ordering::Relaxed)
+    }
+
     fn on_recv(&self, wire_bytes: u64) {
         self.bytes_in.fetch_add(wire_bytes, Ordering::Relaxed);
         self.frames_in.fetch_add(1, Ordering::Relaxed);
@@ -64,144 +112,87 @@ impl ConnMeter {
     }
 }
 
-/// A framed connection, optionally shaped by a [`LinkProfile`] and charged
-/// against a [`SharedIngress`] pool.
+/// The receive side of a connection: a buffered, resumable frame reader.
 ///
-/// Shaping is applied on the *initiating* side of each frame: `send`
-/// charges half the RTT plus serialization delay (per-connection and, if
-/// configured, shared-ingress) before the bytes hit the socket; `recv`
-/// charges half the RTT plus serialization delay for the received bytes
-/// after they arrive. End-to-end request/response latency observed by a
-/// shaped client therefore includes one full RTT plus both directions'
-/// transfer time — what the paper's measurements see.
-pub struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+/// Frames are returned as borrows out of the internal buffer
+/// ([`RecvHalf::try_recv_ref`], [`RecvHalf::recv_ref`]) — no per-frame
+/// allocation. The compatibility methods ([`RecvHalf::try_recv`],
+/// [`RecvHalf::recv`]) copy into a `Vec` for callers that need ownership.
+pub struct RecvHalf {
+    stream: TcpStream,
     profile: LinkProfile,
-    ingress: Option<SharedIngress>,
-    cursor: ConnCursor,
+    cursor: Arc<Mutex<ConnCursor>>,
     max_frame: usize,
     peer: SocketAddr,
     peer_label: String,
     meter: Option<Arc<ConnMeter>>,
     hook: Option<Arc<dyn FaultHook>>,
-    /// Partial-frame accumulator for [`Conn::try_recv`]: raw wire bytes
-    /// (length prefix included) carried across calls that time out
-    /// mid-frame.
-    rx_buf: Vec<u8>,
-    /// Cached `SO_RCVTIMEO` so [`Conn::try_recv`] only issues the
-    /// `setsockopt` when the requested wait actually changes.
+    /// Receive window: `buf[start..end]` holds unconsumed wire bytes.
+    /// The buffer's len tracks its capacity (bytes past `end` are
+    /// uninitialized garbage from the reader's point of view).
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    /// Cached socket read mode so mode changes only issue a syscall on
+    /// transitions: `Some(ZERO)` is `O_NONBLOCK`, `Some(d)` is blocking
+    /// with `SO_RCVTIMEO d`, `None` is plain blocking.
     rx_timeout: Option<Duration>,
 }
 
-impl std::fmt::Debug for Conn {
+impl std::fmt::Debug for RecvHalf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Conn")
+        f.debug_struct("RecvHalf")
             .field("peer", &self.peer)
-            .field("profile", &self.profile)
+            .field("buffered", &(self.end - self.start))
             .finish_non_exhaustive()
     }
 }
 
-impl Conn {
-    fn from_stream(
-        stream: TcpStream,
-        profile: LinkProfile,
-        ingress: Option<SharedIngress>,
-        max_frame: usize,
-    ) -> RlsResult<Self> {
-        stream.set_nodelay(true)?;
-        let peer = stream.peer_addr()?;
-        let reader = BufReader::with_capacity(64 * 1024, stream.try_clone()?);
-        let writer = BufWriter::with_capacity(64 * 1024, stream);
-        Ok(Self {
-            reader,
-            writer,
-            profile,
-            ingress,
-            cursor: ConnCursor::new(),
-            max_frame,
-            peer,
-            peer_label: peer.to_string(),
-            meter: None,
-            hook: None,
-            rx_buf: Vec::new(),
-            rx_timeout: None,
-        })
-    }
+/// Readiness of a connection as seen by [`RecvHalf::poll_ready`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Readiness {
+    /// A complete frame is buffered; a receive call will not block.
+    Ready,
+    /// No complete frame arrived within the wait.
+    Idle,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+}
 
+/// Outcome of one [`RecvHalf::try_recv_ref`] attempt: like [`TryRecv`]
+/// but the frame borrows the connection's receive buffer.
+#[derive(Debug)]
+pub enum TryRecvRef<'a> {
+    /// A complete frame arrived; valid until the next receive call.
+    Frame(&'a [u8]),
+    /// Nothing (or only part of a frame) arrived within the wait; the
+    /// partial bytes are buffered and a later call resumes the read.
+    Idle,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+}
+
+impl RecvHalf {
     /// The remote address.
     pub fn peer_addr(&self) -> SocketAddr {
         self.peer
     }
 
-    /// Replaces the link profile (tests / reconfiguration).
-    pub fn set_profile(&mut self, profile: LinkProfile) {
-        self.profile = profile;
-    }
-
-    /// Attaches a shared ingress pool charged on every `send`.
-    pub fn set_ingress(&mut self, ingress: SharedIngress) {
-        self.ingress = Some(ingress);
-    }
-
-    /// Attaches a traffic meter; every subsequent frame is counted.
-    pub fn set_meter(&mut self, meter: Arc<ConnMeter>) {
-        self.meter = Some(meter);
+    /// Current receive-buffer capacity (regression surface for the
+    /// retained-capacity cap).
+    pub fn rx_capacity(&self) -> usize {
+        self.buf.len()
     }
 
     /// Sets a read timeout on the underlying socket. Clears any
-    /// non-blocking mode a zero-wait [`Conn::try_recv`] left behind.
+    /// non-blocking mode a zero-wait probe left behind.
     pub fn set_read_timeout(&mut self, d: Option<Duration>) -> RlsResult<()> {
         if self.rx_timeout == Some(Duration::ZERO) {
-            self.reader.get_ref().set_nonblocking(false)?;
+            self.stream.set_nonblocking(false)?;
         }
-        self.reader.get_ref().set_read_timeout(d)?;
+        self.stream.set_read_timeout(d)?;
         self.rx_timeout = d;
         Ok(())
-    }
-
-    /// Attaches a fault-injection hook consulted around every frame.
-    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
-        self.hook = Some(hook);
-    }
-
-    /// Acts on a hook decision for the send path. `Ok(true)` means the
-    /// frame was consumed by the fault (caller must not send it).
-    fn apply_send_fault(&mut self, body: &[u8]) -> RlsResult<()> {
-        let Some(hook) = &self.hook else { return Ok(()) };
-        match hook.on_send(&self.peer_label, body.len() + 4) {
-            FaultDecision::Allow => Ok(()),
-            FaultDecision::Delay(d) => {
-                std::thread::sleep(d);
-                Ok(())
-            }
-            FaultDecision::Refuse => Err(RlsError::new(
-                ErrorCode::Io,
-                format!("injected send failure to {}", self.peer_label),
-            )),
-            FaultDecision::DropMidFrame => {
-                // Write the length prefix plus half the body, then sever the
-                // connection: the peer observes a truncated frame (protocol
-                // error), the sender an I/O failure — a crash mid-update.
-                let len = body.len() as u32;
-                let _ = self.writer.write_all(&len.to_le_bytes());
-                let _ = self.writer.write_all(&body[..body.len() / 2]);
-                let _ = self.writer.flush();
-                self.shutdown();
-                Err(RlsError::new(
-                    ErrorCode::Io,
-                    format!("injected mid-frame disconnect to {}", self.peer_label),
-                ))
-            }
-            FaultDecision::Stall(d) => {
-                std::thread::sleep(d);
-                Err(RlsError::new(
-                    ErrorCode::Timeout,
-                    format!("injected send stall to {}", self.peer_label),
-                ))
-            }
-        }
     }
 
     /// Acts on a hook decision for the receive path.
@@ -227,80 +218,33 @@ impl Conn {
         }
     }
 
-    fn shape_outbound(&mut self, bytes: usize) {
-        if self.profile.is_unshaped() && self.ingress.is_none() {
-            return;
-        }
-        // Serialization first (per-connection NIC, then the shared server
-        // ingress link), then propagation (half the RTT) on top — the
-        // components of one-way delivery are sequential.
-        let mut serialized = self.cursor.acquire(&self.profile, bytes);
-        if let Some(pool) = &self.ingress {
-            serialized = serialized.max(pool.acquire(bytes));
-        }
-        sleep_until(serialized + self.profile.rtt / 2);
-    }
-
     fn shape_inbound(&mut self, bytes: usize) {
         if self.profile.is_unshaped() {
             return;
         }
-        let serialized = self.cursor.acquire(&self.profile, bytes);
+        let serialized = self.cursor.lock().acquire(&self.profile, bytes);
         sleep_until(serialized + self.profile.rtt / 2);
     }
 
-    /// Sends one frame.
-    pub fn send(&mut self, body: &[u8]) -> RlsResult<()> {
-        self.apply_send_fault(body)?;
-        self.shape_outbound(body.len() + 4);
-        write_frame(&mut self.writer, body)?;
-        self.writer.flush()?;
-        if let Some(meter) = &self.meter {
-            meter.on_send(body.len() as u64 + 4);
-        }
-        Ok(())
-    }
-
-    /// Receives one frame; `None` on clean EOF.
-    pub fn recv(&mut self) -> RlsResult<Option<Vec<u8>>> {
-        self.apply_recv_fault()?;
-        let frame = read_frame(&mut self.reader, self.max_frame)?;
-        if let Some(body) = &frame {
-            self.shape_inbound(body.len() + 4);
-            if let Some(meter) = &self.meter {
-                meter.on_recv(body.len() as u64 + 4);
+    /// Releases excess retained capacity once the buffer has fully
+    /// drained. Deferred to the entry of the next receive call because
+    /// the previous call's frame borrow may still be alive until then.
+    fn release_excess(&mut self) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            if self.buf.len() > RX_RETAIN_CAP {
+                self.buf = vec![0u8; RX_RETAIN_CAP];
             }
         }
-        Ok(frame)
     }
 
-    /// Attempts to receive one frame, waiting at most `wait` for bytes to
-    /// arrive. The read is **resumable**: a frame that is only partially
-    /// on the wire when the wait expires is buffered and completed by a
-    /// later call, so a worker pool can time-slice many connections
-    /// without losing mid-frame bytes.
-    ///
-    /// A connection driven by `try_recv` must stay on `try_recv`:
-    /// [`Conn::recv`] reads the socket directly and would corrupt a
-    /// partially-buffered frame. Fault hooks are *not* consulted here —
-    /// this is the server-side read path, and hooks are an initiator-side
-    /// (client) surface.
-    ///
-    /// `wait == 0` is a true non-blocking probe (`O_NONBLOCK`, not
-    /// `SO_RCVTIMEO`): it returns immediately with whatever is buffered,
-    /// which is what a readiness poller sweeping hundreds of parked
-    /// connections needs. Because `O_NONBLOCK` also covers the write half,
-    /// the socket is switched back to blocking before a completed frame is
-    /// returned — the caller's next move is sending a response, and a
-    /// short-write on a full send buffer must block, not error.
-    pub fn try_recv(&mut self, wait: Duration) -> RlsResult<TryRecv> {
-        use std::io::Read;
-        // The rx_timeout cache encodes the socket mode: `Some(ZERO)` is
-        // non-blocking, `Some(d)` is blocking with SO_RCVTIMEO d, `None`
-        // is plain blocking. Only issue syscalls on transitions.
+    /// Switches the socket read mode for a bounded wait (see the
+    /// `rx_timeout` field for the encoding).
+    fn set_mode(&mut self, wait: Duration) -> RlsResult<()> {
         if wait.is_zero() {
             if self.rx_timeout != Some(Duration::ZERO) {
-                self.reader.get_ref().set_nonblocking(true)?;
+                self.stream.set_nonblocking(true)?;
                 self.rx_timeout = Some(Duration::ZERO);
             }
         } else {
@@ -308,62 +252,565 @@ impl Conn {
             let wait = wait.max(Duration::from_millis(1));
             if self.rx_timeout != Some(wait) {
                 if self.rx_timeout == Some(Duration::ZERO) {
-                    self.reader.get_ref().set_nonblocking(false)?;
+                    self.stream.set_nonblocking(false)?;
                 }
-                self.reader.get_ref().set_read_timeout(Some(wait))?;
+                self.stream.set_read_timeout(Some(wait))?;
                 self.rx_timeout = Some(wait);
             }
         }
+        Ok(())
+    }
+
+    /// Leaves the socket blocking: after a completed frame the caller's
+    /// next move is usually sending a response, and a short write on a
+    /// full send buffer must block, not error (`O_NONBLOCK` covers the
+    /// write half of the shared socket too).
+    fn restore_blocking(&mut self) -> RlsResult<()> {
+        if self.rx_timeout == Some(Duration::ZERO) {
+            self.stream.set_nonblocking(false)?;
+            self.stream.set_read_timeout(None)?;
+            self.rx_timeout = None;
+        }
+        Ok(())
+    }
+
+    /// Checks whether a complete frame is buffered, validating the
+    /// claimed length against the frame cap as soon as the header is
+    /// visible — *before* any buffer space is reserved for the body, so
+    /// a hostile 4-byte header can never drive a large allocation.
+    /// Returns the body's `(start, end)` window without consuming it.
+    fn buffered_frame(&self) -> RlsResult<Option<(usize, usize)>> {
+        let avail = self.end - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if len > self.max_frame {
+            return Err(RlsError::new(
+                ErrorCode::ResourceLimit,
+                format!("frame of {len} bytes exceeds cap of {}", self.max_frame),
+            ));
+        }
+        if avail >= 4 + len {
+            Ok(Some((self.start + 4, self.start + 4 + len)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Makes room to read more bytes: enough for the current frame's
+    /// validated remainder (plus a chunk of over-read for back-to-back
+    /// frames), compacting the window to the buffer's front first so a
+    /// long-lived connection reuses the same allocation.
+    fn reserve_for_read(&mut self) {
+        let avail = self.end - self.start;
+        let needed = if avail >= 4 {
+            // `buffered_frame` already validated this length against the
+            // cap before we got here.
+            let len = u32::from_le_bytes(
+                self.buf[self.start..self.start + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            ) as usize;
+            (4 + len).saturating_sub(avail)
+        } else {
+            READ_CHUNK
+        };
+        let want = needed.max(READ_CHUNK);
+        if self.buf.len() - self.end >= want {
+            return;
+        }
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() - self.end < want {
+            self.buf.resize(self.end + want, 0);
+        }
+    }
+
+    /// Consumes the buffered frame at `(bs, be)`: advances the window,
+    /// applies shaping and metering, restores blocking mode, and returns
+    /// the borrow.
+    fn take_frame(&mut self, bs: usize, be: usize) -> RlsResult<&[u8]> {
+        let len = be - bs;
+        self.start = be;
+        self.shape_inbound(len + 4);
+        if let Some(meter) = &self.meter {
+            meter.on_recv(len as u64 + 4);
+        }
+        self.restore_blocking()?;
+        Ok(&self.buf[bs..be])
+    }
+
+    /// Attempts to receive one frame as a borrow of the connection's
+    /// receive buffer, waiting at most `wait` for bytes to arrive. The
+    /// read is **resumable**: a frame that is only partially on the wire
+    /// when the wait expires stays buffered and is completed by a later
+    /// call, so a worker pool can time-slice many connections without
+    /// losing mid-frame bytes.
+    ///
+    /// `wait == 0` is a true non-blocking probe (`O_NONBLOCK`, not
+    /// `SO_RCVTIMEO`): it returns immediately with whatever is buffered,
+    /// which is what a readiness poller sweeping hundreds of parked
+    /// connections needs. The socket is switched back to blocking before
+    /// a completed frame is returned.
+    ///
+    /// Fault hooks are *not* consulted here — this is the server-side
+    /// read path, and hooks are an initiator-side (client) surface.
+    pub fn try_recv_ref(&mut self, wait: Duration) -> RlsResult<TryRecvRef<'_>> {
+        self.release_excess();
+        self.set_mode(wait)?;
         loop {
-            // A completed frame may already be buffered (the previous read
-            // can over-read into the next frame); drain it without
-            // touching the socket.
-            if self.rx_buf.len() >= 4 {
-                let len =
-                    u32::from_le_bytes(self.rx_buf[..4].try_into().expect("4 bytes")) as usize;
-                if len > self.max_frame {
-                    return Err(RlsError::new(
-                        ErrorCode::ResourceLimit,
-                        format!("frame of {len} bytes exceeds cap of {}", self.max_frame),
-                    ));
-                }
-                if self.rx_buf.len() >= 4 + len {
-                    let body = self.rx_buf[4..4 + len].to_vec();
-                    self.rx_buf.drain(..4 + len);
-                    self.shape_inbound(len + 4);
-                    if let Some(meter) = &self.meter {
-                        meter.on_recv(len as u64 + 4);
-                    }
-                    // Leave the socket blocking: the caller's response
-                    // send must not see O_NONBLOCK short writes.
-                    if self.rx_timeout == Some(Duration::ZERO) {
-                        self.reader.get_ref().set_nonblocking(false)?;
-                        self.reader.get_ref().set_read_timeout(None)?;
-                        self.rx_timeout = None;
-                    }
-                    return Ok(TryRecv::Frame(body));
-                }
+            if let Some((bs, be)) = self.buffered_frame()? {
+                let frame = self.take_frame(bs, be)?;
+                return Ok(TryRecvRef::Frame(frame));
             }
-            let mut tmp = [0u8; 16 * 1024];
-            match self.reader.read(&mut tmp) {
+            self.reserve_for_read();
+            let end = self.end;
+            match self.stream.read(&mut self.buf[end..]) {
                 Ok(0) => {
-                    return if self.rx_buf.is_empty() {
-                        Ok(TryRecv::Closed)
+                    return if self.start == self.end {
+                        Ok(TryRecvRef::Closed)
                     } else {
                         Err(RlsError::protocol("connection closed mid-frame"))
                     };
                 }
-                Ok(n) => self.rx_buf.extend_from_slice(&tmp[..n]),
+                Ok(n) => self.end += n,
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return Ok(TryRecv::Idle);
+                    return Ok(TryRecvRef::Idle);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Owned-copy variant of [`RecvHalf::try_recv_ref`] for callers that
+    /// need the frame to outlive the connection borrow.
+    pub fn try_recv(&mut self, wait: Duration) -> RlsResult<TryRecv> {
+        Ok(match self.try_recv_ref(wait)? {
+            TryRecvRef::Frame(f) => TryRecv::Frame(f.to_vec()),
+            TryRecvRef::Idle => TryRecv::Idle,
+            TryRecvRef::Closed => TryRecv::Closed,
+        })
+    }
+
+    /// Probes whether a complete frame is buffered, filling the receive
+    /// buffer from the socket but **not** consuming the frame (and not
+    /// charging shaping or metering — those happen when the frame is
+    /// actually received). This is the readiness poller's sweep
+    /// primitive: a `Ready` connection can be handed to a worker whose
+    /// receive call is then guaranteed not to block.
+    pub fn poll_ready(&mut self, wait: Duration) -> RlsResult<Readiness> {
+        self.release_excess();
+        self.set_mode(wait)?;
+        loop {
+            if self.buffered_frame()?.is_some() {
+                return Ok(Readiness::Ready);
+            }
+            self.reserve_for_read();
+            let end = self.end;
+            match self.stream.read(&mut self.buf[end..]) {
+                Ok(0) => {
+                    return if self.start == self.end {
+                        Ok(Readiness::Closed)
+                    } else {
+                        Err(RlsError::protocol("connection closed mid-frame"))
+                    };
+                }
+                Ok(n) => self.end += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Readiness::Idle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Receives one frame as a borrow, blocking (subject to any
+    /// configured read timeout); `None` on clean EOF. Like the classic
+    /// blocking reader, EOF inside a partial length prefix counts as
+    /// EOF-at-boundary; EOF inside a frame body is a protocol error.
+    pub fn recv_ref(&mut self) -> RlsResult<Option<&[u8]>> {
+        self.apply_recv_fault()?;
+        self.release_excess();
+        // A zero-wait probe may have left the socket non-blocking; a
+        // plain recv must block (honoring a user-set read timeout).
+        if self.rx_timeout == Some(Duration::ZERO) {
+            self.stream.set_nonblocking(false)?;
+            self.stream.set_read_timeout(None)?;
+            self.rx_timeout = None;
+        }
+        loop {
+            if let Some((bs, be)) = self.buffered_frame()? {
+                let frame = self.take_frame(bs, be)?;
+                return Ok(Some(frame));
+            }
+            self.reserve_for_read();
+            let end = self.end;
+            match self.stream.read(&mut self.buf[end..]) {
+                Ok(0) => {
+                    return if self.end - self.start < 4 {
+                        Ok(None)
+                    } else {
+                        Err(RlsError::protocol(
+                            "frame body truncated: connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.end += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Receives one frame as an owned copy; `None` on clean EOF.
+    pub fn recv(&mut self) -> RlsResult<Option<Vec<u8>>> {
+        Ok(self.recv_ref()?.map(|f| f.to_vec()))
+    }
+}
+
+/// The send side of a connection: vectored frame writes.
+///
+/// A send error marks the half **poisoned** — the stream position is
+/// unknown after a short write, so every subsequent send fails fast and
+/// the socket is shut down (both directions, so the peer and any poller
+/// on the receive half observe the closure deterministically).
+pub struct SendHalf {
+    stream: TcpStream,
+    profile: LinkProfile,
+    ingress: Option<SharedIngress>,
+    cursor: Arc<Mutex<ConnCursor>>,
+    peer: SocketAddr,
+    peer_label: String,
+    meter: Option<Arc<ConnMeter>>,
+    hook: Option<Arc<dyn FaultHook>>,
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for SendHalf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SendHalf")
+            .field("peer", &self.peer)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SendHalf {
+    /// The remote address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Whether a previous send failed mid-frame (the connection is dead).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Acts on a hook decision for the send path.
+    fn apply_send_fault(&mut self, body: &[u8]) -> RlsResult<()> {
+        let Some(hook) = &self.hook else { return Ok(()) };
+        match hook.on_send(&self.peer_label, body.len() + 4) {
+            FaultDecision::Allow => Ok(()),
+            FaultDecision::Delay(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            FaultDecision::Refuse => Err(RlsError::new(
+                ErrorCode::Io,
+                format!("injected send failure to {}", self.peer_label),
+            )),
+            FaultDecision::DropMidFrame => {
+                // Write the length prefix plus half the body, then sever the
+                // connection: the peer observes a truncated frame (protocol
+                // error), the sender an I/O failure — a crash mid-update.
+                // Write errors here are irrelevant: the injected outcome is
+                // an unconditional failure either way.
+                let len = body.len() as u32;
+                let _ = self.stream.write_all(&len.to_le_bytes());
+                let _ = self.stream.write_all(&body[..body.len() / 2]);
+                self.poisoned = true;
+                self.shutdown();
+                Err(RlsError::new(
+                    ErrorCode::Io,
+                    format!("injected mid-frame disconnect to {}", self.peer_label),
+                ))
+            }
+            FaultDecision::Stall(d) => {
+                std::thread::sleep(d);
+                Err(RlsError::new(
+                    ErrorCode::Timeout,
+                    format!("injected send stall to {}", self.peer_label),
+                ))
+            }
+        }
+    }
+
+    fn shape_outbound(&mut self, bytes: usize) {
+        if self.profile.is_unshaped() && self.ingress.is_none() {
+            return;
+        }
+        // Serialization first (per-connection NIC, then the shared server
+        // ingress link), then propagation (half the RTT) on top — the
+        // components of one-way delivery are sequential.
+        let mut serialized = self.cursor.lock().acquire(&self.profile, bytes);
+        if let Some(pool) = &self.ingress {
+            serialized = serialized.max(pool.acquire(bytes));
+        }
+        sleep_until(serialized + self.profile.rtt / 2);
+    }
+
+    /// Writes one frame as a single vectored write (header + body in one
+    /// syscall in the common case), with a continuation loop for short
+    /// writes. `EWOULDBLOCK` (possible when a zero-wait probe on the
+    /// shared socket's receive half has set `O_NONBLOCK`) backs off
+    /// briefly and resumes — a partially-written frame must always be
+    /// finished or the stream is desynchronized.
+    fn write_frame_vectored(&mut self, body: &[u8]) -> std::io::Result<()> {
+        let header = u32::try_from(body.len())
+            .map_err(|_| std::io::Error::other("frame body exceeds u32 length"))?
+            .to_le_bytes();
+        let total = 4 + body.len();
+        let mut written = 0usize;
+        let mut calls = 0u64;
+        let mut resumes = 0u64;
+        let result = loop {
+            let bufs = if written < 4 {
+                [IoSlice::new(&header[written..]), IoSlice::new(body)]
+            } else {
+                [IoSlice::new(&body[written - 4..]), IoSlice::new(&[])]
+            };
+            match self.stream.write_vectored(&bufs) {
+                Ok(0) => break Err(std::io::Error::from(std::io::ErrorKind::WriteZero)),
+                Ok(n) => {
+                    calls += 1;
+                    written += n;
+                    if written >= total {
+                        break Ok(());
+                    }
+                    resumes += 1;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    resumes += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        if let Some(meter) = &self.meter {
+            meter.tx_writev.fetch_add(calls, Ordering::Relaxed);
+            meter.tx_writev_resumes.fetch_add(resumes, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Sends one frame. Errors are never silent: a failure (including a
+    /// short write that could not be continued) poisons the half, shuts
+    /// the socket down, and counts in the meter's `tx_errors` — the
+    /// stream cannot be trusted after a partial frame.
+    pub fn send(&mut self, body: &[u8]) -> RlsResult<()> {
+        if self.poisoned {
+            return Err(RlsError::new(
+                ErrorCode::Io,
+                format!("connection to {} poisoned by an earlier send error", self.peer_label),
+            ));
+        }
+        self.apply_send_fault(body)?;
+        self.shape_outbound(body.len() + 4);
+        if let Err(e) = self.write_frame_vectored(body) {
+            self.poisoned = true;
+            if let Some(meter) = &self.meter {
+                meter.tx_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            self.shutdown();
+            return Err(e.into());
+        }
+        if let Some(meter) = &self.meter {
+            meter.on_send(body.len() as u64 + 4);
+        }
+        Ok(())
+    }
+
+    /// Shuts down both directions, signalling EOF to the peer (and to
+    /// any poller holding this connection's receive half).
+    pub fn shutdown(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A framed connection, optionally shaped by a [`LinkProfile`] and charged
+/// against a [`SharedIngress`] pool.
+///
+/// Shaping is applied on the *initiating* side of each frame: `send`
+/// charges half the RTT plus serialization delay (per-connection and, if
+/// configured, shared-ingress) before the bytes hit the socket; `recv`
+/// charges half the RTT plus serialization delay for the received bytes
+/// after they arrive. End-to-end request/response latency observed by a
+/// shaped client therefore includes one full RTT plus both directions'
+/// transfer time — what the paper's measurements see. Both halves meter
+/// their serialization delay against one shared cursor, so pipelined
+/// sends and receives queue behind each other as on a real link.
+pub struct Conn {
+    rx: RecvHalf,
+    tx: SendHalf,
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn")
+            .field("peer", &self.rx.peer)
+            .field("profile", &self.rx.profile)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Conn {
+    fn from_stream(
+        stream: TcpStream,
+        profile: LinkProfile,
+        ingress: Option<SharedIngress>,
+        max_frame: usize,
+    ) -> RlsResult<Self> {
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        let peer_label = peer.to_string();
+        let cursor = Arc::new(Mutex::new(ConnCursor::new()));
+        let rx = RecvHalf {
+            stream: stream.try_clone()?,
+            profile,
+            cursor: Arc::clone(&cursor),
+            max_frame,
+            peer,
+            peer_label: peer_label.clone(),
+            meter: None,
+            hook: None,
+            buf: Vec::new(),
+            start: 0,
+            end: 0,
+            rx_timeout: None,
+        };
+        let tx = SendHalf {
+            stream,
+            profile,
+            ingress,
+            cursor,
+            peer,
+            peer_label,
+            meter: None,
+            hook: None,
+            poisoned: false,
+        };
+        Ok(Self { rx, tx })
+    }
+
+    /// The remote address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.rx.peer
+    }
+
+    /// Replaces the link profile (tests / reconfiguration).
+    pub fn set_profile(&mut self, profile: LinkProfile) {
+        self.rx.profile = profile;
+        self.tx.profile = profile;
+    }
+
+    /// Attaches a shared ingress pool charged on every `send`.
+    pub fn set_ingress(&mut self, ingress: SharedIngress) {
+        self.tx.ingress = Some(ingress);
+    }
+
+    /// Attaches a traffic meter; every subsequent frame is counted.
+    pub fn set_meter(&mut self, meter: Arc<ConnMeter>) {
+        self.rx.meter = Some(Arc::clone(&meter));
+        self.tx.meter = Some(meter);
+    }
+
+    /// Sets a read timeout on the underlying socket. Clears any
+    /// non-blocking mode a zero-wait [`Conn::try_recv`] left behind.
+    pub fn set_read_timeout(&mut self, d: Option<Duration>) -> RlsResult<()> {
+        self.rx.set_read_timeout(d)
+    }
+
+    /// Attaches a fault-injection hook consulted around every frame.
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.rx.hook = Some(Arc::clone(&hook));
+        self.tx.hook = Some(hook);
+    }
+
+    /// Current receive-buffer capacity (regression surface for the
+    /// retained-capacity cap).
+    pub fn rx_capacity(&self) -> usize {
+        self.rx.rx_capacity()
+    }
+
+    /// Borrows the two halves disjointly, so a caller can hold a
+    /// borrowed frame from the receive half while sending on the send
+    /// half (the pipelined client's steady state).
+    pub fn halves(&mut self) -> (&mut RecvHalf, &mut SendHalf) {
+        (&mut self.rx, &mut self.tx)
+    }
+
+    /// Splits into owned halves. The server uses this to park the
+    /// receive half with the readiness poller while response writers
+    /// share the send half behind a lock.
+    pub fn split(self) -> (RecvHalf, SendHalf) {
+        (self.rx, self.tx)
+    }
+
+    /// Reassembles a connection from its halves (they must come from the
+    /// same [`Conn::split`] — pairing halves of different connections
+    /// would cross-wire streams).
+    pub fn join(rx: RecvHalf, tx: SendHalf) -> Self {
+        Self { rx, tx }
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, body: &[u8]) -> RlsResult<()> {
+        self.tx.send(body)
+    }
+
+    /// Receives one frame; `None` on clean EOF.
+    pub fn recv(&mut self) -> RlsResult<Option<Vec<u8>>> {
+        self.rx.recv()
+    }
+
+    /// Receives one frame as a borrow of the connection's receive
+    /// buffer; `None` on clean EOF. The borrow is valid until the next
+    /// receive or request call.
+    pub fn recv_ref(&mut self) -> RlsResult<Option<&[u8]>> {
+        self.rx.recv_ref()
+    }
+
+    /// Attempts to receive one frame, waiting at most `wait`; see
+    /// [`RecvHalf::try_recv_ref`] for semantics. This owned-copy variant
+    /// is kept for callers that need the frame to outlive the borrow.
+    pub fn try_recv(&mut self, wait: Duration) -> RlsResult<TryRecv> {
+        self.rx.try_recv(wait)
+    }
+
+    /// Attempts to receive one frame as a borrow; see
+    /// [`RecvHalf::try_recv_ref`].
+    pub fn try_recv_ref(&mut self, wait: Duration) -> RlsResult<TryRecvRef<'_>> {
+        self.rx.try_recv_ref(wait)
     }
 
     /// Request/response exchange.
@@ -373,10 +820,18 @@ impl Conn {
             .ok_or_else(|| RlsError::protocol("connection closed awaiting response"))
     }
 
-    /// Shuts down the write half, signalling EOF to the peer.
+    /// Request/response exchange returning the response as a borrow of
+    /// the connection's receive buffer (no per-response allocation).
+    pub fn request_ref(&mut self, body: &[u8]) -> RlsResult<&[u8]> {
+        self.tx.send(body)?;
+        self.rx
+            .recv_ref()?
+            .ok_or_else(|| RlsError::protocol("connection closed awaiting response"))
+    }
+
+    /// Shuts down the connection, signalling EOF to the peer.
     pub fn shutdown(&mut self) {
-        let _ = self.writer.flush();
-        let _ = self.writer.get_ref().shutdown(std::net::Shutdown::Both);
+        self.tx.shutdown();
     }
 }
 
@@ -536,11 +991,19 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let handle = std::thread::spawn(move || {
             while let Ok(mut conn) = listener.accept() {
-                std::thread::spawn(move || {
-                    while let Ok(Some(body)) = conn.recv() {
-                        if conn.send(&body).is_err() {
-                            break;
+                std::thread::spawn(move || loop {
+                    // Borrowed receive + send through the disjoint halves:
+                    // the echo copies once into the response, never into an
+                    // intermediate owned frame.
+                    let (rx, tx) = conn.halves();
+                    match rx.recv_ref() {
+                        Ok(Some(body)) => {
+                            let body = body.to_vec();
+                            if tx.send(&body).is_err() {
+                                break;
+                            }
                         }
+                        _ => break,
                     }
                 });
                 // Tests use few connections; accept loop exits when the
@@ -557,6 +1020,16 @@ mod tests {
         let resp = conn.request(b"hello").unwrap();
         assert_eq!(resp, b"hello");
         let resp = conn.request(b"").unwrap();
+        assert_eq!(resp, b"");
+    }
+
+    #[test]
+    fn request_ref_round_trip_borrows_buffer() {
+        let (addr, _h) = echo_server();
+        let mut conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+        let resp = conn.request_ref(b"zero-copy").unwrap();
+        assert_eq!(resp, b"zero-copy");
+        let resp = conn.request_ref(b"").unwrap();
         assert_eq!(resp, b"");
     }
 
@@ -627,6 +1100,10 @@ mod tests {
         assert_eq!(meter.bytes_in(), 9 + 4);
         assert_eq!(meter.frames_out(), 2);
         assert_eq!(meter.frames_in(), 2);
+        // Unstalled small frames take exactly one vectored write each.
+        assert_eq!(meter.tx_writev(), 2);
+        assert_eq!(meter.tx_writev_resumes(), 0);
+        assert_eq!(meter.tx_errors(), 0);
     }
 
     #[test]
@@ -778,6 +1255,148 @@ mod tests {
             }
         };
         assert_eq!(err.code(), ErrorCode::ResourceLimit);
+    }
+
+    #[test]
+    fn hostile_frame_length_rejected_before_any_allocation() {
+        let mut listener = Listener::bind("127.0.0.1:0").unwrap();
+        listener.set_max_frame(64);
+        let addr = listener.local_addr().unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut server = listener.accept().unwrap();
+        // A hostile header claiming u32::MAX bytes must be rejected from
+        // the 4 header bytes alone — the receive buffer must never grow
+        // toward the claimed length.
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let err = loop {
+            match server.try_recv(Duration::from_millis(20)) {
+                Ok(TryRecv::Idle) if Instant::now() < deadline => {}
+                Ok(other) => panic!("expected error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code(), ErrorCode::ResourceLimit);
+        assert!(
+            server.rx_capacity() <= READ_CHUNK,
+            "buffer grew toward hostile length: {}",
+            server.rx_capacity()
+        );
+    }
+
+    #[test]
+    fn rx_buffer_capacity_released_after_large_frame() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = connect(addr, LinkProfile::unshaped(), None).unwrap();
+        let mut server = listener.accept().unwrap();
+        // One 1 MB bulk frame grows the buffer well past the retain cap…
+        let big = vec![42u8; 1_000_000];
+        let h = std::thread::spawn(move || {
+            client.send(&big).unwrap();
+            client.send(b"small").unwrap();
+            client
+        });
+        let frame = server.recv().unwrap().unwrap();
+        assert_eq!(frame.len(), 1_000_000);
+        assert!(server.rx_capacity() >= 1_000_000);
+        // …but once the buffer drains, the next receive call releases the
+        // excess: a one-off bulk frame no longer pins ~1 MB per
+        // connection forever.
+        let frame = server.recv().unwrap().unwrap();
+        assert_eq!(frame, b"small");
+        let _client = h.join().unwrap();
+        assert!(
+            server.rx_capacity() <= RX_RETAIN_CAP,
+            "retained {} bytes, cap is {}",
+            server.rx_capacity(),
+            RX_RETAIN_CAP
+        );
+    }
+
+    #[test]
+    fn send_error_poisons_connection_and_counts() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = connect(addr, LinkProfile::unshaped(), None).unwrap();
+        let meter = Arc::new(ConnMeter::new());
+        client.set_meter(Arc::clone(&meter));
+        let server = listener.accept().unwrap();
+        drop(server); // peer gone: sends start failing once buffers fill
+        let body = vec![9u8; 1 << 20];
+        let mut first_err = None;
+        for _ in 0..64 {
+            if let Err(e) = client.send(&body) {
+                first_err = Some(e);
+                break;
+            }
+        }
+        let err = first_err.expect("send into a dead peer must fail");
+        assert_ne!(err.code(), ErrorCode::Internal);
+        assert_eq!(meter.tx_errors(), 1);
+        // Poisoned: the next send fails fast without touching the socket.
+        let err = client.send(b"more").unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        assert_eq!(meter.tx_errors(), 1, "fast-fail must not recount");
+    }
+
+    #[test]
+    fn split_halves_send_and_receive_concurrently() {
+        let (addr, _h) = echo_server();
+        let conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+        let (mut rx, mut tx) = conn.split();
+        // Burst 50 frames before reading a single response: with a split
+        // connection the sender never waits for the receiver.
+        let n = 50u32;
+        for i in 0..n {
+            tx.send(&i.to_le_bytes()).unwrap();
+        }
+        for i in 0..n {
+            let frame = rx.recv_ref().unwrap().expect("response");
+            assert_eq!(frame, i.to_le_bytes());
+        }
+        // Halves rejoin into a working connection.
+        let mut conn = Conn::join(rx, tx);
+        assert_eq!(conn.request(b"joined").unwrap(), b"joined");
+    }
+
+    #[test]
+    fn poll_ready_reports_readiness_without_consuming() {
+        let listener = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = connect(addr, LinkProfile::unshaped(), None).unwrap();
+        let server = listener.accept().unwrap();
+        let (mut rx, _tx) = server.split();
+        assert_eq!(rx.poll_ready(Duration::ZERO).unwrap(), Readiness::Idle);
+        client.send(b"knock").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match rx.poll_ready(Duration::ZERO).unwrap() {
+                Readiness::Ready => break,
+                Readiness::Idle if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1))
+                }
+                other => panic!("expected ready, got {other:?}"),
+            }
+        }
+        // Ready is idempotent and does not consume the frame.
+        assert_eq!(rx.poll_ready(Duration::ZERO).unwrap(), Readiness::Ready);
+        match rx.try_recv_ref(Duration::ZERO).unwrap() {
+            TryRecvRef::Frame(f) => assert_eq!(f, b"knock"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        client.shutdown();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match rx.poll_ready(Duration::ZERO).unwrap() {
+                Readiness::Closed => break,
+                Readiness::Idle if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1))
+                }
+                other => panic!("expected closed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

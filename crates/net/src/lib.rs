@@ -30,10 +30,15 @@
 
 pub mod conn;
 pub mod fault;
+pub mod pipeline;
 pub mod retry;
 pub mod shaper;
 
-pub use conn::{connect, connect_with, Conn, ConnMeter, ConnectOptions, Listener, TryRecv};
+pub use conn::{
+    connect, connect_with, Conn, ConnMeter, ConnectOptions, Listener, Readiness, RecvHalf,
+    SendHalf, TryRecv, TryRecvRef, RX_RETAIN_CAP,
+};
 pub use fault::{FaultDecision, FaultHook};
+pub use pipeline::Pipeline;
 pub use retry::{splitmix64, RetryPolicy};
 pub use shaper::{LinkProfile, SharedIngress};

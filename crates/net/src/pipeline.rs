@@ -1,0 +1,225 @@
+//! Client-side request pipelining state.
+//!
+//! A [`Pipeline`] tracks the requests a client has written to a
+//! connection but not yet seen answered: a bounded window of
+//! `(request-id, encoded frame)` pairs. The transport stays plain
+//! framed TCP — ordering metadata travels *in* each frame (the
+//! request-ID envelope of `rls-proto`), so the pipeline itself is
+//! transport-agnostic: it never touches a socket, which is what makes
+//! its replay and failure semantics unit-testable without a server.
+//!
+//! The retained frame bytes are what make reconnects deterministic: on
+//! a broken connection every in-flight request is either **replayed**
+//! verbatim, in original submission order, onto the new connection, or
+//! **failed** as a unit — never half of each, and never reordered.
+//!
+//! Depth 1 degenerates to lockstep: one frame in flight, completed
+//! before the next is submitted — the legacy request/response cycle.
+
+use std::collections::VecDeque;
+
+use rls_types::{RlsError, RlsResult};
+
+/// Bounded in-flight request window for one connection.
+#[derive(Debug)]
+pub struct Pipeline {
+    depth: usize,
+    next_id: u64,
+    inflight: VecDeque<(u64, Vec<u8>)>,
+    submitted: u64,
+    completed: u64,
+    replayed: u64,
+    failed: u64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given window size (clamped to ≥ 1).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth: depth.max(1),
+            next_id: 1,
+            inflight: VecDeque::new(),
+            submitted: 0,
+            completed: 0,
+            replayed: 0,
+            failed: 0,
+        }
+    }
+
+    /// The window size.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of submitted-but-unanswered requests.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether another request may be submitted without first draining
+    /// a response.
+    pub fn has_capacity(&self) -> bool {
+        self.inflight.len() < self.depth
+    }
+
+    /// Allocates the next request ID. IDs are per-connection,
+    /// monotonically increasing from 1, and never reused — an ID is
+    /// unambiguous for the connection's lifetime, so a response echoing
+    /// an unknown ID is always a protocol violation, not a stale match.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Records a submitted request: its ID and the exact frame bytes
+    /// written to the wire (retained for replay-on-reconnect).
+    pub fn record(&mut self, id: u64, frame: Vec<u8>) {
+        self.submitted += 1;
+        self.inflight.push_back((id, frame));
+    }
+
+    /// Completes the in-flight request matching `id`. Responses may
+    /// arrive in any order; an ID with no matching in-flight request is
+    /// a protocol error.
+    pub fn complete(&mut self, id: u64) -> RlsResult<()> {
+        match self.inflight.iter().position(|(i, _)| *i == id) {
+            Some(idx) => {
+                self.inflight.remove(idx);
+                self.completed += 1;
+                Ok(())
+            }
+            None => Err(RlsError::protocol(format!(
+                "response echoes unknown request id {id}"
+            ))),
+        }
+    }
+
+    /// The ID of the oldest in-flight request, if any.
+    pub fn oldest_id(&self) -> Option<u64> {
+        self.inflight.front().map(|(id, _)| *id)
+    }
+
+    /// In-flight `(id, frame)` pairs in original submission order, for
+    /// replaying onto a fresh connection after a reconnect.
+    pub fn replayable(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.inflight.iter().map(|(id, f)| (*id, f.as_slice()))
+    }
+
+    /// Counts one full-window replay (called once per reconnect that
+    /// re-sent the in-flight frames).
+    pub fn note_replayed(&mut self) {
+        self.replayed += self.inflight.len() as u64;
+    }
+
+    /// Fails every in-flight request as a unit, returning their IDs in
+    /// submission order so the caller can surface a deterministic error
+    /// per request. Used when reconnect retries are exhausted.
+    pub fn fail_all(&mut self) -> Vec<u64> {
+        self.failed += self.inflight.len() as u64;
+        self.inflight.drain(..).map(|(id, _)| id).collect()
+    }
+
+    /// Lifetime count of submitted requests.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Lifetime count of completed requests.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Lifetime count of request replays after reconnects.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Lifetime count of requests failed by exhausted reconnects.
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_fills_and_drains_out_of_order() {
+        let mut p = Pipeline::new(3);
+        assert!(p.has_capacity());
+        let a = p.next_id();
+        let b = p.next_id();
+        let c = p.next_id();
+        assert_eq!((a, b, c), (1, 2, 3));
+        p.record(a, vec![1]);
+        p.record(b, vec![2]);
+        p.record(c, vec![3]);
+        assert!(!p.has_capacity());
+        // Middle request completes first — out-of-order is fine.
+        p.complete(b).unwrap();
+        assert!(p.has_capacity());
+        assert_eq!(p.oldest_id(), Some(a));
+        p.complete(c).unwrap();
+        p.complete(a).unwrap();
+        assert_eq!(p.in_flight(), 0);
+        assert_eq!(p.submitted(), 3);
+        assert_eq!(p.completed(), 3);
+    }
+
+    #[test]
+    fn unknown_id_is_protocol_error() {
+        let mut p = Pipeline::new(2);
+        let id = p.next_id();
+        p.record(id, vec![0]);
+        let err = p.complete(99).unwrap_err();
+        assert!(err.to_string().contains("unknown request id 99"), "{err}");
+        // Completing twice is the same violation.
+        p.complete(id).unwrap();
+        assert!(p.complete(id).is_err());
+    }
+
+    #[test]
+    fn replay_preserves_submission_order_and_bytes() {
+        let mut p = Pipeline::new(4);
+        for body in [b"aa".to_vec(), b"bb".to_vec(), b"cc".to_vec()] {
+            let id = p.next_id();
+            p.record(id, body);
+        }
+        p.complete(2).unwrap();
+        let replay: Vec<_> = p.replayable().map(|(id, f)| (id, f.to_vec())).collect();
+        assert_eq!(replay, vec![(1, b"aa".to_vec()), (3, b"cc".to_vec())]);
+        p.note_replayed();
+        assert_eq!(p.replayed(), 2);
+    }
+
+    #[test]
+    fn fail_all_drains_deterministically() {
+        let mut p = Pipeline::new(4);
+        for _ in 0..3 {
+            let id = p.next_id();
+            p.record(id, vec![]);
+        }
+        assert_eq!(p.fail_all(), vec![1, 2, 3]);
+        assert_eq!(p.in_flight(), 0);
+        assert_eq!(p.failed(), 3);
+        // IDs are never reused, even after a full failure.
+        assert_eq!(p.next_id(), 4);
+    }
+
+    #[test]
+    fn depth_one_is_lockstep() {
+        let mut p = Pipeline::new(1);
+        let id = p.next_id();
+        p.record(id, vec![7]);
+        assert!(!p.has_capacity());
+        p.complete(id).unwrap();
+        assert!(p.has_capacity());
+    }
+
+    #[test]
+    fn depth_zero_clamps_to_one() {
+        assert_eq!(Pipeline::new(0).depth(), 1);
+    }
+}

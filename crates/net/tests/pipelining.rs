@@ -1,0 +1,316 @@
+//! Pipelining suite (tier-1): the transport-level contracts the pipelined
+//! RPC path stands on.
+//!
+//! * out-of-order completion — a stalled slow request must not block the
+//!   responses behind it;
+//! * depth-1 wire equivalence — the lockstep path's bytes are identical
+//!   to the legacy protocol's;
+//! * reconnect-with-in-flight replay determinism under a seeded
+//!   [`FaultPlan`];
+//! * interop with an un-negotiated (old-protocol) peer.
+//!
+//! The servers here are miniature hand-rolled peers over [`Listener`] —
+//! deliberately: this crate sits below `rls-core`, so the suite proves
+//! the framing/pipeline layer alone is enough to get these semantics,
+//! with no help from the dispatch machinery above it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rls_faults::FaultPlan;
+use rls_net::{connect, connect_with, Conn, ConnectOptions, LinkProfile, Listener, Pipeline};
+use rls_proto::{
+    Request, Response, PROTOCOL_VERSION, PROTOCOL_VERSION_PIPELINED,
+};
+use rls_types::{Dn, ErrorCode, RlsResult};
+
+/// A miniature pipelined RLS peer: answers `Ping` immediately and
+/// `QueryLfn("slow")` after `stall`, each response on its own thread so
+/// completions genuinely race — the shared send half (a lock, like the
+/// real server's) is what keeps the socket coherent.
+fn spawn_pipelined_peer(stall: Duration) -> std::net::SocketAddr {
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok(conn) = listener.accept() {
+            let stall = stall;
+            std::thread::spawn(move || {
+                let (mut rx, tx) = conn.split();
+                let tx = Arc::new(Mutex::new(tx));
+                while let Ok(Some(frame)) = rx.recv_ref() {
+                    let Ok((meta, req)) = Request::decode_framed(frame) else {
+                        break;
+                    };
+                    let id = meta.request_id;
+                    let tx = Arc::clone(&tx);
+                    std::thread::spawn(move || {
+                        let resp = match req {
+                            Request::Ping => Response::Pong,
+                            Request::QueryLfn(lfn) => {
+                                if lfn == "slow" {
+                                    std::thread::sleep(stall);
+                                }
+                                Response::Targets(vec![format!("pfn://{lfn}")])
+                            }
+                            _ => Response::Pong,
+                        };
+                        let _ = tx.lock().send(&resp.encode_with_id(id).into_bytes());
+                    });
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Submits a request into the window: stamps the next ID, sends, records.
+/// The frame is recorded even when the send dies mid-frame — exactly
+/// then it is in flight from the window's point of view and must be
+/// replayed after a reconnect.
+fn submit(conn: &mut Conn, pipe: &mut Pipeline, req: &Request) -> (u64, RlsResult<()>) {
+    let id = pipe.next_id();
+    let frame = req
+        .encode_framed_with_id(&[], None, Some(id))
+        .into_bytes()
+        .to_vec();
+    let sent = conn.send(&frame);
+    pipe.record(id, frame);
+    (id, sent)
+}
+
+/// Receives one response, matches it by ID, returns `(id, response)`.
+fn drain_one(conn: &mut Conn, pipe: &mut Pipeline) -> RlsResult<(u64, Response)> {
+    let frame = conn
+        .recv()?
+        .ok_or_else(|| rls_types::RlsError::protocol("peer closed mid-window"))?;
+    let (id, resp) = Response::decode_framed(&frame)?;
+    let id = id.expect("pipelined peer echoes the id");
+    pipe.complete(id)?;
+    Ok((id, resp))
+}
+
+#[test]
+fn out_of_order_completion_under_stalled_slow_request() {
+    let addr = spawn_pipelined_peer(Duration::from_millis(300));
+    let mut conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+    let mut pipe = Pipeline::new(3);
+
+    // The slow request goes first; two fast pings follow on the same
+    // connection while it stalls server-side.
+    let (slow, sent) = submit(&mut conn, &mut pipe, &Request::QueryLfn("slow".into()));
+    sent.unwrap();
+    let (fast_a, sent) = submit(&mut conn, &mut pipe, &Request::Ping);
+    sent.unwrap();
+    let (fast_b, sent) = submit(&mut conn, &mut pipe, &Request::Ping);
+    sent.unwrap();
+    assert_eq!(pipe.in_flight(), 3);
+
+    // Both fast responses must complete *before* the stalled one: the
+    // whole point of per-request IDs over strict FIFO responses.
+    let (first, _) = drain_one(&mut conn, &mut pipe).unwrap();
+    let (second, _) = drain_one(&mut conn, &mut pipe).unwrap();
+    let mut early = [first, second];
+    early.sort_unstable();
+    let mut expected = [fast_a, fast_b];
+    expected.sort_unstable();
+    assert_eq!(early, expected, "fast responses overtook the stalled one");
+
+    let (last, resp) = drain_one(&mut conn, &mut pipe).unwrap();
+    assert_eq!(last, slow);
+    assert!(matches!(resp, Response::Targets(t) if t == vec!["pfn://slow".to_string()]));
+    assert_eq!(pipe.in_flight(), 0);
+}
+
+#[test]
+fn depth_one_wire_bytes_are_identical_to_legacy() {
+    // The lockstep path never stamps an ID envelope, so its frames are
+    // the legacy encoder's frames, byte for byte — for a traced call, an
+    // untraced one, and the v1 handshake.
+    let req = Request::QueryLfn("lfn://file".into());
+    assert_eq!(
+        req.encode_framed_with_id(&[0xBEEF], None, None).into_bytes(),
+        req.encode_framed(&[0xBEEF], None).into_bytes(),
+    );
+    assert_eq!(
+        req.encode_framed_with_id(&[], None, None).into_bytes(),
+        req.encode().into_bytes(),
+    );
+    let hello = Request::Hello {
+        dn: Dn::new("/C=US/O=test"),
+        version: PROTOCOL_VERSION,
+    };
+    assert_eq!(
+        hello.encode_framed_with_id(&[], None, None).into_bytes(),
+        hello.encode().into_bytes(),
+    );
+    // And the un-stamped response decodes with no ID, as a legacy peer
+    // would produce it.
+    let ack = Response::Pong.encode_with_id(None).into_bytes();
+    assert_eq!(ack, Response::Pong.encode().into_bytes());
+    let (id, resp) = Response::decode_framed(&ack).unwrap();
+    assert_eq!(id, None);
+    assert!(matches!(resp, Response::Pong));
+}
+
+#[test]
+fn reconnect_replays_in_flight_requests_deterministically() {
+    let addr = spawn_pipelined_peer(Duration::ZERO);
+    // Seeded plan: the 4th frame sent (index 3, 0-based) dies mid-frame,
+    // severing the connection with requests in flight. Everything about
+    // the run is deterministic — which send dies, what is in flight,
+    // what replays.
+    let plan = Arc::new(FaultPlan::builder(0x5EED).drop_mid_frame("*", 3).build());
+    let opts = ConnectOptions {
+        timeout: None,
+        hook: Some(plan.clone() as Arc<dyn rls_net::FaultHook>),
+    };
+    let mut conn = connect_with(addr, LinkProfile::unshaped(), None, &opts).unwrap();
+    let mut pipe = Pipeline::new(4);
+
+    let mut severed = false;
+    for i in 0..4u32 {
+        let req = Request::QueryLfn(format!("lfn-{i}"));
+        let (_, sent) = submit(&mut conn, &mut pipe, &req);
+        if sent.is_err() {
+            // Reconnect and replay the window in submission order —
+            // including the frame whose send just died, which `submit`
+            // already recorded under its original ID.
+            severed = true;
+            conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+            let frames: Vec<Vec<u8>> =
+                pipe.replayable().map(|(_, f)| f.to_vec()).collect();
+            for bytes in frames {
+                conn.send(&bytes).unwrap();
+            }
+            pipe.note_replayed();
+        }
+    }
+    assert!(severed, "the seeded plan must sever the 4th send");
+    assert_eq!(plan.stats().dropped(), 1);
+    assert_eq!(pipe.replayed(), 4, "three in flight plus the dying frame");
+
+    // Every request — replayed or not — resolves exactly once.
+    let mut got = Vec::new();
+    while pipe.in_flight() > 0 {
+        let (id, resp) = drain_one(&mut conn, &mut pipe).unwrap();
+        let Response::Targets(t) = resp else {
+            panic!("expected targets")
+        };
+        got.push((id, t));
+    }
+    got.sort_unstable();
+    assert_eq!(got.len(), 4);
+    for (i, (id, targets)) in got.iter().enumerate() {
+        assert_eq!(*id, i as u64 + 1);
+        assert_eq!(targets, &vec![format!("pfn://lfn-{i}")]);
+    }
+}
+
+#[test]
+fn exhausted_reconnects_fail_the_window_as_a_unit() {
+    let mut pipe = Pipeline::new(3);
+    for i in 0..3u64 {
+        let id = pipe.next_id();
+        pipe.record(id, vec![i as u8]);
+    }
+    // No partial outcomes: every in-flight request fails, in submission
+    // order, and the window is empty afterwards.
+    assert_eq!(pipe.fail_all(), vec![1, 2, 3]);
+    assert_eq!(pipe.in_flight(), 0);
+    assert_eq!(pipe.failed(), 3);
+}
+
+/// A peer that only speaks the original protocol: it rejects a pipelined
+/// Hello the way the pre-pipelining server did, and answers exactly one
+/// legacy request per Hello'd connection.
+fn spawn_old_protocol_peer() -> std::net::SocketAddr {
+    let listener = Listener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok(mut conn) = listener.accept() {
+            let Ok(Some(frame)) = conn.recv() else { continue };
+            match Request::decode_framed(&frame) {
+                Ok((_, Request::Hello { version, .. })) if version == PROTOCOL_VERSION => {
+                    let ack = Response::HelloAck {
+                        server_version: "2.0.9-legacy".into(),
+                        is_lrc: true,
+                        is_rli: false,
+                        // A v1 ack encodes without the negotiation field —
+                        // these are the legacy server's exact bytes.
+                        protocol: PROTOCOL_VERSION,
+                    };
+                    conn.send(&ack.encode().into_bytes()).unwrap();
+                    if let Ok(Some(frame)) = conn.recv() {
+                        // An old decoder knows nothing of ID envelopes;
+                        // a legacy-framed request must still decode.
+                        let (meta, req) = Request::decode_framed(&frame).unwrap();
+                        assert!(
+                            meta.request_id.is_none(),
+                            "lockstep client leaked an ID envelope to an old peer"
+                        );
+                        let resp = match req {
+                            Request::Ping => Response::Pong,
+                            _ => Response::Pong,
+                        };
+                        conn.send(&resp.encode().into_bytes()).unwrap();
+                    }
+                }
+                Ok((_, Request::Hello { version, .. })) => {
+                    let resp = Response::Error(rls_types::RlsError::protocol(format!(
+                        "unsupported protocol version {version}"
+                    )));
+                    conn.send(&resp.encode().into_bytes()).unwrap();
+                }
+                _ => {}
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn interop_with_unnegotiated_old_protocol_peer() {
+    let addr = spawn_old_protocol_peer();
+
+    // First dial asks for the pipelined protocol; the old peer refuses
+    // with a protocol error (not a hang, not a close-without-answer).
+    let mut conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+    let hello_v2 = Request::Hello {
+        dn: Dn::new("/C=US/O=new-client"),
+        version: PROTOCOL_VERSION_PIPELINED,
+    };
+    let resp = conn.request(&hello_v2.encode().into_bytes()).unwrap();
+    let (_, resp) = Response::decode_framed(&resp).unwrap();
+    match resp {
+        Response::Error(e) => assert_eq!(e.code(), ErrorCode::Protocol),
+        other => panic!("old peer must reject v2, got {other:?}"),
+    }
+
+    // Fallback redial with the baseline version: handshake succeeds and a
+    // lockstep (un-stamped) exchange completes — full interop, one
+    // request in flight, no ID envelopes on the wire.
+    let mut conn = connect(addr, LinkProfile::unshaped(), None).unwrap();
+    let hello_v1 = Request::Hello {
+        dn: Dn::new("/C=US/O=new-client"),
+        version: PROTOCOL_VERSION,
+    };
+    let resp = conn.request(&hello_v1.encode().into_bytes()).unwrap();
+    let (id, resp) = Response::decode_framed(&resp).unwrap();
+    assert_eq!(id, None);
+    match resp {
+        Response::HelloAck { protocol, .. } => assert_eq!(protocol, PROTOCOL_VERSION),
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+    let mut pipe = Pipeline::new(1); // clamped: un-negotiated peer
+    let ping = Request::Ping.encode_framed_with_id(&[], None, None).into_bytes();
+    conn.send(&ping).unwrap();
+    let id = pipe.next_id();
+    pipe.record(id, ping.to_vec());
+    let frame = conn.recv().unwrap().expect("response");
+    let (got, resp) = Response::decode_framed(&frame).unwrap();
+    assert_eq!(got, None, "legacy peer cannot stamp IDs");
+    pipe.complete(pipe.oldest_id().unwrap()).unwrap();
+    assert!(matches!(resp, Response::Pong));
+    assert_eq!(pipe.in_flight(), 0);
+}

@@ -10,7 +10,10 @@
 //! [`Request::Hello`], carrying the client's distinguished name and
 //! protocol version; the server answers with [`Response::HelloAck`] after
 //! gridmap/ACL processing. Every subsequent request receives exactly one
-//! response.
+//! response. Under the negotiated pipelined protocol
+//! ([`PROTOCOL_VERSION_PIPELINED`]) a client may keep several requests in
+//! flight per connection, each stamped with a request-ID envelope that the
+//! matching response echoes; responses may then arrive out of order.
 //!
 //! All operations of the paper's Table 1 have a request variant, as do the
 //! three soft-state update forms (full/uncompressed — chunked so that
@@ -24,7 +27,8 @@ pub mod message;
 
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use message::{
-    AttrAssignment, FrameMeta, LagStamp, ProtocolVersion, Request, Response, RliHit,
-    RliTargetWire, ServerStatsWire, SpanWire, StatsHistoryWire, LAG_ENVELOPE_OPCODE,
-    PROTOCOL_VERSION, TRACE_ENVELOPE_OPCODE,
+    peek_request_id, AttrAssignment, FrameMeta, LagStamp, ProtocolVersion, Request, Response,
+    RliHit, RliTargetWire, ServerStatsWire, SpanWire, StatsHistoryWire, LAG_ENVELOPE_OPCODE,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_PIPELINED, REQUEST_ID_ENVELOPE_OPCODE,
+    TRACE_ENVELOPE_OPCODE,
 };

@@ -12,8 +12,18 @@ use crate::codec::{Reader, Writer};
 /// Protocol version tag carried in the Hello handshake.
 pub type ProtocolVersion = u16;
 
-/// Current protocol version.
+/// Baseline protocol version: lockstep request/response, no request-ID
+/// envelope. A `pipeline_depth = 1` client handshakes with this version so
+/// its wire bytes are identical to pre-pipelining builds.
 pub const PROTOCOL_VERSION: ProtocolVersion = 1;
+
+/// Pipelined protocol version: request frames may carry a request-ID
+/// envelope ([`REQUEST_ID_ENVELOPE_OPCODE`]), responses echo the ID, and
+/// the server may answer one connection's requests out of order. Clients
+/// offer this version in `Hello` only when they intend to pipeline;
+/// servers accept both versions and echo the negotiated one in
+/// `HelloAck::protocol`.
+pub const PROTOCOL_VERSION_PIPELINED: ProtocolVersion = 2;
 
 /// Reserved opcode marking a request frame that starts with a trace
 /// envelope: `[u16 0xFFFE][u32 n][n × u64 trace IDs]` followed by the
@@ -32,6 +42,15 @@ pub const TRACE_ENVELOPE_OPCODE: u16 = 0xFFFE;
 /// Frames without the envelope decode with no stamp, so older peers
 /// interoperate unchanged.
 pub const LAG_ENVELOPE_OPCODE: u16 = 0xFFFD;
+
+/// Reserved opcode marking a request-ID envelope on pipelined frames:
+/// `[u16 0xFFFC][u64 id]` followed by the rest of the frame (further
+/// envelopes or the ordinary `[u16 opcode][body]`). A pipelining client
+/// stamps every request with a per-connection ID; the server echoes the
+/// same envelope on the matching response so the client can retire
+/// out-of-order completions. Frames without the envelope keep strict
+/// in-order semantics, so version-1 peers interoperate unchanged.
+pub const REQUEST_ID_ENVELOPE_OPCODE: u16 = 0xFFFC;
 
 /// A soft-state freshness stamp carried in the [`LAG_ENVELOPE_OPCODE`]
 /// envelope (see there for semantics).
@@ -54,6 +73,9 @@ pub struct FrameMeta {
     pub trace_ids: Vec<u64>,
     /// Soft-state freshness stamp, if the sender attached one.
     pub lag: Option<LagStamp>,
+    /// Pipelining request ID, if the sender attached one (see
+    /// [`REQUEST_ID_ENVELOPE_OPCODE`]). The response must echo it.
+    pub request_id: Option<u64>,
 }
 
 /// An attribute attachment: object, attribute name, value.
@@ -379,6 +401,10 @@ pub enum Response {
         is_lrc: bool,
         /// Server acts as an RLI.
         is_rli: bool,
+        /// Negotiated protocol version. Encoded as a trailing `u16` only
+        /// when ≥ 2: version-1 clients never offer 2, so they never see
+        /// the extra field and their strict trailing-bytes check passes.
+        protocol: ProtocolVersion,
     },
     /// Ping reply.
     Pong,
@@ -579,7 +605,25 @@ impl Request {
     /// when any nonzero trace IDs are supplied, and a freshness-stamp
     /// envelope when `stamp` is present (see [`LAG_ENVELOPE_OPCODE`]).
     pub fn encode_framed(&self, trace_ids: &[u64], stamp: Option<LagStamp>) -> Writer {
+        self.encode_framed_with_id(trace_ids, stamp, None)
+    }
+
+    /// Encodes the request with every envelope the protocol knows: the
+    /// request-ID envelope first when `request_id` is present (see
+    /// [`REQUEST_ID_ENVELOPE_OPCODE`]), then the trace and freshness
+    /// envelopes as in [`Request::encode_framed`]. `request_id: None`
+    /// produces bytes identical to the version-1 encoding.
+    pub fn encode_framed_with_id(
+        &self,
+        trace_ids: &[u64],
+        stamp: Option<LagStamp>,
+        request_id: Option<u64>,
+    ) -> Writer {
         let mut w = Writer::with_capacity(64);
+        if let Some(id) = request_id {
+            w.u16(REQUEST_ID_ENVELOPE_OPCODE);
+            w.u64(id);
+        }
         let ids: Vec<u64> = trace_ids.iter().copied().filter(|&t| t != 0).collect();
         if !ids.is_empty() {
             w.u16(TRACE_ENVELOPE_OPCODE);
@@ -839,6 +883,9 @@ impl Request {
                         commit_unix_micros: r.u64()?,
                     });
                 }
+                REQUEST_ID_ENVELOPE_OPCODE => {
+                    meta.request_id = Some(r.u64()?);
+                }
                 _ => break,
             }
             opcode = r.u16()?;
@@ -994,17 +1041,33 @@ impl Request {
 impl Response {
     /// Encodes the response (opcode + body).
     pub fn encode(&self) -> Writer {
+        self.encode_with_id(None)
+    }
+
+    /// Encodes the response, prefixing a request-ID envelope when `id` is
+    /// present (see [`REQUEST_ID_ENVELOPE_OPCODE`]). Servers echo exactly
+    /// the ID the request carried; `None` produces bytes identical to the
+    /// version-1 encoding.
+    pub fn encode_with_id(&self, id: Option<u64>) -> Writer {
         let mut w = Writer::with_capacity(64);
+        if let Some(id) = id {
+            w.u16(REQUEST_ID_ENVELOPE_OPCODE);
+            w.u64(id);
+        }
         match self {
             Self::HelloAck {
                 server_version,
                 is_lrc,
                 is_rli,
+                protocol,
             } => {
                 w.u16(1);
                 w.str(server_version);
                 w.bool(*is_lrc);
                 w.bool(*is_rli);
+                if *protocol >= PROTOCOL_VERSION_PIPELINED {
+                    w.u16(*protocol);
+                }
             }
             Self::Pong => w.u16(2),
             Self::Ok => w.u16(3),
@@ -1145,16 +1208,36 @@ impl Response {
         w
     }
 
-    /// Decodes a response frame body.
+    /// Decodes a response frame body, discarding any request-ID envelope.
     pub fn decode(body: &[u8]) -> RlsResult<Self> {
+        Self::decode_framed(body).map(|(_, resp)| resp)
+    }
+
+    /// Decodes a response frame body plus the request-ID envelope, if the
+    /// server attached one (pipelined connections echo the request's ID).
+    pub fn decode_framed(body: &[u8]) -> RlsResult<(Option<u64>, Self)> {
         let mut r = Reader::new(body);
-        let opcode = r.u16()?;
+        let mut opcode = r.u16()?;
+        let mut request_id = None;
+        while opcode == REQUEST_ID_ENVELOPE_OPCODE {
+            request_id = Some(r.u64()?);
+            opcode = r.u16()?;
+        }
         let resp = match opcode {
-            1 => Self::HelloAck {
-                server_version: r.str()?,
-                is_lrc: r.bool()?,
-                is_rli: r.bool()?,
-            },
+            1 => {
+                let server_version = r.str()?;
+                let is_lrc = r.bool()?;
+                let is_rli = r.bool()?;
+                // Version-1 servers stop here; ≥ 2 append the negotiated
+                // version so pipelining clients learn what they got.
+                let protocol = if r.remaining() >= 2 { r.u16()? } else { PROTOCOL_VERSION };
+                Self::HelloAck {
+                    server_version,
+                    is_lrc,
+                    is_rli,
+                    protocol,
+                }
+            }
             2 => Self::Pong,
             3 => Self::Ok,
             4 => Self::Error(r.error()?),
@@ -1249,7 +1332,33 @@ impl Response {
         if !r.is_done() {
             return Err(RlsError::protocol("trailing bytes after response"));
         }
-        Ok(resp)
+        Ok((request_id, resp))
+    }
+}
+
+/// Scans a frame body's envelopes for a request ID without decoding the
+/// request (see [`REQUEST_ID_ENVELOPE_OPCODE`]). Cheap — the server's
+/// dispatch path uses it to decide whether a frame belongs to a pipelined
+/// connection before any real parsing. Returns `None` for frames without
+/// the envelope and for truncated or garbage frames (those fail properly
+/// in the full decoder later).
+pub fn peek_request_id(body: &[u8]) -> Option<u64> {
+    let mut r = Reader::new(body);
+    loop {
+        match r.u16().ok()? {
+            REQUEST_ID_ENVELOPE_OPCODE => return r.u64().ok(),
+            TRACE_ENVELOPE_OPCODE => {
+                let n = r.u32().ok()? as usize;
+                for _ in 0..n {
+                    r.u64().ok()?;
+                }
+            }
+            LAG_ENVELOPE_OPCODE => {
+                r.u64().ok()?;
+                r.u64().ok()?;
+            }
+            _ => return None,
+        }
     }
 }
 
@@ -1425,6 +1534,13 @@ mod tests {
                 server_version: "2.0.9".into(),
                 is_lrc: true,
                 is_rli: false,
+                protocol: PROTOCOL_VERSION,
+            },
+            Response::HelloAck {
+                server_version: "2.0.9".into(),
+                is_lrc: true,
+                is_rli: false,
+                protocol: PROTOCOL_VERSION_PIPELINED,
             },
             Response::Pong,
             Response::Ok,
@@ -1594,6 +1710,106 @@ mod tests {
         w.u16(LAG_ENVELOPE_OPCODE);
         w.u64(1); // commit_seq present, commit time and request body missing
         assert!(Request::decode_framed(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn request_id_envelope_round_trips_and_plain_frames_stay_compatible() {
+        let req = Request::QueryLfn("lfn://a".into());
+        let bytes = req.encode_framed_with_id(&[7], None, Some(42)).into_bytes();
+        let (meta, decoded) = Request::decode_framed(&bytes).unwrap();
+        assert_eq!(meta.request_id, Some(42));
+        assert_eq!(meta.trace_ids, vec![7]);
+        assert_eq!(decoded, req);
+        assert_eq!(peek_request_id(&bytes), Some(42));
+        // decode()/decode_traced() on an ID-stamped frame just drop the ID.
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+
+        // No ID → byte-identical to the legacy encoding, and peek sees none.
+        let plain = req.encode_framed_with_id(&[], None, None).into_bytes();
+        assert_eq!(plain, req.encode().into_bytes());
+        assert_eq!(peek_request_id(&plain), None);
+        let (meta, _) = Request::decode_framed(&plain).unwrap();
+        assert_eq!(meta.request_id, None);
+
+        // peek skips leading trace/lag envelopes to find the ID.
+        let mut w = Writer::with_capacity(64);
+        w.u16(TRACE_ENVELOPE_OPCODE);
+        w.u32(2);
+        w.u64(1);
+        w.u64(2);
+        w.u16(LAG_ENVELOPE_OPCODE);
+        w.u64(9);
+        w.u64(10);
+        w.u16(REQUEST_ID_ENVELOPE_OPCODE);
+        w.u64(77);
+        req.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(peek_request_id(&bytes), Some(77));
+        let (meta, decoded) = Request::decode_framed(&bytes).unwrap();
+        assert_eq!(meta.request_id, Some(77));
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn response_id_echo_round_trips_and_plain_frames_stay_compatible() {
+        let resp = Response::Targets(vec!["pfn://a".into()]);
+        let bytes = resp.encode_with_id(Some(42)).into_bytes();
+        let (id, decoded) = Response::decode_framed(&bytes).unwrap();
+        assert_eq!(id, Some(42));
+        assert_eq!(decoded, resp);
+        // decode() on an ID-stamped response just drops the ID.
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        // No ID → byte-identical to the legacy encoding.
+        let plain = resp.encode_with_id(None).into_bytes();
+        assert_eq!(plain, resp.encode().into_bytes());
+        assert_eq!(Response::decode_framed(&plain).unwrap(), (None, resp));
+    }
+
+    #[test]
+    fn peek_request_id_tolerates_garbage() {
+        assert_eq!(peek_request_id(&[]), None);
+        assert_eq!(peek_request_id(&[0xFC]), None);
+        // Truncated ID envelope: opcode present, ID bytes missing.
+        let mut w = Writer::with_capacity(4);
+        w.u16(REQUEST_ID_ENVELOPE_OPCODE);
+        w.u8(1);
+        assert_eq!(peek_request_id(&w.into_bytes()), None);
+        // Trace envelope claiming more IDs than the frame holds.
+        let mut w = Writer::with_capacity(8);
+        w.u16(TRACE_ENVELOPE_OPCODE);
+        w.u32(u32::MAX);
+        w.u64(5);
+        assert_eq!(peek_request_id(&w.into_bytes()), None);
+    }
+
+    #[test]
+    fn hello_ack_negotiation_field_is_versioned() {
+        // A version-1 ack carries no trailing version field — byte-compat
+        // with pre-negotiation peers whose decoder rejects trailing bytes.
+        let v1 = Response::HelloAck {
+            server_version: "2.0.9".into(),
+            is_lrc: true,
+            is_rli: false,
+            protocol: PROTOCOL_VERSION,
+        };
+        let mut legacy = Writer::with_capacity(16);
+        legacy.u16(1);
+        legacy.str("2.0.9");
+        legacy.bool(true);
+        legacy.bool(false);
+        let legacy = legacy.into_bytes();
+        assert_eq!(v1.encode().into_bytes(), legacy);
+        // Decoding the legacy shape infers version 1.
+        assert_eq!(Response::decode(&legacy).unwrap(), v1);
+
+        // A negotiated-v2 ack round-trips the version.
+        let v2 = Response::HelloAck {
+            server_version: "2.0.9".into(),
+            is_lrc: true,
+            is_rli: false,
+            protocol: PROTOCOL_VERSION_PIPELINED,
+        };
+        assert_eq!(Response::decode(&v2.encode().into_bytes()).unwrap(), v2);
     }
 
     #[test]

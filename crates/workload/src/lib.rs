@@ -15,6 +15,6 @@ pub mod namegen;
 pub mod stats;
 
 pub use dist::{UniformPick, ZipfPick};
-pub use driver::{drive, DriverReport, Trials};
+pub use driver::{drive, drive_pipelined, DriverReport, Trials};
 pub use namegen::{preload_lrc, NameGen};
 pub use stats::{summarize, Summary};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-66f537473e34a408.d: crates/proto/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-66f537473e34a408: crates/proto/tests/fuzz.rs
+
+crates/proto/tests/fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-b0e87d0094175a21.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-b0e87d0094175a21.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipelining-fb97d5a972cce57c.d: crates/net/tests/pipelining.rs
+
+/root/repo/target/debug/deps/pipelining-fb97d5a972cce57c: crates/net/tests/pipelining.rs
+
+crates/net/tests/pipelining.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_robustness-36c3f8033fddd15b.d: tests/protocol_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_robustness-36c3f8033fddd15b.rmeta: tests/protocol_robustness.rs Cargo.toml
+
+tests/protocol_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

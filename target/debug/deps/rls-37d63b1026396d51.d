@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls-37d63b1026396d51.d: src/lib.rs
+
+/root/repo/target/debug/deps/rls-37d63b1026396d51: src/lib.rs
+
+src/lib.rs:

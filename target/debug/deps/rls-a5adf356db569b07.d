@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rls-a5adf356db569b07.d: src/lib.rs
+
+/root/repo/target/debug/deps/librls-a5adf356db569b07.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librls-a5adf356db569b07.rmeta: src/lib.rs
+
+src/lib.rs:

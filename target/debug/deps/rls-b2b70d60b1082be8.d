@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls-b2b70d60b1082be8.d: src/lib.rs
+
+/root/repo/target/debug/deps/librls-b2b70d60b1082be8.rmeta: src/lib.rs
+
+src/lib.rs:

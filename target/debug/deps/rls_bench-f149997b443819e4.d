@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_bench-f149997b443819e4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rls_bench-f149997b443819e4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_cli-5411f0e398eef106.d: src/bin/rls-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_cli-5411f0e398eef106.rmeta: src/bin/rls-cli.rs Cargo.toml
+
+src/bin/rls-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_cli-8f62273eb93f5f22.d: src/bin/rls-cli.rs
+
+/root/repo/target/debug/deps/rls_cli-8f62273eb93f5f22: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

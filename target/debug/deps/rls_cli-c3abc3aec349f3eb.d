@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_cli-c3abc3aec349f3eb.d: src/bin/rls-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_cli-c3abc3aec349f3eb.rmeta: src/bin/rls-cli.rs Cargo.toml
+
+src/bin/rls-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/rls_net-6a21070e1bdf2813.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/debug/deps/rls_net-6a21070e1bdf2813.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
-/root/repo/target/debug/deps/librls_net-6a21070e1bdf2813.rlib: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/debug/deps/librls_net-6a21070e1bdf2813.rlib: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
-/root/repo/target/debug/deps/librls_net-6a21070e1bdf2813.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/debug/deps/librls_net-6a21070e1bdf2813.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
 crates/net/src/lib.rs:
 crates/net/src/conn.rs:
 crates/net/src/fault.rs:
+crates/net/src/pipeline.rs:
 crates/net/src/retry.rs:
 crates/net/src/shaper.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/rls_net-9ac2dc8869dfd451.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/debug/deps/rls_net-9ac2dc8869dfd451.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
-/root/repo/target/debug/deps/librls_net-9ac2dc8869dfd451.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/debug/deps/librls_net-9ac2dc8869dfd451.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
 crates/net/src/lib.rs:
 crates/net/src/conn.rs:
 crates/net/src/fault.rs:
+crates/net/src/pipeline.rs:
 crates/net/src/retry.rs:
 crates/net/src/shaper.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rls_net-bf9a8be33eca2c51.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+
+/root/repo/target/debug/deps/rls_net-bf9a8be33eca2c51: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+
+crates/net/src/lib.rs:
+crates/net/src/conn.rs:
+crates/net/src/fault.rs:
+crates/net/src/pipeline.rs:
+crates/net/src/retry.rs:
+crates/net/src/shaper.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/rls_net-d65fabe175dd7c00.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs Cargo.toml
+/root/repo/target/debug/deps/rls_net-d65fabe175dd7c00.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs Cargo.toml
 
-/root/repo/target/debug/deps/librls_net-d65fabe175dd7c00.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs Cargo.toml
+/root/repo/target/debug/deps/librls_net-d65fabe175dd7c00.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs Cargo.toml
 
 crates/net/src/lib.rs:
 crates/net/src/conn.rs:
 crates/net/src/fault.rs:
+crates/net/src/pipeline.rs:
 crates/net/src/retry.rs:
 crates/net/src/shaper.rs:
 Cargo.toml:

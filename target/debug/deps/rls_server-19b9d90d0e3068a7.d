@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rls_server-19b9d90d0e3068a7.d: src/bin/rls-server.rs
+
+/root/repo/target/debug/deps/rls_server-19b9d90d0e3068a7: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_server-e46abba4ed8200ce.d: src/bin/rls-server.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_server-e46abba4ed8200ce.rmeta: src/bin/rls-server.rs Cargo.toml
+
+src/bin/rls-server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rls_workload-29a5b6a6ab2f85eb.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/librls_workload-29a5b6a6ab2f85eb.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/namegen.rs:
+crates/workload/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rls_workload-d061821d1be9502e.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/librls_workload-d061821d1be9502e.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/namegen.rs:
+crates/workload/src/stats.rs:

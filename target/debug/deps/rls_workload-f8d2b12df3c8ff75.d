@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rls_workload-f8d2b12df3c8ff75.d: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/librls_workload-f8d2b12df3c8ff75.rlib: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/librls_workload-f8d2b12df3c8ff75.rmeta: crates/workload/src/lib.rs crates/workload/src/dist.rs crates/workload/src/driver.rs crates/workload/src/namegen.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dist.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/namegen.rs:
+crates/workload/src/stats.rs:

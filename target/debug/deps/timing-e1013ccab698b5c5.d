@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-e1013ccab698b5c5.d: crates/net/tests/timing.rs
+
+/root/repo/target/debug/deps/timing-e1013ccab698b5c5: crates/net/tests/timing.rs
+
+crates/net/tests/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/esg_fullmesh-bbacda217ee4848b.d: examples/esg_fullmesh.rs Cargo.toml
+
+/root/repo/target/debug/examples/libesg_fullmesh-bbacda217ee4848b.rmeta: examples/esg_fullmesh.rs Cargo.toml
+
+examples/esg_fullmesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

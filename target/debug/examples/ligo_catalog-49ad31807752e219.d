@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ligo_catalog-49ad31807752e219.d: examples/ligo_catalog.rs Cargo.toml
+
+/root/repo/target/debug/examples/libligo_catalog-49ad31807752e219.rmeta: examples/ligo_catalog.rs Cargo.toml
+
+examples/ligo_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

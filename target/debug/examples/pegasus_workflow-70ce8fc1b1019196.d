@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pegasus_workflow-70ce8fc1b1019196.d: examples/pegasus_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpegasus_workflow-70ce8fc1b1019196.rmeta: examples/pegasus_workflow.rs Cargo.toml
+
+examples/pegasus_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

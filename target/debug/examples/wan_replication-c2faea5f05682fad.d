@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wan_replication-c2faea5f05682fad.d: examples/wan_replication.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwan_replication-c2faea5f05682fad.rmeta: examples/wan_replication.rs Cargo.toml
+
+examples/wan_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

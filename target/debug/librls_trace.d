@@ -1,0 +1,1 @@
+/root/repo/target/debug/librls_trace.rlib: /root/repo/crates/trace/src/lib.rs /root/repo/crates/trace/src/log.rs /root/repo/crates/trace/src/span.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_lrc_add_flush-8b95952439cf5922.d: crates/bench/benches/fig04_lrc_add_flush.rs
+
+/root/repo/target/release/deps/fig04_lrc_add_flush-8b95952439cf5922: crates/bench/benches/fig04_lrc_add_flush.rs
+
+crates/bench/benches/fig04_lrc_add_flush.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_lrc_query_flush-6441ad353ccd8588.d: crates/bench/benches/fig05_lrc_query_flush.rs
+
+/root/repo/target/release/deps/fig05_lrc_query_flush-6441ad353ccd8588: crates/bench/benches/fig05_lrc_query_flush.rs
+
+crates/bench/benches/fig05_lrc_query_flush.rs:

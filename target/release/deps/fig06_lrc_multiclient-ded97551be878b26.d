@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_lrc_multiclient-ded97551be878b26.d: crates/bench/benches/fig06_lrc_multiclient.rs
+
+/root/repo/target/release/deps/fig06_lrc_multiclient-ded97551be878b26: crates/bench/benches/fig06_lrc_multiclient.rs
+
+crates/bench/benches/fig06_lrc_multiclient.rs:

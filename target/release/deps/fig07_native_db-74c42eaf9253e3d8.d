@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_native_db-74c42eaf9253e3d8.d: crates/bench/benches/fig07_native_db.rs
+
+/root/repo/target/release/deps/fig07_native_db-74c42eaf9253e3d8: crates/bench/benches/fig07_native_db.rs
+
+crates/bench/benches/fig07_native_db.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pg_vacuum-c4ab5db375bbdbc0.d: crates/bench/benches/fig08_pg_vacuum.rs
+
+/root/repo/target/release/deps/fig08_pg_vacuum-c4ab5db375bbdbc0: crates/bench/benches/fig08_pg_vacuum.rs
+
+crates/bench/benches/fig08_pg_vacuum.rs:

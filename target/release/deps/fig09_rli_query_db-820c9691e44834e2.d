@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_rli_query_db-820c9691e44834e2.d: crates/bench/benches/fig09_rli_query_db.rs
+
+/root/repo/target/release/deps/fig09_rli_query_db-820c9691e44834e2: crates/bench/benches/fig09_rli_query_db.rs
+
+crates/bench/benches/fig09_rli_query_db.rs:

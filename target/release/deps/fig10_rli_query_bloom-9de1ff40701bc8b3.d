@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_rli_query_bloom-9de1ff40701bc8b3.d: crates/bench/benches/fig10_rli_query_bloom.rs
+
+/root/repo/target/release/deps/fig10_rli_query_bloom-9de1ff40701bc8b3: crates/bench/benches/fig10_rli_query_bloom.rs
+
+crates/bench/benches/fig10_rli_query_bloom.rs:

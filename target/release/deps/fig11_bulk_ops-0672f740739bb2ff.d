@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bulk_ops-0672f740739bb2ff.d: crates/bench/benches/fig11_bulk_ops.rs
+
+/root/repo/target/release/deps/fig11_bulk_ops-0672f740739bb2ff: crates/bench/benches/fig11_bulk_ops.rs
+
+crates/bench/benches/fig11_bulk_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_uncompressed_updates-dbc98f4b4973b02d.d: crates/bench/benches/fig12_uncompressed_updates.rs
+
+/root/repo/target/release/deps/fig12_uncompressed_updates-dbc98f4b4973b02d: crates/bench/benches/fig12_uncompressed_updates.rs
+
+crates/bench/benches/fig12_uncompressed_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_bloom_wan_scaling-e1b07e7a8a980124.d: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+/root/repo/target/release/deps/fig13_bloom_wan_scaling-e1b07e7a8a980124: crates/bench/benches/fig13_bloom_wan_scaling.rs
+
+crates/bench/benches/fig13_bloom_wan_scaling.rs:

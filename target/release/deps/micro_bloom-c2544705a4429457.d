@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_bloom-c2544705a4429457.d: crates/bench/benches/micro_bloom.rs
+
+/root/repo/target/release/deps/micro_bloom-c2544705a4429457: crates/bench/benches/micro_bloom.rs
+
+crates/bench/benches/micro_bloom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_codec-0b4ec073d348fc11.d: crates/bench/benches/micro_codec.rs
+
+/root/repo/target/release/deps/micro_codec-0b4ec073d348fc11: crates/bench/benches/micro_codec.rs
+
+crates/bench/benches/micro_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_pattern-fbf1c6921720dc1a.d: crates/bench/benches/micro_pattern.rs
+
+/root/repo/target/release/deps/micro_pattern-fbf1c6921720dc1a: crates/bench/benches/micro_pattern.rs
+
+crates/bench/benches/micro_pattern.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_softstate-dee9b6f8a0e57823.d: crates/bench/benches/micro_softstate.rs
+
+/root/repo/target/release/deps/micro_softstate-dee9b6f8a0e57823: crates/bench/benches/micro_softstate.rs
+
+crates/bench/benches/micro_softstate.rs:

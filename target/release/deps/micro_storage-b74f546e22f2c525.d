@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_storage-b74f546e22f2c525.d: crates/bench/benches/micro_storage.rs
+
+/root/repo/target/release/deps/micro_storage-b74f546e22f2c525: crates/bench/benches/micro_storage.rs
+
+crates/bench/benches/micro_storage.rs:

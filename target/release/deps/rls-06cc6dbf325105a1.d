@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls-06cc6dbf325105a1.d: src/lib.rs
+
+/root/repo/target/release/deps/rls-06cc6dbf325105a1: src/lib.rs
+
+src/lib.rs:

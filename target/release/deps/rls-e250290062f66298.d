@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rls-e250290062f66298.d: src/lib.rs
+
+/root/repo/target/release/deps/librls-e250290062f66298.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librls-e250290062f66298.rmeta: src/lib.rs
+
+src/lib.rs:

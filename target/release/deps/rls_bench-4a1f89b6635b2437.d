@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rls_bench-4a1f89b6635b2437.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librls_bench-4a1f89b6635b2437.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librls_bench-4a1f89b6635b2437.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

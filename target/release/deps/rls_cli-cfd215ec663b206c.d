@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_cli-cfd215ec663b206c.d: src/bin/rls-cli.rs
+
+/root/repo/target/release/deps/rls_cli-cfd215ec663b206c: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

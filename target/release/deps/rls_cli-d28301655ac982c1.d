@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_cli-d28301655ac982c1.d: src/bin/rls-cli.rs
+
+/root/repo/target/release/deps/rls_cli-d28301655ac982c1: src/bin/rls-cli.rs
+
+src/bin/rls-cli.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/rls_net-6892d83a0128e848.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/release/deps/rls_net-6892d83a0128e848.d: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
-/root/repo/target/release/deps/librls_net-6892d83a0128e848.rlib: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/release/deps/librls_net-6892d83a0128e848.rlib: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
-/root/repo/target/release/deps/librls_net-6892d83a0128e848.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/retry.rs crates/net/src/shaper.rs
+/root/repo/target/release/deps/librls_net-6892d83a0128e848.rmeta: crates/net/src/lib.rs crates/net/src/conn.rs crates/net/src/fault.rs crates/net/src/pipeline.rs crates/net/src/retry.rs crates/net/src/shaper.rs
 
 crates/net/src/lib.rs:
 crates/net/src/conn.rs:
 crates/net/src/fault.rs:
+crates/net/src/pipeline.rs:
 crates/net/src/retry.rs:
 crates/net/src/shaper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_server-0b09f0e2f249e09b.d: src/bin/rls-server.rs
+
+/root/repo/target/release/deps/rls_server-0b09f0e2f249e09b: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

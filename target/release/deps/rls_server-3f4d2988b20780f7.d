@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rls_server-3f4d2988b20780f7.d: src/bin/rls-server.rs
+
+/root/repo/target/release/deps/rls_server-3f4d2988b20780f7: src/bin/rls-server.rs
+
+src/bin/rls-server.rs:

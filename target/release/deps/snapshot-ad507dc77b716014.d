@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snapshot-ad507dc77b716014.d: crates/bench/benches/snapshot.rs
+
+/root/repo/target/release/deps/snapshot-ad507dc77b716014: crates/bench/benches/snapshot.rs
+
+crates/bench/benches/snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_bloom_update-64d4bf511818cd77.d: crates/bench/benches/table3_bloom_update.rs
+
+/root/repo/target/release/deps/table3_bloom_update-64d4bf511818cd77: crates/bench/benches/table3_bloom_update.rs
+
+crates/bench/benches/table3_bloom_update.rs:
